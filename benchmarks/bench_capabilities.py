@@ -1,0 +1,58 @@
+"""Experiment §3.5a — limited source capabilities and compensation.
+
+"The source whois may not be able to evaluate the condition on 'year'":
+the optimizer must relax the shipped query and filter at the mediator.
+The benchmark compares a fully-capable whois against a limited one on
+the same queries: identical answers, more objects on the wire and more
+mediator-side work for the limited source.
+"""
+
+import pytest
+
+from repro.datasets import (
+    WHOIS_LIMITED_CAPABILITY,
+    build_scaled_scenario,
+)
+from repro.oem import structural_key
+
+#: An office shared by several whois persons (index % 10 == 4).
+QUERY = "S :- S:<cs_person {<office 'Gates 4'>}>@med"
+
+
+def build(capability):
+    return build_scaled_scenario(
+        200, push_mode="needed", whois_capability=capability
+    )
+
+
+def test_full_capability(benchmark):
+    scenario = build(None)
+    result = benchmark(scenario.mediator.answer, QUERY)
+    assert result
+
+
+def test_limited_capability_with_compensation(benchmark):
+    scenario = build(WHOIS_LIMITED_CAPABILITY)
+    result = benchmark(scenario.mediator.answer, QUERY)
+    assert result
+
+
+def test_answers_identical_and_wire_cost_differs(artifact_sink, benchmark):
+    def setup_pair():
+        return build(None), build(WHOIS_LIMITED_CAPABILITY)
+
+    full, limited = benchmark.pedantic(setup_pair, rounds=1, iterations=1)
+    full_answer = full.mediator.answer(QUERY)
+    limited_answer = limited.mediator.answer(QUERY)
+    assert sorted(repr(structural_key(o)) for o in full_answer) == sorted(
+        repr(structural_key(o)) for o in limited_answer
+    )
+    full_shipped = full.mediator.last_context.objects_received["whois"]
+    limited_shipped = limited.mediator.last_context.objects_received["whois"]
+    assert limited_shipped > full_shipped
+    artifact_sink(
+        "S3.5a — capability compensation",
+        f"answers: {len(full_answer)} (identical)\n"
+        f"objects shipped from whois — full capability: {full_shipped},"
+        f" limited: {limited_shipped}",
+    )

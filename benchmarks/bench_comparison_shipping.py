@@ -1,0 +1,71 @@
+"""Extension experiment — shipping comparisons into capable sources.
+
+When a source advertises ``supports_comparisons``, the optimizer moves
+query comparisons (``Y > 2``) *into* the shipped query instead of
+filtering at the mediator.  On selective comparisons this cuts the
+objects crossing the wire; the answers are identical either way.
+"""
+
+import pytest
+
+from repro.datasets import build_scaled_scenario
+from repro.oem import structural_key
+from repro.wrappers import Capability
+
+PEOPLE = 200
+#: students in year >= 5 are rare -> selective comparison
+QUERY = (
+    "S :- S:<cs_person {<rel 'student'> <year Y>}>@med AND Y >= 5"
+)
+
+
+def build(supports_comparisons: bool):
+    scenario = build_scaled_scenario(PEOPLE, push_mode="needed")
+    if not supports_comparisons:
+        # replace cs's capability with one refusing comparisons
+        scenario.cs._capability = Capability(
+            supports_comparisons=False, name="nocmp"
+        )
+    return scenario
+
+
+def test_shipped_comparisons(benchmark):
+    scenario = build(True)
+    result = benchmark(scenario.mediator.answer, QUERY)
+    assert result
+
+
+def test_mediator_side_comparisons(benchmark):
+    scenario = build(False)
+    result = benchmark(scenario.mediator.answer, QUERY)
+    assert result
+
+
+def test_identical_answers_fewer_objects(artifact_sink, benchmark):
+    def series():
+        rows = []
+        answers = []
+        for shipped in (True, False):
+            scenario = build(shipped)
+            result = scenario.mediator.answer(QUERY)
+            answers.append(
+                sorted(repr(structural_key(o)) for o in result)
+            )
+            context = scenario.mediator.last_context
+            rows.append(
+                (
+                    "shipped" if shipped else "mediator-side",
+                    len(result),
+                    context.objects_received.get("cs", 0),
+                )
+            )
+        assert answers[0] == answers[1]
+        return rows
+
+    rows = benchmark.pedantic(series, rounds=1, iterations=1)
+    table = "mode           answers  objects-from-cs\n" + "\n".join(
+        f"{m:<14} {a:>7} {o:>16}" for m, a, o in rows
+    )
+    artifact_sink("Extension — comparison shipping vs compensation", table)
+    by_mode = {m: o for m, a, o in rows}
+    assert by_mode["shipped"] <= by_mode["mediator-side"]

@@ -1,0 +1,53 @@
+"""Experiment F2.3 — Figure 2.3: the ``whois`` semi-structured source.
+
+Regenerates the figure's two irregular person objects and measures the
+OEM store wrapper: parsing the paper's textual notation, answering
+queries with and without the inverted index, and tolerance of
+irregularity (objects missing fields cost nothing extra).
+"""
+
+import pytest
+
+from repro.datasets import WHOIS_TEXT, build_scaled_scenario
+from repro.msl import parse_rule
+from repro.oem import parse_oem, to_text
+from repro.wrappers import OEMStoreWrapper
+
+
+def test_figure_2_3_artifact(artifact_sink, benchmark):
+    objects = benchmark(parse_oem, WHOIS_TEXT)
+    artifact_sink(
+        "Figure 2.3 — OEM object structure of whois", to_text(objects)
+    )
+    joe, nick = objects
+    assert joe.get("e_mail") == "chung@cs"  # &p1 has e_mail
+    assert nick.first("e_mail") is None  # &p2 does not (irregularity)
+
+
+@pytest.fixture(scope="module")
+def scaled_whois():
+    return build_scaled_scenario(500, seed=5).whois
+
+
+SELECTIVE = "<n N> :- <person {<name N> <relation 'student'>}>"
+
+
+def test_indexed_selective_query(scaled_whois, benchmark):
+    query = parse_rule(SELECTIVE)
+    result = benchmark(scaled_whois.answer, query)
+    assert result
+
+
+def test_unindexed_selective_query(scaled_whois, benchmark):
+    plain = OEMStoreWrapper("w", scaled_whois.export(), indexed=False)
+    query = parse_rule("<n N> :- <person {<name N> <relation 'student'>}>")
+    result = benchmark(plain.answer, query)
+    assert sorted(o.value for o in result) == sorted(
+        o.value for o in scaled_whois.answer(parse_rule(SELECTIVE))
+    )
+
+
+def test_full_scan_query(scaled_whois, benchmark):
+    query = parse_rule("<n N> :- <person {<name N> | R}>")
+    result = benchmark(scaled_whois.answer, query)
+    assert len(result) == len(scaled_whois)

@@ -1,0 +1,54 @@
+"""Experiment F2.4 — Figure 2.4: the integrated ``cs_person`` object.
+
+Regenerates the figure (the med view's object for Joe Chung, combining
+both sources' information) and measures the end-to-end MSI pipeline on
+the paper's scenario and on scaled variants.
+"""
+
+import pytest
+
+from repro.datasets import (
+    JOE_CHUNG_QUERY,
+    build_scaled_scenario,
+    build_scenario,
+)
+from repro.oem import to_text
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return build_scenario(push_mode="needed")
+
+
+def test_figure_2_4_artifact(scenario, artifact_sink, benchmark):
+    result = benchmark(scenario.mediator.answer, JOE_CHUNG_QUERY)
+    artifact_sink(
+        "Figure 2.4 — the integrated cs_person object for Joe Chung",
+        to_text(result),
+    )
+    (joe,) = result
+    assert [c.label for c in joe.children] == [
+        "name", "rel", "e_mail", "title", "reports_to",
+    ]
+
+
+def test_full_view_export(scenario, benchmark):
+    view = benchmark(scenario.mediator.export)
+    assert len(view) == 2
+
+
+@pytest.mark.parametrize("people", [50, 100, 200])
+def test_point_query_at_scale(people, benchmark):
+    scenario = build_scaled_scenario(people, push_mode="needed")
+    target = scenario.whois.export()[people // 2].get("name")
+    query = f"X :- X:<cs_person {{<name '{target}'>}}>@med"
+    result = benchmark(scenario.mediator.answer, query)
+    assert len(result) <= 1
+
+
+@pytest.mark.parametrize("people", [50, 100, 200])
+def test_full_view_at_scale(people, benchmark):
+    scenario = build_scaled_scenario(people, push_mode="needed")
+    view = benchmark(scenario.mediator.export)
+    # ~90% of people appear in both sources
+    assert len(view) >= people * 0.7

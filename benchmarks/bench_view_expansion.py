@@ -1,0 +1,84 @@
+"""Experiment R2/Q2 — Section 3.1/3.2: view expansion and unifiers.
+
+Regenerates the paper's rule R2 and unifier θ1 and measures expansion
+cost as the specification grows (more rules to match against) and as
+queries carry more conditions (unifier combinations multiply).
+"""
+
+import pytest
+
+from repro.datasets import JOE_CHUNG_QUERY, MS1
+from repro.mediator import ViewExpander
+from repro.msl import parse_query, parse_specification
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return ViewExpander("med", parse_specification(MS1), push_mode="needed")
+
+
+def test_r2_and_theta1_artifact(expander, artifact_sink, benchmark):
+    query = parse_query(JOE_CHUNG_QUERY)
+    program = benchmark(expander.expand, query)
+    artifact_sink(
+        "Section 3.1 — datamerge rule R2 for query Q1",
+        str(program),
+    )
+    artifact_sink(
+        "Section 3.2 — unifier theta_1",
+        str(program.rules[0].unifier),
+    )
+    assert len(program) == 1
+
+
+def make_wide_spec(rules: int) -> str:
+    """A specification with many rules exporting distinct labels."""
+    parts = [
+        f"<view{i} {{<name N> <tag{i} T> | Rest}}> :-"
+        f" <person {{<name N> <tag{i} T> | Rest}}>@src{i}"
+        for i in range(rules)
+    ]
+    return " ; ".join(parts)
+
+
+@pytest.mark.parametrize("rules", [1, 8, 32, 128])
+def test_expansion_scales_with_rule_count(rules, benchmark):
+    """Cost of matching one query against N rule heads."""
+    expander = ViewExpander(
+        "m", parse_specification(make_wide_spec(rules)), push_mode="needed"
+    )
+    query = parse_query("X :- X:<view0 {<name 'a'>}>@m")
+    program = benchmark(expander.expand, query)
+    assert len(program) == 1  # only one head label matches
+
+
+@pytest.mark.parametrize("conditions", [1, 2, 3])
+def test_expansion_with_multiple_query_conditions(conditions, benchmark):
+    spec = parse_specification(
+        "<v {<k K> <a A> <b B> <c C>}> :- <s {<k K> <a A> <b B> <c C>}>@src"
+    )
+    expander = ViewExpander("m", spec, push_mode="needed")
+    names = ["A", "B", "C"][:conditions]
+    tail = " AND ".join(
+        f"X{i}:<v {{<k 'q'> <{n.lower()} {n}>}}>@m"
+        for i, n in enumerate(names)
+    )
+    query = parse_query(f"{' '.join(f'X{i}' for i in range(conditions))} :- {tail}")
+    program = benchmark(expander.expand, query)
+    assert len(program) == 1
+
+
+def test_complete_mode_generates_more_rules(benchmark, artifact_sink):
+    """The completeness cost of push_mode='complete' (ablation)."""
+    complete = ViewExpander(
+        "med", parse_specification(MS1), push_mode="complete"
+    )
+    needed = ViewExpander("med", parse_specification(MS1), push_mode="needed")
+    query = parse_query(JOE_CHUNG_QUERY)
+    program = benchmark(complete.expand, query)
+    artifact_sink(
+        "Ablation — logical program sizes by push mode",
+        f"complete: {len(program)} rules; needed:"
+        f" {len(needed.expand(query))} rule(s)",
+    )
+    assert len(program) > len(needed.expand(query))

@@ -1,0 +1,32 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``bench_*.py`` module regenerates one artifact of the paper
+(figure, rule, unifier, or plan) and measures the code path behind it.
+Artifacts are printed to stdout (visible with ``pytest -s``) and
+collected into ``benchmarks/artifacts.txt`` so EXPERIMENTS.md can quote
+them verbatim.
+"""
+
+import pathlib
+
+import pytest
+
+ARTIFACTS_PATH = pathlib.Path(__file__).parent / "artifacts.txt"
+_written: set[str] = set()
+
+
+@pytest.fixture(scope="session")
+def artifact_sink():
+    """Append named artifacts to benchmarks/artifacts.txt (once each)."""
+    if not _written:
+        ARTIFACTS_PATH.write_text("")
+
+    def write(name: str, text: str) -> None:
+        if name in _written:
+            return
+        _written.add(name)
+        with ARTIFACTS_PATH.open("a") as handle:
+            handle.write(f"===== {name} =====\n{text}\n\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return write

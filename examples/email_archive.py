@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Electronic mail: the paper's opening example of semi-structured data.
+
+"A typical example is electronic mail where objects have some well
+defined 'fields' such as the destination and source addresses, but there
+are others that vary from one mailer to another.  Furthermore, fields
+are constantly being added or modified."
+
+Two mail archives with different conventions:
+
+* ``unixmail`` — classic headers (``from``/``to``/``subject``), some
+  messages carry ``cc`` or ``x_mailer``; nested ``received`` hops;
+* ``webmail``  — a different vocabulary (``sender``/``recipient``/
+  ``title``), some messages have ``labels`` and ``thread`` objects.
+
+The ``mail`` mediator unifies both under one ``message`` vocabulary —
+including label renaming (value-level) and the pass-through of every
+unanticipated field via Rest variables — and a second mediator derives a
+per-sender digest on top, showing mediator stacking.
+
+Run:  python examples/email_archive.py
+"""
+
+from repro import Mediator, OEMStoreWrapper, SourceRegistry
+from repro.client import ResultSet
+from repro.oem import parse_oem
+
+UNIXMAIL = """
+<&u1, mail, set, {&u1f,&u1t,&u1s,&u1x}>
+  <&u1f, from, string, 'chung@cs'>
+  <&u1t, to, string, 'widom@cs'>
+  <&u1s, subject, string, 'draft of the MedMaker paper'>
+  <&u1x, x_mailer, string, 'elm 2.4'>
+;
+<&u2, mail, set, {&u2f,&u2t,&u2s,&u2c,&u2r}>
+  <&u2f, from, string, 'widom@cs'>
+  <&u2t, to, string, 'chung@cs'>
+  <&u2s, subject, string, 'Re: draft of the MedMaker paper'>
+  <&u2c, cc, string, 'ullman@cs'>
+  <&u2r, received, set, {&u2r1,&u2r2}>
+    <&u2r1, hop, string, 'relay1.stanford.edu'>
+    <&u2r2, hop, string, 'cs.stanford.edu'>
+;
+"""
+
+WEBMAIL = """
+<&w1, mail, set, {&w1f,&w1t,&w1s,&w1l}>
+  <&w1f, sender, string, 'hector@cs'>
+  <&w1t, recipient, string, 'chung@cs'>
+  <&w1s, title, string, 'ICDE camera-ready deadline'>
+  <&w1l, labels, set, {&w1l1,&w1l2}>
+    <&w1l1, label, string, 'deadlines'>
+    <&w1l2, label, string, 'icde96'>
+;
+<&w2, mail, set, {&w2f,&w2t,&w2s,&w2th}>
+  <&w2f, sender, string, 'chung@cs'>
+  <&w2t, recipient, string, 'hector@cs'>
+  <&w2s, title, string, 'Re: ICDE camera-ready deadline'>
+  <&w2th, thread, integer, 42>
+;
+"""
+
+#: One rule per source; note how webmail's sender/recipient/title are
+#: renamed into the unified vocabulary while Rest keeps mailer quirks.
+MAIL_SPEC = """
+<message {<from F> <to T> <subject S> | Rest}> :-
+    <mail {<from F> <to T> <subject S> | Rest}>@unixmail ;
+
+<message {<from F> <to T> <subject S> | Rest}> :-
+    <mail {<sender F> <recipient T> <title S> | Rest}>@webmail ;
+"""
+
+DIGEST_SPEC = """
+<outbox {<author F> <sent S>}> :-
+    <message {<from F> <subject S>}>@mail ;
+"""
+
+
+def main() -> None:
+    registry = SourceRegistry()
+    registry.register(OEMStoreWrapper("unixmail", parse_oem(UNIXMAIL)))
+    registry.register(OEMStoreWrapper("webmail", parse_oem(WEBMAIL)))
+    mail = Mediator("mail", MAIL_SPEC, registry)
+
+    print("=== unified mailbox (both archives, one vocabulary) ===")
+    for message in ResultSet(mail.export()).sorted_by("subject"):
+        print(message)
+
+    print()
+    print("=== everything sent to chung@cs, regardless of archive ===")
+    for message in mail.answer("M :- M:<message {<to 'chung@cs'>}>@mail"):
+        print(message)
+
+    print()
+    print("=== quirky fields survive: which messages have labels? ===")
+    for message in mail.answer(
+        "M :- M:<message {<labels {<label 'deadlines'>}>}>@mail"
+    ):
+        print(message)
+
+    print()
+    print("=== a digest mediator stacked on the mail mediator ===")
+    digest = Mediator("digest", DIGEST_SPEC, registry)
+    for entry in ResultSet(digest.export()).sorted_by("author"):
+        print(entry)
+
+    print()
+    print("=== exploring structure with label variables ===")
+    fields = mail.answer("<field L> :- <message {<L V>}>@mail")
+    print("fields in the unified view:", sorted(o.value for o in fields))
+
+
+if __name__ == "__main__":
+    main()

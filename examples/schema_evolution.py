@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Schema evolution and irregularity: MSL's headline capability.
+
+The paper (Section 2): "The format and contents of the sources may
+change over time, often without notification to the mediator
+implementor ... if 'birthday' is included or dropped, it should be
+automatically included or dropped from the med view, without need to
+change the mediator specification."
+
+This example takes the running staff scenario and *mutates the sources
+live* — adding a relational attribute, dropping one, and inserting an
+irregular whois object — while the mediator specification never
+changes.  Rest variables do all the work.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro.client import ResultSet
+from repro.datasets import JOE_CHUNG_QUERY, build_scenario
+from repro.oem import atom, obj
+
+
+def show_view(mediator, title):
+    print(f"=== {title} ===")
+    for person in ResultSet(mediator.export()).sorted_by("name"):
+        print(person)
+    print()
+
+
+def main() -> None:
+    scenario = build_scenario()
+    med = scenario.mediator
+
+    show_view(med, "The view before any schema change")
+
+    # -- 1. the cs DBA adds a 'birthday' column -------------------------
+    student = scenario.cs.database.table("student")
+    student.add_attribute("birthday")
+    student.delete_where(lambda row: True)
+    student.insert("Nick", "Naive", 3, "1975-06-01")
+    print(">>> cs: ALTER TABLE student ADD COLUMN birthday; Nick updated")
+    show_view(med, "birthday flows into the view via Rest2 — spec unchanged")
+
+    # -- 2. the cs DBA drops 'title' ----------------------------------------
+    scenario.cs.database.table("employee").drop_attribute("title")
+    print(">>> cs: ALTER TABLE employee DROP COLUMN title")
+    (joe,) = med.answer(JOE_CHUNG_QUERY)
+    print("Joe without a title, nothing else disturbed:")
+    print(joe)
+    print()
+
+    # -- 3. whois grows an object with fields nobody planned for -------------
+    scenario.whois.add(
+        obj(
+            "person",
+            atom("name", "Ada Fresh"),
+            atom("dept", "CS"),
+            atom("relation", "student"),
+            atom("pronouns", "she/her"),
+            obj("homepage", atom("url", "http://cs/~ada"), atom("visits", 42)),
+        )
+    )
+    scenario.cs.database.table("student").insert(
+        "Ada", "Fresh", 1, "1980-01-01"
+    )
+    print(">>> whois: new person with 'pronouns' and a nested 'homepage'")
+    show_view(
+        med,
+        "irregular and nested fields propagate untouched (Rest1)",
+    )
+
+    # -- 4. and queries can explore structure via label variables -----------
+    print("=== Label variables: what fields does the view have? ===")
+    labels = med.answer("<field L> :- <cs_person {<L V>}>@med")
+    print(sorted(o.value for o in labels))
+
+
+if __name__ == "__main__":
+    main()

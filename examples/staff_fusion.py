@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Beyond MS1: the fusion variant of the staff view.
+
+The paper notes MS1's limitation: "it only includes information for
+people that appear in both cs and whois.  In particular, we may wish to
+include information in med even if it appears in a single source", and
+points at *semantic object-ids* as "a powerful mechanism for object
+fusion".
+
+This example runs the two specifications side by side on sources with
+partial overlap:
+
+* ``MS1``        — the join view: one rule, both sources required;
+* ``MS1_FUSION`` — one rule per source, heads identified by the
+  semantic oid ``&person(LN, FN)``; contributions about the same person
+  fuse, single-source people survive.
+
+Run:  python examples/staff_fusion.py
+"""
+
+from repro import Mediator, OEMStoreWrapper, RelationalWrapper, SourceRegistry
+from repro.client import ResultSet
+from repro.datasets import (
+    MS1,
+    MS1_FUSION,
+    build_cs_database,
+    build_whois_objects,
+)
+from repro.oem import atom, obj
+
+
+def build_sources(registry: SourceRegistry) -> None:
+    whois = OEMStoreWrapper("whois", build_whois_objects())
+    # someone only the whois facility knows about
+    whois.add(
+        obj(
+            "person",
+            atom("name", "Wendy Whoisonly"),
+            atom("dept", "CS"),
+            atom("relation", "student"),
+            atom("e_mail", "wendy@cs"),
+        )
+    )
+    # someone only the relational database knows about
+    cs = RelationalWrapper(
+        "cs", build_cs_database(extra_students=[("Sue", "Solo", 1)])
+    )
+    registry.register(whois)
+    registry.register(cs)
+
+
+def show(title: str, mediator: Mediator) -> None:
+    print(f"=== {title} ===")
+    for person in ResultSet(mediator.export()).sorted_by("name"):
+        print(person)
+    print()
+
+
+def main() -> None:
+    join_registry = SourceRegistry()
+    build_sources(join_registry)
+    join_view = Mediator("med", MS1, join_registry)
+    show("MS1 (join view): only people in BOTH sources", join_view)
+
+    fusion_registry = SourceRegistry()
+    build_sources(fusion_registry)
+    fusion_view = Mediator("med", MS1_FUSION, fusion_registry)
+    show(
+        "MS1_FUSION: every person, fused where both sources contribute",
+        fusion_view,
+    )
+
+    print("=== identity: fused objects carry semantic object-ids ===")
+    (joe,) = fusion_view.answer(
+        "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med"
+    )
+    print(f"oid of Joe's view object: {joe.oid}")
+    print(
+        "the same oid arises from every rule that mentions"
+        " (Chung, Joe) — that's what makes the fusion safe."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""MedMaker: a mediation system based on declarative specifications.
+
+A faithful Python reproduction of Papakonstantinou, Garcia-Molina and
+Ullman, "MedMaker: A Mediation System Based on Declarative
+Specifications", ICDE 1996 — the mediation layer of the TSIMMIS
+heterogeneous data-integration project.
+
+The packages:
+
+* :mod:`repro.oem` — the Object Exchange Model (self-describing objects);
+* :mod:`repro.msl` — the Mediator Specification Language (parser,
+  matcher, reference evaluator);
+* :mod:`repro.external` — external predicates (``decomp`` and friends);
+* :mod:`repro.relational` — a mini relational engine (the ``cs`` source);
+* :mod:`repro.wrappers` — the wrapper layer and source capabilities;
+* :mod:`repro.mediator` — the Mediator Specification Interpreter:
+  view expansion, cost-based optimization, the datamerge engine;
+* :mod:`repro.client` — client-side result materialization;
+* :mod:`repro.datasets` — the paper's running example and synthetic
+  workloads.
+
+Quickstart::
+
+    from repro.datasets import build_scenario, JOE_CHUNG_QUERY
+    scenario = build_scenario()
+    for obj in scenario.mediator.answer(JOE_CHUNG_QUERY):
+        print(obj)
+"""
+
+from repro.client import ResultSet
+from repro.mediator import Mediator
+from repro.msl import parse_query, parse_rule, parse_specification
+from repro.oem import OEMObject, parse_oem
+from repro.wrappers import (
+    Capability,
+    OEMStoreWrapper,
+    RelationalWrapper,
+    SourceRegistry,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Capability",
+    "Mediator",
+    "OEMObject",
+    "OEMStoreWrapper",
+    "RelationalWrapper",
+    "ResultSet",
+    "SourceRegistry",
+    "__version__",
+    "parse_oem",
+    "parse_query",
+    "parse_rule",
+    "parse_specification",
+]

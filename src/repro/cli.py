@@ -1,0 +1,211 @@
+"""Command-line interface: run a mediator from files.
+
+Usage::
+
+    python -m repro --spec med.msl --mediator med \\
+        --source whois=whois.oem --source cs=cs.oem \\
+        --query "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med"
+
+* ``--spec`` — an MSL specification file (rules + EXT declarations);
+* ``--source NAME=FILE`` — an OEM data file served as source ``NAME``
+  (repeatable); add ``:facts`` after the file to export schema facts;
+* ``--query`` — an MSL query (repeatable); with no ``--query``, queries
+  are read from stdin, one per line;
+* ``--explain`` — print the logical program and physical plan instead
+  of executing;
+* ``--export`` — materialize and print the whole view;
+* ``--format`` — ``text`` (the paper's reference style, default),
+  ``inline`` (one object per line), or ``python`` (dicts).
+
+The CLI registers only OEM-file sources; programmatic users wanting
+relational or custom wrappers use the library API directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.client.result import ResultSet
+from repro.external.registry import default_registry
+from repro.mediator.mediator import Mediator
+from repro.oem.parser import parse_oem
+from repro.wrappers.oem_wrapper import OEMStoreWrapper
+from repro.wrappers.registry import SourceRegistry
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "MedMaker: answer MSL queries over OEM sources through a"
+            " declaratively specified mediator"
+        ),
+    )
+    parser.add_argument(
+        "--spec",
+        required=True,
+        help="MSL mediator specification file",
+    )
+    parser.add_argument(
+        "--mediator",
+        default="med",
+        help="name of the mediator (default: med)",
+    )
+    parser.add_argument(
+        "--source",
+        action="append",
+        default=[],
+        metavar="NAME=FILE[:facts]",
+        help=(
+            "OEM data file registered as source NAME; ':facts' exports"
+            " schema facts for rule pruning (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--query",
+        action="append",
+        default=[],
+        help="MSL query to answer (repeatable; default: read stdin)",
+    )
+    parser.add_argument(
+        "--export",
+        action="store_true",
+        help="materialize and print the whole view",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the logical program and plan instead of executing",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "inline", "python"),
+        default="text",
+        help="output format for result objects",
+    )
+    parser.add_argument(
+        "--push-mode",
+        choices=("complete", "needed"),
+        default="complete",
+        help="pushdown enumeration mode (see docs/msl_reference.md)",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("heuristic", "statistics", "exhaustive", "fetch_all"),
+        default="heuristic",
+        help="plan strategy",
+    )
+    return parser
+
+
+def _load_sources(
+    specs: Sequence[str], registry: SourceRegistry, stderr
+) -> bool:
+    for entry in specs:
+        name, sep, path = entry.partition("=")
+        if not sep or not name or not path:
+            print(
+                f"error: --source expects NAME=FILE[:facts], got {entry!r}",
+                file=stderr,
+            )
+            return False
+        export_facts = False
+        if path.endswith(":facts"):
+            export_facts = True
+            path = path[: -len(":facts")]
+        try:
+            with open(path) as handle:
+                objects = parse_oem(handle.read())
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=stderr)
+            return False
+        except Exception as exc:
+            print(f"error: cannot parse {path}: {exc}", file=stderr)
+            return False
+        registry.register(
+            OEMStoreWrapper(name, objects, export_facts=export_facts)
+        )
+    return True
+
+
+def _emit(objects, format_: str, stdout) -> None:
+    results = ResultSet(objects)
+    if format_ == "text":
+        print(results.dump(), file=stdout)
+    elif format_ == "inline":
+        print(results.pretty(), file=stdout)
+    else:
+        for value in results.to_python():
+            print(value, file=stdout)
+
+
+def _iter_stdin_queries(stdin):
+    """Queries from stdin: each non-empty line is one query."""
+    for line in stdin:
+        text = line.strip()
+        if text:
+            yield text
+
+
+def main(
+    argv: Sequence[str] | None = None,
+    stdout=None,
+    stderr=None,
+    stdin=None,
+) -> int:
+    stdout = stdout or sys.stdout
+    stderr = stderr or sys.stderr
+    stdin = stdin if stdin is not None else sys.stdin
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.spec) as handle:
+            spec_text = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read {args.spec}: {exc}", file=stderr)
+        return 2
+
+    registry = SourceRegistry()
+    if not _load_sources(args.source, registry, stderr):
+        return 2
+
+    try:
+        mediator = Mediator(
+            args.mediator,
+            spec_text,
+            registry,
+            default_registry(),
+            push_mode=args.push_mode,
+            strategy=args.strategy,
+        )
+    except Exception as exc:
+        print(f"error: bad specification: {exc}", file=stderr)
+        return 2
+
+    status = 0
+    if args.export:
+        _emit(mediator.export(), args.format, stdout)
+
+    queries = list(args.query)
+    if not queries and not args.export:
+        queries = list(_iter_stdin_queries(stdin))
+
+    for query in queries:
+        try:
+            if args.explain:
+                print(mediator.explain(query), file=stdout)
+            else:
+                _emit(mediator.answer(query), args.format, stdout)
+        except Exception as exc:
+            print(f"error: {query!r}: {exc}", file=stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

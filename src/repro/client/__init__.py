@@ -1,0 +1,5 @@
+"""Client-side conveniences for consuming mediator results."""
+
+from repro.client.result import ResultSet
+
+__all__ = ["ResultSet"]

@@ -1,0 +1,84 @@
+"""Client-side materialization and display of query results.
+
+"Unlike mediator specification, when MSL is used for querying, the
+objects specified by the query rule head are materialized at the
+client."  A :class:`ResultSet` wraps the materialized objects with the
+conveniences a client application wants: structural display, conversion
+to plain Python data, selection by label, and stable ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.oem.builders import to_python
+from repro.oem.compare import structural_key
+from repro.oem.model import OEMObject
+from repro.oem.printer import format_forest, to_text
+
+__all__ = ["ResultSet"]
+
+
+class ResultSet:
+    """The materialized answer to an MSL query."""
+
+    def __init__(self, objects: Sequence[OEMObject]) -> None:
+        self._objects = list(objects)
+
+    # -- sequence protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[OEMObject]:
+        return iter(self._objects)
+
+    def __getitem__(self, index: int) -> OEMObject:
+        return self._objects[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._objects)
+
+    # -- conveniences -----------------------------------------------------
+
+    def objects(self) -> list[OEMObject]:
+        return list(self._objects)
+
+    def with_label(self, label: str) -> "ResultSet":
+        """Only the result objects carrying ``label``."""
+        return ResultSet([o for o in self._objects if o.label == label])
+
+    def where(self, predicate: Callable[[OEMObject], bool]) -> "ResultSet":
+        return ResultSet([o for o in self._objects if predicate(o)])
+
+    def sorted_by(self, key_label: str) -> "ResultSet":
+        """Sort by the value of each object's first ``key_label`` child."""
+
+        def key(obj: OEMObject) -> tuple:
+            value = obj.get(key_label)
+            return (value is None, str(value))
+
+        return ResultSet(sorted(self._objects, key=key))
+
+    def canonical(self) -> "ResultSet":
+        """Deterministic order by structural key (for comparisons)."""
+        return ResultSet(
+            sorted(self._objects, key=lambda o: repr(structural_key(o)))
+        )
+
+    def to_python(self) -> list[object]:
+        """Plain Python data (dicts/lists/atoms), one per object."""
+        return [to_python(o) for o in self._objects]
+
+    # -- display ---------------------------------------------------------------
+
+    def pretty(self) -> str:
+        """Inline notation, one object per line."""
+        return format_forest(self._objects)
+
+    def dump(self) -> str:
+        """The paper's reference style (one component per line)."""
+        return to_text(self._objects)
+
+    def __repr__(self) -> str:
+        return f"ResultSet({len(self._objects)} objects)"

@@ -1,0 +1,58 @@
+"""Ready-made scenarios and synthetic workload generators."""
+
+from repro.datasets.campus import (
+    CAMPUS_SPEC,
+    CampusScenario,
+    build_campus_scenario,
+)
+
+from repro.datasets.bibliography import (
+    BIB_SPEC,
+    BibliographyScenario,
+    build_bibliography,
+    normalize_author,
+)
+from repro.datasets.generators import (
+    LABELS,
+    deep_object,
+    random_forest,
+    record_forest,
+)
+from repro.datasets.staff import (
+    JOE_CHUNG_QUERY,
+    MS1,
+    MS1_FUSION,
+    StaffScenario,
+    WHOIS_LIMITED_CAPABILITY,
+    WHOIS_TEXT,
+    YEAR3_QUERY,
+    build_cs_database,
+    build_scaled_scenario,
+    build_scenario,
+    build_whois_objects,
+)
+
+__all__ = [
+    "BIB_SPEC",
+    "CAMPUS_SPEC",
+    "CampusScenario",
+    "build_campus_scenario",
+    "BibliographyScenario",
+    "JOE_CHUNG_QUERY",
+    "LABELS",
+    "MS1",
+    "MS1_FUSION",
+    "StaffScenario",
+    "WHOIS_LIMITED_CAPABILITY",
+    "WHOIS_TEXT",
+    "YEAR3_QUERY",
+    "build_bibliography",
+    "build_cs_database",
+    "build_scaled_scenario",
+    "build_scenario",
+    "build_whois_objects",
+    "deep_object",
+    "normalize_author",
+    "random_forest",
+    "record_forest",
+]

@@ -1,0 +1,177 @@
+"""The introduction's motivating scenario: a bibliography mediator.
+
+"A mediator for Computer Science publications could provide access to a
+set of bibliographic sources ... Users accessing the mediator would see
+a single collection of materials, with, for example, duplicates removed
+and inconsistencies resolved (e.g., all author names would be in the
+format last name, first name)."
+
+Two heterogeneous sources are built:
+
+* ``deptbib`` — a relational source ``paper(title, author, venue, year)``
+  storing author names as ``'First Last'``;
+* ``webbib`` — a semi-structured source of ``entry`` objects with
+  irregular fields (some have ``pages``, some ``url``; authors already
+  in ``'Last, First'``).
+
+The ``bib`` mediator exports a unified ``publication`` view with a
+*semantic object-id* per (title, year), so records appearing in both
+sources **fuse** into one object, and it normalises author names to
+``'Last, First'`` via external functions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.external.registry import ExternalRegistry, default_registry
+from repro.mediator.mediator import Mediator
+from repro.relational.database import Database
+from repro.relational.schema import Attribute, RelationSchema
+from repro.wrappers.oem_wrapper import OEMStoreWrapper
+from repro.wrappers.registry import SourceRegistry
+from repro.wrappers.relational_wrapper import RelationalWrapper
+from repro.oem.parser import parse_oem
+
+__all__ = [
+    "BIB_SPEC",
+    "BibliographyScenario",
+    "build_bibliography",
+    "normalize_author",
+]
+
+#: The bib mediator: one rule per source, fused via &pub(T, Y) semantic
+#: oids; author names normalised through the external predicate.
+BIB_SPEC = """
+<&pub(T, Y) publication {<title T> <author A2> <venue V> <year Y>}> :-
+    <paper {<title T> <author A> <venue V> <year Y>}>@deptbib
+    AND normalize_author(A, A2) ;
+
+<&pub(T, Y) publication {<title T> <author A2> <year Y> | Rest}> :-
+    <entry {<title T> <author A> <year Y> | Rest}>@webbib
+    AND normalize_author(A, A2) ;
+
+EXT normalize_author(bound, free) BY normalize_author ;
+"""
+
+
+def normalize_author(name: object) -> list[tuple[str]]:
+    """Normalise any supported author format to ``'Last, First'``.
+
+    Accepts ``'First Last'`` and ``'Last, First'`` (idempotent).
+    """
+    if not isinstance(name, str) or not name.strip():
+        return []
+    text = name.strip()
+    if "," in text:
+        last, _, first = text.partition(",")
+        last, first = last.strip(), first.strip()
+        if not last or not first:
+            return []
+        return [(f"{last}, {first}",)]
+    parts = text.rsplit(" ", 1)
+    if len(parts) != 2:
+        return [(text,)]
+    first, last = parts
+    return [(f"{last}, {first}",)]
+
+
+@dataclass
+class BibliographyScenario:
+    registry: SourceRegistry
+    deptbib: RelationalWrapper
+    webbib: OEMStoreWrapper
+    mediator: Mediator
+    externals: ExternalRegistry
+
+
+_TITLES = [
+    "Mediators in Information Systems",
+    "Object Exchange Across Sources",
+    "Querying Semistructured Data",
+    "The Garlic Approach",
+    "Schema Integration Methodologies",
+    "A Logic for Objects",
+    "Higher-Order Logic Programming",
+    "Interoperability of Databases",
+    "Views and Objects",
+    "Capabilities-Based Rewriting",
+]
+_AUTHORS = [
+    "Gio Wiederhold", "Yannis Papakonstantinou", "Hector Garcia-Molina",
+    "Jeffrey Ullman", "Jennifer Widom", "Dallan Quass", "Anand Rajaraman",
+]
+_VENUES = ["ICDE", "SIGMOD", "VLDB", "PODS"]
+
+
+def build_bibliography(
+    papers: int = 12,
+    overlap_fraction: float = 0.5,
+    seed: int = 7,
+) -> BibliographyScenario:
+    """Build the two sources plus the ``bib`` mediator.
+
+    ``overlap_fraction`` of the papers appear in *both* sources (with
+    differently formatted author names), exercising fusion and
+    name-format reconciliation; the rest are split between the sources.
+    """
+    rng = random.Random(seed)
+    registry = SourceRegistry()
+    externals = default_registry()
+    externals.register_function("normalize_author", normalize_author)
+
+    db = Database("deptbib")
+    paper = db.create_table(
+        RelationSchema(
+            "paper",
+            ["title", "author", "venue", Attribute("year", "integer")],
+        )
+    )
+
+    web_lines: list[str] = []
+
+    def add_web_entry(index: int, title: str, author_lf: str, year: int) -> None:
+        subs = [
+            f"<&bt{index}, title, string, '{title}'>",
+            f"<&ba{index}, author, string, '{author_lf}'>",
+            f"<&by{index}, year, integer, {year}>",
+        ]
+        if rng.random() < 0.5:
+            subs.append(
+                f"<&bp{index}, pages, string,"
+                f" '{rng.randint(1, 400)}-{rng.randint(401, 800)}'>"
+            )
+        if rng.random() < 0.4:
+            subs.append(
+                f"<&bu{index}, url, string, 'ftp://db.stanford.edu/{index}.ps'>"
+            )
+        refs = ",".join(s.split(",")[0].strip("<") for s in subs)
+        web_lines.append(f"<&be{index}, entry, set, {{{refs}}}>")
+        web_lines.extend("  " + s for s in subs)
+        web_lines.append(";")
+
+    for index in range(papers):
+        title = f"{_TITLES[index % len(_TITLES)]} {index // len(_TITLES) + 1}"
+        author_fl = _AUTHORS[index % len(_AUTHORS)]  # 'First Last'
+        first, last = author_fl.rsplit(" ", 1)
+        author_lf = f"{last}, {first}"
+        venue = rng.choice(_VENUES)
+        year = rng.randint(1990, 1996)
+        roll = rng.random()
+        if roll < overlap_fraction:
+            paper.insert(title, author_fl, venue, year)
+            add_web_entry(index, title, author_lf, year)
+        elif roll < overlap_fraction + (1 - overlap_fraction) / 2:
+            paper.insert(title, author_fl, venue, year)
+        else:
+            add_web_entry(index, title, author_lf, year)
+
+    deptbib = RelationalWrapper("deptbib", db)
+    webbib = OEMStoreWrapper(
+        "webbib", parse_oem("\n".join(web_lines)) if web_lines else []
+    )
+    registry.register(deptbib)
+    registry.register(webbib)
+    mediator = Mediator("bib", BIB_SPEC, registry, externals)
+    return BibliographyScenario(registry, deptbib, webbib, mediator, externals)

@@ -1,0 +1,99 @@
+"""A three-source scenario for join-order experiments.
+
+Three campus sources of very different sizes joined on person name:
+
+* ``hr``      — large: one ``person`` object per member of staff
+  (name, dept);
+* ``badges``  — same size, but the gold-level filter is highly
+  selective (few gold badges);
+* ``parking`` — medium: a ``spot`` object for roughly half the staff.
+
+The ``campus`` mediator's ``gold_member`` view joins all three.  The
+interesting property: counting constant conditions (the paper's ad-hoc
+heuristic) ties the ``hr`` pattern (``dept 'eng'``, ~50% selective)
+with the ``badges`` pattern (``level 'gold'``, ~2% selective), so the
+heuristic can start from the wrong source, while a cost-based order
+informed by statistics starts from ``badges`` — the experiment behind
+``bench_join_order_exhaustive``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.external.registry import ExternalRegistry, default_registry
+from repro.mediator.mediator import Mediator
+from repro.oem.builders import atom, obj
+from repro.wrappers.oem_wrapper import OEMStoreWrapper
+from repro.wrappers.registry import SourceRegistry
+
+__all__ = ["CampusScenario", "CAMPUS_SPEC", "build_campus_scenario"]
+
+CAMPUS_SPEC = """
+<gold_member {<name N> <dept D> <lot L>}> :-
+    <person {<name N> <dept 'eng'> | R1}>@hr
+    AND <badge {<name N> <level 'gold'>}>@badges
+    AND <spot {<name N> <lot L>}>@parking
+    AND <person {<name N> <dept D>}>@hr ;
+"""
+
+
+@dataclass
+class CampusScenario:
+    registry: SourceRegistry
+    hr: OEMStoreWrapper
+    badges: OEMStoreWrapper
+    parking: OEMStoreWrapper
+    mediator: Mediator
+    externals: ExternalRegistry
+
+
+def build_campus_scenario(
+    people: int = 300,
+    gold_fraction: float = 0.02,
+    eng_fraction: float = 0.5,
+    parking_fraction: float = 0.5,
+    seed: int = 42,
+    strategy: str = "heuristic",
+) -> CampusScenario:
+    """Build the three sources and the campus mediator.
+
+    >>> scenario = build_campus_scenario(50)
+    >>> scenario.mediator.name
+    'campus'
+    """
+    rng = random.Random(seed)
+    registry = SourceRegistry()
+    externals = default_registry()
+
+    hr_objects = []
+    badge_objects = []
+    parking_objects = []
+    for index in range(people):
+        name = f"member{index}"
+        dept = "eng" if rng.random() < eng_fraction else "admin"
+        hr_objects.append(obj("person", atom("name", name), atom("dept", dept)))
+        level = "gold" if rng.random() < gold_fraction else "blue"
+        badge_objects.append(
+            obj("badge", atom("name", name), atom("level", level))
+        )
+        if rng.random() < parking_fraction:
+            parking_objects.append(
+                obj(
+                    "spot",
+                    atom("name", name),
+                    atom("lot", f"L{index % 7}"),
+                )
+            )
+
+    hr = OEMStoreWrapper("hr", hr_objects)
+    badges = OEMStoreWrapper("badges", badge_objects)
+    parking = OEMStoreWrapper("parking", parking_objects)
+    registry.register(hr)
+    registry.register(badges)
+    registry.register(parking)
+    mediator = Mediator(
+        "campus", CAMPUS_SPEC, registry, externals, strategy=strategy
+    )
+    return CampusScenario(registry, hr, badges, parking, mediator, externals)

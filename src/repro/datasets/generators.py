@@ -1,0 +1,116 @@
+"""Synthetic OEM workload generators for benchmarks and property tests.
+
+These produce forests with controlled size, fan-out, depth, and label
+vocabulary, so benchmark sweeps can isolate one variable at a time
+(source cardinality for join benchmarks, nesting depth for wildcard
+benchmarks, irregularity for Rest-variable benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.oem.builders import atom, obj
+from repro.oem.model import OEMObject
+
+__all__ = [
+    "random_forest",
+    "deep_object",
+    "record_forest",
+    "LABELS",
+]
+
+#: Default label vocabulary for random structures.
+LABELS = [
+    "person", "name", "dept", "relation", "year", "title", "e_mail",
+    "office", "project", "member", "budget", "address", "city", "zip",
+]
+
+
+def record_forest(
+    count: int,
+    fields: Sequence[tuple[str, str]] = (
+        ("name", "string"),
+        ("dept", "string"),
+        ("year", "integer"),
+    ),
+    label: str = "person",
+    seed: int = 0,
+    irregular_fraction: float = 0.0,
+) -> list[OEMObject]:
+    """``count`` flat record objects with the given fields.
+
+    With ``irregular_fraction`` > 0, that fraction of records randomly
+    drop one field and/or gain an extra one — the paper's
+    semi-structured irregularity.
+    """
+    rng = random.Random(seed)
+    forest: list[OEMObject] = []
+    for index in range(count):
+        children = []
+        present = list(fields)
+        irregular = rng.random() < irregular_fraction
+        if irregular and len(present) > 1:
+            present.pop(rng.randrange(len(present)))
+        for field_name, field_type in present:
+            if field_type == "integer":
+                children.append(atom(field_name, index % 7, oid=None))
+            else:
+                children.append(
+                    atom(field_name, f"{field_name}_{index}", oid=None)
+                )
+        if irregular:
+            children.append(atom("extra", f"extra_{index}"))
+        forest.append(obj(label, *children))
+    return forest
+
+
+def deep_object(
+    depth: int,
+    fanout: int = 2,
+    label: str = "node",
+    leaf_label: str = "leaf",
+    leaf_value: object = "x",
+) -> OEMObject:
+    """A nesting chain/tree of the given depth (wildcard benchmarks).
+
+    Depth 1 is a single atomic object.  The unique deepest leaf carries
+    ``leaf_label``/``leaf_value`` so a descendant search has exactly one
+    target.
+    """
+    current = atom(leaf_label, leaf_value)
+    for level in range(2, depth + 1):
+        children = [current]
+        children.extend(
+            atom("filler", f"f{level}_{i}") for i in range(fanout - 1)
+        )
+        current = obj(label, *children)
+    return current
+
+
+def random_forest(
+    count: int,
+    max_depth: int = 3,
+    max_fanout: int = 4,
+    seed: int = 0,
+    labels: Sequence[str] = tuple(LABELS),
+) -> list[OEMObject]:
+    """``count`` random nested objects (fuzzing and robustness tests)."""
+    rng = random.Random(seed)
+
+    def build(depth: int) -> OEMObject:
+        label = rng.choice(labels)
+        if depth >= max_depth or rng.random() < 0.4:
+            kind = rng.randrange(3)
+            if kind == 0:
+                return atom(label, f"v{rng.randrange(1000)}")
+            if kind == 1:
+                return atom(label, rng.randrange(100))
+            return atom(label, rng.random() < 0.5)
+        children = [
+            build(depth + 1) for _ in range(rng.randrange(1, max_fanout + 1))
+        ]
+        return obj(label, *children)
+
+    return [build(1) for _ in range(count)]

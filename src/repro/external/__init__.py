@@ -1,0 +1,37 @@
+"""External predicates: registry, declarations, standard functions."""
+
+from repro.external.functions import (
+    STANDARD_FUNCTIONS,
+    add,
+    check_name_lnfn,
+    concat,
+    lnfn_to_name,
+    name_to_lnfn,
+    split_at,
+    string_of,
+    to_lower,
+    to_upper,
+)
+from repro.external.registry import (
+    ExternalFunctionError,
+    ExternalRegistry,
+    Implementation,
+    default_registry,
+)
+
+__all__ = [
+    "STANDARD_FUNCTIONS",
+    "ExternalFunctionError",
+    "ExternalRegistry",
+    "Implementation",
+    "add",
+    "check_name_lnfn",
+    "concat",
+    "default_registry",
+    "lnfn_to_name",
+    "name_to_lnfn",
+    "split_at",
+    "string_of",
+    "to_lower",
+    "to_upper",
+]

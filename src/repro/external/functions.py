@@ -1,0 +1,136 @@
+"""Standard external functions, including the paper's ``decomp`` pair.
+
+The paper's running example declares
+
+.. code-block:: text
+
+    EXT decomp(bound, free, free) BY name_to_lnfn
+    EXT decomp(free, bound, bound) BY lnfn_to_name
+
+``name_to_lnfn`` decomposes a full name into (last, first);
+``lnfn_to_name`` composes (last, first) back into a full name.  We add a
+small library of similar value-translation functions that mediator
+authors typically need (case normalisation, concatenation, arithmetic),
+all usable through ``EXT`` declarations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = [
+    "name_to_lnfn",
+    "lnfn_to_name",
+    "check_name_lnfn",
+    "to_upper",
+    "to_lower",
+    "concat",
+    "split_at",
+    "string_of",
+    "add",
+    "STANDARD_FUNCTIONS",
+]
+
+
+def name_to_lnfn(name: object) -> list[tuple[str, str]]:
+    """Decompose a full name into (last_name, first_name).
+
+    The convention of the paper's sources: a full name is written
+    ``'First Last'`` (possibly with middle parts attached to the first
+    name), so ``'Joe Chung'`` decomposes to ``('Chung', 'Joe')``.
+    Non-strings and unsplittable names yield no decomposition (the
+    predicate simply fails, as a predicate should).
+    """
+    if not isinstance(name, str):
+        return []
+    parts = name.strip().rsplit(" ", 1)
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        return []
+    first, last = parts
+    return [(last, first)]
+
+
+def lnfn_to_name(last: object, first: object) -> list[tuple[str]]:
+    """Compose (last_name, first_name) into the full name ``'First Last'``."""
+    if not isinstance(last, str) or not isinstance(first, str):
+        return []
+    if not last or not first:
+        return []
+    return [(f"{first} {last}",)]
+
+
+def check_name_lnfn(name: object, last: object, first: object) -> bool:
+    """Fully-bound check that ``name`` decomposes into (last, first).
+
+    The paper's footnote 2: "if the implementor had provided a function
+    check_name_lnfn that is called with all three parameters bound, we
+    would simply call it".
+    """
+    return name_to_lnfn(name) == [(last, first)]
+
+
+def to_upper(value: object) -> list[tuple[str]]:
+    """Uppercase a string (adornment ``(bound, free)``)."""
+    if not isinstance(value, str):
+        return []
+    return [(value.upper(),)]
+
+
+def to_lower(value: object) -> list[tuple[str]]:
+    """Lowercase a string (adornment ``(bound, free)``)."""
+    if not isinstance(value, str):
+        return []
+    return [(value.lower(),)]
+
+
+def concat(left: object, right: object) -> list[tuple[str]]:
+    """Concatenate two strings (adornment ``(bound, bound, free)``)."""
+    if not isinstance(left, str) or not isinstance(right, str):
+        return []
+    return [(left + right,)]
+
+
+def split_at(value: object, separator: object) -> list[tuple[str, str]]:
+    """Split ``value`` at the first ``separator``.
+
+    Adornment ``(bound, bound, free, free)``.  Fails when the separator
+    does not occur.
+    """
+    if not isinstance(value, str) or not isinstance(separator, str):
+        return []
+    head, sep, tail = value.partition(separator)
+    if not sep:
+        return []
+    return [(head, tail)]
+
+
+def string_of(value: object) -> list[tuple[str]]:
+    """Render any atom as a string (adornment ``(bound, free)``)."""
+    if isinstance(value, bool):
+        return [("true" if value else "false",)]
+    return [(str(value),)]
+
+
+def add(left: object, right: object) -> list[tuple[object]]:
+    """Numeric addition (adornment ``(bound, bound, free)``)."""
+    if not isinstance(left, (int, float)) or not isinstance(
+        right, (int, float)
+    ):
+        return []
+    if isinstance(left, bool) or isinstance(right, bool):
+        return []
+    return [(left + right,)]
+
+
+#: Functions preregistered in :func:`repro.external.registry.default_registry`.
+STANDARD_FUNCTIONS: dict[str, Callable[..., object]] = {
+    "name_to_lnfn": name_to_lnfn,
+    "lnfn_to_name": lnfn_to_name,
+    "check_name_lnfn": check_name_lnfn,
+    "to_upper": to_upper,
+    "to_lower": to_lower,
+    "concat": concat,
+    "split_at": split_at,
+    "string_of": string_of,
+    "add": add,
+}

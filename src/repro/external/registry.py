@@ -1,0 +1,257 @@
+"""Registry of external predicates and their directional implementations.
+
+The paper (Section 2, "External Predicates"): an external predicate such
+as ``decomp(N, LN, FN)`` "is implemented as a pair of functions ...
+defined in the mediator specification".  Each implementation is declared
+for an *adornment* — which arguments it needs bound ('b') and which it
+produces ('f').  At execution time the engine picks an implementation
+whose bound arguments are available ("having more than one function for
+decomp gives flexibility at execution time"); when *all* arguments are
+bound, any implementation can be used as a membership check (footnote 2).
+
+Implementations are plain Python callables registered under a name.  A
+callable receives the bound arguments in argument order and returns an
+iterable of tuples for the free arguments (or, for fully-bound
+adornments, a boolean).  Returning a single tuple / atom instead of an
+iterable of tuples is accepted and normalised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "ExternalFunctionError",
+    "Implementation",
+    "ExternalRegistry",
+    "default_registry",
+]
+
+
+class ExternalFunctionError(Exception):
+    """An external function is missing, misdeclared, or misbehaved."""
+
+
+@dataclass(frozen=True, slots=True)
+class Implementation:
+    """One registered implementation of a predicate for one adornment."""
+
+    predicate: str
+    adornment: tuple[str, ...]
+    function_name: str
+    function: Callable[..., object]
+
+    @property
+    def bound_positions(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, a in enumerate(self.adornment) if a == "b"
+        )
+
+    @property
+    def free_positions(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, a in enumerate(self.adornment) if a == "f"
+        )
+
+    def matches(self, bound: Sequence[bool]) -> bool:
+        """Is this implementation callable given availability ``bound``?
+
+        An argument declared bound must be available; an argument
+        declared free may be available (we then post-filter on it).
+        """
+        if len(bound) != len(self.adornment):
+            return False
+        return all(
+            available or letter == "f"
+            for available, letter in zip(bound, self.adornment)
+        )
+
+    def specificity(self, bound: Sequence[bool]) -> int:
+        """Prefer implementations that consume more of what's bound."""
+        return sum(
+            1
+            for available, letter in zip(bound, self.adornment)
+            if available and letter == "b"
+        )
+
+
+class ExternalRegistry:
+    """Maps function names to callables and predicates to implementations.
+
+    A mediator specification's ``EXT`` declarations name functions; the
+    host application registers the actual Python callables here.  The
+    split keeps specifications declarative while letting functions be
+    "in principle written in any programming language".
+    """
+
+    def __init__(self) -> None:
+        self._functions: dict[str, Callable[..., object]] = {}
+        self._implementations: dict[str, list[Implementation]] = {}
+
+    # -- function-level API ----------------------------------------------
+
+    def register_function(
+        self, name: str, function: Callable[..., object]
+    ) -> None:
+        """Register a callable under ``name`` (referenced by EXT ... BY name)."""
+        if name in self._functions:
+            raise ExternalFunctionError(
+                f"function {name!r} is already registered"
+            )
+        self._functions[name] = function
+
+    def function(self, name: str) -> Callable[..., object]:
+        func = self._functions.get(name)
+        if func is None:
+            raise ExternalFunctionError(
+                f"no registered function named {name!r}"
+            )
+        return func
+
+    def has_function(self, name: str) -> bool:
+        return name in self._functions
+
+    # -- declaration-level API ---------------------------------------------
+
+    def declare(
+        self, predicate: str, adornment: Sequence[str], function_name: str
+    ) -> None:
+        """Attach a declared implementation to ``predicate``.
+
+        Called by the mediator when it loads a specification's ``EXT``
+        declarations.
+        """
+        impl = Implementation(
+            predicate,
+            tuple(adornment),
+            function_name,
+            self.function(function_name),
+        )
+        self._implementations.setdefault(predicate, []).append(impl)
+
+    def implementations(self, predicate: str) -> list[Implementation]:
+        return list(self._implementations.get(predicate, []))
+
+    def select(
+        self, predicate: str, bound: Sequence[bool]
+    ) -> Implementation:
+        """Pick the best implementation callable with availability ``bound``.
+
+        Raises when no declared implementation fits — the rule is then
+        unexecutable in that join order and the optimizer must reorder.
+        """
+        candidates = [
+            impl
+            for impl in self._implementations.get(predicate, [])
+            if impl.matches(bound)
+        ]
+        if not candidates:
+            raise ExternalFunctionError(
+                f"no implementation of {predicate!r} callable with"
+                f" bound-pattern {''.join('b' if b else 'f' for b in bound)}"
+            )
+        return max(candidates, key=lambda impl: impl.specificity(bound))
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(
+        self,
+        predicate: str,
+        args: Sequence[object],
+        available: Sequence[bool],
+    ) -> Iterable[tuple[object, ...]]:
+        """Evaluate ``predicate`` and yield full argument tuples.
+
+        ``args[i]`` holds the current value when ``available[i]``; free
+        outputs are filled from the implementation's results.  Arguments
+        that were available but declared free are post-filtered.
+        """
+        impl = self.select(predicate, available)
+        call_args = [args[i] for i in impl.bound_positions]
+        try:
+            raw = impl.function(*call_args)
+        except Exception as exc:  # surface with context, keep cause
+            raise ExternalFunctionError(
+                f"external function {impl.function_name!r} raised: {exc}"
+            ) from exc
+
+        free = impl.free_positions
+        for out in _normalise(raw, len(free), impl):
+            full = list(args)
+            ok = True
+            for position, value in zip(free, out):
+                if available[position]:
+                    if full[position] != value:
+                        ok = False
+                        break
+                else:
+                    full[position] = value
+            if ok:
+                yield tuple(full)
+
+    def copy(self) -> "ExternalRegistry":
+        """An independent copy (used to sandbox per-mediator declarations)."""
+        clone = ExternalRegistry()
+        clone._functions = dict(self._functions)
+        clone._implementations = {
+            predicate: list(impls)
+            for predicate, impls in self._implementations.items()
+        }
+        return clone
+
+
+def _normalise(
+    raw: object, free_count: int, impl: Implementation
+) -> Iterable[tuple[object, ...]]:
+    """Coerce an implementation's return value into tuples of free values."""
+    if free_count == 0:
+        # fully bound: the function is a membership check
+        if isinstance(raw, bool):
+            return [()] if raw else []
+        raise ExternalFunctionError(
+            f"{impl.function_name!r} with fully-bound adornment must"
+            f" return bool, got {raw!r}"
+        )
+    if raw is None or raw is False:
+        return []
+    if isinstance(raw, tuple) and len(raw) == free_count:
+        return [raw]
+    if isinstance(raw, (str, bytes, int, float, bool)):
+        if free_count == 1:
+            return [(raw,)]
+        raise ExternalFunctionError(
+            f"{impl.function_name!r} returned a single atom but"
+            f" {free_count} free arguments are declared"
+        )
+    if isinstance(raw, Iterable):
+        rows: list[tuple[object, ...]] = []
+        for row in raw:
+            if isinstance(row, tuple):
+                if len(row) != free_count:
+                    raise ExternalFunctionError(
+                        f"{impl.function_name!r} yielded a tuple of arity"
+                        f" {len(row)}, expected {free_count}"
+                    )
+                rows.append(row)
+            elif free_count == 1:
+                rows.append((row,))
+            else:
+                raise ExternalFunctionError(
+                    f"{impl.function_name!r} yielded {row!r}, expected"
+                    f" {free_count}-tuples"
+                )
+        return rows
+    raise ExternalFunctionError(
+        f"{impl.function_name!r} returned unsupported value {raw!r}"
+    )
+
+
+def default_registry() -> ExternalRegistry:
+    """A registry preloaded with the standard library of functions."""
+    from repro.external import functions
+
+    registry = ExternalRegistry()
+    for name, func in functions.STANDARD_FUNCTIONS.items():
+        registry.register_function(name, func)
+    return registry

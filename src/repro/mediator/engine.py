@@ -1,0 +1,124 @@
+"""The datamerge engine: bottom-up execution of physical graphs.
+
+Third stage of the MSI pipeline (Figure 2.5): "the datamerge engine
+executes the plan and produces the required result objects".  Execution
+is bottom-up over the plan's topological order, exactly as the paper
+walks Figure 3.6 ("the datamerge engine executes the graph in a
+bottom-up fashion; first, the lower query node is executed ...").
+
+The :class:`ExecutionContext` carries everything nodes need: the source
+registry for shipping queries, the external-function registry, an oid
+generator for constructed objects, optional statistics feedback, and —
+when tracing is on — the intermediate table of every node, which is how
+tests and benchmarks replay the figure's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.mediator.plan import PhysicalPlan, PlanNode
+from repro.mediator.tables import BindingTable
+from repro.msl.ast import PatternCondition, Rule
+from repro.oem.model import OEMObject
+from repro.oem.oid import OidGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.external.registry import ExternalRegistry
+    from repro.mediator.statistics import SourceStatistics
+    from repro.wrappers.registry import SourceRegistry
+
+__all__ = ["ExecutionContext", "DatamergeEngine", "TraceEntry"]
+
+
+@dataclass
+class TraceEntry:
+    """One executed node with its output table."""
+
+    node: PlanNode
+    table: BindingTable
+
+    def render(self) -> str:
+        return f"{self.node.describe()}\n{self.table.render()}"
+
+
+@dataclass
+class ExecutionContext:
+    """Shared state for one plan execution."""
+
+    sources: "SourceRegistry"
+    externals: "ExternalRegistry"
+    oidgen: OidGenerator = field(default_factory=lambda: OidGenerator("&m"))
+    statistics: "SourceStatistics | None" = None
+    trace: list[TraceEntry] | None = None
+    queries_sent: dict[str, int] = field(default_factory=dict)
+    objects_received: dict[str, int] = field(default_factory=dict)
+
+    def send_query(self, source_name: str, query: Rule) -> list[OEMObject]:
+        """Ship ``query`` to a source, with accounting and statistics."""
+        source = self.sources.resolve(source_name)
+        result = source.answer(query)
+        self.queries_sent[source_name] = (
+            self.queries_sent.get(source_name, 0) + 1
+        )
+        self.objects_received[source_name] = (
+            self.objects_received.get(source_name, 0) + len(result)
+        )
+        if self.statistics is not None:
+            for condition in query.tail:
+                if isinstance(condition, PatternCondition):
+                    self.statistics.record(
+                        source_name, condition.pattern, len(result)
+                    )
+        return result
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self.queries_sent.values())
+
+    @property
+    def total_objects(self) -> int:
+        return sum(self.objects_received.values())
+
+
+class DatamergeEngine:
+    """Executes physical datamerge plans."""
+
+    def __init__(self, trace: bool = False) -> None:
+        self.trace_enabled = trace
+        self.last_trace: list[TraceEntry] = []
+
+    def execute(
+        self, plan: PhysicalPlan, context: ExecutionContext
+    ) -> BindingTable:
+        """Run ``plan`` bottom-up; return the root's output table."""
+        if self.trace_enabled and context.trace is None:
+            context.trace = []
+        outputs: dict[int, BindingTable] = {}
+        for node in plan.nodes():
+            inputs = [outputs[id(child)] for child in node.inputs]
+            table = node.execute(inputs, context)
+            outputs[id(node)] = table
+            if context.trace is not None:
+                context.trace.append(TraceEntry(node, table))
+        if context.trace is not None:
+            self.last_trace = context.trace
+        return outputs[id(plan.root)]
+
+    def execute_to_objects(
+        self, plan: PhysicalPlan, context: ExecutionContext
+    ) -> list[OEMObject]:
+        """Run ``plan`` and return the result objects of the root table."""
+        table = self.execute(plan, context)
+        column = table.position(table.columns[0])
+        objects: list[OEMObject] = []
+        for row in table.rows:
+            value = row[column]
+            if isinstance(value, OEMObject):
+                objects.append(value)
+        return objects
+
+    def render_trace(self) -> str:
+        """The Figure 3.6 walkthrough: every node with its table."""
+        return "\n\n".join(entry.render() for entry in self.last_trace)

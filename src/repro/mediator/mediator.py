@@ -1,0 +1,322 @@
+"""The Mediator facade: MedMaker's user-visible object.
+
+A :class:`Mediator` is constructed from an MSL specification (text or
+parsed), a :class:`~repro.wrappers.registry.SourceRegistry`, and an
+external-function registry.  It is itself a
+:class:`~repro.wrappers.base.Source`, so mediators stack (Figure 1.1).
+
+``answer(query)`` runs the full MSI pipeline of Figure 2.5:
+
+1. the View Expander & Algebraic Optimizer rewrites the query into a
+   logical datamerge program (:mod:`repro.mediator.view_expander`);
+2. the cost-based optimizer builds a physical datamerge graph
+   (:mod:`repro.mediator.optimizer`);
+3. the datamerge engine executes it (:mod:`repro.mediator.engine`).
+
+Two query classes bypass the pipeline, both by *materializing* the view
+and matching locally:
+
+* queries using descendant (``..``) wildcard items against the mediator —
+  static pushdown of "match at any depth" has no sound rewriting into
+  the rule tails, so the mediator does the honest expensive thing (the
+  paper: "without appropriate index structures, wildcard searches may be
+  expensive");
+* queries against a *recursive* specification (a rule tail that
+  references the mediator itself).  MSL "allows the specification of
+  recursive views"; these are evaluated by naive fixpoint iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.external.registry import ExternalRegistry, default_registry
+from repro.mediator.engine import DatamergeEngine, ExecutionContext
+from repro.mediator.fusion import fuse_objects, has_semantic_oids
+from repro.mediator.logical import LogicalDatamergeProgram, LogicalRule
+from repro.mediator.optimizer import CostBasedOptimizer
+from repro.mediator.statistics import SourceStatistics
+from repro.mediator.view_expander import ViewExpander
+from repro.msl.analysis import check_rule, check_specification_rule
+from repro.msl.ast import (
+    Pattern,
+    PatternCondition,
+    PatternItem,
+    Rule,
+    SetPattern,
+    Specification,
+)
+from repro.msl.errors import MSLSemanticError
+from repro.msl.evaluate import evaluate_rule
+from repro.msl.parser import parse_specification
+from repro.oem.compare import eliminate_duplicates, structural_key
+from repro.oem.model import OEMObject
+from repro.oem.oid import OidGenerator
+from repro.wrappers.base import Source, SourceError
+from repro.wrappers.registry import SourceRegistry
+
+__all__ = ["Mediator", "MediatorError"]
+
+
+class MediatorError(SourceError):
+    """The mediator could not be built or could not serve a query."""
+
+
+class Mediator(Source):
+    """A declaratively specified integration view over registered sources."""
+
+    def __init__(
+        self,
+        name: str,
+        specification: str | Specification,
+        sources: SourceRegistry,
+        externals: ExternalRegistry | None = None,
+        push_mode: str = "complete",
+        strategy: str = "heuristic",
+        deduplicate: bool = True,
+        trace: bool = False,
+        register: bool = True,
+        max_fixpoint_iterations: int = 50,
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise MediatorError(f"invalid mediator name {name!r}")
+        self.name = name
+        if isinstance(specification, str):
+            specification = parse_specification(specification)
+        if not specification.rules:
+            raise MediatorError("a mediator specification needs rules")
+        for rule in specification.rules:
+            check_specification_rule(rule)
+        self.specification = specification
+        self.sources = sources
+
+        registry = (externals or default_registry()).copy()
+        for decl in specification.externals:
+            registry.declare(decl.predicate, decl.adornment, decl.function)
+        self.externals = registry
+
+        self.statistics = SourceStatistics()
+        self.expander = ViewExpander(name, specification, push_mode)
+        self.optimizer = CostBasedOptimizer(
+            sources, self.statistics, strategy, deduplicate
+        )
+        self.optimizer.bind_external_registry(registry)
+        self.engine = DatamergeEngine(trace)
+        self.max_fixpoint_iterations = max_fixpoint_iterations
+        self._oidgen = OidGenerator(f"&{name}_")
+
+        self.is_recursive = any(
+            condition.source == name
+            for rule in specification.rules
+            for condition in rule.tail
+            if isinstance(condition, PatternCondition)
+        )
+
+        self.last_program: LogicalDatamergeProgram | None = None
+        self.last_context: ExecutionContext | None = None
+
+        if register:
+            sources.register(self)
+
+    # -- the Source interface --------------------------------------------
+
+    def answer(self, query: str | Rule) -> list[OEMObject]:
+        """Answer an MSL query against this mediator's view."""
+        if isinstance(query, str):
+            from repro.msl.parser import parse_query
+
+            query = parse_query(query)
+        check_rule(query, is_query=True)
+
+        if (
+            self.is_recursive
+            or _query_uses_wildcards(query, self.name)
+            or _query_constrains_types(query, self.name)
+        ):
+            return self._answer_by_materialization(query)
+
+        program = self.expander.expand(query)
+        self.last_program = program
+        plan = self.optimizer.plan_program(program)
+        context = self._context()
+        objects = self.engine.execute_to_objects(plan, context)
+        self.last_context = context
+        if has_semantic_oids(objects):
+            objects = fuse_objects(objects)
+        return objects
+
+    def export(self) -> Sequence[OEMObject]:
+        """Materialize the whole view (all rules, no conditions)."""
+        if self.is_recursive:
+            return self._fixpoint_materialize()
+        results: list[OEMObject] = []
+        context = self._context()
+        for rule in self.specification.rules:
+            plan = self.optimizer.plan_rule(LogicalRule(rule))
+            results.extend(self.engine.execute_to_objects(plan, context))
+        self.last_context = context
+        results = eliminate_duplicates(results)
+        if has_semantic_oids(results):
+            results = fuse_objects(results)
+        return results
+
+    # -- introspection -----------------------------------------------------
+
+    def explain(self, query: str | Rule) -> str:
+        """The logical program and physical plan for ``query`` as text."""
+        if isinstance(query, str):
+            from repro.msl.parser import parse_query
+
+            query = parse_query(query)
+        program = self.expander.expand(query)
+        plan = self.optimizer.plan_program(program)
+        return (
+            f"-- logical datamerge program ({len(program)} rule(s)) --\n"
+            f"{program}\n\n"
+            f"-- physical datamerge graph --\n"
+            f"{plan.describe()}"
+        )
+
+    def _context(self) -> ExecutionContext:
+        return ExecutionContext(
+            sources=self.sources,
+            externals=self.externals,
+            oidgen=self._oidgen,
+            statistics=self.statistics,
+            trace=[] if self.engine.trace_enabled else None,
+        )
+
+    # -- materialization paths ---------------------------------------------
+
+    def _answer_by_materialization(self, query: Rule) -> list[OEMObject]:
+        view = list(self.export())
+        forests: dict[str | None, Sequence[OEMObject]] = {
+            None: view,
+            self.name: view,
+        }
+        for condition in query.tail:
+            if isinstance(condition, PatternCondition) and condition.source:
+                if condition.source == self.name:
+                    continue
+                forests[condition.source] = self.sources.resolve(
+                    condition.source
+                ).export()
+        return evaluate_rule(
+            query, forests, self.externals, self._oidgen, check=False
+        )
+
+    def _fixpoint_materialize(self) -> list[OEMObject]:
+        """Naive fixpoint for recursive specifications.
+
+        Evaluates all rules against (source exports + current view)
+        until the view stops changing; raises after
+        ``max_fixpoint_iterations`` rounds (a recursive OEM view can be
+        genuinely infinite — e.g. ever-deeper nesting).
+        """
+        base_forests: dict[str | None, Sequence[OEMObject]] = {}
+        for rule in self.specification.rules:
+            for condition in rule.tail:
+                if (
+                    isinstance(condition, PatternCondition)
+                    and condition.source
+                    and condition.source != self.name
+                    and condition.source not in base_forests
+                ):
+                    base_forests[condition.source] = self.sources.resolve(
+                        condition.source
+                    ).export()
+
+        view: list[OEMObject] = []
+        seen_keys: set = set()
+        for _ in range(self.max_fixpoint_iterations):
+            forests = dict(base_forests)
+            forests[self.name] = view
+            forests[None] = view
+            new_objects: list[OEMObject] = []
+            for rule in self.specification.rules:
+                new_objects.extend(
+                    evaluate_rule(
+                        rule,
+                        forests,
+                        self.externals,
+                        self._oidgen,
+                        check=False,
+                    )
+                )
+            if has_semantic_oids(new_objects):
+                new_objects = fuse_objects(new_objects)
+            keys = {structural_key(obj) for obj in new_objects}
+            if keys <= seen_keys:
+                return view
+            merged = eliminate_duplicates(list(view) + new_objects)
+            if has_semantic_oids(merged):
+                merged = fuse_objects(merged)
+                merged = eliminate_duplicates(merged)
+            view = merged
+            seen_keys |= keys
+        raise MediatorError(
+            f"recursive view {self.name!r} did not reach a fixpoint in"
+            f" {self.max_fixpoint_iterations} iterations"
+        )
+
+
+def _query_constrains_types(query: Rule, mediator_name: str) -> bool:
+    """Does any mediator-addressed condition constrain a *type* slot?
+
+    Specification heads carry no type slot (view-object types follow
+    from the bound values), so type constraints cannot be verified by
+    static expansion; such queries are answered over the materialized
+    view, where the matcher checks types directly.
+    """
+
+    def pattern_has_type(pattern: Pattern) -> bool:
+        if pattern.type is not None:
+            return True
+        value = pattern.value
+        if isinstance(value, SetPattern):
+            for item in value.items:
+                if isinstance(item, PatternItem) and pattern_has_type(
+                    item.pattern
+                ):
+                    return True
+            if value.rest is not None:
+                return any(
+                    pattern_has_type(c) for c in value.rest.conditions
+                )
+        return False
+
+    for condition in query.tail:
+        if isinstance(condition, PatternCondition) and condition.source in (
+            None,
+            mediator_name,
+        ):
+            if pattern_has_type(condition.pattern):
+                return True
+    return False
+
+
+def _query_uses_wildcards(query: Rule, mediator_name: str) -> bool:
+    """Does any condition addressed to the mediator use ``..`` items?"""
+
+    def pattern_has_wildcard(pattern: Pattern) -> bool:
+        value = pattern.value
+        if not isinstance(value, SetPattern):
+            return False
+        for item in value.items:
+            if isinstance(item, PatternItem):
+                if item.descendant or pattern_has_wildcard(item.pattern):
+                    return True
+        if value.rest is not None:
+            return any(
+                pattern_has_wildcard(c) for c in value.rest.conditions
+            )
+        return False
+
+    for condition in query.tail:
+        if isinstance(condition, PatternCondition) and condition.source in (
+            None,
+            mediator_name,
+        ):
+            if pattern_has_wildcard(condition.pattern):
+                return True
+    return False

@@ -1,0 +1,688 @@
+"""The cost-based optimizer: logical datamerge rules -> physical graphs.
+
+Second stage of the MSI pipeline (Figure 2.5): "develops a plan for
+obtaining and combining the objects ... The plan specifies what queries
+will be sent to the sources, in what order they will be sent, and how
+the results of the queries will be combined."
+
+Three planning strategies are implemented, matching the knobs the paper
+discusses in Section 3.5:
+
+* ``"heuristic"`` (default) — the paper's ad-hoc heuristic: "the outer
+  patterns of the join order are the ones that have the greatest number
+  of conditions".  Subsequent patterns are fetched with *bind joins*
+  (parameterized queries), exactly the plan of Section 3.1.
+* ``"statistics"`` — join order by estimated cardinality from the
+  optimizer's own statistics database (built "on results of previous
+  queries and on sampling").
+* ``"exhaustive"`` — enumerate all pattern orders (practical up to ~7
+  patterns) and pick the minimum under a simple cost model: per step,
+  one query per outstanding binding plus the estimated objects shipped,
+  with a selectivity discount per bind-join variable.
+* ``"fetch_all"`` — the ablation baseline: every pattern is fetched
+  independently with only its own constants pushed down, and results
+  are combined with mediator-side hash joins.
+
+Source capabilities are honoured throughout: each pattern destined for a
+source is first :meth:`split <repro.wrappers.capability.Capability.split>`
+against that source's capability, and the residual conditions become
+mediator-side :class:`FilterNode`s (the compensation of [PGH]).
+
+The wire protocol is the paper's: a shipped query projects the needed
+bindings into a synthetic ``<bind_for_... {...}>`` object (Qw/Qcs of
+Section 3.1) and an extractor node recovers the bindings at the
+mediator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mediator.logical import LogicalDatamergeProgram, LogicalRule
+from repro.mediator.plan import (
+    ConstructorNode,
+    ExternalPredNode,
+    ExtractorNode,
+    FilterNode,
+    JoinNode,
+    ParameterizedQueryNode,
+    PhysicalPlan,
+    PlanNode,
+    QueryNode,
+    UnionNode,
+)
+from repro.mediator.statistics import (
+    SourceStatistics,
+    count_constant_conditions,
+)
+from repro.msl.ast import (
+    Comparison,
+    Const,
+    ExternalCall,
+    Param,
+    Pattern,
+    PatternCondition,
+    PatternItem,
+    RestSpec,
+    Rule,
+    SetPattern,
+    Term,
+    Var,
+    VarItem,
+)
+from repro.msl.errors import MSLSemanticError
+from repro.msl.substitute import pattern_variables, term_variables
+from repro.wrappers.registry import SourceRegistry
+
+__all__ = ["CostBasedOptimizer", "PlanningError", "STRATEGIES"]
+
+STRATEGIES = ("heuristic", "statistics", "exhaustive", "fetch_all")
+
+
+class PlanningError(MSLSemanticError):
+    """No executable plan exists for a logical rule."""
+
+
+@dataclass
+class _PendingPattern:
+    condition: PatternCondition
+    score: float
+
+
+class CostBasedOptimizer:
+    """Builds physical datamerge graphs for logical programs."""
+
+    def __init__(
+        self,
+        sources: SourceRegistry,
+        statistics: SourceStatistics | None = None,
+        strategy: str = "heuristic",
+        deduplicate: bool = True,
+        prune_with_facts: bool = True,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise PlanningError(
+                f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+            )
+        self.sources = sources
+        self.statistics = statistics or SourceStatistics()
+        self.strategy = strategy
+        self.deduplicate = deduplicate
+        self.prune_with_facts = prune_with_facts
+        self.rules_pruned = 0
+
+    # -- public API ------------------------------------------------------
+
+    def plan_program(
+        self, program: LogicalDatamergeProgram
+    ) -> PhysicalPlan:
+        """One plan for a whole logical program (union of rule plans).
+
+        Rules whose source patterns are *unsatisfiable* given the
+        sources' exported schema facts (footnote 1) are pruned before
+        planning — no query is ever shipped for them.
+        """
+        rules = [
+            rule for rule in program if self._rule_satisfiable(rule)
+        ]
+        self.rules_pruned = len(program) - len(rules)
+        if not rules:
+            return PhysicalPlan(UnionNode((), self.deduplicate))
+        roots = [self.plan_rule(rule).root for rule in rules]
+        if len(roots) == 1:
+            return PhysicalPlan(roots[0])
+        return PhysicalPlan(UnionNode(roots, self.deduplicate))
+
+    def _rule_satisfiable(self, logical: LogicalRule) -> bool:
+        """Could every source pattern of the rule possibly match?"""
+        if not self.prune_with_facts:
+            return True
+        from repro.wrappers.facts import pattern_satisfiable
+
+        for condition in logical.rule.tail:
+            if not isinstance(condition, PatternCondition):
+                continue
+            if condition.source is None or condition.source not in self.sources:
+                continue
+            facts = self.sources.resolve(condition.source).schema_facts
+            if not pattern_satisfiable(condition.pattern, facts):
+                return False
+        return True
+
+    def plan_rule(self, logical: LogicalRule | Rule) -> PhysicalPlan:
+        """A physical graph for one logical datamerge rule."""
+        rule = logical.rule if isinstance(logical, LogicalRule) else logical
+        patterns: list[PatternCondition] = []
+        externals: list[ExternalCall] = []
+        comparisons: list[Comparison] = []
+        for condition in rule.tail:
+            if isinstance(condition, PatternCondition):
+                if condition.source is None:
+                    raise PlanningError(
+                        f"logical rule pattern lacks a source: {condition}"
+                    )
+                patterns.append(condition)
+            elif isinstance(condition, ExternalCall):
+                externals.append(condition)
+            else:
+                comparisons.append(condition)
+        if not patterns:
+            raise PlanningError(f"logical rule has no source patterns: {rule}")
+
+        ordered = self._order_patterns(patterns)
+        if self.strategy == "fetch_all":
+            node = self._build_fetch_all(ordered, externals, comparisons)
+        else:
+            node = self._build_bind_join(ordered, externals, comparisons)
+        constructor = ConstructorNode(node, rule.head, self.deduplicate)
+        return PhysicalPlan(constructor)
+
+    # -- join ordering -----------------------------------------------------
+
+    def _order_patterns(
+        self, patterns: list[PatternCondition]
+    ) -> list[PatternCondition]:
+        if self.strategy == "exhaustive":
+            return self._best_order_by_cost(patterns)
+        if self.strategy == "statistics":
+            scored = [
+                _PendingPattern(
+                    p,
+                    self.statistics.estimate(p.source or "", p.pattern),
+                )
+                for p in patterns
+            ]
+            scored.sort(key=lambda pp: pp.score)  # smallest first
+            return [pp.condition for pp in scored]
+        # the paper's heuristic: most constant conditions first
+        scored = [
+            _PendingPattern(
+                p, -float(count_constant_conditions(p.pattern))
+            )
+            for p in patterns
+        ]
+        scored.sort(key=lambda pp: pp.score)
+        return [pp.condition for pp in scored]
+
+    def _best_order_by_cost(
+        self, patterns: list[PatternCondition]
+    ) -> list[PatternCondition]:
+        """Minimum-cost order over all permutations (§3.5's "select the
+        optimal graph", for the plan space this optimizer emits).
+
+        The cost model per step: one source query is sent for every
+        binding produced so far (bind joins are per-tuple), and the
+        objects shipped are the pattern's estimated result discounted by
+        ``selectivity`` per join variable already bound.  Falls back to
+        the heuristic order beyond 7 patterns (permutation blow-up).
+        """
+        import itertools as _it
+
+        if len(patterns) > 7:
+            saved, self.strategy = self.strategy, "heuristic"
+            try:
+                return self._order_patterns(patterns)
+            finally:
+                self.strategy = saved
+
+        selectivity = self.statistics.selectivity
+        estimates = [
+            self.statistics.estimate(p.source or "", p.pattern)
+            for p in patterns
+        ]
+        variables = [
+            _parameterizable_vars(p.pattern) | _rest_vars(p.pattern)
+            for p in patterns
+        ]
+
+        best_order: tuple[int, ...] | None = None
+        best_cost = float("inf")
+        for order in _it.permutations(range(len(patterns))):
+            bound: set[str] = set()
+            bindings = 1.0
+            cost = 0.0
+            for index in order:
+                shared = len(variables[index] & bound)
+                produced = max(
+                    estimates[index] * (selectivity**shared), 0.01
+                )
+                cost += bindings  # queries sent this step
+                cost += bindings * produced  # objects shipped
+                bindings *= produced
+                bound |= variables[index]
+                if cost >= best_cost:
+                    break
+            if cost < best_cost:
+                best_cost = cost
+                best_order = order
+        assert best_order is not None
+        return [patterns[i] for i in best_order]
+
+    def _shippable_comparisons(
+        self,
+        capability,
+        pattern_vars: set[str],
+        pending_comparisons: list[Comparison],
+    ) -> list[Comparison]:
+        """Comparisons this source can evaluate alongside the pattern.
+
+        A comparison ships when the source advertises
+        ``supports_comparisons``, every variable it mentions is bound by
+        the pattern itself, and it is not a capability *residual* (those
+        encode exactly what the source said it cannot filter; their
+        fresh variables are prefixed ``_Cap``).  Shipped comparisons are
+        removed from the pending list — the source does the filtering.
+        """
+        if not capability.supports_comparisons:
+            return []
+        shipped: list[Comparison] = []
+        for comparison in list(pending_comparisons):
+            needed = term_variables(comparison.left) | term_variables(
+                comparison.right
+            )
+            if not needed or not needed <= pattern_vars:
+                continue
+            if any(name.startswith("_Cap") for name in needed):
+                continue
+            shipped.append(comparison)
+            pending_comparisons.remove(comparison)
+        return shipped
+
+    # -- bind-join pipeline ----------------------------------------------------
+
+    def _build_bind_join(
+        self,
+        patterns: list[PatternCondition],
+        externals: list[ExternalCall],
+        comparisons: list[Comparison],
+    ) -> PlanNode:
+        node: PlanNode | None = None
+        bound: set[str] = set()
+        pending_externals = list(externals)
+        pending_comparisons = list(comparisons)
+
+        for condition in patterns:
+            source_name = condition.source
+            assert source_name is not None
+            capability = self.sources.resolve(source_name).capability
+            relaxed, residual = capability.split(condition.pattern)
+            pending_comparisons.extend(residual)
+
+            variables = sorted(pattern_variables(relaxed))
+            shipped = self._shippable_comparisons(
+                capability, set(variables), pending_comparisons
+            )
+            if node is None:
+                query = _projection_query(
+                    source_name, relaxed, variables, shipped
+                )
+                node = QueryNode(source_name, query)
+                node = ExtractorNode(
+                    node,
+                    _extractor_pattern(query.head[0], relaxed),  # type: ignore[arg-type]
+                    variables,
+                )
+            else:
+                param_vars = sorted(
+                    _parameterizable_vars(relaxed) & bound
+                )
+                if param_vars:
+                    template_pattern = _parameterize(relaxed, set(param_vars))
+                    out_vars = sorted(
+                        pattern_variables(template_pattern)
+                    )
+                    template = _projection_query(
+                        source_name, template_pattern, out_vars, shipped
+                    )
+                    node = ParameterizedQueryNode(
+                        node,
+                        source_name,
+                        template,
+                        {name: name for name in param_vars},
+                    )
+                    node = ExtractorNode(
+                        node,
+                        _extractor_pattern(
+                            template.head[0], template_pattern  # type: ignore[arg-type]
+                        ),
+                        out_vars,
+                    )
+                else:
+                    query = _projection_query(
+                        source_name, relaxed, variables, shipped
+                    )
+                    right: PlanNode = QueryNode(source_name, query)
+                    right = ExtractorNode(
+                        right,
+                        _extractor_pattern(query.head[0], relaxed),  # type: ignore[arg-type]
+                        variables,
+                    )
+                    node = JoinNode(node, right)
+            bound |= set(variables)
+            node = self._drain_ready(
+                node, bound, pending_externals, pending_comparisons
+            )
+
+        assert node is not None
+        node = self._drain_ready(
+            node, bound, pending_externals, pending_comparisons, final=True
+        )
+        return node
+
+    # -- fetch-all-and-join pipeline -----------------------------------------
+
+    def _build_fetch_all(
+        self,
+        patterns: list[PatternCondition],
+        externals: list[ExternalCall],
+        comparisons: list[Comparison],
+    ) -> PlanNode:
+        node: PlanNode | None = None
+        bound: set[str] = set()
+        pending_externals = list(externals)
+        pending_comparisons = list(comparisons)
+        for condition in patterns:
+            source_name = condition.source
+            assert source_name is not None
+            capability = self.sources.resolve(source_name).capability
+            relaxed, residual = capability.split(condition.pattern)
+            pending_comparisons.extend(residual)
+            variables = sorted(pattern_variables(relaxed))
+            shipped = self._shippable_comparisons(
+                capability, set(variables), pending_comparisons
+            )
+            query = _projection_query(source_name, relaxed, variables, shipped)
+            leaf: PlanNode = QueryNode(source_name, query)
+            leaf = ExtractorNode(
+                leaf,
+                _extractor_pattern(query.head[0], relaxed),  # type: ignore[arg-type]
+                variables,
+            )
+            node = leaf if node is None else JoinNode(node, leaf)
+            bound |= set(variables)
+            node = self._drain_ready(
+                node, bound, pending_externals, pending_comparisons
+            )
+        assert node is not None
+        node = self._drain_ready(
+            node, bound, pending_externals, pending_comparisons, final=True
+        )
+        return node
+
+    # -- placing externals and comparisons ---------------------------------------
+
+    def _drain_ready(
+        self,
+        node: PlanNode,
+        bound: set[str],
+        pending_externals: list[ExternalCall],
+        pending_comparisons: list[Comparison],
+        final: bool = False,
+    ) -> PlanNode:
+        """Attach every external/comparison evaluable with ``bound`` vars."""
+        progress = True
+        while progress:
+            progress = False
+            for comparison in list(pending_comparisons):
+                needed = term_variables(comparison.left) | term_variables(
+                    comparison.right
+                )
+                if needed <= bound:
+                    node = FilterNode(node, comparison)
+                    pending_comparisons.remove(comparison)
+                    progress = True
+            for call in list(pending_externals):
+                if self._external_ready(call, bound):
+                    node = ExternalPredNode(node, call)
+                    pending_externals.remove(call)
+                    bound |= {
+                        arg.name
+                        for arg in call.args
+                        if isinstance(arg, Var) and not arg.is_anonymous
+                    }
+                    progress = True
+        if final and (pending_externals or pending_comparisons):
+            leftovers = [str(c) for c in pending_externals] + [
+                str(c) for c in pending_comparisons
+            ]
+            raise PlanningError(
+                f"conditions cannot be scheduled: {leftovers} (variables"
+                f" bound by the plan: {sorted(bound)})"
+            )
+        return node
+
+    def _external_ready(self, call: ExternalCall, bound: set[str]) -> bool:
+        from repro.external.registry import ExternalFunctionError
+
+        availability = [
+            isinstance(arg, Const)
+            or (
+                isinstance(arg, Var)
+                and not arg.is_anonymous
+                and arg.name in bound
+            )
+            for arg in call.args
+        ]
+        registry = getattr(self, "_external_registry", None)
+        if registry is None:
+            # without a registry we optimistically require at least one
+            # bound argument (a fully-free call explodes)
+            return any(availability)
+        try:
+            registry.select(call.name, availability)
+        except ExternalFunctionError:
+            return False
+        return True
+
+    def bind_external_registry(self, registry) -> None:
+        """Give the optimizer adornment knowledge for placement checks."""
+        self._external_registry = registry
+
+
+# ---------------------------------------------------------------------------
+# query construction helpers
+# ---------------------------------------------------------------------------
+
+
+def _projection_query(
+    source: str,
+    pattern: Pattern,
+    variables: list[str],
+    comparisons: list[Comparison] | None = None,
+) -> Rule:
+    """The paper's wire form: project ``variables`` out of ``pattern``.
+
+    Builds ``<bind_for_src {<bind_for_V1 V1> ...}> :- pattern`` —
+    compare Qw and Qcs in Section 3.1.  An *object* variable ``V`` is
+    projected as ``<bind_for_V {V}>`` (the matched object spliced into a
+    singleton set) so that the extractor pattern ``<bind_for_V {V:<_>}>``
+    recovers the object itself rather than its value.
+    """
+    object_vars = _object_vars(pattern)
+    items: list[PatternItem] = []
+    for name in variables:
+        if name in object_vars:
+            items.append(
+                PatternItem(
+                    Pattern(
+                        label=Const(f"bind_for_{name}"),
+                        value=SetPattern((VarItem(Var(name)),), None),
+                    )
+                )
+            )
+        else:
+            items.append(
+                PatternItem(
+                    Pattern(label=Const(f"bind_for_{name}"), value=Var(name))
+                )
+            )
+    head = Pattern(
+        label=Const(f"bind_for_{source}"),
+        value=SetPattern(tuple(items), None),
+    )
+    tail: tuple = (PatternCondition(pattern, None),)
+    if comparisons:
+        tail = tail + tuple(comparisons)
+    return Rule((head,), tail)
+
+
+def _extractor_pattern(query_head: Pattern, pattern: Pattern) -> Pattern:
+    """The pattern an extractor uses on ``query_head``-shaped objects.
+
+    Identical to the head except that object-variable projections
+    ``<bind_for_V {V}>`` become ``<bind_for_V {V:<_ _>}>`` so matching
+    binds ``V`` to the wrapped object.
+    """
+    object_vars = _object_vars(pattern)
+    if not object_vars:
+        return query_head
+    value = query_head.value
+    assert isinstance(value, SetPattern)
+    items: list[PatternItem | VarItem] = []
+    for item in value.items:
+        replaced = item
+        if isinstance(item, PatternItem):
+            inner = item.pattern.value
+            if isinstance(inner, SetPattern) and any(
+                isinstance(member, VarItem)
+                and member.var.name in object_vars
+                for member in inner.items
+            ):
+                (member,) = inner.items
+                assert isinstance(member, VarItem)
+                wrapped = Pattern(
+                    label=Var("_"),
+                    value=Var("_"),
+                    object_var=member.var,
+                )
+                replaced = PatternItem(
+                    Pattern(
+                        label=item.pattern.label,
+                        value=SetPattern((PatternItem(wrapped),), None),
+                    )
+                )
+        items.append(replaced)
+    return Pattern(
+        label=query_head.label, value=SetPattern(tuple(items), None)
+    )
+
+
+def _object_vars(pattern: Pattern) -> set[str]:
+    """Variables bound to whole objects anywhere in ``pattern``."""
+    found: set[str] = set()
+
+    def visit(p: Pattern) -> None:
+        if p.object_var is not None and not p.object_var.is_anonymous:
+            found.add(p.object_var.name)
+        value = p.value
+        if isinstance(value, SetPattern):
+            for item in value.items:
+                if isinstance(item, PatternItem):
+                    visit(item.pattern)
+            if value.rest is not None:
+                for condition in value.rest.conditions:
+                    visit(condition)
+
+    visit(pattern)
+    return found
+
+
+def _parameterizable_vars(pattern: Pattern) -> set[str]:
+    """Variables usable as ``$`` parameters: those in label/type/oid
+    slots or as direct item values — never rest or object variables
+    (those carry sets/objects, which cannot be inlined as constants)."""
+    result: set[str] = set()
+
+    def visit(p: Pattern) -> None:
+        for term in (p.label, p.type, p.oid):
+            result.update(term_variables(term))
+        value = p.value
+        if isinstance(value, Var):
+            if not value.is_anonymous:
+                result.add(value.name)
+            return
+        if isinstance(value, SetPattern):
+            for item in value.items:
+                if isinstance(item, PatternItem):
+                    visit(item.pattern)
+            if value.rest is not None:
+                for condition in value.rest.conditions:
+                    visit(condition)
+
+    # note: the *top-level* value variable of the whole pattern is fine
+    # to parameterize only if atomic; we cannot know, so we restrict to
+    # nested occurrences, which the paper's examples cover
+    value = pattern.value
+    for term in (pattern.label, pattern.type, pattern.oid):
+        result.update(term_variables(term))
+    if isinstance(value, SetPattern):
+        for item in value.items:
+            if isinstance(item, PatternItem):
+                visit(item.pattern)
+        if value.rest is not None:
+            for condition in value.rest.conditions:
+                visit(condition)
+    # rest variables are set-valued: exclude them everywhere
+    result -= _rest_vars(pattern)
+    return result
+
+
+def _rest_vars(pattern: Pattern) -> set[str]:
+    found: set[str] = set()
+
+    def visit(p: Pattern) -> None:
+        value = p.value
+        if isinstance(value, SetPattern):
+            if value.rest is not None and not value.rest.var.is_anonymous:
+                found.add(value.rest.var.name)
+            for item in value.items:
+                if isinstance(item, PatternItem):
+                    visit(item.pattern)
+            if value.rest is not None:
+                for condition in value.rest.conditions:
+                    visit(condition)
+
+    visit(pattern)
+    return found
+
+
+def _parameterize(pattern: Pattern, names: set[str]) -> Pattern:
+    """Replace occurrences of ``names`` with ``$`` parameters."""
+
+    def conv(term: Term | None) -> Term | None:
+        if isinstance(term, Var) and term.name in names:
+            return Param(term.name)
+        return term
+
+    value = pattern.value
+    if isinstance(value, SetPattern):
+        items: list[PatternItem | VarItem] = []
+        for item in value.items:
+            if isinstance(item, PatternItem):
+                items.append(
+                    PatternItem(
+                        _parameterize(item.pattern, names), item.descendant
+                    )
+                )
+            else:
+                items.append(item)
+        rest = value.rest
+        if rest is not None and rest.conditions:
+            rest = RestSpec(
+                rest.var,
+                tuple(_parameterize(c, names) for c in rest.conditions),
+            )
+        new_value: Term | SetPattern = SetPattern(tuple(items), rest)
+    else:
+        converted = conv(value)
+        assert converted is not None
+        new_value = converted
+    label = conv(pattern.label)
+    assert label is not None
+    return Pattern(
+        label=label,
+        value=new_value,
+        type=conv(pattern.type),
+        oid=conv(pattern.oid),
+        object_var=pattern.object_var,
+    )

@@ -1,0 +1,488 @@
+"""Physical datamerge graphs: the "machine language" of MedMaker.
+
+Section 3.4: the optimizer turns a logical datamerge rule into "a
+'dataflow' graph, where the nodes represent the operations to be
+executed by the engine".  The node types of Figure 3.6 are all here —
+
+* :class:`QueryNode` — sends a fixed MSL query to a source;
+* :class:`ExtractorNode` — extracts variable bindings from result
+  objects via an object pattern (the paper's ``epw``);
+* :class:`ExternalPredNode` — invokes an external predicate per tuple;
+* :class:`ParameterizedQueryNode` — per input tuple, instantiates a
+  query template (``$R``, ``$LN``, ``$FN``) and sends it to a source;
+* :class:`ConstructorNode` — builds the final result objects from the
+  pattern ``cp(N, R, Rest1, Rest2)``;
+
+plus the supporting nodes a complete engine needs: :class:`FilterNode`
+(mediator-side compensation of conditions a source cannot evaluate),
+:class:`JoinNode` (for fetch-all plans), :class:`DedupNode`, and
+:class:`UnionNode` (multi-rule logical programs).
+
+Each node consumes the tables of its input nodes and produces one
+table; the engine (:mod:`repro.mediator.engine`) runs the graph
+bottom-up and can record every intermediate table, which is how the
+test-suite and benchmarks replay Figure 3.6 row for row.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.mediator.tables import BindingTable, TableError
+from repro.msl.ast import (
+    Comparison,
+    Const,
+    ExternalCall,
+    HeadItem,
+    Pattern,
+    PatternCondition,
+    Rule,
+    Var,
+)
+from repro.msl.bindings import values_equal
+from repro.msl.evaluate import evaluate_comparison
+from repro.msl.matcher import match_pattern
+from repro.msl.substitute import (
+    head_variables,
+    instantiate_head_item,
+    instantiate_params_in_pattern,
+)
+from repro.msl.bindings import Bindings
+from repro.oem.compare import eliminate_duplicates
+from repro.oem.model import OEMObject
+from repro.oem.oid import OidGenerator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mediator.engine import ExecutionContext
+
+__all__ = [
+    "PlanNode",
+    "QueryNode",
+    "ExtractorNode",
+    "ExternalPredNode",
+    "ParameterizedQueryNode",
+    "FilterNode",
+    "JoinNode",
+    "DedupNode",
+    "ConstructorNode",
+    "UnionNode",
+    "PhysicalPlan",
+    "OBJECT_COLUMN",
+    "RESULT_COLUMN",
+]
+
+#: Column name carrying raw result objects out of query nodes.
+OBJECT_COLUMN = "_obj"
+#: Column name carrying constructed result objects out of constructors.
+RESULT_COLUMN = "_result"
+
+
+class PlanNode(abc.ABC):
+    """One operator of a physical datamerge graph."""
+
+    def __init__(self, inputs: Sequence["PlanNode"] = ()) -> None:
+        self.inputs: tuple[PlanNode, ...] = tuple(inputs)
+
+    @abc.abstractmethod
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        """Produce this node's output table from its input tables."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """A one-line description for plan displays."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class QueryNode(PlanNode):
+    """Leaf: send a fixed MSL query to one source.
+
+    The output table has a single :data:`OBJECT_COLUMN` column holding
+    the returned top-level objects, exactly like the ``Qw Result`` table
+    at the bottom of Figure 3.6.
+    """
+
+    def __init__(self, source: str, query: Rule) -> None:
+        super().__init__(())
+        self.source = source
+        self.query = query
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        objects = context.send_query(self.source, self.query)
+        return BindingTable((OBJECT_COLUMN,), ([obj] for obj in objects))
+
+    def describe(self) -> str:
+        return f"query {self.source}: {self.query}"
+
+
+class ExtractorNode(PlanNode):
+    """Extract variable bindings from the objects of one column.
+
+    Parameters mirror the paper's extractor: "the first is the ...
+    object pattern [that] indicates where the desired bindings are found
+    in the result objects; the second parameter indicates the column of
+    the input table that contains the objects".  The input column is
+    always discarded (footnote 8).
+    """
+
+    def __init__(
+        self,
+        input_node: PlanNode,
+        pattern: Pattern,
+        variables: Sequence[str],
+        column: str = OBJECT_COLUMN,
+    ) -> None:
+        super().__init__((input_node,))
+        self.pattern = pattern
+        self.variables = tuple(variables)
+        self.column = column
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        (table,) = inputs
+        position = table.position(self.column)
+        carried = [c for c in table.columns if c != self.column]
+        carried_positions = [table.position(c) for c in carried]
+        new_columns = [v for v in self.variables if v not in carried]
+        result = BindingTable(tuple(carried) + tuple(new_columns))
+        for row in table.rows:
+            obj = row[position]
+            if not isinstance(obj, OEMObject):
+                raise TableError(
+                    f"extractor column {self.column!r} holds non-object"
+                    f" {obj!r}"
+                )
+            for env in match_pattern(self.pattern, obj):
+                # a variable colliding with a carried column is a join:
+                # keep the row only when the values agree
+                if not all(
+                    values_equal(env.get(c), row[table.position(c)])
+                    for c in carried
+                    if c in env
+                ):
+                    continue
+                result.rows.append(
+                    tuple(row[p] for p in carried_positions)
+                    + tuple(env.get(v) for v in new_columns)
+                )
+        return result
+
+    def describe(self) -> str:
+        return f"extract {', '.join(self.variables)} via {self.pattern}"
+
+
+class ExternalPredNode(PlanNode):
+    """Invoke an external predicate for every tuple (Figure 3.6's
+    ``external pred`` node)."""
+
+    def __init__(self, input_node: PlanNode, call: ExternalCall) -> None:
+        super().__init__((input_node,))
+        self.call = call
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        (table,) = inputs
+        out_vars: list[str] = []
+        for arg in self.call.args:
+            if (
+                isinstance(arg, Var)
+                and not arg.is_anonymous
+                and not table.has_column(arg.name)
+                and arg.name not in out_vars
+            ):
+                out_vars.append(arg.name)
+
+        def expand(row: Mapping[str, object]) -> Iterable[Sequence[object]]:
+            args: list[object] = []
+            available: list[bool] = []
+            for arg in self.call.args:
+                if isinstance(arg, Const):
+                    args.append(arg.value)
+                    available.append(True)
+                elif isinstance(arg, Var) and arg.name in row:
+                    args.append(row[arg.name])
+                    available.append(True)
+                else:
+                    args.append(None)
+                    available.append(False)
+            for full in context.externals.evaluate(
+                self.call.name, args, available
+            ):
+                produced: dict[str, object] = {}
+                consistent = True
+                for arg, value in zip(self.call.args, full):
+                    if isinstance(arg, Const):
+                        if arg.value != value:
+                            consistent = False
+                            break
+                    elif isinstance(arg, Var) and not arg.is_anonymous:
+                        if arg.name in row:
+                            if not values_equal(row[arg.name], value):
+                                consistent = False
+                                break
+                        elif arg.name in produced:
+                            if not values_equal(produced[arg.name], value):
+                                consistent = False
+                                break
+                        else:
+                            produced[arg.name] = value
+                if consistent:
+                    yield [produced.get(v) for v in out_vars]
+
+        return table.extend(out_vars, expand)
+
+    def describe(self) -> str:
+        return f"external {self.call}"
+
+
+class ParameterizedQueryNode(PlanNode):
+    """Per input tuple, instantiate a query template and send it.
+
+    "For each tuple of its input table, this node generates a query for
+    source cs requesting bindings ... The values for query parameters
+    $R, $LN, and $FN are taken from ... the incoming table."  Input
+    columns are kept (the node's keep/discard parameter, fixed to keep),
+    and the returned objects land in :data:`OBJECT_COLUMN`.
+    """
+
+    def __init__(
+        self,
+        input_node: PlanNode,
+        source: str,
+        template: Rule,
+        param_columns: Mapping[str, str],
+    ) -> None:
+        super().__init__((input_node,))
+        self.source = source
+        self.template = template
+        self.param_columns = dict(param_columns)
+
+    def instantiate(self, row: Mapping[str, object]) -> Rule:
+        """The concrete query for one input tuple (Qcs1/Qcs2 style)."""
+        params = {
+            name: row[column] for name, column in self.param_columns.items()
+        }
+        tail = []
+        for condition in self.template.tail:
+            if isinstance(condition, PatternCondition):
+                tail.append(
+                    PatternCondition(
+                        instantiate_params_in_pattern(
+                            condition.pattern, params
+                        ),
+                        condition.source,
+                    )
+                )
+            else:
+                tail.append(condition)
+        return Rule(self.template.head, tuple(tail))
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        (table,) = inputs
+
+        def expand(row: Mapping[str, object]) -> Iterable[Sequence[object]]:
+            query = self.instantiate(row)
+            for obj in context.send_query(self.source, query):
+                yield [obj]
+
+        return table.extend([OBJECT_COLUMN], expand)
+
+    def describe(self) -> str:
+        params = ", ".join(
+            f"${name}<-{column}" for name, column in self.param_columns.items()
+        )
+        return f"param-query {self.source} [{params}]: {self.template}"
+
+
+class FilterNode(PlanNode):
+    """Apply a comparison to each tuple (mediator-side compensation)."""
+
+    def __init__(self, input_node: PlanNode, comparison: Comparison) -> None:
+        super().__init__((input_node,))
+        self.comparison = comparison
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        (table,) = inputs
+
+        def keep(row: Mapping[str, object]) -> bool:
+            env = Bindings(
+                {
+                    name: value
+                    for name, value in row.items()
+                    if name not in (OBJECT_COLUMN, RESULT_COLUMN)
+                }
+            )
+            return evaluate_comparison(self.comparison, env)
+
+        return table.filter(keep)
+
+    def describe(self) -> str:
+        return f"filter {self.comparison}"
+
+
+class JoinNode(PlanNode):
+    """Natural (hash) join of two tables on their shared columns."""
+
+    def __init__(self, left: PlanNode, right: PlanNode) -> None:
+        super().__init__((left, right))
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        left, right = inputs
+        return left.natural_join(right)
+
+    def describe(self) -> str:
+        return "join"
+
+
+class DedupNode(PlanNode):
+    """Duplicate elimination over (a subset of) columns."""
+
+    def __init__(
+        self, input_node: PlanNode, columns: Sequence[str] | None = None
+    ) -> None:
+        super().__init__((input_node,))
+        self.columns = tuple(columns) if columns is not None else None
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        (table,) = inputs
+        return table.distinct(self.columns)
+
+    def describe(self) -> str:
+        return "dedup" + (
+            f" on {', '.join(self.columns)}" if self.columns else ""
+        )
+
+
+class ConstructorNode(PlanNode):
+    """Create the final result objects (Figure 3.6's ``constructor``).
+
+    "For each row in the input table, the constructor operator takes a
+    row, assigns [the values] to the N, R, Rest1, and Rest2 values in
+    cp, creating one of the final result objects."  Head-variable
+    bindings are projected and deduplicated first (the MSL semantics of
+    footnote 3), and structurally duplicated objects are eliminated —
+    the feature the authors' engine lacked (footnote 9) but the
+    semantics prescribe.
+    """
+
+    def __init__(
+        self,
+        input_node: PlanNode,
+        head: Sequence[HeadItem],
+        deduplicate: bool = True,
+    ) -> None:
+        super().__init__((input_node,))
+        self.head = tuple(head)
+        self.deduplicate = deduplicate
+        self._needed = sorted(head_variables(self.head))
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        (table,) = inputs
+        available = [v for v in self._needed if table.has_column(v)]
+        projected = table.project(available)
+        if self.deduplicate:
+            projected = projected.distinct()
+        objects: list[OEMObject] = []
+        for row in projected.rows:
+            env = Bindings(dict(zip(projected.columns, row)))
+            for item in self.head:
+                objects.extend(
+                    instantiate_head_item(item, env, context.oidgen)
+                )
+        if self.deduplicate:
+            objects = eliminate_duplicates(objects)
+        return BindingTable((RESULT_COLUMN,), ([obj] for obj in objects))
+
+    def describe(self) -> str:
+        return f"construct {' '.join(str(h) for h in self.head)}"
+
+
+class UnionNode(PlanNode):
+    """Concatenate the result tables of several sub-plans.
+
+    "If more than one head matches, then more than one rule will be
+    considered; resulting objects will be added to the result."
+    """
+
+    def __init__(
+        self, inputs: Sequence[PlanNode], deduplicate: bool = True
+    ) -> None:
+        super().__init__(tuple(inputs))
+        self.deduplicate = deduplicate
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        result = BindingTable((RESULT_COLUMN,))
+        for table in inputs:
+            if table.columns != (RESULT_COLUMN,):
+                raise TableError(
+                    f"union inputs must be result tables, got"
+                    f" {list(table.columns)}"
+                )
+            result.rows.extend(table.rows)
+        if self.deduplicate:
+            result = result.distinct()
+        return result
+
+    def describe(self) -> str:
+        return f"union of {len(self.inputs)}"
+
+
+class PhysicalPlan:
+    """A rooted DAG of plan nodes, executable by the datamerge engine."""
+
+    def __init__(self, root: PlanNode) -> None:
+        self.root = root
+        self._order: list[PlanNode] | None = None
+
+    def nodes(self) -> list[PlanNode]:
+        """All nodes in bottom-up (topological) order."""
+        if self._order is not None:
+            return self._order
+        order: list[PlanNode] = []
+        seen: set[int] = set()
+
+        def visit(node: PlanNode) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for child in node.inputs:
+                visit(child)
+            order.append(node)
+
+        visit(self.root)
+        self._order = order
+        return order
+
+    def describe(self) -> str:
+        """A numbered, indented description of the whole graph."""
+        numbers = {id(node): i for i, node in enumerate(self.nodes(), 1)}
+        lines = []
+        for node in self.nodes():
+            refs = ", ".join(str(numbers[id(c)]) for c in node.inputs)
+            prefix = f"[{numbers[id(node)]}]"
+            suffix = f"  <- [{refs}]" if refs else ""
+            lines.append(f"{prefix} {node.describe()}{suffix}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"PhysicalPlan({len(self.nodes())} nodes)"

@@ -1,0 +1,253 @@
+"""Source statistics for cost-based optimization.
+
+Section 3.5: when "the wrappers do not provide cost and statistics
+information ... the optimizer has to rely on ad-hoc heuristics ... or
+tries to build its own statistics database that is based on results of
+previous queries and on sampling".  This module is that statistics
+database: the engine feeds back (source, top-level label, result count)
+observations after every shipped query, and the optimizer asks for
+cardinality estimates when ordering joins.
+
+Estimates are deliberately simple — per (source, label) exponential
+moving averages with a selectivity discount per constant condition —
+because the point the paper makes (and our benchmarks reproduce) is the
+*difference* between knowing nothing and knowing roughly which pattern
+is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.msl.ast import Const, Pattern, PatternItem, SetPattern, VarItem
+
+__all__ = ["SourceStatistics", "DEFAULT_CARDINALITY", "DEFAULT_SELECTIVITY"]
+
+#: Assumed result size for a never-seen (source, label) pair.
+DEFAULT_CARDINALITY = 100.0
+
+#: Assumed fraction of objects surviving one constant condition.
+DEFAULT_SELECTIVITY = 0.1
+
+#: Weight of the newest observation in the moving average.
+_ALPHA = 0.5
+
+
+@dataclass
+class _LabelStats:
+    average: float = DEFAULT_CARDINALITY
+    observations: int = 0
+
+    def observe(self, count: int) -> None:
+        if self.observations == 0:
+            self.average = float(count)
+        else:
+            self.average = _ALPHA * count + (1.0 - _ALPHA) * self.average
+        self.observations += 1
+
+
+@dataclass
+class SourceStatistics:
+    """Cardinality observations per (source, top-level label), plus
+    value-level selectivities per (source, label, child label, value)
+    gathered by sampling."""
+
+    default_cardinality: float = DEFAULT_CARDINALITY
+    selectivity: float = DEFAULT_SELECTIVITY
+    _stats: dict[tuple[str, str], _LabelStats] = field(default_factory=dict)
+    _value_stats: dict[tuple[str, str, str, object], _LabelStats] = field(
+        default_factory=dict
+    )
+
+    # -- feedback -----------------------------------------------------------
+
+    def record(self, source: str, pattern: Pattern, count: int) -> None:
+        """Feed back that ``pattern`` at ``source`` returned ``count`` rows.
+
+        The observation is normalised by the pattern's selectivity so
+        that what is stored approximates the label's *base* cardinality.
+        """
+        label = _label_of(pattern)
+        if label is None:
+            return
+        conditions = count_constant_conditions(pattern)
+        discount = self.selectivity**conditions
+        base_estimate = count / discount if discount > 0 else count
+        entry = self._stats.setdefault((source, label), _LabelStats())
+        entry.observe(int(base_estimate))
+
+    def record_label(self, source: str, label: str, count: int) -> None:
+        """Direct observation of a label's cardinality (sampling)."""
+        entry = self._stats.setdefault((source, label), _LabelStats())
+        entry.observe(count)
+
+    def sample_source(self, source: "object", limit: int | None = None) -> int:
+        """Probe a source's export and record per-label cardinalities
+        *and* per-(child label, value) selectivities.
+
+        This is the "sampling" half of Section 3.5's statistics
+        database.  ``source`` is anything with ``name`` and ``export()``
+        (a :class:`~repro.wrappers.base.Source`); at most ``limit``
+        top-level objects are examined (None = all).  Counts observed
+        from a truncated sample are scaled up proportionally.  Returns
+        the number of objects examined.
+        """
+        from collections import Counter
+
+        name = source.name  # type: ignore[attr-defined]
+        export = source.export()  # type: ignore[attr-defined]
+        total = len(export)
+        if limit is not None and total > limit:
+            examined = export[:limit]
+            scale = total / limit
+        else:
+            examined = export
+            scale = 1.0
+        counts = Counter(obj.label for obj in examined)
+        value_counts: Counter = Counter()
+        for obj in examined:
+            for child in obj.children:
+                if child.is_atomic:
+                    try:
+                        hash(child.value)
+                    except TypeError:
+                        continue
+                    value_counts[
+                        (obj.label, child.label, child.value)
+                    ] += 1
+        for label, count in counts.items():
+            self.record_label(name, label, int(count * scale))
+        for (label, child, value), count in value_counts.items():
+            entry = self._value_stats.setdefault(
+                (name, label, child, value), _LabelStats()
+            )
+            entry.observe(int(count * scale))
+        return len(examined)
+
+    def value_selectivity(
+        self, source: str, label: str | None, child: str, value: object
+    ) -> float:
+        """Fraction of ``label`` objects whose ``child`` equals ``value``.
+
+        Falls back to the default selectivity when nothing was sampled.
+        """
+        if label is None:
+            return self.selectivity
+        try:
+            hash(value)
+        except TypeError:
+            return self.selectivity
+        entry = self._value_stats.get((source, label, child, value))
+        if entry is None or entry.observations == 0:
+            return self.selectivity
+        base = self.base_cardinality(source, label)
+        if base <= 0:
+            return self.selectivity
+        return min(1.0, entry.average / base)
+
+    # -- estimation -----------------------------------------------------------
+
+    def base_cardinality(self, source: str, label: str | None) -> float:
+        if label is None:
+            return self.default_cardinality
+        entry = self._stats.get((source, label))
+        if entry is None or entry.observations == 0:
+            return self.default_cardinality
+        return entry.average
+
+    def estimate(self, source: str, pattern: Pattern) -> float:
+        """Estimated result size of shipping ``pattern`` to ``source``.
+
+        Value-level selectivities from sampling are used per constant
+        child condition when available; other constant conditions fall
+        back to the default selectivity.
+        """
+        label = _label_of(pattern)
+        base = self.base_cardinality(source, label)
+        estimate = base
+        accounted = 0
+        for child, value in constant_child_conditions(pattern):
+            estimate *= self.value_selectivity(source, label, child, value)
+            accounted += 1
+        # remaining conditions (oid constants, top-level value constants)
+        remaining = count_constant_conditions(pattern) - accounted
+        if label is not None:
+            remaining -= 1  # the top label itself is not a filter here
+        if remaining > 0:
+            estimate *= self.selectivity**remaining
+        return estimate
+
+    def has_observations(self, source: str, label: str) -> bool:
+        entry = self._stats.get((source, label))
+        return entry is not None and entry.observations > 0
+
+    def clear(self) -> None:
+        self._stats.clear()
+        self._value_stats.clear()
+
+
+def constant_child_conditions(
+    pattern: Pattern,
+) -> list[tuple[str, object]]:
+    """(child label, constant value) filters of a pattern's direct items
+    (including rest conditions)."""
+    found: list[tuple[str, object]] = []
+    value = pattern.value
+    if isinstance(value, SetPattern):
+        items = list(value.items)
+        conditions = (
+            list(value.rest.conditions) if value.rest is not None else []
+        )
+        for item in items:
+            if isinstance(item, PatternItem) and not item.descendant:
+                p = item.pattern
+                if isinstance(p.label, Const) and isinstance(p.value, Const):
+                    found.append((str(p.label.value), p.value.value))
+        for condition in conditions:
+            if isinstance(condition.label, Const) and isinstance(
+                condition.value, Const
+            ):
+                found.append(
+                    (str(condition.label.value), condition.value.value)
+                )
+    return found
+
+
+def _label_of(pattern: Pattern) -> str | None:
+    if isinstance(pattern.label, Const):
+        return str(pattern.label.value)
+    return None
+
+
+def count_constant_conditions(pattern: Pattern) -> int:
+    """Number of constant filters a pattern carries (its "boundness").
+
+    This is the quantity behind the paper's join-order heuristic: "the
+    outer patterns of the join order are the ones that have the greatest
+    number of conditions".  A *condition* is a constant that narrows the
+    result: the top-level label (it selects the collection/relation), a
+    constant oid, and every constant **value** at any depth.  Constant
+    sub-object labels with variable values (``<name N>``) are structural
+    requirements, not filters, and do not count.
+    """
+
+    def value_constants(p: Pattern) -> int:
+        count = 1 if isinstance(p.oid, Const) else 0
+        value = p.value
+        if isinstance(value, Const):
+            return count + 1
+        if isinstance(value, SetPattern):
+            for item in value.items:
+                if isinstance(item, PatternItem):
+                    count += value_constants(item.pattern)
+                elif isinstance(item, VarItem):
+                    continue
+            if value.rest is not None:
+                for condition in value.rest.conditions:
+                    count += value_constants(condition)
+        return count
+
+    count = value_constants(pattern)
+    if isinstance(pattern.label, Const):
+        count += 1
+    return count

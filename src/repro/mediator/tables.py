@@ -1,0 +1,214 @@
+"""Binding tables: what flows along the arcs of a datamerge graph.
+
+Figure 3.6: "the rectangles next to the arcs of the graph represent
+tables that flow during a sample run ... Typically, the tuples of the
+tables carry bindings for the logical datamerge program variables."
+
+A :class:`BindingTable` has named columns and rows of bound values
+(atoms, OEM objects, or object sets).  The display form mimics the
+figure, including the heading row the paper adds "for readability".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.msl.bindings import value_key, values_equal
+from repro.oem.model import OEMObject
+from repro.oem.printer import to_inline
+
+__all__ = ["BindingTable", "TableError"]
+
+
+class TableError(Exception):
+    """Malformed table operation (unknown column, arity mismatch, ...)."""
+
+
+class BindingTable:
+    """An in-memory table of variable bindings."""
+
+    __slots__ = ("columns", "rows", "_positions")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[object]] = (),
+    ) -> None:
+        self.columns: tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise TableError(f"duplicate column names in {self.columns}")
+        self._positions = {name: i for i, name in enumerate(self.columns)}
+        self.rows: list[tuple[object, ...]] = []
+        for row in rows:
+            self.append(row)
+
+    # -- basic access ----------------------------------------------------
+
+    def position(self, column: str) -> int:
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise TableError(
+                f"no column {column!r}; columns are {list(self.columns)}"
+            ) from None
+
+    def has_column(self, column: str) -> bool:
+        return column in self._positions
+
+    def column_values(self, column: str) -> list[object]:
+        position = self.position(column)
+        return [row[position] for row in self.rows]
+
+    def append(self, row: Sequence[object]) -> None:
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise TableError(
+                f"row of arity {len(row)} does not fit columns"
+                f" {list(self.columns)}"
+            )
+        self.rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[object, ...]]:
+        return iter(self.rows)
+
+    def row_dict(self, row: Sequence[object]) -> dict[str, object]:
+        return dict(zip(self.columns, row))
+
+    # -- relational-ish operations ---------------------------------------
+
+    def project(self, columns: Sequence[str]) -> "BindingTable":
+        positions = [self.position(c) for c in columns]
+        return BindingTable(
+            columns, ([row[p] for p in positions] for row in self.rows)
+        )
+
+    def filter(
+        self, predicate: Callable[[dict[str, object]], bool]
+    ) -> "BindingTable":
+        return BindingTable(
+            self.columns,
+            (row for row in self.rows if predicate(self.row_dict(row))),
+        )
+
+    def extend(
+        self,
+        new_columns: Sequence[str],
+        expander: Callable[[dict[str, object]], Iterable[Sequence[object]]],
+    ) -> "BindingTable":
+        """For each row, append zero or more value tuples for new columns.
+
+        Rows for which ``expander`` yields nothing are dropped (the
+        natural semantics of a dependent join).
+        """
+        overlap = set(new_columns) & set(self.columns)
+        if overlap:
+            raise TableError(f"columns {sorted(overlap)} already exist")
+        result = BindingTable(tuple(self.columns) + tuple(new_columns))
+        for row in self.rows:
+            for extension in expander(self.row_dict(row)):
+                extension = tuple(extension)
+                if len(extension) != len(new_columns):
+                    raise TableError(
+                        f"expander produced arity {len(extension)},"
+                        f" expected {len(new_columns)}"
+                    )
+                result.rows.append(row + extension)
+        return result
+
+    def natural_join(self, other: "BindingTable") -> "BindingTable":
+        """Hash join on all shared columns (structural value equality)."""
+        shared = [c for c in self.columns if other.has_column(c)]
+        other_only = [c for c in other.columns if not self.has_column(c)]
+        result = BindingTable(tuple(self.columns) + tuple(other_only))
+        if not shared:
+            for left in self.rows:
+                for right in other.rows:
+                    result.rows.append(
+                        left
+                        + tuple(
+                            right[other.position(c)] for c in other_only
+                        )
+                    )
+            return result
+        index: dict[tuple, list[tuple[object, ...]]] = {}
+        shared_other = [other.position(c) for c in shared]
+        for right in other.rows:
+            key = tuple(value_key(right[p]) for p in shared_other)
+            index.setdefault(key, []).append(right)
+        shared_self = [self.position(c) for c in shared]
+        positions_other_only = [other.position(c) for c in other_only]
+        for left in self.rows:
+            key = tuple(value_key(left[p]) for p in shared_self)
+            for right in index.get(key, ()):  # hash then verify
+                if all(
+                    values_equal(left[sp], right[op])
+                    for sp, op in zip(shared_self, shared_other)
+                ):
+                    result.rows.append(
+                        left + tuple(right[p] for p in positions_other_only)
+                    )
+        return result
+
+    def distinct(self, columns: Sequence[str] | None = None) -> "BindingTable":
+        """Duplicate elimination on ``columns`` (default: all)."""
+        interesting = (
+            [self.position(c) for c in columns]
+            if columns is not None
+            else list(range(len(self.columns)))
+        )
+        seen: set[tuple] = set()
+        result = BindingTable(self.columns)
+        for row in self.rows:
+            key = tuple(value_key(row[p]) for p in interesting)
+            if key not in seen:
+                seen.add(key)
+                result.rows.append(row)
+        return result
+
+    # -- display (the Figure 3.6 rectangles) ------------------------------
+
+    def render(self, max_rows: int = 20, max_width: int = 40) -> str:
+        """Render as an ASCII table with a heading row."""
+
+        def cell(value: object) -> str:
+            if isinstance(value, OEMObject):
+                text = to_inline(value)
+            elif isinstance(value, tuple):
+                text = "{" + " ".join(to_inline(o) for o in value) + "}"
+            elif isinstance(value, str):
+                text = f"'{value}'"
+            else:
+                text = str(value)
+            if len(text) > max_width:
+                text = text[: max_width - 3] + "..."
+            return text
+
+        header = list(self.columns)
+        body = [
+            [cell(v) for v in row] for row in self.rows[:max_rows]
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body), 1)
+            if body
+            else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in body:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"BindingTable({list(self.columns)}, {len(self.rows)} rows)"
+        )

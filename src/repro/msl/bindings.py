@@ -1,0 +1,169 @@
+"""Binding environments for MSL evaluation.
+
+A *binding* maps variable names to bound values.  Values can be
+
+* atoms (strings, numbers, booleans) — from atomic value slots and
+  label/type/oid slots;
+* :class:`~repro.oem.model.OEMObject` — from object variables (``X:<...>``);
+* tuples of ``OEMObject`` — from set-valued slots and Rest variables;
+* :class:`~repro.oem.oid.Oid` — from oid slots.
+
+Bindings are immutable; ``bind`` and ``merge`` return new environments or
+``None`` on conflict.  Conflicts use *structural* value equality (object
+identity is not meaningful across sources), which is what lets the same
+variable ``R`` join a value from ``whois`` against a label from ``cs``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.oem.compare import structural_key
+from repro.oem.model import OEMObject
+from repro.oem.oid import Oid
+
+__all__ = ["Bindings", "EMPTY_BINDINGS", "values_equal", "value_key"]
+
+
+def value_key(value: object) -> object:
+    """A hashable canonical key for a bound value.
+
+    Object sets are canonicalised as frozen bags of structural keys, so
+    two Rest bindings with the same members in different order compare
+    equal.
+    """
+    if isinstance(value, OEMObject):
+        return ("obj", structural_key(value))
+    if isinstance(value, tuple):
+        keys = sorted(
+            (repr(structural_key(member)) for member in value)
+        )
+        return ("set", tuple(keys))
+    if isinstance(value, Oid):
+        return ("oid", value.text)
+    if isinstance(value, bool):
+        return ("atom", "bool", value)
+    return ("atom", type(value).__name__, value)
+
+
+def values_equal(a: object, b: object) -> bool:
+    """Structural equality of two bound values."""
+    if a is b:
+        return True
+    # atoms of compatible numeric types compare by ==
+    if isinstance(a, (str, int, float, bool)) and isinstance(
+        b, (str, int, float, bool)
+    ):
+        if isinstance(a, bool) != isinstance(b, bool):
+            return False
+        return a == b
+    return value_key(a) == value_key(b)
+
+
+class Bindings:
+    """An immutable variable-to-value environment."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Mapping[str, object] | None = None) -> None:
+        object.__setattr__(self, "_map", dict(mapping or {}))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Bindings is immutable")
+
+    # -- queries --------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._map
+
+    def __getitem__(self, name: str) -> object:
+        return self._map[name]
+
+    def get(self, name: str, default: object = None) -> object:
+        return self._map.get(name, default)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._map)
+
+    def items(self) -> Iterator[tuple[str, object]]:
+        return iter(self._map.items())
+
+    def variables(self) -> frozenset[str]:
+        return frozenset(self._map)
+
+    # -- construction -----------------------------------------------------
+
+    def bind(self, name: str, value: object) -> "Bindings | None":
+        """Bind ``name`` to ``value``.
+
+        Returns a new environment, or ``None`` when ``name`` is already
+        bound to a different value (the match fails).  Binding the
+        anonymous variable ``_`` is a no-op that always succeeds.
+        """
+        if name == "_":
+            return self
+        existing = self._map.get(name, _MISSING)
+        if existing is not _MISSING:
+            return self if values_equal(existing, value) else None
+        new_map = dict(self._map)
+        new_map[name] = value
+        return Bindings(new_map)
+
+    def merge(self, other: "Bindings") -> "Bindings | None":
+        """Combine two environments; ``None`` if they disagree anywhere.
+
+        This is the paper's "matching of bindings" step: a binding from
+        ``whois`` matches a binding from ``cs`` "if the two bindings agree
+        on the values assigned to common variables".
+        """
+        small, large = (
+            (self, other) if len(self) <= len(other) else (other, self)
+        )
+        merged = dict(large._map)
+        for name, value in small._map.items():
+            existing = merged.get(name, _MISSING)
+            if existing is _MISSING:
+                merged[name] = value
+            elif not values_equal(existing, value):
+                return None
+        return Bindings(merged)
+
+    def project(self, names: frozenset[str] | set[str]) -> "Bindings":
+        """Restrict to ``names`` (the paper's footnote 3 projection)."""
+        return Bindings(
+            {k: v for k, v in self._map.items() if k in names}
+        )
+
+    def key(self) -> tuple:
+        """A hashable key for duplicate elimination of bindings."""
+        return tuple(
+            sorted(
+                ((name, value_key(value)) for name, value in self._map.items()),
+                key=lambda pair: pair[0],
+            )
+        )
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bindings):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value!r}" for name, value in sorted(self._map.items())
+        )
+        return f"Bindings({inner})"
+
+
+_MISSING = object()
+
+#: The empty environment, shared.
+EMPTY_BINDINGS = Bindings()

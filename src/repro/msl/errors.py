@@ -1,0 +1,58 @@
+"""Error hierarchy for the MSL language layer."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MSLError",
+    "MSLSyntaxError",
+    "MSLSemanticError",
+    "MSLMatchError",
+    "MSLInstantiationError",
+]
+
+
+class MSLError(Exception):
+    """Base class for all MSL-layer errors."""
+
+
+class MSLSyntaxError(MSLError):
+    """MSL text failed to parse.
+
+    Carries the offset and (line, column) of the offending token when
+    known, so callers can point at the problem in a specification file.
+    """
+
+    def __init__(
+        self, message: str, position: int = -1, line: int = -1, column: int = -1
+    ) -> None:
+        location = ""
+        if line >= 1:
+            location = f" (line {line}, column {column})"
+        elif position >= 0:
+            location = f" (offset {position})"
+        super().__init__(message + location)
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class MSLSemanticError(MSLError):
+    """A parsed rule or query violates MSL's static rules.
+
+    Examples: an unsafe head variable that never occurs in the tail, a
+    Rest variable used twice in the same set pattern, an external
+    predicate call with no registered implementation for any adornment.
+    """
+
+
+class MSLMatchError(MSLError):
+    """Raised for malformed matching requests (not for match failures —
+    a pattern that simply matches nothing yields an empty binding stream)."""
+
+
+class MSLInstantiationError(MSLError):
+    """A rule head could not be instantiated from a set of bindings.
+
+    Typical cause: a variable in label position bound to a non-string, or
+    an unbound head variable surviving analysis (an internal error).
+    """

@@ -1,0 +1,252 @@
+"""A naive, obviously-correct MSL rule evaluator.
+
+This is the **reference semantics** of MSL in this codebase:
+
+1. match every tail pattern against the forest of its source, producing
+   binding sets;
+2. merge binding sets on common variables (the paper's "matching of
+   bindings");
+3. evaluate external predicates and comparisons as soon as their
+   required arguments are bound;
+4. project onto the head variables, eliminate duplicate bindings
+   (footnote 3), instantiate the head, and eliminate structurally
+   duplicated objects.
+
+Wrappers use it to answer the MSL queries the mediator ships to them,
+and the test-suite uses it as the oracle against which the optimized
+datamerge engine is checked.  It enumerates the full cross product of
+pattern bindings before filtering, so it is intentionally *slow* — the
+benchmarks quantify exactly how much the MSI's planned execution wins.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.external.registry import ExternalRegistry
+from repro.msl.analysis import check_rule, condition_variables
+from repro.msl.ast import (
+    Comparison,
+    Condition,
+    Const,
+    ExternalCall,
+    PatternCondition,
+    Rule,
+    Term,
+    Var,
+)
+from repro.msl.bindings import EMPTY_BINDINGS, Bindings
+from repro.msl.errors import MSLSemanticError
+from repro.msl.matcher import match_against_forest
+from repro.msl.substitute import head_variables, instantiate_head_item
+from repro.oem.compare import eliminate_duplicates
+from repro.oem.model import OEMObject
+from repro.oem.oid import OidGenerator
+
+__all__ = ["evaluate_rule", "evaluate_comparison", "term_value"]
+
+
+def term_value(term: Term, bindings: Bindings) -> tuple[bool, object]:
+    """Evaluate a term to (is_bound, value)."""
+    if isinstance(term, Const):
+        return True, term.value
+    if isinstance(term, Var):
+        if term.is_anonymous or term.name not in bindings:
+            return False, None
+        return True, bindings[term.name]
+    return False, None
+
+
+def evaluate_comparison(comparison: Comparison, bindings: Bindings) -> bool:
+    """Truth of a fully-bound comparison; type mismatches are false.
+
+    >>> from repro.msl.parser import parse_rule
+    """
+    left_ok, left = term_value(comparison.left, bindings)
+    right_ok, right = term_value(comparison.right, bindings)
+    if not (left_ok and right_ok):
+        raise MSLSemanticError(
+            f"comparison {comparison} evaluated with unbound operand"
+        )
+    op = comparison.op
+    if op == "=":
+        return _atoms_comparable(left, right) and left == right
+    if op == "!=":
+        return not (_atoms_comparable(left, right) and left == right)
+    if not _atoms_ordered(left, right):
+        return False
+    if op == "<":
+        return left < right  # type: ignore[operator]
+    if op == "<=":
+        return left <= right  # type: ignore[operator]
+    if op == ">":
+        return left > right  # type: ignore[operator]
+    if op == ">=":
+        return left >= right  # type: ignore[operator]
+    raise MSLSemanticError(f"unknown comparison operator {op!r}")
+
+
+def _atoms_comparable(left: object, right: object) -> bool:
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    return type(left) is type(right)
+
+
+def _atoms_ordered(left: object, right: object) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    return isinstance(left, str) and isinstance(right, str)
+
+
+def _expand_pattern(
+    condition: PatternCondition,
+    bindings_list: list[Bindings],
+    forests: Mapping[str | None, Sequence[OEMObject]],
+) -> list[Bindings]:
+    forest = forests.get(condition.source)
+    if forest is None:
+        raise MSLSemanticError(
+            f"no data supplied for source {condition.source!r}"
+        )
+    expanded: list[Bindings] = []
+    for env in bindings_list:
+        expanded.extend(match_against_forest(condition.pattern, forest, env))
+    return expanded
+
+
+def _expand_external(
+    call: ExternalCall,
+    bindings_list: list[Bindings],
+    registry: ExternalRegistry,
+) -> list[Bindings]:
+    expanded: list[Bindings] = []
+    for env in bindings_list:
+        args: list[object] = []
+        available: list[bool] = []
+        for arg in call.args:
+            bound, value = term_value(arg, env)
+            args.append(value)
+            available.append(bound)
+        for full in registry.evaluate(call.name, args, available):
+            result: Bindings | None = env
+            for arg, value in zip(call.args, full):
+                if isinstance(arg, Var) and not arg.is_anonymous:
+                    result = result.bind(arg.name, value)
+                    if result is None:
+                        break
+                elif isinstance(arg, Const) and arg.value != value:
+                    result = None
+                    break
+            if result is not None:
+                expanded.append(result)
+    return expanded
+
+
+def _ready(condition: Condition, bound: set[str], registry: ExternalRegistry | None) -> bool:
+    """Can ``condition`` be evaluated once ``bound`` variables are known?"""
+    if isinstance(condition, PatternCondition):
+        return True
+    if isinstance(condition, Comparison):
+        return condition_variables(condition) <= bound
+    if isinstance(condition, ExternalCall):
+        if registry is None:
+            return False
+        availability = [
+            isinstance(arg, Const)
+            or (isinstance(arg, Var) and arg.name in bound)
+            for arg in condition.args
+        ]
+        try:
+            registry.select(condition.name, availability)
+        except Exception:
+            return False
+        return True
+    return False
+
+
+def evaluate_rule(
+    rule: Rule,
+    forests: Mapping[str | None, Sequence[OEMObject]],
+    registry: ExternalRegistry | None = None,
+    oidgen: OidGenerator | None = None,
+    check: bool = True,
+) -> list[OEMObject]:
+    """Evaluate ``rule`` against per-source forests; return head objects.
+
+    ``forests`` maps source names (as written after ``@``) to their
+    top-level objects; the key ``None`` serves conditions with no
+    ``@source`` annotation (queries already addressed to one source).
+
+    >>> from repro.msl.parser import parse_rule
+    >>> from repro.oem import parse_oem
+    >>> data = parse_oem("<&1, person, set, {&2}> <&2, name, string, 'Ann'>")
+    >>> rule = parse_rule("<who N> :- <person {<name N>}>@s")
+    >>> [o.value for o in evaluate_rule(rule, {'s': data})]
+    ['Ann']
+    """
+    if check:
+        check_rule(rule)
+
+    remaining: list[Condition] = list(rule.tail)
+    bindings_list: list[Bindings] = [EMPTY_BINDINGS]
+    bound: set[str] = set()
+
+    while remaining:
+        chosen_index = None
+        # prefer the first evaluable non-pattern condition (cheap filters
+        # first), otherwise the first pattern condition
+        for index, condition in enumerate(remaining):
+            if not isinstance(condition, PatternCondition) and _ready(
+                condition, bound, registry
+            ):
+                chosen_index = index
+                break
+        if chosen_index is None:
+            for index, condition in enumerate(remaining):
+                if isinstance(condition, PatternCondition):
+                    chosen_index = index
+                    break
+        if chosen_index is None:
+            raise MSLSemanticError(
+                f"cannot schedule remaining conditions"
+                f" {[str(c) for c in remaining]}: external predicates"
+                f" lack implementations for the available bindings"
+            )
+        condition = remaining.pop(chosen_index)
+        if isinstance(condition, PatternCondition):
+            bindings_list = _expand_pattern(condition, bindings_list, forests)
+        elif isinstance(condition, ExternalCall):
+            assert registry is not None
+            bindings_list = _expand_external(condition, bindings_list, registry)
+        else:
+            bindings_list = [
+                env
+                for env in bindings_list
+                if evaluate_comparison(condition, env)
+            ]
+        bound |= condition_variables(condition)
+        if not bindings_list:
+            return []
+
+    # footnote 3: project onto head variables, eliminate duplicated
+    # bindings, then create an object per surviving binding set
+    needed = frozenset(head_variables(rule.head))
+    seen: set[tuple] = set()
+    projected: list[Bindings] = []
+    for env in bindings_list:
+        proj = env.project(needed)
+        key = proj.key()
+        if key not in seen:
+            seen.add(key)
+            projected.append(proj)
+
+    generator = oidgen or OidGenerator("&v")
+    objects: list[OEMObject] = []
+    for env in projected:
+        for item in rule.head:
+            objects.extend(instantiate_head_item(item, env, generator))
+    return eliminate_duplicates(objects)

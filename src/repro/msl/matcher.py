@@ -1,0 +1,297 @@
+"""Pattern matching: MSL patterns against OEM object structures.
+
+This implements the paper's "process of creating the virtual objects ...
+as pattern matching": tail patterns are matched against the object
+structure of a source, "trying to bind the variables to object
+components".  The matcher produces a *stream of binding environments* —
+one per way the pattern embeds into the data.
+
+Semantics implemented here:
+
+* a set pattern's explicit items match **distinct** direct sub-objects
+  (an injective embedding); extra sub-objects are simply ignored unless a
+  ``| Rest`` variable is present, in which case Rest binds to exactly the
+  sub-objects not consumed by the explicit items;
+* rest *conditions* (``| Rest:{<year 3>}``, produced by condition
+  pushdown) must match injectively among the rest's members without
+  removing them from the Rest binding;
+* descendant items (``.. <p>``) match at any depth below the enclosing
+  object and do not consume a direct child (so they never affect Rest);
+* constants in any slot filter; variables in any slot bind — including
+  the **label** slot, which is what resolves schematic discrepancies;
+* the anonymous variable ``_`` matches anything and binds nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.msl.ast import (
+    Const,
+    Param,
+    Pattern,
+    PatternItem,
+    SemOidTerm,
+    SetPattern,
+    Term,
+    Var,
+    VarItem,
+)
+from repro.msl.bindings import EMPTY_BINDINGS, Bindings, values_equal
+from repro.msl.errors import MSLMatchError
+from repro.oem.model import OEMObject
+from repro.oem.oid import SemanticOid
+from repro.oem.traverse import descendants
+
+__all__ = [
+    "match_pattern",
+    "match_against_forest",
+    "match_all",
+]
+
+
+# ---------------------------------------------------------------------------
+# slot matching
+# ---------------------------------------------------------------------------
+
+
+def _match_slot(
+    term: Term, actual: object, bindings: Bindings
+) -> Bindings | None:
+    """Match one non-value slot term against an actual atom."""
+    if isinstance(term, Const):
+        return bindings if values_equal(term.value, actual) else None
+    if isinstance(term, Var):
+        return bindings.bind(term.name, actual)
+    if isinstance(term, Param):
+        raise MSLMatchError(
+            f"parameter ${term.name} in a pattern being matched; "
+            f"instantiate the template first"
+        )
+    if isinstance(term, SemOidTerm):
+        # a semantic-oid term in a tail oid slot matches an object whose
+        # oid is the corresponding SemanticOid
+        return _match_semantic_oid(term, actual, bindings)
+    raise MSLMatchError(f"cannot match slot term {term!r}")
+
+
+def _match_semantic_oid(
+    term: SemOidTerm, actual: object, bindings: Bindings
+) -> Bindings | None:
+    if not isinstance(actual, SemanticOid):
+        return None
+    if actual.functor != term.functor or len(actual.args) != len(term.args):
+        return None
+    env: Bindings | None = bindings
+    for arg_term, arg_value in zip(term.args, actual.args):
+        env = _match_slot(arg_term, arg_value, env)
+        if env is None:
+            return None
+    return env
+
+
+# ---------------------------------------------------------------------------
+# pattern matching
+# ---------------------------------------------------------------------------
+
+
+def match_pattern(
+    pattern: Pattern, obj: OEMObject, bindings: Bindings = EMPTY_BINDINGS
+) -> Iterator[Bindings]:
+    """All ways ``pattern`` matches the single object ``obj``.
+
+    >>> from repro.msl.parser import parse_pattern
+    >>> from repro.oem import parse_one
+    >>> o = parse_one("<&1, name, string, 'Fred'>")
+    >>> [dict(b.items()) for b in match_pattern(parse_pattern('<name N>'), o)]
+    [{'N': 'Fred'}]
+    """
+    env: Bindings | None = bindings
+    # oid slot
+    if pattern.oid is not None:
+        if isinstance(pattern.oid, Const):
+            if str(pattern.oid.value) != obj.oid.text:
+                return
+        else:
+            env = _match_slot(pattern.oid, obj.oid, env)
+            if env is None:
+                return
+    # label slot
+    env = _match_slot(pattern.label, obj.label, env)
+    if env is None:
+        return
+    # type slot
+    if pattern.type is not None:
+        env = _match_slot(pattern.type, obj.type, env)
+        if env is None:
+            return
+    # object variable
+    if pattern.object_var is not None and not pattern.object_var.is_anonymous:
+        env = env.bind(pattern.object_var.name, obj)
+        if env is None:
+            return
+    # value slot
+    value = pattern.value
+    if isinstance(value, SetPattern):
+        if not obj.is_set:
+            return
+        yield from _match_set(value, obj, env)
+        return
+    if isinstance(value, Const):
+        if obj.is_atomic and values_equal(value.value, obj.value):
+            yield env
+        return
+    if isinstance(value, Var):
+        bound = obj.children if obj.is_set else obj.value
+        result = env.bind(value.name, bound)
+        if result is not None:
+            yield result
+        return
+    if isinstance(value, Param):
+        raise MSLMatchError(
+            f"parameter ${value.name} in a pattern being matched; "
+            f"instantiate the template first"
+        )
+    raise MSLMatchError(f"cannot match value term {value!r}")
+
+
+def _match_set(
+    setpat: SetPattern, obj: OEMObject, bindings: Bindings
+) -> Iterator[Bindings]:
+    """Match a ``{...}`` pattern against the children of set object ``obj``."""
+    children = obj.children
+    direct: list[Pattern] = []
+    deep: list[Pattern] = []
+    for item in setpat.items:
+        if isinstance(item, VarItem):
+            raise MSLMatchError(
+                f"bare variable {item.var} inside a set pattern is only"
+                f" meaningful in rule heads"
+            )
+        if isinstance(item, PatternItem):
+            (deep if item.descendant else direct).append(item.pattern)
+
+    def assign_direct(
+        index: int, used: frozenset[int], env: Bindings
+    ) -> Iterator[tuple[frozenset[int], Bindings]]:
+        """Injective assignment of direct item patterns to children."""
+        if index == len(direct):
+            yield used, env
+            return
+        item_pattern = direct[index]
+        for child_index, child in enumerate(children):
+            if child_index in used:
+                continue
+            if isinstance(item_pattern.label, Const) and (
+                item_pattern.label.value != child.label
+            ):
+                continue
+            for extended in match_pattern(item_pattern, child, env):
+                yield from assign_direct(
+                    index + 1, used | {child_index}, extended
+                )
+
+    def apply_deep(
+        index: int, env: Bindings
+    ) -> Iterator[Bindings]:
+        """Descendant items: match anywhere below ``obj``, non-consuming."""
+        if index == len(deep):
+            yield env
+            return
+        for node in descendants(obj):
+            for extended in match_pattern(deep[index], node, env):
+                yield from apply_deep(index + 1, extended)
+
+    for used, env in assign_direct(0, frozenset(), bindings):
+        for env2 in apply_deep(0, env):
+            if setpat.rest is None:
+                yield env2
+                continue
+            rest_members = tuple(
+                child
+                for child_index, child in enumerate(children)
+                if child_index not in used
+            )
+            rest_env = (
+                env2
+                if setpat.rest.var.is_anonymous
+                else env2.bind(setpat.rest.var.name, rest_members)
+            )
+            if rest_env is None:
+                continue
+            yield from _check_rest_conditions(
+                setpat.rest.conditions, rest_members, rest_env
+            )
+
+
+def _check_rest_conditions(
+    conditions: tuple[Pattern, ...],
+    members: tuple[OEMObject, ...],
+    bindings: Bindings,
+) -> Iterator[Bindings]:
+    """Pushed-down conditions on a Rest variable.
+
+    Each condition must match a distinct member of the rest set; members
+    stay in the Rest binding (conditions filter, they do not consume).
+    """
+    if not conditions:
+        yield bindings
+        return
+
+    def assign(
+        index: int, used: frozenset[int], env: Bindings
+    ) -> Iterator[Bindings]:
+        if index == len(conditions):
+            yield env
+            return
+        for member_index, member in enumerate(members):
+            if member_index in used:
+                continue
+            for extended in match_pattern(conditions[index], member, env):
+                yield from assign(index + 1, used | {member_index}, extended)
+
+    yield from assign(0, frozenset(), bindings)
+
+
+# ---------------------------------------------------------------------------
+# forest-level matching
+# ---------------------------------------------------------------------------
+
+
+def match_against_forest(
+    pattern: Pattern,
+    roots: Iterable[OEMObject],
+    bindings: Bindings = EMPTY_BINDINGS,
+    any_level: bool = False,
+) -> Iterator[Bindings]:
+    """Match ``pattern`` against the top-level objects of a source.
+
+    With ``any_level=True`` the pattern is tried against every object at
+    any depth (the wildcard search of Section 2's "Other Features") —
+    "the client is not restricted to query the object structure starting
+    from top-level objects".
+    """
+    if any_level:
+        from repro.oem.traverse import walk
+
+        candidates: Iterable[OEMObject] = walk(roots)
+    else:
+        candidates = roots
+    for obj in candidates:
+        yield from match_pattern(pattern, obj, bindings)
+
+
+def match_all(
+    pattern: Pattern,
+    roots: Iterable[OEMObject],
+    bindings: Bindings = EMPTY_BINDINGS,
+) -> list[Bindings]:
+    """Eager list version of :func:`match_against_forest` (deduplicated)."""
+    seen: set[tuple] = set()
+    results: list[Bindings] = []
+    for env in match_against_forest(pattern, roots, bindings):
+        key = env.key()
+        if key not in seen:
+            seen.add(key)
+            results.append(env)
+    return results

@@ -1,0 +1,506 @@
+"""Recursive-descent parser for MSL.
+
+Grammar (informally; ``[x]`` optional, ``x*`` repetition):
+
+.. code-block:: text
+
+    spec      := (rule [';'] | extdecl [';'])*
+    extdecl   := 'EXT' name '(' adword (',' adword)* ')' 'BY' name
+    adword    := 'bound' | 'free' | 'b' | 'f'
+    rule      := head ':-' tail
+    head      := headitem+
+    headitem  := VAR | pattern
+    tail      := conjunct (('AND' | ',') conjunct)*
+    conjunct  := [VAR ':'] pattern ['@' name]
+               | name '(' term (',' term)* ')'
+               | term cmp term
+    pattern   := '<' field+ '>'            -- 1 to 4 fields, elision rules
+    field     := oidterm | term | setpat
+    setpat    := '{' item* ['|' rest] '}'
+    item      := ['..'] pattern | VAR
+    rest      := VAR [':' '{' pattern* '}']
+    oidterm   := '&'name | '&'name '(' term (',' term)* ')'
+    term      := VAR | constant | '$'name
+    cmp       := '=' | '!=' | '<' | '<=' | '>' | '>='
+
+Variables are capitalised identifiers (or ``_``); lowercase identifiers
+are constants (labels, type names, bare-word strings).  Comments start
+with ``//`` or ``#``.
+"""
+
+from __future__ import annotations
+
+from repro.msl.ast import (
+    ANONYMOUS,
+    COMPARISON_OPS,
+    Comparison,
+    Condition,
+    Const,
+    ExternalCall,
+    ExternalDecl,
+    HeadItem,
+    Param,
+    Pattern,
+    PatternCondition,
+    PatternItem,
+    RestSpec,
+    Rule,
+    SemOidTerm,
+    SetPattern,
+    Specification,
+    Term,
+    Var,
+    VarItem,
+    is_variable_name,
+)
+from repro.msl.errors import MSLSyntaxError
+from repro.msl.lexer import Token, tokenize
+
+__all__ = ["parse_specification", "parse_rule", "parse_query", "parse_pattern"]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token | None:
+        index = self.pos + ahead
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok is None:
+            raise MSLSyntaxError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> Token:
+        tok = self.next()
+        if tok.text != text:
+            raise MSLSyntaxError(
+                f"expected {text!r}, found {tok.text!r}",
+                tok.pos,
+                tok.line,
+                tok.column,
+            )
+        return tok
+
+    def at(self, text: str, ahead: int = 0) -> bool:
+        tok = self.peek(ahead)
+        return tok is not None and tok.text == text
+
+    def at_word(self, word: str, ahead: int = 0) -> bool:
+        tok = self.peek(ahead)
+        return (
+            tok is not None
+            and tok.kind == "word"
+            and tok.text.upper() == word.upper()
+        )
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def error(self, message: str) -> MSLSyntaxError:
+        tok = self.peek()
+        if tok is None:
+            return MSLSyntaxError(message + " (at end of input)")
+        return MSLSyntaxError(message, tok.pos, tok.line, tok.column)
+
+    # -- specification ---------------------------------------------------
+
+    def parse_specification(self) -> Specification:
+        rules: list[Rule] = []
+        externals: list[ExternalDecl] = []
+        while not self.at_end():
+            if self.at(";"):
+                self.pos += 1
+                continue
+            if self.at_word("EXT"):
+                externals.append(self.parse_extdecl())
+            else:
+                rules.append(self.parse_rule())
+        return Specification(tuple(rules), tuple(externals))
+
+    def parse_extdecl(self) -> ExternalDecl:
+        self.next()  # EXT
+        name_tok = self.next()
+        if name_tok.kind != "word":
+            raise self.error("expected a predicate name after EXT")
+        self.expect("(")
+        adornment: list[str] = []
+        while True:
+            tok = self.next()
+            if tok.kind != "word":
+                raise MSLSyntaxError(
+                    f"expected 'bound' or 'free', found {tok.text!r}",
+                    tok.pos,
+                    tok.line,
+                    tok.column,
+                )
+            word = tok.text.lower()
+            if word in ("bound", "b"):
+                adornment.append("b")
+            elif word in ("free", "f"):
+                adornment.append("f")
+            else:
+                raise MSLSyntaxError(
+                    f"expected 'bound' or 'free', found {tok.text!r}",
+                    tok.pos,
+                    tok.line,
+                    tok.column,
+                )
+            if self.at(","):
+                self.pos += 1
+                continue
+            break
+        self.expect(")")
+        if not self.at_word("BY"):
+            raise self.error("expected BY in external declaration")
+        self.next()
+        func_tok = self.next()
+        if func_tok.kind != "word":
+            raise self.error("expected a function name after BY")
+        return ExternalDecl(name_tok.text, tuple(adornment), func_tok.text)
+
+    # -- rules -------------------------------------------------------------
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_head()
+        self.expect(":-")
+        tail = self.parse_tail()
+        return Rule(tuple(head), tuple(tail))
+
+    def parse_head(self) -> list[HeadItem]:
+        items: list[HeadItem] = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise self.error("unexpected end of input in rule head")
+            if tok.text == ":-":
+                break
+            if tok.text == "<":
+                items.append(self.parse_pattern())
+            elif tok.kind == "word" and is_variable_name(tok.text):
+                self.pos += 1
+                items.append(Var(tok.text))
+            else:
+                raise self.error(
+                    f"rule head expects patterns or variables,"
+                    f" found {tok.text!r}"
+                )
+        if not items:
+            raise self.error("rule head is empty")
+        return items
+
+    def parse_tail(self) -> list[Condition]:
+        conditions = [self.parse_conjunct()]
+        while True:
+            if self.at(",") or self.at_word("AND"):
+                self.pos += 1
+                conditions.append(self.parse_conjunct())
+                continue
+            break
+        return conditions
+
+    def parse_conjunct(self) -> Condition:
+        tok = self.peek()
+        if tok is None:
+            raise self.error("expected a condition")
+        # object-variable pattern: Var : <...>
+        if (
+            tok.kind == "word"
+            and is_variable_name(tok.text)
+            and self.at(":", 1)
+            and self.at("<", 2)
+        ):
+            self.pos += 2
+            pattern = self.parse_pattern(object_var=Var(tok.text))
+            return self._with_source(pattern)
+        if tok.text == "<":
+            pattern = self.parse_pattern()
+            return self._with_source(pattern)
+        # external call: name ( ... )
+        if tok.kind == "word" and not is_variable_name(tok.text) and self.at("(", 1):
+            self.pos += 2
+            args: list[Term] = []
+            while not self.at(")"):
+                args.append(self.parse_term())
+                if self.at(","):
+                    self.pos += 1
+            self.expect(")")
+            return ExternalCall(tok.text, tuple(args))
+        # comparison: term op term
+        left = self.parse_term()
+        op_tok = self.next()
+        op = op_tok.text
+        if op not in COMPARISON_OPS:
+            raise MSLSyntaxError(
+                f"expected a comparison operator, found {op!r}",
+                op_tok.pos,
+                op_tok.line,
+                op_tok.column,
+            )
+        right = self.parse_term()
+        return Comparison(left, op, right)
+
+    def _with_source(self, pattern: Pattern) -> PatternCondition:
+        if self.at("@"):
+            self.pos += 1
+            tok = self.next()
+            if tok.kind != "word":
+                raise MSLSyntaxError(
+                    f"expected a source name after '@', found {tok.text!r}",
+                    tok.pos,
+                    tok.line,
+                    tok.column,
+                )
+            return PatternCondition(pattern, tok.text)
+        return PatternCondition(pattern, None)
+
+    # -- patterns ------------------------------------------------------------
+
+    def parse_pattern(self, object_var: Var | None = None) -> Pattern:
+        self.expect("<")
+        fields: list[object] = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise self.error("unterminated pattern (missing '>')")
+            if tok.text == ">":
+                self.pos += 1
+                break
+            if tok.text == ",":
+                self.pos += 1
+                continue
+            if tok.text == "{":
+                fields.append(self.parse_set_pattern())
+                continue
+            if tok.kind == "oid":
+                fields.append(self.parse_oid_term())
+                continue
+            fields.append(self.parse_term())
+        return self._assemble_pattern(fields, object_var)
+
+    def parse_oid_term(self) -> Term:
+        tok = self.next()  # the oid token
+        if self.at("("):
+            self.pos += 1
+            args: list[Term] = []
+            while not self.at(")"):
+                args.append(self.parse_term())
+                if self.at(","):
+                    self.pos += 1
+            self.expect(")")
+            return SemOidTerm(str(tok.value), tuple(args))
+        return Const(tok.text)
+
+    def _assemble_pattern(
+        self, fields: list[object], object_var: Var | None
+    ) -> Pattern:
+        """Apply MSL's field-elision rules (mirroring OEM's).
+
+        1 field: label only, value anonymous.  2: label value.
+        3: oid label value.  4: oid label type value.
+        """
+        if not 1 <= len(fields) <= 4:
+            raise self.error(
+                f"a pattern has 1-4 fields, found {len(fields)}"
+            )
+        oid: Term | None = None
+        type_: Term | None = None
+        if len(fields) == 1:
+            (label,) = fields
+            value: object = Var(ANONYMOUS)
+        elif len(fields) == 2:
+            label, value = fields
+        elif len(fields) == 3:
+            oid, label, value = fields  # type: ignore[assignment]
+        else:
+            oid, label, type_, value = fields  # type: ignore[assignment]
+
+        label_term = _require_slot_term(label, "label", self)
+        if oid is not None:
+            oid = _require_slot_term(oid, "oid", self)
+        if type_ is not None:
+            type_ = _require_slot_term(type_, "type", self)
+        if not isinstance(value, (Const, Var, Param, SemOidTerm, SetPattern)):
+            raise self.error(f"invalid pattern value {value!r}")
+        return Pattern(
+            label=label_term,
+            value=value,
+            type=type_,
+            oid=oid,
+            object_var=object_var,
+        )
+
+    def parse_set_pattern(self) -> SetPattern:
+        self.expect("{")
+        items: list[PatternItem | VarItem] = []
+        rest: RestSpec | None = None
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise self.error("unterminated set pattern (missing '}')")
+            if tok.text == "}":
+                self.pos += 1
+                break
+            if tok.text == ",":
+                self.pos += 1
+                continue
+            if tok.text == "|":
+                self.pos += 1
+                rest = self.parse_rest_spec()
+                self.expect("}")
+                break
+            if tok.text == "..":
+                self.pos += 1
+                items.append(PatternItem(self.parse_pattern(), descendant=True))
+                continue
+            if tok.text == "<":
+                # an object-variable item  V:<...>  is not legal here; a
+                # pattern item may still carry one via the conjunct form.
+                items.append(PatternItem(self.parse_pattern()))
+                continue
+            if (
+                tok.kind == "word"
+                and is_variable_name(tok.text)
+                and self.at(":", 1)
+                and self.at("<", 2)
+            ):
+                self.pos += 2
+                items.append(
+                    PatternItem(self.parse_pattern(object_var=Var(tok.text)))
+                )
+                continue
+            if tok.kind == "word" and is_variable_name(tok.text):
+                self.pos += 1
+                items.append(VarItem(Var(tok.text)))
+                continue
+            raise self.error(
+                f"unexpected {tok.text!r} inside set pattern"
+            )
+        return SetPattern(tuple(items), rest)
+
+    def parse_rest_spec(self) -> RestSpec:
+        tok = self.next()
+        if tok.kind != "word" or not is_variable_name(tok.text):
+            raise MSLSyntaxError(
+                f"expected a rest variable after '|', found {tok.text!r}",
+                tok.pos,
+                tok.line,
+                tok.column,
+            )
+        var = Var(tok.text)
+        conditions: list[Pattern] = []
+        if self.at(":"):
+            self.pos += 1
+            self.expect("{")
+            while not self.at("}"):
+                if self.at(","):
+                    self.pos += 1
+                    continue
+                conditions.append(self.parse_pattern())
+            self.expect("}")
+        return RestSpec(var, tuple(conditions))
+
+    # -- terms --------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        tok = self.next()
+        if tok.kind == "string":
+            return Const(tok.value)
+        if tok.kind == "number":
+            return Const(tok.value)
+        if tok.kind == "param":
+            return Param(str(tok.value))
+        if tok.kind == "oid":
+            return Const(tok.text)
+        if tok.kind == "word":
+            if is_variable_name(tok.text):
+                return Var(tok.text)
+            lowered = tok.text.lower()
+            if lowered == "true":
+                return Const(True)
+            if lowered == "false":
+                return Const(False)
+            return Const(tok.text)
+        raise MSLSyntaxError(
+            f"expected a term, found {tok.text!r}",
+            tok.pos,
+            tok.line,
+            tok.column,
+        )
+
+
+def _require_slot_term(field: object, slot: str, parser: _Parser) -> Term:
+    if isinstance(field, (Const, Var, SemOidTerm, Param)):
+        if slot == "label" and isinstance(field, SemOidTerm):
+            raise parser.error("a semantic oid cannot fill the label slot")
+        return field
+    raise parser.error(f"invalid {slot} field {field!r}")
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def parse_specification(text: str) -> Specification:
+    """Parse a full mediator specification (rules + EXT declarations).
+
+    >>> spec = parse_specification(
+    ...     "<p {<a X>}> :- <q {<a X>}>@src")
+    >>> len(spec.rules)
+    1
+    """
+    parser = _Parser(text)
+    return parser.parse_specification()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse text containing exactly one rule."""
+    spec = parse_specification(text)
+    if len(spec.rules) != 1 or spec.externals:
+        raise MSLSyntaxError(
+            f"expected exactly one rule, found {len(spec.rules)} rules"
+            f" and {len(spec.externals)} declarations"
+        )
+    return spec.rules[0]
+
+
+def parse_query(text: str) -> Rule:
+    """Parse an MSL query (a single rule; the paper's query form).
+
+    >>> q = parse_query("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+    >>> str(q.head[0])
+    'JC'
+    """
+    return parse_rule(text)
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse a standalone object pattern, e.g. ``<person {<name N>}>``.
+
+    The object-variable form ``X:<...>`` is accepted too.
+    """
+    parser = _Parser(text)
+    object_var: Var | None = None
+    tok = parser.peek()
+    if (
+        tok is not None
+        and tok.kind == "word"
+        and is_variable_name(tok.text)
+        and parser.at(":", 1)
+        and parser.at("<", 2)
+    ):
+        parser.pos += 2
+        object_var = Var(tok.text)
+    pattern = parser.parse_pattern(object_var=object_var)
+    if not parser.at_end():
+        raise parser.error("trailing input after pattern")
+    return pattern

@@ -1,0 +1,44 @@
+"""Pretty-printing of MSL ASTs.
+
+The AST classes' ``__str__`` already produce valid one-line MSL; this
+module adds multi-line layouts that match how the paper typesets rules —
+the head on its own line, each tail condition indented and joined by
+``AND`` — plus helpers for printing whole specifications and programs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.msl.ast import Rule, Specification
+
+__all__ = ["format_rule", "format_specification", "format_rules"]
+
+
+def format_rule(rule: Rule, indent: str = "    ") -> str:
+    """Format one rule in the paper's multi-line style.
+
+    >>> from repro.msl.parser import parse_rule
+    >>> print(format_rule(parse_rule("<a X> :- <b X>@s AND <c X>@t")))
+    <a X> :-
+        <b X>@s
+        AND <c X>@t
+    """
+    head_text = " ".join(str(h) for h in rule.head)
+    lines = [f"{head_text} :-"]
+    for index, condition in enumerate(rule.tail):
+        prefix = indent if index == 0 else f"{indent}AND "
+        lines.append(prefix + str(condition))
+    return "\n".join(lines)
+
+
+def format_rules(rules: Iterable[Rule], indent: str = "    ") -> str:
+    """Format several rules separated by blank lines."""
+    return "\n\n".join(format_rule(rule, indent) for rule in rules)
+
+
+def format_specification(spec: Specification, indent: str = "    ") -> str:
+    """Format a full specification: rules then EXT declarations."""
+    parts = [format_rule(rule, indent) for rule in spec.rules]
+    parts.extend(str(decl) for decl in spec.externals)
+    return "\n\n".join(parts)

@@ -1,0 +1,72 @@
+"""The Object Exchange Model (OEM) substrate.
+
+Public surface of the OEM layer: the object model, oid machinery,
+builders, structural comparison, traversal, and the textual
+parser/printer used throughout the paper's figures.
+"""
+
+from repro.oem.model import (
+    ATOMIC_TYPES,
+    Atom,
+    OEMError,
+    OEMObject,
+    OEMTypeError,
+    SET_TYPE,
+    infer_type,
+)
+from repro.oem.oid import Oid, OidGenerator, SemanticOid, fresh_oid
+from repro.oem.builders import atom, from_python, obj, to_python
+from repro.oem.compare import (
+    eliminate_duplicates,
+    is_subobject_set,
+    structural_hash,
+    structural_key,
+    structurally_equal,
+)
+from repro.oem.parser import OEMParseError, parse_oem, parse_one
+from repro.oem.printer import format_forest, to_inline, to_text
+from repro.oem.traverse import (
+    count_objects,
+    depth,
+    descendants,
+    find_all,
+    find_by_label,
+    paths_to,
+    walk,
+)
+
+__all__ = [
+    "ATOMIC_TYPES",
+    "Atom",
+    "OEMError",
+    "OEMObject",
+    "OEMParseError",
+    "OEMTypeError",
+    "Oid",
+    "OidGenerator",
+    "SET_TYPE",
+    "SemanticOid",
+    "atom",
+    "count_objects",
+    "depth",
+    "descendants",
+    "eliminate_duplicates",
+    "find_all",
+    "find_by_label",
+    "format_forest",
+    "fresh_oid",
+    "from_python",
+    "infer_type",
+    "is_subobject_set",
+    "obj",
+    "parse_oem",
+    "parse_one",
+    "paths_to",
+    "structural_hash",
+    "structural_key",
+    "structurally_equal",
+    "to_inline",
+    "to_python",
+    "to_text",
+    "walk",
+]

@@ -1,0 +1,101 @@
+"""Ergonomic constructors for OEM objects.
+
+The raw :class:`~repro.oem.model.OEMObject` constructor is explicit but
+verbose.  These helpers cover the common cases:
+
+* :func:`atom` — one atomic object;
+* :func:`obj` — one set object from keyword/positional sub-objects;
+* :func:`from_python` — convert nested dicts/lists/atoms wholesale;
+* :func:`to_python` — the inverse, for client-side consumption.
+
+>>> person = obj('person', atom('name', 'Joe Chung'), atom('dept', 'CS'))
+>>> person.get('dept')
+'CS'
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.oem.model import Atom, OEMObject, SET_TYPE
+from repro.oem.oid import Oid
+
+__all__ = ["atom", "obj", "from_python", "to_python"]
+
+
+def atom(
+    label: str, value: Atom, type_: str | None = None, oid: str | None = None
+) -> OEMObject:
+    """Create one atomic OEM object.
+
+    >>> atom('year', 3)
+    <..., year, integer, 3>
+    """
+    return OEMObject(label, value, type_, oid)
+
+
+def obj(
+    label: str,
+    *children: OEMObject,
+    oid: str | Oid | None = None,
+) -> OEMObject:
+    """Create one set-valued OEM object from its sub-objects."""
+    return OEMObject(label, children, SET_TYPE, oid)
+
+
+def from_python(label: str, value: object) -> OEMObject:
+    """Convert a nested Python structure into an OEM object.
+
+    * ``Mapping`` becomes a set object with one sub-object per key;
+    * ``list``/``tuple`` becomes a set object whose members all carry the
+      singular-ish label ``item`` unless they are ``(label, value)`` pairs;
+    * atoms become atomic objects.
+
+    >>> o = from_python('person', {'name': 'Ann', 'year': 2})
+    >>> sorted(c.label for c in o.children)
+    ['name', 'year']
+    """
+    if isinstance(value, Mapping):
+        children = [from_python(str(key), sub) for key, sub in value.items()]
+        return OEMObject(label, children, SET_TYPE)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        children = []
+        for member in value:
+            if (
+                isinstance(member, tuple)
+                and len(member) == 2
+                and isinstance(member[0], str)
+            ):
+                children.append(from_python(member[0], member[1]))
+            else:
+                children.append(from_python("item", member))
+        return OEMObject(label, children, SET_TYPE)
+    if isinstance(value, OEMObject):
+        return value.with_label(label)
+    return OEMObject(label, value)
+
+
+def to_python(obj_: OEMObject) -> object:
+    """Convert an OEM object back into plain Python data.
+
+    Set objects become dicts keyed by label; when several sub-objects
+    share a label their values are collected in a list (OEM allows it).
+    """
+    if obj_.is_atomic:
+        return obj_.value
+    result: dict[str, object] = {}
+    for child in obj_.children:
+        converted = to_python(child)
+        if child.label in result:
+            existing = result[child.label]
+            if isinstance(existing, list):
+                existing.append(converted)
+            else:
+                result[child.label] = [existing, converted]
+        else:
+            result[child.label] = converted
+    return result
+
+
+def _labels(children: Iterable[OEMObject]) -> list[str]:
+    return [c.label for c in children]

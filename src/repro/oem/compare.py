@@ -1,0 +1,79 @@
+"""Structural comparison, hashing, and duplicate elimination for OEM.
+
+The MSL semantics call for duplicate elimination of view objects "in the
+OEM context" (the paper's footnote 9 admits their engine lacked the
+feature; we provide it).  Two OEM objects are *structurally equal* when
+they have the same label, the same type, and — recursively — the same
+value, where set values compare as **bags turned into sets**: order is
+irrelevant and duplicated members collapse.  Object-ids are ignored,
+because the ids of view objects are arbitrary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Hashable
+
+from repro.oem.model import OEMObject
+
+__all__ = [
+    "structural_key",
+    "structural_hash",
+    "structurally_equal",
+    "eliminate_duplicates",
+    "is_subobject_set",
+]
+
+
+def structural_key(obj: OEMObject) -> Hashable:
+    """A hashable key capturing the structure of ``obj`` (oids ignored).
+
+    Set values are canonicalised by sorting the children's keys, so the
+    key is insensitive to sub-object order and to duplicate sub-objects.
+    """
+    if obj.is_set:
+        child_keys = frozenset(structural_key(c) for c in obj.children)
+        return (obj.label, "set", child_keys)
+    return (obj.label, obj.type, obj.value)
+
+
+def structural_hash(obj: OEMObject) -> int:
+    """Hash consistent with :func:`structurally_equal`."""
+    return hash(structural_key(obj))
+
+
+def structurally_equal(a: OEMObject, b: OEMObject) -> bool:
+    """True when ``a`` and ``b`` have identical structure (oids ignored)."""
+    if a is b:
+        return True
+    if a.label != b.label or a.type != b.type:
+        return False
+    if a.is_set:
+        return structural_key(a) == structural_key(b)
+    return a.value == b.value
+
+
+def eliminate_duplicates(objects: Iterable[OEMObject]) -> list[OEMObject]:
+    """Drop structurally duplicated objects, keeping first occurrences.
+
+    This implements the duplicate elimination that the MSL semantics
+    prescribe for the objects a mediator (or query) generates.
+    """
+    seen: set[Hashable] = set()
+    unique: list[OEMObject] = []
+    for obj in objects:
+        key = structural_key(obj)
+        if key not in seen:
+            seen.add(key)
+            unique.append(obj)
+    return unique
+
+
+def is_subobject_set(
+    smaller: Iterable[OEMObject], larger: Iterable[OEMObject]
+) -> bool:
+    """True when every object in ``smaller`` structurally occurs in ``larger``.
+
+    Used by tests and by view-expansion containment checks.
+    """
+    larger_keys = {structural_key(o) for o in larger}
+    return all(structural_key(o) in larger_keys for o in smaller)

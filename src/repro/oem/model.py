@@ -1,0 +1,288 @@
+"""The Object Exchange Model (OEM).
+
+OEM is the self-describing data model of the TSIMMIS project
+(Papakonstantinou, Garcia-Molina, Widom, ICDE 1995) on which MedMaker
+operates.  Every piece of data is an *object* with four components:
+
+``<object-id, label, type, value>``
+
+* the **object-id** links objects to their sub-objects and gives object
+  identity (it may also be a *semantic* object-id, see
+  :mod:`repro.oem.oid`);
+* the **label** is a string that explains the object's meaning to the
+  application or end user;
+* the **type** is either an atomic type (``string``, ``integer``, ...) or
+  ``set``;
+* the **value** is an atom of the stated type, or — for ``set`` objects — a
+  collection of sub-objects.
+
+OEM deliberately forces *no* regularity on data: two sibling objects with
+the same label may have entirely different sub-object structures.  This is
+what lets MedMaker integrate semi-structured and schema-evolving sources.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from repro.oem.oid import Oid, fresh_oid
+
+__all__ = [
+    "OEMObject",
+    "Atom",
+    "ATOMIC_TYPES",
+    "SET_TYPE",
+    "infer_type",
+    "OEMError",
+    "OEMTypeError",
+]
+
+#: Python values allowed in the value slot of an atomic OEM object.
+Atom = Union[str, int, float, bool, bytes, None]
+
+#: The atomic types recognised by this implementation.  The paper leaves
+#: the exact list open ("values may be of an atomic type"); we provide the
+#: types that its examples use plus the obvious extras.
+ATOMIC_TYPES = frozenset(
+    {"string", "integer", "real", "boolean", "bytes", "null"}
+)
+
+#: The single structured type: a set of sub-objects.
+SET_TYPE = "set"
+
+
+class OEMError(Exception):
+    """Base class for all OEM-layer errors."""
+
+
+class OEMTypeError(OEMError):
+    """A value does not agree with its declared OEM type."""
+
+
+def infer_type(value: object) -> str:
+    """Return the OEM type name for a Python ``value``.
+
+    ``bool`` must be tested before ``int`` because ``bool`` is a subclass
+    of ``int`` in Python.
+
+    >>> infer_type('CS')
+    'string'
+    >>> infer_type(3)
+    'integer'
+    """
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, int):
+        return "integer"
+    if isinstance(value, float):
+        return "real"
+    if isinstance(value, bytes):
+        return "bytes"
+    if value is None:
+        return "null"
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return SET_TYPE
+    raise OEMTypeError(f"no OEM type for Python value {value!r}")
+
+
+def _check_atom(type_: str, value: object) -> Atom:
+    """Validate that ``value`` is an atom of OEM type ``type_``."""
+    expected: dict[str, type | tuple[type, ...]] = {
+        "string": str,
+        "integer": int,
+        "real": (int, float),
+        "boolean": bool,
+        "bytes": bytes,
+    }
+    if type_ == "null":
+        if value is not None:
+            raise OEMTypeError(f"null object must carry None, got {value!r}")
+        return None
+    pytype = expected.get(type_)
+    if pytype is None:
+        raise OEMTypeError(f"unknown atomic OEM type {type_!r}")
+    if type_ == "boolean" and not isinstance(value, bool):
+        raise OEMTypeError(f"boolean object must carry bool, got {value!r}")
+    if type_ == "integer" and isinstance(value, bool):
+        raise OEMTypeError("integer object may not carry bool")
+    if not isinstance(value, pytype):
+        raise OEMTypeError(
+            f"value {value!r} is not of OEM type {type_!r}"
+        )
+    if type_ == "real":
+        return float(value)
+    return value  # type: ignore[return-value]
+
+
+class OEMObject:
+    """One OEM object ``<oid, label, type, value>``.
+
+    Instances are immutable: the value of a ``set`` object is stored as a
+    tuple of child :class:`OEMObject` instances (order is preserved for
+    deterministic printing, but comparisons treat it as a set; see
+    :mod:`repro.oem.compare`).
+
+    Parameters
+    ----------
+    label:
+        descriptive label, e.g. ``'person'``.
+    value:
+        an atom, or an iterable of :class:`OEMObject` for ``set`` objects.
+    type_:
+        OEM type name; inferred from ``value`` when omitted.
+    oid:
+        object-id; a fresh synthetic id is allocated when omitted (the
+        paper: "any arbitrary unique strings can be used").
+    """
+
+    __slots__ = ("oid", "label", "type", "value", "_hash")
+
+    oid: Oid
+    label: str
+    type: str
+    value: Union[Atom, tuple["OEMObject", ...]]
+
+    def __init__(
+        self,
+        label: str,
+        value: object,
+        type_: str | None = None,
+        oid: Oid | str | None = None,
+    ) -> None:
+        if not isinstance(label, str) or not label:
+            raise OEMError(f"label must be a non-empty string, got {label!r}")
+        if type_ is None:
+            type_ = infer_type(value)
+        if type_ == SET_TYPE:
+            if isinstance(value, (str, bytes)) or not isinstance(
+                value, Iterable
+            ):
+                raise OEMTypeError(
+                    f"set object value must be iterable of OEMObject,"
+                    f" got {value!r}"
+                )
+            children = tuple(value)
+            for child in children:
+                if not isinstance(child, OEMObject):
+                    raise OEMTypeError(
+                        f"set member {child!r} is not an OEMObject"
+                    )
+            checked: Union[Atom, tuple[OEMObject, ...]] = children
+        else:
+            checked = _check_atom(type_, value)
+        if oid is None:
+            oid = fresh_oid()
+        elif isinstance(oid, str):
+            oid = Oid(oid)
+        object.__setattr__(self, "oid", oid)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "type", type_)
+        object.__setattr__(self, "value", checked)
+        object.__setattr__(self, "_hash", None)
+
+    # -- immutability -------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("OEMObject is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("OEMObject is immutable")
+
+    # -- structure accessors -------------------------------------------
+
+    @property
+    def is_set(self) -> bool:
+        """True when this object's value is a set of sub-objects."""
+        return self.type == SET_TYPE
+
+    @property
+    def is_atomic(self) -> bool:
+        """True when this object's value is an atom."""
+        return self.type != SET_TYPE
+
+    @property
+    def children(self) -> tuple["OEMObject", ...]:
+        """Sub-objects of a ``set`` object; empty tuple for atoms."""
+        if self.is_set:
+            return self.value  # type: ignore[return-value]
+        return ()
+
+    def subobjects(self, label: str | None = None) -> tuple["OEMObject", ...]:
+        """Direct sub-objects, optionally restricted to ``label``.
+
+        >>> person = OEMObject('person', [OEMObject('name', 'Joe Chung')])
+        >>> [o.value for o in person.subobjects('name')]
+        ['Joe Chung']
+        """
+        kids = self.children
+        if label is None:
+            return kids
+        return tuple(child for child in kids if child.label == label)
+
+    def first(self, label: str) -> "OEMObject | None":
+        """First direct sub-object with ``label``, or ``None``."""
+        for child in self.children:
+            if child.label == label:
+                return child
+        return None
+
+    def get(self, label: str, default: object = None) -> object:
+        """Value of the first sub-object labelled ``label``.
+
+        Mirrors ``dict.get`` for the common case of record-like objects.
+        """
+        child = self.first(label)
+        if child is None:
+            return default
+        return child.value
+
+    def __iter__(self) -> Iterator["OEMObject"]:
+        return iter(self.children)
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    # -- derived objects ------------------------------------------------
+
+    def with_children(self, children: Iterable["OEMObject"]) -> "OEMObject":
+        """A copy of this set object with a different set of sub-objects."""
+        if not self.is_set:
+            raise OEMTypeError("with_children requires a set object")
+        return OEMObject(self.label, tuple(children), SET_TYPE, self.oid)
+
+    def with_label(self, label: str) -> "OEMObject":
+        """A copy of this object carrying a different label."""
+        return OEMObject(label, self.value, self.type, self.oid)
+
+    def with_oid(self, oid: Oid | str) -> "OEMObject":
+        """A copy of this object carrying a different object-id."""
+        return OEMObject(self.label, self.value, self.type, oid)
+
+    # -- equality is structural, ignoring oids --------------------------
+    # Object identity (oid) is deliberately excluded: the paper's mediator
+    # semantics compares and deduplicates objects by structure, and the
+    # object-ids of view objects are "arbitrary unique strings".
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OEMObject):
+            return NotImplemented
+        from repro.oem.compare import structurally_equal
+
+        return structurally_equal(self, other)
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            from repro.oem.compare import structural_hash
+
+            cached = structural_hash(self)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __repr__(self) -> str:
+        if self.is_set:
+            inner = ", ".join(repr(c) for c in self.children)
+            return f"<{self.oid}, {self.label}, set, {{{inner}}}>"
+        return f"<{self.oid}, {self.label}, {self.type}, {self.value!r}>"

@@ -1,0 +1,414 @@
+"""Parser for the paper's textual OEM notation.
+
+The paper writes OEM data as one object per line,
+
+.. code-block:: text
+
+    <&p1, person, set, {&n1, &d1, &rel1, &elm1}>
+      <&n1, name, string, 'Joe Chung'>
+      <&d1, dept, string, 'CS'>
+      <&rel1, relation, string, 'employee'>
+      <&elm1, e_mail, string, 'chung@cs'>
+    ;
+
+where a ``set`` value lists the object-ids of the sub-objects, which are
+defined on their own (indented) lines, and top-level objects are the ones
+not referenced from any set.  We accept that reference style, an inline
+style where sub-objects are written directly inside the braces, and any
+mixture of the two.  Types may be omitted (``<&d1, dept, 'CS'>``) and are
+then inferred from the value.  A ``;`` terminates a top-level group and is
+otherwise ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.oem.model import OEMObject, OEMError, SET_TYPE, infer_type
+from repro.oem.oid import Oid
+
+__all__ = ["parse_oem", "parse_one", "OEMParseError"]
+
+
+class OEMParseError(OEMError):
+    """Raised when OEM text cannot be parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        if position >= 0:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+_PUNCT = {"<", ">", "{", "}", ",", ";"}
+
+
+def _is_digit(ch: str) -> bool:
+    """ASCII digits only (str.isdigit admits characters int() rejects)."""
+    return "0" <= ch <= "9"
+
+
+@dataclass
+class _Token:
+    kind: str  # 'punct' | 'string' | 'number' | 'word' | 'oid'
+    text: str
+    value: object
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(_Token("punct", ch, ch, i))
+            i += 1
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            parts: list[str] = []
+            while j < n:
+                cj = text[j]
+                if cj == "\\" and j + 1 < n:
+                    parts.append(text[j + 1])
+                    j += 2
+                    continue
+                if cj == quote:
+                    break
+                parts.append(cj)
+                j += 1
+            else:
+                raise OEMParseError("unterminated string literal", i)
+            tokens.append(_Token("string", text[i : j + 1], "".join(parts), i))
+            i = j + 1
+            continue
+        if ch == "&":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_."):
+                j += 1
+            if j == i + 1:
+                raise OEMParseError("bare '&' is not an oid", i)
+            tokens.append(_Token("oid", text[i:j], text[i:j], i))
+            i = j
+            continue
+        if _is_digit(ch) or (
+            ch in "+-" and i + 1 < n and _is_digit(text[i + 1])
+        ):
+            j = i + 1
+            seen_dot = seen_exp = False
+            while j < n:
+                cj = text[j]
+                if _is_digit(cj):
+                    j += 1
+                elif cj == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif (
+                    cj in "eE"
+                    and not seen_exp
+                    and j + 1 < n
+                    and (
+                        _is_digit(text[j + 1])
+                        or (
+                            text[j + 1] in "+-"
+                            and j + 2 < n
+                            and _is_digit(text[j + 2])
+                        )
+                    )
+                ):
+                    seen_exp = True
+                    j += 2 if text[j + 1] in "+-" else 1
+                else:
+                    break
+            raw = text[i:j]
+            value: object = (
+                float(raw) if seen_dot or seen_exp else int(raw)
+            )
+            tokens.append(_Token("number", raw, value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_-"):
+                j += 1
+            tokens.append(_Token("word", text[i:j], text[i:j], i))
+            i = j
+            continue
+        raise OEMParseError(f"unexpected character {ch!r}", i)
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _RawObject:
+    """An object as parsed, before oid references are resolved."""
+
+    oid: str | None
+    label: str
+    type_: str | None
+    value: object  # atom, list of refs/raw objects
+    is_set: bool = False
+    members: list["str | _RawObject"] = field(default_factory=list)
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> _Token | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def next(self) -> _Token:
+        tok = self.peek()
+        if tok is None:
+            raise OEMParseError("unexpected end of input")
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> _Token:
+        tok = self.next()
+        if tok.text != text:
+            raise OEMParseError(
+                f"expected {text!r}, found {tok.text!r}", tok.pos
+            )
+        return tok
+
+    def skip_commas(self) -> None:
+        while (tok := self.peek()) is not None and tok.text == ",":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    # -- grammar -------------------------------------------------------
+
+    def parse_document(self) -> list[_RawObject]:
+        objects: list[_RawObject] = []
+        while not self.at_end():
+            tok = self.peek()
+            assert tok is not None
+            if tok.text == ";":
+                self.pos += 1
+                continue
+            objects.append(self.parse_object())
+        return objects
+
+    def parse_object(self) -> _RawObject:
+        self.expect("<")
+        fields: list[_Token | _RawObject | list] = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise OEMParseError("unterminated object (missing '>')")
+            if tok.text == ">":
+                self.pos += 1
+                break
+            if tok.text == ",":
+                self.pos += 1
+                continue
+            if tok.text == "{":
+                fields.append(self.parse_set())
+                continue
+            fields.append(self.next())
+        return self._assemble(fields)
+
+    def parse_set(self) -> list:
+        """Parse ``{ ... }`` — a list of oid references or inline objects."""
+        self.expect("{")
+        members: list = []
+        while True:
+            tok = self.peek()
+            if tok is None:
+                raise OEMParseError("unterminated set (missing '}')")
+            if tok.text == "}":
+                self.pos += 1
+                break
+            if tok.text == ",":
+                self.pos += 1
+                continue
+            if tok.text == "<":
+                members.append(self.parse_object())
+            elif tok.kind == "oid":
+                members.append(self.next().text)
+            else:
+                raise OEMParseError(
+                    f"set members must be oids or objects, found"
+                    f" {tok.text!r}",
+                    tok.pos,
+                )
+        return members
+
+    def _assemble(self, fields: list) -> _RawObject:
+        """Apply the paper's field-elision rules.
+
+        Four fields: ``<oid label type value>``.  Three: type dropped.
+        Two: type and oid dropped.
+        """
+        if len(fields) not in (2, 3, 4):
+            raise OEMParseError(
+                f"an OEM object has 2-4 fields, found {len(fields)}"
+            )
+        oid: str | None = None
+        type_: str | None = None
+        if len(fields) == 4:
+            oid_tok, label_tok, type_tok, value_field = fields
+            oid = _as_oid(oid_tok)
+            type_ = _as_word(type_tok, "type")
+        elif len(fields) == 3:
+            oid_tok, label_tok, value_field = fields
+            oid = _as_oid(oid_tok)
+        else:
+            label_tok, value_field = fields
+        label = _as_word(label_tok, "label")
+
+        if isinstance(value_field, list):
+            if type_ not in (None, SET_TYPE):
+                raise OEMParseError(
+                    f"braced value requires type 'set', not {type_!r}"
+                )
+            return _RawObject(
+                oid, label, SET_TYPE, None, is_set=True, members=value_field
+            )
+        value = _as_value(value_field)
+        return _RawObject(oid, label, type_, value)
+
+
+def _as_oid(tok: object) -> str:
+    if isinstance(tok, _Token) and tok.kind == "oid":
+        return tok.text
+    raise OEMParseError(f"expected an oid (&...), found {tok!r}")
+
+
+def _as_word(tok: object, what: str) -> str:
+    if isinstance(tok, _Token) and tok.kind in ("word", "string"):
+        return str(tok.value)
+    raise OEMParseError(f"expected a {what}, found {tok!r}")
+
+
+def _as_value(tok: object) -> object:
+    if isinstance(tok, _Token):
+        if tok.kind in ("string", "number"):
+            return tok.value
+        if tok.kind == "word":
+            lowered = tok.text.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            if lowered == "null":
+                return None
+            # bare words are treated as strings, matching the paper's
+            # habit of writing unquoted atoms in some figures
+            return tok.text
+        if tok.kind == "oid":
+            raise OEMParseError(
+                f"an oid reference {tok.text} may appear only inside a set",
+                tok.pos,
+            )
+    raise OEMParseError(f"cannot interpret value {tok!r}")
+
+
+# ---------------------------------------------------------------------------
+# reference resolution
+# ---------------------------------------------------------------------------
+
+
+def _resolve(raw_objects: list[_RawObject]) -> list[OEMObject]:
+    """Turn raw parses into OEMObjects; return only top-level objects."""
+    by_oid: dict[str, _RawObject] = {}
+    for raw in raw_objects:
+        if raw.oid is not None:
+            if raw.oid in by_oid:
+                raise OEMParseError(f"duplicate object-id {raw.oid}")
+            by_oid[raw.oid] = raw
+
+    referenced: set[int] = set()  # ids of _RawObject used as sub-objects
+    built: dict[int, OEMObject] = {}
+    building: set[int] = set()
+
+    def build(raw: _RawObject) -> OEMObject:
+        key = id(raw)
+        if key in built:
+            return built[key]
+        if key in building:
+            raise OEMParseError(
+                f"cyclic object-id reference through {raw.oid or raw.label}"
+            )
+        building.add(key)
+        if raw.is_set:
+            children = []
+            for member in raw.members:
+                if isinstance(member, str):
+                    target = by_oid.get(member)
+                    if target is None:
+                        raise OEMParseError(
+                            f"reference to undefined object-id {member}"
+                        )
+                    referenced.add(id(target))
+                    children.append(build(target))
+                else:
+                    referenced.add(id(member))
+                    children.append(build(member))
+            obj = OEMObject(
+                raw.label,
+                children,
+                SET_TYPE,
+                Oid(raw.oid) if raw.oid else None,
+            )
+        else:
+            type_ = raw.type_ or infer_type(raw.value)
+            obj = OEMObject(
+                raw.label,
+                raw.value,
+                type_,
+                Oid(raw.oid) if raw.oid else None,
+            )
+        building.discard(key)
+        built[key] = obj
+        return obj
+
+    all_built = [(raw, build(raw)) for raw in raw_objects]
+    return [obj for raw, obj in all_built if id(raw) not in referenced]
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def parse_oem(text: str) -> list[OEMObject]:
+    """Parse OEM text into its top-level objects.
+
+    >>> objs = parse_oem("<&d, dept, string, 'CS'>")
+    >>> objs[0].label, objs[0].value
+    ('dept', 'CS')
+    """
+    tokens = _tokenize(text)
+    raw = _Parser(tokens).parse_document()
+    return _resolve(raw)
+
+
+def parse_one(text: str) -> OEMObject:
+    """Parse text that must contain exactly one top-level object."""
+    objects = parse_oem(text)
+    if len(objects) != 1:
+        raise OEMParseError(
+            f"expected exactly one top-level object, found {len(objects)}"
+        )
+    return objects[0]

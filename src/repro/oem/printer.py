@@ -1,0 +1,86 @@
+"""Serialization of OEM objects back into the paper's textual notation.
+
+Two styles are provided:
+
+* :func:`to_text` — the *reference* style of the paper's figures: every
+  object on its own line, set values listing sub-object oids, sub-objects
+  indented under their parent, groups terminated by ``;``.
+* :func:`to_inline` — a compact single-expression style with sub-objects
+  written inside the braces (handy in tests and logs).
+
+Round-trip property: ``parse_oem(to_text(objs))`` is structurally equal
+to ``objs`` (exercised by the property-based tests).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.oem.model import OEMObject
+
+__all__ = ["to_text", "to_inline", "render_value", "format_forest"]
+
+
+def render_value(obj: OEMObject) -> str:
+    """Render an atomic value the way the paper writes it."""
+    value = obj.value
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "null"
+    return str(value)
+
+
+def _object_line(obj: OEMObject) -> str:
+    if obj.is_set:
+        refs = ",".join(str(child.oid) for child in obj.children)
+        return f"<{obj.oid}, {obj.label}, set, {{{refs}}}>"
+    return f"<{obj.oid}, {obj.label}, {obj.type}, {render_value(obj)}>"
+
+
+def to_text(roots: Iterable[OEMObject], indent: str = "  ") -> str:
+    """Serialize a forest in the paper's indented reference style.
+
+    A *shared* sub-object (two parents referencing the same oid — OEM
+    structures are DAGs, not trees) is defined once, at its first
+    occurrence; later parents just reference its oid, keeping the text
+    reparseable.
+
+    >>> from repro.oem.builders import atom, obj
+    >>> print(to_text([obj('p', atom('n', 'Joe', oid='&n'), oid='&p')]))
+    <&p, p, set, {&n}>
+      <&n, n, string, 'Joe'>
+    ;
+    """
+    lines: list[str] = []
+    defined: set[str] = set()
+
+    def emit(obj_: OEMObject, level: int) -> None:
+        if obj_.oid.text in defined:
+            return  # already defined above; the parent's {&ref} suffices
+        defined.add(obj_.oid.text)
+        lines.append(indent * level + _object_line(obj_))
+        for child in obj_.children:
+            emit(child, level + 1)
+
+    for root in roots:
+        emit(root, 0)
+        lines.append(";")
+    return "\n".join(lines)
+
+
+def to_inline(obj: OEMObject, with_oid: bool = False) -> str:
+    """Serialize one object as a single nested expression."""
+    prefix = f"{obj.oid}, " if with_oid else ""
+    if obj.is_set:
+        inner = " ".join(to_inline(c, with_oid) for c in obj.children)
+        return f"<{prefix}{obj.label} {{{inner}}}>"
+    return f"<{prefix}{obj.label} {render_value(obj)}>"
+
+
+def format_forest(roots: Iterable[OEMObject]) -> str:
+    """A human-oriented display of a forest: inline style, one per line."""
+    return "\n".join(to_inline(root) for root in roots)

@@ -1,0 +1,105 @@
+"""Traversal utilities over OEM object forests.
+
+Supports the MSL *wildcard* feature (Section 2, "Other Features"):
+"searches for objects at any level in the object structure of the source,
+without need to specify the entire path to the desired object".  The
+descendant iterators here are what the matcher uses for such searches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+from repro.oem.model import OEMObject
+
+__all__ = [
+    "walk",
+    "descendants",
+    "find_all",
+    "find_by_label",
+    "paths_to",
+    "depth",
+    "count_objects",
+]
+
+
+def walk(roots: Iterable[OEMObject]) -> Iterator[OEMObject]:
+    """Yield every object in the forest, roots first (pre-order, BFS).
+
+    Breadth-first order matches the intuition that clients "query object
+    structures starting, by default, from the top-level objects": shallow
+    matches are produced before deep ones.
+    """
+    queue = deque(roots)
+    while queue:
+        node = queue.popleft()
+        yield node
+        queue.extend(node.children)
+
+
+def descendants(obj: OEMObject) -> Iterator[OEMObject]:
+    """Yield every proper descendant of ``obj`` (BFS)."""
+    queue = deque(obj.children)
+    while queue:
+        node = queue.popleft()
+        yield node
+        queue.extend(node.children)
+
+
+def find_all(
+    roots: Iterable[OEMObject],
+    predicate: Callable[[OEMObject], bool],
+) -> list[OEMObject]:
+    """All objects anywhere in the forest satisfying ``predicate``."""
+    return [node for node in walk(roots) if predicate(node)]
+
+
+def find_by_label(roots: Iterable[OEMObject], label: str) -> list[OEMObject]:
+    """All objects anywhere in the forest carrying ``label``.
+
+    This is the wildcard search ``{.. <label ...>}`` in our MSL syntax.
+    """
+    return find_all(roots, lambda node: node.label == label)
+
+
+def paths_to(
+    root: OEMObject, predicate: Callable[[OEMObject], bool]
+) -> list[tuple[OEMObject, ...]]:
+    """Root-to-object label paths for every match under ``root``.
+
+    Each path is a tuple of objects from ``root`` (inclusive) down to a
+    matching object (inclusive).  Useful for explaining where a wildcard
+    search found its matches.
+    """
+    results: list[tuple[OEMObject, ...]] = []
+    stack: list[tuple[OEMObject, tuple[OEMObject, ...]]] = [(root, (root,))]
+    while stack:
+        node, path = stack.pop()
+        if predicate(node):
+            results.append(path)
+        for child in reversed(node.children):
+            stack.append((child, path + (child,)))
+    return results
+
+
+def depth(obj: OEMObject) -> int:
+    """Nesting depth of ``obj``: an atom has depth 1.
+
+    Iterative to cope with very deep synthetic structures used in the
+    wildcard benchmarks.
+    """
+    best = 1
+    stack: list[tuple[OEMObject, int]] = [(obj, 1)]
+    while stack:
+        node, d = stack.pop()
+        if d > best:
+            best = d
+        for child in node.children:
+            stack.append((child, d + 1))
+    return best
+
+
+def count_objects(roots: Iterable[OEMObject]) -> int:
+    """Total number of objects in the forest (roots + all descendants)."""
+    return sum(1 for _ in walk(roots))

@@ -1,0 +1,25 @@
+"""A mini relational engine: the substrate behind relational wrappers."""
+
+from repro.relational.database import Database
+from repro.relational.query import OPS, Selection, project, select
+from repro.relational.schema import (
+    Attribute,
+    RelationSchema,
+    SchemaError,
+    SQL_TYPES,
+)
+from repro.relational.table import IntegrityError, Table
+
+__all__ = [
+    "Attribute",
+    "Database",
+    "IntegrityError",
+    "OPS",
+    "RelationSchema",
+    "SQL_TYPES",
+    "SchemaError",
+    "Selection",
+    "Table",
+    "project",
+    "select",
+]

@@ -1,0 +1,67 @@
+"""The database catalog of the mini relational engine."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.relational.schema import RelationSchema, SchemaError
+from repro.relational.table import Table
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named collection of tables.
+
+    >>> db = Database('cs')
+    >>> t = db.create_table(RelationSchema('employee',
+    ...     ['first_name', 'last_name', 'title', 'reports_to']))
+    >>> _ = t.insert('Joe', 'Chung', 'professor', 'John Hennessy')
+    >>> db.table('employee').rows()[0][0]
+    'Joe'
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, schema: RelationSchema) -> Table:
+        """Create an empty table; raises if the name is taken."""
+        if schema.name in self._tables:
+            raise SchemaError(
+                f"table {schema.name!r} already exists in {self.name!r}"
+            )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise SchemaError(f"no table {name!r} in database {self.name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        table = self._tables.get(name)
+        if table is None:
+            raise SchemaError(f"no table {name!r} in database {self.name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def tables(self) -> Iterator[Table]:
+        for name in self.table_names():
+            yield self._tables[name]
+
+    def load(self, name: str, rows: Iterable[tuple]) -> int:
+        """Bulk-insert positional tuples into table ``name``."""
+        return self.table(name).insert_many(rows)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{t.name}[{len(t)}]" for t in self.tables()
+        )
+        return f"Database({self.name!r}: {inner})"

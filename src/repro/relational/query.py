@@ -1,0 +1,98 @@
+"""Select/project evaluation over tables.
+
+The wrapper translates MSL queries into these primitive relational
+operations, so this module is the "query capability" of a relational
+source: conjunctive equality/comparison selections plus projection.
+Deliberately small — a 1996 wrapper would push SQL to a real DBMS; the
+interface here is what matters to the mediation layers above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.relational.schema import SchemaError
+from repro.relational.table import Table
+
+__all__ = ["Selection", "select", "project", "OPS"]
+
+
+def _ne(a: object, b: object) -> bool:
+    return a != b
+
+
+def _eq(a: object, b: object) -> bool:
+    return a == b
+
+
+def _comparable(a: object, b: object) -> bool:
+    if a is None or b is None:
+        return False
+    if isinstance(a, bool) or isinstance(b, bool):
+        return False
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return True
+    return type(a) is type(b)
+
+
+OPS = {
+    "=": _eq,
+    "!=": _ne,
+    "<": lambda a, b: _comparable(a, b) and a < b,
+    "<=": lambda a, b: _comparable(a, b) and a <= b,
+    ">": lambda a, b: _comparable(a, b) and a > b,
+    ">=": lambda a, b: _comparable(a, b) and a >= b,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Selection:
+    """One selection condition ``attribute op constant``."""
+
+    attribute: str
+    op: str
+    constant: object
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise SchemaError(f"unknown selection operator {self.op!r}")
+
+    def holds(self, value: object) -> bool:
+        if self.op == "=":
+            return value == self.constant and not (
+                isinstance(value, bool) != isinstance(self.constant, bool)
+            )
+        return OPS[self.op](value, self.constant)
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.op} {self.constant!r}"
+
+
+def select(
+    table: Table, conditions: list[Selection] | tuple[Selection, ...] = ()
+) -> Iterator[tuple]:
+    """Tuples of ``table`` satisfying all ``conditions`` (a scan).
+
+    >>> from repro.relational.schema import RelationSchema
+    >>> t = Table(RelationSchema('r', ['a']))
+    >>> _ = t.insert('x'); _ = t.insert('y')
+    >>> list(select(t, [Selection('a', '=', 'x')]))
+    [('x',)]
+    """
+    positions = [
+        (table.schema.position(c.attribute), c) for c in conditions
+    ]
+    for row in table:
+        if all(c.holds(row[pos]) for pos, c in positions):
+            yield row
+
+
+def project(
+    table: Table, attributes: list[str], rows: Iterator[tuple] | None = None
+) -> Iterator[tuple]:
+    """Project ``rows`` (default: whole table) onto ``attributes``."""
+    positions = [table.schema.position(a) for a in attributes]
+    source = table if rows is None else rows
+    for row in source:
+        yield tuple(row[p] for p in positions)

@@ -1,0 +1,150 @@
+"""Relation schemas for the mini relational engine.
+
+The paper's ``cs`` source is "a relational database containing two tables
+with schemas ``employee(first_name, last_name, title, reports_to)`` and
+``student(first_name, last_name, year)``".  This module gives those
+schemas a first-class representation: named, typed attributes with
+optional key designation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Attribute", "RelationSchema", "SchemaError", "SQL_TYPES"]
+
+#: Attribute types understood by the engine, with their Python carriers.
+SQL_TYPES: dict[str, tuple[type, ...]] = {
+    "string": (str,),
+    "integer": (int,),
+    "real": (int, float),
+    "boolean": (bool,),
+}
+
+
+class SchemaError(Exception):
+    """A schema is malformed or a tuple violates it."""
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """One column: a name and a type from :data:`SQL_TYPES`."""
+
+    name: str
+    type: str = "string"
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid attribute name {self.name!r}")
+        if self.type not in SQL_TYPES:
+            raise SchemaError(
+                f"unknown attribute type {self.type!r} for {self.name!r}"
+            )
+
+    def admits(self, value: object) -> bool:
+        """Does ``value`` fit this attribute (NULL always fits)?"""
+        if value is None:
+            return True
+        if self.type != "boolean" and isinstance(value, bool):
+            return False
+        return isinstance(value, SQL_TYPES[self.type])
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation name plus its ordered attributes.
+
+    >>> employee = RelationSchema('employee',
+    ...     [Attribute('first_name'), Attribute('last_name')])
+    >>> employee.position('last_name')
+    1
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    key: tuple[str, ...] = ()
+    _positions: dict[str, int] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attributes: "list[Attribute | str] | tuple[Attribute | str, ...]",
+        key: tuple[str, ...] | list[str] = (),
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid relation name {name!r}")
+        normalised = tuple(
+            attr if isinstance(attr, Attribute) else Attribute(attr)
+            for attr in attributes
+        )
+        if not normalised:
+            raise SchemaError(f"relation {name!r} has no attributes")
+        names = [attr.name for attr in normalised]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in {name!r}")
+        key = tuple(key)
+        for key_attr in key:
+            if key_attr not in names:
+                raise SchemaError(
+                    f"key attribute {key_attr!r} not in relation {name!r}"
+                )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", normalised)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(
+            self, "_positions", {n: i for i, n in enumerate(names)}
+        )
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self.attributes)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def position(self, attribute: str) -> int:
+        """Column index of ``attribute`` (raises on unknown names)."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self._positions
+
+    def validate_tuple(self, values: tuple) -> None:
+        """Raise unless ``values`` fits this schema."""
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"tuple of arity {len(values)} does not fit"
+                f" {self.name}({', '.join(self.attribute_names)})"
+            )
+        for attr, value in zip(self.attributes, values):
+            if not attr.admits(value):
+                raise SchemaError(
+                    f"value {value!r} does not fit attribute"
+                    f" {self.name}.{attr.name}:{attr.type}"
+                )
+
+    def with_attribute(self, attribute: Attribute | str) -> "RelationSchema":
+        """A new schema with one attribute appended (schema evolution)."""
+        attr = (
+            attribute
+            if isinstance(attribute, Attribute)
+            else Attribute(attribute)
+        )
+        return RelationSchema(
+            self.name, list(self.attributes) + [attr], self.key
+        )
+
+    def without_attribute(self, attribute: str) -> "RelationSchema":
+        """A new schema with one attribute dropped (schema evolution)."""
+        self.position(attribute)  # raises if unknown
+        remaining = [a for a in self.attributes if a.name != attribute]
+        key = tuple(k for k in self.key if k != attribute)
+        return RelationSchema(self.name, remaining, key)

@@ -1,0 +1,26 @@
+"""Wrappers: the per-source translation layer of the TSIMMIS architecture."""
+
+from repro.wrappers.base import Source, SourceError, Wrapper
+from repro.wrappers.capability import (
+    Capability,
+    CapabilityViolation,
+    FULL_CAPABILITY,
+)
+from repro.wrappers.facts import SchemaFacts, pattern_satisfiable
+from repro.wrappers.oem_wrapper import OEMStoreWrapper
+from repro.wrappers.registry import SourceRegistry
+from repro.wrappers.relational_wrapper import RelationalWrapper
+
+__all__ = [
+    "Capability",
+    "CapabilityViolation",
+    "FULL_CAPABILITY",
+    "OEMStoreWrapper",
+    "RelationalWrapper",
+    "SchemaFacts",
+    "Source",
+    "SourceError",
+    "SourceRegistry",
+    "pattern_satisfiable",
+    "Wrapper",
+]

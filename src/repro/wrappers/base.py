@@ -1,0 +1,170 @@
+"""The source interface: what mediators see.
+
+Figure 1.1: wrappers "convert data from each source into a common model"
+and "provide a common query language for extracting information".  In
+this codebase every queryable component — wrapper or mediator — is a
+:class:`Source`: it has a name, answers MSL queries with OEM objects,
+and advertises a :class:`~repro.wrappers.capability.Capability`.
+Mediators compose because they are Sources themselves.
+
+:class:`Wrapper` adds the bookkeeping shared by concrete wrappers:
+query counting (for the statistics module), capability enforcement, and
+the default answer path through the naive MSL evaluator.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.external.registry import ExternalRegistry
+from repro.msl.analysis import check_rule
+from repro.msl.ast import Comparison, PatternCondition, Rule
+from repro.msl.errors import MSLSemanticError
+from repro.msl.evaluate import evaluate_rule
+from repro.oem.model import OEMObject
+from repro.oem.oid import OidGenerator
+from repro.wrappers.capability import (
+    Capability,
+    CapabilityViolation,
+    FULL_CAPABILITY,
+)
+
+__all__ = ["Source", "Wrapper", "SourceError"]
+
+
+class SourceError(Exception):
+    """A query could not be served by a source."""
+
+
+class Source(abc.ABC):
+    """Anything that answers MSL queries with OEM objects."""
+
+    name: str
+
+    @abc.abstractmethod
+    def answer(self, query: Rule) -> list[OEMObject]:
+        """Evaluate ``query`` and return the materialized result objects."""
+
+    @abc.abstractmethod
+    def export(self) -> Sequence[OEMObject]:
+        """The source's full OEM view (its top-level objects).
+
+        For a mediator this materializes the view — potentially
+        expensive, which is exactly why MSI pushes conditions instead.
+        """
+
+    @property
+    def capability(self) -> Capability:
+        """What the source can filter; full capability by default."""
+        return FULL_CAPABILITY
+
+    @property
+    def schema_facts(self):
+        """Structural facts the source exports (footnote 1), or ``None``.
+
+        ``None`` means nothing is known — the open-world default for
+        semi-structured sources.  See :mod:`repro.wrappers.facts`.
+        """
+        return None
+
+
+class Wrapper(Source):
+    """Base class for concrete wrappers.
+
+    Subclasses implement :meth:`export` (the source's OEM view) and may
+    override :meth:`candidates` to exploit native access paths (indexes,
+    relational selections) for a given query.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capability: Capability | None = None,
+        registry: ExternalRegistry | None = None,
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SourceError(f"invalid source name {name!r}")
+        self.name = name
+        self._capability = capability or FULL_CAPABILITY
+        self._registry = registry
+        self._oidgen = OidGenerator(f"&{name}_")
+        self.queries_answered = 0
+        self.objects_returned = 0
+
+    @property
+    def capability(self) -> Capability:
+        return self._capability
+
+    # -- subclass surface ---------------------------------------------------
+
+    @abc.abstractmethod
+    def export(self) -> Sequence[OEMObject]:
+        """The source's full OEM view (its top-level objects)."""
+
+    def candidates(self, query: Rule) -> Sequence[OEMObject]:
+        """Top-level objects that might satisfy ``query``.
+
+        The default is the full export; subclasses with native access
+        paths narrow this (and that narrowing is exactly the "pushed
+        down" work the mediator saves by shipping conditions here).
+        """
+        return self.export()
+
+    # -- the Source interface -------------------------------------------------
+
+    def answer(self, query: Rule) -> list[OEMObject]:
+        """Answer one MSL query against this source.
+
+        The query's tail patterns must all be addressed to this source
+        (``@name``) or carry no source annotation.  Patterns are checked
+        against the advertised capability first — a real autonomous
+        source would reject what it cannot evaluate, and so do we.
+        """
+        check_rule(query)
+        for condition in query.tail:
+            if isinstance(condition, PatternCondition):
+                if condition.source not in (None, self.name):
+                    raise SourceError(
+                        f"query for source {condition.source!r} sent to"
+                        f" {self.name!r}"
+                    )
+                try:
+                    self._capability.check(condition.pattern)
+                except CapabilityViolation as exc:
+                    raise SourceError(str(exc)) from exc
+            elif isinstance(condition, Comparison):
+                # a source may advertise the ability to evaluate
+                # comparisons locally (capability-based rewriting then
+                # ships them instead of compensating at the mediator)
+                if not self._capability.supports_comparisons:
+                    raise SourceError(
+                        f"source {self.name!r} cannot evaluate comparison"
+                        f" {condition}"
+                    )
+            else:
+                # external calls are mediator-side business
+                raise SourceError(
+                    f"source {self.name!r} cannot evaluate non-pattern"
+                    f" condition {condition}"
+                )
+
+        forest = self.candidates(query)
+        try:
+            result = evaluate_rule(
+                query,
+                {None: forest, self.name: forest},
+                self._registry,
+                self._oidgen,
+                check=False,
+            )
+        except MSLSemanticError as exc:
+            raise SourceError(f"{self.name}: {exc}") from exc
+        self.queries_answered += 1
+        self.objects_returned += len(result)
+        return result
+
+    def reset_counters(self) -> None:
+        """Zero the query/object counters (benchmarks use this)."""
+        self.queries_answered = 0
+        self.objects_returned = 0

@@ -1,0 +1,166 @@
+"""Query-capability descriptions for sources.
+
+Section 3.5: "the limited query capabilities of the underlying sources
+may prohibit even simple algebraic optimizations ... For example, the
+source whois may not be able to evaluate the condition on 'year'".  This
+module models that: each wrapper advertises a :class:`Capability`, and
+the optimizer consults it to decide which conditions can be pushed into
+the source query and which must be *compensated* at the mediator (the
+capabilities-based rewriting of [PGH], in miniature).
+
+:meth:`Capability.split` takes a pattern destined for the source and
+returns ``(relaxed_pattern, residual_conditions)``: the relaxed pattern
+is guaranteed acceptable to the source; the residual conditions are
+comparisons the mediator must apply to the returned bindings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.msl.ast import (
+    Comparison,
+    Const,
+    Pattern,
+    PatternItem,
+    RestSpec,
+    SetPattern,
+    Term,
+    Var,
+    VarItem,
+)
+
+__all__ = ["Capability", "FULL_CAPABILITY", "CapabilityViolation"]
+
+
+class CapabilityViolation(Exception):
+    """A source received a query it advertises it cannot evaluate."""
+
+
+@dataclass(frozen=True)
+class Capability:
+    """What value-filters a source can evaluate.
+
+    Attributes
+    ----------
+    filterable_labels:
+        when not ``None``, the source can only apply constant/comparison
+        filters to sub-objects carrying these labels; filters on other
+        labels must be compensated at the mediator.
+    supports_wildcards:
+        whether descendant (``..``) items may be shipped ("some sources
+        may not support them", Section 2).
+    supports_comparisons:
+        whether non-equality rest-condition comparisons can be shipped.
+    name:
+        a display name for plans and error messages.
+    """
+
+    filterable_labels: frozenset[str] | None = None
+    supports_wildcards: bool = True
+    supports_comparisons: bool = True
+    name: str = "capability"
+
+    # -- checks -----------------------------------------------------------
+
+    def can_filter(self, label: object) -> bool:
+        if self.filterable_labels is None:
+            return True
+        return isinstance(label, str) and label in self.filterable_labels
+
+    def accepts(self, pattern: Pattern) -> bool:
+        """Would the source accept ``pattern`` as-is?"""
+        relaxed, residual = self.split(pattern)
+        return not residual and relaxed == pattern
+
+    def check(self, pattern: Pattern) -> None:
+        """Raise :class:`CapabilityViolation` unless acceptable."""
+        if not self.accepts(pattern):
+            raise CapabilityViolation(
+                f"source capability {self.name!r} rejects pattern {pattern}"
+            )
+
+    # -- rewriting -----------------------------------------------------------
+
+    def split(
+        self, pattern: Pattern
+    ) -> tuple[Pattern, list[Comparison]]:
+        """Relax ``pattern`` to what the source accepts + residual filters.
+
+        Constant values on unfilterable sub-object labels are replaced by
+        fresh variables and returned as equality comparisons for the
+        mediator to apply.  Descendant items on a wildcard-less source
+        are *not* relaxable (there is no variable trick that recovers
+        them) and raise :class:`CapabilityViolation`.
+        """
+        counter = itertools.count(1)
+        residual: list[Comparison] = []
+
+        def fresh_var() -> Var:
+            return Var(f"_Cap{next(counter)}")
+
+        def relax_pattern(p: Pattern, depth: int) -> Pattern:
+            value = p.value
+            # a constant value slot at depth>=1 is a filter on this label
+            if (
+                depth >= 1
+                and isinstance(value, Const)
+                and not self.can_filter(_label_text(p.label))
+            ):
+                var = fresh_var()
+                residual.append(Comparison(var, "=", value))
+                return Pattern(
+                    label=p.label,
+                    value=var,
+                    type=p.type,
+                    oid=p.oid,
+                    object_var=p.object_var,
+                )
+            if isinstance(value, SetPattern):
+                return Pattern(
+                    label=p.label,
+                    value=relax_set(value, depth),
+                    type=p.type,
+                    oid=p.oid,
+                    object_var=p.object_var,
+                )
+            return p
+
+        def relax_set(sp: SetPattern, depth: int) -> SetPattern:
+            items: list[PatternItem | VarItem] = []
+            for item in sp.items:
+                if isinstance(item, VarItem):
+                    items.append(item)
+                    continue
+                if item.descendant and not self.supports_wildcards:
+                    raise CapabilityViolation(
+                        f"source capability {self.name!r} does not support"
+                        f" descendant ('..') patterns: {item.pattern}"
+                    )
+                items.append(
+                    PatternItem(
+                        relax_pattern(item.pattern, depth + 1),
+                        item.descendant,
+                    )
+                )
+            rest = sp.rest
+            if rest is not None and rest.conditions:
+                new_conditions = tuple(
+                    relax_pattern(c, depth + 1) for c in rest.conditions
+                )
+                rest = RestSpec(rest.var, new_conditions)
+            return SetPattern(tuple(items), rest)
+
+        relaxed = relax_pattern(pattern, 0)
+        return relaxed, residual
+
+
+def _label_text(label: Term) -> object:
+    if isinstance(label, Const):
+        return label.value
+    return label
+
+
+#: The capability of a fully-capable source (a conventional DBMS wrapper).
+FULL_CAPABILITY = Capability(name="full")

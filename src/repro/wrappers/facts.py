@@ -1,0 +1,117 @@
+"""Schema facts: structural knowledge a source may export.
+
+Footnote 1 of the paper: after relational data is translated to OEM "we
+have lost knowledge that objects at this source *must* have a regular
+structure.  If this information is important to the applications, it
+could be exported as additional facts about this source."
+
+:class:`SchemaFacts` is that export: the possible top-level labels and,
+per top-level label, the possible direct sub-object labels.  A *closed*
+fact set is exhaustive — an object with a label outside it can never
+exist at the source — which licenses the optimizer to **prune** logical
+datamerge rules that require impossible structure (e.g. a condition on
+``office`` pushed toward a relational source whose tables have no such
+column) before any query is shipped.
+
+Semi-structured sources simply don't export facts (``None``), keeping
+the open-world behaviour that makes OEM suitable for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.msl.ast import Const, Pattern, SetPattern, VarItem
+
+__all__ = ["SchemaFacts", "pattern_satisfiable"]
+
+
+@dataclass(frozen=True)
+class SchemaFacts:
+    """Possible top-level labels and their direct child labels."""
+
+    children: Mapping[str, frozenset[str]]
+    closed: bool = True
+
+    def __init__(
+        self,
+        children: Mapping[str, Iterable[str]],
+        closed: bool = True,
+    ) -> None:
+        object.__setattr__(
+            self,
+            "children",
+            {label: frozenset(kids) for label, kids in children.items()},
+        )
+        object.__setattr__(self, "closed", closed)
+
+    @property
+    def top_labels(self) -> frozenset[str]:
+        return frozenset(self.children)
+
+    def may_have_top(self, label: str) -> bool:
+        """Could a top-level object carry ``label`` at this source?"""
+        if not self.closed:
+            return True
+        return label in self.children
+
+    def may_have_child(self, top_label: str | None, child_label: str) -> bool:
+        """Could an object (under ``top_label``) have a ``child_label``
+        sub-object?  ``top_label=None`` means "any top-level label"."""
+        if not self.closed:
+            return True
+        if top_label is None:
+            return any(
+                child_label in kids for kids in self.children.values()
+            )
+        kids = self.children.get(top_label)
+        if kids is None:
+            return False
+        return child_label in kids
+
+    def tops_with_children(self, required: Iterable[str]) -> list[str]:
+        """Top-level labels whose child set covers all of ``required``."""
+        required = set(required)
+        return [
+            label
+            for label, kids in self.children.items()
+            if required <= kids
+        ]
+
+
+def pattern_satisfiable(pattern: Pattern, facts: SchemaFacts | None) -> bool:
+    """Could ``pattern`` ever match an object at a source with ``facts``?
+
+    Conservative: only the top-level label and *direct* constant-labelled
+    items (including rest conditions) are checked; descendant items and
+    variable labels at the child level never cause pruning.  Returns
+    ``True`` when ``facts`` is ``None`` (nothing is known).
+    """
+    if facts is None or not facts.closed:
+        return True
+
+    required_children: set[str] = set()
+    value = pattern.value
+    if isinstance(value, SetPattern):
+        for item in value.items:
+            if isinstance(item, VarItem) or item.descendant:
+                continue
+            if isinstance(item.pattern.label, Const):
+                required_children.add(str(item.pattern.label.value))
+        if value.rest is not None:
+            for condition in value.rest.conditions:
+                if isinstance(condition.label, Const):
+                    required_children.add(str(condition.label.value))
+
+    if isinstance(pattern.label, Const):
+        top = str(pattern.label.value)
+        if not facts.may_have_top(top):
+            return False
+        return all(
+            facts.may_have_child(top, child) for child in required_children
+        )
+    # variable top label: some top label must cover everything required
+    if not required_children:
+        return True
+    return bool(facts.tops_with_children(required_children))

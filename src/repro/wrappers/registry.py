@@ -1,0 +1,65 @@
+"""The source registry: name -> Source resolution for mediators.
+
+Mediator specification tails name their sources (``@whois``, ``@cs``);
+a registry resolves those names.  Mediators register themselves too, so
+views can be layered (a mediator tail may say ``@other_med``), which is
+how the TSIMMIS architecture stacks mediators above mediators
+(Figure 1.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.wrappers.base import Source, SourceError
+
+__all__ = ["SourceRegistry"]
+
+
+class SourceRegistry:
+    """A mutable mapping of source names to :class:`Source` objects."""
+
+    def __init__(self, *sources: Source) -> None:
+        self._sources: dict[str, Source] = {}
+        for source in sources:
+            self.register(source)
+
+    def register(self, source: Source) -> None:
+        """Register ``source`` under its own name (unique)."""
+        if source.name in self._sources:
+            raise SourceError(
+                f"a source named {source.name!r} is already registered"
+            )
+        self._sources[source.name] = source
+
+    def deregister(self, name: str) -> None:
+        if name not in self._sources:
+            raise SourceError(f"no source named {name!r}")
+        del self._sources[name]
+
+    def resolve(self, name: str | None) -> Source:
+        """The source registered under ``name``."""
+        if name is None:
+            raise SourceError(
+                "a mediator tail condition lacks its @source annotation"
+            )
+        source = self._sources.get(name)
+        if source is None:
+            known = ", ".join(sorted(self._sources)) or "(none)"
+            raise SourceError(
+                f"no source named {name!r}; registered sources: {known}"
+            )
+        return source
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sources
+
+    def __iter__(self) -> Iterator[Source]:
+        for name in sorted(self._sources):
+            yield self._sources[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._sources)
+
+    def __len__(self) -> int:
+        return len(self._sources)

@@ -1,0 +1,200 @@
+"""A wrapper exporting a relational database as OEM objects.
+
+Figure 2.2 of the paper: the ``cs`` wrapper turns each tuple of
+
+.. code-block:: text
+
+    employee(first_name, last_name, title, reports_to)
+    student(first_name, last_name, year)
+
+into a top-level OEM object labelled with the **relation name**, with one
+sub-object per attribute — "notice how the schema information has now
+been incorporated into the individual OEM objects".  That relocation of
+schema into data is what lets MSL variables range over relation names
+(the schematic-discrepancy resolution of the running example).
+
+NULL attributes are simply omitted from the exported object: relational
+missing values become OEM irregularity, which MSL handles natively.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.external.registry import ExternalRegistry
+from repro.msl.ast import (
+    Const,
+    Pattern,
+    PatternCondition,
+    PatternItem,
+    Rule,
+    SetPattern,
+)
+from repro.oem.model import OEMObject, SET_TYPE
+from repro.oem.oid import Oid
+from repro.relational.database import Database
+from repro.relational.query import Selection, select
+from repro.relational.table import Table
+from repro.wrappers.base import Wrapper
+from repro.wrappers.capability import Capability
+
+__all__ = ["RelationalWrapper"]
+
+
+class RelationalWrapper(Wrapper):
+    """Wrapper over a :class:`~repro.relational.database.Database`.
+
+    >>> from repro.relational.schema import RelationSchema
+    >>> db = Database('cs')
+    >>> t = db.create_table(RelationSchema('student',
+    ...     ['first_name', 'last_name', 'year']))
+    >>> _ = t.insert('Nick', 'Naive', 3)
+    >>> w = RelationalWrapper('cs', db)
+    >>> w.export()[0].label
+    'student'
+    """
+
+    def __init__(
+        self,
+        name: str,
+        database: Database,
+        capability: Capability | None = None,
+        registry: ExternalRegistry | None = None,
+    ) -> None:
+        super().__init__(name, capability, registry)
+        self.database = database
+
+    @property
+    def schema_facts(self):
+        """The catalog as schema facts (footnote 1): table names are the
+        only possible top-level labels, attribute names the only possible
+        sub-object labels.  Recomputed per call, so live schema evolution
+        (ALTER TABLE) is reflected immediately."""
+        from repro.wrappers.facts import SchemaFacts
+
+        return SchemaFacts(
+            {
+                table.name: table.schema.attribute_names
+                for table in self.database.tables()
+            }
+        )
+
+    # -- OEM translation -----------------------------------------------------
+
+    def _tuple_to_oem(
+        self, table: Table, row_number: int, row: tuple
+    ) -> OEMObject:
+        """One relational tuple as an OEM object (Figure 2.2's shape)."""
+        children = []
+        for attr, value in zip(table.schema.attributes, row):
+            if value is None:
+                continue  # NULL: the sub-object is simply absent
+            oid = Oid(f"&{self.name}_{table.name}{row_number}_{attr.name}")
+            children.append(OEMObject(attr.name, value, None, oid))
+        return OEMObject(
+            table.name,
+            children,
+            SET_TYPE,
+            Oid(f"&{self.name}_{table.name}{row_number}"),
+        )
+
+    def _export_table(
+        self, table: Table, rows: list[tuple] | None = None
+    ) -> list[OEMObject]:
+        source_rows = table.rows() if rows is None else rows
+        all_rows = table.rows()
+        # row numbers are positions in the table, so oids are stable
+        # across repeated exports of unchanged data
+        numbering = {id(row): i + 1 for i, row in enumerate(all_rows)}
+        result = []
+        for row in source_rows:
+            number = numbering.get(id(row))
+            if number is None:
+                try:
+                    number = all_rows.index(row) + 1
+                except ValueError:
+                    number = 0
+            result.append(self._tuple_to_oem(table, number, row))
+        return result
+
+    def export(self) -> Sequence[OEMObject]:
+        objects: list[OEMObject] = []
+        for table in self.database.tables():
+            objects.extend(self._export_table(table))
+        return objects
+
+    # -- native access path ------------------------------------------------
+
+    def candidates(self, query: Rule) -> Sequence[OEMObject]:
+        """Translate the query's first pattern into relational selections.
+
+        * a constant top-level label names the relation to scan;
+        * constant-valued direct sub-object patterns whose labels are
+          attributes become equality selections;
+        * a pattern naming an attribute the relation lacks yields no rows
+          from that relation (it can never match).
+
+        Anything subtler falls back to matching over the translated
+        objects — the wrapper stays correct, just less selective.
+        """
+        first: Pattern | None = None
+        for condition in query.tail:
+            if isinstance(condition, PatternCondition):
+                first = condition.pattern
+                break
+        if first is None:
+            return self.export()
+
+        if isinstance(first.label, Const):
+            relation = str(first.label.value)
+            if not self.database.has_table(relation):
+                return []
+            tables = [self.database.table(relation)]
+        else:
+            tables = list(self.database.tables())
+
+        required, selections = _pattern_filters(first)
+        objects: list[OEMObject] = []
+        for table in tables:
+            schema = table.schema
+            if any(not schema.has_attribute(attr) for attr in required):
+                continue
+            applicable = [
+                s for s in selections if schema.has_attribute(s.attribute)
+            ]
+            rows = list(select(table, applicable))
+            objects.extend(self._export_table(table, rows))
+        return objects
+
+
+def _pattern_filters(
+    pattern: Pattern,
+) -> tuple[set[str], list[Selection]]:
+    """Required attribute names and equality selections from a pattern."""
+    required: set[str] = set()
+    selections: list[Selection] = []
+    value = pattern.value
+    if not isinstance(value, SetPattern):
+        return required, selections
+    items = list(value.items)
+    rest_conditions = (
+        list(value.rest.conditions) if value.rest is not None else []
+    )
+    for item in items:
+        if not isinstance(item, PatternItem) or item.descendant:
+            continue
+        _collect(item.pattern, required, selections)
+    for condition in rest_conditions:
+        _collect(condition, required, selections)
+    return required, selections
+
+
+def _collect(
+    pattern: Pattern, required: set[str], selections: list[Selection]
+) -> None:
+    if not isinstance(pattern.label, Const):
+        return
+    attribute = str(pattern.label.value)
+    required.add(attribute)
+    if isinstance(pattern.value, Const):
+        selections.append(Selection(attribute, "=", pattern.value.value))

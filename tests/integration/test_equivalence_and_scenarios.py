@@ -1,0 +1,259 @@
+"""Cross-module integration: engine-vs-reference equivalence, capability
+compensation end-to-end, mediator stacking, and the bibliography
+scenario (fusion + name normalisation + dedup)."""
+
+import pytest
+
+from repro.datasets import (
+    WHOIS_LIMITED_CAPABILITY,
+    build_bibliography,
+    build_scaled_scenario,
+    build_scenario,
+)
+from repro.mediator import Mediator
+from repro.msl import evaluate_rule, parse_query, parse_rule, parse_specification
+from repro.oem import structural_key, to_python
+from repro.wrappers import Capability, OEMStoreWrapper, SourceRegistry
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+QUERIES = [
+    "X :- X:<cs_person {<name N>}>@med",
+    "X :- X:<cs_person {<year 3>}>@med",
+    "X :- X:<cs_person {<rel 'student'>}>@med",
+    "X :- X:<cs_person {<rel R> <e_mail E>}>@med",
+    "<who N> :- <cs_person {<name N> <title 'professor'>}>@med",
+]
+
+
+class TestEngineMatchesReferenceSemantics:
+    """The optimized MSI must agree with the naive reference evaluator."""
+
+    @pytest.fixture(scope="class")
+    def scaled(self):
+        return build_scaled_scenario(40, seed=11)
+
+    def reference_answer(self, scenario, query_text):
+        # expand the query, then evaluate the logical program naively
+        # against the full exports
+        program = scenario.mediator.expander.expand(parse_query(query_text))
+        forests = {
+            "whois": scenario.whois.export(),
+            "cs": scenario.cs.export(),
+        }
+        objects = []
+        for logical in program:
+            objects.extend(
+                evaluate_rule(
+                    logical.rule,
+                    forests,
+                    scenario.mediator.externals,
+                    check=False,
+                )
+            )
+        from repro.oem import eliminate_duplicates
+
+        return eliminate_duplicates(objects)
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_small_scenario(self, query_text):
+        scenario = build_scenario()
+        engine_result = scenario.mediator.answer(query_text)
+        reference = self.reference_answer(scenario, query_text)
+        assert canonical(engine_result) == canonical(reference)
+
+    @pytest.mark.parametrize("query_text", QUERIES[:3])
+    def test_scaled_scenario(self, scaled, query_text):
+        engine_result = scaled.mediator.answer(query_text)
+        reference = self.reference_answer(scaled, query_text)
+        assert canonical(engine_result) == canonical(reference)
+
+    @pytest.mark.parametrize("strategy", ["heuristic", "statistics", "fetch_all"])
+    def test_strategies_agree(self, strategy):
+        scenario = build_scenario(strategy=strategy)
+        result = scenario.mediator.answer(QUERIES[0])
+        baseline = build_scenario().mediator.answer(QUERIES[0])
+        assert canonical(result) == canonical(baseline)
+
+    @pytest.mark.parametrize("push_mode", ["complete", "needed"])
+    def test_push_modes_agree_on_regular_data(self, push_mode):
+        scenario = build_scenario(push_mode=push_mode)
+        result = scenario.mediator.answer(QUERIES[1])
+        assert len(result) == 1
+
+    def test_push_modes_agree_even_with_duplicate_labels(self):
+        # a person with TWO name subobjects: 'complete' mode explores the
+        # extra pushdown placements, but because MS1's head flattens
+        # everything into one set, the extra logical rules construct
+        # structurally identical objects — the answers coincide while the
+        # logical programs differ in size (the cost 'complete' pays)
+        from repro.oem import atom, obj
+
+        def scenario_with_dup(push_mode):
+            scenario = build_scenario(push_mode=push_mode)
+            scenario.whois.add(
+                obj(
+                    "person",
+                    atom("name", "Alias Man"),
+                    atom("name", "Joe Chung"),
+                    atom("dept", "CS"),
+                    atom("relation", "employee"),
+                )
+            )
+            return scenario
+
+        query = "X :- X:<cs_person {<name 'Joe Chung'>}>@med"
+        complete_scenario = scenario_with_dup("complete")
+        needed_scenario = scenario_with_dup("needed")
+        complete = complete_scenario.mediator.answer(query)
+        needed = needed_scenario.mediator.answer(query)
+        assert canonical(complete) == canonical(needed)
+        assert len(complete_scenario.mediator.last_program) > len(
+            needed_scenario.mediator.last_program
+        )
+        # both find the alias person (via the source-side injective match)
+        assert len(needed) == 2
+
+
+class TestCapabilityCompensationEndToEnd:
+    def test_same_answers_with_limited_source(self):
+        full = build_scenario()
+        limited = build_scenario(whois_capability=WHOIS_LIMITED_CAPABILITY)
+        for query_text in QUERIES:
+            assert canonical(full.mediator.answer(query_text)) == canonical(
+                limited.mediator.answer(query_text)
+            ), query_text
+
+    def test_limited_source_receives_more_objects(self):
+        query = "X :- X:<cs_person {<year 3>}>@med"
+        full = build_scenario()
+        full.mediator.answer(query)
+        objects_full = full.mediator.last_context.objects_received["whois"]
+
+        limited = build_scenario(whois_capability=WHOIS_LIMITED_CAPABILITY)
+        limited.mediator.answer(query)
+        objects_limited = limited.mediator.last_context.objects_received[
+            "whois"
+        ]
+        # compensation means whois ships unfiltered bindings
+        assert objects_limited >= objects_full
+
+
+class TestMediatorStacking:
+    def test_two_levels(self):
+        scenario = build_scenario()
+        summary = Mediator(
+            "summary",
+            "<staff {<who N> <status R>}> :-"
+            " <cs_person {<name N> <rel R>}>@med",
+            scenario.registry,
+        )
+        result = summary.answer("X :- X:<staff {<status 'employee'>}>@summary")
+        assert len(result) == 1
+        assert result[0].get("who") == "Joe Chung"
+
+    def test_three_levels(self):
+        scenario = build_scenario()
+        Mediator(
+            "summary",
+            "<staff {<who N> <status R>}> :-"
+            " <cs_person {<name N> <rel R>}>@med",
+            scenario.registry,
+        )
+        top = Mediator(
+            "top",
+            "<names {<n N>}> :- <staff {<who N>}>@summary",
+            scenario.registry,
+        )
+        names = {o.get("n") for o in top.export()}
+        assert names == {"Joe Chung", "Nick Naive"}
+
+
+class TestBibliographyScenario:
+    @pytest.fixture(scope="class")
+    def bib(self):
+        return build_bibliography(papers=14, overlap_fraction=0.5, seed=3)
+
+    def test_authors_normalised(self, bib):
+        for publication in bib.mediator.export():
+            author = publication.get("author")
+            assert ", " in author, author
+
+    def test_overlapping_records_fused(self, bib):
+        # a record in both sources must appear once, with the relational
+        # source's venue AND the web source's extra fields when present
+        view = bib.mediator.export()
+        titles = [o.get("title") for o in view]
+        assert len(titles) == len(set(titles))  # no duplicate titles
+
+    def test_fused_records_combine_fields(self, bib):
+        view = bib.mediator.export()
+        fused = [
+            o
+            for o in view
+            if o.first("venue") is not None
+            and (o.first("pages") is not None or o.first("url") is not None)
+        ]
+        assert fused, "expected at least one fused record with both kinds"
+
+    def test_single_source_records_included(self, bib):
+        # unlike MS1's join-only view, fusion keeps single-source records
+        deptbib_titles = {
+            row[0] for row in bib.deptbib.database.table("paper")
+        }
+        web_titles = {
+            o.get("title") for o in bib.webbib.export()
+        }
+        only_dept = deptbib_titles - web_titles
+        if only_dept:
+            view_titles = {o.get("title") for o in bib.mediator.export()}
+            assert only_dept <= view_titles
+
+    def test_query_by_title(self, bib):
+        view = bib.mediator.export()
+        some_title = view[0].get("title")
+        result = bib.mediator.answer(
+            f"P :- P:<publication {{<title '{some_title}'>}}>@bib"
+        )
+        assert len(result) == 1
+        assert result[0].get("title") == some_title
+
+
+class TestHeterogeneousArchitecture:
+    """Figure 1.1: several sources of different kinds behind one mediator."""
+
+    def test_three_source_integration(self):
+        registry = SourceRegistry()
+        from repro.oem import parse_oem
+
+        registry.register(
+            OEMStoreWrapper(
+                "mail",
+                parse_oem(
+                    """
+                    <&m1, message, set, {&s1,&b1}>
+                      <&s1, sender, string, 'chung@cs'>
+                      <&b1, subject, string, 'meeting'>
+                    """
+                ),
+            )
+        )
+        scenario = build_scenario()
+        spec = """
+        <contact {<name N> <addr E> <last_subject S>}> :-
+            <cs_person {<name N> <e_mail E>}>@med
+            AND <message {<sender E> <subject S>}>@mail
+        """
+        contacts = Mediator("contacts", spec, scenario.registry, register=False)
+        # the mail wrapper lives in its own registry; merge registries
+        scenario.registry.register(registry.resolve("mail"))
+        result = contacts.export()
+        assert len(result) == 1
+        assert to_python(result[0]) == {
+            "name": "Joe Chung",
+            "addr": "chung@cs",
+            "last_subject": "meeting",
+        }

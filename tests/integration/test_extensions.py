@@ -1,0 +1,255 @@
+"""Integration tests for the extension features.
+
+* the fusion variant of the staff view (single-source people included);
+* comparison shipping into comparison-capable sources;
+* external calls and comparisons inside *queries* (passthrough
+  conditions), end to end through the engine;
+* joins across two mediators in one query;
+* failure injection: a source erroring mid-plan surfaces cleanly.
+"""
+
+import pytest
+
+from repro.datasets import (
+    MS1_FUSION,
+    build_cs_database,
+    build_scenario,
+    build_whois_objects,
+)
+from repro.mediator import Mediator
+from repro.msl import Rule, parse_rule
+from repro.oem import atom, obj, to_python
+from repro.wrappers import (
+    Capability,
+    OEMStoreWrapper,
+    RelationalWrapper,
+    SourceError,
+    SourceRegistry,
+    Wrapper,
+)
+
+
+class TestFusionStaffView:
+    @pytest.fixture
+    def mediator(self):
+        registry = SourceRegistry()
+        whois = OEMStoreWrapper("whois", build_whois_objects())
+        whois.add(
+            obj(
+                "person",
+                atom("name", "Only Whois"),
+                atom("dept", "CS"),
+                atom("relation", "student"),
+            )
+        )
+        cs = RelationalWrapper(
+            "cs", build_cs_database(extra_students=[("Sue", "Solo", 1)])
+        )
+        registry.register(whois)
+        registry.register(cs)
+        return Mediator("med", MS1_FUSION, registry)
+
+    def test_single_source_people_included(self, mediator):
+        names = {o.get("name") for o in mediator.export()}
+        assert names == {
+            "Joe Chung",
+            "Nick Naive",
+            "Only Whois",
+            "Sue Solo",
+        }
+
+    def test_both_source_people_fused(self, mediator):
+        view = mediator.export()
+        (joe,) = [o for o in view if o.get("name") == "Joe Chung"]
+        assert to_python(joe) == {
+            "name": "Joe Chung",
+            "rel": "employee",
+            "e_mail": "chung@cs",  # from whois
+            "title": "professor",  # from cs
+            "reports_to": "John Hennessy",
+        }
+
+    def test_semantic_oid_identity(self, mediator):
+        from repro.oem import SemanticOid
+
+        view = mediator.export()
+        (joe,) = [o for o in view if o.get("name") == "Joe Chung"]
+        assert joe.oid == SemanticOid("person", ["Chung", "Joe"])
+
+    def test_point_query_fuses_across_rules(self, mediator):
+        (joe,) = mediator.answer(
+            "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med"
+        )
+        assert joe.get("e_mail") == "chung@cs"
+        assert joe.get("title") == "professor"
+
+
+class TestComparisonShipping:
+    def test_comparison_shipped_when_supported(self):
+        scenario = build_scenario(push_mode="needed")
+        query = "S :- S:<cs_person {<name N> <year Y>}>@med AND Y > 2"
+        text = scenario.mediator.explain(query)
+        # the comparison appears inside at least one shipped query
+        assert "| Rest1_r1:{<year Y_q>}}> AND Y_q > 2" in text.replace(
+            "\n", " "
+        ) or "Y_q > 2  <-" not in text
+        (nick,) = scenario.mediator.answer(query)
+        assert nick.get("name") == "Nick Naive"
+
+    def test_comparison_filtered_at_mediator_when_unsupported(self):
+        capability = Capability(supports_comparisons=False, name="nocmp")
+        scenario = build_scenario(
+            push_mode="needed", whois_capability=capability
+        )
+        query = "S :- S:<cs_person {<name N> <year Y>}>@med AND Y > 2"
+        (nick,) = scenario.mediator.answer(query)
+        assert nick.get("name") == "Nick Naive"
+        # the plan contains a mediator-side filter node
+        assert "filter" in scenario.mediator.explain(query)
+
+    def test_shipped_and_compensated_agree(self):
+        query = "S :- S:<cs_person {<name N> <year Y>}>@med AND Y >= 3"
+        supported = build_scenario(push_mode="needed")
+        unsupported = build_scenario(
+            push_mode="needed",
+            whois_capability=Capability(
+                supports_comparisons=False, name="nocmp"
+            ),
+        )
+        left = {str(o) for o in supported.mediator.answer(query)}
+        right = {str(o) for o in unsupported.mediator.answer(query)}
+
+        import re
+
+        def strip(texts):
+            return {re.sub(r"&[\w.]+", "&", t) for t in texts}
+
+        assert strip(left) == strip(right)
+
+
+class TestQueryLevelExternals:
+    def test_undeclared_external_in_query_fails_cleanly(self):
+        from repro.mediator import PlanningError
+
+        scenario = build_scenario(push_mode="needed")
+        with pytest.raises(PlanningError, match="cannot be scheduled"):
+            scenario.mediator.answer(
+                "<shout U> :- <cs_person {<name N>}>@med AND upper(N, U)"
+            )
+
+    def test_external_declared_in_spec_usable_in_query(self):
+        registry = SourceRegistry()
+        registry.register(OEMStoreWrapper("whois", build_whois_objects()))
+        registry.register(RelationalWrapper("cs", build_cs_database()))
+        spec = (
+            "<cs_person {<name N> <rel R> Rest1 Rest2}> :-"
+            " <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois"
+            " AND decomp(N, LN, FN)"
+            " AND <R {<first_name FN> <last_name LN> | Rest2}>@cs ;"
+            "EXT decomp(bound, free, free) BY name_to_lnfn ;"
+            "EXT decomp(free, bound, bound) BY lnfn_to_name ;"
+            "EXT upper(bound, free) BY to_upper ;"
+        )
+        mediator = Mediator("med", spec, registry)
+        result = mediator.answer(
+            "<shout U> :- <cs_person {<name N>}>@med AND upper(N, U)"
+        )
+        assert sorted(o.value for o in result) == ["JOE CHUNG", "NICK NAIVE"]
+
+    def test_decomp_usable_directly_in_query(self):
+        scenario = build_scenario(push_mode="needed")
+        result = scenario.mediator.answer(
+            "<last LN> :- <cs_person {<name N>}>@med AND decomp(N, LN, FN)"
+        )
+        assert sorted(o.value for o in result) == ["Chung", "Naive"]
+
+
+class TestCrossMediatorJoin:
+    def test_query_joins_two_mediators(self):
+        scenario = build_scenario(push_mode="needed")
+        # a second mediator over a separate source
+        registry = scenario.registry
+        registry.register(
+            OEMStoreWrapper(
+                "phonebook",
+                [
+                    obj(
+                        "listing",
+                        atom("who", "Joe Chung"),
+                        atom("phone", "650-1234"),
+                    )
+                ],
+            )
+        )
+        Mediator(
+            "phones",
+            "<contact {<who W> <phone P>}> :-"
+            " <listing {<who W> <phone P>}>@phonebook",
+            registry,
+        )
+        query = (
+            "<card {<name N> <rel R> <phone P>}> :-"
+            " <cs_person {<name N> <rel R>}>@med"
+            " AND <contact {<who N> <phone P>}>@phones"
+        )
+        # send the query to med; the @phones condition passes through
+        # and the engine ships it to the phones mediator
+        result = scenario.mediator.answer(query)
+        assert len(result) == 1
+        assert to_python(result[0]) == {
+            "name": "Joe Chung",
+            "rel": "employee",
+            "phone": "650-1234",
+        }
+
+
+class _ExplodingWrapper(Wrapper):
+    """A source that fails after its first successful answer."""
+
+    def __init__(self, name, objects):
+        super().__init__(name)
+        self._objects = list(objects)
+        self.calls = 0
+
+    def export(self):
+        return self._objects
+
+    def answer(self, query: Rule):
+        self.calls += 1
+        if self.calls > 1:
+            raise SourceError(f"{self.name}: connection lost")
+        return super().answer(query)
+
+
+class TestFailureInjection:
+    def test_source_error_propagates_with_context(self):
+        registry = SourceRegistry()
+        exploding = _ExplodingWrapper(
+            "flaky",
+            [obj("rec", atom("k", i), atom("v", i)) for i in range(3)],
+        )
+        registry.register(exploding)
+        registry.register(
+            OEMStoreWrapper(
+                "stable",
+                [obj("rec", atom("k", i)) for i in range(3)],
+            )
+        )
+        mediator = Mediator(
+            "m",
+            "<out {<k K> <v V>}> :-"
+            " <rec {<k K>}>@stable AND <rec {<k K> <v V>}>@flaky",
+            registry,
+        )
+        with pytest.raises(SourceError, match="connection lost"):
+            mediator.export()
+
+    def test_unknown_source_in_spec_fails_at_answer_time(self):
+        registry = SourceRegistry(
+            OEMStoreWrapper("real", [obj("rec", atom("k", 1))])
+        )
+        mediator = Mediator(
+            "m", "<out {<k K>}> :- <rec {<k K>}>@ghost", registry
+        )
+        with pytest.raises(SourceError, match="no source named"):
+            mediator.answer("X :- X:<out {<k 1>}>@m")

@@ -1,0 +1,207 @@
+"""Integration tests reproducing the paper's figures exactly.
+
+* Figure 2.2 — the OEM export of the ``cs`` relational wrapper;
+* Figure 2.3 — the ``whois`` object structure (with its irregularity);
+* Figure 2.4 — the integrated ``cs_person`` object for Joe Chung;
+* Section 2's schema-evolution / schematic-discrepancy claims.
+"""
+
+import pytest
+
+from repro.datasets import (
+    JOE_CHUNG_QUERY,
+    build_scenario,
+)
+from repro.oem import structural_key, to_python
+
+
+@pytest.fixture
+def scenario():
+    return build_scenario()
+
+
+class TestFigure22CsExport:
+    def test_tuples_become_labelled_objects(self, scenario):
+        export = scenario.cs.export()
+        by_label = {}
+        for o in export:
+            by_label.setdefault(o.label, []).append(o)
+        assert set(by_label) == {"employee", "student"}
+
+    def test_employee_object_content(self, scenario):
+        (employee,) = [
+            o for o in scenario.cs.export() if o.label == "employee"
+        ]
+        assert to_python(employee) == {
+            "first_name": "Joe",
+            "last_name": "Chung",
+            "title": "professor",
+            "reports_to": "John Hennessy",
+        }
+
+    def test_student_object_content(self, scenario):
+        (student,) = [
+            o for o in scenario.cs.export() if o.label == "student"
+        ]
+        assert to_python(student) == {
+            "first_name": "Nick",
+            "last_name": "Naive",
+            "year": 3,
+        }
+
+    def test_schema_labels_incorporated_per_object(self, scenario):
+        # "the schema information has now been incorporated into the
+        # individual OEM objects"
+        for o in scenario.cs.export():
+            assert all(child.is_atomic for child in o.children)
+            assert all(child.label for child in o.children)
+
+
+class TestFigure23Whois:
+    def test_two_persons(self, scenario):
+        export = scenario.whois.export()
+        assert [o.label for o in export] == ["person", "person"]
+
+    def test_joe_has_email_nick_does_not(self, scenario):
+        joe, nick = scenario.whois.export()
+        assert joe.get("e_mail") == "chung@cs"
+        assert nick.first("e_mail") is None
+        assert nick.get("year") == 3
+
+    def test_oids_preserved_from_figure(self, scenario):
+        joe, nick = scenario.whois.export()
+        assert joe.oid.text == "&p1"
+        assert nick.oid.text == "&p2"
+
+
+class TestFigure24IntegratedObject:
+    def test_joe_chung_object(self, scenario):
+        (result,) = scenario.mediator.answer(JOE_CHUNG_QUERY)
+        assert result.label == "cs_person"
+        assert to_python(result) == {
+            "name": "Joe Chung",
+            "rel": "employee",
+            "e_mail": "chung@cs",
+            "title": "professor",
+            "reports_to": "John Hennessy",
+        }
+
+    def test_subobject_order_matches_figure(self, scenario):
+        (result,) = scenario.mediator.answer(JOE_CHUNG_QUERY)
+        assert [c.label for c in result.children] == [
+            "name",
+            "rel",
+            "e_mail",
+            "title",
+            "reports_to",
+        ]
+
+    def test_full_view_has_both_persons(self, scenario):
+        view = scenario.mediator.export()
+        names = sorted(o.get("name") for o in view)
+        assert names == ["Joe Chung", "Nick Naive"]
+
+    def test_nick_combines_rest_fields(self, scenario):
+        view = scenario.mediator.export()
+        (nick,) = [o for o in view if o.get("name") == "Nick Naive"]
+        assert to_python(nick) == {
+            "name": "Nick Naive",
+            "rel": "student",
+            "year": 3,
+        }
+
+
+class TestSchemaEvolution:
+    """Section 2: if 'birthday' is included or dropped, it should be
+    automatically included or dropped from the med view, without need to
+    change the mediator specification."""
+
+    def test_attribute_added_to_cs_appears(self, scenario):
+        student = scenario.cs.database.table("student")
+        student.add_attribute("birthday")
+        student.delete_where(lambda r: True)
+        student.insert("Nick", "Naive", 3, "1975-06-01")
+        view = scenario.mediator.export()
+        (nick,) = [o for o in view if o.get("name") == "Nick Naive"]
+        assert nick.get("birthday") == "1975-06-01"
+
+    def test_attribute_dropped_from_cs_disappears(self, scenario):
+        scenario.cs.database.table("employee").drop_attribute("title")
+        (joe,) = scenario.mediator.answer(JOE_CHUNG_QUERY)
+        assert joe.first("title") is None
+        assert joe.get("reports_to") == "John Hennessy"
+
+    def test_field_added_to_whois_appears(self, scenario):
+        from repro.oem import atom
+
+        joe = scenario.whois.export()[0]
+        scenario.whois.remove_where("person")
+        enriched = joe.with_children(
+            list(joe.children) + [atom("birthday", "1960-02-02")]
+        )
+        scenario.whois.add(enriched)
+        (result,) = scenario.mediator.answer(JOE_CHUNG_QUERY)
+        assert result.get("birthday") == "1960-02-02"
+
+
+class TestSchematicDiscrepancy:
+    """R binds a *value* in whois and a *label* in cs simultaneously."""
+
+    def test_rel_value_comes_from_relation_name(self, scenario):
+        view = scenario.mediator.export()
+        rels = {o.get("name"): o.get("rel") for o in view}
+        assert rels == {"Joe Chung": "employee", "Nick Naive": "student"}
+
+    def test_mismatched_relation_excluded(self, scenario):
+        # make whois claim Joe is a student: the join must then fail for
+        # the employee table and find no student row either
+        from repro.oem import atom, obj
+
+        scenario.whois.clear()
+        scenario.whois.add(
+            obj(
+                "person",
+                atom("name", "Joe Chung"),
+                atom("dept", "CS"),
+                atom("relation", "student"),
+            )
+        )
+        assert scenario.mediator.answer(JOE_CHUNG_QUERY) == []
+
+
+class TestJoinOnlySemantics:
+    """med 'only includes information for people that appear in both cs
+    and whois' — the documented limitation of MS1."""
+
+    def test_person_missing_from_cs_excluded(self, scenario):
+        from repro.oem import atom, obj
+
+        scenario.whois.add(
+            obj(
+                "person",
+                atom("name", "Only Whois"),
+                atom("dept", "CS"),
+                atom("relation", "student"),
+            )
+        )
+        names = {o.get("name") for o in scenario.mediator.export()}
+        assert "Only Whois" not in names
+
+    def test_person_missing_from_whois_excluded(self, scenario):
+        scenario.cs.database.table("student").insert("Sue", "Solo", 1)
+        names = {o.get("name") for o in scenario.mediator.export()}
+        assert "Sue Solo" not in names
+
+    def test_non_cs_department_excluded(self, scenario):
+        from repro.oem import atom, obj
+
+        scenario.whois.add(
+            obj(
+                "person",
+                atom("name", "Joe Chung"),
+                atom("dept", "EE"),  # wrong department
+                atom("relation", "employee"),
+            )
+        )
+        results = scenario.mediator.answer(JOE_CHUNG_QUERY)
+        assert len(results) == 1  # only the CS one

@@ -1,0 +1,79 @@
+"""Integration tests: type-slot constraints and semantic-oid matching."""
+
+import pytest
+
+from repro.datasets import MS1_FUSION, build_cs_database, build_scenario, build_whois_objects
+from repro.mediator import Mediator
+from repro.msl import match_pattern, parse_pattern
+from repro.oem import OEMObject, SemanticOid, atom
+from repro.wrappers import OEMStoreWrapper, RelationalWrapper, SourceRegistry
+
+
+class TestTypeConstrainedQueries:
+    def test_type_constraint_answered_by_materialization(self):
+        scenario = build_scenario()
+        result = scenario.mediator.answer(
+            "X :- X:<cs_person {<_ year integer Y>}>@med"
+        )
+        assert [o.get("name") for o in result] == ["Nick Naive"]
+
+    def test_wrong_type_yields_nothing(self):
+        scenario = build_scenario()
+        assert (
+            scenario.mediator.answer(
+                "X :- X:<cs_person {<_ year string Y>}>@med"
+            )
+            == []
+        )
+
+    def test_type_constraints_direct_to_wrapper(self):
+        scenario = build_scenario()
+        from repro.msl import parse_rule
+
+        result = scenario.whois.answer(
+            parse_rule("<n N> :- <person {<name N> <_ year integer 3>}>")
+        )
+        assert [o.value for o in result] == ["Nick Naive"]
+
+
+class TestSemanticOidMatching:
+    @pytest.fixture
+    def fusion_mediator(self):
+        registry = SourceRegistry()
+        registry.register(OEMStoreWrapper("whois", build_whois_objects()))
+        registry.register(RelationalWrapper("cs", build_cs_database()))
+        return Mediator("med", MS1_FUSION, registry)
+
+    def test_view_objects_carry_semantic_oids(self, fusion_mediator):
+        view = fusion_mediator.export()
+        assert all(isinstance(o.oid, SemanticOid) for o in view)
+
+    def test_match_pattern_on_semantic_oid(self, fusion_mediator):
+        view = fusion_mediator.export()
+        pattern = parse_pattern("<&person('Chung', FN) cs_person {| R}>")
+        hits = [
+            env
+            for obj_ in view
+            for env in match_pattern(pattern, obj_)
+        ]
+        assert len(hits) == 1
+        assert hits[0]["FN"] == "Joe"
+
+    def test_semantic_oid_functor_mismatch(self):
+        obj_ = OEMObject(
+            "pub", [atom("t", "x")], "set", SemanticOid("pub", ["x"])
+        )
+        pattern = parse_pattern("<&other('x') pub {| R}>")
+        assert list(match_pattern(pattern, obj_)) == []
+
+    def test_semantic_oid_arity_mismatch(self):
+        obj_ = OEMObject(
+            "pub", [atom("t", "x")], "set", SemanticOid("pub", ["x", 1])
+        )
+        pattern = parse_pattern("<&pub('x') pub {| R}>")
+        assert list(match_pattern(pattern, obj_)) == []
+
+    def test_semantic_oid_never_matches_plain_oid(self):
+        plain = atom("t", "x", oid="&plain")
+        pattern = parse_pattern("<&f('x') t 'x'>")
+        assert list(match_pattern(pattern, plain)) == []

@@ -1,0 +1,61 @@
+"""Shared hypothesis strategies for OEM structures and MSL fragments."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.oem import OEMObject, atom, obj
+
+#: Labels drawn from a small vocabulary so structures overlap and join.
+labels = st.sampled_from(
+    ["person", "name", "dept", "year", "rel", "title", "e_mail", "tag"]
+)
+
+#: Atom values that survive text round-trips (no NaN; strings printable).
+atom_values = st.one_of(
+    st.integers(min_value=-10_000, max_value=10_000),
+    st.text(
+        alphabet=st.characters(
+            codec="ascii", min_codepoint=32, max_codepoint=126
+        ),
+        max_size=12,
+    ),
+    st.booleans(),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+@st.composite
+def oem_objects(draw, max_depth: int = 3) -> OEMObject:
+    """A random OEM object of bounded depth."""
+    if max_depth <= 1 or draw(st.booleans()):
+        return atom(draw(labels), draw(atom_values))
+    children = draw(
+        st.lists(oem_objects(max_depth=max_depth - 1), max_size=4)
+    )
+    return obj(draw(labels), *children)
+
+
+oem_forests = st.lists(oem_objects(), min_size=0, max_size=5)
+
+#: Flat record objects: one label, fields from a fixed set — the shape
+#: sources usually export, good for matcher/evaluator properties.
+field_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def record_objects(draw) -> OEMObject:
+    fields = draw(
+        st.lists(
+            st.tuples(field_names, st.integers(0, 5)),
+            min_size=0,
+            max_size=4,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    return obj("rec", *[atom(name, value) for name, value in fields])
+
+
+record_forests = st.lists(record_objects(), min_size=0, max_size=8)

@@ -1,0 +1,204 @@
+"""Property-based tests: capability-split soundness, unifier algebra,
+and parser robustness under garbage input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msl import (
+    Comparison,
+    Const,
+    MSLError,
+    Pattern,
+    PatternItem,
+    RestSpec,
+    SetPattern,
+    Var,
+    evaluate_comparison,
+    match_pattern,
+    parse_specification,
+)
+from repro.msl.bindings import Bindings
+from repro.mediator import Unifier
+from repro.msl.errors import MSLSyntaxError
+from repro.wrappers import Capability
+
+from tests.property.strategies import record_objects
+
+
+# ---------------------------------------------------------------------------
+# capability split soundness: match(original) == match(relaxed)+residual
+# ---------------------------------------------------------------------------
+
+FIELDS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def filter_patterns(draw):
+    """Patterns over record objects with constant and variable items."""
+    items = []
+    used = draw(
+        st.lists(st.sampled_from(FIELDS), min_size=1, max_size=3, unique=True)
+    )
+    for name in used:
+        if draw(st.booleans()):
+            value = Const(draw(st.integers(0, 5)))
+        else:
+            value = Var(f"V_{name}")
+        items.append(PatternItem(Pattern(label=Const(name), value=value)))
+    rest = RestSpec(Var("Rest")) if draw(st.booleans()) else None
+    return Pattern(label=Const("rec"), value=SetPattern(tuple(items), rest))
+
+
+@st.composite
+def capabilities(draw):
+    filterable = draw(
+        st.one_of(
+            st.none(),
+            st.frozensets(st.sampled_from(FIELDS), max_size=4),
+        )
+    )
+    return Capability(filterable_labels=filterable, name="fuzzed")
+
+
+class TestCapabilitySplitSoundness:
+    @given(filter_patterns(), capabilities(), record_objects())
+    @settings(max_examples=150, deadline=None)
+    def test_relaxed_plus_residual_equals_original(
+        self, pattern, capability, obj_
+    ):
+        relaxed, residual = capability.split(pattern)
+
+        original = {
+            env.project(frozenset(name for name in env if not name.startswith("_Cap"))).key()
+            for env in match_pattern(pattern, obj_)
+        }
+
+        compensated = set()
+        for env in match_pattern(relaxed, obj_):
+            if all(
+                evaluate_comparison(comparison, env)
+                for comparison in residual
+            ):
+                visible = env.project(
+                    frozenset(
+                        name for name in env if not name.startswith("_Cap")
+                    )
+                )
+                compensated.add(visible.key())
+        assert original == compensated
+
+    @given(filter_patterns(), capabilities())
+    @settings(max_examples=100, deadline=None)
+    def test_relaxed_pattern_is_acceptable(self, pattern, capability):
+        relaxed, _ = capability.split(pattern)
+        assert capability.accepts(relaxed)
+
+    @given(filter_patterns())
+    def test_full_capability_split_is_identity(self, pattern):
+        from repro.wrappers import FULL_CAPABILITY
+
+        relaxed, residual = FULL_CAPABILITY.split(pattern)
+        assert residual == []
+        assert str(relaxed) == str(pattern)
+
+
+# ---------------------------------------------------------------------------
+# unifier algebra
+# ---------------------------------------------------------------------------
+
+terms = st.one_of(
+    st.builds(Const, st.integers(0, 3)),
+    st.builds(Var, st.sampled_from(["X", "Y", "Z"])),
+)
+var_names = st.sampled_from(["A", "B", "C"])
+
+
+@st.composite
+def unifiers(draw):
+    u = Unifier()
+    for _ in range(draw(st.integers(0, 3))):
+        candidate = u.map_var(draw(var_names), draw(terms))
+        if candidate is not None:
+            u = candidate
+    return u
+
+
+class TestUnifierLaws:
+    @given(unifiers(), unifiers())
+    @settings(max_examples=150)
+    def test_merge_commutative_up_to_aliasing(self, a, b):
+        """Merging in either order succeeds/fails together, binds the
+        same constants, and induces the same variable alias classes
+        (the representative chosen for an alias class may differ)."""
+        left = a.merge(b)
+        right = b.merge(a)
+        assert (left is None) == (right is None)
+        if left is None or right is None:
+            return
+        names = set(left.mappings) | set(right.mappings)
+
+        def view(u):
+            constants = {}
+            classes = {}
+            for name in names:
+                resolved = u.resolve(Var(name))
+                if isinstance(resolved, Const):
+                    constants[name] = resolved.value
+                else:
+                    classes.setdefault(resolved.name, set()).add(name)
+            # each alias class also contains its representative
+            partition = frozenset(
+                frozenset(members | {rep})
+                for rep, members in classes.items()
+            )
+            return constants, partition
+
+        assert view(left) == view(right)
+
+    @given(unifiers())
+    def test_merge_with_empty_is_identity(self, u):
+        merged = Unifier().merge(u)
+        assert merged is not None
+        for name in u.mappings:
+            assert merged.resolve(Var(name)) == u.resolve(Var(name))
+
+    @given(unifiers())
+    def test_finalized_is_idempotent(self, u):
+        once = u.finalized()
+        twice = once.finalized()
+        assert str(once) == str(twice)
+
+    @given(unifiers(), var_names)
+    def test_resolve_fixpoint(self, u, name):
+        resolved = u.resolve(Var(name))
+        assert u.resolve(resolved) == resolved
+
+
+# ---------------------------------------------------------------------------
+# parser robustness
+# ---------------------------------------------------------------------------
+
+
+class TestParserRobustness:
+    @given(
+        st.text(
+            alphabet=st.characters(
+                codec="ascii", min_codepoint=32, max_codepoint=126
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=300)
+    def test_garbage_never_crashes_with_foreign_errors(self, text):
+        try:
+            parse_specification(text)
+        except MSLError:
+            pass  # the advertised failure mode
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=200)
+    def test_unicode_garbage(self, text):
+        try:
+            parse_specification(text)
+        except MSLError:
+            pass

@@ -1,0 +1,106 @@
+"""Property-based tests for the MSL matcher's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msl import (
+    Const,
+    Pattern,
+    PatternItem,
+    RestSpec,
+    SetPattern,
+    Var,
+    match_pattern,
+    parse_pattern,
+)
+from repro.oem import structural_key
+
+from tests.property.strategies import oem_objects, record_objects
+
+
+def pattern_from_object(obj_, use_vars: bool, _counter=None) -> Pattern:
+    """A pattern that must match ``obj_`` (constants or fresh variables)."""
+    import itertools
+
+    if _counter is None:
+        _counter = itertools.count(1)
+    if obj_.is_atomic:
+        value = (
+            Var(f"V{next(_counter)}") if use_vars else Const(obj_.value)
+        )
+        return Pattern(label=Const(obj_.label), value=value)
+    items = tuple(
+        PatternItem(pattern_from_object(child, use_vars, _counter))
+        for child in obj_.children
+    )
+    return Pattern(label=Const(obj_.label), value=SetPattern(items, None))
+
+
+class TestSelfMatch:
+    @given(oem_objects())
+    @settings(max_examples=100)
+    def test_constant_pattern_of_object_matches_it(self, obj_):
+        pattern = pattern_from_object(obj_, use_vars=False)
+        assert list(match_pattern(pattern, obj_)), str(pattern)
+
+    @given(record_objects())
+    def test_variable_pattern_matches_and_binds(self, obj_):
+        pattern = pattern_from_object(obj_, use_vars=True)
+        results = list(match_pattern(pattern, obj_))
+        assert results
+
+    @given(oem_objects())
+    def test_anonymous_label_pattern_matches_everything(self, obj_):
+        results = list(match_pattern(parse_pattern("<_ _>"), obj_))
+        assert len(results) == 1
+
+
+class TestRestPartition:
+    @given(record_objects(), st.sampled_from(["a", "b", "c", "d"]))
+    def test_consumed_plus_rest_equals_children(self, obj_, field):
+        pattern = Pattern(
+            label=Const("rec"),
+            value=SetPattern(
+                (PatternItem(Pattern(label=Const(field), value=Var("X"))),),
+                RestSpec(Var("R")),
+            ),
+        )
+        for env in match_pattern(pattern, obj_):
+            rest_keys = sorted(
+                repr(structural_key(o)) for o in env["R"]
+            )
+            all_keys = sorted(
+                repr(structural_key(o)) for o in obj_.children
+            )
+            # the rest has exactly one fewer member (the consumed field)
+            assert len(rest_keys) == len(all_keys) - 1
+            # and every rest member is a child
+            child_keys = [repr(structural_key(o)) for o in obj_.children]
+            for key in rest_keys:
+                assert key in child_keys
+
+    @given(record_objects())
+    def test_empty_items_rest_binds_all_children(self, obj_):
+        pattern = Pattern(
+            label=Const("rec"),
+            value=SetPattern((), RestSpec(Var("R"))),
+        )
+        (env,) = match_pattern(pattern, obj_)
+        assert len(env["R"]) == len(obj_.children)
+
+
+class TestMatchDeterminism:
+    @given(oem_objects())
+    def test_matching_twice_gives_same_bindings(self, obj_):
+        pattern = pattern_from_object(obj_, use_vars=True)
+        first = [e.key() for e in match_pattern(pattern, obj_)]
+        second = [e.key() for e in match_pattern(pattern, obj_)]
+        assert first == second
+
+    @given(oem_objects())
+    def test_object_var_always_binds_whole_object(self, obj_):
+        pattern = Pattern(
+            label=Var("_"), value=Var("_"), object_var=Var("O")
+        )
+        (env,) = match_pattern(pattern, obj_)
+        assert env["O"] is obj_

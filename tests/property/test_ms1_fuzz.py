@@ -1,0 +1,152 @@
+"""Hypothesis fuzzing of the full MS1 pipeline with randomized sources.
+
+The specification stays the paper's MS1; the *data* is fuzzed: random
+people split across whois and cs with controlled overlap, random
+irregular extra fields, and random queries.  The invariant is always
+the same: the optimized MSI agrees with naive evaluation of the
+expanded logical program over full exports.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import MS1
+from repro.external import default_registry
+from repro.mediator import Mediator
+from repro.msl import evaluate_rule, parse_query
+from repro.oem import atom, eliminate_duplicates, obj, structural_key
+from repro.relational import Attribute, Database, RelationSchema
+from repro.wrappers import (
+    OEMStoreWrapper,
+    RelationalWrapper,
+    SourceRegistry,
+)
+
+FIRST = ["Ann", "Bob", "Cleo", "Dan"]
+LAST = ["Ash", "Birch", "Cole"]
+
+
+@st.composite
+def staff_data(draw):
+    """(whois objects, cs rows) over a small shared name pool."""
+    people = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(FIRST),
+                st.sampled_from(LAST),
+                st.sampled_from(["employee", "student"]),
+                st.booleans(),  # in whois?
+                st.booleans(),  # in cs?
+                st.booleans(),  # has extra field?
+                st.integers(1, 5),  # year
+            ),
+            max_size=6,
+            unique_by=lambda p: (p[0], p[1]),
+        )
+    )
+    whois_objects = []
+    employees = []
+    students = []
+    for first, last, relation, in_whois, in_cs, extra, year in people:
+        if in_whois:
+            children = [
+                atom("name", f"{first} {last}"),
+                atom("dept", "CS"),
+                atom("relation", relation),
+            ]
+            if extra:
+                children.append(atom("e_mail", f"{first.lower()}@cs"))
+            whois_objects.append(obj("person", *children))
+        if in_cs:
+            if relation == "employee":
+                employees.append((first, last, "staff", "Boss"))
+            else:
+                students.append((first, last, year))
+    return whois_objects, employees, students
+
+
+def build(whois_objects, employees, students):
+    registry = SourceRegistry()
+    registry.register(OEMStoreWrapper("whois", whois_objects))
+    db = Database("cs")
+    employee = db.create_table(
+        RelationSchema(
+            "employee", ["first_name", "last_name", "title", "reports_to"]
+        )
+    )
+    student = db.create_table(
+        RelationSchema(
+            "student",
+            ["first_name", "last_name", Attribute("year", "integer")],
+        )
+    )
+    employee.insert_many(employees)
+    student.insert_many(students)
+    registry.register(RelationalWrapper("cs", db))
+    return Mediator("med", MS1, registry, default_registry())
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+QUERIES = [
+    "X :- X:<cs_person {<name N>}>@med",
+    "X :- X:<cs_person {<rel 'student'>}>@med",
+    "X :- X:<cs_person {<e_mail E>}>@med",
+    "X :- X:<cs_person {<year Y>}>@med AND Y >= 3",
+    "<who N> :- <cs_person {<name N> <rel R>}>@med AND R != 'student'",
+]
+
+
+class TestMS1Fuzz:
+    @given(staff_data(), st.sampled_from(QUERIES))
+    @settings(max_examples=50, deadline=None)
+    def test_engine_agrees_with_reference(self, data, query_text):
+        whois_objects, employees, students = data
+        mediator = build(*data)
+        engine_answer = mediator.answer(query_text)
+
+        program = mediator.expander.expand(parse_query(query_text))
+        forests = {
+            "whois": whois_objects,
+            "cs": mediator.sources.resolve("cs").export(),
+        }
+        reference = []
+        for logical in program:
+            reference.extend(
+                evaluate_rule(
+                    logical.rule, forests, mediator.externals, check=False
+                )
+            )
+        reference = eliminate_duplicates(reference)
+        assert canonical(engine_answer) == canonical(reference)
+
+    @given(staff_data())
+    @settings(max_examples=40, deadline=None)
+    def test_view_is_join_of_sources(self, data):
+        """Every view object's name appears in whois AND its (first,
+        last) appears in a matching cs table — MS1's join semantics."""
+        whois_objects, employees, students = data
+        mediator = build(*data)
+        whois_names = {o.get("name") for o in whois_objects}
+        cs_names = {
+            (f"{first} {last}", "employee")
+            for first, last, *_ in employees
+        } | {(f"{first} {last}", "student") for first, last, *_ in students}
+        for person in mediator.export():
+            name = person.get("name")
+            rel = person.get("rel")
+            assert name in whois_names
+            assert (name, rel) in cs_names
+
+    @given(staff_data())
+    @settings(max_examples=30, deadline=None)
+    def test_pruning_never_changes_answers(self, data):
+        query = "X :- X:<cs_person {<e_mail E>}>@med"
+        pruned = build(*data)
+        unpruned = build(*data)
+        unpruned.optimizer.prune_with_facts = False
+        assert canonical(pruned.answer(query)) == canonical(
+            unpruned.answer(query)
+        )

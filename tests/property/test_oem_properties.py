@@ -1,0 +1,70 @@
+"""Property-based tests for the OEM layer."""
+
+from hypothesis import given, settings
+
+from repro.oem import (
+    eliminate_duplicates,
+    parse_oem,
+    structural_hash,
+    structural_key,
+    structurally_equal,
+    to_text,
+)
+
+from tests.property.strategies import oem_forests, oem_objects
+
+
+class TestRoundTrip:
+    @given(oem_forests)
+    @settings(max_examples=150)
+    def test_parse_of_to_text_is_identity(self, forest):
+        reparsed = parse_oem(to_text(forest))
+        assert len(reparsed) == len(forest)
+        for original, again in zip(forest, reparsed):
+            assert structurally_equal(original, again)
+
+    @given(oem_forests)
+    def test_to_text_is_stable(self, forest):
+        once = to_text(forest)
+        again = to_text(parse_oem(once))
+        assert once == again
+
+
+class TestEqualityLaws:
+    @given(oem_objects())
+    def test_reflexive(self, obj_):
+        assert structurally_equal(obj_, obj_)
+
+    @given(oem_objects(), oem_objects())
+    def test_symmetric(self, a, b):
+        assert structurally_equal(a, b) == structurally_equal(b, a)
+
+    @given(oem_objects(), oem_objects())
+    def test_hash_respects_equality(self, a, b):
+        if structurally_equal(a, b):
+            assert structural_hash(a) == structural_hash(b)
+
+    @given(oem_objects())
+    def test_key_determines_equality(self, obj_):
+        clone = obj_.with_oid("&clone")
+        assert structural_key(obj_) == structural_key(clone)
+        assert structurally_equal(obj_, clone)
+
+
+class TestDedupLaws:
+    @given(oem_forests)
+    def test_idempotent(self, forest):
+        once = eliminate_duplicates(forest)
+        assert eliminate_duplicates(once) == once
+
+    @given(oem_forests)
+    def test_no_two_equal_survivors(self, forest):
+        result = eliminate_duplicates(forest)
+        keys = [structural_key(o) for o in result]
+        assert len(keys) == len(set(keys))
+
+    @given(oem_forests)
+    def test_preserves_membership(self, forest):
+        result = eliminate_duplicates(forest)
+        result_keys = {structural_key(o) for o in result}
+        assert result_keys == {structural_key(o) for o in forest}

@@ -1,0 +1,165 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+SPEC = """
+<cs_person {<name N> <rel R> | Rest1}> :-
+    <person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois ;
+"""
+
+WHOIS = """
+<&p1, person, set, {&n1,&d1,&rel1}>
+  <&n1, name, string, 'Joe Chung'>
+  <&d1, dept, string, 'CS'>
+  <&rel1, relation, string, 'employee'>
+;
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    spec = tmp_path / "med.msl"
+    spec.write_text(SPEC)
+    whois = tmp_path / "whois.oem"
+    whois.write_text(WHOIS)
+    return spec, whois
+
+
+def run(argv, stdin_text=""):
+    stdout, stderr = io.StringIO(), io.StringIO()
+    status = main(
+        argv, stdout=stdout, stderr=stderr, stdin=io.StringIO(stdin_text)
+    )
+    return status, stdout.getvalue(), stderr.getvalue()
+
+
+class TestCLI:
+    def test_query_flag(self, files):
+        spec, whois = files
+        status, out, err = run(
+            [
+                "--spec", str(spec),
+                "--source", f"whois={whois}",
+                "--query", "X :- X:<cs_person {<name 'Joe Chung'>}>@med",
+                "--format", "inline",
+            ]
+        )
+        assert status == 0, err
+        assert "'Joe Chung'" in out
+        assert "cs_person" in out
+
+    def test_export_flag(self, files):
+        spec, whois = files
+        status, out, _ = run(
+            ["--spec", str(spec), "--source", f"whois={whois}", "--export"]
+        )
+        assert status == 0
+        assert out.count("cs_person") == 1
+
+    def test_python_format(self, files):
+        spec, whois = files
+        status, out, _ = run(
+            [
+                "--spec", str(spec),
+                "--source", f"whois={whois}",
+                "--export",
+                "--format", "python",
+            ]
+        )
+        assert status == 0
+        assert "{'name': 'Joe Chung', 'rel': 'employee'}" in out
+
+    def test_explain_flag(self, files):
+        spec, whois = files
+        status, out, _ = run(
+            [
+                "--spec", str(spec),
+                "--source", f"whois={whois}",
+                "--query", "X :- X:<cs_person {<name N>}>@med",
+                "--explain",
+            ]
+        )
+        assert status == 0
+        assert "logical datamerge program" in out
+        assert "physical datamerge graph" in out
+
+    def test_stdin_queries(self, files):
+        spec, whois = files
+        status, out, _ = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--format", "inline"],
+            stdin_text="X :- X:<cs_person {<rel 'employee'>}>@med\n\n",
+        )
+        assert status == 0
+        assert "cs_person" in out
+
+    def test_facts_suffix(self, files, tmp_path):
+        spec, whois = files
+        status, out, _ = run(
+            [
+                "--spec", str(spec),
+                "--source", f"whois={whois}:facts",
+                "--export",
+            ]
+        )
+        assert status == 0
+
+    def test_missing_spec_file(self, files, tmp_path):
+        _, whois = files
+        status, _, err = run(
+            ["--spec", str(tmp_path / "ghost.msl"), "--source", f"w={whois}"]
+        )
+        assert status == 2
+        assert "cannot read" in err
+
+    def test_bad_source_syntax(self, files):
+        spec, _ = files
+        status, _, err = run(["--spec", str(spec), "--source", "nonsense"])
+        assert status == 2
+        assert "NAME=FILE" in err
+
+    def test_missing_source_file(self, files, tmp_path):
+        spec, _ = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"w={tmp_path / 'no.oem'}"]
+        )
+        assert status == 2
+
+    def test_unparseable_source_file(self, files, tmp_path):
+        spec, _ = files
+        bad = tmp_path / "bad.oem"
+        bad.write_text("<<<not oem>>>")
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"w={bad}"]
+        )
+        assert status == 2
+        assert "cannot parse" in err
+
+    def test_bad_specification(self, files, tmp_path):
+        _, whois = files
+        bad = tmp_path / "bad.msl"
+        bad.write_text("<a X> :- <b Y>@whois")  # unsafe head variable
+        status, _, err = run(
+            ["--spec", str(bad), "--source", f"whois={whois}"]
+        )
+        assert status == 2
+        assert "bad specification" in err
+
+    def test_bad_query_reports_and_continues(self, files):
+        spec, whois = files
+        status, out, err = run(
+            [
+                "--spec", str(spec),
+                "--source", f"whois={whois}",
+                "--query", "garbage :-",
+                "--query", "X :- X:<cs_person {<name N>}>@med",
+                "--format", "inline",
+            ]
+        )
+        assert status == 1  # one query failed
+        assert "error" in err
+        assert "cs_person" in out  # the good query still ran

@@ -1,0 +1,171 @@
+"""Unit tests for binding environments and static rule analysis."""
+
+import pytest
+
+from repro.msl import (
+    Bindings,
+    EMPTY_BINDINGS,
+    MSLSemanticError,
+    check_rule,
+    check_specification_rule,
+    condition_variables,
+    parse_rule,
+    rename_apart,
+    tail_variables,
+    values_equal,
+)
+from repro.oem import atom, obj
+
+
+class TestValuesEqual:
+    def test_atoms(self):
+        assert values_equal(1, 1)
+        assert values_equal("a", "a")
+        assert not values_equal(1, 2)
+
+    def test_bool_vs_int_distinct(self):
+        assert not values_equal(True, 1)
+        assert not values_equal(0, False)
+
+    def test_int_vs_float(self):
+        assert values_equal(3, 3.0)
+
+    def test_objects_structural(self):
+        assert values_equal(atom("a", 1, oid="&1"), atom("a", 1, oid="&2"))
+        assert not values_equal(atom("a", 1), atom("a", 2))
+
+    def test_object_sets_order_insensitive(self):
+        left = (atom("a", 1), atom("b", 2))
+        right = (atom("b", 2), atom("a", 1))
+        assert values_equal(left, right)
+
+    def test_atom_vs_object(self):
+        assert not values_equal(1, atom("a", 1))
+
+
+class TestBindings:
+    def test_bind_and_get(self):
+        env = EMPTY_BINDINGS.bind("X", 1)
+        assert env["X"] == 1
+        assert "X" in env and "Y" not in env
+
+    def test_bind_conflict_returns_none(self):
+        env = EMPTY_BINDINGS.bind("X", 1)
+        assert env.bind("X", 2) is None
+        assert env.bind("X", 1) is env
+
+    def test_bind_anonymous_noop(self):
+        env = EMPTY_BINDINGS.bind("_", 1)
+        assert len(env) == 0
+
+    def test_immutability(self):
+        env = EMPTY_BINDINGS.bind("X", 1)
+        env.bind("Y", 2)
+        assert "Y" not in env
+        with pytest.raises(AttributeError):
+            env._map = {}
+
+    def test_merge_agreeing(self):
+        a = EMPTY_BINDINGS.bind("X", 1).bind("Y", 2)
+        b = EMPTY_BINDINGS.bind("Y", 2).bind("Z", 3)
+        merged = a.merge(b)
+        assert dict(merged.items()) == {"X": 1, "Y": 2, "Z": 3}
+
+    def test_merge_disagreeing(self):
+        a = EMPTY_BINDINGS.bind("X", 1)
+        b = EMPTY_BINDINGS.bind("X", 2)
+        assert a.merge(b) is None
+
+    def test_project(self):
+        env = EMPTY_BINDINGS.bind("X", 1).bind("Y", 2)
+        assert dict(env.project({"X"}).items()) == {"X": 1}
+
+    def test_key_is_order_insensitive(self):
+        a = EMPTY_BINDINGS.bind("X", 1).bind("Y", 2)
+        b = EMPTY_BINDINGS.bind("Y", 2).bind("X", 1)
+        assert a.key() == b.key()
+        assert a == b and hash(a) == hash(b)
+
+    def test_key_handles_object_sets(self):
+        env = EMPTY_BINDINGS.bind("R", (atom("a", 1),))
+        env2 = EMPTY_BINDINGS.bind("R", (atom("a", 1, oid="&z"),))
+        assert env.key() == env2.key()
+
+
+class TestConditionVariables:
+    def test_pattern_condition(self):
+        rule = parse_rule("<a X> :- <b {<c X> | R}>@s")
+        assert condition_variables(rule.tail[0]) == {"X", "R"}
+
+    def test_external_call(self):
+        rule = parse_rule("<a N> :- <x N>@s AND decomp(N, LN, FN)")
+        assert condition_variables(rule.tail[1]) == {"N", "LN", "FN"}
+
+    def test_comparison(self):
+        rule = parse_rule("<a X> :- <x X>@s AND X > 3")
+        assert condition_variables(rule.tail[1]) == {"X"}
+
+    def test_tail_variables(self):
+        rule = parse_rule("<a X> :- <b X>@s AND <c Y>@t")
+        assert tail_variables(rule) == {"X", "Y"}
+
+
+class TestCheckRule:
+    def test_valid_rule_passes(self):
+        check_rule(parse_rule("<a X> :- <b X>@s"))
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(MSLSemanticError, match="unsafe"):
+            check_rule(parse_rule("<a Y> :- <b X>@s"))
+
+    def test_head_variable_bound_by_external_is_safe(self):
+        check_rule(parse_rule("<a LN> :- <b N>@s AND decomp(N, LN, FN)"))
+
+    def test_no_pattern_conditions(self):
+        with pytest.raises(MSLSemanticError, match="no object patterns"):
+            check_rule(parse_rule("<a X> :- X > 3"))
+
+    def test_bare_variable_in_tail_braces(self):
+        with pytest.raises(MSLSemanticError, match="bare variable"):
+            check_rule(parse_rule("<a X> :- <b {X V}>@s"))
+
+    def test_variable_as_object_and_rest(self):
+        with pytest.raises(MSLSemanticError, match="object variable"):
+            check_rule(
+                parse_rule("<a V> :- V:<b {<c C> | V}>@s")
+            )
+
+    def test_specification_rule_rejects_bare_head_var(self):
+        with pytest.raises(MSLSemanticError, match="object patterns"):
+            check_specification_rule(parse_rule("X :- X:<b {}>@s"))
+
+    def test_query_head_may_be_bare_var(self):
+        check_rule(parse_rule("X :- X:<b {}>@s"), is_query=True)
+
+
+class TestRenameApart:
+    def test_all_occurrences_renamed_consistently(self):
+        rule = parse_rule("<a X> :- <b {<c X> | R}>@s AND X > 2")
+        renamed = rename_apart(rule, "_1")
+        text = str(renamed)
+        assert "X_1" in text and "R_1" in text
+        assert " X " not in text
+
+    def test_anonymous_untouched(self):
+        rule = parse_rule("<a X> :- <b {<c X> <d _>}>@s")
+        assert "_ " not in str(rename_apart(rule, "_1")).replace("_1", "")
+
+    def test_semantics_preserved(self):
+        rule = parse_rule("<a X> :- <b X>@s")
+        renamed = rename_apart(rule, "_q")
+        assert str(renamed) == "<a X_q> :- <b X_q>@s"
+
+    def test_external_and_comparison_args_renamed(self):
+        rule = parse_rule("<a N> :- <b N>@s AND f(N, M) AND M > 1")
+        renamed = rename_apart(rule, "_z")
+        assert "f(N_z, M_z)" in str(renamed)
+        assert "M_z > 1" in str(renamed)
+
+    def test_semantic_oid_args_renamed(self):
+        rule = parse_rule("<&p(T) pub {<t T>}> :- <x {<t T>}>@s")
+        assert "&p(T_1)" in str(rename_apart(rule, "_1"))

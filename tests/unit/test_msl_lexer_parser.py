@@ -1,0 +1,259 @@
+"""Unit tests for the MSL lexer and parser."""
+
+import pytest
+
+from repro.msl import (
+    Comparison,
+    Const,
+    ExternalCall,
+    MSLSyntaxError,
+    Param,
+    Pattern,
+    PatternCondition,
+    PatternItem,
+    SemOidTerm,
+    SetPattern,
+    Var,
+    VarItem,
+    is_variable_name,
+    parse_pattern,
+    parse_query,
+    parse_rule,
+    parse_specification,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_kinds(self):
+        kinds = [t.kind for t in tokenize("<name N> :- 'x' 3 &id $p")]
+        assert kinds == [
+            "punct", "word", "word", "punct", "punct",
+            "string", "number", "oid", "param",
+        ]
+
+    def test_multi_char_operators(self):
+        texts = [t.text for t in tokenize(":- .. != <= >=")]
+        assert texts == [":-", "..", "!=", "<=", ">="]
+
+    def test_comments_stripped(self):
+        assert [t.text for t in tokenize("a // comment\nb # more")] == ["a", "b"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1 and tokens[1].line == 2
+
+    def test_string_escapes(self):
+        (tok,) = tokenize(r"'it\'s'")
+        assert tok.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(MSLSyntaxError):
+            tokenize("'oops")
+
+    def test_newline_in_string(self):
+        with pytest.raises(MSLSyntaxError):
+            tokenize("'a\nb'")
+
+    def test_negative_and_real_numbers(self):
+        values = [t.value for t in tokenize("-3 2.5")]
+        assert values == [-3, 2.5]
+
+    def test_bare_dollar_rejected(self):
+        with pytest.raises(MSLSyntaxError):
+            tokenize("$ x")
+
+
+class TestVariableNaming:
+    def test_capitalised_is_variable(self):
+        assert is_variable_name("Rest1")
+        assert is_variable_name("N")
+        assert is_variable_name("_")
+
+    def test_lowercase_is_constant(self):
+        assert not is_variable_name("name")
+
+
+class TestPatternParsing:
+    def test_two_fields(self):
+        p = parse_pattern("<name N>")
+        assert p.label == Const("name")
+        assert p.value == Var("N")
+        assert p.oid is None and p.type is None
+
+    def test_one_field_label_only(self):
+        p = parse_pattern("<birthday>")
+        assert p.value == Var("_")
+
+    def test_three_fields_oid_label_value(self):
+        p = parse_pattern("<&1 name 'Joe'>")
+        assert p.oid == Const("&1")
+        assert p.value == Const("Joe")
+
+    def test_four_fields(self):
+        p = parse_pattern("<&1 name string 'Joe'>")
+        assert p.type == Const("string")
+
+    def test_variable_label(self):
+        p = parse_pattern("<R {<first_name FN>}>")
+        assert p.label == Var("R")
+
+    def test_set_pattern_with_rest(self):
+        p = parse_pattern("<person {<name N> | Rest1}>")
+        sp = p.value
+        assert isinstance(sp, SetPattern)
+        assert len(sp.items) == 1
+        assert sp.rest.var == Var("Rest1")
+
+    def test_rest_with_conditions(self):
+        p = parse_pattern("<person {| Rest1:{<year 3>}}>")
+        rest = p.value.rest
+        assert rest.var == Var("Rest1")
+        assert len(rest.conditions) == 1
+        assert rest.conditions[0].label == Const("year")
+
+    def test_bare_variable_item(self):
+        p = parse_pattern("<cs_person {<name N> Rest1 Rest2}>")
+        items = p.value.items
+        assert isinstance(items[1], VarItem)
+        assert items[1].var == Var("Rest1")
+
+    def test_descendant_item(self):
+        p = parse_pattern("<person {.. <year 3>}>")
+        item = p.value.items[0]
+        assert isinstance(item, PatternItem) and item.descendant
+
+    def test_semantic_oid_in_head(self):
+        p = parse_pattern("<&pub(T, Y) publication {<title T>}>")
+        assert isinstance(p.oid, SemOidTerm)
+        assert p.oid.functor == "pub"
+        assert p.oid.args == (Var("T"), Var("Y"))
+
+    def test_param_in_label(self):
+        p = parse_pattern("<$R {<first_name $FN>}>")
+        assert p.label == Param("R")
+        assert p.value.items[0].pattern.value == Param("FN")
+
+    def test_nested_object_variable(self):
+        p = parse_pattern("<person {X:<name N>}>")
+        assert p.value.items[0].pattern.object_var == Var("X")
+
+    def test_anonymous_value(self):
+        p = parse_pattern("<name _>")
+        assert p.value == Var("_")
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(MSLSyntaxError, match="trailing"):
+            parse_pattern("<a 1> junk")
+
+    def test_too_many_fields(self):
+        with pytest.raises(MSLSyntaxError):
+            parse_pattern("<&1 a string 'x' extra>")
+
+
+class TestRuleParsing:
+    def test_simple_rule(self):
+        rule = parse_rule("<a X> :- <b X>@s")
+        assert len(rule.head) == 1
+        (cond,) = rule.tail
+        assert isinstance(cond, PatternCondition)
+        assert cond.source == "s"
+
+    def test_and_and_comma_separators(self):
+        r1 = parse_rule("<a X> :- <b X>@s AND <c X>@t")
+        r2 = parse_rule("<a X> :- <b X>@s, <c X>@t")
+        assert len(r1.tail) == len(r2.tail) == 2
+
+    def test_and_case_insensitive(self):
+        rule = parse_rule("<a X> :- <b X>@s and <c X>@t")
+        assert len(rule.tail) == 2
+
+    def test_object_variable_query(self):
+        query = parse_query("JC :- JC:<cs_person {<name 'Joe Chung'>}>@med")
+        assert query.head == (Var("JC"),)
+        pattern = query.tail[0].pattern
+        assert pattern.object_var == Var("JC")
+
+    def test_external_call(self):
+        rule = parse_rule("<a N> :- <b N>@s AND decomp(N, LN, FN)")
+        call = rule.tail[1]
+        assert isinstance(call, ExternalCall)
+        assert call.name == "decomp"
+        assert call.args == (Var("N"), Var("LN"), Var("FN"))
+
+    def test_comparisons(self):
+        for op in ("=", "!=", "<", "<=", ">", ">="):
+            rule = parse_rule(f"<a X> :- <b X>@s AND X {op} 3")
+            cmp_ = rule.tail[1]
+            assert isinstance(cmp_, Comparison)
+            assert cmp_.op == op
+
+    def test_multi_pattern_head(self):
+        rule = parse_rule("<a X> <b X> :- <c X>@s")
+        assert len(rule.head) == 2
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(MSLSyntaxError):
+            parse_rule(":- <a X>@s")
+
+    def test_missing_tail_rejected(self):
+        with pytest.raises(MSLSyntaxError):
+            parse_rule("<a X> :-")
+
+
+class TestSpecificationParsing:
+    def test_rules_and_declarations(self):
+        spec = parse_specification(
+            "<a X> :- <b X>@s ;"
+            "EXT decomp(bound, free, free) BY name_to_lnfn ;"
+            "EXT decomp(free, bound, bound) BY lnfn_to_name"
+        )
+        assert len(spec.rules) == 1
+        assert len(spec.externals) == 2
+        assert spec.externals[0].adornment == ("b", "f", "f")
+
+    def test_declarations_for(self):
+        spec = parse_specification(
+            "<a X> :- <b X>@s ; EXT f(bound, free) BY g"
+        )
+        assert len(spec.declarations_for("f")) == 1
+        assert spec.declarations_for("missing") == ()
+
+    def test_short_adornment_words(self):
+        spec = parse_specification("<a X> :- <b X>@s ; EXT f(b, f) BY g")
+        assert spec.externals[0].adornment == ("b", "f")
+
+    def test_bad_adornment_word(self):
+        with pytest.raises(MSLSyntaxError):
+            parse_specification("EXT f(sideways) BY g")
+
+    def test_multiple_rules(self):
+        spec = parse_specification("<a X> :- <b X>@s ; <c Y> :- <d Y>@t")
+        assert len(spec.rules) == 2
+
+    def test_multiple_rules_without_semicolons(self):
+        spec = parse_specification("<a X> :- <b X>@s <c Y> :- <d Y>@t")
+        assert len(spec.rules) == 2
+
+    def test_parse_rule_rejects_multiple(self):
+        with pytest.raises(MSLSyntaxError, match="exactly one"):
+            parse_rule("<a X> :- <b X>@s ; <c Y> :- <d Y>@t")
+
+
+class TestRoundTrip:
+    CASES = [
+        "<a X> :- <b X>@s",
+        "JC :- JC:<cs_person {<name 'Joe Chung'>}>@med",
+        "<cs_person {<name N> <rel R> Rest1 Rest2}> :- "
+        "<person {<name N> <dept 'CS'> <relation R> | Rest1}>@whois"
+        " AND decomp(N, LN, FN)"
+        " AND <R {<first_name FN> <last_name LN> | Rest2}>@cs",
+        "<a X> :- <b {| R:{<year 3>}}>@s AND X > 2",
+        "<p {.. <deep D>}> :- <q {.. <deep D>}>@s",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_unparse_parse_fixpoint(self, text):
+        rule = parse_rule(text)
+        again = parse_rule(str(rule))
+        assert str(again) == str(rule)

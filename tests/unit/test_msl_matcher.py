@@ -1,0 +1,236 @@
+"""Unit tests for pattern matching against OEM structures."""
+
+import pytest
+
+from repro.msl import (
+    EMPTY_BINDINGS,
+    MSLMatchError,
+    match_against_forest,
+    match_all,
+    match_pattern,
+    parse_pattern,
+)
+from repro.oem import atom, obj, parse_oem, parse_one
+
+
+def bindings_of(pattern_text, obj_):
+    return [
+        dict(b.items())
+        for b in match_pattern(parse_pattern(pattern_text), obj_)
+    ]
+
+
+class TestSlotMatching:
+    def test_constant_value_match(self):
+        o = parse_one("<&1, name, string, 'Fred'>")
+        assert bindings_of("<name 'Fred'>", o) == [{}]
+        assert bindings_of("<name 'Tom'>", o) == []
+
+    def test_variable_binds_value(self):
+        o = parse_one("<&1, name, string, 'Fred'>")
+        assert bindings_of("<name N>", o) == [{"N": "Fred"}]
+
+    def test_variable_label(self):
+        o = parse_one("<&1, name, string, 'Fred'>")
+        assert bindings_of("<L 'Fred'>", o) == [{"L": "name"}]
+
+    def test_label_mismatch(self):
+        o = parse_one("<&1, name, string, 'Fred'>")
+        assert bindings_of("<dept D>", o) == []
+
+    def test_type_slot(self):
+        o = parse_one("<&1, year, integer, 3>")
+        assert bindings_of("<&1 year integer 3>", o) == [{}]
+        assert bindings_of("<&1 year string Y>", o) == []
+
+    def test_oid_constant(self):
+        o = parse_one("<&1, year, integer, 3>")
+        assert bindings_of("<&1 year Y>", o) == [{"Y": 3}]
+        assert bindings_of("<&2 year Y>", o) == []
+
+    def test_oid_variable_binds_oid(self):
+        o = parse_one("<&1, year, integer, 3>")
+        (env,) = match_pattern(parse_pattern("<I year _>"), o)
+        assert env["I"].text == "&1"
+
+    def test_anonymous_binds_nothing(self):
+        o = parse_one("<&1, name, string, 'Fred'>")
+        assert bindings_of("<name _>", o) == [{}]
+
+    def test_object_variable_binds_object(self):
+        o = parse_one("<&1, name, string, 'Fred'>")
+        (env,) = match_pattern(parse_pattern("X:<name _>"), o)
+        assert env["X"] is o
+
+    def test_set_valued_variable_binds_children(self):
+        o = parse_one("<&p, person, set, {<&n, name, string, 'F'>}>")
+        (env,) = match_pattern(parse_pattern("<person V>"), o)
+        assert env["V"] == o.children
+
+    def test_constant_never_matches_set_object(self):
+        o = parse_one("<&p, person, set, {}>")
+        assert bindings_of("<person 'x'>", o) == []
+
+    def test_set_pattern_never_matches_atom(self):
+        o = parse_one("<&1, name, string, 'Fred'>")
+        assert bindings_of("<name {}>", o) == []
+
+    def test_numeric_equality_int_vs_float(self):
+        o = parse_one("<&1, ratio, real, 3.0>")
+        assert bindings_of("<ratio 3>", o) == [{}]
+
+    def test_bool_not_equal_to_int(self):
+        o = parse_one("<&1, flag, boolean, true>")
+        assert bindings_of("<flag 1>", o) == []
+
+
+class TestSetMatching:
+    @pytest.fixture
+    def joe(self):
+        return parse_one(
+            """
+            <&p1, person, set, {&n1,&d1,&rel1,&elm1}>
+              <&n1, name, string, 'Joe Chung'>
+              <&d1, dept, string, 'CS'>
+              <&rel1, relation, string, 'employee'>
+              <&elm1, e_mail, string, 'chung@cs'>
+            """
+        )
+
+    def test_containment_semantics(self, joe):
+        # extra children are fine without a Rest
+        assert bindings_of("<person {<name N>}>", joe) == [
+            {"N": "Joe Chung"}
+        ]
+
+    def test_paper_binding_b_w_1(self, joe):
+        (env,) = match_pattern(
+            parse_pattern(
+                "<person {<name N> <dept 'CS'> <relation R> | Rest1}>"
+            ),
+            joe,
+        )
+        assert env["N"] == "Joe Chung"
+        assert env["R"] == "employee"
+        rest = env["Rest1"]
+        assert [o.label for o in rest] == ["e_mail"]
+
+    def test_rest_binds_empty_when_all_consumed(self, joe):
+        (env,) = match_pattern(
+            parse_pattern(
+                "<person {<name _> <dept _> <relation _> <e_mail _> | R}>"
+            ),
+            joe,
+        )
+        assert env["R"] == ()
+
+    def test_missing_required_item_fails(self, joe):
+        assert bindings_of("<person {<year Y>}>", joe) == []
+
+    def test_items_match_distinct_children(self):
+        o = obj("p", atom("tag", "a"))
+        # two items cannot both consume the single 'tag' child
+        assert bindings_of("<p {<tag X> <tag Y>}>", o) == []
+
+    def test_items_enumerate_permutations(self):
+        o = obj("p", atom("tag", "a"), atom("tag", "b"))
+        results = bindings_of("<p {<tag X> <tag Y>}>", o)
+        assert {(r["X"], r["Y"]) for r in results} == {
+            ("a", "b"), ("b", "a"),
+        }
+
+    def test_join_variable_within_pattern(self):
+        o = obj("p", atom("a", "v"), atom("b", "v"))
+        assert bindings_of("<p {<a X> <b X>}>", o) == [{"X": "v"}]
+        o2 = obj("p", atom("a", "v"), atom("b", "w"))
+        assert bindings_of("<p {<a X> <b X>}>", o2) == []
+
+    def test_rest_conditions_filter_without_consuming(self):
+        o = obj("p", atom("name", "n"), atom("year", 3))
+        (env,) = match_pattern(
+            parse_pattern("<p {<name N> | R:{<year 3>}}>"), o
+        )
+        assert [c.label for c in env["R"]] == ["year"]
+
+    def test_rest_conditions_fail(self):
+        o = obj("p", atom("name", "n"), atom("year", 2))
+        assert bindings_of("<p {<name N> | R:{<year 3>}}>", o) == []
+
+    def test_rest_conditions_injective(self):
+        o = obj("p", atom("year", 3))
+        # two conditions need two distinct members
+        assert (
+            bindings_of("<p {| R:{<year 3> <year Y>}}>", o) == []
+        )
+
+    def test_empty_set_pattern_matches_any_set(self):
+        o = obj("p", atom("a", 1))
+        assert bindings_of("<p {}>", o) == [{}]
+
+    def test_bare_variable_item_rejected_in_matching(self):
+        o = obj("p", atom("a", 1))
+        with pytest.raises(MSLMatchError):
+            list(match_pattern(parse_pattern("<p {V}>"), o))
+
+
+class TestDescendantMatching:
+    @pytest.fixture
+    def nested(self):
+        return parse_one(
+            """
+            <&p, person, set, {&a}>
+              <&a, address, set, {&c}>
+                <&c, city, string, 'Palo Alto'>
+            """
+        )
+
+    def test_descendant_matches_any_depth(self, nested):
+        assert bindings_of("<person {.. <city C>}>", nested) == [
+            {"C": "Palo Alto"}
+        ]
+
+    def test_direct_item_does_not_reach_deep(self, nested):
+        assert bindings_of("<person {<city C>}>", nested) == []
+
+    def test_descendant_does_not_consume_for_rest(self, nested):
+        (env,) = match_pattern(
+            parse_pattern("<person {.. <city C> | R}>"), nested
+        )
+        assert [o.label for o in env["R"]] == ["address"]
+
+    def test_descendant_also_matches_direct_child(self):
+        o = obj("p", atom("city", "PA"))
+        assert bindings_of("<p {.. <city C>}>", o) == [{"C": "PA"}]
+
+
+class TestForestMatching:
+    def test_top_level_only_by_default(self):
+        forest = parse_oem(
+            "<&p, person, set, {&n}> <&n, name, string, 'A'>"
+        )
+        results = match_all(parse_pattern("<name N>"), forest)
+        assert results == []
+
+    def test_any_level(self):
+        forest = parse_oem(
+            "<&p, person, set, {&n}> <&n, name, string, 'A'>"
+        )
+        results = list(
+            match_against_forest(
+                parse_pattern("<name N>"), forest, any_level=True
+            )
+        )
+        assert len(results) == 1
+
+    def test_match_all_deduplicates(self):
+        forest = [atom("a", 1, oid="&1"), atom("a", 1, oid="&2")]
+        results = match_all(parse_pattern("<a X>"), forest)
+        assert len(results) == 1
+
+    def test_initial_bindings_respected(self):
+        forest = [atom("a", 1), atom("a", 2)]
+        start = EMPTY_BINDINGS.bind("X", 2)
+        results = list(
+            match_against_forest(parse_pattern("<a X>"), forest, start)
+        )
+        assert len(results) == 1

@@ -1,0 +1,82 @@
+"""Unit tests for structural comparison and duplicate elimination."""
+
+from repro.oem import (
+    atom,
+    eliminate_duplicates,
+    is_subobject_set,
+    obj,
+    structural_hash,
+    structural_key,
+    structurally_equal,
+)
+
+
+class TestStructuralKey:
+    def test_atom_key_components(self):
+        assert structural_key(atom("year", 3)) == ("year", "integer", 3)
+
+    def test_set_key_order_insensitive(self):
+        a = obj("p", atom("a", 1), atom("b", 2))
+        b = obj("p", atom("b", 2), atom("a", 1))
+        assert structural_key(a) == structural_key(b)
+
+    def test_duplicate_members_collapse_in_key(self):
+        once = obj("p", atom("a", 1))
+        twice = obj("p", atom("a", 1), atom("a", 1))
+        assert structural_key(once) == structural_key(twice)
+
+    def test_nested_difference_detected(self):
+        a = obj("p", obj("q", atom("a", 1)))
+        b = obj("p", obj("q", atom("a", 2)))
+        assert structural_key(a) != structural_key(b)
+
+
+class TestStructurallyEqual:
+    def test_same_object(self):
+        o = atom("a", 1)
+        assert structurally_equal(o, o)
+
+    def test_label_type_value(self):
+        assert structurally_equal(atom("a", 1), atom("a", 1))
+        assert not structurally_equal(atom("a", 1), atom("a", 1.0))
+        assert not structurally_equal(atom("a", 1), atom("b", 1))
+
+    def test_atom_vs_set(self):
+        assert not structurally_equal(atom("a", 1), obj("a"))
+
+    def test_hash_consistent(self):
+        a = obj("p", atom("a", 1))
+        b = obj("p", atom("a", 1))
+        assert structural_hash(a) == structural_hash(b)
+
+
+class TestEliminateDuplicates:
+    def test_keeps_first_occurrence(self):
+        first = atom("a", 1, oid="&1")
+        second = atom("a", 1, oid="&2")
+        result = eliminate_duplicates([first, second])
+        assert result == [first]
+        assert result[0].oid.text == "&1"
+
+    def test_distinct_objects_kept(self):
+        objects = [atom("a", 1), atom("a", 2), atom("b", 1)]
+        assert eliminate_duplicates(objects) == objects
+
+    def test_empty(self):
+        assert eliminate_duplicates([]) == []
+
+    def test_nested_duplicates(self):
+        a = obj("p", atom("x", 1), atom("y", 2))
+        b = obj("p", atom("y", 2), atom("x", 1))
+        assert len(eliminate_duplicates([a, b])) == 1
+
+
+class TestIsSubobjectSet:
+    def test_subset(self):
+        small = [atom("a", 1)]
+        large = [atom("a", 1), atom("b", 2)]
+        assert is_subobject_set(small, large)
+        assert not is_subobject_set(large, small)
+
+    def test_empty_is_subset(self):
+        assert is_subobject_set([], [atom("a", 1)])

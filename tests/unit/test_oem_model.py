@@ -1,0 +1,200 @@
+"""Unit tests for the OEM object model."""
+
+import pytest
+
+from repro.oem import (
+    OEMError,
+    OEMObject,
+    OEMTypeError,
+    Oid,
+    atom,
+    infer_type,
+    obj,
+)
+
+
+class TestInferType:
+    def test_string(self):
+        assert infer_type("CS") == "string"
+
+    def test_integer(self):
+        assert infer_type(3) == "integer"
+
+    def test_real(self):
+        assert infer_type(3.5) == "real"
+
+    def test_boolean_not_integer(self):
+        assert infer_type(True) == "boolean"
+
+    def test_bytes(self):
+        assert infer_type(b"x") == "bytes"
+
+    def test_null(self):
+        assert infer_type(None) == "null"
+
+    def test_collections_are_sets(self):
+        assert infer_type([]) == "set"
+        assert infer_type(()) == "set"
+        assert infer_type(set()) == "set"
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(OEMTypeError):
+            infer_type(object())
+
+
+class TestConstruction:
+    def test_atomic_object_fields(self):
+        o = OEMObject("dept", "CS", "string", "&12")
+        assert o.label == "dept"
+        assert o.type == "string"
+        assert o.value == "CS"
+        assert o.oid.text == "&12"
+
+    def test_type_inferred_when_omitted(self):
+        assert OEMObject("year", 3).type == "integer"
+
+    def test_fresh_oid_allocated_when_omitted(self):
+        a = OEMObject("x", 1)
+        b = OEMObject("x", 1)
+        assert a.oid != b.oid
+
+    def test_set_object_children(self):
+        child = atom("name", "Joe")
+        parent = OEMObject("person", [child])
+        assert parent.is_set
+        assert parent.children == (child,)
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(OEMError):
+            OEMObject("", "x")
+
+    def test_non_string_label_rejected(self):
+        with pytest.raises(OEMError):
+            OEMObject(42, "x")  # type: ignore[arg-type]
+
+    def test_value_type_mismatch_rejected(self):
+        with pytest.raises(OEMTypeError):
+            OEMObject("year", "three", "integer")
+
+    def test_boolean_value_must_be_bool(self):
+        with pytest.raises(OEMTypeError):
+            OEMObject("flag", 1, "boolean")
+
+    def test_integer_value_may_not_be_bool(self):
+        with pytest.raises(OEMTypeError):
+            OEMObject("year", True, "integer")
+
+    def test_real_accepts_int_and_normalises(self):
+        o = OEMObject("ratio", 2, "real")
+        assert o.value == 2.0
+        assert isinstance(o.value, float)
+
+    def test_null_must_carry_none(self):
+        with pytest.raises(OEMTypeError):
+            OEMObject("gone", "x", "null")
+
+    def test_unknown_atomic_type_rejected(self):
+        with pytest.raises(OEMTypeError):
+            OEMObject("x", "y", "varchar")
+
+    def test_set_value_must_be_iterable_of_objects(self):
+        with pytest.raises(OEMTypeError):
+            OEMObject("s", ["not an object"], "set")
+
+    def test_string_is_not_a_set_value(self):
+        with pytest.raises(OEMTypeError):
+            OEMObject("s", "abc", "set")
+
+
+class TestImmutability:
+    def test_setattr_rejected(self):
+        o = atom("a", 1)
+        with pytest.raises(AttributeError):
+            o.label = "b"
+
+    def test_delattr_rejected(self):
+        o = atom("a", 1)
+        with pytest.raises(AttributeError):
+            del o.label
+
+
+class TestAccessors:
+    @pytest.fixture
+    def person(self):
+        return obj(
+            "person",
+            atom("name", "Joe Chung"),
+            atom("dept", "CS"),
+            atom("dept", "EE"),
+        )
+
+    def test_is_atomic(self):
+        assert atom("a", 1).is_atomic
+        assert not atom("a", 1).is_set
+
+    def test_children_of_atom_empty(self):
+        assert atom("a", 1).children == ()
+
+    def test_subobjects_all(self, person):
+        assert len(person.subobjects()) == 3
+
+    def test_subobjects_by_label(self, person):
+        depts = person.subobjects("dept")
+        assert [d.value for d in depts] == ["CS", "EE"]
+
+    def test_first(self, person):
+        assert person.first("dept").value == "CS"
+        assert person.first("missing") is None
+
+    def test_get_with_default(self, person):
+        assert person.get("name") == "Joe Chung"
+        assert person.get("missing", "?") == "?"
+
+    def test_iter_and_len(self, person):
+        assert len(person) == 3
+        assert [c.label for c in person] == ["name", "dept", "dept"]
+
+
+class TestDerivedCopies:
+    def test_with_children(self):
+        parent = obj("p", atom("a", 1))
+        replaced = parent.with_children([atom("b", 2)])
+        assert [c.label for c in replaced.children] == ["b"]
+        assert replaced.oid == parent.oid
+
+    def test_with_children_on_atom_rejected(self):
+        with pytest.raises(OEMTypeError):
+            atom("a", 1).with_children([])
+
+    def test_with_label(self):
+        o = atom("a", 1).with_label("b")
+        assert o.label == "b"
+        assert o.value == 1
+
+    def test_with_oid(self):
+        o = atom("a", 1).with_oid("&new")
+        assert o.oid == Oid("&new")
+
+
+class TestEqualitySemantics:
+    def test_equality_ignores_oid(self):
+        assert OEMObject("a", 1, oid="&1") == OEMObject("a", 1, oid="&2")
+
+    def test_equality_ignores_child_order(self):
+        left = obj("p", atom("a", 1), atom("b", 2))
+        right = obj("p", atom("b", 2), atom("a", 1))
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_label_matters(self):
+        assert atom("a", 1) != atom("b", 1)
+
+    def test_value_matters(self):
+        assert atom("a", 1) != atom("a", 2)
+
+    def test_not_equal_to_other_types(self):
+        assert atom("a", 1) != "a"
+
+    def test_repr_mentions_components(self):
+        text = repr(OEMObject("dept", "CS", "string", "&12"))
+        assert "&12" in text and "dept" in text and "CS" in text

@@ -1,0 +1,69 @@
+"""Unit tests for object identifiers (plain and semantic)."""
+
+import pytest
+
+from repro.oem import Oid, OidGenerator, SemanticOid, fresh_oid
+
+
+class TestOid:
+    def test_text_equality(self):
+        assert Oid("&p1") == Oid("&p1")
+        assert Oid("&p1") != Oid("&p2")
+
+    def test_string_comparison(self):
+        assert Oid("&p1") == "&p1"
+
+    def test_hashable(self):
+        assert len({Oid("&a"), Oid("&a"), Oid("&b")}) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Oid("&a").text = "&b"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Oid("")
+
+    def test_str(self):
+        assert str(Oid("&x")) == "&x"
+
+
+class TestSemanticOid:
+    def test_equality_by_functor_and_args(self):
+        a = SemanticOid("person", ["Joe Chung"])
+        b = SemanticOid("person", ["Joe Chung"])
+        c = SemanticOid("person", ["Nick Naive"])
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_not_equal_to_plain_oid_with_same_text(self):
+        semantic = SemanticOid("p", ["x"])
+        plain = Oid(semantic.text)
+        assert semantic != plain
+        assert plain != semantic
+
+    def test_text_rendering(self):
+        assert SemanticOid("pub", ["T", 1996]).text == "pub('T', 1996)"
+
+    def test_empty_functor_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticOid("", ["x"])
+
+    def test_multiple_args_order_matters(self):
+        assert SemanticOid("f", [1, 2]) != SemanticOid("f", [2, 1])
+
+
+class TestOidGenerator:
+    def test_unique_sequence(self):
+        gen = OidGenerator("&t")
+        assert [str(gen()) for _ in range(3)] == ["&t1", "&t2", "&t3"]
+
+    def test_reset(self):
+        gen = OidGenerator("&t")
+        gen()
+        gen.reset()
+        assert str(gen()) == "&t1"
+
+    def test_fresh_oid_unique(self):
+        assert fresh_oid() != fresh_oid()

@@ -1,0 +1,154 @@
+"""Unit tests for the OEM textual parser."""
+
+import pytest
+
+from repro.oem import OEMParseError, parse_oem, parse_one
+
+
+class TestAtomicParsing:
+    def test_full_four_field_form(self):
+        o = parse_one("<&12, department, string, 'CS'>")
+        assert o.oid.text == "&12"
+        assert (o.label, o.type, o.value) == ("department", "string", "CS")
+
+    def test_type_elided(self):
+        o = parse_one("<&12, year, 3>")
+        assert (o.type, o.value) == ("integer", 3)
+
+    def test_type_and_oid_elided(self):
+        o = parse_one("<dept 'CS'>")
+        assert (o.label, o.value) == ("dept", "CS")
+
+    def test_commas_optional(self):
+        assert parse_one("<&1 dept string 'CS'>").value == "CS"
+
+    def test_real_value(self):
+        assert parse_one("<ratio 2.5>").value == 2.5
+
+    def test_negative_number(self):
+        assert parse_one("<delta -4>").value == -4
+
+    def test_boolean_words(self):
+        assert parse_one("<flag true>").value is True
+        assert parse_one("<flag false>").value is False
+
+    def test_null_word(self):
+        o = parse_one("<gone null>")
+        assert o.value is None and o.type == "null"
+
+    def test_bare_word_value_is_string(self):
+        assert parse_one("<status active>").value == "active"
+
+    def test_double_quotes(self):
+        assert parse_one('<name "Joe"> ').value == "Joe"
+
+    def test_escaped_quote(self):
+        assert parse_one(r"<name 'O\'Hara'>").value == "O'Hara"
+
+
+class TestSetParsing:
+    def test_reference_style(self):
+        roots = parse_oem(
+            """
+            <&p, person, set, {&n, &d}>
+              <&n, name, string, 'Joe'>
+              <&d, dept, string, 'CS'>
+            ;
+            """
+        )
+        assert len(roots) == 1
+        assert [c.label for c in roots[0].children] == ["name", "dept"]
+
+    def test_inline_style(self):
+        o = parse_one("<&p, person, set, {<&n, name, string, 'Joe'>}>")
+        assert o.children[0].value == "Joe"
+
+    def test_mixed_style(self):
+        roots = parse_oem(
+            "<&p, person, set, {&n, <&d, dept, string, 'CS'>}>"
+            " <&n, name, string, 'Joe'>"
+        )
+        assert len(roots) == 1
+        assert len(roots[0].children) == 2
+
+    def test_top_level_objects_are_unreferenced(self):
+        roots = parse_oem(
+            "<&a, x, set, {&b}> <&b, y, integer, 1> <&c, z, integer, 2>"
+        )
+        assert sorted(r.label for r in roots) == ["x", "z"]
+
+    def test_empty_set(self):
+        assert parse_one("<&p, person, set, {}>").children == ()
+
+    def test_shared_subobject(self):
+        roots = parse_oem(
+            "<&a, p, set, {&s}> <&b, q, set, {&s}> <&s, v, integer, 1>"
+        )
+        assert len(roots) == 2
+        assert all(r.children[0].value == 1 for r in roots)
+
+    def test_semicolons_ignored(self):
+        assert len(parse_oem("<a 1> ; ; <b 2> ;")) == 2
+
+
+class TestErrors:
+    def test_undefined_reference(self):
+        with pytest.raises(OEMParseError, match="undefined"):
+            parse_oem("<&a, p, set, {&missing}>")
+
+    def test_duplicate_oid(self):
+        with pytest.raises(OEMParseError, match="duplicate"):
+            parse_oem("<&a, p, integer, 1> <&a, q, integer, 2>")
+
+    def test_cyclic_reference(self):
+        with pytest.raises(OEMParseError, match="cyclic"):
+            parse_oem("<&a, p, set, {&b}> <&b, q, set, {&a}>")
+
+    def test_unterminated_object(self):
+        with pytest.raises(OEMParseError):
+            parse_oem("<&a, p, integer, 1")
+
+    def test_unterminated_string(self):
+        with pytest.raises(OEMParseError, match="unterminated string"):
+            parse_oem("<&a, p, string, 'oops>")
+
+    def test_too_few_fields(self):
+        with pytest.raises(OEMParseError, match="2-4 fields"):
+            parse_oem("<onlylabel>")
+
+    def test_too_many_fields(self):
+        with pytest.raises(OEMParseError, match="2-4 fields"):
+            parse_oem("<&a b c d 5>")
+
+    def test_bare_ampersand(self):
+        with pytest.raises(OEMParseError):
+            parse_oem("<& a, p, integer, 1>")
+
+    def test_braced_value_requires_set_type(self):
+        with pytest.raises(OEMParseError, match="set"):
+            parse_oem("<&a, p, string, {}>")
+
+    def test_oid_reference_outside_set(self):
+        with pytest.raises(OEMParseError):
+            parse_oem("<&a, p, integer, 1> <&b, q, string, &a>")
+
+    def test_parse_one_requires_exactly_one(self):
+        with pytest.raises(OEMParseError, match="exactly one"):
+            parse_one("<a 1> <b 2>")
+
+    def test_position_reported(self):
+        with pytest.raises(OEMParseError, match="offset"):
+            parse_oem("<a 1> @")
+
+
+class TestPaperFigures:
+    def test_figure_2_3_whois(self):
+        from repro.datasets import WHOIS_TEXT
+
+        roots = parse_oem(WHOIS_TEXT)
+        assert len(roots) == 2
+        joe, nick = roots
+        assert joe.get("name") == "Joe Chung"
+        assert joe.get("e_mail") == "chung@cs"
+        assert nick.get("year") == 3
+        assert nick.get("e_mail") is None  # the irregularity

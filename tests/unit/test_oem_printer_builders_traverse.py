@@ -1,0 +1,169 @@
+"""Unit tests for OEM printing, builders, and traversal."""
+
+import pytest
+
+from repro.oem import (
+    OEMTypeError,
+    atom,
+    count_objects,
+    depth,
+    descendants,
+    find_all,
+    find_by_label,
+    from_python,
+    obj,
+    parse_oem,
+    paths_to,
+    structurally_equal,
+    to_inline,
+    to_python,
+    to_text,
+    walk,
+)
+from repro.datasets import deep_object
+
+
+class TestPrinter:
+    def test_to_text_reference_style(self):
+        person = obj("p", atom("n", "Joe", oid="&n"), oid="&p")
+        text = to_text([person])
+        assert "<&p, p, set, {&n}>" in text
+        assert "  <&n, n, string, 'Joe'>" in text
+        assert text.endswith(";")
+
+    def test_roundtrip(self):
+        person = obj(
+            "person",
+            atom("name", "Joe"),
+            obj("addr", atom("city", "Palo Alto")),
+            atom("year", 3),
+        )
+        reparsed = parse_oem(to_text([person]))
+        assert len(reparsed) == 1
+        assert structurally_equal(person, reparsed[0])
+
+    def test_quote_escaping_roundtrip(self):
+        o = atom("name", "O'Hara")
+        assert parse_oem(to_text([o]))[0].value == "O'Hara"
+
+    def test_to_inline(self):
+        person = obj("p", atom("n", "Joe"))
+        assert to_inline(person) == "<p {<n 'Joe'>}>"
+
+    def test_to_inline_with_oid(self):
+        o = atom("n", 1, oid="&x")
+        assert to_inline(o, with_oid=True) == "<&x, n 1>"
+
+    def test_booleans_and_null(self):
+        assert to_inline(atom("f", True)) == "<f true>"
+        assert to_inline(atom("g", None, "null")) == "<g null>"
+
+
+class TestBuilders:
+    def test_from_python_mapping(self):
+        o = from_python("person", {"name": "Ann", "year": 2})
+        assert o.get("name") == "Ann"
+        assert o.get("year") == 2
+
+    def test_from_python_nested(self):
+        o = from_python("person", {"addr": {"city": "PA"}})
+        assert o.first("addr").get("city") == "PA"
+
+    def test_from_python_list_items(self):
+        o = from_python("tags", ["a", "b"])
+        assert [c.value for c in o.children] == ["a", "b"]
+        assert all(c.label == "item" for c in o.children)
+
+    def test_from_python_labelled_pairs(self):
+        o = from_python("pair", [("x", 1), ("y", 2)])
+        assert [c.label for c in o.children] == ["x", "y"]
+
+    def test_to_python_roundtrip(self):
+        data = {"name": "Ann", "year": 2, "addr": {"city": "PA"}}
+        assert to_python(from_python("p", data)) == data
+
+    def test_to_python_repeated_labels_collect(self):
+        o = obj("p", atom("tag", "a"), atom("tag", "b"))
+        assert to_python(o) == {"tag": ["a", "b"]}
+
+    def test_from_python_existing_object_relabelled(self):
+        inner = atom("x", 1)
+        assert from_python("y", inner).label == "y"
+
+
+class TestTraverse:
+    @pytest.fixture
+    def forest(self):
+        return [
+            obj("p", atom("a", 1), obj("q", atom("a", 2))),
+            atom("b", 3),
+        ]
+
+    def test_walk_counts_everything(self, forest):
+        assert len(list(walk(forest))) == 5
+
+    def test_walk_is_breadth_first(self, forest):
+        labels = [o.label for o in walk(forest)]
+        assert labels == ["p", "b", "a", "q", "a"]
+
+    def test_descendants_excludes_self(self, forest):
+        labels = [o.label for o in descendants(forest[0])]
+        assert labels == ["a", "q", "a"]
+
+    def test_find_by_label(self, forest):
+        assert len(find_by_label(forest, "a")) == 2
+
+    def test_find_all_predicate(self, forest):
+        found = find_all(forest, lambda o: o.is_atomic and o.value == 2)
+        assert len(found) == 1
+
+    def test_paths_to(self, forest):
+        paths = paths_to(forest[0], lambda o: o.label == "a")
+        assert sorted(len(p) for p in paths) == [2, 3]
+        assert all(p[0] is forest[0] for p in paths)
+
+    def test_depth(self):
+        assert depth(atom("x", 1)) == 1
+        assert depth(deep_object(5)) == 5
+
+    def test_count_objects(self, forest):
+        assert count_objects(forest) == 5
+
+    def test_deep_structure_is_iterative(self):
+        # would blow the recursion limit if depth() recursed
+        assert depth(deep_object(3000, fanout=1)) == 3000
+
+
+class TestSharedSubobjects:
+    """OEM structures are DAGs: shared sub-objects round-trip."""
+
+    def test_shared_child_defined_once(self):
+        from repro.oem import parse_oem, to_text
+
+        roots = parse_oem(
+            "<&a, p, set, {&s}> <&b, q, set, {&s}> <&s, v, integer, 1>"
+        )
+        text = to_text(roots)
+        assert text.count("<&s, v, integer, 1>") == 1
+
+    def test_shared_child_roundtrip(self):
+        from repro.oem import parse_oem, structurally_equal, to_text
+
+        roots = parse_oem(
+            "<&a, p, set, {&s}> <&b, q, set, {&s}> <&s, v, integer, 1>"
+        )
+        again = parse_oem(to_text(roots))
+        assert len(again) == 2
+        for left, right in zip(roots, again):
+            assert structurally_equal(left, right)
+
+    def test_diamond_sharing(self):
+        from repro.oem import parse_oem, structurally_equal, to_text
+
+        roots = parse_oem(
+            "<&r, root, set, {&x, &y}>"
+            " <&x, left, set, {&s}> <&y, right, set, {&s}>"
+            " <&s, leaf, integer, 7>"
+        )
+        again = parse_oem(to_text(roots))
+        assert structurally_equal(roots[0], again[0])

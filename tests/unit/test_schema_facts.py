@@ -1,0 +1,150 @@
+"""Unit tests for schema facts and facts-based rule pruning."""
+
+import pytest
+
+from repro.datasets import build_scenario
+from repro.msl import parse_pattern, parse_query
+from repro.oem import atom, obj, parse_oem
+from repro.wrappers import (
+    OEMStoreWrapper,
+    RelationalWrapper,
+    SchemaFacts,
+    pattern_satisfiable,
+)
+
+
+FACTS = SchemaFacts(
+    {
+        "employee": ["first_name", "last_name", "title", "reports_to"],
+        "student": ["first_name", "last_name", "year"],
+    }
+)
+
+
+class TestSchemaFacts:
+    def test_top_labels(self):
+        assert FACTS.top_labels == {"employee", "student"}
+
+    def test_may_have_top(self):
+        assert FACTS.may_have_top("student")
+        assert not FACTS.may_have_top("professor")
+
+    def test_may_have_child(self):
+        assert FACTS.may_have_child("student", "year")
+        assert not FACTS.may_have_child("employee", "year")
+        assert not FACTS.may_have_child("ghost", "year")
+
+    def test_may_have_child_any_top(self):
+        assert FACTS.may_have_child(None, "year")
+        assert not FACTS.may_have_child(None, "office")
+
+    def test_open_facts_never_refuse(self):
+        open_facts = SchemaFacts({}, closed=False)
+        assert open_facts.may_have_top("anything")
+        assert open_facts.may_have_child("x", "y")
+
+    def test_tops_with_children(self):
+        assert FACTS.tops_with_children({"year"}) == ["student"]
+        assert set(FACTS.tops_with_children({"first_name"})) == {
+            "employee",
+            "student",
+        }
+        assert FACTS.tops_with_children({"office"}) == []
+
+
+class TestPatternSatisfiable:
+    def test_none_facts_always_satisfiable(self):
+        assert pattern_satisfiable(parse_pattern("<x {<y Y>}>"), None)
+
+    def test_unknown_top_label(self):
+        assert not pattern_satisfiable(parse_pattern("<professor {}>"), FACTS)
+
+    def test_known_structure(self):
+        p = parse_pattern("<student {<year 3> | R}>")
+        assert pattern_satisfiable(p, FACTS)
+
+    def test_impossible_child(self):
+        p = parse_pattern("<student {<office O>}>")
+        assert not pattern_satisfiable(p, FACTS)
+
+    def test_rest_conditions_checked(self):
+        p = parse_pattern("<student {| R:{<office O>}}>")
+        assert not pattern_satisfiable(p, FACTS)
+        p2 = parse_pattern("<student {| R:{<year 3>}}>")
+        assert pattern_satisfiable(p2, FACTS)
+
+    def test_variable_top_needs_some_cover(self):
+        assert pattern_satisfiable(parse_pattern("<T {<year Y>}>"), FACTS)
+        assert not pattern_satisfiable(
+            parse_pattern("<T {<office O>}>"), FACTS
+        )
+
+    def test_variable_child_labels_never_prune(self):
+        assert pattern_satisfiable(parse_pattern("<student {<L V>}>"), FACTS)
+
+    def test_descendant_items_never_prune(self):
+        assert pattern_satisfiable(
+            parse_pattern("<student {.. <office O>}>"), FACTS
+        )
+
+
+class TestWrapperFacts:
+    def test_relational_wrapper_derives_facts(self):
+        scenario = build_scenario()
+        facts = scenario.cs.schema_facts
+        assert facts.top_labels == {"employee", "student"}
+        assert facts.may_have_child("student", "year")
+
+    def test_relational_facts_track_schema_evolution(self):
+        scenario = build_scenario()
+        assert not scenario.cs.schema_facts.may_have_child(
+            "student", "birthday"
+        )
+        scenario.cs.database.table("student").add_attribute("birthday")
+        assert scenario.cs.schema_facts.may_have_child("student", "birthday")
+
+    def test_oem_wrapper_opt_in(self):
+        objects = parse_oem("<&1, rec, set, {<&2, k, integer, 1>}>")
+        silent = OEMStoreWrapper("a", objects)
+        chatty = OEMStoreWrapper("b", objects, export_facts=True)
+        assert silent.schema_facts is None
+        assert chatty.schema_facts.may_have_child("rec", "k")
+        assert not chatty.schema_facts.may_have_child("rec", "z")
+
+    def test_oem_wrapper_facts_invalidate_on_mutation(self):
+        chatty = OEMStoreWrapper("b", [], export_facts=True)
+        assert not chatty.schema_facts.may_have_top("rec")
+        chatty.add(obj("rec", atom("k", 1)))
+        assert chatty.schema_facts.may_have_top("rec")
+
+
+class TestOptimizerPruning:
+    def test_impossible_rule_pruned(self):
+        scenario = build_scenario(push_mode="needed")
+        scenario.mediator.answer(
+            "S :- S:<cs_person {<e_mail 'chung@cs'>}>@med"
+        )
+        # the rule pushing e_mail toward cs is pruned (no table has it)
+        assert scenario.mediator.optimizer.rules_pruned == 1
+        assert scenario.mediator.last_context.queries_sent["whois"] == 1
+
+    def test_answers_unchanged_by_pruning(self):
+        query = "S :- S:<cs_person {<e_mail 'chung@cs'>}>@med"
+        pruned = build_scenario(push_mode="needed")
+        unpruned = build_scenario(push_mode="needed")
+        unpruned.mediator.optimizer.prune_with_facts = False
+        left = {
+            str(o.get("name")) for o in pruned.mediator.answer(query)
+        }
+        right = {
+            str(o.get("name")) for o in unpruned.mediator.answer(query)
+        }
+        assert left == right == {"Joe Chung"}
+        assert unpruned.mediator.optimizer.rules_pruned == 0
+
+    def test_satisfiable_rules_survive(self):
+        scenario = build_scenario(push_mode="needed")
+        scenario.mediator.answer("S :- S:<cs_person {<year 3>}>@med")
+        # year exists in cs (student table), so tau2 is NOT pruned; the
+        # tau1 rule pushes year toward whois, which exports no facts
+        assert scenario.mediator.optimizer.rules_pruned == 0

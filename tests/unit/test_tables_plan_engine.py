@@ -1,0 +1,290 @@
+"""Unit tests for binding tables, plan nodes, and the datamerge engine."""
+
+import pytest
+
+from repro.datasets import build_scenario
+from repro.external import default_registry
+from repro.mediator import (
+    BindingTable,
+    ConstructorNode,
+    DatamergeEngine,
+    DedupNode,
+    ExecutionContext,
+    ExternalPredNode,
+    ExtractorNode,
+    FilterNode,
+    JoinNode,
+    OBJECT_COLUMN,
+    ParameterizedQueryNode,
+    PhysicalPlan,
+    QueryNode,
+    RESULT_COLUMN,
+    TableError,
+    UnionNode,
+)
+from repro.msl import (
+    Comparison,
+    Const,
+    ExternalCall,
+    Var,
+    parse_pattern,
+    parse_rule,
+)
+from repro.oem import atom, obj
+
+
+class TestBindingTable:
+    def test_construction_and_access(self):
+        t = BindingTable(["a", "b"], [(1, 2), (3, 4)])
+        assert len(t) == 2
+        assert t.column_values("b") == [2, 4]
+        assert t.row_dict(t.rows[0]) == {"a": 1, "b": 2}
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TableError):
+            BindingTable(["a", "a"])
+
+    def test_arity_checked(self):
+        t = BindingTable(["a"])
+        with pytest.raises(TableError):
+            t.append((1, 2))
+
+    def test_unknown_column(self):
+        with pytest.raises(TableError, match="no column"):
+            BindingTable(["a"]).position("z")
+
+    def test_project(self):
+        t = BindingTable(["a", "b"], [(1, 2)])
+        assert BindingTable(["b"], [(2,)]).rows == t.project(["b"]).rows
+
+    def test_filter(self):
+        t = BindingTable(["a"], [(1,), (2,)])
+        assert t.filter(lambda r: r["a"] > 1).rows == [(2,)]
+
+    def test_extend_dependent_join(self):
+        t = BindingTable(["a"], [(1,), (2,)])
+        extended = t.extend(["b"], lambda r: [(r["a"] * 10,)] * r["a"])
+        assert extended.rows == [(1, 10), (2, 20), (2, 20)]
+
+    def test_extend_drops_rows_without_extensions(self):
+        t = BindingTable(["a"], [(1,), (2,)])
+        extended = t.extend(["b"], lambda r: [("x",)] if r["a"] == 1 else [])
+        assert extended.rows == [(1, "x")]
+
+    def test_extend_collision_rejected(self):
+        t = BindingTable(["a"])
+        with pytest.raises(TableError, match="already exist"):
+            t.extend(["a"], lambda r: [])
+
+    def test_natural_join_shared_columns(self):
+        left = BindingTable(["k", "x"], [("a", 1), ("b", 2)])
+        right = BindingTable(["k", "y"], [("a", 10), ("c", 30)])
+        joined = left.natural_join(right)
+        assert joined.columns == ("k", "x", "y")
+        assert joined.rows == [("a", 1, 10)]
+
+    def test_natural_join_cross_product_when_disjoint(self):
+        left = BindingTable(["x"], [(1,), (2,)])
+        right = BindingTable(["y"], [(10,)])
+        assert len(left.natural_join(right)) == 2
+
+    def test_join_on_object_sets(self):
+        rest1 = (atom("e_mail", "a@b"),)
+        rest2 = (atom("e_mail", "a@b", oid="&other"),)
+        left = BindingTable(["r"], [(rest1,)])
+        right = BindingTable(["r", "z"], [(rest2, 1)])
+        assert len(left.natural_join(right)) == 1
+
+    def test_distinct(self):
+        t = BindingTable(["a", "b"], [(1, 2), (1, 2), (1, 3)])
+        assert len(t.distinct()) == 2
+        assert len(t.distinct(["a"])) == 1
+
+    def test_render_contains_heading(self):
+        t = BindingTable(["N"], [("Joe Chung",)])
+        out = t.render()
+        assert "N" in out and "'Joe Chung'" in out
+
+    def test_render_truncates(self):
+        t = BindingTable(["a"], [(i,) for i in range(30)])
+        assert "more rows" in t.render(max_rows=5)
+
+
+@pytest.fixture
+def scenario():
+    return build_scenario()
+
+
+@pytest.fixture
+def context(scenario):
+    return ExecutionContext(
+        sources=scenario.registry, externals=scenario.mediator.externals
+    )
+
+
+class TestPlanNodes:
+    def test_query_node(self, context):
+        node = QueryNode(
+            "whois",
+            parse_rule(
+                "<bind_for_whois {<bind_for_N N>}> :- <person {<name N>}>"
+            ),
+        )
+        table = node.execute([], context)
+        assert table.columns == (OBJECT_COLUMN,)
+        assert len(table) == 2
+        assert context.queries_sent == {"whois": 1}
+
+    def test_extractor_node(self, context):
+        query = QueryNode(
+            "whois",
+            parse_rule(
+                "<bind_for_whois {<bind_for_N N>}> :- <person {<name N>}>"
+            ),
+        )
+        extract = ExtractorNode(
+            query, parse_pattern("<bind_for_whois {<bind_for_N N>}>"), ["N"]
+        )
+        table = extract.execute([query.execute([], context)], context)
+        assert table.columns == ("N",)
+        assert sorted(r[0] for r in table.rows) == ["Joe Chung", "Nick Naive"]
+
+    def test_extractor_rejects_non_objects(self, context):
+        node = ExtractorNode(
+            QueryNode("whois", parse_rule("<a B> :- <person B>")),
+            parse_pattern("<a B>"),
+            ["B"],
+            column=OBJECT_COLUMN,
+        )
+        bad = BindingTable([OBJECT_COLUMN], [(42,)])
+        with pytest.raises(TableError, match="non-object"):
+            node.execute([bad], context)
+
+    def test_extractor_collision_filters(self, context):
+        # carried column N must agree with extracted N
+        query = QueryNode(
+            "whois",
+            parse_rule(
+                "<bind_for_whois {<bind_for_N N>}> :- <person {<name N>}>"
+            ),
+        )
+        raw = query.execute([], context)
+        carried = BindingTable(
+            ["N", OBJECT_COLUMN],
+            [("Joe Chung", row[0]) for row in raw.rows],
+        )
+        node = ExtractorNode(
+            query, parse_pattern("<bind_for_whois {<bind_for_N N>}>"), ["N"]
+        )
+        table = node.execute([carried], context)
+        assert [r[0] for r in table.rows] == ["Joe Chung"]
+
+    def test_external_pred_node(self, context):
+        source = BindingTable(["N"], [("Joe Chung",)])
+        node = ExternalPredNode(
+            DedupNode(QueryNode("whois", parse_rule("<a B> :- <person B>"))),
+            ExternalCall("decomp", (Var("N"), Var("LN"), Var("FN"))),
+        )
+        table = node.execute([source], context)
+        assert table.columns == ("N", "LN", "FN")
+        assert table.rows == [("Joe Chung", "Chung", "Joe")]
+
+    def test_parameterized_query_node(self, context):
+        source = BindingTable(
+            ["R", "LN", "FN"], [("employee", "Chung", "Joe")]
+        )
+        template = parse_rule(
+            "<bind_for_cs {<bind_for_Rest2 Rest2>}> :- "
+            "<$R {<first_name $FN> <last_name $LN> | Rest2}>"
+        )
+        node = ParameterizedQueryNode(
+            DedupNode(QueryNode("cs", template)),
+            "cs",
+            template,
+            {"R": "R", "LN": "LN", "FN": "FN"},
+        )
+        table = node.execute([source], context)
+        assert table.columns == ("R", "LN", "FN", OBJECT_COLUMN)
+        assert len(table) == 1
+        concrete = node.instantiate(source.row_dict(source.rows[0]))
+        assert "$" not in str(concrete)
+        assert "<employee " in str(concrete)
+
+    def test_filter_node(self, context):
+        table = BindingTable(["Y"], [(2,), (4,)])
+        node = FilterNode(
+            DedupNode(QueryNode("cs", parse_rule("<a B> :- <student B>"))),
+            Comparison(Var("Y"), ">", Const(3)),
+        )
+        assert node.execute([table], context).rows == [(4,)]
+
+    def test_join_and_dedup_nodes(self, context):
+        q = QueryNode("cs", parse_rule("<a B> :- <student B>"))
+        left = BindingTable(["k"], [("a",), ("a",)])
+        right = BindingTable(["k", "v"], [("a", 1)])
+        joined = JoinNode(q, q).execute([left, right], context)
+        assert len(joined) == 2
+        assert len(DedupNode(q).execute([joined], context)) == 1
+
+    def test_constructor_node(self, context):
+        rule = parse_rule("<who {<name N>}> :- <person {<name N>}>@whois")
+        table = BindingTable(["N"], [("A",), ("A",), ("B",)])
+        node = ConstructorNode(
+            DedupNode(QueryNode("whois", rule)), rule.head
+        )
+        result = node.execute([table], context)
+        assert result.columns == (RESULT_COLUMN,)
+        assert len(result) == 2  # dedup
+
+    def test_constructor_without_dedup(self, context):
+        rule = parse_rule("<who {<name N>}> :- <person {<name N>}>@whois")
+        table = BindingTable(["N"], [("A",), ("A",)])
+        node = ConstructorNode(
+            DedupNode(QueryNode("whois", rule)), rule.head, deduplicate=False
+        )
+        assert len(node.execute([table], context)) == 2
+
+    def test_union_node(self, context):
+        a = BindingTable([RESULT_COLUMN], [(atom("x", 1),)])
+        b = BindingTable([RESULT_COLUMN], [(atom("x", 1),), (atom("y", 2),)])
+        q = QueryNode("cs", parse_rule("<a B> :- <student B>"))
+        union = UnionNode([q, q])
+        assert len(union.execute([a, b], context)) == 2
+
+    def test_union_rejects_non_result_tables(self, context):
+        q = QueryNode("cs", parse_rule("<a B> :- <student B>"))
+        with pytest.raises(TableError):
+            UnionNode([q]).execute([BindingTable(["x"])], context)
+
+
+class TestPhysicalPlanAndEngine:
+    def test_topological_order(self):
+        q = QueryNode("whois", parse_rule("<a B> :- <person B>"))
+        e = ExtractorNode(q, parse_pattern("<a B>"), ["B"])
+        plan = PhysicalPlan(e)
+        assert plan.nodes() == [q, e]
+        assert "[1]" in plan.describe()
+
+    def test_engine_executes_and_traces(self, scenario, context):
+        from repro.datasets import JOE_CHUNG_QUERY
+
+        med = scenario.mediator
+        program = med.expander.expand(
+            __import__("repro.msl", fromlist=["parse_query"]).parse_query(
+                JOE_CHUNG_QUERY
+            )
+        )
+        plan = med.optimizer.plan_program(program)
+        engine = DatamergeEngine(trace=True)
+        objects = engine.execute_to_objects(plan, context)
+        assert len(objects) == 1
+        assert engine.last_trace
+        rendered = engine.render_trace()
+        assert "query whois" in rendered
+        assert "construct" in rendered
+
+    def test_context_accounting(self, scenario, context):
+        med = scenario.mediator
+        med.answer("X :- X:<cs_person {<name 'Joe Chung'>}>@med")
+        assert med.last_context.total_queries >= 2
+        assert med.last_context.total_objects >= 1

@@ -1,0 +1,261 @@
+"""Unit tests for wrappers, capabilities, and the source registry."""
+
+import pytest
+
+from repro.datasets import build_cs_database, build_whois_objects
+from repro.msl import Comparison, parse_pattern, parse_rule
+from repro.oem import atom, obj, parse_oem
+from repro.wrappers import (
+    Capability,
+    CapabilityViolation,
+    FULL_CAPABILITY,
+    OEMStoreWrapper,
+    RelationalWrapper,
+    SourceError,
+    SourceRegistry,
+)
+
+
+class TestCapability:
+    def test_full_capability_accepts_everything(self):
+        p = parse_pattern("<person {<year 3> .. <deep D>}>")
+        assert FULL_CAPABILITY.accepts(p)
+
+    def test_split_moves_unfilterable_constants(self):
+        cap = Capability(filterable_labels=frozenset({"name"}), name="t")
+        relaxed, residual = cap.split(
+            parse_pattern("<person {<name 'Joe'> <year 3>}>")
+        )
+        assert len(residual) == 1
+        assert isinstance(residual[0], Comparison)
+        assert residual[0].right.value == 3
+        assert "<name 'Joe'>" in str(relaxed)
+        assert "<year 3>" not in str(relaxed)
+
+    def test_split_reaches_rest_conditions(self):
+        cap = Capability(filterable_labels=frozenset({"name"}), name="t")
+        relaxed, residual = cap.split(
+            parse_pattern("<person {<name N> | R:{<year 3>}}>")
+        )
+        assert len(residual) == 1
+        assert "<year 3>" not in str(relaxed)
+
+    def test_accepts_after_split_is_consistent(self):
+        cap = Capability(filterable_labels=frozenset({"name"}), name="t")
+        p = parse_pattern("<person {<year 3>}>")
+        assert not cap.accepts(p)
+        relaxed, _ = cap.split(p)
+        assert cap.accepts(relaxed)
+
+    def test_check_raises(self):
+        cap = Capability(filterable_labels=frozenset(), name="t")
+        with pytest.raises(CapabilityViolation):
+            cap.check(parse_pattern("<person {<year 3>}>"))
+
+    def test_wildcards_unsupported(self):
+        cap = Capability(supports_wildcards=False, name="t")
+        with pytest.raises(CapabilityViolation, match="descendant"):
+            cap.split(parse_pattern("<person {.. <year 3>}>"))
+
+    def test_top_level_label_always_allowed(self):
+        cap = Capability(filterable_labels=frozenset(), name="t")
+        relaxed, residual = cap.split(parse_pattern("<person {<a A>}>"))
+        assert residual == []
+
+
+class TestOEMStoreWrapper:
+    @pytest.fixture
+    def whois(self):
+        return OEMStoreWrapper("whois", build_whois_objects())
+
+    def test_export(self, whois):
+        assert len(whois.export()) == 2
+
+    def test_answer_simple(self, whois):
+        result = whois.answer(
+            parse_rule("<n N> :- <person {<name N> <dept 'CS'>}>")
+        )
+        assert sorted(o.value for o in result) == ["Joe Chung", "Nick Naive"]
+
+    def test_answer_with_own_source_annotation(self, whois):
+        result = whois.answer(parse_rule("<n N> :- <person {<name N>}>@whois"))
+        assert len(result) == 2
+
+    def test_answer_foreign_source_rejected(self, whois):
+        with pytest.raises(SourceError, match="sent to"):
+            whois.answer(parse_rule("<n N> :- <person {<name N>}>@cs"))
+
+    def test_comparisons_accepted_when_capability_allows(self, whois):
+        result = whois.answer(
+            parse_rule("<n N> :- <person {<name N> <year Y>}> AND Y > 1")
+        )
+        assert [o.value for o in result] == ["Nick Naive"]
+
+    def test_comparisons_rejected_without_capability(self):
+        limited = OEMStoreWrapper(
+            "w",
+            build_whois_objects(),
+            capability=Capability(supports_comparisons=False, name="nocmp"),
+        )
+        with pytest.raises(SourceError, match="comparison"):
+            limited.answer(
+                parse_rule("<n N> :- <person {<name N> <year Y>}> AND Y > 1")
+            )
+
+    def test_external_calls_rejected(self, whois):
+        with pytest.raises(SourceError, match="non-pattern"):
+            whois.answer(
+                parse_rule("<n U> :- <person {<name N>}> AND upper(N, U)")
+            )
+
+    def test_capability_enforced(self):
+        limited = OEMStoreWrapper(
+            "whois",
+            build_whois_objects(),
+            capability=Capability(
+                filterable_labels=frozenset({"name"}), name="lim"
+            ),
+        )
+        with pytest.raises(SourceError):
+            limited.answer(parse_rule("<n N> :- <person {<name N> <year 3>}>"))
+
+    def test_index_narrowing_matches_unindexed(self):
+        objects = build_whois_objects()
+        indexed = OEMStoreWrapper("a", objects, indexed=True)
+        plain = OEMStoreWrapper("b", objects, indexed=False)
+        query_a = parse_rule("<n N> :- <person {<name N> <relation 'student'>}>")
+        query_b = parse_rule("<n N> :- <person {<name N> <relation 'student'>}>")
+        assert [o.value for o in indexed.answer(query_a)] == [
+            o.value for o in plain.answer(query_b)
+        ]
+
+    def test_candidates_use_index(self, whois):
+        query = parse_rule("<n N> :- <person {<relation 'student'> <name N>}>")
+        candidates = whois.candidates(query)
+        assert len(candidates) == 1
+        assert candidates[0].get("name") == "Nick Naive"
+
+    def test_mutation_invalidates_index(self, whois):
+        whois.answer(parse_rule("<n N> :- <person {<name N>}>"))
+        whois.add(
+            obj("person", atom("name", "New Gal"), atom("relation", "student"))
+        )
+        query = parse_rule("<n N> :- <person {<relation 'student'> <name N>}>")
+        assert len(whois.answer(query)) == 2
+
+    def test_remove_where_and_clear(self, whois):
+        assert whois.remove_where("person") == 2
+        assert len(whois) == 0
+        whois.clear()
+        assert whois.export() == []
+
+    def test_counters(self, whois):
+        whois.answer(parse_rule("<n N> :- <person {<name N>}>"))
+        assert whois.queries_answered == 1
+        assert whois.objects_returned == 2
+        whois.reset_counters()
+        assert whois.queries_answered == 0
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SourceError):
+            OEMStoreWrapper("not a name", [])
+
+
+class TestRelationalWrapper:
+    @pytest.fixture
+    def cs(self):
+        return RelationalWrapper("cs", build_cs_database())
+
+    def test_export_shape_figure_2_2(self, cs):
+        export = cs.export()
+        labels = sorted(o.label for o in export)
+        assert labels == ["employee", "student"]
+        employee = [o for o in export if o.label == "employee"][0]
+        assert employee.get("first_name") == "Joe"
+        assert employee.get("reports_to") == "John Hennessy"
+
+    def test_nulls_become_absent_subobjects(self):
+        db = build_cs_database(extra_employees=[("Ann", "Ace", None, None)])
+        wrapper = RelationalWrapper("cs", db)
+        ann = [
+            o
+            for o in wrapper.export()
+            if o.label == "employee" and o.get("first_name") == "Ann"
+        ][0]
+        assert ann.first("title") is None
+        assert len(ann.children) == 2
+
+    def test_candidates_select_relation_by_label(self, cs):
+        query = parse_rule("<x R2> :- <student {<year 3> | R2}>")
+        candidates = cs.candidates(query)
+        assert len(candidates) == 1
+        assert candidates[0].label == "student"
+
+    def test_candidates_unknown_relation_empty(self, cs):
+        query = parse_rule("<x X> :- <professor {<name X>}>")
+        assert cs.candidates(query) == []
+        assert cs.answer(query) == []
+
+    def test_candidates_missing_attribute_prunes_table(self, cs):
+        query = parse_rule("<x X> :- <R {<year 3> <first_name X>}>")
+        candidates = cs.candidates(query)
+        assert all(o.label == "student" for o in candidates)
+
+    def test_variable_relation_scans_all(self, cs):
+        query = parse_rule("<x FN> :- <R {<first_name FN>}>")
+        result = cs.answer(query)
+        assert sorted(o.value for o in result) == ["Joe", "Nick"]
+
+    def test_answer_paper_qcs(self, cs):
+        query = parse_rule(
+            "<bind_for_Rest2 Rest2> :- "
+            "<employee {<last_name 'Chung'> <first_name 'Joe'> | Rest2}>"
+        )
+        (result,) = cs.answer(query)
+        labels = sorted(c.label for c in result.children)
+        assert labels == ["reports_to", "title"]
+
+    def test_schema_evolution_visible(self, cs):
+        cs.database.table("student").add_attribute("birthday")
+        cs.database.table("student").delete_where(lambda r: True)
+        cs.database.table("student").insert("Pat", "Px", 2, "1970-05-05")
+        pat = [o for o in cs.export() if o.get("first_name") == "Pat"][0]
+        assert pat.get("birthday") == "1970-05-05"
+
+
+class TestSourceRegistry:
+    def test_register_resolve(self):
+        registry = SourceRegistry()
+        wrapper = OEMStoreWrapper("s", [])
+        registry.register(wrapper)
+        assert registry.resolve("s") is wrapper
+        assert "s" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_name_rejected(self):
+        registry = SourceRegistry(OEMStoreWrapper("s", []))
+        with pytest.raises(SourceError, match="already"):
+            registry.register(OEMStoreWrapper("s", []))
+
+    def test_unknown_source(self):
+        registry = SourceRegistry()
+        with pytest.raises(SourceError, match="no source named"):
+            registry.resolve("ghost")
+
+    def test_none_source(self):
+        with pytest.raises(SourceError, match="lacks"):
+            SourceRegistry().resolve(None)
+
+    def test_deregister(self):
+        registry = SourceRegistry(OEMStoreWrapper("s", []))
+        registry.deregister("s")
+        assert "s" not in registry
+        with pytest.raises(SourceError):
+            registry.deregister("s")
+
+    def test_iteration_sorted(self):
+        registry = SourceRegistry(
+            OEMStoreWrapper("b", []), OEMStoreWrapper("a", [])
+        )
+        assert [s.name for s in registry] == ["a", "b"]
+        assert registry.names() == ["a", "b"]
