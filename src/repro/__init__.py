@@ -15,6 +15,8 @@ The packages:
 * :mod:`repro.wrappers` — the wrapper layer and source capabilities;
 * :mod:`repro.mediator` — the Mediator Specification Interpreter:
   view expansion, cost-based optimization, the datamerge engine;
+* :mod:`repro.reliability` — fault injection, retry/backoff, circuit
+  breakers, and graceful degradation for flaky sources;
 * :mod:`repro.client` — client-side result materialization;
 * :mod:`repro.datasets` — the paper's running example and synthetic
   workloads.
@@ -31,6 +33,13 @@ from repro.client import ResultSet
 from repro.mediator import Mediator
 from repro.msl import parse_query, parse_rule, parse_specification
 from repro.oem import OEMObject, parse_oem
+from repro.reliability import (
+    CircuitBreaker,
+    FaultInjectingSource,
+    ResilienceConfig,
+    ResilientSource,
+    RetryPolicy,
+)
 from repro.wrappers import (
     Capability,
     OEMStoreWrapper,
@@ -42,11 +51,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Capability",
+    "CircuitBreaker",
+    "FaultInjectingSource",
     "Mediator",
     "OEMObject",
     "OEMStoreWrapper",
     "RelationalWrapper",
+    "ResilienceConfig",
+    "ResilientSource",
     "ResultSet",
+    "RetryPolicy",
     "SourceRegistry",
     "__version__",
     "parse_oem",

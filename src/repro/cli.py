@@ -15,7 +15,12 @@ Usage::
   of executing;
 * ``--export`` — materialize and print the whole view;
 * ``--format`` — ``text`` (the paper's reference style, default),
-  ``inline`` (one object per line), or ``python`` (dicts).
+  ``inline`` (one object per line), or ``python`` (dicts);
+* ``--retries`` / ``--source-timeout`` — wrap every source access in
+  the reliability layer (retry with backoff, per-source circuit
+  breaker, post-hoc timeout detection);
+* ``--degrade`` — a source that stays unavailable contributes an empty
+  answer instead of failing the query; warnings go to stderr.
 
 The CLI registers only OEM-file sources; programmatic users wanting
 relational or custom wrappers use the library API directly.
@@ -31,6 +36,8 @@ from repro.client.result import ResultSet
 from repro.external.registry import default_registry
 from repro.mediator.mediator import Mediator
 from repro.oem.parser import parse_oem
+from repro.reliability.policy import RetryPolicy
+from repro.reliability.resilient import ResilienceConfig
 from repro.wrappers.oem_wrapper import OEMStoreWrapper
 from repro.wrappers.registry import SourceRegistry
 
@@ -99,6 +106,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="heuristic",
         help="plan strategy",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry failed source calls up to N times with backoff",
+    )
+    parser.add_argument(
+        "--source-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="treat source calls slower than SECONDS as failures",
+    )
+    parser.add_argument(
+        "--degrade",
+        action="store_true",
+        help=(
+            "answer with the remaining sources (plus warnings on"
+            " stderr) when a source stays unavailable"
+        ),
+    )
     return parser
 
 
@@ -133,7 +162,9 @@ def _load_sources(
 
 
 def _emit(objects, format_: str, stdout) -> None:
-    results = ResultSet(objects)
+    results = (
+        objects if isinstance(objects, ResultSet) else ResultSet(objects)
+    )
     if format_ == "text":
         print(results.dump(), file=stdout)
     elif format_ == "inline":
@@ -174,6 +205,19 @@ def main(
     if not _load_sources(args.source, registry, stderr):
         return 2
 
+    if args.retries < 0:
+        print("error: --retries must be non-negative", file=stderr)
+        return 2
+    if args.source_timeout is not None and args.source_timeout <= 0:
+        print("error: --source-timeout must be positive", file=stderr)
+        return 2
+    resilience = None
+    if args.retries or args.source_timeout is not None:
+        resilience = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=args.retries + 1),
+            timeout=args.source_timeout,
+        )
+
     try:
         mediator = Mediator(
             args.mediator,
@@ -182,14 +226,22 @@ def main(
             default_registry(),
             push_mode=args.push_mode,
             strategy=args.strategy,
+            on_source_failure="degrade" if args.degrade else "fail",
+            resilience=resilience,
         )
     except Exception as exc:
         print(f"error: bad specification: {exc}", file=stderr)
         return 2
 
+    def emit_warnings(results: ResultSet) -> None:
+        for warning in results.warnings:
+            print(f"warning: {warning.render()}", file=stderr)
+
     status = 0
     if args.export:
-        _emit(mediator.export(), args.format, stdout)
+        results = ResultSet(mediator.export(), mediator.last_warnings)
+        _emit(results, args.format, stdout)
+        emit_warnings(results)
 
     queries = list(args.query)
     if not queries and not args.export:
@@ -200,7 +252,9 @@ def main(
             if args.explain:
                 print(mediator.explain(query), file=stdout)
             else:
-                _emit(mediator.answer(query), args.format, stdout)
+                results = mediator.query(query)
+                _emit(results, args.format, stdout)
+                emit_warnings(results)
         except Exception as exc:
             print(f"error: {query!r}: {exc}", file=stderr)
             status = 1

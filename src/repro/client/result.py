@@ -9,21 +9,41 @@ to plain Python data, selection by label, and stable ordering.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.oem.builders import to_python
 from repro.oem.compare import structural_key
 from repro.oem.model import OEMObject
 from repro.oem.printer import format_forest, to_text
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.reliability.health import SourceWarning
+
 __all__ = ["ResultSet"]
 
 
 class ResultSet:
-    """The materialized answer to an MSL query."""
+    """The materialized answer to an MSL query.
 
-    def __init__(self, objects: Sequence[OEMObject]) -> None:
+    ``warnings`` carries the structured
+    :class:`~repro.reliability.health.SourceWarning` records a mediator
+    produced in degrade mode — empty for a complete answer.  A result
+    with warnings is *partial*: every object in it is correct, but
+    objects depending on the degraded sources may be missing.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[OEMObject],
+        warnings: Sequence["SourceWarning"] = (),
+    ) -> None:
         self._objects = list(objects)
+        self.warnings: list["SourceWarning"] = list(warnings)
+
+    @property
+    def complete(self) -> bool:
+        """True when no source degraded while answering."""
+        return not self.warnings
 
     # -- sequence protocol ----------------------------------------------
 
@@ -46,10 +66,14 @@ class ResultSet:
 
     def with_label(self, label: str) -> "ResultSet":
         """Only the result objects carrying ``label``."""
-        return ResultSet([o for o in self._objects if o.label == label])
+        return ResultSet(
+            [o for o in self._objects if o.label == label], self.warnings
+        )
 
     def where(self, predicate: Callable[[OEMObject], bool]) -> "ResultSet":
-        return ResultSet([o for o in self._objects if predicate(o)])
+        return ResultSet(
+            [o for o in self._objects if predicate(o)], self.warnings
+        )
 
     def sorted_by(self, key_label: str) -> "ResultSet":
         """Sort by the value of each object's first ``key_label`` child."""
@@ -58,12 +82,13 @@ class ResultSet:
             value = obj.get(key_label)
             return (value is None, str(value))
 
-        return ResultSet(sorted(self._objects, key=key))
+        return ResultSet(sorted(self._objects, key=key), self.warnings)
 
     def canonical(self) -> "ResultSet":
         """Deterministic order by structural key (for comparisons)."""
         return ResultSet(
-            sorted(self._objects, key=lambda o: repr(structural_key(o)))
+            sorted(self._objects, key=lambda o: repr(structural_key(o))),
+            self.warnings,
         )
 
     def to_python(self) -> list[object]:
@@ -80,5 +105,12 @@ class ResultSet:
         """The paper's reference style (one component per line)."""
         return to_text(self._objects)
 
+    def render_warnings(self) -> str:
+        """The degradation warnings, one per line (empty if complete)."""
+        return "\n".join(warning.render() for warning in self.warnings)
+
     def __repr__(self) -> str:
-        return f"ResultSet({len(self._objects)} objects)"
+        suffix = (
+            f", {len(self.warnings)} warning(s)" if self.warnings else ""
+        )
+        return f"ResultSet({len(self._objects)} objects{suffix})"

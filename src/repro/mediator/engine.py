@@ -23,10 +23,13 @@ from repro.mediator.tables import BindingTable
 from repro.msl.ast import PatternCondition, Rule
 from repro.oem.model import OEMObject
 from repro.oem.oid import OidGenerator
+from repro.reliability.health import SourceWarning
+from repro.wrappers.base import SourceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.external.registry import ExternalRegistry
     from repro.mediator.statistics import SourceStatistics
+    from repro.reliability.resilient import ResilienceManager
     from repro.wrappers.registry import SourceRegistry
 
 __all__ = ["ExecutionContext", "DatamergeEngine", "TraceEntry"]
@@ -34,10 +37,17 @@ __all__ = ["ExecutionContext", "DatamergeEngine", "TraceEntry"]
 
 @dataclass
 class TraceEntry:
-    """One executed node with its output table."""
+    """One executed node with its output table.
+
+    ``attempts`` counts the source calls made while the node ran
+    (retries included); ``latency`` is the clock time those calls took.
+    Both stay zero for nodes that never touch a source.
+    """
 
     node: PlanNode
     table: BindingTable
+    attempts: int = 0
+    latency: float = 0.0
 
     def render(self) -> str:
         return f"{self.node.describe()}\n{self.table.render()}"
@@ -54,18 +64,69 @@ class ExecutionContext:
     trace: list[TraceEntry] | None = None
     queries_sent: dict[str, int] = field(default_factory=dict)
     objects_received: dict[str, int] = field(default_factory=dict)
+    resilience: "ResilienceManager | None" = None
+    on_source_failure: str = "fail"
+    warnings: list[SourceWarning] = field(default_factory=list)
+    attempts_made: int = 0
+    source_latency: float = 0.0
 
     def send_query(self, source_name: str, query: Rule) -> list[OEMObject]:
-        """Ship ``query`` to a source, with accounting and statistics."""
+        """Ship ``query`` to a source, with accounting and statistics.
+
+        With a :class:`ResilienceManager` attached, the source is
+        called through its resilient wrapper (timeout + retry +
+        breaker).  In ``degrade`` mode a source that still fails
+        contributes an empty answer and a :class:`SourceWarning`
+        instead of aborting the whole datamerge run.
+        """
         source = self.sources.resolve(source_name)
-        result = source.answer(query)
+        if self.resilience is not None:
+            source = self.resilience.wrap(source)
+            attempts_before = self.resilience.health.attempts_of(source_name)
+            clock = self.resilience.clock
+        else:
+            attempts_before = 0
+            clock = None
+        started = clock.now() if clock is not None else 0.0
+        degraded = False
+        try:
+            result = source.answer(query)
+        except SourceError as exc:
+            if self.on_source_failure != "degrade":
+                raise
+            degraded = True
+            attempts = (
+                self.resilience.health.attempts_of(source_name)
+                - attempts_before
+                if self.resilience is not None
+                else 1
+            )
+            self.warnings.append(
+                SourceWarning(
+                    source=source_name,
+                    message=str(exc),
+                    attempts=attempts,
+                    error=type(exc).__name__,
+                )
+            )
+            result = []
+        if self.resilience is not None:
+            self.attempts_made += (
+                self.resilience.health.attempts_of(source_name)
+                - attempts_before
+            )
+            self.source_latency += clock.now() - started
+        else:
+            self.attempts_made += 1
         self.queries_sent[source_name] = (
             self.queries_sent.get(source_name, 0) + 1
         )
         self.objects_received[source_name] = (
             self.objects_received.get(source_name, 0) + len(result)
         )
-        if self.statistics is not None:
+        if self.statistics is not None and not degraded:
+            # degraded answers are absences, not observations — feeding
+            # them to the optimizer would teach it the source is empty
             for condition in query.tail:
                 if isinstance(condition, PatternCondition):
                     self.statistics.record(
@@ -98,10 +159,19 @@ class DatamergeEngine:
         outputs: dict[int, BindingTable] = {}
         for node in plan.nodes():
             inputs = [outputs[id(child)] for child in node.inputs]
+            attempts_before = context.attempts_made
+            latency_before = context.source_latency
             table = node.execute(inputs, context)
             outputs[id(node)] = table
             if context.trace is not None:
-                context.trace.append(TraceEntry(node, table))
+                context.trace.append(
+                    TraceEntry(
+                        node,
+                        table,
+                        attempts=context.attempts_made - attempts_before,
+                        latency=context.source_latency - latency_before,
+                    )
+                )
         if context.trace is not None:
             self.last_trace = context.trace
         return outputs[id(plan.root)]

@@ -28,8 +28,10 @@ and matching locally:
 
 from __future__ import annotations
 
-from typing import Sequence
+import contextlib
+from typing import Iterator, Sequence
 
+from repro.client.result import ResultSet
 from repro.external.registry import ExternalRegistry, default_registry
 from repro.mediator.engine import DatamergeEngine, ExecutionContext
 from repro.mediator.fusion import fuse_objects, has_semantic_oids
@@ -46,12 +48,15 @@ from repro.msl.ast import (
     SetPattern,
     Specification,
 )
-from repro.msl.errors import MSLSemanticError
+from repro.msl.errors import MSLError, MSLSemanticError, MSLSyntaxError
 from repro.msl.evaluate import evaluate_rule
 from repro.msl.parser import parse_specification
 from repro.oem.compare import eliminate_duplicates, structural_key
 from repro.oem.model import OEMObject
 from repro.oem.oid import OidGenerator
+from repro.reliability.clock import Clock
+from repro.reliability.health import SourceWarning
+from repro.reliability.resilient import ResilienceConfig, ResilienceManager
 from repro.wrappers.base import Source, SourceError
 from repro.wrappers.registry import SourceRegistry
 
@@ -77,9 +82,17 @@ class Mediator(Source):
         trace: bool = False,
         register: bool = True,
         max_fixpoint_iterations: int = 50,
+        on_source_failure: str = "fail",
+        resilience: ResilienceConfig | ResilienceManager | None = None,
+        clock: Clock | None = None,
     ) -> None:
         if not name or not name.isidentifier():
             raise MediatorError(f"invalid mediator name {name!r}")
+        if on_source_failure not in ("fail", "degrade"):
+            raise MediatorError(
+                "on_source_failure must be 'fail' or 'degrade',"
+                f" got {on_source_failure!r}"
+            )
         self.name = name
         if isinstance(specification, str):
             specification = parse_specification(specification)
@@ -105,6 +118,13 @@ class Mediator(Source):
         self.max_fixpoint_iterations = max_fixpoint_iterations
         self._oidgen = OidGenerator(f"&{name}_")
 
+        self.on_source_failure = on_source_failure
+        if isinstance(resilience, ResilienceConfig):
+            resilience = ResilienceManager(resilience, clock=clock)
+        self.resilience: ResilienceManager | None = resilience
+        self.last_warnings: list[SourceWarning] = []
+        self._warning_depth = 0
+
         self.is_recursive = any(
             condition.source == name
             for rule in specification.rules
@@ -122,60 +142,130 @@ class Mediator(Source):
 
     def answer(self, query: str | Rule) -> list[OEMObject]:
         """Answer an MSL query against this mediator's view."""
-        if isinstance(query, str):
-            from repro.msl.parser import parse_query
+        query = self._parse_query(query)
+        with self._warning_scope():
+            if (
+                self.is_recursive
+                or _query_uses_wildcards(query, self.name)
+                or _query_constrains_types(query, self.name)
+            ):
+                return self._answer_by_materialization(query)
 
-            query = parse_query(query)
-        check_rule(query, is_query=True)
+            program = self.expander.expand(query)
+            self.last_program = program
+            plan = self.optimizer.plan_program(program)
+            context = self._context()
+            objects = self.engine.execute_to_objects(plan, context)
+            self.last_context = context
+            if has_semantic_oids(objects):
+                objects = fuse_objects(objects)
+            return objects
 
-        if (
-            self.is_recursive
-            or _query_uses_wildcards(query, self.name)
-            or _query_constrains_types(query, self.name)
-        ):
-            return self._answer_by_materialization(query)
+    def query(self, query: str | Rule) -> ResultSet:
+        """Like :meth:`answer`, materialized as a :class:`ResultSet`.
 
-        program = self.expander.expand(query)
-        self.last_program = program
-        plan = self.optimizer.plan_program(program)
-        context = self._context()
-        objects = self.engine.execute_to_objects(plan, context)
-        self.last_context = context
-        if has_semantic_oids(objects):
-            objects = fuse_objects(objects)
-        return objects
+        The result set carries any :class:`SourceWarning`\\ s produced
+        in ``degrade`` mode, so callers can tell a complete answer from
+        a partial one.
+        """
+        objects = self.answer(query)
+        return ResultSet(objects, warnings=self.last_warnings)
 
     def export(self) -> Sequence[OEMObject]:
         """Materialize the whole view (all rules, no conditions)."""
-        if self.is_recursive:
-            return self._fixpoint_materialize()
-        results: list[OEMObject] = []
-        context = self._context()
-        for rule in self.specification.rules:
-            plan = self.optimizer.plan_rule(LogicalRule(rule))
-            results.extend(self.engine.execute_to_objects(plan, context))
-        self.last_context = context
-        results = eliminate_duplicates(results)
-        if has_semantic_oids(results):
-            results = fuse_objects(results)
-        return results
+        with self._warning_scope():
+            if self.is_recursive:
+                return self._fixpoint_materialize()
+            results: list[OEMObject] = []
+            context = self._context()
+            for rule in self.specification.rules:
+                plan = self.optimizer.plan_rule(LogicalRule(rule))
+                results.extend(
+                    self.engine.execute_to_objects(plan, context)
+                )
+            self.last_context = context
+            results = eliminate_duplicates(results)
+            if has_semantic_oids(results):
+                results = fuse_objects(results)
+            return results
+
+    # -- query admission ---------------------------------------------------
+
+    def _parse_query(self, query: str | Rule) -> Rule:
+        """Parse and statically check ``query``, raising MediatorError.
+
+        Raw lexer/parser/semantic exceptions never leak: syntax errors
+        surface as :class:`MediatorError` with the source position the
+        MSL layer reported, semantic problems with their explanation.
+        """
+        if isinstance(query, str):
+            from repro.msl.parser import parse_query
+
+            try:
+                query = parse_query(query)
+            except MSLSyntaxError as exc:
+                error = MediatorError(f"invalid MSL query: {exc}")
+                error.position = exc.position
+                error.line = exc.line
+                error.column = exc.column
+                raise error from exc
+            except MSLError as exc:
+                raise MediatorError(f"invalid MSL query: {exc}") from exc
+        try:
+            check_rule(query, is_query=True)
+        except MSLSemanticError as exc:
+            raise MediatorError(f"invalid MSL query: {exc}") from exc
+        return query
 
     # -- introspection -----------------------------------------------------
 
     def explain(self, query: str | Rule) -> str:
-        """The logical program and physical plan for ``query`` as text."""
-        if isinstance(query, str):
-            from repro.msl.parser import parse_query
+        """The logical program and physical plan for ``query`` as text.
 
-            query = parse_query(query)
+        When a resilience policy is configured (or degrade mode is on)
+        a ``-- resilience --`` section reports the policy and the
+        current per-source health, including breaker states.
+        """
+        query = self._parse_query(query)
         program = self.expander.expand(query)
         plan = self.optimizer.plan_program(program)
-        return (
+        text = (
             f"-- logical datamerge program ({len(program)} rule(s)) --\n"
             f"{program}\n\n"
             f"-- physical datamerge graph --\n"
             f"{plan.describe()}"
         )
+        if self.resilience is not None or self.on_source_failure != "fail":
+            lines = [f"mode: on_source_failure={self.on_source_failure}"]
+            if self.resilience is not None:
+                lines.append(self.resilience.describe())
+                health = self.resilience.health.render()
+                if health:
+                    lines.append(health)
+            text += "\n\n-- resilience --\n" + "\n".join(lines)
+        return text
+
+    def health_snapshot(self):
+        """Per-source health records (empty without a resilience layer)."""
+        if self.resilience is None:
+            return {}
+        return self.resilience.health.snapshot()
+
+    @contextlib.contextmanager
+    def _warning_scope(self) -> Iterator[None]:
+        """Collect warnings across one top-level operation.
+
+        Nested entries (materialization calling :meth:`export`) share
+        the outermost scope's list, so ``last_warnings`` reflects the
+        whole user-visible call.
+        """
+        if self._warning_depth == 0:
+            self.last_warnings = []
+        self._warning_depth += 1
+        try:
+            yield
+        finally:
+            self._warning_depth -= 1
 
     def _context(self) -> ExecutionContext:
         return ExecutionContext(
@@ -184,7 +274,43 @@ class Mediator(Source):
             oidgen=self._oidgen,
             statistics=self.statistics,
             trace=[] if self.engine.trace_enabled else None,
+            resilience=self.resilience,
+            on_source_failure=self.on_source_failure,
+            warnings=self.last_warnings,
         )
+
+    def _export_source(self, name: str) -> Sequence[OEMObject]:
+        """Export a foreign source through the reliability layer.
+
+        The materialization paths pull whole source views; in degrade
+        mode an unavailable source contributes an empty forest plus a
+        warning, mirroring :meth:`ExecutionContext.send_query`.
+        """
+        source = self.sources.resolve(name)
+        if self.resilience is not None:
+            attempts_before = self.resilience.health.attempts_of(name)
+            source = self.resilience.wrap(source)
+        else:
+            attempts_before = 0
+        try:
+            return source.export()
+        except SourceError as exc:
+            if self.on_source_failure != "degrade":
+                raise
+            attempts = (
+                self.resilience.health.attempts_of(name) - attempts_before
+                if self.resilience is not None
+                else 1
+            )
+            self.last_warnings.append(
+                SourceWarning(
+                    source=name,
+                    message=str(exc),
+                    attempts=attempts,
+                    error=type(exc).__name__,
+                )
+            )
+            return []
 
     # -- materialization paths ---------------------------------------------
 
@@ -198,9 +324,9 @@ class Mediator(Source):
             if isinstance(condition, PatternCondition) and condition.source:
                 if condition.source == self.name:
                     continue
-                forests[condition.source] = self.sources.resolve(
+                forests[condition.source] = self._export_source(
                     condition.source
-                ).export()
+                )
         return evaluate_rule(
             query, forests, self.externals, self._oidgen, check=False
         )
@@ -222,9 +348,9 @@ class Mediator(Source):
                     and condition.source != self.name
                     and condition.source not in base_forests
                 ):
-                    base_forests[condition.source] = self.sources.resolve(
+                    base_forests[condition.source] = self._export_source(
                         condition.source
-                    ).export()
+                    )
 
         view: list[OEMObject] = []
         seen_keys: set = set()

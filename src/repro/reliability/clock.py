@@ -1,0 +1,68 @@
+"""Injectable clocks: real time for production, manual time for tests.
+
+Every reliability component (retry backoff, circuit-breaker cooldowns,
+timeout detection, latency accounting) reads time through a
+:class:`Clock` so that tests and benchmarks never call ``time.sleep``.
+A :class:`ManualClock` advances only when told to — a backoff "sleep"
+is just an addition — which makes fault schedules, breaker cooldowns
+and recovery curves fully deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+__all__ = ["Clock", "MonotonicClock", "ManualClock"]
+
+
+class Clock(abc.ABC):
+    """A monotonic time source with a sleep operation."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (monotonic; origin unspecified)."""
+
+    @abc.abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Block (or pretend to block) for ``seconds``."""
+
+
+class MonotonicClock(Clock):
+    """The real thing: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock that only moves when advanced — no real waiting.
+
+    ``sleep`` advances the clock by the requested amount, so code under
+    test experiences backoff delays and cooldown windows instantly.
+
+    >>> clock = ManualClock()
+    >>> clock.sleep(2.5); clock.advance(0.5); clock.now()
+    3.0
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: list[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.advance(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds

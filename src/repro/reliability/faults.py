@@ -1,0 +1,151 @@
+"""Deterministic fault injection over any :class:`Source`.
+
+A :class:`FaultInjectingSource` decorates a wrapper (or a whole
+sub-mediator) and, driven by one seeded ``random.Random``, injects the
+failure modes an autonomous source exhibits in the wild:
+
+* transient errors (:class:`TransientSourceError`) at ``fault_rate``;
+* simulated latency — the injected clock is advanced, never slept on;
+* empty answers at ``empty_rate`` (the source "worked" but lost data);
+* malformed answers at ``malformed_rate`` (non-OEM garbage a resilient
+  caller must detect and treat as a failure);
+* a ``dead`` switch for sustained outages (breaker tests flip it).
+
+The same seed always yields the same schedule — the outcome of call
+*n* depends only on the seed and *n* — which is what lets the test
+suite assert retry and degradation behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.msl.ast import Rule
+from repro.oem.model import OEMObject
+from repro.reliability.clock import Clock, ManualClock
+from repro.wrappers.base import Source, SourceError
+
+__all__ = ["TransientSourceError", "FaultInjectingSource", "MALFORMED"]
+
+
+class TransientSourceError(SourceError):
+    """An injected momentary failure: a retry may well succeed."""
+
+
+#: Sentinel object returned inside a "malformed" answer.  It is not an
+#: :class:`OEMObject`, so response validation must reject the answer.
+MALFORMED = "<<malformed-oem-response>>"
+
+
+class FaultInjectingSource(Source):
+    """Wrap ``inner`` with a seeded, deterministic fault schedule.
+
+    The wrapper keeps ``inner``'s name, capability and schema facts, so
+    it can be registered (or passed to a resilient wrapper) anywhere
+    the bare source could.  Each injected outcome is appended to
+    :attr:`outcomes` (``"ok"``, ``"fault"``, ``"empty"``,
+    ``"malformed"`` or ``"dead"``) for assertions.
+    """
+
+    def __init__(
+        self,
+        inner: Source,
+        seed: int = 0,
+        fault_rate: float = 0.0,
+        empty_rate: float = 0.0,
+        malformed_rate: float = 0.0,
+        latency: float = 0.0,
+        dead: bool = False,
+        clock: Clock | None = None,
+    ) -> None:
+        for name, rate in (
+            ("fault_rate", fault_rate),
+            ("empty_rate", empty_rate),
+            ("malformed_rate", malformed_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.inner = inner
+        self.name = inner.name
+        self.seed = seed
+        self.fault_rate = fault_rate
+        self.empty_rate = empty_rate
+        self.malformed_rate = malformed_rate
+        self.latency = latency
+        self.dead = dead
+        self.clock = clock or ManualClock()
+        self._rng = random.Random(seed)
+        self.calls = 0
+        self.inner_calls = 0
+        self.outcomes: list[str] = []
+
+    @property
+    def capability(self):
+        return self.inner.capability
+
+    @property
+    def schema_facts(self):
+        return self.inner.schema_facts
+
+    # -- schedule ----------------------------------------------------------
+
+    def _draw_outcome(self) -> str:
+        """One seeded draw; the dead switch overrides the schedule."""
+        if self.dead:
+            return "dead"
+        roll = self._rng.random()
+        if roll < self.fault_rate:
+            return "fault"
+        if roll < self.fault_rate + self.empty_rate:
+            return "empty"
+        if roll < self.fault_rate + self.empty_rate + self.malformed_rate:
+            return "malformed"
+        return "ok"
+
+    def _deliver(self, produce) -> list[OEMObject]:
+        self.calls += 1
+        if self.latency:
+            self.clock.sleep(self.latency)
+        outcome = self._draw_outcome()
+        self.outcomes.append(outcome)
+        if outcome == "dead":
+            raise SourceError(f"source {self.name!r} is down")
+        if outcome == "fault":
+            raise TransientSourceError(
+                f"injected transient fault at {self.name!r}"
+                f" (call {self.calls})"
+            )
+        if outcome == "empty":
+            return []
+        if outcome == "malformed":
+            return [MALFORMED]  # type: ignore[list-item]
+        self.inner_calls += 1
+        return produce()
+
+    # -- the Source interface ----------------------------------------------
+
+    def answer(self, query: Rule) -> list[OEMObject]:
+        return self._deliver(lambda: self.inner.answer(query))
+
+    def export(self) -> Sequence[OEMObject]:
+        return self._deliver(lambda: list(self.inner.export()))
+
+    def reset_counters(self) -> None:
+        self.calls = 0
+        self.inner_calls = 0
+        self.outcomes.clear()
+        self.inner.reset_counters()
+
+    def stats(self) -> dict[str, object]:
+        stats = dict(self.inner.stats())
+        stats.update(
+            fault_calls=self.calls,
+            fault_outcomes=len(self.outcomes),
+            faults_injected=sum(
+                1 for outcome in self.outcomes if outcome != "ok"
+            ),
+        )
+        return stats

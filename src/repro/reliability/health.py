@@ -1,0 +1,135 @@
+"""Per-source health accounting and structured degradation warnings.
+
+The reliability layer records every attempt against every source here;
+:meth:`HealthRegistry.snapshot` gives mediators, benchmarks and the CLI
+one consistent view of who is healthy, who is flapping, and whose
+breaker is open — the operational counterpart of the optimizer's
+statistics store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.reliability.policy import CLOSED, CircuitBreaker
+
+__all__ = ["SourceHealth", "SourceWarning", "HealthRegistry"]
+
+
+@dataclass(frozen=True)
+class SourceWarning:
+    """A structured note that a source's answer is missing or partial.
+
+    Produced in ``degrade`` mode when a source exhausts its retry
+    budget (or its breaker is open) and the mediator substitutes an
+    empty answer.  Carried on :class:`~repro.client.result.ResultSet`
+    so clients can tell a complete answer from a degraded one.
+    """
+
+    source: str
+    message: str
+    attempts: int = 0
+    error: str | None = None
+
+    def render(self) -> str:
+        suffix = f" after {self.attempts} attempt(s)" if self.attempts else ""
+        return f"source {self.source!r} degraded{suffix}: {self.message}"
+
+
+@dataclass
+class SourceHealth:
+    """Mutable per-source counters; snapshots hand out frozen copies."""
+
+    source: str
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+    rejections: int = 0
+    retries: int = 0
+    total_latency: float = 0.0
+    last_latency: float = 0.0
+    last_error: str | None = None
+    breaker_state: str = CLOSED
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.attempts if self.attempts else 0.0
+
+    def render(self) -> str:
+        error = f" last_error={self.last_error!r}" if self.last_error else ""
+        return (
+            f"{self.source}: breaker={self.breaker_state}"
+            f" attempts={self.attempts} ok={self.successes}"
+            f" failed={self.failures} rejected={self.rejections}{error}"
+        )
+
+
+class HealthRegistry:
+    """Name-keyed health records, fed by :class:`ResilientSource`."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, SourceHealth] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def record_for(self, source: str) -> SourceHealth:
+        record = self._records.get(source)
+        if record is None:
+            record = self._records[source] = SourceHealth(source)
+        return record
+
+    def attach_breaker(self, source: str, breaker: CircuitBreaker) -> None:
+        """Associate ``breaker`` so snapshots report its live state."""
+        self._breakers[source] = breaker
+
+    # -- event recording ---------------------------------------------------
+
+    def record_attempt(self, source: str) -> None:
+        self.record_for(source).attempts += 1
+
+    def record_success(self, source: str, latency: float) -> None:
+        record = self.record_for(source)
+        record.successes += 1
+        record.total_latency += latency
+        record.last_latency = latency
+
+    def record_failure(self, source: str, error: str, latency: float) -> None:
+        record = self.record_for(source)
+        record.failures += 1
+        record.total_latency += latency
+        record.last_latency = latency
+        record.last_error = error
+
+    def record_retry(self, source: str) -> None:
+        self.record_for(source).retries += 1
+
+    def record_rejection(self, source: str) -> None:
+        self.record_for(source).rejections += 1
+
+    # -- introspection ------------------------------------------------------
+
+    def attempts_of(self, source: str) -> int:
+        record = self._records.get(source)
+        return record.attempts if record else 0
+
+    def status(self, source: str) -> SourceHealth:
+        """A frozen-in-time copy of one source's record."""
+        record = self.record_for(source)
+        breaker = self._breakers.get(source)
+        return replace(
+            record,
+            breaker_state=breaker.state if breaker else record.breaker_state,
+        )
+
+    def snapshot(self) -> dict[str, SourceHealth]:
+        """Copies of every record, with live breaker states folded in."""
+        return {name: self.status(name) for name in sorted(self._records)}
+
+    def render(self) -> str:
+        return "\n".join(
+            record.render() for record in self.snapshot().values()
+        )
+
+    def reset(self) -> None:
+        self._records.clear()
+        for breaker in self._breakers.values():
+            breaker.reset()

@@ -1,0 +1,167 @@
+"""Retry and circuit-breaker policies for source access.
+
+Autonomous sources fail in two modes the mediator must distinguish:
+
+* *transient* faults (a dropped connection, a momentary overload) —
+  worth retrying with exponential backoff;
+* *sustained* outages — retrying only wastes the query's time budget,
+  so a per-source :class:`CircuitBreaker` stops sending after a
+  threshold of consecutive failures and probes again after a cooldown.
+
+Both policies are pure state machines over an injectable
+:class:`~repro.reliability.clock.Clock`; nothing here ever sleeps on
+its own.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.reliability.clock import Clock, MonotonicClock
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry one source call.
+
+    ``max_attempts`` counts the initial try: ``max_attempts=3`` means
+    one call plus up to two retries.  Backoff for the retry after
+    attempt *n* is ``base_delay * multiplier**(n-1)``, capped at
+    ``max_delay``, with up to ``jitter`` (a fraction) of that delay
+    added from the caller-supplied rng.  ``deadline`` is a per-query
+    time budget: no retry is scheduled that would start after
+    ``deadline`` seconds from the first attempt.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter is a fraction in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before the retry following failed attempt ``attempt``.
+
+        ``attempt`` is 1-based; jitter comes from ``rng`` so a seeded
+        caller gets a reproducible delay sequence.
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if self.jitter and rng is not None:
+            delay += delay * self.jitter * rng.random()
+        return delay
+
+    def within_deadline(self, elapsed: float, next_delay: float) -> bool:
+        """May a retry still be scheduled ``elapsed`` seconds in?"""
+        if self.deadline is None:
+            return True
+        return elapsed + next_delay <= self.deadline
+
+
+#: Circuit-breaker states (the classic three-state machine).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-source closed/open/half-open breaker.
+
+    * **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures open the breaker.
+    * **open** — calls are rejected without touching the source until
+      ``cooldown`` seconds have passed on the injected clock.
+    * **half-open** — one probe call is allowed through; success closes
+      the breaker, failure re-opens it (restarting the cooldown).
+
+    >>> from repro.reliability.clock import ManualClock
+    >>> clock = ManualClock()
+    >>> breaker = CircuitBreaker(failure_threshold=2, cooldown=10, clock=clock)
+    >>> breaker.record_failure(); breaker.record_failure(); breaker.state
+    'open'
+    >>> breaker.allow()
+    False
+    >>> clock.advance(10); breaker.allow(), breaker.state
+    (True, 'half_open')
+    >>> breaker.record_success(); breaker.state
+    'closed'
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 30.0,
+        clock: Clock | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock or MonotonicClock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.rejections = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, promoting open → half-open when cooled down."""
+        if (
+            self._state == OPEN
+            and self.clock.now() - self._opened_at >= self.cooldown
+        ):
+            self._state = HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """May a call be attempted right now?
+
+        In half-open state this admits the probe; a rejected call is
+        counted in :attr:`rejections`.
+        """
+        if self.state == OPEN:
+            self.rejections += 1
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self.state == HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self.clock.now()
+
+    def reset(self) -> None:
+        """Force the breaker closed and forget history."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.rejections = 0

@@ -1,0 +1,265 @@
+"""Resilient source access: timeout + retry + circuit breaker.
+
+:class:`ResilientSource` decorates any :class:`Source` — a wrapper, a
+fault injector, or a whole sub-mediator — with the full defensive
+stack:
+
+1. the per-source :class:`CircuitBreaker` is consulted before every
+   attempt (open breaker ⇒ immediate :class:`SourceUnavailable`);
+2. the call is made and timed on the injected clock; a call that took
+   longer than ``timeout`` is discarded as a :class:`SourceTimeoutError`
+   (a single-threaded engine cannot abort a call midway, so timeouts
+   are enforced post-hoc — honest, and fully deterministic with a
+   :class:`~repro.reliability.clock.ManualClock`);
+3. the answer is validated — anything that is not a list of OEM objects
+   is a :class:`MalformedResponseError`;
+4. failures are retried per :class:`RetryPolicy` (seeded backoff
+   jitter, per-query deadline budget), every event lands in the shared
+   :class:`HealthRegistry`, and an exhausted budget raises
+   :class:`SourceUnavailable` carrying the attempt count and last error.
+
+:class:`ResilienceManager` builds one such wrapper per source from a
+single :class:`ResilienceConfig` and is what the execution context
+routes ``send_query`` through.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.msl.ast import Rule
+from repro.oem.model import OEMObject
+from repro.reliability.clock import Clock, MonotonicClock
+from repro.reliability.health import HealthRegistry
+from repro.reliability.policy import CircuitBreaker, RetryPolicy
+from repro.wrappers.base import Source, SourceError
+
+__all__ = [
+    "SourceTimeoutError",
+    "MalformedResponseError",
+    "SourceUnavailable",
+    "ResilientSource",
+    "ResilienceConfig",
+    "ResilienceManager",
+]
+
+
+class SourceTimeoutError(SourceError):
+    """A source call exceeded its time budget; its answer is discarded."""
+
+
+class MalformedResponseError(SourceError):
+    """A source returned something that is not a list of OEM objects."""
+
+
+class SourceUnavailable(SourceError):
+    """All attempts against a source failed (or its breaker is open)."""
+
+    def __init__(
+        self, source: str, message: str, attempts: int = 0,
+        cause: Exception | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.source = source
+        self.attempts = attempts
+        self.cause = cause
+
+
+def validate_answer(source: str, result: object) -> list[OEMObject]:
+    """Reject anything that is not a list of OEM objects."""
+    if not isinstance(result, list) or not all(
+        isinstance(item, OEMObject) for item in result
+    ):
+        raise MalformedResponseError(
+            f"source {source!r} returned a malformed OEM answer:"
+            f" {type(result).__name__}"
+        )
+    return result
+
+
+class ResilientSource(Source):
+    """``inner`` behind timeout detection, retries and a breaker."""
+
+    def __init__(
+        self,
+        inner: Source,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        timeout: float | None = None,
+        clock: Clock | None = None,
+        health: HealthRegistry | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.policy = policy or RetryPolicy()
+        self.clock = clock or MonotonicClock()
+        self.breaker = breaker or CircuitBreaker(clock=self.clock)
+        self.timeout = timeout
+        self.health = health or HealthRegistry()
+        self.health.attach_breaker(self.name, self.breaker)
+        self._rng = random.Random(seed)
+
+    @property
+    def capability(self):
+        return self.inner.capability
+
+    @property
+    def schema_facts(self):
+        return self.inner.schema_facts
+
+    # -- the defended call path --------------------------------------------
+
+    def _call(self, produce: Callable[[], object]) -> list[OEMObject]:
+        started = self.clock.now()
+        last_error: SourceError | None = None
+        attempts = 0
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if not self.breaker.allow():
+                self.health.record_rejection(self.name)
+                raise SourceUnavailable(
+                    self.name,
+                    f"source {self.name!r} unavailable: circuit breaker is"
+                    f" open (cooldown {self.breaker.cooldown}s)",
+                    attempts=attempts,
+                    cause=last_error,
+                )
+            attempts = attempt
+            self.health.record_attempt(self.name)
+            attempt_started = self.clock.now()
+            try:
+                result = produce()
+                elapsed = self.clock.now() - attempt_started
+                if self.timeout is not None and elapsed > self.timeout:
+                    raise SourceTimeoutError(
+                        f"source {self.name!r} answered in {elapsed:.3f}s,"
+                        f" over the {self.timeout:.3f}s timeout"
+                    )
+                result = validate_answer(self.name, result)
+            except SourceUnavailable:
+                # a nested resilient layer already gave up; don't retry
+                self.breaker.record_failure()
+                raise
+            except SourceError as exc:
+                elapsed = self.clock.now() - attempt_started
+                self.breaker.record_failure()
+                self.health.record_failure(self.name, str(exc), elapsed)
+                last_error = exc
+                if attempt >= self.policy.max_attempts:
+                    break
+                delay = self.policy.delay(attempt, self._rng)
+                if not self.policy.within_deadline(
+                    self.clock.now() - started, delay
+                ):
+                    break
+                self.health.record_retry(self.name)
+                self.clock.sleep(delay)
+                continue
+            self.breaker.record_success()
+            self.health.record_success(
+                self.name, self.clock.now() - attempt_started
+            )
+            return result
+        raise SourceUnavailable(
+            self.name,
+            f"source {self.name!r} unavailable after {attempts} attempt(s):"
+            f" {last_error}",
+            attempts=attempts,
+            cause=last_error,
+        ) from last_error
+
+    # -- the Source interface ----------------------------------------------
+
+    def answer(self, query: Rule) -> list[OEMObject]:
+        return self._call(lambda: self.inner.answer(query))
+
+    def export(self) -> Sequence[OEMObject]:
+        return self._call(lambda: list(self.inner.export()))
+
+    def reset_counters(self) -> None:
+        self.inner.reset_counters()
+
+    def stats(self) -> dict[str, object]:
+        stats = dict(self.inner.stats())
+        status = self.health.status(self.name)
+        stats.update(
+            resilient_attempts=status.attempts,
+            resilient_failures=status.failures,
+            resilient_rejections=status.rejections,
+            breaker_state=status.breaker_state,
+        )
+        return stats
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """One bundle of knobs for every source behind a mediator."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    timeout: float | None = None
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 30.0
+    seed: int = 0
+
+
+class ResilienceManager:
+    """Builds and caches one :class:`ResilientSource` per source name.
+
+    All wrappers share the manager's clock and :class:`HealthRegistry`;
+    each gets its own breaker and seeded jitter stream (derived from
+    the config seed and the source name, so schedules stay stable as
+    sources come and go).
+    """
+
+    def __init__(
+        self,
+        config: ResilienceConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.config = config or ResilienceConfig()
+        self.clock = clock or MonotonicClock()
+        self.health = HealthRegistry()
+        self._wrapped: dict[str, ResilientSource] = {}
+
+    def wrap(self, source: Source) -> ResilientSource:
+        wrapped = self._wrapped.get(source.name)
+        if wrapped is None or wrapped.inner is not source:
+            config = self.config
+            wrapped = ResilientSource(
+                source,
+                policy=config.retry,
+                breaker=CircuitBreaker(
+                    failure_threshold=config.breaker_threshold,
+                    cooldown=config.breaker_cooldown,
+                    clock=self.clock,
+                ),
+                timeout=config.timeout,
+                clock=self.clock,
+                health=self.health,
+                seed=config.seed ^ (zlib.crc32(source.name.encode()) & 0xFFFF),
+            )
+            self._wrapped[source.name] = wrapped
+        return wrapped
+
+    def breaker_for(self, name: str) -> CircuitBreaker | None:
+        wrapped = self._wrapped.get(name)
+        return wrapped.breaker if wrapped else None
+
+    def describe(self) -> str:
+        """One-paragraph policy summary for ``Mediator.explain``."""
+        retry = self.config.retry
+        timeout = (
+            f"{self.config.timeout:g}s" if self.config.timeout else "none"
+        )
+        deadline = f"{retry.deadline:g}s" if retry.deadline else "none"
+        return (
+            f"retries: {retry.max_attempts - 1} (backoff"
+            f" {retry.base_delay:g}s x{retry.multiplier:g},"
+            f" cap {retry.max_delay:g}s, deadline {deadline});"
+            f" timeout: {timeout};"
+            f" breaker: open after {self.config.breaker_threshold}"
+            f" failure(s), cooldown {self.config.breaker_cooldown:g}s"
+        )

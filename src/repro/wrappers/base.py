@@ -68,6 +68,17 @@ class Source(abc.ABC):
         """
         return None
 
+    def stats(self) -> dict[str, object]:
+        """Operational counters for registry-level snapshots.
+
+        Sources without bookkeeping report nothing; :class:`Wrapper`
+        and the reliability decorators add theirs.
+        """
+        return {}
+
+    def reset_counters(self) -> None:
+        """Zero any operational counters (benchmark harness hook)."""
+
 
 class Wrapper(Source):
     """Base class for concrete wrappers.
@@ -168,3 +179,9 @@ class Wrapper(Source):
         """Zero the query/object counters (benchmarks use this)."""
         self.queries_answered = 0
         self.objects_returned = 0
+
+    def stats(self) -> dict[str, object]:
+        return {
+            "queries_answered": self.queries_answered,
+            "objects_returned": self.objects_returned,
+        }

@@ -63,3 +63,23 @@ class SourceRegistry:
 
     def __len__(self) -> int:
         return len(self._sources)
+
+    # -- registry-level operations ----------------------------------------
+
+    def reset_all_counters(self) -> None:
+        """Zero every registered source's counters in one call.
+
+        Benchmarks used to walk the registry resetting wrappers one by
+        one; this is the supported bulk operation (it also reaches
+        mediators and reliability decorators, which forward the reset).
+        """
+        for source in self:
+            source.reset_counters()
+
+    def stats_snapshot(self) -> dict[str, dict[str, object]]:
+        """Per-source operational stats, keyed by source name.
+
+        Plain wrappers report query/object counters; sources wrapped in
+        the reliability layer add attempts, failures and breaker state.
+        """
+        return {source.name: source.stats() for source in self}

@@ -1,0 +1,231 @@
+"""Integration: the MSI pipeline survives faulty and dead sources.
+
+The acceptance scenario of the reliability layer, asserted end to end
+and deterministically (seeded fault schedules, manual clocks, no real
+sleeps):
+
+* in ``fail`` mode a seeded 30%-transient-fault ``whois`` wrapper still
+  answers the Figure 2.4 integration query exactly, via retries;
+* in ``degrade`` mode a permanently dead source yields the remaining
+  sources' answers plus structured warnings;
+* the per-source breaker opens after its threshold and half-opens
+  after the cooldown, then recovery closes it.
+"""
+
+import pytest
+
+from repro.datasets import (
+    JOE_CHUNG_QUERY,
+    MS1,
+    MS1_FUSION,
+    build_cs_database,
+    build_scenario,
+    build_whois_objects,
+)
+from repro.external.registry import default_registry
+from repro.mediator import Mediator
+from repro.oem import structural_key, to_python
+from repro.reliability import (
+    CLOSED,
+    FaultInjectingSource,
+    HALF_OPEN,
+    ManualClock,
+    OPEN,
+    ResilienceConfig,
+    ResilienceManager,
+    RetryPolicy,
+    SourceUnavailable,
+)
+from repro.wrappers import OEMStoreWrapper, RelationalWrapper, SourceRegistry
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+def build_resilient_scenario(
+    spec=MS1,
+    seed=1996,
+    fault_rate=0.0,
+    dead=False,
+    on_source_failure="fail",
+    retry=None,
+    breaker_threshold=5,
+    breaker_cooldown=30.0,
+):
+    """The staff scenario with a fault-injected ``whois`` source."""
+    clock = ManualClock()
+    registry = SourceRegistry()
+    whois = FaultInjectingSource(
+        OEMStoreWrapper("whois", build_whois_objects()),
+        seed=seed,
+        fault_rate=fault_rate,
+        dead=dead,
+        clock=clock,
+    )
+    registry.register(whois)
+    registry.register(RelationalWrapper("cs", build_cs_database()))
+    mediator = Mediator(
+        "med",
+        spec,
+        registry,
+        default_registry(),
+        on_source_failure=on_source_failure,
+        resilience=ResilienceConfig(
+            retry=retry
+            or RetryPolicy(max_attempts=3, base_delay=0.05, jitter=0.0),
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
+        ),
+        clock=clock,
+    )
+    return mediator, whois, clock
+
+
+class TestFailModeRetries:
+    def test_fig_2_4_query_survives_30_percent_transient_faults(self):
+        baseline = build_scenario().mediator.answer(JOE_CHUNG_QUERY)
+        mediator, whois, _ = build_resilient_scenario(seed=6, fault_rate=0.3)
+        answers = [mediator.answer(JOE_CHUNG_QUERY) for _ in range(20)]
+        # every answer is exactly the fault-free Figure 2.4 object ...
+        for answer in answers:
+            assert canonical(answer) == canonical(baseline)
+            assert to_python(answer[0])["name"] == "Joe Chung"
+        # ... and the fault schedule really fired (retries did the work)
+        assert "fault" in whois.outcomes
+        health = mediator.health_snapshot()["whois"]
+        assert health.failures >= 1
+        assert health.retries == health.failures
+        assert health.breaker_state == CLOSED
+
+    def test_fail_mode_dead_source_aborts_the_query(self):
+        mediator, _, _ = build_resilient_scenario(dead=True)
+        with pytest.raises(SourceUnavailable):
+            mediator.answer(JOE_CHUNG_QUERY)
+        assert mediator.last_warnings == []
+
+
+class TestDegradeMode:
+    def test_dead_source_yields_remaining_sources_plus_warnings(self):
+        # the fusion view takes one rule per source, so the cs side can
+        # still contribute when whois is permanently down
+        baseline = Mediator(
+            "med",
+            MS1_FUSION,
+            SourceRegistry(
+                OEMStoreWrapper("whois", build_whois_objects()),
+                RelationalWrapper("cs", build_cs_database()),
+            ),
+            default_registry(),
+        ).answer(JOE_CHUNG_QUERY)
+
+        mediator, whois, _ = build_resilient_scenario(
+            spec=MS1_FUSION, dead=True, on_source_failure="degrade"
+        )
+        results = mediator.query(JOE_CHUNG_QUERY)
+
+        assert len(results) >= 1  # the cs contribution survived
+        degraded = to_python(results[0])
+        fault_free = to_python(baseline[0])
+        assert degraded["name"] == "Joe Chung"
+        # every surviving field agrees with the fault-free answer; the
+        # whois-only fields (e_mail) are what went missing
+        assert set(degraded) <= set(fault_free)
+        assert all(fault_free[key] == value for key, value in degraded.items())
+        assert "e_mail" in fault_free and "e_mail" not in degraded
+        assert results.warnings, "a degraded answer must carry warnings"
+        assert not results.complete
+        assert all(w.source == "whois" for w in results.warnings)
+        assert all(w.attempts >= 1 for w in results.warnings)
+        assert "degraded" in results.render_warnings()
+
+    def test_join_view_degrades_to_empty_but_does_not_raise(self):
+        # MS1 joins whois and cs: without whois there is nothing to
+        # join, but the query must still return (empty + warnings)
+        mediator, _, _ = build_resilient_scenario(
+            spec=MS1, dead=True, on_source_failure="degrade"
+        )
+        results = mediator.query(JOE_CHUNG_QUERY)
+        assert len(results) == 0
+        assert results.warnings
+
+    def test_transient_faults_with_retries_lose_nothing(self):
+        baseline = build_scenario().mediator.answer(JOE_CHUNG_QUERY)
+        mediator, _, _ = build_resilient_scenario(
+            seed=6, fault_rate=0.3, on_source_failure="degrade"
+        )
+        for _ in range(10):
+            results = mediator.query(JOE_CHUNG_QUERY)
+            assert canonical(results.objects()) == canonical(baseline)
+            assert results.complete
+
+    def test_export_degrades_too(self):
+        mediator, _, _ = build_resilient_scenario(
+            spec=MS1_FUSION, dead=True, on_source_failure="degrade"
+        )
+        view = mediator.export()
+        assert len(view) >= 1  # the cs rule materialized
+        assert mediator.last_warnings
+
+    def test_materialization_path_degrades(self):
+        # wildcard queries bypass the pipeline and pull whole exports;
+        # the reliability layer must cover that path as well
+        mediator, _, _ = build_resilient_scenario(
+            spec=MS1_FUSION, dead=True, on_source_failure="degrade"
+        )
+        results = mediator.query(
+            "X :- X:<cs_person {.. <rel 'employee'>}>@med"
+        )
+        assert mediator.last_warnings
+        assert results.warnings
+
+
+class TestBreakerLifecycle:
+    def test_breaker_opens_then_half_opens_then_recovers(self):
+        mediator, whois, clock = build_resilient_scenario(
+            spec=MS1,
+            dead=True,
+            on_source_failure="degrade",
+            retry=RetryPolicy(max_attempts=2, base_delay=0.05, jitter=0.0),
+            breaker_threshold=3,
+            breaker_cooldown=100.0,
+        )
+        # the complete push mode ships two whois queries per answer:
+        # the first burns 2 attempts (try + retry), the third attempt
+        # of the second query trips the threshold-3 breaker
+        mediator.answer(JOE_CHUNG_QUERY)
+        breaker = mediator.resilience.breaker_for("whois")
+        assert breaker is not None
+        assert whois.calls == 3
+        assert breaker.state == OPEN
+        assert breaker.consecutive_failures == 3
+
+        # while open, the source is never touched
+        calls_when_open = whois.calls
+        mediator.answer(JOE_CHUNG_QUERY)
+        assert whois.calls == calls_when_open
+        health = mediator.health_snapshot()["whois"]
+        assert health.breaker_state == OPEN
+        assert health.rejections >= 1
+
+        # cooldown elapses on the manual clock: half-open
+        clock.advance(100.0)
+        assert breaker.state == HALF_OPEN
+
+        # the source comes back; the probe succeeds and closes it
+        whois.dead = False
+        baseline = build_scenario().mediator.answer(JOE_CHUNG_QUERY)
+        results = mediator.query(JOE_CHUNG_QUERY)
+        assert canonical(results.objects()) == canonical(baseline)
+        assert results.complete
+        assert breaker.state == CLOSED
+
+    def test_no_real_time_passed(self):
+        # the whole lifecycle above runs on a manual clock; this guard
+        # asserts the suite's promise of never sleeping for real
+        mediator, _, clock = build_resilient_scenario(
+            dead=True, on_source_failure="degrade"
+        )
+        mediator.answer(JOE_CHUNG_QUERY)
+        assert clock.sleeps  # backoff happened ...
+        assert clock.now() == sum(clock.sleeps)  # ... only on the fake clock

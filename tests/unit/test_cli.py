@@ -163,3 +163,62 @@ class TestCLI:
         assert status == 1  # one query failed
         assert "error" in err
         assert "cs_person" in out  # the good query still ran
+
+
+class TestResilienceFlags:
+    def test_flags_on_healthy_sources_change_nothing(self, files):
+        spec, whois = files
+        argv = [
+            "--spec", str(spec),
+            "--source", f"whois={whois}",
+            "--query", "X :- X:<cs_person {<name 'Joe Chung'>}>@med",
+            "--format", "inline",
+        ]
+        plain = run(argv)
+        defended = run(
+            argv + ["--retries", "2", "--source-timeout", "5", "--degrade"]
+        )
+        assert plain[0] == defended[0] == 0
+        assert plain[1] == defended[1]
+        assert defended[2] == ""  # healthy sources: no warnings
+
+    def test_negative_retries_rejected(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", "X :- X:<cs_person {<name N>}>@med",
+             "--retries", "-1"]
+        )
+        assert status == 2
+        assert "--retries" in err
+
+    def test_non_positive_timeout_rejected(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", "X :- X:<cs_person {<name N>}>@med",
+             "--source-timeout", "0"]
+        )
+        assert status == 2
+        assert "--source-timeout" in err
+
+    def test_explain_shows_resilience_section(self, files):
+        spec, whois = files
+        status, out, _ = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", "X :- X:<cs_person {<name N>}>@med",
+             "--explain", "--retries", "1", "--degrade"]
+        )
+        assert status == 0
+        assert "-- resilience --" in out
+        assert "on_source_failure=degrade" in out
+
+    def test_unparsable_query_reports_position(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", "X :- X:<cs_person {< }>@med"]
+        )
+        assert status == 1
+        assert "invalid MSL query" in err
+        assert "line 1" in err

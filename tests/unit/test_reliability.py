@@ -1,0 +1,545 @@
+"""Unit tests for the reliability layer.
+
+Everything here is deterministic: clocks are :class:`ManualClock`, all
+randomness is seeded, and no test ever sleeps for real.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets import JOE_CHUNG_QUERY, build_scenario
+from repro.mediator import Mediator, MediatorError
+from repro.msl import parse_rule
+from repro.oem import OEMObject, parse_oem
+from repro.reliability import (
+    CLOSED,
+    CircuitBreaker,
+    FaultInjectingSource,
+    HALF_OPEN,
+    HealthRegistry,
+    MalformedResponseError,
+    ManualClock,
+    MonotonicClock,
+    OPEN,
+    ResilienceConfig,
+    ResilienceManager,
+    ResilientSource,
+    RetryPolicy,
+    SourceTimeoutError,
+    SourceUnavailable,
+    SourceWarning,
+    TransientSourceError,
+)
+from repro.wrappers import OEMStoreWrapper, SourceRegistry
+
+PEOPLE = """
+<&x1, rec, set, {&a1}>
+  <&a1, name, string, 'Ann'>
+;
+"""
+
+QUERY = parse_rule("X :- X:<rec {<name 'Ann'>}>")
+
+
+def make_wrapper(name="src"):
+    return OEMStoreWrapper(name, parse_oem(PEOPLE))
+
+
+class TestManualClock:
+    def test_sleep_advances_without_blocking(self):
+        clock = ManualClock()
+        clock.sleep(3.5)
+        clock.advance(1.5)
+        assert clock.now() == 5.0
+        assert clock.sleeps == [3.5]
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1)
+
+    def test_monotonic_clock_moves_forward(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        assert clock.now() >= first
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, jitter=0.0
+        )
+        assert [policy.delay(n) for n in (1, 2, 3)] == [0.1, 0.2, 0.4]
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=5.0,
+                             jitter=0.0)
+        assert policy.delay(4) == 5.0
+
+    def test_jitter_is_deterministic_under_a_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.delay(n, random.Random(42)) for n in (1, 2, 3)]
+        b = [policy.delay(n, random.Random(42)) for n in (1, 2, 3)]
+        assert a == b
+        assert a != [policy.delay(n) for n in (1, 2, 3)]
+
+    def test_deadline_budget(self):
+        policy = RetryPolicy(deadline=1.0)
+        assert policy.within_deadline(0.5, 0.4)
+        assert not policy.within_deadline(0.5, 0.6)
+        assert RetryPolicy(deadline=None).within_deadline(100.0, 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=30.0):
+        clock = ManualClock()
+        return clock, CircuitBreaker(
+            failure_threshold=threshold, cooldown=cooldown, clock=clock
+        )
+
+    def test_opens_after_consecutive_failures(self):
+        _, breaker = self.make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+
+    def test_success_resets_the_failure_streak(self):
+        _, breaker = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_opens_after_cooldown(self):
+        clock, breaker = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        clock, breaker = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock, breaker = self.make(threshold=3, cooldown=10.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        # the cooldown restarted at the probe failure
+        clock.advance(5.0)
+        assert breaker.state == OPEN
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_reset(self):
+        _, breaker = self.make(threshold=1)
+        breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1)
+
+
+class TestFaultInjectingSource:
+    def test_same_seed_same_schedule(self):
+        outcomes = []
+        for _ in range(2):
+            faulty = FaultInjectingSource(
+                make_wrapper(), seed=123, fault_rate=0.4, empty_rate=0.2,
+                malformed_rate=0.1,
+            )
+            run = []
+            for _ in range(30):
+                try:
+                    run.append(("ok", len(faulty.answer(QUERY))))
+                except TransientSourceError:
+                    run.append(("fault", -1))
+            outcomes.append((run, list(faulty.outcomes)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_different_seed_different_schedule(self):
+        def schedule(seed):
+            faulty = FaultInjectingSource(
+                make_wrapper(), seed=seed, fault_rate=0.5
+            )
+            for _ in range(30):
+                try:
+                    faulty.answer(QUERY)
+                except TransientSourceError:
+                    pass
+            return list(faulty.outcomes)
+
+        assert schedule(1) != schedule(2)
+
+    def test_dead_switch_overrides_schedule(self):
+        faulty = FaultInjectingSource(make_wrapper(), seed=0, dead=True)
+        from repro.wrappers import SourceError
+
+        with pytest.raises(SourceError):
+            faulty.answer(QUERY)
+        faulty.dead = False
+        assert len(faulty.answer(QUERY)) == 1
+
+    def test_latency_advances_the_injected_clock(self):
+        clock = ManualClock()
+        faulty = FaultInjectingSource(
+            make_wrapper(), seed=0, latency=2.5, clock=clock
+        )
+        faulty.answer(QUERY)
+        assert clock.now() == 2.5
+
+    def test_empty_and_malformed_outcomes(self):
+        faulty = FaultInjectingSource(make_wrapper(), seed=5, empty_rate=1.0)
+        assert faulty.answer(QUERY) == []
+        assert faulty.outcomes == ["empty"]
+        garbled = FaultInjectingSource(
+            make_wrapper(), seed=5, malformed_rate=1.0
+        )
+        answer = garbled.answer(QUERY)
+        assert not all(isinstance(item, OEMObject) for item in answer)
+
+    def test_forwards_identity_and_capability(self):
+        inner = make_wrapper("whois")
+        faulty = FaultInjectingSource(inner, seed=0)
+        assert faulty.name == "whois"
+        assert faulty.capability is inner.capability
+        assert faulty.schema_facts is inner.schema_facts
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjectingSource(make_wrapper(), fault_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultInjectingSource(make_wrapper(), latency=-1)
+
+
+class TestResilientSource:
+    def make_resilient(self, faulty, **kwargs):
+        clock = kwargs.pop("clock", None) or ManualClock()
+        kwargs.setdefault(
+            "policy", RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+        )
+        kwargs.setdefault(
+            "breaker",
+            CircuitBreaker(failure_threshold=5, cooldown=60, clock=clock),
+        )
+        return ResilientSource(faulty, clock=clock, **kwargs)
+
+    def test_transient_fault_is_retried_to_success(self):
+        faulty = FaultInjectingSource(make_wrapper(), seed=3, fault_rate=0.5)
+        resilient = self.make_resilient(faulty)
+        for _ in range(10):
+            assert len(resilient.answer(QUERY)) == 1
+        assert "fault" in faulty.outcomes  # retries really happened
+
+    def test_exhausted_retries_raise_source_unavailable(self):
+        faulty = FaultInjectingSource(make_wrapper(), seed=0, dead=True)
+        resilient = self.make_resilient(faulty)
+        with pytest.raises(SourceUnavailable) as info:
+            resilient.answer(QUERY)
+        assert info.value.source == "src"
+        assert info.value.attempts == 3
+        assert faulty.calls == 3
+
+    def test_backoff_consumes_manual_clock_time(self):
+        clock = ManualClock()
+        faulty = FaultInjectingSource(make_wrapper(), seed=0, dead=True)
+        resilient = self.make_resilient(faulty, clock=clock)
+        with pytest.raises(SourceUnavailable):
+            resilient.answer(QUERY)
+        # two retries: 0.1s then 0.2s of (simulated) backoff
+        assert clock.sleeps == [0.1, 0.2]
+
+    def test_deadline_budget_stops_retrying(self):
+        clock = ManualClock()
+        faulty = FaultInjectingSource(
+            make_wrapper(), seed=0, dead=True, latency=1.0, clock=clock
+        )
+        resilient = self.make_resilient(
+            faulty,
+            clock=clock,
+            policy=RetryPolicy(
+                max_attempts=10, base_delay=0.5, jitter=0.0, deadline=1.2
+            ),
+        )
+        with pytest.raises(SourceUnavailable):
+            resilient.answer(QUERY)
+        # first attempt takes 1.0s; a 0.5s backoff would overshoot 1.2s
+        assert faulty.calls == 1
+
+    def test_slow_answer_is_a_timeout_failure(self):
+        clock = ManualClock()
+        faulty = FaultInjectingSource(
+            make_wrapper(), seed=0, latency=2.0, clock=clock
+        )
+        resilient = self.make_resilient(
+            faulty,
+            clock=clock,
+            timeout=1.0,
+            policy=RetryPolicy(max_attempts=2, base_delay=0.1, jitter=0.0),
+        )
+        with pytest.raises(SourceUnavailable) as info:
+            resilient.answer(QUERY)
+        assert isinstance(info.value.cause, SourceTimeoutError)
+
+    def test_malformed_answer_is_retried(self):
+        faulty = FaultInjectingSource(
+            make_wrapper(), seed=9, malformed_rate=1.0
+        )
+        resilient = self.make_resilient(faulty)
+        with pytest.raises(SourceUnavailable) as info:
+            resilient.answer(QUERY)
+        assert isinstance(info.value.cause, MalformedResponseError)
+        assert faulty.calls == 3
+
+    def test_breaker_rejects_without_touching_the_source(self):
+        clock = ManualClock()
+        faulty = FaultInjectingSource(make_wrapper(), seed=0, dead=True)
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=60,
+                                 clock=clock)
+        resilient = self.make_resilient(
+            faulty, clock=clock, breaker=breaker,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0),
+        )
+        with pytest.raises(SourceUnavailable):
+            resilient.answer(QUERY)
+        assert breaker.state == OPEN
+        calls_when_open = faulty.calls
+        with pytest.raises(SourceUnavailable):
+            resilient.answer(QUERY)
+        assert faulty.calls == calls_when_open  # short-circuited
+
+    def test_breaker_half_open_probe_recovers(self):
+        clock = ManualClock()
+        faulty = FaultInjectingSource(make_wrapper(), seed=0, dead=True)
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=30,
+                                 clock=clock)
+        resilient = self.make_resilient(
+            faulty, clock=clock, breaker=breaker,
+            policy=RetryPolicy(max_attempts=2, base_delay=0.1, jitter=0.0),
+        )
+        with pytest.raises(SourceUnavailable):
+            resilient.answer(QUERY)
+        assert breaker.state == OPEN
+        clock.advance(30)
+        assert breaker.state == HALF_OPEN
+        faulty.dead = False  # the source came back
+        assert len(resilient.answer(QUERY)) == 1
+        assert breaker.state == CLOSED
+
+    def test_health_registry_records_everything(self):
+        health = HealthRegistry()
+        faulty = FaultInjectingSource(make_wrapper(), seed=3, fault_rate=0.5)
+        resilient = self.make_resilient(faulty, health=health)
+        for _ in range(10):
+            resilient.answer(QUERY)
+        status = health.status("src")
+        assert status.successes == 10
+        assert status.failures >= 1
+        assert status.retries == status.failures
+        assert status.attempts == status.successes + status.failures
+        assert status.breaker_state == CLOSED
+        assert "src" in health.render()
+
+    def test_export_goes_through_the_same_defenses(self):
+        faulty = FaultInjectingSource(make_wrapper(), seed=0, dead=True)
+        resilient = self.make_resilient(faulty)
+        with pytest.raises(SourceUnavailable):
+            resilient.export()
+
+    def test_stats_include_breaker_state(self):
+        resilient = self.make_resilient(
+            FaultInjectingSource(make_wrapper(), seed=0)
+        )
+        resilient.answer(QUERY)
+        stats = resilient.stats()
+        assert stats["breaker_state"] == CLOSED
+        assert stats["resilient_attempts"] == 1
+
+
+class TestResilienceManager:
+    def test_wrap_is_cached_per_source(self):
+        manager = ResilienceManager(ResilienceConfig(), clock=ManualClock())
+        wrapper = make_wrapper()
+        assert manager.wrap(wrapper) is manager.wrap(wrapper)
+        assert manager.breaker_for("src") is manager.wrap(wrapper).breaker
+
+    def test_describe_mentions_the_policy(self):
+        manager = ResilienceManager(
+            ResilienceConfig(
+                retry=RetryPolicy(max_attempts=4), timeout=2.0,
+                breaker_threshold=7,
+            )
+        )
+        text = manager.describe()
+        assert "retries: 3" in text
+        assert "timeout: 2s" in text
+        assert "open after 7" in text
+
+
+class TestSourceWarning:
+    def test_render(self):
+        warning = SourceWarning(
+            source="whois", message="down", attempts=3, error="SourceError"
+        )
+        assert "whois" in warning.render()
+        assert "3 attempt(s)" in warning.render()
+
+
+class TestRegistrySnapshots:
+    def test_reset_all_counters(self):
+        registry = SourceRegistry(make_wrapper("a"), make_wrapper("b"))
+        for source in registry:
+            source.answer(QUERY)
+        assert all(
+            s["queries_answered"] == 1
+            for s in registry.stats_snapshot().values()
+        )
+        registry.reset_all_counters()
+        assert all(
+            s["queries_answered"] == 0
+            for s in registry.stats_snapshot().values()
+        )
+
+    def test_snapshot_includes_resilient_sources(self):
+        registry = SourceRegistry()
+        resilient = ResilientSource(make_wrapper(), clock=ManualClock())
+        registry.register(resilient)
+        resilient.answer(QUERY)
+        stats = registry.stats_snapshot()["src"]
+        assert stats["queries_answered"] == 1
+        assert stats["breaker_state"] == CLOSED
+        registry.reset_all_counters()
+        assert registry.stats_snapshot()["src"]["queries_answered"] == 0
+
+
+class TestMediatorQueryAdmission:
+    def test_unparsable_query_raises_mediator_error(self):
+        scenario = build_scenario()
+        with pytest.raises(MediatorError) as info:
+            scenario.mediator.answer("X :- X:<cs_person {< }>@med")
+        message = str(info.value)
+        assert "invalid MSL query" in message
+        assert "line" in message  # the source position survived
+        assert info.value.line >= 1
+
+    def test_explain_wraps_parse_errors_too(self):
+        scenario = build_scenario()
+        with pytest.raises(MediatorError):
+            scenario.mediator.explain("@@@ not msl @@@")
+
+    def test_semantic_error_is_wrapped(self):
+        scenario = build_scenario()
+        # head variable Y never bound in the tail: a semantic error
+        with pytest.raises(MediatorError) as info:
+            scenario.mediator.answer("<a Y> :- <cs_person {<name N>}>@med")
+        assert "invalid MSL query" in str(info.value)
+
+    def test_valid_queries_still_answer(self):
+        scenario = build_scenario()
+        assert len(scenario.mediator.answer(JOE_CHUNG_QUERY)) == 1
+
+
+class TestMediatorResilienceSurface:
+    def test_rejects_unknown_failure_mode(self):
+        with pytest.raises(MediatorError):
+            Mediator(
+                "m",
+                "<a X> :- <rec {<name X>}>@src ;",
+                SourceRegistry(make_wrapper()),
+                on_source_failure="explode",
+            )
+
+    def test_query_returns_result_set_with_warnings(self):
+        registry = SourceRegistry()
+        registry.register(
+            FaultInjectingSource(make_wrapper(), seed=0, dead=True)
+        )
+        mediator = Mediator(
+            "m",
+            "<a X> :- <rec {<name X>}>@src ;",
+            registry,
+            on_source_failure="degrade",
+            resilience=ResilienceConfig(
+                retry=RetryPolicy(max_attempts=2, base_delay=0.1, jitter=0.0)
+            ),
+            clock=ManualClock(),
+        )
+        results = mediator.query("X :- X:<a V>@m")
+        assert len(results) == 0
+        assert not results.complete
+        assert results.warnings[0].source == "src"
+        assert results.warnings[0].attempts == 2
+        assert "degraded" in results.render_warnings()
+        assert "warning" in repr(results)
+
+    def test_explain_reports_resilience_section(self):
+        registry = SourceRegistry(make_wrapper())
+        mediator = Mediator(
+            "m",
+            "<a X> :- <rec {<name X>}>@src ;",
+            registry,
+            on_source_failure="degrade",
+            resilience=ResilienceConfig(timeout=1.5),
+            clock=ManualClock(),
+        )
+        text = mediator.explain("X :- X:<a V>@m")
+        assert "-- resilience --" in text
+        assert "on_source_failure=degrade" in text
+        assert "timeout: 1.5s" in text
+
+    def test_explain_has_no_resilience_section_by_default(self):
+        scenario = build_scenario()
+        assert "-- resilience --" not in scenario.mediator.explain(
+            JOE_CHUNG_QUERY
+        )
+
+    def test_trace_entries_record_attempts_and_latency(self):
+        clock = ManualClock()
+        registry = SourceRegistry()
+        registry.register(
+            FaultInjectingSource(
+                make_wrapper(), seed=0, latency=0.5, clock=clock
+            )
+        )
+        mediator = Mediator(
+            "m",
+            "<a X> :- <rec {<name X>}>@src ;",
+            registry,
+            trace=True,
+            resilience=ResilienceConfig(),
+            clock=clock,
+        )
+        mediator.answer("X :- X:<a V>@m")
+        trace = mediator.last_context.trace
+        touched = [entry for entry in trace if entry.attempts]
+        assert touched, "some node must have queried the source"
+        assert touched[0].attempts == 1
+        assert touched[0].latency == pytest.approx(0.5)
