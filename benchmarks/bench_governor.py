@@ -1,0 +1,113 @@
+"""Experiment G1 — cost and effect of the query governor.
+
+Two questions the governor must answer before it can sit on every
+datamerge run:
+
+* **overhead** — governing a run that stays within budget adds a row
+  admission check per intermediate row and a checkpoint per node;
+  against bare execution the end-to-end cost must stay within noise
+  (the ungoverned hot path is untouched: tables without a governor
+  bind the raw ``list.append``);
+* **effect** — truncate-mode budgets must actually bound the work: as
+  ``max_total_rows`` shrinks, admitted rows (and with them answer
+  size) shrink monotonically while the run still completes.
+
+Everything is deterministic: the workload is the seeded scaled
+scenario and no budget in the overhead measurement ever fires.
+"""
+
+import time
+
+from repro.datasets import build_scaled_scenario
+from repro.governor import QueryBudget
+
+PEOPLE = 200
+ROUNDS = 30
+
+
+def _query_for(scenario, index=PEOPLE // 2):
+    name = scenario.whois.export()[index].get("name")
+    return f"X :- X:<cs_person {{<name '{name}'>}}>@med"
+
+
+def _time_answers(mediator, query, rounds=ROUNDS):
+    start = time.perf_counter()
+    for _ in range(rounds):
+        mediator.answer(query)
+    return (time.perf_counter() - start) / rounds
+
+
+def test_overhead_within_budget(artifact_sink, benchmark):
+    """Governed (budgets never firing) vs bare execution."""
+    bare = build_scaled_scenario(PEOPLE, push_mode="needed")
+    query = _query_for(bare)
+
+    governed = build_scaled_scenario(PEOPLE, push_mode="needed")
+    governed.mediator.budget = QueryBudget(
+        deadline=3600.0,
+        max_rows_per_table=10**9,
+        max_total_rows=10**9,
+        max_result_objects=10**9,
+        max_external_calls=10**9,
+    )
+
+    # warm both paths, then interleave timed rounds
+    bare.mediator.answer(query)
+    governed.mediator.answer(query)
+    bare_time = _time_answers(bare.mediator, query)
+    governed_time = _time_answers(governed.mediator, query)
+    overhead = governed_time / bare_time - 1.0
+
+    artifact_sink(
+        "governor overhead (budgets never firing)",
+        f"people={PEOPLE} rounds={ROUNDS}\n"
+        f"bare     : {bare_time * 1e3:8.3f} ms/answer\n"
+        f"governed : {governed_time * 1e3:8.3f} ms/answer\n"
+        f"overhead : {overhead * 100:+.2f}%  (target: within noise)",
+    )
+
+    result = benchmark(governed.mediator.answer, query)
+    assert len(result) <= 1
+    # generous CI bound; the artifact records the real number
+    assert overhead < 0.25, f"governor overhead {overhead:.1%}"
+
+
+def test_truncation_bounds_work(artifact_sink, benchmark):
+    """Admitted rows shrink monotonically with max_total_rows."""
+    query = "X :- X:<cs_person {}>@med"
+    rows = ["max_total_rows   rows admitted   answer objects   warnings"]
+    admitted_curve = []
+    for limit in (None, 400, 100, 25, 5):
+        scenario = build_scaled_scenario(50, push_mode="needed")
+        mediator = scenario.mediator
+        mediator.budget = (
+            QueryBudget(max_total_rows=limit) if limit else QueryBudget()
+        )
+        mediator.budget_mode = "truncate"
+        results = mediator.query(query)
+        governor = mediator.last_governor
+        admitted = governor.total_rows if governor else 0
+        admitted_curve.append((limit, admitted, len(results)))
+        rows.append(
+            f"{limit if limit else 'unlimited':>14}   {admitted:13d}"
+            f"   {len(results):14d}   {len(results.warnings):8d}"
+        )
+        if limit is not None:
+            assert admitted <= limit
+
+    # shrinking budgets never admit more rows or return more objects
+    for (_, high_rows, high_objs), (_, low_rows, low_objs) in zip(
+        admitted_curve, admitted_curve[1:]
+    ):
+        assert low_rows <= high_rows
+        assert low_objs <= high_objs
+
+    artifact_sink(
+        "governor truncation curve (seeded scaled scenario)",
+        "\n".join(rows),
+    )
+
+    scenario = build_scaled_scenario(50, push_mode="needed")
+    scenario.mediator.budget = QueryBudget(max_total_rows=100)
+    scenario.mediator.budget_mode = "truncate"
+    benchmark(scenario.mediator.answer, query)

@@ -17,6 +17,8 @@ The packages:
   view expansion, cost-based optimization, the datamerge engine;
 * :mod:`repro.reliability` — fault injection, retry/backoff, circuit
   breakers, and graceful degradation for flaky sources;
+* :mod:`repro.governor` — per-query resource budgets, cooperative
+  cancellation, and malformed-answer quarantine;
 * :mod:`repro.client` — client-side result materialization;
 * :mod:`repro.datasets` — the paper's running example and synthetic
   workloads.
@@ -30,6 +32,14 @@ Quickstart::
 """
 
 from repro.client import ResultSet
+from repro.governor import (
+    BudgetExceeded,
+    BudgetWarning,
+    CancellationToken,
+    QueryBudget,
+    QueryCancelled,
+    QueryGovernor,
+)
 from repro.mediator import Mediator
 from repro.msl import parse_query, parse_rule, parse_specification
 from repro.oem import OEMObject, parse_oem
@@ -50,10 +60,16 @@ from repro.wrappers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BudgetExceeded",
+    "BudgetWarning",
+    "CancellationToken",
     "Capability",
     "CircuitBreaker",
     "FaultInjectingSource",
     "Mediator",
+    "QueryBudget",
+    "QueryCancelled",
+    "QueryGovernor",
     "OEMObject",
     "OEMStoreWrapper",
     "RelationalWrapper",

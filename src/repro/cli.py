@@ -20,7 +20,13 @@ Usage::
   the reliability layer (retry with backoff, per-source circuit
   breaker, post-hoc timeout detection);
 * ``--degrade`` — a source that stays unavailable contributes an empty
-  answer instead of failing the query; warnings go to stderr.
+  answer instead of failing the query; warnings go to stderr;
+* ``--deadline`` / ``--max-rows`` / ``--max-total-rows`` /
+  ``--max-result-objects`` — per-query resource budgets, enforced by
+  the query governor; ``--budget-mode truncate`` clips instead of
+  aborting (warnings to stderr);
+* ``--quarantine-malformed`` — drop malformed sub-objects from source
+  answers instead of failing the query.
 
 The CLI registers only OEM-file sources; programmatic users wanting
 relational or custom wrappers use the library API directly.
@@ -34,6 +40,7 @@ from typing import Sequence
 
 from repro.client.result import ResultSet
 from repro.external.registry import default_registry
+from repro.governor.budget import QueryBudget
 from repro.mediator.mediator import Mediator
 from repro.oem.parser import parse_oem
 from repro.reliability.policy import RetryPolicy
@@ -128,6 +135,51 @@ def build_parser() -> argparse.ArgumentParser:
             " stderr) when a source stays unavailable"
         ),
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for each query run",
+    )
+    parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap each intermediate binding table at N rows",
+    )
+    parser.add_argument(
+        "--max-total-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap total intermediate rows across a run at N",
+    )
+    parser.add_argument(
+        "--max-result-objects",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the number of result objects at N",
+    )
+    parser.add_argument(
+        "--budget-mode",
+        choices=("strict", "truncate"),
+        default="strict",
+        help=(
+            "strict: abort when a budget is exceeded; truncate: clip"
+            " and finish with warnings (default: strict)"
+        ),
+    )
+    parser.add_argument(
+        "--quarantine-malformed",
+        action="store_true",
+        help=(
+            "drop malformed sub-objects from source answers (with"
+            " warnings on stderr) instead of failing the query"
+        ),
+    )
     return parser
 
 
@@ -218,6 +270,31 @@ def main(
             timeout=args.source_timeout,
         )
 
+    if args.deadline is not None and args.deadline <= 0:
+        print("error: --deadline must be positive", file=stderr)
+        return 2
+    for flag, value in (
+        ("--max-rows", args.max_rows),
+        ("--max-total-rows", args.max_total_rows),
+        ("--max-result-objects", args.max_result_objects),
+    ):
+        if value is not None and value <= 0:
+            print(f"error: {flag} must be positive", file=stderr)
+            return 2
+    budget = None
+    if (
+        args.deadline is not None
+        or args.max_rows is not None
+        or args.max_total_rows is not None
+        or args.max_result_objects is not None
+    ):
+        budget = QueryBudget(
+            deadline=args.deadline,
+            max_rows_per_table=args.max_rows,
+            max_total_rows=args.max_total_rows,
+            max_result_objects=args.max_result_objects,
+        )
+
     try:
         mediator = Mediator(
             args.mediator,
@@ -228,6 +305,11 @@ def main(
             strategy=args.strategy,
             on_source_failure="degrade" if args.degrade else "fail",
             resilience=resilience,
+            budget=budget,
+            budget_mode=args.budget_mode,
+            on_malformed_answer=(
+                "quarantine" if args.quarantine_malformed else "error"
+            ),
         )
     except Exception as exc:
         print(f"error: bad specification: {exc}", file=stderr)

@@ -27,9 +27,13 @@ class ResultSet:
 
     ``warnings`` carries the structured
     :class:`~repro.reliability.health.SourceWarning` records a mediator
-    produced in degrade mode — empty for a complete answer.  A result
-    with warnings is *partial*: every object in it is correct, but
-    objects depending on the degraded sources may be missing.
+    produced in degrade mode, plus any
+    :class:`~repro.governor.budget.BudgetWarning` records a
+    truncate-mode governor produced — empty for a complete answer.  A
+    result with warnings is *partial*: every object in it is correct,
+    but objects may be missing.  Repeated identical warnings (same
+    source and error, or same budget and plan node) are aggregated into
+    one record carrying a ``count``.
     """
 
     def __init__(
@@ -37,8 +41,10 @@ class ResultSet:
         objects: Sequence[OEMObject],
         warnings: Sequence["SourceWarning"] = (),
     ) -> None:
+        from repro.reliability.health import aggregate_warnings
+
         self._objects = list(objects)
-        self.warnings: list["SourceWarning"] = list(warnings)
+        self.warnings: list["SourceWarning"] = aggregate_warnings(warnings)
 
     @property
     def complete(self) -> bool:

@@ -1,0 +1,43 @@
+"""Per-query resource governance for the MSI pipeline.
+
+PR 1's reliability layer protects the mediator from *sources* that
+fail; this package protects it from queries and answers that misbehave:
+
+* :mod:`repro.governor.budget` — :class:`QueryBudget` (wall-clock
+  deadline, row and result-object ceilings, external-call and
+  OEM-shape limits), the cooperative :class:`CancellationToken`, and
+  the :class:`QueryGovernor` runtime that enforces them at plan-node
+  boundaries, on every :class:`~repro.mediator.tables.BindingTable`
+  row, and around external-function calls;
+* :mod:`repro.governor.sanitizer` — :class:`AnswerSanitizer`, which
+  validates every source answer (labels, atom types, nesting depth,
+  cycles, answer size) before it enters a binding table and, in
+  lenient mode, quarantines malformed sub-objects with per-source
+  warnings instead of crashing the run.
+
+Two enforcement modes mirror the reliability layer's design: ``strict``
+raises a structured :class:`BudgetExceeded`; ``truncate`` clips the
+offending table, finishes the run, and attaches
+:class:`BudgetWarning`\\ s to the result set.
+"""
+
+from repro.governor.budget import (
+    BudgetExceeded,
+    BudgetWarning,
+    CancellationToken,
+    QueryBudget,
+    QueryCancelled,
+    QueryGovernor,
+)
+from repro.governor.sanitizer import AnswerSanitizer, DEFAULT_MAX_DEPTH
+
+__all__ = [
+    "AnswerSanitizer",
+    "BudgetExceeded",
+    "BudgetWarning",
+    "CancellationToken",
+    "DEFAULT_MAX_DEPTH",
+    "QueryBudget",
+    "QueryCancelled",
+    "QueryGovernor",
+]

@@ -28,6 +28,7 @@ from repro.wrappers.base import SourceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.external.registry import ExternalRegistry
+    from repro.governor.budget import QueryGovernor
     from repro.mediator.statistics import SourceStatistics
     from repro.reliability.resilient import ResilienceManager
     from repro.wrappers.registry import SourceRegistry
@@ -69,6 +70,7 @@ class ExecutionContext:
     warnings: list[SourceWarning] = field(default_factory=list)
     attempts_made: int = 0
     source_latency: float = 0.0
+    governor: "QueryGovernor | None" = None
 
     def send_query(self, source_name: str, query: Rule) -> list[OEMObject]:
         """Ship ``query`` to a source, with accounting and statistics.
@@ -78,7 +80,19 @@ class ExecutionContext:
         breaker).  In ``degrade`` mode a source that still fails
         contributes an empty answer and a :class:`SourceWarning`
         instead of aborting the whole datamerge run.
+
+        With a :class:`QueryGovernor` attached, the run-level deadline
+        and cancellation token are checked *before* the call is shipped
+        (so the engine cannot burn unbounded time between calls), and
+        the answer passes through the governor's sanitizer before it
+        may enter a binding table.
         """
+        if self.governor is not None and not self.governor.allow_source_call(
+            source_name
+        ):
+            # truncate mode past the deadline: contribute nothing,
+            # warned once by the governor
+            return []
         source = self.sources.resolve(source_name)
         if self.resilience is not None:
             source = self.resilience.wrap(source)
@@ -91,6 +105,13 @@ class ExecutionContext:
         degraded = False
         try:
             result = source.answer(query)
+            if self.governor is not None:
+                # strict sanitation raises MalformedAnswerError, which
+                # is a SourceError: degrade mode treats a malformed
+                # source like an unavailable one
+                result = self.governor.sanitize_answer(
+                    source_name, result, sink=self.warnings
+                )
         except SourceError as exc:
             if self.on_source_failure != "degrade":
                 raise
@@ -153,11 +174,22 @@ class DatamergeEngine:
     def execute(
         self, plan: PhysicalPlan, context: ExecutionContext
     ) -> BindingTable:
-        """Run ``plan`` bottom-up; return the root's output table."""
+        """Run ``plan`` bottom-up; return the root's output table.
+
+        With a governor attached, every node boundary is a cooperative
+        checkpoint: the cancellation token and the run deadline are
+        checked before each node executes, and the governor learns
+        which node is running so budget violations can name it.
+        """
         if self.trace_enabled and context.trace is None:
             context.trace = []
+        governor = context.governor
+        if governor is not None:
+            governor.start()
         outputs: dict[int, BindingTable] = {}
         for node in plan.nodes():
+            if governor is not None:
+                governor.enter_node(node)
             inputs = [outputs[id(child)] for child in node.inputs]
             attempts_before = context.attempts_made
             latency_before = context.source_latency

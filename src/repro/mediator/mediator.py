@@ -33,6 +33,12 @@ from typing import Iterator, Sequence
 
 from repro.client.result import ResultSet
 from repro.external.registry import ExternalRegistry, default_registry
+from repro.governor.budget import (
+    CancellationToken,
+    QueryBudget,
+    QueryGovernor,
+)
+from repro.governor.sanitizer import AnswerSanitizer, DEFAULT_MAX_DEPTH
 from repro.mediator.engine import DatamergeEngine, ExecutionContext
 from repro.mediator.fusion import fuse_objects, has_semantic_oids
 from repro.mediator.logical import LogicalDatamergeProgram, LogicalRule
@@ -54,7 +60,7 @@ from repro.msl.parser import parse_specification
 from repro.oem.compare import eliminate_duplicates, structural_key
 from repro.oem.model import OEMObject
 from repro.oem.oid import OidGenerator
-from repro.reliability.clock import Clock
+from repro.reliability.clock import Clock, MonotonicClock
 from repro.reliability.health import SourceWarning
 from repro.reliability.resilient import ResilienceConfig, ResilienceManager
 from repro.wrappers.base import Source, SourceError
@@ -85,6 +91,10 @@ class Mediator(Source):
         on_source_failure: str = "fail",
         resilience: ResilienceConfig | ResilienceManager | None = None,
         clock: Clock | None = None,
+        budget: QueryBudget | None = None,
+        budget_mode: str = "strict",
+        on_malformed_answer: str = "error",
+        cancellation: CancellationToken | None = None,
     ) -> None:
         if not name or not name.isidentifier():
             raise MediatorError(f"invalid mediator name {name!r}")
@@ -92,6 +102,16 @@ class Mediator(Source):
             raise MediatorError(
                 "on_source_failure must be 'fail' or 'degrade',"
                 f" got {on_source_failure!r}"
+            )
+        if budget_mode not in ("strict", "truncate"):
+            raise MediatorError(
+                "budget_mode must be 'strict' or 'truncate',"
+                f" got {budget_mode!r}"
+            )
+        if on_malformed_answer not in ("error", "quarantine"):
+            raise MediatorError(
+                "on_malformed_answer must be 'error' or 'quarantine',"
+                f" got {on_malformed_answer!r}"
             )
         self.name = name
         if isinstance(specification, str):
@@ -125,6 +145,13 @@ class Mediator(Source):
         self.last_warnings: list[SourceWarning] = []
         self._warning_depth = 0
 
+        self.budget = budget
+        self.budget_mode = budget_mode
+        self.on_malformed_answer = on_malformed_answer
+        self.cancellation = cancellation
+        self._clock = clock or MonotonicClock()
+        self.last_governor: QueryGovernor | None = None
+
         self.is_recursive = any(
             condition.source == name
             for rule in specification.rules
@@ -149,16 +176,20 @@ class Mediator(Source):
                 or _query_uses_wildcards(query, self.name)
                 or _query_constrains_types(query, self.name)
             ):
-                return self._answer_by_materialization(query)
-
-            program = self.expander.expand(query)
-            self.last_program = program
-            plan = self.optimizer.plan_program(program)
-            context = self._context()
-            objects = self.engine.execute_to_objects(plan, context)
-            self.last_context = context
-            if has_semantic_oids(objects):
-                objects = fuse_objects(objects)
+                objects = self._answer_by_materialization(query)
+            else:
+                program = self.expander.expand(query)
+                self.last_program = program
+                plan = self.optimizer.plan_program(program)
+                context = self._context()
+                objects = self.engine.execute_to_objects(plan, context)
+                self.last_context = context
+                if has_semantic_oids(objects):
+                    objects = fuse_objects(objects)
+            if self.last_governor is not None:
+                # final guard: covers the materialization paths, which
+                # never run a constructor node
+                objects = self.last_governor.enforce_result_limit(objects)
             return objects
 
     def query(self, query: str | Rule) -> ResultSet:
@@ -175,18 +206,23 @@ class Mediator(Source):
         """Materialize the whole view (all rules, no conditions)."""
         with self._warning_scope():
             if self.is_recursive:
-                return self._fixpoint_materialize()
-            results: list[OEMObject] = []
-            context = self._context()
-            for rule in self.specification.rules:
-                plan = self.optimizer.plan_rule(LogicalRule(rule))
-                results.extend(
-                    self.engine.execute_to_objects(plan, context)
+                results = self._fixpoint_materialize()
+            else:
+                results = []
+                context = self._context()
+                for rule in self.specification.rules:
+                    plan = self.optimizer.plan_rule(LogicalRule(rule))
+                    results.extend(
+                        self.engine.execute_to_objects(plan, context)
+                    )
+                self.last_context = context
+                results = eliminate_duplicates(results)
+                if has_semantic_oids(results):
+                    results = fuse_objects(results)
+            if self.last_governor is not None:
+                results = self.last_governor.enforce_result_limit(
+                    list(results)
                 )
-            self.last_context = context
-            results = eliminate_duplicates(results)
-            if has_semantic_oids(results):
-                results = fuse_objects(results)
             return results
 
     # -- query admission ---------------------------------------------------
@@ -243,6 +279,9 @@ class Mediator(Source):
                 if health:
                     lines.append(health)
             text += "\n\n-- resilience --\n" + "\n".join(lines)
+        governor = self._make_governor([])
+        if governor is not None:
+            text += "\n\n-- governor --\n" + governor.describe()
         return text
 
     def health_snapshot(self):
@@ -257,15 +296,70 @@ class Mediator(Source):
 
         Nested entries (materialization calling :meth:`export`) share
         the outermost scope's list, so ``last_warnings`` reflects the
-        whole user-visible call.
+        whole user-visible call.  The scope also owns the run's
+        :class:`QueryGovernor`: one governor (budget counters, deadline
+        clock, cancellation token) spans the whole user-visible call,
+        nested materialization included.
         """
         if self._warning_depth == 0:
             self.last_warnings = []
+            self.last_governor = self._make_governor(self.last_warnings)
+            if self.last_governor is not None:
+                self.last_governor.start()
         self._warning_depth += 1
         try:
             yield
         finally:
             self._warning_depth -= 1
+
+    def _governor_clock(self) -> Clock:
+        """The governor reads time where the reliability layer does."""
+        if self.resilience is not None:
+            return self.resilience.clock
+        return self._clock
+
+    def _make_governor(self, warnings: list) -> QueryGovernor | None:
+        """A fresh per-run governor, or ``None`` when ungoverned.
+
+        Re-evaluated at every run so budgets (and the resilience
+        manager's clock) can be swapped on a live mediator.
+        """
+        budget = self.budget
+        if (
+            budget is None
+            and self.cancellation is None
+            and self.on_malformed_answer != "quarantine"
+        ):
+            return None
+        sanitizer = None
+        shaped = budget is not None and (
+            budget.max_depth is not None
+            or budget.max_answer_objects is not None
+        )
+        if shaped or self.on_malformed_answer == "quarantine":
+            sanitizer = AnswerSanitizer(
+                max_depth=(
+                    budget.max_depth
+                    if budget is not None and budget.max_depth is not None
+                    else DEFAULT_MAX_DEPTH
+                ),
+                max_objects=(
+                    budget.max_answer_objects if budget is not None else None
+                ),
+                mode=(
+                    "lenient"
+                    if self.on_malformed_answer == "quarantine"
+                    else "strict"
+                ),
+            )
+        return QueryGovernor(
+            budget=budget,
+            mode=self.budget_mode,
+            clock=self._governor_clock(),
+            token=self.cancellation,
+            warnings=warnings,
+            sanitizer=sanitizer,
+        )
 
     def _context(self) -> ExecutionContext:
         return ExecutionContext(
@@ -277,6 +371,7 @@ class Mediator(Source):
             resilience=self.resilience,
             on_source_failure=self.on_source_failure,
             warnings=self.last_warnings,
+            governor=self.last_governor,
         )
 
     def _export_source(self, name: str) -> Sequence[OEMObject]:
@@ -286,6 +381,9 @@ class Mediator(Source):
         mode an unavailable source contributes an empty forest plus a
         warning, mirroring :meth:`ExecutionContext.send_query`.
         """
+        governor = self.last_governor
+        if governor is not None and not governor.allow_source_call(name):
+            return []
         source = self.sources.resolve(name)
         if self.resilience is not None:
             attempts_before = self.resilience.health.attempts_of(name)
@@ -293,7 +391,12 @@ class Mediator(Source):
         else:
             attempts_before = 0
         try:
-            return source.export()
+            result = list(source.export())
+            if governor is not None:
+                result = governor.sanitize_answer(
+                    name, result, sink=self.last_warnings
+                )
+            return result
         except SourceError as exc:
             if self.on_source_failure != "degrade":
                 raise
@@ -355,6 +458,13 @@ class Mediator(Source):
         view: list[OEMObject] = []
         seen_keys: set = set()
         for _ in range(self.max_fixpoint_iterations):
+            if self.last_governor is not None:
+                # each fixpoint round is a cooperative checkpoint: an
+                # expired deadline or cancelled token stops a recursive
+                # view from iterating forever within its budget
+                self.last_governor.checkpoint()
+                if self.last_governor.expired:
+                    return view
             forests = dict(base_forests)
             forests[self.name] = view
             forests[None] = view

@@ -115,7 +115,11 @@ class QueryNode(PlanNode):
         self, inputs: list[BindingTable], context: "ExecutionContext"
     ) -> BindingTable:
         objects = context.send_query(self.source, self.query)
-        return BindingTable((OBJECT_COLUMN,), ([obj] for obj in objects))
+        return BindingTable(
+            (OBJECT_COLUMN,),
+            ([obj] for obj in objects),
+            governor=context.governor,
+        )
 
     def describe(self) -> str:
         return f"query {self.source}: {self.query}"
@@ -151,7 +155,10 @@ class ExtractorNode(PlanNode):
         carried = [c for c in table.columns if c != self.column]
         carried_positions = [table.position(c) for c in carried]
         new_columns = [v for v in self.variables if v not in carried]
-        result = BindingTable(tuple(carried) + tuple(new_columns))
+        result = BindingTable(
+            tuple(carried) + tuple(new_columns), governor=context.governor
+        )
+        add = result._appender()
         for row in table.rows:
             obj = row[position]
             if not isinstance(obj, OEMObject):
@@ -168,7 +175,7 @@ class ExtractorNode(PlanNode):
                     if c in env
                 ):
                     continue
-                result.rows.append(
+                add(
                     tuple(row[p] for p in carried_positions)
                     + tuple(env.get(v) for v in new_columns)
                 )
@@ -200,7 +207,14 @@ class ExternalPredNode(PlanNode):
             ):
                 out_vars.append(arg.name)
 
+        governor = context.governor
+
         def expand(row: Mapping[str, object]) -> Iterable[Sequence[object]]:
+            # each invocation is charged against the external-call
+            # budget; in truncate mode an exhausted budget skips the
+            # call, dropping the row (a subset, never invented data)
+            if governor is not None and not governor.charge_external_call():
+                return
             args: list[object] = []
             available: list[bool] = []
             for arg in self.call.args:
@@ -400,8 +414,11 @@ class ConstructorNode(PlanNode):
         projected = table.project(available)
         if self.deduplicate:
             projected = projected.distinct()
+        governor = context.governor
         objects: list[OEMObject] = []
         for row in projected.rows:
+            if governor is not None and not governor.charge_result_object():
+                break  # truncate mode: stop constructing, keep the run
             env = Bindings(dict(zip(projected.columns, row)))
             for item in self.head:
                 objects.extend(
@@ -409,7 +426,11 @@ class ConstructorNode(PlanNode):
                 )
         if self.deduplicate:
             objects = eliminate_duplicates(objects)
-        return BindingTable((RESULT_COLUMN,), ([obj] for obj in objects))
+        return BindingTable(
+            (RESULT_COLUMN,),
+            ([obj] for obj in objects),
+            governor=context.governor,
+        )
 
     def describe(self) -> str:
         return f"construct {' '.join(str(h) for h in self.head)}"
@@ -431,14 +452,16 @@ class UnionNode(PlanNode):
     def execute(
         self, inputs: list[BindingTable], context: "ExecutionContext"
     ) -> BindingTable:
-        result = BindingTable((RESULT_COLUMN,))
+        result = BindingTable((RESULT_COLUMN,), governor=context.governor)
+        add = result._appender()
         for table in inputs:
             if table.columns != (RESULT_COLUMN,):
                 raise TableError(
                     f"union inputs must be result tables, got"
                     f" {list(table.columns)}"
                 )
-            result.rows.extend(table.rows)
+            for row in table.rows:
+                add(row)
         if self.deduplicate:
             result = result.distinct()
         return result

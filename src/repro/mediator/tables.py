@@ -11,11 +11,14 @@ figure, including the heading row the paper adds "for readability".
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.msl.bindings import value_key, values_equal
 from repro.oem.model import OEMObject
 from repro.oem.printer import to_inline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.governor.budget import QueryGovernor
 
 __all__ = ["BindingTable", "TableError"]
 
@@ -25,22 +28,39 @@ class TableError(Exception):
 
 
 class BindingTable:
-    """An in-memory table of variable bindings."""
+    """An in-memory table of variable bindings.
 
-    __slots__ = ("columns", "rows", "_positions")
+    A table may carry a :class:`~repro.governor.budget.QueryGovernor`:
+    every row admission is then charged against the query's row budgets
+    (per-table and run-total) and checked for cooperative cancellation.
+    Tables derived by the relational operations inherit the governor.
+    Without one (the default), admission is a plain list append.
+    """
+
+    __slots__ = ("columns", "rows", "governor", "_positions")
 
     def __init__(
         self,
         columns: Sequence[str],
         rows: Iterable[Sequence[object]] = (),
+        governor: "QueryGovernor | None" = None,
     ) -> None:
         self.columns: tuple[str, ...] = tuple(columns)
         if len(set(self.columns)) != len(self.columns):
             raise TableError(f"duplicate column names in {self.columns}")
         self._positions = {name: i for i, name in enumerate(self.columns)}
         self.rows: list[tuple[object, ...]] = []
+        self.governor = governor
+        add = self._appender()
+        arity = len(self.columns)
         for row in rows:
-            self.append(row)
+            row = tuple(row)
+            if len(row) != arity:
+                raise TableError(
+                    f"row of arity {len(row)} does not fit columns"
+                    f" {list(self.columns)}"
+                )
+            add(row)
 
     # -- basic access ----------------------------------------------------
 
@@ -66,7 +86,24 @@ class BindingTable:
                 f"row of arity {len(row)} does not fit columns"
                 f" {list(self.columns)}"
             )
-        self.rows.append(row)
+        if self.governor is None or self.governor.admit_row(self):
+            self.rows.append(row)
+
+    def _admit(self, row: tuple[object, ...]) -> None:
+        """Governed fast-path append: no arity check, budget charged."""
+        if self.governor.admit_row(self):
+            self.rows.append(row)
+
+    def _appender(self) -> Callable[[tuple[object, ...]], None]:
+        """The cheapest correct way to add pre-shaped rows to this table.
+
+        Hot paths (joins, extends, plan nodes) bind this once per
+        table: ungoverned tables get the raw ``list.append``, governed
+        tables the budget-charging path.
+        """
+        if self.governor is None:
+            return self.rows.append
+        return self.governor.row_admitter(self)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -82,7 +119,9 @@ class BindingTable:
     def project(self, columns: Sequence[str]) -> "BindingTable":
         positions = [self.position(c) for c in columns]
         return BindingTable(
-            columns, ([row[p] for p in positions] for row in self.rows)
+            columns,
+            ([row[p] for p in positions] for row in self.rows),
+            governor=self.governor,
         )
 
     def filter(
@@ -91,6 +130,7 @@ class BindingTable:
         return BindingTable(
             self.columns,
             (row for row in self.rows if predicate(self.row_dict(row))),
+            governor=self.governor,
         )
 
     def extend(
@@ -106,7 +146,10 @@ class BindingTable:
         overlap = set(new_columns) & set(self.columns)
         if overlap:
             raise TableError(f"columns {sorted(overlap)} already exist")
-        result = BindingTable(tuple(self.columns) + tuple(new_columns))
+        result = BindingTable(
+            tuple(self.columns) + tuple(new_columns), governor=self.governor
+        )
+        add = result._appender()
         for row in self.rows:
             for extension in expander(self.row_dict(row)):
                 extension = tuple(extension)
@@ -115,18 +158,21 @@ class BindingTable:
                         f"expander produced arity {len(extension)},"
                         f" expected {len(new_columns)}"
                     )
-                result.rows.append(row + extension)
+                add(row + extension)
         return result
 
     def natural_join(self, other: "BindingTable") -> "BindingTable":
         """Hash join on all shared columns (structural value equality)."""
         shared = [c for c in self.columns if other.has_column(c)]
         other_only = [c for c in other.columns if not self.has_column(c)]
-        result = BindingTable(tuple(self.columns) + tuple(other_only))
+        result = BindingTable(
+            tuple(self.columns) + tuple(other_only), governor=self.governor
+        )
+        add = result._appender()
         if not shared:
             for left in self.rows:
                 for right in other.rows:
-                    result.rows.append(
+                    add(
                         left
                         + tuple(
                             right[other.position(c)] for c in other_only
@@ -147,7 +193,7 @@ class BindingTable:
                     values_equal(left[sp], right[op])
                     for sp, op in zip(shared_self, shared_other)
                 ):
-                    result.rows.append(
+                    add(
                         left + tuple(right[p] for p in positions_other_only)
                     )
         return result
@@ -160,12 +206,13 @@ class BindingTable:
             else list(range(len(self.columns)))
         )
         seen: set[tuple] = set()
-        result = BindingTable(self.columns)
+        result = BindingTable(self.columns, governor=self.governor)
+        add = result._appender()
         for row in self.rows:
             key = tuple(value_key(row[p]) for p in interesting)
             if key not in seen:
                 seen.add(key)
-                result.rows.append(row)
+                add(row)
         return result
 
     # -- display (the Figure 3.6 rectangles) ------------------------------

@@ -18,12 +18,14 @@ from repro.reliability.clock import Clock, ManualClock, MonotonicClock
 from repro.reliability.faults import (
     FaultInjectingSource,
     MALFORMED,
+    MALFORMED_KINDS,
     TransientSourceError,
 )
 from repro.reliability.health import (
     HealthRegistry,
     SourceHealth,
     SourceWarning,
+    aggregate_warnings,
 )
 from repro.reliability.policy import (
     CLOSED,
@@ -49,6 +51,7 @@ __all__ = [
     "HALF_OPEN",
     "HealthRegistry",
     "MALFORMED",
+    "MALFORMED_KINDS",
     "MalformedResponseError",
     "ManualClock",
     "MonotonicClock",
@@ -62,4 +65,5 @@ __all__ = [
     "SourceUnavailable",
     "SourceWarning",
     "TransientSourceError",
+    "aggregate_warnings",
 ]

@@ -7,8 +7,12 @@ failure modes an autonomous source exhibits in the wild:
 * transient errors (:class:`TransientSourceError`) at ``fault_rate``;
 * simulated latency — the injected clock is advanced, never slept on;
 * empty answers at ``empty_rate`` (the source "worked" but lost data);
-* malformed answers at ``malformed_rate`` (non-OEM garbage a resilient
-  caller must detect and treat as a failure);
+* malformed answers at ``malformed_rate`` — the shape is picked by
+  ``malformed_kind``: ``"flat"`` (non-OEM garbage, the classic), or
+  the governor-era kinds ``"malformed_typed"`` (an object whose
+  declared type lies about its value), ``"malformed_deep"`` (absurdly
+  nested but otherwise valid OEM), and ``"malformed_cyclic"`` (a
+  reference cycle) — everything an answer sanitizer must catch;
 * a ``dead`` switch for sustained outages (breaker tests flip it).
 
 The same seed always yields the same schedule — the outcome of call
@@ -26,7 +30,12 @@ from repro.oem.model import OEMObject
 from repro.reliability.clock import Clock, ManualClock
 from repro.wrappers.base import Source, SourceError
 
-__all__ = ["TransientSourceError", "FaultInjectingSource", "MALFORMED"]
+__all__ = [
+    "TransientSourceError",
+    "FaultInjectingSource",
+    "MALFORMED",
+    "MALFORMED_KINDS",
+]
 
 
 class TransientSourceError(SourceError):
@@ -36,6 +45,39 @@ class TransientSourceError(SourceError):
 #: Sentinel object returned inside a "malformed" answer.  It is not an
 #: :class:`OEMObject`, so response validation must reject the answer.
 MALFORMED = "<<malformed-oem-response>>"
+
+#: Recognised shapes for an injected malformed answer.
+MALFORMED_KINDS = frozenset({"flat", "deep", "typed", "cyclic"})
+
+
+def _malformed_deep(depth: int = 100) -> OEMObject:
+    """A validly-typed object nested far past any sane answer depth."""
+    obj = OEMObject("leaf", "bottom", "string")
+    for level in range(depth):
+        obj = OEMObject(f"level{depth - level}", (obj,), "set")
+    return obj
+
+
+def _malformed_typed() -> OEMObject:
+    """An object whose declared type lies about its value.
+
+    The constructor validates type/value agreement, so the corruption
+    is applied afterwards with ``object.__setattr__`` — exactly how a
+    buggy wrapper ships a record that *looks* like OEM but is not.
+    """
+    obj = OEMObject("count", 7, "integer")
+    object.__setattr__(obj, "value", "seven")  # integer carrying a str
+    bad_label = OEMObject("name", "Joe Chung", "string")
+    object.__setattr__(bad_label, "label", 42)  # non-string label
+    return OEMObject("person", (obj, bad_label), "set")
+
+
+def _malformed_cyclic() -> OEMObject:
+    """A set object whose child tuple points back at an ancestor."""
+    inner = OEMObject("inner", (), "set")
+    outer = OEMObject("outer", (inner,), "set")
+    object.__setattr__(inner, "value", (outer,))
+    return outer
 
 
 class FaultInjectingSource(Source):
@@ -55,6 +97,7 @@ class FaultInjectingSource(Source):
         fault_rate: float = 0.0,
         empty_rate: float = 0.0,
         malformed_rate: float = 0.0,
+        malformed_kind: str = "flat",
         latency: float = 0.0,
         dead: bool = False,
         clock: Clock | None = None,
@@ -68,12 +111,18 @@ class FaultInjectingSource(Source):
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if latency < 0:
             raise ValueError("latency must be non-negative")
+        if malformed_kind not in MALFORMED_KINDS:
+            raise ValueError(
+                f"malformed_kind must be one of"
+                f" {sorted(MALFORMED_KINDS)}, got {malformed_kind!r}"
+            )
         self.inner = inner
         self.name = inner.name
         self.seed = seed
         self.fault_rate = fault_rate
         self.empty_rate = empty_rate
         self.malformed_rate = malformed_rate
+        self.malformed_kind = malformed_kind
         self.latency = latency
         self.dead = dead
         self.clock = clock or ManualClock()
@@ -121,9 +170,19 @@ class FaultInjectingSource(Source):
         if outcome == "empty":
             return []
         if outcome == "malformed":
-            return [MALFORMED]  # type: ignore[list-item]
+            return self._malformed_answer()
         self.inner_calls += 1
         return produce()
+
+    def _malformed_answer(self) -> list[OEMObject]:
+        """Build one malformed answer in the configured shape."""
+        if self.malformed_kind == "deep":
+            return [_malformed_deep()]
+        if self.malformed_kind == "typed":
+            return [_malformed_typed()]
+        if self.malformed_kind == "cyclic":
+            return [_malformed_cyclic()]
+        return [MALFORMED]  # type: ignore[list-item]
 
     # -- the Source interface ----------------------------------------------
 

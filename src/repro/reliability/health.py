@@ -13,7 +13,12 @@ from dataclasses import dataclass, replace
 
 from repro.reliability.policy import CLOSED, CircuitBreaker
 
-__all__ = ["SourceHealth", "SourceWarning", "HealthRegistry"]
+__all__ = [
+    "SourceHealth",
+    "SourceWarning",
+    "HealthRegistry",
+    "aggregate_warnings",
+]
 
 
 @dataclass(frozen=True)
@@ -24,16 +29,61 @@ class SourceWarning:
     budget (or its breaker is open) and the mediator substitutes an
     empty answer.  Carried on :class:`~repro.client.result.ResultSet`
     so clients can tell a complete answer from a degraded one.
+    ``count`` reports how many identical warnings (same source, same
+    error class) were folded into this one by
+    :func:`aggregate_warnings`.
     """
 
     source: str
     message: str
     attempts: int = 0
     error: str | None = None
+    count: int = 1
+
+    def signature(self) -> tuple:
+        """Aggregation key: same source + same error class collapse."""
+        return (type(self).__name__, self.source, self.error)
 
     def render(self) -> str:
         suffix = f" after {self.attempts} attempt(s)" if self.attempts else ""
-        return f"source {self.source!r} degraded{suffix}: {self.message}"
+        repeat = f" [x{self.count}]" if self.count > 1 else ""
+        return (
+            f"source {self.source!r} degraded{suffix}:"
+            f" {self.message}{repeat}"
+        )
+
+
+def aggregate_warnings(warnings) -> list:
+    """Fold repeated identical warnings into one record with a count.
+
+    Warnings sharing a ``signature()`` (same source + error class for
+    :class:`SourceWarning`, same budget + node for the governor's
+    ``BudgetWarning``) collapse to the first occurrence with ``count``
+    set to the total and, where present, ``attempts`` summed — so a
+    50-row degrade run renders one line, not 50.  Objects without a
+    ``signature`` pass through untouched; insertion order is kept.
+    """
+    grouped: dict[object, list] = {}
+    order: list[object] = []
+    for warning in warnings:
+        signature = getattr(warning, "signature", None)
+        key = signature() if callable(signature) else id(warning)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(warning)
+    result = []
+    for key in order:
+        group = grouped[key]
+        first = group[0]
+        if len(group) == 1:
+            result.append(first)
+            continue
+        updates: dict[str, object] = {"count": sum(w.count for w in group)}
+        if hasattr(first, "attempts"):
+            updates["attempts"] = sum(w.attempts for w in group)
+        result.append(replace(first, **updates))
+    return result
 
 
 @dataclass

@@ -30,11 +30,32 @@ from repro.wrappers.capability import (
     FULL_CAPABILITY,
 )
 
-__all__ = ["Source", "Wrapper", "SourceError"]
+__all__ = ["Source", "Wrapper", "SourceError", "MalformedAnswerError"]
 
 
 class SourceError(Exception):
     """A query could not be served by a source."""
+
+
+class MalformedAnswerError(SourceError):
+    """A source's answer contained structurally invalid OEM.
+
+    Raised by the governor's strict-mode
+    :class:`~repro.governor.sanitizer.AnswerSanitizer` when an answer
+    carries a non-OEM item, a corrupt label or atom type, a cycle, or
+    exceeds the nesting-depth / answer-size budget.  It is a
+    :class:`SourceError`, so a degrade-mode mediator treats a
+    malformed source exactly like an unavailable one.
+    """
+
+    def __init__(self, source: str, issues: Sequence[str]) -> None:
+        preview = "; ".join(issues[:3])
+        more = f" (+{len(issues) - 3} more)" if len(issues) > 3 else ""
+        super().__init__(
+            f"source {source!r} returned malformed OEM: {preview}{more}"
+        )
+        self.source = source
+        self.issues = list(issues)
 
 
 class Source(abc.ABC):

@@ -1,0 +1,297 @@
+"""End-to-end behaviour of governed mediator runs.
+
+The acceptance scenarios of the query governor: a query that exceeds
+its budget aborts with a structured :class:`BudgetExceeded` in strict
+mode and finishes with a partial, warned answer in truncate mode; a
+source returning malformed OEM no longer crashes the run in quarantine
+(or degrade) mode; cancellation and deadlines cut runs short without
+sleeping.
+"""
+
+import pytest
+
+from repro.datasets import (
+    JOE_CHUNG_QUERY,
+    MS1,
+    YEAR3_QUERY,
+    build_cs_database,
+    build_scenario,
+    build_whois_objects,
+)
+from repro.external.registry import default_registry
+from repro.governor import (
+    BudgetExceeded,
+    BudgetWarning,
+    CancellationToken,
+    QueryBudget,
+    QueryCancelled,
+)
+from repro.mediator import Mediator
+from repro.oem import structural_key
+from repro.reliability import (
+    FaultInjectingSource,
+    ManualClock,
+    ResilienceConfig,
+)
+from repro.wrappers import OEMStoreWrapper, RelationalWrapper, SourceRegistry
+from repro.wrappers.base import MalformedAnswerError
+
+ALL_PERSONS = "P :- P:<cs_person {}>@med"
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+def budgeted_scenario(budget, mode="strict", **mediator_kwargs):
+    scenario = build_scenario()
+    mediator = scenario.mediator
+    mediator.budget = budget
+    mediator.budget_mode = mode
+    for key, value in mediator_kwargs.items():
+        setattr(mediator, key, value)
+    return mediator
+
+
+def malformed_scenario(kind, **mediator_kwargs):
+    registry = SourceRegistry()
+    registry.register(
+        FaultInjectingSource(
+            OEMStoreWrapper("whois", build_whois_objects()),
+            seed=11,
+            malformed_rate=1.0,
+            malformed_kind=kind,
+        )
+    )
+    registry.register(RelationalWrapper("cs", build_cs_database()))
+    return Mediator(
+        "med", MS1, registry, default_registry(), **mediator_kwargs
+    )
+
+
+class TestStrictBudgets:
+    def test_exceeding_total_rows_raises_structured_error(self):
+        mediator = budgeted_scenario(QueryBudget(max_total_rows=4))
+        with pytest.raises(BudgetExceeded) as excinfo:
+            mediator.answer(ALL_PERSONS)
+        error = excinfo.value
+        assert error.budget == "max_total_rows"
+        assert error.observed == 5
+        assert error.limit == 4
+        assert error.node  # names the plan node that overflowed
+        assert "max_total_rows" in str(error)
+
+    def test_exceeding_per_table_rows_raises(self):
+        mediator = budgeted_scenario(QueryBudget(max_rows_per_table=1))
+        with pytest.raises(BudgetExceeded) as excinfo:
+            mediator.answer(ALL_PERSONS)
+        assert excinfo.value.budget == "max_rows_per_table"
+
+    def test_exceeding_external_calls_raises(self):
+        mediator = budgeted_scenario(QueryBudget(max_external_calls=1))
+        with pytest.raises(BudgetExceeded) as excinfo:
+            mediator.answer(YEAR3_QUERY)  # needs 3 decomp calls
+        assert excinfo.value.budget == "max_external_calls"
+
+    def test_exceeding_result_objects_raises(self):
+        mediator = budgeted_scenario(QueryBudget(max_result_objects=1))
+        with pytest.raises(BudgetExceeded) as excinfo:
+            mediator.answer(ALL_PERSONS)  # two cs persons
+        assert excinfo.value.budget == "max_result_objects"
+
+    def test_query_within_budget_is_untouched(self):
+        baseline = canonical(build_scenario().mediator.answer(ALL_PERSONS))
+        mediator = budgeted_scenario(
+            QueryBudget(
+                deadline=60.0,
+                max_rows_per_table=1000,
+                max_total_rows=10_000,
+                max_result_objects=100,
+                max_external_calls=100,
+            )
+        )
+        results = mediator.query(ALL_PERSONS)
+        assert canonical(results.objects()) == baseline
+        assert results.complete
+
+
+class TestTruncateBudgets:
+    def test_truncated_run_finishes_with_budget_warnings(self):
+        mediator = budgeted_scenario(
+            QueryBudget(max_total_rows=4), mode="truncate"
+        )
+        results = mediator.query(ALL_PERSONS)
+        assert not results.complete
+        budget_warnings = [
+            w for w in results.warnings if isinstance(w, BudgetWarning)
+        ]
+        assert budget_warnings
+        assert {w.budget for w in budget_warnings} == {"max_total_rows"}
+        baseline = canonical(build_scenario().mediator.answer(ALL_PERSONS))
+        assert set(canonical(results.objects())) <= set(baseline)
+
+    def test_result_cap_clips_answer_to_exactly_n(self):
+        mediator = budgeted_scenario(
+            QueryBudget(max_result_objects=1), mode="truncate"
+        )
+        results = mediator.query(ALL_PERSONS)
+        assert len(results) == 1
+        assert any(
+            w.budget == "max_result_objects" for w in results.warnings
+        )
+
+    def test_explain_reports_the_governor(self):
+        mediator = budgeted_scenario(
+            QueryBudget(max_total_rows=7), mode="truncate"
+        )
+        text = mediator.explain(JOE_CHUNG_QUERY)
+        assert "-- governor --" in text
+        assert "mode: truncate" in text
+        assert "max_total_rows=7" in text
+
+    def test_export_respects_result_cap(self):
+        mediator = budgeted_scenario(
+            QueryBudget(max_result_objects=1), mode="truncate"
+        )
+        results = list(mediator.export())
+        assert len(results) == 1
+
+
+class TestDeadlines:
+    def slow_mediator(self, mode, latency=0.4, deadline=0.5):
+        clock = ManualClock()
+        registry = SourceRegistry()
+        registry.register(
+            FaultInjectingSource(
+                OEMStoreWrapper("whois", build_whois_objects()),
+                latency=latency,
+                clock=clock,
+            )
+        )
+        registry.register(
+            FaultInjectingSource(
+                RelationalWrapper("cs", build_cs_database()),
+                latency=latency,
+                clock=clock,
+            )
+        )
+        return Mediator(
+            "med",
+            MS1,
+            registry,
+            default_registry(),
+            resilience=ResilienceConfig(),
+            clock=clock,
+            budget=QueryBudget(deadline=deadline),
+            budget_mode=mode,
+        )
+
+    def test_strict_deadline_aborts_without_sleeping(self):
+        mediator = self.slow_mediator("strict")
+        with pytest.raises(BudgetExceeded) as excinfo:
+            mediator.answer(ALL_PERSONS)
+        assert excinfo.value.budget == "deadline"
+
+    def test_truncate_deadline_returns_partial_answer(self):
+        mediator = self.slow_mediator("truncate")
+        results = mediator.query(ALL_PERSONS)
+        baseline = canonical(build_scenario().mediator.answer(ALL_PERSONS))
+        assert set(canonical(results.objects())) <= set(baseline)
+        assert any(w.budget == "deadline" for w in results.warnings)
+
+    def test_fast_sources_beat_the_deadline(self):
+        mediator = self.slow_mediator("strict", latency=0.01, deadline=60.0)
+        baseline = canonical(build_scenario().mediator.answer(ALL_PERSONS))
+        assert canonical(mediator.answer(ALL_PERSONS)) == baseline
+
+
+class TestCancellation:
+    def test_pre_cancelled_token_stops_the_run(self):
+        token = CancellationToken()
+        token.cancel("operator abort")
+        mediator = budgeted_scenario(
+            QueryBudget(max_total_rows=1000), cancellation=token
+        )
+        with pytest.raises(QueryCancelled, match="operator abort"):
+            mediator.answer(ALL_PERSONS)
+
+    def test_token_without_budget_is_enough_to_govern(self):
+        token = CancellationToken()
+        mediator = build_scenario().mediator
+        mediator.cancellation = token
+        results = mediator.query(ALL_PERSONS)  # live token: normal run
+        assert results.complete
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            mediator.answer(ALL_PERSONS)
+
+
+class TestMalformedAnswers:
+    @pytest.mark.parametrize("kind", ["flat", "deep", "typed", "cyclic"])
+    def test_quarantine_mode_never_crashes(self, kind):
+        mediator = malformed_scenario(
+            kind, on_malformed_answer="quarantine"
+        )
+        results = mediator.query(ALL_PERSONS)
+        assert not results.complete
+        assert all(
+            w.error == "MalformedAnswer" for w in results.warnings
+        )
+
+    def test_error_mode_with_sanitizer_raises(self):
+        mediator = malformed_scenario(
+            "typed", budget=QueryBudget(max_depth=64)
+        )
+        with pytest.raises(MalformedAnswerError) as excinfo:
+            mediator.answer(ALL_PERSONS)
+        assert excinfo.value.source == "whois"
+        assert excinfo.value.issues
+
+    def test_degrade_mode_treats_malformed_source_as_unavailable(self):
+        mediator = malformed_scenario(
+            "cyclic",
+            budget=QueryBudget(max_depth=64),
+            on_source_failure="degrade",
+        )
+        results = mediator.query(ALL_PERSONS)
+        assert results.objects() == []
+        (warning,) = results.warnings
+        assert warning.source == "whois"
+        assert warning.error == "MalformedAnswerError"
+
+    def test_repeated_identical_warnings_fold_with_count(self):
+        mediator = malformed_scenario(
+            "typed", on_malformed_answer="quarantine"
+        )
+        results = mediator.query(ALL_PERSONS)
+        # the typed answer carries two corrupt sub-objects per call;
+        # identical (source, error) pairs fold into one counted record
+        (warning,) = [
+            w for w in results.warnings if w.source == "whois"
+        ]
+        assert warning.count >= 2
+        assert f"[x{warning.count}]" in warning.render()
+
+    def test_quarantine_keeps_well_formed_objects(self):
+        # one malformed call out of many: the clean answers survive
+        registry = SourceRegistry()
+        registry.register(
+            FaultInjectingSource(
+                OEMStoreWrapper("whois", build_whois_objects()),
+                seed=5,
+                malformed_rate=0.0,
+                malformed_kind="typed",
+            )
+        )
+        registry.register(RelationalWrapper("cs", build_cs_database()))
+        mediator = Mediator(
+            "med",
+            MS1,
+            registry,
+            default_registry(),
+            on_malformed_answer="quarantine",
+        )
+        baseline = canonical(build_scenario().mediator.answer(ALL_PERSONS))
+        results = mediator.query(ALL_PERSONS)
+        assert canonical(results.objects()) == baseline
+        assert results.complete

@@ -1,0 +1,136 @@
+"""Property: governed answers never invent data.
+
+Mirror of :mod:`tests.property.test_degradation_properties` for the
+query governor.  For any budget, a truncate-mode run's answer is a
+*subset* (by structural key) of the unbudgeted answer — clipping can
+lose results, never fabricate or corrupt them.  A run that finishes
+without budget warnings is exactly the unbudgeted answer.  And the
+answer sanitizer, fed arbitrarily corrupted OEM, never crashes and is
+idempotent on its own output.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import JOE_CHUNG_QUERY, YEAR3_QUERY, build_scenario
+from repro.governor import AnswerSanitizer, BudgetWarning, QueryBudget
+from repro.oem import structural_key
+from repro.oem.model import OEMObject
+
+QUERIES = [JOE_CHUNG_QUERY, YEAR3_QUERY]
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+budgets = st.builds(
+    QueryBudget,
+    max_rows_per_table=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=30)
+    ),
+    max_total_rows=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=60)
+    ),
+    max_result_objects=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=5)
+    ),
+    max_external_calls=st.one_of(
+        st.none(), st.integers(min_value=1, max_value=10)
+    ),
+)
+
+
+class TestTruncationIsMonotone:
+    @given(budget=budgets, query=st.sampled_from(QUERIES))
+    @settings(max_examples=50, deadline=None)
+    def test_truncated_answers_are_a_subset_of_unbudgeted_answers(
+        self, budget, query
+    ):
+        unbudgeted = canonical(build_scenario().mediator.answer(query))
+        mediator = build_scenario().mediator
+        mediator.budget = budget
+        mediator.budget_mode = "truncate"
+        results = mediator.query(query)
+        keys = canonical(results.objects())
+        assert set(keys) <= set(unbudgeted)
+        clipped = any(
+            isinstance(w, BudgetWarning) for w in results.warnings
+        )
+        if not clipped:
+            # nothing was clipped ⇒ exactly the unbudgeted answer
+            assert keys == unbudgeted
+
+    @given(budget=budgets, query=st.sampled_from(QUERIES))
+    @settings(max_examples=25, deadline=None)
+    def test_governed_runs_are_reproducible(self, budget, query):
+        def run():
+            mediator = build_scenario().mediator
+            mediator.budget = budget
+            mediator.budget_mode = "truncate"
+            results = mediator.query(query)
+            return (
+                canonical(results.objects()),
+                [(w.budget, w.count) for w in results.warnings],
+            )
+
+        assert run() == run()
+
+    @given(
+        limit=st.integers(min_value=1, max_value=4),
+        query=st.sampled_from(QUERIES),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_result_cap_is_respected_exactly(self, limit, query):
+        mediator = build_scenario().mediator
+        mediator.budget = QueryBudget(max_result_objects=limit)
+        mediator.budget_mode = "truncate"
+        results = mediator.query(query)
+        assert len(results) <= limit
+
+
+def _random_forest(rng, depth=0):
+    objects = []
+    for _ in range(rng.randint(1, 3)):
+        if depth < 4 and rng.random() < 0.5:
+            objects.append(
+                OEMObject(f"s{depth}", tuple(_random_forest(rng, depth + 1)))
+            )
+        else:
+            objects.append(
+                OEMObject("a", rng.choice(["v", 3, 1.5, False, None]))
+            )
+    return objects
+
+
+def _corrupt(rng, objects, ancestors=()):
+    for obj in objects:
+        roll = rng.random()
+        if roll < 0.15:
+            object.__setattr__(obj, "label", rng.choice(("", 1, None)))
+        elif roll < 0.3:
+            object.__setattr__(obj, "type", rng.choice(("junk", "set", 7)))
+        elif roll < 0.45:
+            target = (
+                rng.choice(ancestors) if ancestors and roll < 0.37 else obj
+            )
+            object.__setattr__(obj, "value", (target,))
+            object.__setattr__(obj, "type", "set")
+        if obj.type == "set" and isinstance(obj.value, tuple):
+            _corrupt(rng, list(obj.value), ancestors + (obj,))
+    return objects
+
+
+class TestSanitizerProperties:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_sanitizer_never_crashes_and_is_idempotent(self, seed):
+        rng = random.Random(seed)
+        answer = _corrupt(rng, _random_forest(rng))
+        sanitizer = AnswerSanitizer(max_depth=16, max_objects=500)
+        clean, _ = sanitizer.sanitize("fuzz", answer)
+        again, warnings = sanitizer.sanitize("fuzz", clean)
+        assert warnings == []
+        assert [repr(o) for o in again] == [repr(o) for o in clean]

@@ -222,3 +222,96 @@ class TestResilienceFlags:
         assert status == 1
         assert "invalid MSL query" in err
         assert "line 1" in err
+
+
+class TestGovernorFlags:
+    QUERY = "X :- X:<cs_person {<name N>}>@med"
+
+    def test_budget_flags_on_small_query_change_nothing(self, files):
+        spec, whois = files
+        argv = [
+            "--spec", str(spec),
+            "--source", f"whois={whois}",
+            "--query", self.QUERY,
+            "--format", "inline",
+        ]
+        plain = run(argv)
+        governed = run(
+            argv
+            + ["--deadline", "60", "--max-rows", "1000",
+               "--max-total-rows", "10000", "--max-result-objects", "100"]
+        )
+        assert plain[0] == governed[0] == 0
+        assert plain[1] == governed[1]
+        assert governed[2] == ""  # within budget: no warnings
+
+    def test_strict_budget_exceeded_fails_query(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--max-total-rows", "1"]
+        )
+        assert status == 1
+        assert "budget" in err
+        assert "max_total_rows" in err
+
+    def test_truncate_mode_finishes_with_warnings(self, files):
+        spec, whois = files
+        status, out, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--max-total-rows", "1",
+             "--budget-mode", "truncate", "--format", "inline"]
+        )
+        assert status == 0
+        assert "warning:" in err
+        assert "max_total_rows" in err
+
+    def test_max_result_objects_truncates_answer(self, files):
+        spec, whois = files
+        status, out, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--max-result-objects", "1",
+             "--budget-mode", "truncate", "--format", "inline"]
+        )
+        assert status == 0
+        assert out.count("cs_person") <= 1
+
+    def test_non_positive_budget_values_rejected(self, files):
+        spec, whois = files
+        for flag in ("--max-rows", "--max-total-rows",
+                     "--max-result-objects"):
+            status, _, err = run(
+                ["--spec", str(spec), "--source", f"whois={whois}",
+                 "--query", self.QUERY, flag, "0"]
+            )
+            assert status == 2
+            assert flag in err
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--deadline", "-1"]
+        )
+        assert status == 2
+        assert "--deadline" in err
+
+    def test_explain_shows_governor_section(self, files):
+        spec, whois = files
+        status, out, _ = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--explain",
+             "--max-total-rows", "50", "--budget-mode", "truncate"]
+        )
+        assert status == 0
+        assert "-- governor --" in out
+        assert "max_total_rows=50" in out
+        assert "mode: truncate" in out
+
+    def test_quarantine_flag_accepted(self, files):
+        spec, whois = files
+        status, out, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--quarantine-malformed",
+             "--format", "inline"]
+        )
+        assert status == 0
+        assert "cs_person" in out  # well-formed file: nothing quarantined
+        assert err == ""

@@ -1,0 +1,460 @@
+"""Unit tests for the query governor: budgets, cancellation, sanitation."""
+
+import random
+
+import pytest
+
+from repro.governor import (
+    AnswerSanitizer,
+    BudgetExceeded,
+    BudgetWarning,
+    CancellationToken,
+    DEFAULT_MAX_DEPTH,
+    QueryBudget,
+    QueryCancelled,
+    QueryGovernor,
+)
+from repro.mediator.tables import BindingTable
+from repro.oem.model import OEMObject, SET_TYPE
+from repro.reliability.clock import ManualClock
+from repro.reliability.faults import (
+    FaultInjectingSource,
+    MALFORMED,
+    MALFORMED_KINDS,
+)
+from repro.reliability.health import SourceWarning, aggregate_warnings
+from repro.wrappers.base import MalformedAnswerError
+from repro.wrappers.oem_wrapper import OEMStoreWrapper
+
+
+class TestQueryBudget:
+    def test_default_is_unlimited(self):
+        budget = QueryBudget()
+        assert budget.unlimited
+        assert budget.describe() == "unlimited"
+
+    def test_non_positive_limits_rejected(self):
+        for field in (
+            "deadline",
+            "max_rows_per_table",
+            "max_total_rows",
+            "max_result_objects",
+            "max_external_calls",
+            "max_depth",
+            "max_answer_objects",
+        ):
+            with pytest.raises(ValueError, match=field):
+                QueryBudget(**{field: 0})
+            with pytest.raises(ValueError, match=field):
+                QueryBudget(**{field: -3})
+
+    def test_describe_names_set_limits_only(self):
+        text = QueryBudget(deadline=1.5, max_total_rows=10).describe()
+        assert "deadline=1.5s" in text
+        assert "max_total_rows=10" in text
+        assert "max_rows_per_table" not in text
+
+
+class TestCancellationToken:
+    def test_cancel_flips_flag_and_raises_with_reason(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.raise_if_cancelled()  # no-op while live
+        token.cancel("operator abort")
+        assert token.cancelled
+        with pytest.raises(QueryCancelled, match="operator abort"):
+            token.raise_if_cancelled()
+
+    def test_governor_checkpoint_honours_token(self):
+        token = CancellationToken()
+        governor = QueryGovernor(token=token)
+        governor.start()
+        governor.checkpoint()
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            governor.checkpoint()
+
+
+class TestGovernorRows:
+    def table(self, governor=None):
+        return BindingTable(("X",), [], governor)
+
+    def test_strict_per_table_limit_raises_structured(self):
+        governor = QueryGovernor(QueryBudget(max_rows_per_table=2))
+        table = self.table(governor)
+        table.append(("a",))
+        table.append(("b",))
+        with pytest.raises(BudgetExceeded) as excinfo:
+            table.append(("c",))
+        error = excinfo.value
+        assert error.budget == "max_rows_per_table"
+        assert error.observed == 3
+        assert error.limit == 2
+        assert "max_rows_per_table" in str(error)
+
+    def test_strict_total_rows_limit_spans_tables(self):
+        governor = QueryGovernor(QueryBudget(max_total_rows=3))
+        first, second = self.table(governor), self.table(governor)
+        first.append(("a",))
+        first.append(("b",))
+        second.append(("c",))
+        with pytest.raises(BudgetExceeded) as excinfo:
+            second.append(("d",))
+        assert excinfo.value.budget == "max_total_rows"
+
+    def test_truncate_clips_and_warns_once_per_node(self):
+        governor = QueryGovernor(
+            QueryBudget(max_rows_per_table=1), mode="truncate"
+        )
+        table = self.table(governor)
+        for value in "abcde":
+            table.append((value,))
+        assert len(table.rows) == 1
+        assert governor.rows_clipped == 4
+        assert len(governor.warnings) == 1  # deduplicated at source
+        (warning,) = governor.warnings
+        assert isinstance(warning, BudgetWarning)
+        assert warning.budget == "max_rows_per_table"
+        assert "partial" in warning.render()
+
+    def test_ungoverned_table_append_unchanged(self):
+        table = self.table()
+        table.append(("a",))
+        assert table.rows == [("a",)]
+
+    def test_derived_tables_inherit_the_governor(self):
+        governor = QueryGovernor(
+            QueryBudget(max_rows_per_table=2), mode="truncate"
+        )
+        table = BindingTable(("X", "Y"), [], governor)
+        table.append((1, "a"))
+        table.append((2, "b"))
+        projected = table.project(("X",))
+        assert projected.governor is governor
+        assert projected.filter(lambda row: True).governor is governor
+
+
+class TestGovernorCharges:
+    def test_external_calls_capped(self):
+        governor = QueryGovernor(QueryBudget(max_external_calls=2))
+        assert governor.charge_external_call()
+        assert governor.charge_external_call()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            governor.charge_external_call()
+        assert excinfo.value.budget == "max_external_calls"
+
+    def test_result_objects_capped_truncate(self):
+        governor = QueryGovernor(
+            QueryBudget(max_result_objects=1), mode="truncate"
+        )
+        assert governor.charge_result_object()
+        assert not governor.charge_result_object()
+        assert governor.result_objects == 1
+
+    def test_enforce_result_limit_clips_in_truncate(self):
+        governor = QueryGovernor(
+            QueryBudget(max_result_objects=2), mode="truncate"
+        )
+        objects = [OEMObject("x", i) for i in range(5)]
+        clipped = governor.enforce_result_limit(objects)
+        assert len(clipped) == 2
+        assert clipped == objects[:2]
+        assert any(
+            w.budget == "max_result_objects" for w in governor.warnings
+        )
+
+    def test_enforce_result_limit_raises_in_strict(self):
+        governor = QueryGovernor(QueryBudget(max_result_objects=2))
+        with pytest.raises(BudgetExceeded):
+            governor.enforce_result_limit(
+                [OEMObject("x", i) for i in range(3)]
+            )
+
+
+class TestGovernorDeadline:
+    def test_deadline_checked_against_injected_clock(self):
+        clock = ManualClock()
+        governor = QueryGovernor(QueryBudget(deadline=1.0), clock=clock)
+        governor.start()
+        governor.checkpoint()  # within budget
+        clock.advance(2.0)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            governor.checkpoint()
+        assert excinfo.value.budget == "deadline"
+        assert excinfo.value.observed == pytest.approx(2.0)
+
+    def test_truncate_deadline_expires_run_and_skips_sources(self):
+        clock = ManualClock()
+        governor = QueryGovernor(
+            QueryBudget(deadline=1.0), mode="truncate", clock=clock
+        )
+        governor.start()
+        assert governor.allow_source_call("whois")
+        clock.advance(5.0)
+        governor.checkpoint()
+        assert governor.expired
+        assert not governor.allow_source_call("whois")
+        table = BindingTable(("X",), [], governor)
+        table.append(("late",))
+        assert table.rows == []  # expired runs admit nothing
+        kinds = {w.budget for w in governor.warnings}
+        assert kinds == {"deadline"}
+
+    def test_start_is_idempotent(self):
+        clock = ManualClock()
+        governor = QueryGovernor(QueryBudget(deadline=10.0), clock=clock)
+        governor.start()
+        clock.advance(3.0)
+        governor.start()  # nested plan must not reset the deadline
+        assert governor.elapsed == pytest.approx(3.0)
+
+
+def person(name="Joe Chung", dept="CS"):
+    return OEMObject(
+        "person",
+        (OEMObject("name", name), OEMObject("dept", dept)),
+    )
+
+
+def corrupt(obj, attr, value):
+    object.__setattr__(obj, attr, value)
+    return obj
+
+
+class TestAnswerSanitizer:
+    def test_well_formed_answer_passes_through_untouched(self):
+        sanitizer = AnswerSanitizer()
+        answer = [person()]
+        clean, warnings = sanitizer.sanitize("whois", answer)
+        assert clean[0] is answer[0]
+        assert warnings == []
+
+    def test_non_oem_item_quarantined(self):
+        clean, warnings = AnswerSanitizer().sanitize("whois", [MALFORMED])
+        assert clean == []
+        (warning,) = warnings
+        assert warning.source == "whois"
+        assert warning.error == "MalformedAnswer"
+        assert "non-OEM" in warning.message
+
+    def test_typed_corruption_quarantined_siblings_survive(self):
+        bad = corrupt(OEMObject("age", 41, "integer"), "value", "old")
+        parent = OEMObject("person", (OEMObject("name", "Ann"), bad))
+        clean, warnings = AnswerSanitizer().sanitize("whois", [parent])
+        (survivor,) = clean
+        assert [c.label for c in survivor.children] == ["name"]
+        assert len(warnings) == 1
+        assert "declares type 'integer'" in warnings[0].message
+
+    def test_bad_label_quarantined(self):
+        bad = corrupt(OEMObject("name", "x"), "label", 7)
+        clean, warnings = AnswerSanitizer().sanitize("whois", [bad])
+        assert clean == []
+        assert "invalid label" in warnings[0].message
+
+    def test_unknown_declared_type_quarantined(self):
+        bad = corrupt(OEMObject("name", "x"), "type", "quaternion")
+        clean, warnings = AnswerSanitizer().sanitize("whois", [bad])
+        assert clean == []
+        assert "unknown type" in warnings[0].message
+
+    def test_real_accepts_integer_value(self):
+        obj = corrupt(OEMObject("gpa", 3.0, "real"), "value", 4)
+        clean, warnings = AnswerSanitizer().sanitize("whois", [obj])
+        assert clean == [obj]
+        assert warnings == []
+
+    def test_excess_depth_quarantines_subtree(self):
+        deep = OEMObject("leaf", "bottom")
+        for level in range(10):
+            deep = OEMObject(f"l{level}", (deep,))
+        clean, warnings = AnswerSanitizer(max_depth=5).sanitize(
+            "whois", [deep]
+        )
+        (survivor,) = clean
+        assert "nesting depth" in warnings[0].message
+
+        def max_depth(obj, depth=1):
+            kids = obj.children
+            if not kids:
+                return depth
+            return max(max_depth(c, depth + 1) for c in kids)
+
+        assert max_depth(survivor) <= 5
+
+    def test_cycle_back_edge_quarantined(self):
+        inner = OEMObject("inner", (), SET_TYPE)
+        outer = OEMObject("outer", (inner,), SET_TYPE)
+        corrupt(inner, "value", (outer,))
+        clean, warnings = AnswerSanitizer().sanitize("whois", [outer])
+        assert len(clean) == 1
+        assert "cycle" in warnings[0].message
+
+    def test_max_objects_quarantines_remainder(self):
+        answer = [person(f"P{i}") for i in range(10)]
+        clean, warnings = AnswerSanitizer(max_objects=6).sanitize(
+            "whois", answer
+        )
+        assert len(clean) < len(answer)
+        assert any("exceeds 6 objects" in w.message for w in warnings)
+
+    def test_strict_mode_raises_malformed_answer_error(self):
+        sanitizer = AnswerSanitizer(mode="strict")
+        with pytest.raises(MalformedAnswerError) as excinfo:
+            sanitizer.sanitize("whois", [MALFORMED])
+        error = excinfo.value
+        assert error.source == "whois"
+        assert error.issues
+        assert "whois" in str(error)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AnswerSanitizer(mode="paranoid")
+        with pytest.raises(ValueError):
+            AnswerSanitizer(max_depth=0)
+        with pytest.raises(ValueError):
+            AnswerSanitizer(max_objects=-1)
+
+
+class TestSanitizerFuzz:
+    """Seeded fuzz: random corruption never crashes the sanitizer."""
+
+    def random_forest(self, rng, depth=0):
+        objects = []
+        for _ in range(rng.randint(1, 3)):
+            if depth < 3 and rng.random() < 0.5:
+                kids = self.random_forest(rng, depth + 1)
+                objects.append(OEMObject(f"set{depth}", tuple(kids)))
+            else:
+                value = rng.choice(["txt", 7, 2.5, True, None])
+                objects.append(OEMObject("atom", value))
+        return objects
+
+    def corrupt_some(self, rng, objects):
+        for obj in objects:
+            if rng.random() < 0.3:
+                attack = rng.choice(("label", "type", "value"))
+                if attack == "label":
+                    corrupt(obj, "label", rng.choice(("", 0, None)))
+                elif attack == "type":
+                    corrupt(obj, "type", rng.choice(("junk", 9, "set")))
+                else:
+                    corrupt(obj, "value", rng.choice(("x", 1, [1], obj)))
+            if obj.type == SET_TYPE and isinstance(obj.value, tuple):
+                self.corrupt_some(rng, list(obj.value))
+        return objects
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_lenient_sanitizer_survives_and_is_idempotent(self, seed):
+        rng = random.Random(seed)
+        answer = self.corrupt_some(rng, self.random_forest(rng))
+        sanitizer = AnswerSanitizer(max_depth=16, max_objects=200)
+        clean, _ = sanitizer.sanitize("fuzz", answer)
+        # surviving objects are fully valid: a second pass changes nothing
+        again, warnings = sanitizer.sanitize("fuzz", clean)
+        assert warnings == []
+        assert [repr(o) for o in again] == [repr(o) for o in clean]
+
+
+class TestMalformedFaultKinds:
+    def build(self, kind):
+        return FaultInjectingSource(
+            OEMStoreWrapper("w", [person()]),
+            seed=3,
+            malformed_rate=1.0,
+            malformed_kind=kind,
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="malformed_kind"):
+            self.build("weird")
+
+    def test_all_kinds_recorded_as_malformed_outcome(self):
+        for kind in sorted(MALFORMED_KINDS):
+            source = self.build(kind)
+            answer = source.export()
+            assert source.outcomes == ["malformed"]
+            # every kind is caught by the sanitizer
+            clean, warnings = AnswerSanitizer(max_depth=64).sanitize(
+                "w", list(answer)
+            )
+            assert warnings, f"kind {kind!r} passed sanitation"
+
+    def test_deep_kind_is_valid_oem_but_too_deep(self):
+        (deep,) = self.build("deep").export()
+        assert isinstance(deep, OEMObject)
+        clean, warnings = AnswerSanitizer(
+            max_depth=DEFAULT_MAX_DEPTH
+        ).sanitize("w", [deep])
+        assert any("nesting depth" in w.message for w in warnings)
+
+    def test_typed_kind_carries_lying_type_and_label(self):
+        (obj,) = self.build("typed").export()
+        _, warnings = AnswerSanitizer().sanitize("w", [obj])
+        messages = " | ".join(w.message for w in warnings)
+        assert "declares type" in messages
+        assert "label" in messages
+
+    def test_cyclic_kind_contains_back_edge(self):
+        (obj,) = self.build("cyclic").export()
+        _, warnings = AnswerSanitizer().sanitize("w", [obj])
+        assert any("cycle" in w.message for w in warnings)
+
+
+class TestWarningAggregation:
+    def test_identical_source_warnings_fold_with_counts(self):
+        warnings = [
+            SourceWarning("whois", "boom", attempts=2, error="SourceError")
+            for _ in range(3)
+        ] + [SourceWarning("cs", "down", attempts=1, error="SourceError")]
+        folded = aggregate_warnings(warnings)
+        assert len(folded) == 2
+        assert folded[0].count == 3
+        assert folded[0].attempts == 6
+        assert "[x3]" in folded[0].render()
+        assert folded[1].count == 1
+        assert "[x" not in folded[1].render()
+
+    def test_budget_warnings_fold_by_budget_and_node(self):
+        warnings = [
+            BudgetWarning("max_total_rows", "clipped", node="scan")
+            for _ in range(4)
+        ] + [BudgetWarning("max_total_rows", "clipped", node="join")]
+        folded = aggregate_warnings(warnings)
+        assert [w.count for w in folded] == [4, 1]
+
+    def test_mixed_kinds_never_fold_together(self):
+        warnings = [
+            SourceWarning("whois", "boom"),
+            BudgetWarning("deadline", "late"),
+            SourceWarning("whois", "boom"),
+        ]
+        folded = aggregate_warnings(warnings)
+        assert len(folded) == 2
+        assert folded[0].count == 2
+
+    def test_order_is_first_occurrence(self):
+        warnings = [
+            SourceWarning("b", "x"),
+            SourceWarning("a", "y"),
+            SourceWarning("b", "x"),
+        ]
+        folded = aggregate_warnings(warnings)
+        assert [w.source for w in folded] == ["b", "a"]
+
+
+class TestGovernorDescribe:
+    def test_describe_reports_mode_budget_and_sanitizer(self):
+        governor = QueryGovernor(
+            QueryBudget(max_total_rows=9),
+            mode="truncate",
+            sanitizer=AnswerSanitizer(max_depth=8),
+        )
+        text = governor.describe()
+        assert "mode: truncate" in text
+        assert "max_total_rows=9" in text
+        assert "max_depth=8" in text
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            QueryGovernor(mode="lenient")
