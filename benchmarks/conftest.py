@@ -7,12 +7,14 @@ collected into ``benchmarks/artifacts.txt`` so EXPERIMENTS.md can quote
 them verbatim.
 """
 
+import json
 import pathlib
 
 import pytest
 
 ARTIFACTS_PATH = pathlib.Path(__file__).parent / "artifacts.txt"
 _written: set[str] = set()
+_json_started: set[str] = set()
 
 
 @pytest.fixture(scope="session")
@@ -28,5 +30,29 @@ def artifact_sink():
         with ARTIFACTS_PATH.open("a") as handle:
             handle.write(f"===== {name} =====\n{text}\n\n")
         print(f"\n===== {name} =====\n{text}\n")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def bench_json_sink():
+    """Merge named sections into a machine-readable BENCH_*.json file.
+
+    The first write to a file in a session starts it fresh; later
+    writes merge their section in, so several tests can contribute to
+    one report (e.g. ``BENCH_parallel.json``).
+    """
+
+    def write(filename: str, section: str, payload) -> None:
+        path = pathlib.Path(__file__).parent / filename
+        if filename in _json_started and path.exists():
+            data = json.loads(path.read_text())
+        else:
+            _json_started.add(filename)
+            data = {}
+        data[section] = payload
+        path.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
 
     return write

@@ -19,6 +19,8 @@ The packages:
   breakers, and graceful degradation for flaky sources;
 * :mod:`repro.governor` — per-query resource budgets, cooperative
   cancellation, and malformed-answer quarantine;
+* :mod:`repro.exec` — concurrent source fan-out, single-flight query
+  dedup, and answer caching for the datamerge engine;
 * :mod:`repro.client` — client-side result materialization;
 * :mod:`repro.datasets` — the paper's running example and synthetic
   workloads.
@@ -32,6 +34,7 @@ Quickstart::
 """
 
 from repro.client import ResultSet
+from repro.exec import AnswerCache, SourceDispatcher
 from repro.governor import (
     BudgetExceeded,
     BudgetWarning,
@@ -60,6 +63,7 @@ from repro.wrappers import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnswerCache",
     "BudgetExceeded",
     "BudgetWarning",
     "CancellationToken",
@@ -77,6 +81,7 @@ __all__ = [
     "ResilientSource",
     "ResultSet",
     "RetryPolicy",
+    "SourceDispatcher",
     "SourceRegistry",
     "__version__",
     "parse_oem",

@@ -26,7 +26,11 @@ Usage::
   the query governor; ``--budget-mode truncate`` clips instead of
   aborting (warnings to stderr);
 * ``--quarantine-malformed`` — drop malformed sub-objects from source
-  answers instead of failing the query.
+  answers instead of failing the query;
+* ``--parallelism N`` — fan independent source queries out across N
+  worker threads (default 1: sequential execution);
+* ``--cache N`` / ``--cache-ttl SECONDS`` — memoize up to N source
+  answers (LRU), optionally expiring entries after SECONDS.
 
 The CLI registers only OEM-file sources; programmatic users wanting
 relational or custom wrappers use the library API directly.
@@ -39,6 +43,7 @@ import sys
 from typing import Sequence
 
 from repro.client.result import ResultSet
+from repro.exec.cache import AnswerCache
 from repro.external.registry import default_registry
 from repro.governor.budget import QueryBudget
 from repro.mediator.mediator import Mediator
@@ -180,6 +185,30 @@ def build_parser() -> argparse.ArgumentParser:
             " warnings on stderr) instead of failing the query"
         ),
     )
+    parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run independent source queries across N worker threads"
+            " (default: 1, sequential)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="memoize up to N source answers (LRU)",
+    )
+    parser.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire cached source answers after SECONDS (needs --cache)",
+    )
     return parser
 
 
@@ -295,6 +324,23 @@ def main(
             max_result_objects=args.max_result_objects,
         )
 
+    if args.parallelism < 1:
+        print("error: --parallelism must be at least 1", file=stderr)
+        return 2
+    if args.cache is not None and args.cache <= 0:
+        print("error: --cache must be positive", file=stderr)
+        return 2
+    if args.cache_ttl is not None:
+        if args.cache is None:
+            print("error: --cache-ttl needs --cache", file=stderr)
+            return 2
+        if args.cache_ttl <= 0:
+            print("error: --cache-ttl must be positive", file=stderr)
+            return 2
+    cache = None
+    if args.cache is not None:
+        cache = AnswerCache(max_entries=args.cache, ttl=args.cache_ttl)
+
     try:
         mediator = Mediator(
             args.mediator,
@@ -310,6 +356,8 @@ def main(
             on_malformed_answer=(
                 "quarantine" if args.quarantine_malformed else "error"
             ),
+            parallelism=args.parallelism,
+            cache=cache,
         )
     except Exception as exc:
         print(f"error: bad specification: {exc}", file=stderr)

@@ -1,0 +1,187 @@
+"""The answer cache: memoized source answers for the dispatcher.
+
+In TSIMMIS the mediator's dominant cost is talking to remote sources,
+and real query streams repeat themselves — the same ``Qw`` pattern, the
+same parameterized ``Qcs`` instantiations for popular people.  An
+:class:`AnswerCache` keeps recently fetched answers keyed by *(source
+name, canonical unparsed query)* so a repeated query is answered from
+memory instead of the wire.
+
+Semantics:
+
+* **LRU + TTL** — at most ``max_entries`` answers are kept; the least
+  recently *used* entry is evicted first.  With a ``ttl``, entries
+  older than ``ttl`` seconds (on the injectable clock, so tests never
+  wait) are treated as misses and dropped on access.
+* **Consulted before the reliability layer** — a hit costs no retry
+  budget, opens no breaker, and records no health events; only misses
+  ship a query.
+* **Only successful answers are stored** — degraded (empty-substitute)
+  answers and failures are never cached, so a source outage cannot be
+  frozen into the cache.
+* **Per-source invalidation** — ``invalidate(source)`` drops every
+  entry of one source (a wrapper reported new data, an operator bounced
+  a backend); ``clear()`` drops everything.
+* **Thread-safe** — one lock guards the store; the dispatcher calls in
+  from many worker threads.
+
+Hit/miss/eviction counters are kept globally and per source so
+benchmarks and ``Mediator.explain`` can report exact hit rates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.oem.model import OEMObject
+from repro.reliability.clock import Clock, MonotonicClock
+
+__all__ = ["AnswerCache"]
+
+
+class AnswerCache:
+    """An LRU + TTL cache of source answers, keyed by canonical query."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        ttl: float | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries!r}"
+            )
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl!r}")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self.clock = clock or MonotonicClock()
+        self._lock = threading.Lock()
+        # key -> (answer tuple, stored_at); insertion order is LRU order
+        self._entries: OrderedDict[
+            tuple[str, str], tuple[tuple[OEMObject, ...], float]
+        ] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+        self.hits_by_source: dict[str, int] = {}
+        self.misses_by_source: dict[str, int] = {}
+
+    # -- the cache protocol ------------------------------------------------
+
+    def lookup(
+        self, source: str, query_text: str
+    ) -> tuple[bool, list[OEMObject] | None]:
+        """``(True, answer)`` on a fresh hit, ``(False, None)`` otherwise.
+
+        The returned list is a fresh copy, so callers may extend or
+        filter it without corrupting the cached answer.
+        """
+        key = (source, query_text)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry[1]):
+                del self._entries[key]
+                self.expirations += 1
+                entry = None
+            if entry is None:
+                self.misses += 1
+                self.misses_by_source[source] = (
+                    self.misses_by_source.get(source, 0) + 1
+                )
+                return False, None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.hits_by_source[source] = (
+                self.hits_by_source.get(source, 0) + 1
+            )
+            return True, list(entry[0])
+
+    def store(
+        self, source: str, query_text: str, answer: list[OEMObject]
+    ) -> None:
+        """Remember ``answer``, evicting the least recently used entry."""
+        key = (source, query_text)
+        with self._lock:
+            self._entries[key] = (tuple(answer), self.clock.now())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, source: str) -> int:
+        """Drop every cached answer of ``source``; returns the count."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == source]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (counters are kept); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
+
+    def _expired(self, stored_at: float) -> bool:
+        return (
+            self.ttl is not None
+            and self.clock.now() - stored_at > self.ttl
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry is not None and not self._expired(entry[1])
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, object]:
+        """A snapshot of the counters, for ``health_snapshot`` and tests."""
+        with self._lock:
+            entries = len(self._entries)
+        return {
+            "entries": entries,
+            "max_entries": self.max_entries,
+            "ttl": self.ttl,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+            "hits_by_source": dict(self.hits_by_source),
+            "misses_by_source": dict(self.misses_by_source),
+        }
+
+    def describe(self) -> str:
+        """One line for ``Mediator.explain``."""
+        ttl = f"{self.ttl:g}s" if self.ttl is not None else "none"
+        return (
+            f"answer cache: {len(self)}/{self.max_entries} entries,"
+            f" ttl {ttl}, hits {self.hits}, misses {self.misses},"
+            f" hit rate {self.hit_rate:.2f}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AnswerCache({len(self)}/{self.max_entries} entries,"
+            f" {self.hits} hits, {self.misses} misses)"
+        )

@@ -32,6 +32,7 @@ same points as the budgets.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -243,6 +244,11 @@ class QueryGovernor:
         self._expired = False
         self._current_node: str | None = None
         self._warned: set[tuple] = set()
+        # counters and warning bookkeeping must stay exact when the
+        # parallel dispatcher admits rows from worker threads; RLock
+        # because a guarded charge point may raise through _violation,
+        # which also takes the lock
+        self._mutex = threading.RLock()
 
     # -- run lifecycle -----------------------------------------------------
 
@@ -296,29 +302,32 @@ class QueryGovernor:
     def admit_row(self, table: "BindingTable") -> bool:
         """May ``table`` take one more row?  Truncate mode returns False."""
         self.token.raise_if_cancelled()
-        if self._expired:
-            self.rows_clipped += 1
-            return False
-        budget = self.budget
-        rows = len(table.rows)
-        if (
-            budget.max_rows_per_table is not None
-            and rows >= budget.max_rows_per_table
-        ):
-            self.rows_clipped += 1
-            return self._violation(
-                "max_rows_per_table", rows + 1, budget.max_rows_per_table
-            )
-        if (
-            budget.max_total_rows is not None
-            and self.total_rows >= budget.max_total_rows
-        ):
-            self.rows_clipped += 1
-            return self._violation(
-                "max_total_rows", self.total_rows + 1, budget.max_total_rows
-            )
-        self.total_rows += 1
-        return True
+        with self._mutex:
+            if self._expired:
+                self.rows_clipped += 1
+                return False
+            budget = self.budget
+            rows = len(table.rows)
+            if (
+                budget.max_rows_per_table is not None
+                and rows >= budget.max_rows_per_table
+            ):
+                self.rows_clipped += 1
+                return self._violation(
+                    "max_rows_per_table", rows + 1, budget.max_rows_per_table
+                )
+            if (
+                budget.max_total_rows is not None
+                and self.total_rows >= budget.max_total_rows
+            ):
+                self.rows_clipped += 1
+                return self._violation(
+                    "max_total_rows",
+                    self.total_rows + 1,
+                    budget.max_total_rows,
+                )
+            self.total_rows += 1
+            return True
 
     def row_admitter(self, table: "BindingTable"):
         """A specialized fast-path appender for one governed ``table``.
@@ -331,54 +340,58 @@ class QueryGovernor:
         rows = table.rows
         append = rows.append
         token = self.token
+        mutex = self._mutex
         per_table = self.budget.max_rows_per_table
         total_cap = self.budget.max_total_rows
 
         def add(row: tuple) -> None:
             if token._cancelled:
                 token.raise_if_cancelled()
-            if self._expired:
-                self.rows_clipped += 1
-                return
-            if per_table is not None and len(rows) >= per_table:
-                self.rows_clipped += 1
-                self._violation(
-                    "max_rows_per_table", len(rows) + 1, per_table
-                )
-                return
-            if total_cap is not None and self.total_rows >= total_cap:
-                self.rows_clipped += 1
-                self._violation(
-                    "max_total_rows", self.total_rows + 1, total_cap
-                )
-                return
-            self.total_rows += 1
-            append(row)
+            with mutex:
+                if self._expired:
+                    self.rows_clipped += 1
+                    return
+                if per_table is not None and len(rows) >= per_table:
+                    self.rows_clipped += 1
+                    self._violation(
+                        "max_rows_per_table", len(rows) + 1, per_table
+                    )
+                    return
+                if total_cap is not None and self.total_rows >= total_cap:
+                    self.rows_clipped += 1
+                    self._violation(
+                        "max_total_rows", self.total_rows + 1, total_cap
+                    )
+                    return
+                self.total_rows += 1
+                append(row)
 
         return add
 
     def charge_external_call(self) -> bool:
         """May one more external function be invoked?"""
         self.token.raise_if_cancelled()
-        if self._expired:
-            return False
-        limit = self.budget.max_external_calls
-        if limit is not None and self.external_calls >= limit:
-            return self._violation(
-                "max_external_calls", self.external_calls + 1, limit
-            )
-        self.external_calls += 1
-        return True
+        with self._mutex:
+            if self._expired:
+                return False
+            limit = self.budget.max_external_calls
+            if limit is not None and self.external_calls >= limit:
+                return self._violation(
+                    "max_external_calls", self.external_calls + 1, limit
+                )
+            self.external_calls += 1
+            return True
 
     def charge_result_object(self) -> bool:
         """May one more result object be constructed?"""
-        limit = self.budget.max_result_objects
-        if limit is not None and self.result_objects >= limit:
-            return self._violation(
-                "max_result_objects", self.result_objects + 1, limit
-            )
-        self.result_objects += 1
-        return True
+        with self._mutex:
+            limit = self.budget.max_result_objects
+            if limit is not None and self.result_objects >= limit:
+                return self._violation(
+                    "max_result_objects", self.result_objects + 1, limit
+                )
+            self.result_objects += 1
+            return True
 
     def enforce_result_limit(
         self, objects: "list[OEMObject]"
@@ -422,10 +435,12 @@ class QueryGovernor:
             raise BudgetExceeded(
                 kind, observed, limit, node=self._current_node
             )
-        if kind == "deadline":
-            self._expired = True
-        key = (kind, self._current_node)
-        if key not in self._warned:
+        with self._mutex:
+            if kind == "deadline":
+                self._expired = True
+            key = (kind, self._current_node)
+            if key in self._warned:
+                return False
             self._warned.add(key)
             noun = {
                 "deadline": "run exceeded its deadline; remaining work"
@@ -449,15 +464,16 @@ class QueryGovernor:
 
     def _note_skip(self, kind: str, message: str) -> None:
         """A follow-on consequence of an earlier truncation (warn once)."""
-        key = (kind, "skip", self._current_node)
-        if key in self._warned:
-            return
-        self._warned.add(key)
-        self.warnings.append(
-            BudgetWarning(
-                budget=kind, node=self._current_node, message=message
+        with self._mutex:
+            key = (kind, "skip", self._current_node)
+            if key in self._warned:
+                return
+            self._warned.add(key)
+            self.warnings.append(
+                BudgetWarning(
+                    budget=kind, node=self._current_node, message=message
+                )
             )
-        )
 
     def describe(self) -> str:
         """One-paragraph summary for ``Mediator.explain``."""

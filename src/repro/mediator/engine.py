@@ -15,10 +15,12 @@ tests and benchmarks replay the figure's tables.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.mediator.plan import PhysicalPlan, PlanNode
+from repro.exec.dispatcher import TaskScope, current_scope, scope_active
+from repro.mediator.plan import PhysicalPlan, PlanNode, QueryNode
 from repro.mediator.tables import BindingTable
 from repro.msl.ast import PatternCondition, Rule
 from repro.oem.model import OEMObject
@@ -27,6 +29,7 @@ from repro.reliability.health import SourceWarning
 from repro.wrappers.base import SourceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.dispatcher import SourceDispatcher
     from repro.external.registry import ExternalRegistry
     from repro.governor.budget import QueryGovernor
     from repro.mediator.statistics import SourceStatistics
@@ -71,6 +74,10 @@ class ExecutionContext:
     attempts_made: int = 0
     source_latency: float = 0.0
     governor: "QueryGovernor | None" = None
+    dispatcher: "SourceDispatcher | None" = None
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
     def send_query(self, source_name: str, query: Rule) -> list[OEMObject]:
         """Ship ``query`` to a source, with accounting and statistics.
@@ -86,6 +93,11 @@ class ExecutionContext:
         (so the engine cannot burn unbounded time between calls), and
         the answer passes through the governor's sanitizer before it
         may enter a binding table.
+
+        With a :class:`~repro.exec.dispatcher.SourceDispatcher`
+        attached (and active), the call routes through the answer
+        cache and the single-flight dedup layer; only cache misses
+        without an identical in-flight request actually ship.
         """
         if self.governor is not None and not self.governor.allow_source_call(
             source_name
@@ -93,15 +105,33 @@ class ExecutionContext:
             # truncate mode past the deadline: contribute nothing,
             # warned once by the governor
             return []
+        dispatcher = self.dispatcher
+        if dispatcher is not None and dispatcher.active:
+            return dispatcher.fetch(
+                source_name,
+                str(query),
+                lambda: self._ship(source_name, query),
+            )
+        return self._ship(source_name, query)[0]
+
+    def _ship(
+        self, source_name: str, query: Rule
+    ) -> tuple[list[OEMObject], bool]:
+        """The real source call (reliability-wrapped), with accounting.
+
+        Returns ``(answer, cacheable)`` — a degraded answer is an
+        absence, not an observation, so it is never cacheable.  Safe to
+        run on a dispatcher worker thread: run-wide counters mutate
+        under the context lock, and per-call warnings/attempts go to
+        the active :class:`TaskScope` (when one is installed) so the
+        coordinator can merge them back in deterministic order.
+        """
         source = self.sources.resolve(source_name)
+        resilient = None
         if self.resilience is not None:
-            source = self.resilience.wrap(source)
-            attempts_before = self.resilience.health.attempts_of(source_name)
-            clock = self.resilience.clock
-        else:
-            attempts_before = 0
-            clock = None
-        started = clock.now() if clock is not None else 0.0
+            source = resilient = self.resilience.wrap(source)
+        scope = current_scope()
+        sink = scope.warnings if scope is not None else self.warnings
         degraded = False
         try:
             result = source.answer(query)
@@ -110,19 +140,16 @@ class ExecutionContext:
                 # is a SourceError: degrade mode treats a malformed
                 # source like an unavailable one
                 result = self.governor.sanitize_answer(
-                    source_name, result, sink=self.warnings
+                    source_name, result, sink=sink
                 )
         except SourceError as exc:
             if self.on_source_failure != "degrade":
                 raise
             degraded = True
             attempts = (
-                self.resilience.health.attempts_of(source_name)
-                - attempts_before
-                if self.resilience is not None
-                else 1
+                resilient.last_call_stats()[0] if resilient is not None else 1
             )
-            self.warnings.append(
+            sink.append(
                 SourceWarning(
                     source=source_name,
                     message=str(exc),
@@ -131,29 +158,32 @@ class ExecutionContext:
                 )
             )
             result = []
-        if self.resilience is not None:
-            self.attempts_made += (
-                self.resilience.health.attempts_of(source_name)
-                - attempts_before
-            )
-            self.source_latency += clock.now() - started
+        if resilient is not None:
+            attempts, elapsed = resilient.last_call_stats()
         else:
-            self.attempts_made += 1
-        self.queries_sent[source_name] = (
-            self.queries_sent.get(source_name, 0) + 1
-        )
-        self.objects_received[source_name] = (
-            self.objects_received.get(source_name, 0) + len(result)
-        )
-        if self.statistics is not None and not degraded:
-            # degraded answers are absences, not observations — feeding
-            # them to the optimizer would teach it the source is empty
-            for condition in query.tail:
-                if isinstance(condition, PatternCondition):
-                    self.statistics.record(
-                        source_name, condition.pattern, len(result)
-                    )
-        return result
+            attempts, elapsed = 1, 0.0
+        if scope is not None:
+            scope.attempts += attempts
+            scope.latency += elapsed
+        with self._lock:
+            self.attempts_made += attempts
+            self.source_latency += elapsed
+            self.queries_sent[source_name] = (
+                self.queries_sent.get(source_name, 0) + 1
+            )
+            self.objects_received[source_name] = (
+                self.objects_received.get(source_name, 0) + len(result)
+            )
+            if self.statistics is not None and not degraded:
+                # degraded answers are absences, not observations —
+                # feeding them to the optimizer would teach it the
+                # source is empty
+                for condition in query.tail:
+                    if isinstance(condition, PatternCondition):
+                        self.statistics.record(
+                            source_name, condition.pattern, len(result)
+                        )
+        return result, not degraded
 
     @property
     def total_queries(self) -> int:
@@ -186,6 +216,9 @@ class DatamergeEngine:
         governor = context.governor
         if governor is not None:
             governor.start()
+        dispatcher = context.dispatcher
+        if dispatcher is not None and dispatcher.parallel:
+            return self._execute_staged(plan, context, dispatcher)
         outputs: dict[int, BindingTable] = {}
         for node in plan.nodes():
             if governor is not None:
@@ -205,6 +238,86 @@ class DatamergeEngine:
                     )
                 )
         if context.trace is not None:
+            self.last_trace = context.trace
+        return outputs[id(plan.root)]
+
+    def _execute_staged(
+        self,
+        plan: PhysicalPlan,
+        context: ExecutionContext,
+        dispatcher: "SourceDispatcher",
+    ) -> BindingTable:
+        """Stage-parallel execution: fan out each stage's leaf queries.
+
+        Nodes are grouped by topological depth; within a stage every
+        node is independent of the others.  Leaf :class:`QueryNode`\\ s
+        of a stage run concurrently on the dispatcher's worker pool;
+        everything else (including :class:`ParameterizedQueryNode`,
+        which fans out its own per-tuple batch) runs inline on this
+        thread, so only the coordinating thread ever blocks on futures
+        — no nested-pool deadlock.  Warnings and trace figures are
+        merged back in topological order, which keeps parallel runs'
+        reporting deterministic.
+        """
+        governor = context.governor
+        outputs: dict[int, BindingTable] = {}
+        entries: dict[int, TraceEntry] = {}
+        for stage in plan.stages():
+            leaves = [node for node in stage if isinstance(node, QueryNode)]
+            leaf_ids = {id(node) for node in leaves}
+            if leaves:
+                if governor is not None:
+                    for node in leaves:
+                        governor.enter_node(node)
+                outcomes = dispatcher.run_tasks(
+                    [
+                        (lambda n=node: n.execute([], context))
+                        for node in leaves
+                    ]
+                )
+                first_error: BaseException | None = None
+                for node, outcome in zip(leaves, outcomes):
+                    context.warnings.extend(outcome.scope.warnings)
+                    if outcome.error is not None:
+                        if first_error is None:
+                            first_error = outcome.error
+                        continue
+                    table = outcome.value
+                    assert isinstance(table, BindingTable)
+                    outputs[id(node)] = table
+                    if context.trace is not None:
+                        entries[id(node)] = TraceEntry(
+                            node,
+                            table,
+                            attempts=outcome.scope.attempts,
+                            latency=outcome.scope.latency,
+                        )
+                if first_error is not None:
+                    raise first_error
+            for node in stage:
+                if id(node) in leaf_ids:
+                    continue
+                if governor is not None:
+                    governor.enter_node(node)
+                inputs = [outputs[id(child)] for child in node.inputs]
+                scope = TaskScope()
+                with scope_active(scope):
+                    table = node.execute(inputs, context)
+                context.warnings.extend(scope.warnings)
+                outputs[id(node)] = table
+                if context.trace is not None:
+                    entries[id(node)] = TraceEntry(
+                        node,
+                        table,
+                        attempts=scope.attempts,
+                        latency=scope.latency,
+                    )
+        if context.trace is not None:
+            context.trace.extend(
+                entries[id(node)]
+                for node in plan.nodes()
+                if id(node) in entries
+            )
             self.last_trace = context.trace
         return outputs[id(plan.root)]
 

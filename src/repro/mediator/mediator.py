@@ -29,9 +29,12 @@ and matching locally:
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Iterator, Sequence
 
 from repro.client.result import ResultSet
+from repro.exec.cache import AnswerCache
+from repro.exec.dispatcher import SourceDispatcher
 from repro.external.registry import ExternalRegistry, default_registry
 from repro.governor.budget import (
     CancellationToken,
@@ -95,6 +98,8 @@ class Mediator(Source):
         budget_mode: str = "strict",
         on_malformed_answer: str = "error",
         cancellation: CancellationToken | None = None,
+        parallelism: int = 1,
+        cache: AnswerCache | None = None,
     ) -> None:
         if not name or not name.isidentifier():
             raise MediatorError(f"invalid mediator name {name!r}")
@@ -152,6 +157,22 @@ class Mediator(Source):
         self._clock = clock or MonotonicClock()
         self.last_governor: QueryGovernor | None = None
 
+        try:
+            self.dispatcher = SourceDispatcher(
+                parallelism=parallelism, cache=cache
+            )
+        except ValueError as exc:
+            raise MediatorError(str(exc)) from exc
+        self.parallelism = parallelism
+        self.cache = cache
+        # one top-level operation at a time: a mediator is itself a
+        # Source, and under parallel execution several worker threads
+        # of a *parent* mediator may query one stacked sub-mediator
+        # concurrently — its engine state (last_context, last_warnings,
+        # governor) is per-operation, so operations serialize.  RLock:
+        # materialization paths re-enter via export().
+        self._query_lock = threading.RLock()
+
         self.is_recursive = any(
             condition.source == name
             for rule in specification.rules
@@ -170,7 +191,7 @@ class Mediator(Source):
     def answer(self, query: str | Rule) -> list[OEMObject]:
         """Answer an MSL query against this mediator's view."""
         query = self._parse_query(query)
-        with self._warning_scope():
+        with self._query_lock, self._warning_scope():
             if (
                 self.is_recursive
                 or _query_uses_wildcards(query, self.name)
@@ -204,7 +225,7 @@ class Mediator(Source):
 
     def export(self) -> Sequence[OEMObject]:
         """Materialize the whole view (all rules, no conditions)."""
-        with self._warning_scope():
+        with self._query_lock, self._warning_scope():
             if self.is_recursive:
                 results = self._fixpoint_materialize()
             else:
@@ -282,13 +303,24 @@ class Mediator(Source):
         governor = self._make_governor([])
         if governor is not None:
             text += "\n\n-- governor --\n" + governor.describe()
+        if self.dispatcher.active:
+            text += "\n\n-- execution --\n" + self.dispatcher.describe()
         return text
 
     def health_snapshot(self):
-        """Per-source health records (empty without a resilience layer)."""
-        if self.resilience is None:
-            return {}
-        return self.resilience.health.snapshot()
+        """Per-source health records (empty without a resilience layer).
+
+        With an active dispatcher (``parallelism > 1`` or an answer
+        cache) the reserved ``"_execution"`` key carries its dispatch
+        and cache statistics alongside the per-source records.
+        """
+        snapshot = (
+            {} if self.resilience is None
+            else self.resilience.health.snapshot()
+        )
+        if self.dispatcher.active:
+            snapshot["_execution"] = self.dispatcher.stats()
+        return snapshot
 
     @contextlib.contextmanager
     def _warning_scope(self) -> Iterator[None]:
@@ -372,6 +404,9 @@ class Mediator(Source):
             on_source_failure=self.on_source_failure,
             warnings=self.last_warnings,
             governor=self.last_governor,
+            dispatcher=(
+                self.dispatcher if self.dispatcher.active else None
+            ),
         )
 
     def _export_source(self, name: str) -> Sequence[OEMObject]:

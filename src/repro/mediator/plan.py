@@ -29,6 +29,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
+from repro.exec.dispatcher import current_scope
 from repro.mediator.tables import BindingTable, TableError
 from repro.msl.ast import (
     Comparison,
@@ -303,6 +304,13 @@ class ParameterizedQueryNode(PlanNode):
         self, inputs: list[BindingTable], context: "ExecutionContext"
     ) -> BindingTable:
         (table,) = inputs
+        dispatcher = context.dispatcher
+        if (
+            dispatcher is not None
+            and dispatcher.parallel
+            and len(table.rows) > 1
+        ):
+            return self._execute_batch(table, context, dispatcher)
 
         def expand(row: Mapping[str, object]) -> Iterable[Sequence[object]]:
             query = self.instantiate(row)
@@ -310,6 +318,58 @@ class ParameterizedQueryNode(PlanNode):
                 yield [obj]
 
         return table.extend([OBJECT_COLUMN], expand)
+
+    def _execute_batch(
+        self, table: BindingTable, context: "ExecutionContext", dispatcher
+    ) -> BindingTable:
+        """Fan the per-tuple queries of one input table across workers.
+
+        Queries are instantiated up front and deduplicated by canonical
+        text (distinct rows often bind the same parameters), one task
+        is dispatched per unique query, and the output table is rebuilt
+        on the coordinating thread in input-row order — same rows, same
+        order, same dropped-empty-answer semantics as the sequential
+        ``extend`` path.  Per-task warnings and attempt counts merge
+        into the node's own scope in tuple order.
+        """
+        unique: list[Rule] = []
+        index_of: dict[str, int] = {}
+        row_query: list[int] = []
+        for row in table.rows:
+            query = self.instantiate(table.row_dict(row))
+            text = str(query)
+            position = index_of.get(text)
+            if position is None:
+                position = index_of[text] = len(unique)
+                unique.append(query)
+            row_query.append(position)
+        outcomes = dispatcher.run_tasks(
+            [
+                (lambda q=query: context.send_query(self.source, q))
+                for query in unique
+            ]
+        )
+        parent = current_scope()
+        first_error: BaseException | None = None
+        for outcome in outcomes:
+            if parent is not None:
+                parent.merge(outcome.scope)
+            else:
+                context.warnings.extend(outcome.scope.warnings)
+            if outcome.error is not None and first_error is None:
+                first_error = outcome.error
+        if first_error is not None:
+            raise first_error
+        result = BindingTable(
+            tuple(table.columns) + (OBJECT_COLUMN,),
+            governor=context.governor,
+        )
+        add = result._appender()
+        for row, position in zip(table.rows, row_query):
+            answer = outcomes[position].value
+            for obj in answer if answer else ():
+                add(row + (obj,))
+        return result
 
     def describe(self) -> str:
         params = ", ".join(
@@ -476,6 +536,7 @@ class PhysicalPlan:
     def __init__(self, root: PlanNode) -> None:
         self.root = root
         self._order: list[PlanNode] | None = None
+        self._stages: list[list[PlanNode]] | None = None
 
     def nodes(self) -> list[PlanNode]:
         """All nodes in bottom-up (topological) order."""
@@ -495,6 +556,29 @@ class PhysicalPlan:
         visit(self.root)
         self._order = order
         return order
+
+    def stages(self) -> list[list[PlanNode]]:
+        """Nodes grouped by topological depth, shallowest first.
+
+        A node's depth is ``1 + max(depth of its inputs)``, so all of a
+        stage's inputs live in strictly earlier stages and the nodes
+        *within* one stage are mutually independent — the unit of
+        parallelism for the stage-aware executor.  Within a stage,
+        nodes keep their :meth:`nodes` (topological) order, which is
+        what keeps parallel runs' warning and trace order
+        deterministic.
+        """
+        if self._stages is not None:
+            return self._stages
+        depth: dict[int, int] = {}
+        grouped: dict[int, list[PlanNode]] = {}
+        for node in self.nodes():
+            depth[id(node)] = 1 + max(
+                (depth[id(child)] for child in node.inputs), default=0
+            )
+            grouped.setdefault(depth[id(node)], []).append(node)
+        self._stages = [grouped[d] for d in sorted(grouped)]
+        return self._stages
 
     def describe(self) -> str:
         """A numbered, indented description of the whole graph."""

@@ -170,13 +170,12 @@ class BindingTable:
         )
         add = result._appender()
         if not shared:
+            cross_positions = [other.position(c) for c in other_only]
             for left in self.rows:
                 for right in other.rows:
                     add(
                         left
-                        + tuple(
-                            right[other.position(c)] for c in other_only
-                        )
+                        + tuple(right[p] for p in cross_positions)
                     )
             return result
         index: dict[tuple, list[tuple[object, ...]]] = {}

@@ -11,6 +11,7 @@ and recovery curves fully deterministic.
 from __future__ import annotations
 
 import abc
+import threading
 import time
 
 __all__ = ["Clock", "MonotonicClock", "ManualClock"]
@@ -44,6 +45,9 @@ class ManualClock(Clock):
 
     ``sleep`` advances the clock by the requested amount, so code under
     test experiences backoff delays and cooldown windows instantly.
+    Advancing is atomic: under the parallel dispatcher many worker
+    threads "sleep" on one shared manual clock, and the total advance
+    must equal the sum of the sleeps regardless of interleaving.
 
     >>> clock = ManualClock()
     >>> clock.sleep(2.5); clock.advance(0.5); clock.now()
@@ -53,16 +57,21 @@ class ManualClock(Clock):
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
         self.sleeps: list[float] = []
+        self._lock = threading.Lock()
 
     def now(self) -> float:
         return self._now
 
     def sleep(self, seconds: float) -> None:
-        self.sleeps.append(seconds)
-        self.advance(seconds)
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        with self._lock:
+            self.sleeps.append(seconds)
+            self._now += seconds
 
     def advance(self, seconds: float) -> None:
         """Move time forward by ``seconds`` (must be non-negative)."""
         if seconds < 0:
             raise ValueError("a monotonic clock cannot go backwards")
-        self._now += seconds
+        with self._lock:
+            self._now += seconds

@@ -9,7 +9,8 @@ statistics store.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import threading
+from dataclasses import dataclass, field, replace
 
 from repro.reliability.policy import CLOSED, CircuitBreaker
 
@@ -86,6 +87,11 @@ def aggregate_warnings(warnings) -> list:
     return result
 
 
+#: Latency samples kept per source for percentile estimation.  A small
+#: sliding window keeps memory bounded while tracking recent behaviour.
+LATENCY_WINDOW = 512
+
+
 @dataclass
 class SourceHealth:
     """Mutable per-source counters; snapshots hand out frozen copies."""
@@ -100,60 +106,118 @@ class SourceHealth:
     last_latency: float = 0.0
     last_error: str | None = None
     breaker_state: str = CLOSED
+    latencies: list[float] = field(default_factory=list)
 
     @property
     def failure_rate(self) -> float:
         return self.failures / self.attempts if self.attempts else 0.0
 
+    def observe_latency(self, latency: float) -> None:
+        """Record one attempt's latency in the sliding sample window."""
+        self.total_latency += latency
+        self.last_latency = latency
+        self.latencies.append(latency)
+        if len(self.latencies) > LATENCY_WINDOW:
+            del self.latencies[: len(self.latencies) - LATENCY_WINDOW]
+
+    def latency_percentile(self, quantile: float) -> float:
+        """The ``quantile`` (0..1) latency over the sample window.
+
+        Nearest-rank on the sorted window — deterministic and exact for
+        the samples held; 0.0 before any attempt was observed.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = max(1, -(-int(quantile * 10000) * len(ordered) // 10000))
+        rank = min(rank, len(ordered))
+        return ordered[rank - 1]
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(0.95)
+
+    @property
+    def max_latency(self) -> float:
+        return max(self.latencies) if self.latencies else 0.0
+
     def render(self) -> str:
         error = f" last_error={self.last_error!r}" if self.last_error else ""
+        latency = (
+            f" p50={self.p50_latency:.4f}s p95={self.p95_latency:.4f}s"
+            f" max={self.max_latency:.4f}s"
+            if self.latencies
+            else ""
+        )
         return (
             f"{self.source}: breaker={self.breaker_state}"
             f" attempts={self.attempts} ok={self.successes}"
-            f" failed={self.failures} rejected={self.rejections}{error}"
+            f" failed={self.failures} rejected={self.rejections}"
+            f"{latency}{error}"
         )
 
 
 class HealthRegistry:
-    """Name-keyed health records, fed by :class:`ResilientSource`."""
+    """Name-keyed health records, fed by :class:`ResilientSource`.
+
+    All mutation happens under one lock: with the parallel dispatcher,
+    worker threads record events for many sources concurrently, and the
+    counters must stay exact (they are what the determinism tests
+    compare between sequential and parallel runs).
+    """
 
     def __init__(self) -> None:
         self._records: dict[str, SourceHealth] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
 
     def record_for(self, source: str) -> SourceHealth:
-        record = self._records.get(source)
-        if record is None:
-            record = self._records[source] = SourceHealth(source)
-        return record
+        with self._lock:
+            record = self._records.get(source)
+            if record is None:
+                record = self._records[source] = SourceHealth(source)
+            return record
 
     def attach_breaker(self, source: str, breaker: CircuitBreaker) -> None:
         """Associate ``breaker`` so snapshots report its live state."""
-        self._breakers[source] = breaker
+        with self._lock:
+            self._breakers[source] = breaker
 
     # -- event recording ---------------------------------------------------
 
     def record_attempt(self, source: str) -> None:
-        self.record_for(source).attempts += 1
+        record = self.record_for(source)
+        with self._lock:
+            record.attempts += 1
 
     def record_success(self, source: str, latency: float) -> None:
         record = self.record_for(source)
-        record.successes += 1
-        record.total_latency += latency
-        record.last_latency = latency
+        with self._lock:
+            record.successes += 1
+            record.observe_latency(latency)
 
     def record_failure(self, source: str, error: str, latency: float) -> None:
         record = self.record_for(source)
-        record.failures += 1
-        record.total_latency += latency
-        record.last_latency = latency
-        record.last_error = error
+        with self._lock:
+            record.failures += 1
+            record.observe_latency(latency)
+            record.last_error = error
 
     def record_retry(self, source: str) -> None:
-        self.record_for(source).retries += 1
+        record = self.record_for(source)
+        with self._lock:
+            record.retries += 1
 
     def record_rejection(self, source: str) -> None:
-        self.record_for(source).rejections += 1
+        record = self.record_for(source)
+        with self._lock:
+            record.rejections += 1
 
     # -- introspection ------------------------------------------------------
 
@@ -164,15 +228,21 @@ class HealthRegistry:
     def status(self, source: str) -> SourceHealth:
         """A frozen-in-time copy of one source's record."""
         record = self.record_for(source)
-        breaker = self._breakers.get(source)
-        return replace(
-            record,
-            breaker_state=breaker.state if breaker else record.breaker_state,
-        )
+        with self._lock:
+            breaker = self._breakers.get(source)
+            return replace(
+                record,
+                breaker_state=(
+                    breaker.state if breaker else record.breaker_state
+                ),
+                latencies=list(record.latencies),
+            )
 
     def snapshot(self) -> dict[str, SourceHealth]:
         """Copies of every record, with live breaker states folded in."""
-        return {name: self.status(name) for name in sorted(self._records)}
+        with self._lock:
+            names = sorted(self._records)
+        return {name: self.status(name) for name in names}
 
     def render(self) -> str:
         return "\n".join(
@@ -180,6 +250,8 @@ class HealthRegistry:
         )
 
     def reset(self) -> None:
-        self._records.clear()
-        for breaker in self._breakers.values():
+        with self._lock:
+            self._records.clear()
+            breakers = list(self._breakers.values())
+        for breaker in breakers:
             breaker.reset()

@@ -16,6 +16,7 @@ its own.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 
 from repro.reliability.clock import Clock, MonotonicClock
@@ -120,16 +121,20 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self.rejections = 0
+        # state transitions must be atomic: under the parallel
+        # dispatcher many worker threads consult one breaker
+        self._mutex = threading.RLock()
 
     @property
     def state(self) -> str:
         """Current state, promoting open → half-open when cooled down."""
-        if (
-            self._state == OPEN
-            and self.clock.now() - self._opened_at >= self.cooldown
-        ):
-            self._state = HALF_OPEN
-        return self._state
+        with self._mutex:
+            if (
+                self._state == OPEN
+                and self.clock.now() - self._opened_at >= self.cooldown
+            ):
+                self._state = HALF_OPEN
+            return self._state
 
     @property
     def consecutive_failures(self) -> int:
@@ -141,27 +146,31 @@ class CircuitBreaker:
         In half-open state this admits the probe; a rejected call is
         counted in :attr:`rejections`.
         """
-        if self.state == OPEN:
-            self.rejections += 1
-            return False
-        return True
+        with self._mutex:
+            if self.state == OPEN:
+                self.rejections += 1
+                return False
+            return True
 
     def record_success(self) -> None:
-        self._consecutive_failures = 0
-        self._state = CLOSED
+        with self._mutex:
+            self._consecutive_failures = 0
+            self._state = CLOSED
 
     def record_failure(self) -> None:
-        self._consecutive_failures += 1
-        if (
-            self.state == HALF_OPEN
-            or self._consecutive_failures >= self.failure_threshold
-        ):
-            self._state = OPEN
-            self._opened_at = self.clock.now()
+        with self._mutex:
+            self._consecutive_failures += 1
+            if (
+                self.state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self.clock.now()
 
     def reset(self) -> None:
         """Force the breaker closed and forget history."""
-        self._state = CLOSED
-        self._consecutive_failures = 0
-        self._opened_at = 0.0
-        self.rejections = 0
+        with self._mutex:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = 0.0
+            self.rejections = 0

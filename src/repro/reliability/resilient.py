@@ -26,6 +26,7 @@ routes ``send_query`` through.
 from __future__ import annotations
 
 import random
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -102,6 +103,15 @@ class ResilientSource(Source):
         self.health = health or HealthRegistry()
         self.health.attach_breaker(self.name, self.breaker)
         self._rng = random.Random(seed)
+        # per-call accounting: (attempts, elapsed) of the *latest* call
+        # on this thread.  Thread-local so concurrent dispatcher workers
+        # sharing one wrapper never read each other's figures — the
+        # health registry only holds cross-call totals.
+        self._local = threading.local()
+
+    def last_call_stats(self) -> tuple[int, float]:
+        """``(attempts, elapsed_seconds)`` of this thread's last call."""
+        return getattr(self._local, "stats", (0, 0.0))
 
     @property
     def capability(self):
@@ -117,59 +127,66 @@ class ResilientSource(Source):
         started = self.clock.now()
         last_error: SourceError | None = None
         attempts = 0
-        for attempt in range(1, self.policy.max_attempts + 1):
-            if not self.breaker.allow():
-                self.health.record_rejection(self.name)
-                raise SourceUnavailable(
-                    self.name,
-                    f"source {self.name!r} unavailable: circuit breaker is"
-                    f" open (cooldown {self.breaker.cooldown}s)",
-                    attempts=attempts,
-                    cause=last_error,
-                )
-            attempts = attempt
-            self.health.record_attempt(self.name)
-            attempt_started = self.clock.now()
-            try:
-                result = produce()
-                elapsed = self.clock.now() - attempt_started
-                if self.timeout is not None and elapsed > self.timeout:
-                    raise SourceTimeoutError(
-                        f"source {self.name!r} answered in {elapsed:.3f}s,"
-                        f" over the {self.timeout:.3f}s timeout"
+        try:
+            for attempt in range(1, self.policy.max_attempts + 1):
+                if not self.breaker.allow():
+                    self.health.record_rejection(self.name)
+                    raise SourceUnavailable(
+                        self.name,
+                        f"source {self.name!r} unavailable: circuit breaker"
+                        f" is open (cooldown {self.breaker.cooldown}s)",
+                        attempts=attempts,
+                        cause=last_error,
                     )
-                result = validate_answer(self.name, result)
-            except SourceUnavailable:
-                # a nested resilient layer already gave up; don't retry
-                self.breaker.record_failure()
-                raise
-            except SourceError as exc:
-                elapsed = self.clock.now() - attempt_started
-                self.breaker.record_failure()
-                self.health.record_failure(self.name, str(exc), elapsed)
-                last_error = exc
-                if attempt >= self.policy.max_attempts:
-                    break
-                delay = self.policy.delay(attempt, self._rng)
-                if not self.policy.within_deadline(
-                    self.clock.now() - started, delay
-                ):
-                    break
-                self.health.record_retry(self.name)
-                self.clock.sleep(delay)
-                continue
-            self.breaker.record_success()
-            self.health.record_success(
-                self.name, self.clock.now() - attempt_started
-            )
-            return result
-        raise SourceUnavailable(
-            self.name,
-            f"source {self.name!r} unavailable after {attempts} attempt(s):"
-            f" {last_error}",
-            attempts=attempts,
-            cause=last_error,
-        ) from last_error
+                attempts = attempt
+                self.health.record_attempt(self.name)
+                attempt_started = self.clock.now()
+                try:
+                    result = produce()
+                    elapsed = self.clock.now() - attempt_started
+                    if self.timeout is not None and elapsed > self.timeout:
+                        raise SourceTimeoutError(
+                            f"source {self.name!r} answered in"
+                            f" {elapsed:.3f}s, over the"
+                            f" {self.timeout:.3f}s timeout"
+                        )
+                    result = validate_answer(self.name, result)
+                except SourceUnavailable:
+                    # a nested resilient layer already gave up; don't retry
+                    self.breaker.record_failure()
+                    raise
+                except SourceError as exc:
+                    elapsed = self.clock.now() - attempt_started
+                    self.breaker.record_failure()
+                    self.health.record_failure(self.name, str(exc), elapsed)
+                    last_error = exc
+                    if attempt >= self.policy.max_attempts:
+                        break
+                    delay = self.policy.delay(attempt, self._rng)
+                    if not self.policy.within_deadline(
+                        self.clock.now() - started, delay
+                    ):
+                        break
+                    self.health.record_retry(self.name)
+                    self.clock.sleep(delay)
+                    continue
+                self.breaker.record_success()
+                self.health.record_success(
+                    self.name, self.clock.now() - attempt_started
+                )
+                return result
+            raise SourceUnavailable(
+                self.name,
+                f"source {self.name!r} unavailable after {attempts}"
+                f" attempt(s): {last_error}",
+                attempts=attempts,
+                cause=last_error,
+            ) from last_error
+        finally:
+            # every exit path publishes this call's figures for the
+            # execution context (thread-local, so concurrent dispatcher
+            # workers never see each other's calls)
+            self._local.stats = (attempts, self.clock.now() - started)
 
     # -- the Source interface ----------------------------------------------
 

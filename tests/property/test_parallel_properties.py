@@ -1,0 +1,187 @@
+"""Property: parallel execution never changes what a query means.
+
+The determinism contract of the execution layer (docs/performance.md):
+with deterministic sources, a fixed seed, and a ManualClock, a run at
+``parallelism=N`` with an answer cache produces the same result
+objects (by structural key — oids are mediator-assigned and
+run-specific) and the same warnings as the plain sequential engine.
+Single-flight dedup and caching may only remove *duplicate* wire
+calls, never change any answer.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    JOE_CHUNG_QUERY,
+    MS1,
+    YEAR3_QUERY,
+    build_cs_database,
+    build_whois_objects,
+)
+from repro.datasets.staff import build_scaled_scenario
+from repro.exec import AnswerCache
+from repro.external.registry import default_registry
+from repro.mediator import Mediator
+from repro.oem import structural_key
+from repro.reliability import (
+    FaultInjectingSource,
+    ManualClock,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.wrappers import OEMStoreWrapper, RelationalWrapper, SourceRegistry
+
+FANOUT_QUERY = "S :- S:<cs_person {<rel 'student'>}>@med"
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+def warning_signatures(warnings):
+    return sorted((w.source, w.error) for w in warnings)
+
+
+def build_mediator(
+    seed,
+    fault_rate=0.0,
+    dead=False,
+    parallelism=1,
+    cache=None,
+    on_source_failure="fail",
+):
+    """A fresh MS1 mediator with its own fault schedule and health."""
+    clock = ManualClock()
+    registry = SourceRegistry()
+    registry.register(
+        FaultInjectingSource(
+            OEMStoreWrapper("whois", build_whois_objects()),
+            seed=seed,
+            fault_rate=fault_rate,
+            dead=dead,
+            latency=0.05,
+            clock=clock,
+        )
+    )
+    registry.register(RelationalWrapper("cs", build_cs_database()))
+    return Mediator(
+        "med",
+        MS1,
+        registry,
+        default_registry(),
+        on_source_failure=on_source_failure,
+        resilience=ResilienceConfig(
+            # a deep retry budget masks any non-dead fault schedule:
+            # fault_rate <= 0.3 over 8 attempts leaves < 0.01% chance
+            # of surfacing, so answers stay schedule-independent
+            retry=RetryPolicy(
+                max_attempts=8, base_delay=0.01, jitter=0.0
+            ),
+            breaker_threshold=100,
+        ),
+        clock=clock,
+        parallelism=parallelism,
+        cache=cache,
+    )
+
+
+class TestParallelEqualsSequential:
+    @given(
+        people=st.integers(min_value=3, max_value=12),
+        seed=st.integers(min_value=0, max_value=10_000),
+        parallelism=st.sampled_from([2, 4, 8]),
+        with_cache=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_scaled_fanout_workload(
+        self, people, seed, parallelism, with_cache
+    ):
+        scenario = build_scaled_scenario(
+            people, seed=seed, push_mode="needed"
+        )
+        sequential = scenario.mediator.query(FANOUT_QUERY)
+        parallel_mediator = Mediator(
+            "med",
+            scenario.mediator.specification,
+            scenario.registry,
+            scenario.externals,
+            push_mode="needed",
+            register=False,
+            parallelism=parallelism,
+            cache=AnswerCache(max_entries=128) if with_cache else None,
+        )
+        for _ in range(2):  # second round exercises cache hits
+            results = parallel_mediator.query(FANOUT_QUERY)
+            assert canonical(results) == canonical(sequential)
+            assert warning_signatures(
+                results.warnings
+            ) == warning_signatures(sequential.warnings)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        fault_rate=st.floats(min_value=0.0, max_value=0.3),
+        parallelism=st.sampled_from([2, 8]),
+        query=st.sampled_from([JOE_CHUNG_QUERY, YEAR3_QUERY]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_masked_fault_schedules(
+        self, seed, fault_rate, parallelism, query
+    ):
+        # retries fully absorb the injected faults, so the answer must
+        # not depend on the interleaving of attempts across workers
+        sequential = build_mediator(seed, fault_rate=fault_rate)
+        parallel = build_mediator(
+            seed,
+            fault_rate=fault_rate,
+            parallelism=parallelism,
+            cache=AnswerCache(max_entries=64),
+        )
+        expected = canonical(sequential.answer(query))
+        assert canonical(parallel.answer(query)) == expected
+        assert canonical(parallel.answer(query)) == expected
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_health_counters_match_without_faults(self, seed):
+        # no faults, no cache, unique queries: the wire traffic of a
+        # parallel run is *identical* to the sequential run's, so the
+        # shared health registry must agree exactly
+        sequential = build_mediator(seed)
+        parallel = build_mediator(seed, parallelism=8)
+        for query in (JOE_CHUNG_QUERY, YEAR3_QUERY):
+            sequential.answer(query)
+            parallel.answer(query)
+        for source in ("whois", "cs"):
+            before = sequential.health_snapshot()[source]
+            after = parallel.health_snapshot()[source]
+            assert (before.attempts, before.successes, before.failures) == (
+                after.attempts, after.successes, after.failures
+            )
+        assert (
+            parallel.last_context.queries_sent
+            == sequential.last_context.queries_sent
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        parallelism=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_degraded_warnings_survive_parallelism(self, seed, parallelism):
+        # a dead source degrades identically whether the queries that
+        # hit it run on one thread or many
+        sequential = build_mediator(
+            seed, dead=True, on_source_failure="degrade"
+        )
+        parallel = build_mediator(
+            seed, dead=True, on_source_failure="degrade",
+            parallelism=parallelism,
+        )
+        for query in (JOE_CHUNG_QUERY, YEAR3_QUERY):
+            expected = sequential.query(query)
+            observed = parallel.query(query)
+            assert canonical(observed) == canonical(expected)
+            assert warning_signatures(
+                observed.warnings
+            ) == warning_signatures(expected.warnings)

@@ -1,0 +1,460 @@
+"""Unit tests for the parallel execution layer (repro.exec).
+
+Covers the :class:`AnswerCache` (LRU + TTL + invalidation), the
+:class:`SourceDispatcher` (batch scheduling, single-flight dedup, task
+scopes), and the mediator-level integration: ``parallelism=N`` and
+``cache=`` knobs, staged plan execution, and the determinism contract
+(parallel results equal sequential results).
+"""
+
+import threading
+
+import pytest
+
+from repro.exec import AnswerCache, SourceDispatcher, TaskScope, current_scope, scope_active
+from repro.exec.dispatcher import TaskOutcome
+from repro.governor.budget import CancellationToken, QueryCancelled
+from repro.mediator import Mediator, MediatorError
+from repro.oem import parse_oem
+from repro.oem.compare import structural_key
+from repro.reliability import ManualClock
+from repro.wrappers import OEMStoreWrapper, SourceRegistry
+
+
+def make_objects(label="a"):
+    return parse_oem(f"<&{label}1, rec, set, {{&{label}2}}>"
+                     f" <&{label}2, name, string, '{label}'> ;")
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(obj)) for obj in objects)
+
+
+class TestAnswerCache:
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError):
+            AnswerCache(max_entries=0)
+        with pytest.raises(ValueError):
+            AnswerCache(ttl=0.0)
+
+    def test_store_then_lookup(self):
+        cache = AnswerCache()
+        answer = make_objects()
+        cache.store("src", "q1", answer)
+        hit, value = cache.lookup("src", "q1")
+        assert hit and value == answer
+        assert ("src", "q1") in cache
+        assert len(cache) == 1
+
+    def test_lookup_returns_a_fresh_copy(self):
+        cache = AnswerCache()
+        cache.store("src", "q1", make_objects())
+        _, first = cache.lookup("src", "q1")
+        first.clear()
+        _, second = cache.lookup("src", "q1")
+        assert len(second) == 1
+
+    def test_miss_is_counted(self):
+        cache = AnswerCache()
+        hit, value = cache.lookup("src", "nope")
+        assert not hit and value is None
+        assert cache.misses == 1 and cache.hits == 0
+        assert cache.hit_rate == 0.0
+
+    def test_lru_eviction_prefers_stale_entries(self):
+        cache = AnswerCache(max_entries=2)
+        cache.store("src", "a", [])
+        cache.store("src", "b", [])
+        cache.lookup("src", "a")  # refresh a: b is now least recent
+        cache.store("src", "c", [])
+        assert ("src", "a") in cache
+        assert ("src", "b") not in cache
+        assert ("src", "c") in cache
+        assert cache.evictions == 1
+
+    def test_ttl_expires_on_the_injected_clock(self):
+        clock = ManualClock()
+        cache = AnswerCache(ttl=10.0, clock=clock)
+        cache.store("src", "q1", make_objects())
+        clock.advance(9.0)
+        assert cache.lookup("src", "q1")[0]
+        clock.advance(2.0)
+        hit, _ = cache.lookup("src", "q1")
+        assert not hit
+        assert cache.expirations == 1
+        assert len(cache) == 0
+
+    def test_invalidate_is_per_source(self):
+        cache = AnswerCache()
+        cache.store("whois", "q1", [])
+        cache.store("whois", "q2", [])
+        cache.store("cs", "q1", [])
+        assert cache.invalidate("whois") == 2
+        assert len(cache) == 1
+        assert ("cs", "q1") in cache
+        assert cache.invalidations == 2
+
+    def test_clear_drops_everything_but_keeps_counters(self):
+        cache = AnswerCache()
+        cache.store("src", "q1", [])
+        cache.lookup("src", "q1")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_stats_and_describe(self):
+        cache = AnswerCache(max_entries=8, ttl=5.0, clock=ManualClock())
+        cache.store("src", "q1", [])
+        cache.lookup("src", "q1")
+        cache.lookup("src", "q2")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["hits_by_source"] == {"src": 1}
+        assert "hit rate 0.50" in cache.describe()
+
+
+class TestTaskScope:
+    def test_no_scope_by_default(self):
+        assert current_scope() is None
+
+    def test_scope_active_installs_and_restores(self):
+        scope = TaskScope()
+        with scope_active(scope):
+            assert current_scope() is scope
+        assert current_scope() is None
+
+    def test_merge_accumulates(self):
+        parent, child = TaskScope(), TaskScope()
+        child.attempts, child.latency = 3, 1.5
+        child.warnings.append("w")
+        parent.merge(child)
+        assert parent.attempts == 3
+        assert parent.latency == 1.5
+        assert parent.warnings == ["w"]
+
+
+class TestSourceDispatcher:
+    def test_validates_parallelism(self):
+        with pytest.raises(ValueError):
+            SourceDispatcher(parallelism=0)
+        with pytest.raises(ValueError):
+            SourceDispatcher(parallelism=2.5)
+
+    def test_sequential_dispatcher_is_inactive_without_cache(self):
+        dispatcher = SourceDispatcher()
+        assert not dispatcher.parallel
+        assert not dispatcher.active
+        assert SourceDispatcher(cache=AnswerCache()).active
+        assert SourceDispatcher(parallelism=2).active
+
+    def test_sequential_batch_runs_inline_in_order(self):
+        dispatcher = SourceDispatcher(parallelism=1)
+        seen = []
+        outcomes = dispatcher.run_tasks(
+            [lambda i=i: (seen.append(i), threading.current_thread())[1]
+             for i in range(4)]
+        )
+        assert seen == [0, 1, 2, 3]
+        assert all(
+            outcome.value is threading.main_thread()
+            for outcome in outcomes
+        )
+
+    def test_parallel_batch_keeps_submission_order(self):
+        dispatcher = SourceDispatcher(parallelism=4)
+        try:
+            outcomes = dispatcher.run_tasks(
+                [lambda i=i: i * 10 for i in range(8)]
+            )
+            assert [o.value for o in outcomes] == [i * 10 for i in range(8)]
+        finally:
+            dispatcher.shutdown()
+
+    def test_parallel_batch_really_overlaps(self):
+        dispatcher = SourceDispatcher(parallelism=2)
+        barrier = threading.Barrier(2, timeout=10)
+        try:
+            outcomes = dispatcher.run_tasks([barrier.wait, barrier.wait])
+            assert all(o.error is None for o in outcomes)
+        finally:
+            dispatcher.shutdown()
+
+    def test_task_errors_are_captured_not_raised(self):
+        dispatcher = SourceDispatcher(parallelism=2)
+
+        def boom():
+            raise RuntimeError("task failed")
+
+        try:
+            outcomes = dispatcher.run_tasks([boom, lambda: "ok"])
+            assert isinstance(outcomes[0].error, RuntimeError)
+            assert outcomes[1].value == "ok"
+        finally:
+            dispatcher.shutdown()
+
+    def test_each_task_gets_its_own_scope(self):
+        dispatcher = SourceDispatcher(parallelism=4)
+
+        def record(n):
+            scope = current_scope()
+            scope.attempts += n
+            return n
+
+        try:
+            outcomes = dispatcher.run_tasks(
+                [lambda n=n: record(n) for n in (1, 2, 3)]
+            )
+            assert [o.scope.attempts for o in outcomes] == [1, 2, 3]
+        finally:
+            dispatcher.shutdown()
+
+    def test_fetch_consults_the_cache_first(self):
+        cache = AnswerCache()
+        answer = make_objects()
+        cache.store("src", "q", answer)
+        dispatcher = SourceDispatcher(cache=cache)
+
+        def ship():
+            raise AssertionError("a cache hit must not ship")
+
+        assert dispatcher.fetch("src", "q", ship) == answer
+
+    def test_fetch_stores_cacheable_answers_only(self):
+        cache = AnswerCache()
+        dispatcher = SourceDispatcher(cache=cache)
+        answer = make_objects()
+        assert dispatcher.fetch("src", "good", lambda: (answer, True)) == answer
+        assert dispatcher.fetch("src", "degraded", lambda: ([], False)) == []
+        assert ("src", "good") in cache
+        assert ("src", "degraded") not in cache
+
+    def test_single_flight_shares_one_wire_call(self):
+        dispatcher = SourceDispatcher(parallelism=4)
+        release = threading.Event()
+        calls = []
+        answer = make_objects()
+
+        def ship():
+            calls.append(threading.current_thread().name)
+            assert release.wait(timeout=10)
+            return answer, True
+
+        results = []
+
+        def fetch():
+            results.append(dispatcher.fetch("src", "q", ship))
+
+        threads = [threading.Thread(target=fetch) for _ in range(4)]
+        try:
+            for thread in threads:
+                thread.start()
+            # wait until the leader is in ship() and followers piled up
+            deadline = threading.Event()
+            for _ in range(100):
+                if calls and dispatcher.shared >= 3:
+                    break
+                deadline.wait(0.05)
+            release.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert len(calls) == 1, "exactly one caller ships"
+            assert len(results) == 4
+            assert all(result == answer for result in results)
+            assert dispatcher.shared == 3
+            assert dispatcher.dispatched == 1
+        finally:
+            release.set()
+            dispatcher.shutdown()
+
+    def test_single_flight_shares_the_leaders_error(self):
+        dispatcher = SourceDispatcher(parallelism=4)
+        release = threading.Event()
+
+        def ship():
+            assert release.wait(timeout=10)
+            raise RuntimeError("wire down")
+
+        errors = []
+
+        def fetch():
+            try:
+                dispatcher.fetch("src", "q", ship)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetch) for _ in range(3)]
+        try:
+            for thread in threads:
+                thread.start()
+            for _ in range(100):
+                if dispatcher.shared >= 2:
+                    break
+                release.wait(0.05)
+            release.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert len(errors) == 3
+        finally:
+            release.set()
+            dispatcher.shutdown()
+
+    def test_shutdown_is_idempotent_and_restartable(self):
+        dispatcher = SourceDispatcher(parallelism=2)
+        dispatcher.run_tasks([lambda: 1, lambda: 2])
+        dispatcher.shutdown()
+        dispatcher.shutdown()
+        outcomes = dispatcher.run_tasks([lambda: 3, lambda: 4])
+        assert [o.value for o in outcomes] == [3, 4]
+        dispatcher.shutdown()
+
+    def test_stats_and_describe(self):
+        dispatcher = SourceDispatcher(
+            parallelism=3, cache=AnswerCache(max_entries=4)
+        )
+        stats = dispatcher.stats()
+        assert stats["parallelism"] == 3
+        assert "cache" in stats
+        assert "parallelism: 3" in dispatcher.describe()
+        assert "answer cache" in dispatcher.describe()
+        assert "SourceDispatcher" in repr(dispatcher)
+
+
+TWO_SOURCE_SPEC = """
+<a X> :- <rec {<name X>}>@s1 ;
+<a X> :- <rec {<name X>}>@s2 ;
+"""
+
+
+class _BlockingWrapper(OEMStoreWrapper):
+    """Blocks every answer on a shared barrier — proves overlap."""
+
+    def __init__(self, name, objects, barrier):
+        super().__init__(name, objects)
+        self._barrier = barrier
+
+    def answer(self, query):
+        self._barrier.wait()
+        return super().answer(query)
+
+
+class TestParallelMediator:
+    def _registry(self):
+        return SourceRegistry(
+            OEMStoreWrapper("s1", make_objects("a")),
+            OEMStoreWrapper("s2", make_objects("b")),
+        )
+
+    def test_rejects_bad_parallelism(self):
+        with pytest.raises(MediatorError):
+            Mediator("m", TWO_SOURCE_SPEC, self._registry(), parallelism=0)
+
+    def test_parallel_answers_match_sequential(self):
+        sequential = Mediator("m", TWO_SOURCE_SPEC, self._registry())
+        parallel = Mediator(
+            "m", TWO_SOURCE_SPEC, self._registry(), parallelism=4
+        )
+        query = "X :- X:<a V>@m"
+        assert canonical(parallel.answer(query)) == canonical(
+            sequential.answer(query)
+        )
+
+    def test_union_leaves_run_concurrently(self):
+        # both leaf query nodes must be in flight at once or the
+        # barrier times out and the query fails
+        barrier = threading.Barrier(2, timeout=10)
+        registry = SourceRegistry(
+            _BlockingWrapper("s1", make_objects("a"), barrier),
+            _BlockingWrapper("s2", make_objects("b"), barrier),
+        )
+        mediator = Mediator("m", TWO_SOURCE_SPEC, registry, parallelism=2)
+        assert len(mediator.answer("X :- X:<a V>@m")) == 2
+
+    def test_parallel_trace_covers_the_whole_plan(self):
+        sequential = Mediator(
+            "m", TWO_SOURCE_SPEC, self._registry(), trace=True
+        )
+        parallel = Mediator(
+            "m", TWO_SOURCE_SPEC, self._registry(), trace=True,
+            parallelism=4,
+        )
+        query = "X :- X:<a V>@m"
+        sequential.answer(query)
+        parallel.answer(query)
+        seq_nodes = [e.node.describe() for e in sequential.last_context.trace]
+        par_nodes = [e.node.describe() for e in parallel.last_context.trace]
+        assert par_nodes == seq_nodes
+
+    def test_parallel_counters_match_sequential(self):
+        sequential = Mediator("m", TWO_SOURCE_SPEC, self._registry())
+        parallel = Mediator(
+            "m", TWO_SOURCE_SPEC, self._registry(), parallelism=4
+        )
+        query = "X :- X:<a V>@m"
+        sequential.answer(query)
+        parallel.answer(query)
+        assert (
+            parallel.last_context.queries_sent
+            == sequential.last_context.queries_sent
+        )
+        assert (
+            parallel.last_context.objects_received
+            == sequential.last_context.objects_received
+        )
+
+    def test_cache_serves_repeats_without_new_source_calls(self):
+        registry = self._registry()
+        mediator = Mediator(
+            "m", TWO_SOURCE_SPEC, registry,
+            cache=AnswerCache(max_entries=16),
+        )
+        query = "X :- X:<a V>@m"
+        first = mediator.answer(query)
+        sent_before = dict(registry.stats_snapshot())
+        second = mediator.answer(query)
+        assert canonical(second) == canonical(first)
+        assert registry.stats_snapshot() == sent_before
+        assert mediator.cache.hits >= 2
+
+    def test_cache_invalidation_refetches(self):
+        registry = self._registry()
+        cache = AnswerCache(max_entries=16)
+        mediator = Mediator("m", TWO_SOURCE_SPEC, registry, cache=cache)
+        query = "X :- X:<a V>@m"
+        mediator.answer(query)
+        assert cache.invalidate("s1") >= 1
+        mediator.answer(query)
+        assert registry.stats_snapshot()["s1"]["queries_answered"] == 2
+        assert registry.stats_snapshot()["s2"]["queries_answered"] == 1
+
+    def test_explain_reports_execution_section_when_active(self):
+        query = "X :- X:<a V>@m"
+        plain = Mediator("m", TWO_SOURCE_SPEC, self._registry())
+        assert "-- execution --" not in plain.explain(query)
+        parallel = Mediator(
+            "m", TWO_SOURCE_SPEC, self._registry(), parallelism=4,
+            cache=AnswerCache(),
+        )
+        text = parallel.explain(query)
+        assert "-- execution --" in text
+        assert "parallelism: 4" in text
+        assert "answer cache" in text
+
+    def test_health_snapshot_reports_execution_stats(self):
+        mediator = Mediator(
+            "m", TWO_SOURCE_SPEC, self._registry(), parallelism=4
+        )
+        mediator.answer("X :- X:<a V>@m")
+        execution = mediator.health_snapshot()["_execution"]
+        assert execution["parallelism"] == 4
+
+    def test_cancellation_is_observed_under_parallelism(self):
+        token = CancellationToken()
+        mediator = Mediator(
+            "m", TWO_SOURCE_SPEC, self._registry(), parallelism=4,
+            cancellation=token,
+        )
+        token.cancel("operator abort")
+        with pytest.raises(QueryCancelled):
+            mediator.answer("X :- X:<a V>@m")

@@ -1,5 +1,7 @@
 """Unit tests for object identifiers (plain and semantic)."""
 
+import threading
+
 import pytest
 
 from repro.oem import Oid, OidGenerator, SemanticOid, fresh_oid
@@ -67,3 +69,28 @@ class TestOidGenerator:
 
     def test_fresh_oid_unique(self):
         assert fresh_oid() != fresh_oid()
+
+    def test_concurrent_construction_never_duplicates(self):
+        # regression guard for parallel plan execution: constructor
+        # nodes on several dispatcher workers share one generator
+        gen = OidGenerator("&c")
+        workers, per_worker = 8, 250
+        buckets: list[list[str]] = [[] for _ in range(workers)]
+        barrier = threading.Barrier(workers)
+
+        def run(bucket: list) -> None:
+            barrier.wait()
+            for _ in range(per_worker):
+                bucket.append(str(gen()))
+
+        threads = [
+            threading.Thread(target=run, args=(bucket,))
+            for bucket in buckets
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        produced = [oid for bucket in buckets for oid in bucket]
+        assert len(produced) == workers * per_worker
+        assert len(set(produced)) == len(produced)

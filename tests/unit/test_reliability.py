@@ -543,3 +543,79 @@ class TestMediatorResilienceSurface:
         assert touched, "some node must have queried the source"
         assert touched[0].attempts == 1
         assert touched[0].latency == pytest.approx(0.5)
+
+
+class TestLatencyPercentiles:
+    def test_percentiles_over_recorded_latencies(self):
+        registry = HealthRegistry()
+        for latency in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0):
+            registry.record_success("src", latency)
+        status = registry.status("src")
+        assert status.p50_latency == pytest.approx(0.5)
+        assert status.p95_latency == pytest.approx(1.0)
+        assert status.max_latency == pytest.approx(1.0)
+
+    def test_failures_count_toward_the_window(self):
+        registry = HealthRegistry()
+        registry.record_success("src", 0.1)
+        registry.record_failure("src", "boom", 0.9)
+        status = registry.status("src")
+        assert status.max_latency == pytest.approx(0.9)
+        assert status.total_latency == pytest.approx(1.0)
+
+    def test_fresh_record_reports_zeroes(self):
+        registry = HealthRegistry()
+        status = registry.status("src")
+        assert status.p50_latency == 0.0
+        assert status.p95_latency == 0.0
+        assert status.max_latency == 0.0
+
+    def test_quantile_must_be_a_fraction(self):
+        registry = HealthRegistry()
+        registry.record_success("src", 0.1)
+        with pytest.raises(ValueError):
+            registry.status("src").latency_percentile(1.5)
+
+    def test_window_is_bounded(self):
+        from repro.reliability.health import LATENCY_WINDOW
+
+        registry = HealthRegistry()
+        for i in range(LATENCY_WINDOW + 25):
+            registry.record_success("src", float(i))
+        record = registry.record_for("src")
+        assert len(record.latencies) == LATENCY_WINDOW
+        # the window slides: only the most recent samples remain
+        assert min(record.latencies) == 25.0
+
+    def test_status_is_frozen_in_time(self):
+        registry = HealthRegistry()
+        registry.record_success("src", 0.1)
+        status = registry.status("src")
+        registry.record_success("src", 9.9)
+        assert status.max_latency == pytest.approx(0.1)
+
+    def test_render_includes_percentiles(self):
+        registry = HealthRegistry()
+        registry.record_success("src", 0.25)
+        rendered = registry.render()
+        assert "p50=" in rendered
+        assert "p95=" in rendered
+        assert "max=" in rendered
+
+    def test_explain_surfaces_percentiles(self):
+        clock = ManualClock()
+        registry = SourceRegistry()
+        registry.register(
+            FaultInjectingSource(
+                make_wrapper(), seed=0, latency=0.5, clock=clock
+            )
+        )
+        mediator = Mediator(
+            "m",
+            "<a X> :- <rec {<name X>}>@src ;",
+            registry,
+            resilience=ResilienceConfig(),
+            clock=clock,
+        )
+        mediator.answer("X :- X:<a V>@m")
+        assert "p50=0.5000s" in mediator.explain("X :- X:<a V>@m")
