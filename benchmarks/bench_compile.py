@@ -1,0 +1,239 @@
+"""Experiment S5 — compiled pattern backend vs the interpretive matcher.
+
+The compiler (``repro.msl.compile``) lowers rule tails into specialized
+closures over integer-register frames at view-definition time; this
+harness quantifies what that buys.  Three layers are measured on the
+same data with both backends: raw pattern matching, full rule
+evaluation (dedup included), and end-to-end mediation.  A final check
+re-asserts the equivalence contract on the exact workloads timed here —
+a speedup that changed any answer would be a bug, not a result.
+
+Results land in ``BENCH_compile.json`` (machine-readable, consumed by
+the CI compile-smoke job) and ``artifacts.txt``/EXPERIMENTS.md.
+"""
+
+import time
+
+import pytest
+
+from repro.datasets import build_scaled_scenario, record_forest
+from repro.msl import (
+    compile_pattern,
+    compile_rule,
+    evaluate_rule,
+    match_all,
+    parse_pattern,
+    parse_rule,
+)
+from repro.oem import key_computations, structural_key
+
+#: (name, pattern text) — the matcher shapes that dominate real plans
+PATTERNS = [
+    ("constant filter", "<person {<dept 'dept_10'>}>"),
+    ("variable extraction", "<person {<name N> <dept D>}>"),
+    ("rest variable", "<person {<name N> | Rest}>"),
+    ("join variable", "<person {<name X> <dept X>}>"),
+]
+
+RULE_TEXTS = [
+    ("filter rule", "<hit N> :- <person {<name N> <dept 'dept_10'>}>@s"),
+    ("rest rule", "<keep N R> :- <person {<name N> | R}>@s"),
+    (
+        "comparison rule",
+        "<young N> :- <person {<name N> <year Y>}>@s AND Y < 2",
+    ),
+]
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def forest():
+    return record_forest(1000, seed=3, irregular_fraction=0.2)
+
+
+def test_pattern_match_speedup(forest, artifact_sink, bench_json_sink):
+    """Single-thread matcher throughput, interpretive vs compiled."""
+    rows = []
+    payload = {}
+    for name, text in PATTERNS:
+        pattern = parse_pattern(text)
+        compiled = compile_pattern(pattern)
+        # equivalence first: same environments, same order
+        assert [e.key() for e in compiled.match_all(forest)] == [
+            e.key() for e in match_all(pattern, forest)
+        ]
+        interpretive = _time(lambda: match_all(pattern, forest), 5)
+        fast = _time(lambda: compiled.match_all(forest), 5)
+        speedup = interpretive / fast
+        rows.append((name, interpretive * 200, fast * 200, speedup))
+        payload[name] = {
+            "interpretive_ms": interpretive * 200,
+            "compiled_ms": fast * 200,
+            "speedup": speedup,
+        }
+
+    table = (
+        "pattern               interp-ms  compiled-ms  speedup\n"
+        + "\n".join(
+            f"{n:<21} {i:>9.2f}  {c:>11.2f}  {s:>6.2f}x"
+            for n, i, c, s in rows
+        )
+    )
+    artifact_sink(
+        "S5 — pattern matching: interpretive vs compiled (1000 objects)",
+        table,
+    )
+    bench_json_sink("BENCH_compile.json", "pattern_matching", payload)
+    # the headline number: geometric-mean speedup across shapes
+    product = 1.0
+    for _, _, _, s in rows:
+        product *= s
+    mean = product ** (1 / len(rows))
+    bench_json_sink(
+        "BENCH_compile.json", "pattern_speedup_geomean", mean
+    )
+    assert mean >= 1.5, f"compiled backend only {mean:.2f}x faster"
+
+
+def test_rule_evaluation_speedup(forest, artifact_sink, bench_json_sink):
+    """Full rule evaluation: dedup, head instantiation, comparisons."""
+    from repro.oem.oid import OidGenerator
+
+    forests = {"s": forest, None: forest}
+    rows = []
+    payload = {}
+    for name, text in RULE_TEXTS:
+        rule = parse_rule(text)
+        compiled = compile_rule(rule)
+        assert [
+            repr(o)
+            for o in compiled.evaluate(
+                forests, oidgen=OidGenerator("&v"), check=False
+            )
+        ] == [
+            repr(o)
+            for o in evaluate_rule(
+                rule, forests, oidgen=OidGenerator("&v"), check=False
+            )
+        ]
+        interpretive = _time(
+            lambda: evaluate_rule(
+                rule, forests, oidgen=OidGenerator("&v"), check=False
+            ),
+            5,
+        )
+        fast = _time(
+            lambda: compiled.evaluate(
+                forests, oidgen=OidGenerator("&v"), check=False
+            ),
+            5,
+        )
+        speedup = interpretive / fast
+        rows.append((name, interpretive * 200, fast * 200, speedup))
+        payload[name] = {
+            "interpretive_ms": interpretive * 200,
+            "compiled_ms": fast * 200,
+            "speedup": speedup,
+        }
+
+    table = (
+        "rule                  interp-ms  compiled-ms  speedup\n"
+        + "\n".join(
+            f"{n:<21} {i:>9.2f}  {c:>11.2f}  {s:>6.2f}x"
+            for n, i, c, s in rows
+        )
+    )
+    artifact_sink(
+        "S5 — rule evaluation: interpretive vs compiled (1000 objects)",
+        table,
+    )
+    bench_json_sink("BENCH_compile.json", "rule_evaluation", payload)
+
+
+def _mediators(people: int):
+    """The same scaled data behind both backends, wrappers included:
+    the same seed regenerates identical sources, so the only variable
+    is the pattern backend all the way down."""
+    compiled = build_scaled_scenario(
+        people, push_mode="needed", compile=True
+    )
+    interpretive = build_scaled_scenario(
+        people, push_mode="needed", compile=False
+    )
+    return compiled, compiled.mediator, interpretive.mediator
+
+
+def test_mediator_end_to_end(artifact_sink, bench_json_sink):
+    """Whole-pipeline effect: wrappers and mediator both compiled."""
+    scenario, compiled, interpretive = _mediators(200)
+    name = scenario.whois.export()[100].get("name")
+    query = f"X :- X:<cs_person {{<name '{name}'>}}>@med"
+
+    assert [repr(o) for o in compiled.answer(query)] == [
+        repr(o) for o in interpretive.answer(query)
+    ]
+
+    slow = _time(lambda: interpretive.answer(query), 5)
+    fast = _time(lambda: compiled.answer(query), 5)
+    slow_export = _time(interpretive.export, 1)
+    fast_export = _time(compiled.export, 1)
+
+    text = (
+        f"point query: interpretive {slow * 200:.2f} ms/op,"
+        f" compiled {fast * 200:.2f} ms/op"
+        f" ({slow / fast:.2f}x)\n"
+        f"full export: interpretive {slow_export * 1000:.2f} ms/op,"
+        f" compiled {fast_export * 1000:.2f} ms/op"
+        f" ({slow_export / fast_export:.2f}x)"
+    )
+    artifact_sink(
+        "S5 — end-to-end mediation: interpretive vs compiled"
+        " (200 people)",
+        text,
+    )
+    bench_json_sink(
+        "BENCH_compile.json",
+        "mediation",
+        {
+            "point_query_speedup": slow / fast,
+            "export_speedup": slow_export / fast_export,
+        },
+    )
+
+
+def test_structural_key_memoization(bench_json_sink):
+    """Dedup over an already-keyed forest recomputes nothing."""
+    forest = record_forest(500, seed=9)
+    for obj in forest:
+        structural_key(obj)
+    before = key_computations()
+    from repro.oem import eliminate_duplicates
+
+    eliminate_duplicates(forest)
+    recomputed = key_computations() - before
+    bench_json_sink(
+        "BENCH_compile.json", "key_recomputations_on_warm_dedup", recomputed
+    )
+    assert recomputed == 0
+
+
+def test_compiled_backend_stays_equivalent(benchmark):
+    """The harness's own guard: compiled answers equal interpretive
+    ones on the scaled scenario's export (the broadest single check).
+    Structural keys, because mediator oids advance across rounds."""
+    scenario, compiled, interpretive = _mediators(60)
+    expected = sorted(repr(structural_key(o)) for o in interpretive.export())
+
+    def run():
+        return sorted(repr(structural_key(o)) for o in compiled.export())
+
+    assert benchmark(run) == expected

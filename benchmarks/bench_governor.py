@@ -54,9 +54,19 @@ def test_overhead_within_budget(artifact_sink, benchmark):
     # warm both paths, then interleave timed rounds
     bare.mediator.answer(query)
     governed.mediator.answer(query)
-    bare_time = _time_answers(bare.mediator, query)
-    governed_time = _time_answers(governed.mediator, query)
-    overhead = governed_time / bare_time - 1.0
+    # paired batches, median ratio: a load spike lands inside one pair
+    # and corrupts one ratio; the median discards it.  min() keeps the
+    # reported absolute times spike-free too.
+    bare_time = governed_time = float("inf")
+    ratios = []
+    for _ in range(5):
+        b = _time_answers(bare.mediator, query)
+        g = _time_answers(governed.mediator, query)
+        bare_time = min(bare_time, b)
+        governed_time = min(governed_time, g)
+        ratios.append(g / b)
+    ratios.sort()
+    overhead = ratios[len(ratios) // 2] - 1.0
 
     artifact_sink(
         "governor overhead (budgets never firing)",

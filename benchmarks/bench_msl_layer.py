@@ -69,6 +69,39 @@ def test_match_permutation_heavy(benchmark):
     assert len(results) == 9 * 8 * 7
 
 
+def test_compiled_matcher_speedup(forest, artifact_sink):
+    """The compiled backend against the interpretive matcher on this
+    module's workload shapes (see bench_compile.py for the full sweep)."""
+    import time
+
+    from repro.msl import compile_pattern
+
+    rows = []
+    for name, text in [
+        ("constant filter", "<person {<dept 'dept_10'>}>"),
+        ("rest variable", "<person {<name N> | Rest}>"),
+    ]:
+        pattern = parse_pattern(text)
+        compiled = compile_pattern(pattern)
+
+        start = time.perf_counter()
+        for _ in range(5):
+            match_all(pattern, forest)
+        interp = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for _ in range(5):
+            compiled.match_all(forest)
+        fast = time.perf_counter() - start
+        rows.append((name, interp / fast))
+
+    artifact_sink(
+        "MSL layer — compiled matcher speedup (1000 objects)",
+        "\n".join(f"{name}: {speedup:.2f}x" for name, speedup in rows),
+    )
+    assert all(speedup > 1.0 for _, speedup in rows)
+
+
 def test_oem_roundtrip(forest, benchmark):
     text = to_text(forest)
 

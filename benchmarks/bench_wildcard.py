@@ -93,6 +93,40 @@ def test_indexed_lookup_beats_wildcard_scan(benchmark, artifact_sink):
     assert wildcard_time > direct_time
 
 
+def test_compiled_descendant_search(benchmark, artifact_sink):
+    """Compiled descendant items precompute the node walk per object;
+    compare against the interpretive '..' search on a deep structure."""
+    import time
+
+    from repro.msl import compile_pattern
+
+    root = deep_object(64, fanout=3)
+    pattern = parse_pattern("<node {.. <leaf X>}>")
+    compiled = compile_pattern(pattern)
+    assert [e.key() for e in compiled.match(root)] == [
+        e.key() for e in match_pattern(pattern, root)
+    ]
+
+    start = time.perf_counter()
+    for _ in range(20):
+        list(match_pattern(pattern, root))
+    interp = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(20):
+        compiled.match(root)
+    fast = time.perf_counter() - start
+
+    artifact_sink(
+        "S3 — compiled vs interpretive descendant search (depth 64)",
+        f"interpretive: {interp * 50:.3f} ms/op\n"
+        f"compiled:     {fast * 50:.3f} ms/op"
+        f" ({interp / fast:.2f}x)",
+    )
+    results = benchmark(lambda: compiled.match(root))
+    assert len(results) == 1
+
+
 def test_wildcard_query_on_mediator_falls_back(benchmark):
     """Wildcard queries against a mediator use view materialization."""
     scenario = build_scenario()

@@ -30,7 +30,9 @@ Usage::
 * ``--parallelism N`` — fan independent source queries out across N
   worker threads (default 1: sequential execution);
 * ``--cache N`` / ``--cache-ttl SECONDS`` — memoize up to N source
-  answers (LRU), optionally expiring entries after SECONDS.
+  answers (LRU), optionally expiring entries after SECONDS;
+* ``--no-compile`` — evaluate patterns with the interpretive reference
+  matcher instead of the compiled closure backend (default: compiled).
 
 The CLI registers only OEM-file sources; programmatic users wanting
 relational or custom wrappers use the library API directly.
@@ -209,11 +211,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="expire cached source answers after SECONDS (needs --cache)",
     )
+    parser.add_argument(
+        "--no-compile",
+        action="store_true",
+        help=(
+            "use the interpretive reference matcher instead of the"
+            " compiled pattern backend"
+        ),
+    )
     return parser
 
 
 def _load_sources(
-    specs: Sequence[str], registry: SourceRegistry, stderr
+    specs: Sequence[str],
+    registry: SourceRegistry,
+    stderr,
+    compile: bool = True,
 ) -> bool:
     for entry in specs:
         name, sep, path = entry.partition("=")
@@ -237,7 +250,12 @@ def _load_sources(
             print(f"error: cannot parse {path}: {exc}", file=stderr)
             return False
         registry.register(
-            OEMStoreWrapper(name, objects, export_facts=export_facts)
+            OEMStoreWrapper(
+                name,
+                objects,
+                export_facts=export_facts,
+                compile=compile,
+            )
         )
     return True
 
@@ -283,7 +301,9 @@ def main(
         return 2
 
     registry = SourceRegistry()
-    if not _load_sources(args.source, registry, stderr):
+    if not _load_sources(
+        args.source, registry, stderr, compile=not args.no_compile
+    ):
         return 2
 
     if args.retries < 0:
@@ -358,6 +378,7 @@ def main(
             ),
             parallelism=args.parallelism,
             cache=cache,
+            compile=not args.no_compile,
         )
     except Exception as exc:
         print(f"error: bad specification: {exc}", file=stderr)

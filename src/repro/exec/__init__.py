@@ -28,9 +28,11 @@ from repro.exec.dispatcher import (
     current_scope,
     scope_active,
 )
+from repro.exec.profile import Profiler
 
 __all__ = [
     "AnswerCache",
+    "Profiler",
     "SourceDispatcher",
     "TaskOutcome",
     "TaskScope",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 from repro.exec.dispatcher import TaskScope, current_scope, scope_active
@@ -30,9 +31,11 @@ from repro.wrappers.base import SourceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec.dispatcher import SourceDispatcher
+    from repro.exec.profile import Profiler
     from repro.external.registry import ExternalRegistry
     from repro.governor.budget import QueryGovernor
     from repro.mediator.statistics import SourceStatistics
+    from repro.msl.compile import CompileCache
     from repro.reliability.resilient import ResilienceManager
     from repro.wrappers.registry import SourceRegistry
 
@@ -75,6 +78,8 @@ class ExecutionContext:
     source_latency: float = 0.0
     governor: "QueryGovernor | None" = None
     dispatcher: "SourceDispatcher | None" = None
+    compiler: "CompileCache | None" = None
+    profiler: "Profiler | None" = None
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False
     )
@@ -226,7 +231,15 @@ class DatamergeEngine:
             inputs = [outputs[id(child)] for child in node.inputs]
             attempts_before = context.attempts_made
             latency_before = context.source_latency
+            profiler = context.profiler
+            started = perf_counter() if profiler is not None else 0.0
             table = node.execute(inputs, context)
+            if profiler is not None:
+                profiler.record_node(
+                    type(node).__name__,
+                    len(table),
+                    perf_counter() - started,
+                )
             outputs[id(node)] = table
             if context.trace is not None:
                 context.trace.append(
@@ -285,6 +298,12 @@ class DatamergeEngine:
                     table = outcome.value
                     assert isinstance(table, BindingTable)
                     outputs[id(node)] = table
+                    if context.profiler is not None:
+                        context.profiler.record_node(
+                            type(node).__name__,
+                            len(table),
+                            outcome.scope.latency,
+                        )
                     if context.trace is not None:
                         entries[id(node)] = TraceEntry(
                             node,
@@ -301,8 +320,16 @@ class DatamergeEngine:
                     governor.enter_node(node)
                 inputs = [outputs[id(child)] for child in node.inputs]
                 scope = TaskScope()
+                profiler = context.profiler
+                started = perf_counter() if profiler is not None else 0.0
                 with scope_active(scope):
                     table = node.execute(inputs, context)
+                if profiler is not None:
+                    profiler.record_node(
+                        type(node).__name__,
+                        len(table),
+                        perf_counter() - started,
+                    )
                 context.warnings.extend(scope.warnings)
                 outputs[id(node)] = table
                 if context.trace is not None:

@@ -35,6 +35,7 @@ from typing import Iterator, Sequence
 from repro.client.result import ResultSet
 from repro.exec.cache import AnswerCache
 from repro.exec.dispatcher import SourceDispatcher
+from repro.exec.profile import Profiler
 from repro.external.registry import ExternalRegistry, default_registry
 from repro.governor.budget import (
     CancellationToken,
@@ -57,6 +58,7 @@ from repro.msl.ast import (
     SetPattern,
     Specification,
 )
+from repro.msl.compile import CompileCache
 from repro.msl.errors import MSLError, MSLSemanticError, MSLSyntaxError
 from repro.msl.evaluate import evaluate_rule
 from repro.msl.parser import parse_specification
@@ -100,6 +102,7 @@ class Mediator(Source):
         cancellation: CancellationToken | None = None,
         parallelism: int = 1,
         cache: AnswerCache | None = None,
+        compile: bool = True,
     ) -> None:
         if not name or not name.isidentifier():
             raise MediatorError(f"invalid mediator name {name!r}")
@@ -142,6 +145,15 @@ class Mediator(Source):
         self.engine = DatamergeEngine(trace)
         self.max_fixpoint_iterations = max_fixpoint_iterations
         self._oidgen = OidGenerator(f"&{name}_")
+
+        # the compiled pattern-matching backend: rules and patterns are
+        # lowered to closures once and memoized; compile=False keeps the
+        # interpretive reference path bit-for-bit
+        self.compile = compile
+        self._compile_cache = (
+            CompileCache(registry) if compile else None
+        )
+        self.profiler = Profiler()
 
         self.on_source_failure = on_source_failure
         if isinstance(resilience, ResilienceConfig):
@@ -305,6 +317,18 @@ class Mediator(Source):
             text += "\n\n-- governor --\n" + governor.describe()
         if self.dispatcher.active:
             text += "\n\n-- execution --\n" + self.dispatcher.describe()
+        lines = [
+            f"compile: {'on' if self._compile_cache is not None else 'off'}"
+        ]
+        if self._compile_cache is not None:
+            stats = self._compile_cache.stats()
+            lines.append(
+                f"cache: {stats['rules']} rule(s),"
+                f" {stats['patterns']} pattern(s),"
+                f" {stats['hits']} hit(s), {stats['misses']} miss(es)"
+            )
+        lines.append(self.profiler.render())
+        text += "\n\n-- profile --\n" + "\n".join(lines)
         return text
 
     def health_snapshot(self):
@@ -312,7 +336,10 @@ class Mediator(Source):
 
         With an active dispatcher (``parallelism > 1`` or an answer
         cache) the reserved ``"_execution"`` key carries its dispatch
-        and cache statistics alongside the per-source records.
+        and cache statistics alongside the per-source records.  Once
+        queries have executed, the reserved ``"_profile"`` key carries
+        the profiler's per-node and per-pattern counters (plus compile
+        cache statistics when the compiled backend is on).
         """
         snapshot = (
             {} if self.resilience is None
@@ -320,6 +347,11 @@ class Mediator(Source):
         )
         if self.dispatcher.active:
             snapshot["_execution"] = self.dispatcher.stats()
+        profile = self.profiler.snapshot()
+        if profile["nodes"] or profile["patterns"]:
+            if self._compile_cache is not None:
+                profile["compile"] = self._compile_cache.stats()
+            snapshot["_profile"] = profile
         return snapshot
 
     @contextlib.contextmanager
@@ -407,6 +439,8 @@ class Mediator(Source):
             dispatcher=(
                 self.dispatcher if self.dispatcher.active else None
             ),
+            compiler=self._compile_cache,
+            profiler=self.profiler,
         )
 
     def _export_source(self, name: str) -> Sequence[OEMObject]:
@@ -452,6 +486,20 @@ class Mediator(Source):
 
     # -- materialization paths ---------------------------------------------
 
+    def _evaluate_rule(
+        self,
+        rule: Rule,
+        forests: dict[str | None, Sequence[OEMObject]],
+    ) -> list[OEMObject]:
+        """One rule over materialized forests, via the active backend."""
+        if self._compile_cache is not None:
+            return self._compile_cache.rule(rule).evaluate(
+                forests, self.externals, self._oidgen, check=False
+            )
+        return evaluate_rule(
+            rule, forests, self.externals, self._oidgen, check=False
+        )
+
     def _answer_by_materialization(self, query: Rule) -> list[OEMObject]:
         view = list(self.export())
         forests: dict[str | None, Sequence[OEMObject]] = {
@@ -465,9 +513,7 @@ class Mediator(Source):
                 forests[condition.source] = self._export_source(
                     condition.source
                 )
-        return evaluate_rule(
-            query, forests, self.externals, self._oidgen, check=False
-        )
+        return self._evaluate_rule(query, forests)
 
     def _fixpoint_materialize(self) -> list[OEMObject]:
         """Naive fixpoint for recursive specifications.
@@ -505,15 +551,7 @@ class Mediator(Source):
             forests[None] = view
             new_objects: list[OEMObject] = []
             for rule in self.specification.rules:
-                new_objects.extend(
-                    evaluate_rule(
-                        rule,
-                        forests,
-                        self.externals,
-                        self._oidgen,
-                        check=False,
-                    )
-                )
+                new_objects.extend(self._evaluate_rule(rule, forests))
             if has_semantic_oids(new_objects):
                 new_objects = fuse_objects(new_objects)
             keys = {structural_key(obj) for obj in new_objects}

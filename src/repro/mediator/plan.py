@@ -27,6 +27,7 @@ test-suite and benchmarks replay Figure 3.6 row for row.
 from __future__ import annotations
 
 import abc
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.exec.dispatcher import current_scope
@@ -42,7 +43,9 @@ from repro.msl.ast import (
     Var,
 )
 from repro.msl.bindings import values_equal
-from repro.msl.evaluate import evaluate_comparison
+from repro.msl.compile import UNBOUND
+from repro.msl.errors import MSLSemanticError
+from repro.msl.evaluate import compare_values
 from repro.msl.matcher import match_pattern
 from repro.msl.substitute import (
     head_variables,
@@ -160,26 +163,78 @@ class ExtractorNode(PlanNode):
             tuple(carried) + tuple(new_columns), governor=context.governor
         )
         add = result._appender()
-        for row in table.rows:
-            obj = row[position]
-            if not isinstance(obj, OEMObject):
-                raise TableError(
-                    f"extractor column {self.column!r} holds non-object"
-                    f" {obj!r}"
-                )
-            for env in match_pattern(self.pattern, obj):
-                # a variable colliding with a carried column is a join:
-                # keep the row only when the values agree
-                if not all(
-                    values_equal(env.get(c), row[table.position(c)])
-                    for c in carried
-                    if c in env
-                ):
-                    continue
-                add(
-                    tuple(row[p] for p in carried_positions)
-                    + tuple(env.get(v) for v in new_columns)
-                )
+        profiler = context.profiler
+        started = perf_counter() if profiler is not None else 0.0
+        matches = 0
+        compiler = context.compiler
+        if compiler is not None:
+            compiled = compiler.pattern(self.pattern)
+            index = compiled.layout.index
+            empty = compiled.layout.empty_frame
+            match_keyed = compiled.match_keyed
+            # a variable colliding with a carried column is a join:
+            # keep the row only when the values agree
+            carried_checks = tuple(
+                (table.position(c), index[c])
+                for c in carried
+                if c in index
+            )
+            new_registers = tuple(index.get(v) for v in new_columns)
+            for row in table.rows:
+                obj = row[position]
+                if not isinstance(obj, OEMObject):
+                    raise TableError(
+                        f"extractor column {self.column!r} holds non-object"
+                        f" {obj!r}"
+                    )
+                for frame, _key in match_keyed(obj, empty):
+                    consistent = True
+                    for row_position, register in carried_checks:
+                        bound = frame[register]
+                        if bound is not UNBOUND and not values_equal(
+                            bound, row[row_position]
+                        ):
+                            consistent = False
+                            break
+                    if not consistent:
+                        continue
+                    matches += 1
+                    add(
+                        tuple(row[p] for p in carried_positions)
+                        + tuple(
+                            frame[r]
+                            if r is not None and frame[r] is not UNBOUND
+                            else None
+                            for r in new_registers
+                        )
+                    )
+        else:
+            for row in table.rows:
+                obj = row[position]
+                if not isinstance(obj, OEMObject):
+                    raise TableError(
+                        f"extractor column {self.column!r} holds non-object"
+                        f" {obj!r}"
+                    )
+                for env in match_pattern(self.pattern, obj):
+                    if not all(
+                        values_equal(env.get(c), row[table.position(c)])
+                        for c in carried
+                        if c in env
+                    ):
+                        continue
+                    matches += 1
+                    add(
+                        tuple(row[p] for p in carried_positions)
+                        + tuple(env.get(v) for v in new_columns)
+                    )
+        if profiler is not None:
+            profiler.record_pattern(
+                str(self.pattern),
+                len(table.rows),
+                matches,
+                perf_counter() - started,
+            )
         return result
 
     def describe(self) -> str:
@@ -210,7 +265,27 @@ class ExternalPredNode(PlanNode):
 
         governor = context.governor
 
-        def expand(row: Mapping[str, object]) -> Iterable[Sequence[object]]:
+        # argument plan over raw row tuples, fixed before the hot loop:
+        # ('const', value) | ('col', row position) | ('out', out index)
+        # | ('skip', None); mirrors the dict-based logic exactly
+        specs: list[tuple[str, object]] = []
+        for arg in self.call.args:
+            if isinstance(arg, Const):
+                specs.append(("const", arg.value))
+            elif (
+                isinstance(arg, Var)
+                and not arg.is_anonymous
+                and table.has_column(arg.name)
+            ):
+                specs.append(("col", table.position(arg.name)))
+            elif isinstance(arg, Var) and not arg.is_anonymous:
+                specs.append(("out", out_vars.index(arg.name)))
+            else:
+                specs.append(("skip", None))
+        n_out = len(out_vars)
+        unset = object()
+
+        def expand(row: tuple[object, ...]) -> Iterable[Sequence[object]]:
             # each invocation is charged against the external-call
             # budget; in truncate mode an exhausted budget skips the
             # call, dropping the row (a subset, never invented data)
@@ -218,12 +293,12 @@ class ExternalPredNode(PlanNode):
                 return
             args: list[object] = []
             available: list[bool] = []
-            for arg in self.call.args:
-                if isinstance(arg, Const):
-                    args.append(arg.value)
+            for kind, payload in specs:
+                if kind == "const":
+                    args.append(payload)
                     available.append(True)
-                elif isinstance(arg, Var) and arg.name in row:
-                    args.append(row[arg.name])
+                elif kind == "col":
+                    args.append(row[payload])
                     available.append(True)
                 else:
                     args.append(None)
@@ -231,28 +306,31 @@ class ExternalPredNode(PlanNode):
             for full in context.externals.evaluate(
                 self.call.name, args, available
             ):
-                produced: dict[str, object] = {}
+                produced: list[object] = [unset] * n_out
                 consistent = True
-                for arg, value in zip(self.call.args, full):
-                    if isinstance(arg, Const):
-                        if arg.value != value:
+                for (kind, payload), value in zip(specs, full):
+                    if kind == "const":
+                        if payload != value:
                             consistent = False
                             break
-                    elif isinstance(arg, Var) and not arg.is_anonymous:
-                        if arg.name in row:
-                            if not values_equal(row[arg.name], value):
-                                consistent = False
-                                break
-                        elif arg.name in produced:
-                            if not values_equal(produced[arg.name], value):
-                                consistent = False
-                                break
-                        else:
-                            produced[arg.name] = value
+                    elif kind == "col":
+                        if not values_equal(row[payload], value):
+                            consistent = False
+                            break
+                    elif kind == "out":
+                        existing = produced[payload]
+                        if existing is unset:
+                            produced[payload] = value
+                        elif not values_equal(existing, value):
+                            consistent = False
+                            break
                 if consistent:
-                    yield [produced.get(v) for v in out_vars]
+                    yield [
+                        None if value is unset else value
+                        for value in produced
+                    ]
 
-        return table.extend(out_vars, expand)
+        return table.extend_rows(out_vars, expand)
 
     def describe(self) -> str:
         return f"external {self.call}"
@@ -282,9 +360,14 @@ class ParameterizedQueryNode(PlanNode):
 
     def instantiate(self, row: Mapping[str, object]) -> Rule:
         """The concrete query for one input tuple (Qcs1/Qcs2 style)."""
-        params = {
-            name: row[column] for name, column in self.param_columns.items()
-        }
+        return self._instantiate_with(
+            {
+                name: row[column]
+                for name, column in self.param_columns.items()
+            }
+        )
+
+    def _instantiate_with(self, params: Mapping[str, object]) -> Rule:
         tail = []
         for condition in self.template.tail:
             if isinstance(condition, PatternCondition):
@@ -311,13 +394,19 @@ class ParameterizedQueryNode(PlanNode):
             and len(table.rows) > 1
         ):
             return self._execute_batch(table, context, dispatcher)
+        param_positions = [
+            (name, table.position(column))
+            for name, column in self.param_columns.items()
+        ]
 
-        def expand(row: Mapping[str, object]) -> Iterable[Sequence[object]]:
-            query = self.instantiate(row)
+        def expand(row: tuple[object, ...]) -> Iterable[Sequence[object]]:
+            query = self._instantiate_with(
+                {name: row[p] for name, p in param_positions}
+            )
             for obj in context.send_query(self.source, query):
                 yield [obj]
 
-        return table.extend([OBJECT_COLUMN], expand)
+        return table.extend_rows([OBJECT_COLUMN], expand)
 
     def _execute_batch(
         self, table: BindingTable, context: "ExecutionContext", dispatcher
@@ -332,11 +421,17 @@ class ParameterizedQueryNode(PlanNode):
         ``extend`` path.  Per-task warnings and attempt counts merge
         into the node's own scope in tuple order.
         """
+        param_positions = [
+            (name, table.position(column))
+            for name, column in self.param_columns.items()
+        ]
         unique: list[Rule] = []
         index_of: dict[str, int] = {}
         row_query: list[int] = []
         for row in table.rows:
-            query = self.instantiate(table.row_dict(row))
+            query = self._instantiate_with(
+                {name: row[p] for name, p in param_positions}
+            )
             text = str(query)
             position = index_of.get(text)
             if position is None:
@@ -389,18 +484,38 @@ class FilterNode(PlanNode):
         self, inputs: list[BindingTable], context: "ExecutionContext"
     ) -> BindingTable:
         (table,) = inputs
+        comparison = self.comparison
 
-        def keep(row: Mapping[str, object]) -> bool:
-            env = Bindings(
-                {
-                    name: value
-                    for name, value in row.items()
-                    if name not in (OBJECT_COLUMN, RESULT_COLUMN)
-                }
-            )
-            return evaluate_comparison(self.comparison, env)
+        def accessor(term):
+            # positional mirror of term_value over the row's variable
+            # columns (the carrier columns are never comparison operands)
+            if isinstance(term, Const):
+                value = term.value
+                return lambda row, _v=value: (True, _v)
+            if (
+                isinstance(term, Var)
+                and not term.is_anonymous
+                and table.has_column(term.name)
+                and term.name not in (OBJECT_COLUMN, RESULT_COLUMN)
+            ):
+                position = table.position(term.name)
+                return lambda row, _p=position: (True, row[_p])
+            return lambda row: (False, None)
 
-        return table.filter(keep)
+        left = accessor(comparison.left)
+        right = accessor(comparison.right)
+        op = comparison.op
+
+        def keep(row: tuple[object, ...]) -> bool:
+            left_ok, left_value = left(row)
+            right_ok, right_value = right(row)
+            if not (left_ok and right_ok):
+                raise MSLSemanticError(
+                    f"comparison {comparison} evaluated with unbound operand"
+                )
+            return compare_values(op, left_value, right_value)
+
+        return table.filter_rows(keep)
 
     def describe(self) -> str:
         return f"filter {self.comparison}"

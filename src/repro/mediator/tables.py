@@ -127,9 +127,21 @@ class BindingTable:
     def filter(
         self, predicate: Callable[[dict[str, object]], bool]
     ) -> "BindingTable":
+        return self.filter_rows(
+            lambda row: predicate(self.row_dict(row))
+        )
+
+    def filter_rows(
+        self, predicate: Callable[[tuple[object, ...]], bool]
+    ) -> "BindingTable":
+        """Like :meth:`filter`, but the predicate sees the raw row tuple.
+
+        The compiled plan nodes use this with positional accessors so
+        the hot loop never materialises a per-row dict.
+        """
         return BindingTable(
             self.columns,
-            (row for row in self.rows if predicate(self.row_dict(row))),
+            (row for row in self.rows if predicate(row)),
             governor=self.governor,
         )
 
@@ -143,6 +155,19 @@ class BindingTable:
         Rows for which ``expander`` yields nothing are dropped (the
         natural semantics of a dependent join).
         """
+        return self.extend_rows(
+            new_columns,
+            lambda row: expander(self.row_dict(row)),
+        )
+
+    def extend_rows(
+        self,
+        new_columns: Sequence[str],
+        expander: Callable[
+            [tuple[object, ...]], Iterable[Sequence[object]]
+        ],
+    ) -> "BindingTable":
+        """Like :meth:`extend`, but the expander sees the raw row tuple."""
         overlap = set(new_columns) & set(self.columns)
         if overlap:
             raise TableError(f"columns {sorted(overlap)} already exist")
@@ -150,13 +175,14 @@ class BindingTable:
             tuple(self.columns) + tuple(new_columns), governor=self.governor
         )
         add = result._appender()
+        arity = len(new_columns)
         for row in self.rows:
-            for extension in expander(self.row_dict(row)):
+            for extension in expander(row):
                 extension = tuple(extension)
-                if len(extension) != len(new_columns):
+                if len(extension) != arity:
                     raise TableError(
                         f"expander produced arity {len(extension)},"
-                        f" expected {len(new_columns)}"
+                        f" expected {arity}"
                     )
                 add(row + extension)
         return result

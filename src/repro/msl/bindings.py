@@ -32,13 +32,19 @@ def value_key(value: object) -> object:
     two Rest bindings with the same members in different order compare
     equal.
     """
+    kind = type(value)
+    if kind is str:  # the dominant case in dedup keys
+        return ("atom", "str", value)
+    if kind is int:
+        return ("atom", "int", value)
     if isinstance(value, OEMObject):
         return ("obj", structural_key(value))
     if isinstance(value, tuple):
-        keys = sorted(
-            (repr(structural_key(member)) for member in value)
-        )
-        return ("set", tuple(keys))
+        counts: dict[object, int] = {}
+        for member in value:
+            key = structural_key(member)
+            counts[key] = counts.get(key, 0) + 1
+        return ("set", frozenset(counts.items()))
     if isinstance(value, Oid):
         return ("oid", value.text)
     if isinstance(value, bool):

@@ -1,0 +1,1012 @@
+"""Compiled pattern matching: MSL rules lowered to Python closures.
+
+The paper's MSI pipeline separates a one-time "compile the datamerge
+program" phase from the per-query run phase.  This module exploits the
+same split one level lower, inside pattern evaluation itself:
+
+* every slot of a pattern is lowered to a specialized closure at
+  view-definition time — constant tests are precomputed, variables are
+  resolved to **integer registers** in a per-rule :class:`SlotLayout`;
+* binding environments become fixed-width tuples (*frames*) with an
+  :data:`UNBOUND` sentinel, so a bind is one tuple splice instead of a
+  dict copy;
+* set-pattern items are searched constants-first (most selective items
+  prune the injective assignment earliest), with the child set tracked
+  as a bitmask;
+* compiled rules precompute the condition schedule
+  (:func:`~repro.msl.evaluate.schedule_conditions`) and the head
+  projection, and are memoized in a :class:`CompileCache`.
+
+**Equivalence contract.**  The compiled backend is bit-for-bit
+equivalent to the interpretive one (:mod:`repro.msl.matcher` /
+:mod:`repro.msl.evaluate`): same solutions, in the same order, same
+errors, same oid-generator call sequence.  Reordering set items for
+selectivity would normally permute solutions, so every matcher tags
+each solution with a canonical *choice key* — the per-item
+``(child_index, nested_key)`` fragments laid out in the pattern's
+original item order — and sorts the per-object solutions by that key
+whenever the search order differs from the written order.  Key shape is
+fixed per pattern, so the tuple sort restores exactly the interpretive
+enumeration order.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.msl.analysis import condition_variables
+from repro.msl.ast import (
+    Comparison,
+    Const,
+    ExternalCall,
+    Param,
+    Pattern,
+    PatternCondition,
+    PatternItem,
+    Rule,
+    SemOidTerm,
+    SetPattern,
+    Term,
+    Var,
+    VarItem,
+)
+from repro.msl.bindings import (
+    EMPTY_BINDINGS,
+    Bindings,
+    value_key,
+    values_equal,
+)
+from repro.msl.errors import MSLMatchError, MSLSemanticError
+from repro.msl.evaluate import (
+    compare_values,
+    schedule_conditions,
+    unschedulable_error,
+)
+from repro.msl.substitute import head_variables, pattern_variables
+from repro.oem.compare import eliminate_duplicates
+from repro.oem.model import SET_TYPE, OEMObject
+from repro.oem.oid import OidGenerator, SemanticOid
+from repro.oem.traverse import descendants, walk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.external.registry import ExternalRegistry
+    from repro.msl.analysis import check_rule as _check_rule_t  # noqa: F401
+
+__all__ = [
+    "UNBOUND",
+    "SlotLayout",
+    "CompiledPattern",
+    "CompiledRule",
+    "CompileCache",
+    "compile_pattern",
+    "compile_rule",
+    "evaluate_rule_compiled",
+]
+
+
+class _Unbound:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unbound>"
+
+
+#: Register sentinel: the slot has no value yet.
+UNBOUND = _Unbound()
+
+_EMPTY: list = []
+_NO_KEY: tuple = ()
+
+
+def _bindings_from(mapping: dict) -> Bindings:
+    """Wrap an owned dict as Bindings without the defensive copy."""
+    env = Bindings.__new__(Bindings)
+    object.__setattr__(env, "_map", mapping)
+    return env
+
+
+class SlotLayout:
+    """Variable-name → register-index mapping for one rule or pattern."""
+
+    __slots__ = ("names", "index", "width", "empty_frame")
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.names = tuple(names)
+        self.index = {name: i for i, name in enumerate(self.names)}
+        self.width = len(self.names)
+        self.empty_frame: tuple = (UNBOUND,) * self.width
+
+    def register(self, name: str) -> int:
+        return self.index[name]
+
+    def seed(self, bindings: Bindings) -> tuple:
+        """A frame pre-loaded with the layout's share of ``bindings``."""
+        if not len(bindings):
+            return self.empty_frame
+        frame = list(self.empty_frame)
+        index = self.index
+        for name, value in bindings.items():
+            position = index.get(name)
+            if position is not None:
+                frame[position] = value
+        return tuple(frame)
+
+    def to_bindings(
+        self, frame: tuple, base: Bindings = EMPTY_BINDINGS
+    ) -> Bindings:
+        """The environment a frame denotes, over incoming ``base``."""
+        mapping = dict(base._map) if len(base) else {}
+        for name, value in zip(self.names, frame):
+            if value is not UNBOUND:
+                mapping[name] = value
+        return _bindings_from(mapping)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlotLayout({list(self.names)})"
+
+
+def _bind(frame: tuple, register: int, value: object) -> tuple | None:
+    """Bind one register; ``None`` on structural conflict."""
+    current = frame[register]
+    if current is UNBOUND:
+        return frame[:register] + (value,) + frame[register + 1:]
+    if current is value or values_equal(current, value):
+        return frame
+    return None
+
+
+# ---------------------------------------------------------------------------
+# slot compilation
+# ---------------------------------------------------------------------------
+
+
+def _param_error(name: str) -> MSLMatchError:
+    return MSLMatchError(
+        f"parameter ${name} in a pattern being matched; "
+        f"instantiate the template first"
+    )
+
+
+def _compile_term_test(term: Term, layout: SlotLayout):
+    """Lower one non-value slot term to ``(actual, frame) -> frame|None``."""
+    if isinstance(term, Const):
+        want = term.value
+        if isinstance(want, str):
+            # str equality agrees with values_equal for every actual type
+            def test_str(actual, frame, _w=want):
+                return frame if actual == _w else None
+
+            return test_str
+
+        def test_const(actual, frame, _w=want):
+            return frame if values_equal(_w, actual) else None
+
+        return test_const
+    if isinstance(term, Var):
+        if term.is_anonymous:
+            return lambda actual, frame: frame
+        register = layout.register(term.name)
+
+        def test_var(actual, frame, _r=register):
+            current = frame[_r]
+            if current is UNBOUND:
+                return frame[:_r] + (actual,) + frame[_r + 1:]
+            if current is actual or values_equal(current, actual):
+                return frame
+            return None
+
+        return test_var
+    if isinstance(term, Param):
+        name = term.name
+
+        def test_param(actual, frame, _n=name):
+            raise _param_error(_n)
+
+        return test_param
+    if isinstance(term, SemOidTerm):
+        functor = term.functor
+        arity = len(term.args)
+        arg_tests = tuple(
+            _compile_term_test(arg, layout) for arg in term.args
+        )
+
+        def test_semoid(
+            actual, frame, _f=functor, _n=arity, _tests=arg_tests
+        ):
+            if not isinstance(actual, SemanticOid):
+                return None
+            if actual.functor != _f or len(actual.args) != _n:
+                return None
+            for test, arg_value in zip(_tests, actual.args):
+                frame = test(arg_value, frame)
+                if frame is None:
+                    return None
+            return frame
+
+        return test_semoid
+    message = f"cannot match slot term {term!r}"
+
+    def test_unknown(actual, frame, _m=message):
+        raise MSLMatchError(_m)
+
+    return test_unknown
+
+
+def _constant_weight(pattern: Pattern) -> int:
+    """A selectivity score: how many constant tests gate this pattern."""
+    weight = 0
+    if isinstance(pattern.oid, (Const, SemOidTerm)):
+        weight += 2
+    if isinstance(pattern.label, Const):
+        weight += 2
+    if isinstance(pattern.type, Const):
+        weight += 1
+    value = pattern.value
+    if isinstance(value, Const):
+        weight += 2
+    elif isinstance(value, SetPattern):
+        for item in value.items:
+            if isinstance(item, PatternItem):
+                weight += _constant_weight(item.pattern)
+    return weight
+
+
+def _compile_set(setpat: SetPattern, layout: SlotLayout):
+    """Lower a ``{...}`` pattern to a keyed set matcher closure."""
+    var_item_message = None
+    direct: list[Pattern] = []
+    deep: list[Pattern] = []
+    for item in setpat.items:
+        if isinstance(item, VarItem):
+            var_item_message = (
+                f"bare variable {item.var} inside a set pattern is only"
+                f" meaningful in rule heads"
+            )
+            break
+        if isinstance(item, PatternItem):
+            (deep if item.descendant else direct).append(item.pattern)
+
+    if var_item_message is not None:
+        def raise_var_item(obj, frame, _m=var_item_message):
+            if obj.type != SET_TYPE:
+                return _EMPTY
+            raise MSLMatchError(_m)
+
+        return raise_var_item
+
+    # direct items: (original position, matcher, label prefilter), searched
+    # most-constant-first; the choice key restores written-order solutions
+    specs = []
+    for position, pattern in enumerate(direct):
+        matcher, label_const = _compile_matcher(pattern, layout)
+        specs.append((position, matcher, label_const))
+    ordered = sorted(
+        specs, key=lambda spec: -_constant_weight(direct[spec[0]])
+    )
+    needs_sort = any(
+        spec[0] != rank for rank, spec in enumerate(ordered)
+    )
+    ordered = tuple(ordered)
+    n_direct = len(ordered)
+
+    deep_matchers = tuple(
+        _compile_matcher(pattern, layout)[0] for pattern in deep
+    )
+    n_deep = len(deep_matchers)
+
+    has_rest = setpat.rest is not None
+    rest_register = None
+    rest_cond_matchers: tuple = ()
+    if has_rest:
+        if not setpat.rest.var.is_anonymous:
+            rest_register = layout.register(setpat.rest.var.name)
+        rest_cond_matchers = tuple(
+            _compile_matcher(pattern, layout)[0]
+            for pattern in setpat.rest.conditions
+        )
+    n_conds = len(rest_cond_matchers)
+
+    if n_direct == 1 and not n_deep and not has_rest:
+        # the hot shape — one pushed-down condition like {<name 'Joe'>}
+        (_, only_matcher, only_label) = ordered[0]
+
+        if only_label is not None:
+            def match_single(obj, frame, _m=only_matcher, _l=only_label):
+                if obj.type != SET_TYPE:
+                    return _EMPTY
+                solutions = []
+                for child_index, child in enumerate(obj.value):
+                    if child.label != _l:
+                        continue
+                    for found, nested in _m(child, frame):
+                        solutions.append(
+                            (found, ((child_index, nested),))
+                        )
+                return solutions
+
+            return match_single
+
+        def match_single_any(obj, frame, _m=only_matcher):
+            if obj.type != SET_TYPE:
+                return _EMPTY
+            solutions = []
+            for child_index, child in enumerate(obj.value):
+                for found, nested in _m(child, frame):
+                    solutions.append((found, ((child_index, nested),)))
+            return solutions
+
+        return match_single_any
+
+    if n_direct == 1 and not n_deep and has_rest and not n_conds:
+        # {<name N> | Rest} — one item, bare rest: the rest members are
+        # simply the other children, in store order
+        (_, only_matcher, only_label) = ordered[0]
+
+        def match_single_rest(obj, frame, _m=only_matcher, _l=only_label):
+            if obj.type != SET_TYPE:
+                return _EMPTY
+            children = obj.value
+            solutions = []
+            for child_index, child in enumerate(children):
+                if _l is not None and child.label != _l:
+                    continue
+                for found, nested in _m(child, frame):
+                    env = found
+                    if rest_register is not None:
+                        rest_members = tuple(
+                            children[:child_index]
+                            + children[child_index + 1:]
+                        )
+                        env = _bind(found, rest_register, rest_members)
+                        if env is None:
+                            continue
+                    solutions.append((env, ((child_index, nested),)))
+            return solutions
+
+        return match_single_rest
+
+    def match_set(obj, frame):
+        if obj.type != SET_TYPE:
+            return _EMPTY
+        children = obj.value
+        n_children = len(children)
+        solutions: list = []
+        fragments = [None] * n_direct
+        deep_nodes = tuple(descendants(obj)) if n_deep else ()
+
+        def finish(frame, used, deep_fragments):
+            base_key = tuple(fragments) + deep_fragments
+            if not has_rest:
+                solutions.append((frame, base_key))
+                return
+            rest_members = tuple(
+                children[i]
+                for i in range(n_children)
+                if not (used >> i) & 1
+            )
+            env = frame
+            if rest_register is not None:
+                env = _bind(frame, rest_register, rest_members)
+                if env is None:
+                    return
+            if not n_conds:
+                solutions.append((env, base_key))
+                return
+
+            def assign_conditions(index, cond_used, frame2, cond_frags):
+                if index == n_conds:
+                    solutions.append((frame2, base_key + cond_frags))
+                    return
+                matcher = rest_cond_matchers[index]
+                for member_index, member in enumerate(rest_members):
+                    if (cond_used >> member_index) & 1:
+                        continue
+                    for found, nested in matcher(member, frame2):
+                        assign_conditions(
+                            index + 1,
+                            cond_used | (1 << member_index),
+                            found,
+                            cond_frags + ((member_index, nested),),
+                        )
+
+            assign_conditions(0, 0, env, ())
+
+        def apply_deep(index, frame, deep_fragments, used):
+            if index == n_deep:
+                finish(frame, used, deep_fragments)
+                return
+            matcher = deep_matchers[index]
+            for node_index, node in enumerate(deep_nodes):
+                for found, nested in matcher(node, frame):
+                    apply_deep(
+                        index + 1,
+                        found,
+                        deep_fragments + ((node_index, nested),),
+                        used,
+                    )
+
+        def assign(index, used, frame):
+            if index == n_direct:
+                apply_deep(0, frame, (), used)
+                return
+            position, matcher, label_const = ordered[index]
+            for child_index in range(n_children):
+                if (used >> child_index) & 1:
+                    continue
+                child = children[child_index]
+                if label_const is not None and child.label != label_const:
+                    continue
+                for found, nested in matcher(child, frame):
+                    fragments[position] = (child_index, nested)
+                    assign(index + 1, used | (1 << child_index), found)
+
+        assign(0, 0, frame)
+        if needs_sort and len(solutions) > 1:
+            solutions.sort(key=_solution_key)
+        return solutions
+
+    return match_set
+
+
+def _solution_key(solution: tuple) -> tuple:
+    return solution[1]
+
+
+def _compile_value_step(pattern: Pattern, layout: SlotLayout):
+    """Lower the value slot to ``(obj, frame) -> [(frame, key), ...]``."""
+    value = pattern.value
+    if isinstance(value, SetPattern):
+        return _compile_set(value, layout)
+    if isinstance(value, Const):
+        want = value.value
+        if isinstance(want, str):
+            def step_const_str(obj, frame, _w=want):
+                if obj.type != SET_TYPE and obj.value == _w:
+                    return [(frame, _NO_KEY)]
+                return _EMPTY
+
+            return step_const_str
+
+        def step_const(obj, frame, _w=want):
+            if obj.type != SET_TYPE and values_equal(_w, obj.value):
+                return [(frame, _NO_KEY)]
+            return _EMPTY
+
+        return step_const
+    if isinstance(value, Var):
+        if value.is_anonymous:
+            return lambda obj, frame: [(frame, _NO_KEY)]
+        register = layout.register(value.name)
+
+        def step_var(obj, frame, _r=register):
+            # obj.value is the children tuple for sets, the atom otherwise
+            bound = obj.value
+            current = frame[_r]
+            if current is UNBOUND:
+                return [
+                    (frame[:_r] + (bound,) + frame[_r + 1:], _NO_KEY)
+                ]
+            if current is bound or values_equal(current, bound):
+                return [(frame, _NO_KEY)]
+            return _EMPTY
+
+        return step_var
+    if isinstance(value, Param):
+        name = value.name
+
+        def step_param(obj, frame, _n=name):
+            raise _param_error(_n)
+
+        return step_param
+    message = f"cannot match value term {value!r}"
+
+    def step_unknown(obj, frame, _m=message):
+        raise MSLMatchError(_m)
+
+    return step_unknown
+
+
+def _compile_matcher(pattern: Pattern, layout: SlotLayout):
+    """Lower a whole pattern; returns ``(match_keyed, label_const)``.
+
+    ``match_keyed(obj, frame)`` returns the keyed solution list for one
+    object; ``label_const`` is the pattern's string label constant (for
+    caller-side prefiltering), or ``None``.
+    """
+    steps = []
+    if pattern.oid is not None:
+        if isinstance(pattern.oid, Const):
+            text = str(pattern.oid.value)
+
+            def step_oid_const(obj, frame, _t=text):
+                return frame if obj.oid.text == _t else None
+
+            steps.append(step_oid_const)
+        else:
+            oid_test = _compile_term_test(pattern.oid, layout)
+
+            def step_oid(obj, frame, _t=oid_test):
+                return _t(obj.oid, frame)
+
+            steps.append(step_oid)
+
+    label_const = None
+    if isinstance(pattern.label, Const) and isinstance(
+        pattern.label.value, str
+    ):
+        label_const = pattern.label.value
+    label_test = _compile_term_test(pattern.label, layout)
+
+    def step_label(obj, frame, _t=label_test):
+        return _t(obj.label, frame)
+
+    steps.append(step_label)
+
+    if pattern.type is not None:
+        type_test = _compile_term_test(pattern.type, layout)
+
+        def step_type(obj, frame, _t=type_test):
+            return _t(obj.type, frame)
+
+        steps.append(step_type)
+
+    if pattern.object_var is not None and not pattern.object_var.is_anonymous:
+        register = layout.register(pattern.object_var.name)
+
+        def step_object_var(obj, frame, _r=register):
+            current = frame[_r]
+            if current is UNBOUND:
+                return frame[:_r] + (obj,) + frame[_r + 1:]
+            if current is obj or values_equal(current, obj):
+                return frame
+            return None
+
+        steps.append(step_object_var)
+
+    value_step = _compile_value_step(pattern, layout)
+
+    if len(steps) == 1 and label_const is not None:
+        # the hottest shape: <label ...> — one string compare gates all
+        def match_label_gated(obj, frame, _l=label_const, _v=value_step):
+            if obj.label != _l:
+                return _EMPTY
+            return _v(obj, frame)
+
+        return match_label_gated, label_const
+
+    step_chain = tuple(steps)
+
+    def match_keyed(obj, frame, _steps=step_chain, _v=value_step):
+        for step in _steps:
+            frame = step(obj, frame)
+            if frame is None:
+                return _EMPTY
+        return _v(obj, frame)
+
+    return match_keyed, label_const
+
+
+# ---------------------------------------------------------------------------
+# public compiled objects
+# ---------------------------------------------------------------------------
+
+
+class CompiledPattern:
+    """One pattern lowered to closures over a :class:`SlotLayout`."""
+
+    __slots__ = ("pattern", "layout", "match_keyed", "label_const")
+
+    def __init__(
+        self, pattern: Pattern, layout: SlotLayout | None = None
+    ) -> None:
+        self.pattern = pattern
+        self.layout = layout or SlotLayout(
+            sorted(pattern_variables(pattern))
+        )
+        self.match_keyed, self.label_const = _compile_matcher(
+            pattern, self.layout
+        )
+
+    def match_frames(self, obj: OEMObject, frame: tuple | None = None):
+        """All solution frames for one object (choice keys dropped)."""
+        if frame is None:
+            frame = self.layout.empty_frame
+        solutions = self.match_keyed(obj, frame)
+        if not solutions:
+            return _EMPTY
+        return [found for found, _key in solutions]
+
+    def match(
+        self, obj: OEMObject, bindings: Bindings = EMPTY_BINDINGS
+    ) -> list[Bindings]:
+        """Drop-in equivalent of :func:`repro.msl.matcher.match_pattern`."""
+        frame = self.layout.seed(bindings)
+        return [
+            self.layout.to_bindings(found, bindings)
+            for found, _key in self.match_keyed(obj, frame)
+        ]
+
+    def match_forest(
+        self,
+        roots: Iterable[OEMObject],
+        bindings: Bindings = EMPTY_BINDINGS,
+        any_level: bool = False,
+    ) -> list[Bindings]:
+        """Equivalent of :func:`~repro.msl.matcher.match_against_forest`."""
+        frame = self.layout.seed(bindings)
+        candidates = walk(roots) if any_level else roots
+        results: list[Bindings] = []
+        layout = self.layout
+        match_keyed = self.match_keyed
+        for obj in candidates:
+            for found, _key in match_keyed(obj, frame):
+                results.append(layout.to_bindings(found, bindings))
+        return results
+
+    def match_all(
+        self,
+        roots: Iterable[OEMObject],
+        bindings: Bindings = EMPTY_BINDINGS,
+    ) -> list[Bindings]:
+        """Equivalent of :func:`~repro.msl.matcher.match_all` (deduped)."""
+        frame = self.layout.seed(bindings)
+        names = self.layout.names
+        fast = not len(bindings)
+        seen: set[tuple] = set()
+        results: list[Bindings] = []
+        for obj in roots:
+            for found, _key in self.match_keyed(obj, frame):
+                if fast:
+                    # layout names are sorted, so this is Bindings.key()
+                    key = tuple(
+                        (name, value_key(value))
+                        for name, value in zip(names, found)
+                        if value is not UNBOUND
+                    )
+                    if key not in seen:
+                        seen.add(key)
+                        results.append(self.layout.to_bindings(found))
+                else:
+                    env = self.layout.to_bindings(found, bindings)
+                    key = env.key()
+                    if key not in seen:
+                        seen.add(key)
+                        results.append(env)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledPattern({self.pattern})"
+
+
+class CompiledRule:
+    """One rule lowered to a register machine over frames.
+
+    ``evaluate`` replicates :func:`repro.msl.evaluate.evaluate_rule`
+    bit-for-bit: same condition schedule, same solution order, same
+    projection/dedup, same oid-generator call sequence, same errors.
+    """
+
+    __slots__ = (
+        "rule",
+        "registry",
+        "layout",
+        "steps",
+        "leftover",
+        "projection",
+    )
+
+    def __init__(
+        self, rule: Rule, registry: "ExternalRegistry | None" = None
+    ) -> None:
+        self.rule = rule
+        self.registry = registry
+        names: set[str] = set(head_variables(rule.head))
+        for condition in rule.tail:
+            names |= condition_variables(condition)
+        layout = SlotLayout(sorted(names))
+        self.layout = layout
+
+        ordered, leftover = schedule_conditions(rule, registry)
+        self.leftover = tuple(leftover)
+        steps = []
+        for condition in ordered:
+            if isinstance(condition, PatternCondition):
+                steps.append(self._compile_pattern_step(condition, layout))
+            elif isinstance(condition, ExternalCall):
+                steps.append(self._compile_external_step(condition, layout))
+            else:
+                steps.append(
+                    self._compile_comparison_step(condition, layout)
+                )
+        self.steps = tuple(steps)
+
+        needed = head_variables(rule.head)
+        self.projection = tuple(
+            sorted((name, layout.index[name]) for name in needed)
+        )
+
+    @staticmethod
+    def _compile_pattern_step(
+        condition: PatternCondition, layout: SlotLayout
+    ):
+        compiled = CompiledPattern(condition.pattern, layout)
+        match_keyed = compiled.match_keyed
+        source = condition.source
+
+        def step(frames, forests, registry, _m=match_keyed, _s=source):
+            forest = forests.get(_s)
+            if forest is None:
+                raise MSLSemanticError(
+                    f"no data supplied for source {_s!r}"
+                )
+            out = []
+            append = out.append
+            for frame in frames:
+                for obj in forest:
+                    for found, _key in _m(obj, frame):
+                        append(found)
+            return out
+
+        return step
+
+    @staticmethod
+    def _compile_external_step(call: ExternalCall, layout: SlotLayout):
+        # argument plan: ('const', value) | ('var', register) | ('skip',)
+        specs = []
+        for arg in call.args:
+            if isinstance(arg, Const):
+                specs.append(("const", arg.value))
+            elif isinstance(arg, Var) and not arg.is_anonymous:
+                specs.append(("var", layout.register(arg.name)))
+            else:
+                specs.append(("skip", None))
+        specs_t = tuple(specs)
+        name = call.name
+
+        def step(frames, forests, registry, _specs=specs_t, _n=name):
+            out = []
+            for frame in frames:
+                args: list[object] = []
+                available: list[bool] = []
+                for kind, payload in _specs:
+                    if kind == "const":
+                        args.append(payload)
+                        available.append(True)
+                    elif kind == "var":
+                        bound = frame[payload]
+                        if bound is UNBOUND:
+                            args.append(None)
+                            available.append(False)
+                        else:
+                            args.append(bound)
+                            available.append(True)
+                    else:
+                        args.append(None)
+                        available.append(False)
+                for full in registry.evaluate(_n, args, available):
+                    result = frame
+                    for (kind, payload), value in zip(_specs, full):
+                        if kind == "var":
+                            result = _bind(result, payload, value)
+                            if result is None:
+                                break
+                        elif kind == "const" and payload != value:
+                            result = None
+                            break
+                    if result is not None:
+                        out.append(result)
+            return out
+
+        return step
+
+    @staticmethod
+    def _compile_comparison_step(
+        comparison: Comparison, layout: SlotLayout
+    ):
+        def accessor(term: Term):
+            if isinstance(term, Const):
+                value = term.value
+                return lambda frame, _v=value: (True, _v)
+            if isinstance(term, Var) and not term.is_anonymous:
+                register = layout.register(term.name)
+
+                def read(frame, _r=register):
+                    value = frame[_r]
+                    if value is UNBOUND:
+                        return False, None
+                    return True, value
+
+                return read
+            return lambda frame: (False, None)
+
+        left = accessor(comparison.left)
+        right = accessor(comparison.right)
+        op = comparison.op
+
+        def step(
+            frames, forests, registry,
+            _l=left, _r=right, _op=op, _c=comparison,
+        ):
+            out = []
+            for frame in frames:
+                left_ok, left_value = _l(frame)
+                right_ok, right_value = _r(frame)
+                if not (left_ok and right_ok):
+                    raise MSLSemanticError(
+                        f"comparison {_c} evaluated with unbound operand"
+                    )
+                if compare_values(_op, left_value, right_value):
+                    out.append(frame)
+            return out
+
+        return step
+
+    def evaluate(
+        self,
+        forests: Mapping[str | None, Sequence[OEMObject]],
+        registry: "ExternalRegistry | None" = None,
+        oidgen: OidGenerator | None = None,
+        check: bool = True,
+    ) -> list[OEMObject]:
+        """Drop-in equivalent of :func:`repro.msl.evaluate.evaluate_rule`."""
+        if check:
+            from repro.msl.analysis import check_rule
+
+            check_rule(self.rule)
+        if registry is None:
+            registry = self.registry
+        frames: list[tuple] = [self.layout.empty_frame]
+        for step in self.steps:
+            frames = step(frames, forests, registry)
+            if not frames:
+                return []
+        if self.leftover:
+            raise unschedulable_error(self.leftover)
+
+        # footnote 3: project onto head variables, eliminate duplicated
+        # bindings, then create an object per surviving binding set
+        projection = self.projection
+        seen: set[tuple] = set()
+        survivors: list[tuple] = []
+        for frame in frames:
+            key = tuple(
+                (name, value_key(frame[register]))
+                for name, register in projection
+                if frame[register] is not UNBOUND
+            )
+            if key not in seen:
+                seen.add(key)
+                survivors.append(frame)
+
+        generator = oidgen or OidGenerator("&v")
+        head = self.rule.head
+        objects: list[OEMObject] = []
+        from repro.msl.substitute import instantiate_head_item
+
+        for frame in survivors:
+            env = _bindings_from(
+                {
+                    name: frame[register]
+                    for name, register in projection
+                    if frame[register] is not UNBOUND
+                }
+            )
+            for item in head:
+                objects.extend(
+                    instantiate_head_item(item, env, generator)
+                )
+        return eliminate_duplicates(objects)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledRule({self.rule})"
+
+
+# ---------------------------------------------------------------------------
+# memoization
+# ---------------------------------------------------------------------------
+
+
+class CompileCache:
+    """Bounded memo of compiled rules and patterns (FIFO eviction).
+
+    Both the mediator and each wrapper hold one: repeated queries (and
+    every re-execution of a cached plan) skip compilation entirely.
+    AST nodes are frozen dataclasses, so rules and patterns hash by
+    structure; an unhashable rule (never produced by the parser) simply
+    bypasses the cache.
+    """
+
+    __slots__ = (
+        "registry",
+        "max_entries",
+        "_rules",
+        "_patterns",
+        "_lock",
+        "hits",
+        "misses",
+    )
+
+    def __init__(
+        self,
+        registry: "ExternalRegistry | None" = None,
+        max_entries: int = 512,
+    ) -> None:
+        self.registry = registry
+        self.max_entries = max_entries
+        self._rules: dict[Rule, CompiledRule] = {}
+        self._patterns: dict[Pattern, CompiledPattern] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def rule(self, rule: Rule) -> CompiledRule:
+        try:
+            with self._lock:
+                cached = self._rules.get(rule)
+                if cached is not None:
+                    self.hits += 1
+                    return cached
+                self.misses += 1
+        except TypeError:
+            return CompiledRule(rule, self.registry)
+        compiled = CompiledRule(rule, self.registry)
+        with self._lock:
+            if len(self._rules) >= self.max_entries:
+                self._rules.pop(next(iter(self._rules)))
+            self._rules[rule] = compiled
+        return compiled
+
+    def pattern(self, pattern: Pattern) -> CompiledPattern:
+        try:
+            with self._lock:
+                cached = self._patterns.get(pattern)
+                if cached is not None:
+                    self.hits += 1
+                    return cached
+                self.misses += 1
+        except TypeError:
+            return CompiledPattern(pattern)
+        compiled = CompiledPattern(pattern)
+        with self._lock:
+            if len(self._patterns) >= self.max_entries:
+                self._patterns.pop(next(iter(self._patterns)))
+            self._patterns[pattern] = compiled
+        return compiled
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "rules": len(self._rules),
+            "patterns": len(self._patterns),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def compile_pattern(
+    pattern: Pattern, layout: SlotLayout | None = None
+) -> CompiledPattern:
+    """Compile one pattern (convenience constructor)."""
+    return CompiledPattern(pattern, layout)
+
+
+def compile_rule(
+    rule: Rule, registry: "ExternalRegistry | None" = None
+) -> CompiledRule:
+    """Compile one rule (convenience constructor)."""
+    return CompiledRule(rule, registry)
+
+
+def evaluate_rule_compiled(
+    rule: Rule,
+    forests: Mapping[str | None, Sequence[OEMObject]],
+    registry: "ExternalRegistry | None" = None,
+    oidgen: OidGenerator | None = None,
+    check: bool = True,
+    cache: CompileCache | None = None,
+) -> list[OEMObject]:
+    """Compiled drop-in for :func:`repro.msl.evaluate.evaluate_rule`."""
+    compiled = cache.rule(rule) if cache is not None else CompiledRule(
+        rule, registry
+    )
+    return compiled.evaluate(forests, registry, oidgen, check=check)

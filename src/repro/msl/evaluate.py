@@ -43,7 +43,13 @@ from repro.oem.compare import eliminate_duplicates
 from repro.oem.model import OEMObject
 from repro.oem.oid import OidGenerator
 
-__all__ = ["evaluate_rule", "evaluate_comparison", "term_value"]
+__all__ = [
+    "evaluate_rule",
+    "evaluate_comparison",
+    "compare_values",
+    "term_value",
+    "schedule_conditions",
+]
 
 
 def term_value(term: Term, bindings: Bindings) -> tuple[bool, object]:
@@ -68,7 +74,11 @@ def evaluate_comparison(comparison: Comparison, bindings: Bindings) -> bool:
         raise MSLSemanticError(
             f"comparison {comparison} evaluated with unbound operand"
         )
-    op = comparison.op
+    return compare_values(comparison.op, left, right)
+
+
+def compare_values(op: str, left: object, right: object) -> bool:
+    """Truth of ``left op right`` over bound atoms (mismatches are false)."""
     if op == "=":
         return _atoms_comparable(left, right) and left == right
     if op == "!=":
@@ -168,6 +178,55 @@ def _ready(condition: Condition, bound: set[str], registry: ExternalRegistry | N
     return False
 
 
+def schedule_conditions(
+    rule: Rule, registry: ExternalRegistry | None = None
+) -> tuple[list[Condition], list[Condition]]:
+    """Static evaluation order for a rule tail.
+
+    The choice at every step depends only on which variables are bound
+    so far — never on data — so the whole order can be fixed before any
+    matching happens (the compiled backend precomputes it once per
+    rule).  Returns ``(ordered, unschedulable)``: conditions in
+    evaluation order, then any leftovers no binding order can ready
+    (external predicates lacking an implementation for the available
+    adornment).  Leftovers only become an *error* if evaluation of the
+    ordered prefix still has live bindings — an empty intermediate
+    result short-circuits first, exactly as the interpretive loop did.
+    """
+    remaining: list[Condition] = list(rule.tail)
+    ordered: list[Condition] = []
+    bound: set[str] = set()
+    while remaining:
+        chosen_index = None
+        # prefer the first evaluable non-pattern condition (cheap filters
+        # first), otherwise the first pattern condition
+        for index, condition in enumerate(remaining):
+            if not isinstance(condition, PatternCondition) and _ready(
+                condition, bound, registry
+            ):
+                chosen_index = index
+                break
+        if chosen_index is None:
+            for index, condition in enumerate(remaining):
+                if isinstance(condition, PatternCondition):
+                    chosen_index = index
+                    break
+        if chosen_index is None:
+            return ordered, remaining
+        condition = remaining.pop(chosen_index)
+        ordered.append(condition)
+        bound |= condition_variables(condition)
+    return ordered, []
+
+
+def unschedulable_error(leftover: Sequence[Condition]) -> MSLSemanticError:
+    return MSLSemanticError(
+        f"cannot schedule remaining conditions"
+        f" {[str(c) for c in leftover]}: external predicates"
+        f" lack implementations for the available bindings"
+    )
+
+
 def evaluate_rule(
     rule: Rule,
     forests: Mapping[str | None, Sequence[OEMObject]],
@@ -191,32 +250,9 @@ def evaluate_rule(
     if check:
         check_rule(rule)
 
-    remaining: list[Condition] = list(rule.tail)
+    ordered, leftover = schedule_conditions(rule, registry)
     bindings_list: list[Bindings] = [EMPTY_BINDINGS]
-    bound: set[str] = set()
-
-    while remaining:
-        chosen_index = None
-        # prefer the first evaluable non-pattern condition (cheap filters
-        # first), otherwise the first pattern condition
-        for index, condition in enumerate(remaining):
-            if not isinstance(condition, PatternCondition) and _ready(
-                condition, bound, registry
-            ):
-                chosen_index = index
-                break
-        if chosen_index is None:
-            for index, condition in enumerate(remaining):
-                if isinstance(condition, PatternCondition):
-                    chosen_index = index
-                    break
-        if chosen_index is None:
-            raise MSLSemanticError(
-                f"cannot schedule remaining conditions"
-                f" {[str(c) for c in remaining]}: external predicates"
-                f" lack implementations for the available bindings"
-            )
-        condition = remaining.pop(chosen_index)
+    for condition in ordered:
         if isinstance(condition, PatternCondition):
             bindings_list = _expand_pattern(condition, bindings_list, forests)
         elif isinstance(condition, ExternalCall):
@@ -228,9 +264,10 @@ def evaluate_rule(
                 for env in bindings_list
                 if evaluate_comparison(condition, env)
             ]
-        bound |= condition_variables(condition)
         if not bindings_list:
             return []
+    if leftover:
+        raise unschedulable_error(leftover)
 
     # footnote 3: project onto head variables, eliminate duplicated
     # bindings, then create an object per surviving binding set

@@ -19,6 +19,7 @@ from repro.oem.builders import atom, from_python, obj, to_python
 from repro.oem.compare import (
     eliminate_duplicates,
     is_subobject_set,
+    key_computations,
     structural_hash,
     structural_key,
     structurally_equal,
@@ -58,6 +59,7 @@ __all__ = [
     "from_python",
     "infer_type",
     "is_subobject_set",
+    "key_computations",
     "obj",
     "parse_oem",
     "parse_one",

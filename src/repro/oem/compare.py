@@ -21,19 +21,41 @@ __all__ = [
     "structurally_equal",
     "eliminate_duplicates",
     "is_subobject_set",
+    "key_computations",
 ]
+
+#: Number of structural keys actually computed (cache misses).  Joins,
+#: dedup, and cache canonicalization over an already-keyed forest should
+#: leave this counter unchanged; tests assert exactly that.
+_key_computations = 0
+
+
+def key_computations() -> int:
+    """Total structural-key computations so far (memoization misses)."""
+    return _key_computations
 
 
 def structural_key(obj: OEMObject) -> Hashable:
     """A hashable key capturing the structure of ``obj`` (oids ignored).
 
-    Set values are canonicalised by sorting the children's keys, so the
-    key is insensitive to sub-object order and to duplicate sub-objects.
+    Set values are canonicalised as a frozenset of the children's keys,
+    so the key is insensitive to sub-object order and to duplicate
+    sub-objects.  Objects are immutable, so the key is computed once and
+    memoized on the object itself — repeated joins/dedup/cache lookups
+    over the same forest never re-walk the tree.
     """
+    cached = obj._skey
+    if cached is not None:
+        return cached
+    global _key_computations
+    _key_computations += 1
     if obj.is_set:
         child_keys = frozenset(structural_key(c) for c in obj.children)
-        return (obj.label, "set", child_keys)
-    return (obj.label, obj.type, obj.value)
+        key: Hashable = (obj.label, "set", child_keys)
+    else:
+        key = (obj.label, obj.type, obj.value)
+    object.__setattr__(obj, "_skey", key)
+    return key
 
 
 def structural_hash(obj: OEMObject) -> int:

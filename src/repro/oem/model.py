@@ -137,7 +137,7 @@ class OEMObject:
         paper: "any arbitrary unique strings can be used").
     """
 
-    __slots__ = ("oid", "label", "type", "value", "_hash")
+    __slots__ = ("oid", "label", "type", "value", "_hash", "_skey")
 
     oid: Oid
     label: str
@@ -181,6 +181,7 @@ class OEMObject:
         object.__setattr__(self, "type", type_)
         object.__setattr__(self, "value", checked)
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_skey", None)
 
     # -- immutability -------------------------------------------------
 

@@ -20,6 +20,7 @@ from typing import Sequence
 from repro.external.registry import ExternalRegistry
 from repro.msl.analysis import check_rule
 from repro.msl.ast import Comparison, PatternCondition, Rule
+from repro.msl.compile import CompileCache
 from repro.msl.errors import MSLSemanticError
 from repro.msl.evaluate import evaluate_rule
 from repro.oem.model import OEMObject
@@ -114,6 +115,7 @@ class Wrapper(Source):
         name: str,
         capability: Capability | None = None,
         registry: ExternalRegistry | None = None,
+        compile: bool = True,
     ) -> None:
         if not name or not name.isidentifier():
             raise SourceError(f"invalid source name {name!r}")
@@ -121,6 +123,11 @@ class Wrapper(Source):
         self._capability = capability or FULL_CAPABILITY
         self._registry = registry
         self._oidgen = OidGenerator(f"&{name}_")
+        # repeated (parameterized) queries compile once; compile=False
+        # keeps the interpretive reference evaluator
+        self._compile_cache = (
+            CompileCache(registry) if compile else None
+        )
         self.queries_answered = 0
         self.objects_returned = 0
 
@@ -183,13 +190,21 @@ class Wrapper(Source):
 
         forest = self.candidates(query)
         try:
-            result = evaluate_rule(
-                query,
-                {None: forest, self.name: forest},
-                self._registry,
-                self._oidgen,
-                check=False,
-            )
+            if self._compile_cache is not None:
+                result = self._compile_cache.rule(query).evaluate(
+                    {None: forest, self.name: forest},
+                    self._registry,
+                    self._oidgen,
+                    check=False,
+                )
+            else:
+                result = evaluate_rule(
+                    query,
+                    {None: forest, self.name: forest},
+                    self._registry,
+                    self._oidgen,
+                    check=False,
+                )
         except MSLSemanticError as exc:
             raise SourceError(f"{self.name}: {exc}") from exc
         self.queries_answered += 1

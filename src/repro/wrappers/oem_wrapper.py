@@ -48,8 +48,9 @@ class OEMStoreWrapper(Wrapper):
         registry: ExternalRegistry | None = None,
         indexed: bool = True,
         export_facts: bool = False,
+        compile: bool = True,
     ) -> None:
-        super().__init__(name, capability, registry)
+        super().__init__(name, capability, registry, compile=compile)
         self._objects: list[OEMObject] = list(objects)
         self._indexed = indexed
         self._index: dict[tuple[str, object], set[int]] | None = None

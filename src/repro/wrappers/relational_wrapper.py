@@ -60,8 +60,9 @@ class RelationalWrapper(Wrapper):
         database: Database,
         capability: Capability | None = None,
         registry: ExternalRegistry | None = None,
+        compile: bool = True,
     ) -> None:
-        super().__init__(name, capability, registry)
+        super().__init__(name, capability, registry, compile=compile)
         self.database = database
 
     @property

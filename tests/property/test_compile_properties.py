@@ -1,0 +1,350 @@
+"""Property: the compiled backend is bit-for-bit the interpretive one.
+
+The equivalence contract of :mod:`repro.msl.compile`
+(docs/performance.md): for every pattern, rule, and mediator query,
+the compiled closure backend produces the *same* solutions in the
+*same* order as the reference matcher/evaluator — same binding
+environments, same constructed objects (oids included, because the
+oid-generator call sequences coincide), same warnings, same trace
+shape, same errors.  Selectivity reordering inside compiled set
+matchers must be invisible.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    JOE_CHUNG_QUERY,
+    MS1,
+    YEAR3_QUERY,
+    build_cs_database,
+    build_whois_objects,
+)
+from repro.external.registry import default_registry
+from repro.mediator import Mediator
+from repro.msl import (
+    compile_pattern,
+    evaluate_rule,
+    evaluate_rule_compiled,
+    match_against_forest,
+    match_all,
+    match_pattern,
+    parse_rule,
+)
+from repro.msl.ast import (
+    Const,
+    Pattern,
+    PatternItem,
+    RestSpec,
+    SetPattern,
+    Var,
+)
+from repro.msl.bindings import Bindings
+from repro.msl.errors import MSLError
+from repro.oem.oid import OidGenerator
+from repro.reliability import (
+    FaultInjectingSource,
+    ManualClock,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.wrappers import OEMStoreWrapper, RelationalWrapper, SourceRegistry
+
+from .strategies import atom_values, labels, oem_forests, oem_objects
+
+# -- pattern strategies (label-position variables, Rest, descendants) ----
+
+label_terms = st.one_of(
+    labels.map(Const),
+    st.sampled_from(["L", "X"]).map(Var),  # label-position variables
+)
+value_vars = st.sampled_from(["X", "Y", "Z", "_"]).map(Var)
+
+
+@st.composite
+def match_patterns(draw, depth: int = 2) -> Pattern:
+    label = draw(label_terms)
+    choices = [value_vars, atom_values.map(Const)]
+    if depth > 1:
+        choices.append(set_patterns(depth))
+    value = draw(st.one_of(*choices))
+    object_var = draw(
+        st.one_of(st.none(), st.sampled_from(["O", "_"]).map(Var))
+    )
+    type_term = draw(
+        st.one_of(
+            st.none(),
+            st.sampled_from(["string", "int", "set"]).map(Const),
+            st.just(Var("T")),
+        )
+    )
+    return Pattern(
+        label=label, value=value, type=type_term, object_var=object_var
+    )
+
+
+@st.composite
+def set_patterns(draw, depth: int) -> SetPattern:
+    items = tuple(
+        PatternItem(
+            draw(match_patterns(depth=depth - 1)),
+            descendant=draw(st.booleans()),
+        )
+        for _ in range(draw(st.integers(min_value=0, max_value=3)))
+    )
+    rest = None
+    if draw(st.booleans()):
+        conditions = tuple(
+            draw(
+                st.lists(match_patterns(depth=1), min_size=0, max_size=1)
+            )
+        )
+        rest = RestSpec(
+            draw(st.sampled_from(["R", "_"]).map(Var)), conditions
+        )
+    return SetPattern(items, rest)
+
+
+incoming_bindings = st.dictionaries(
+    st.sampled_from(["X", "Y", "L"]), atom_values, max_size=2
+).map(Bindings)
+
+
+def env_keys(envs):
+    """Order-sensitive canonical form of a Bindings list."""
+    return [env.key() for env in envs]
+
+
+def outcome_of(thunk):
+    """(result, error) of a matcher call, errors canonicalised."""
+    try:
+        return thunk(), None
+    except MSLError as exc:
+        return None, (type(exc).__name__, str(exc))
+
+
+# -- pattern-level equivalence ------------------------------------------
+
+
+class TestCompiledPatternEquivalence:
+    @given(pattern=match_patterns(), obj=oem_objects())
+    @settings(max_examples=300, deadline=None)
+    def test_match_pattern(self, pattern, obj):
+        expected, expected_error = outcome_of(
+            lambda: list(match_pattern(pattern, obj))
+        )
+        compiled = compile_pattern(pattern)
+        observed, observed_error = outcome_of(lambda: compiled.match(obj))
+        assert observed_error == expected_error
+        if expected_error is None:
+            assert env_keys(observed) == env_keys(expected)
+
+    @given(
+        pattern=match_patterns(),
+        forest=oem_forests,
+        bindings=incoming_bindings,
+        any_level=st.booleans(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_match_against_forest(
+        self, pattern, forest, bindings, any_level
+    ):
+        expected, expected_error = outcome_of(
+            lambda: list(
+                match_against_forest(
+                    pattern, forest, bindings, any_level=any_level
+                )
+            )
+        )
+        compiled = compile_pattern(pattern)
+        observed, observed_error = outcome_of(
+            lambda: compiled.match_forest(
+                forest, bindings, any_level=any_level
+            )
+        )
+        assert observed_error == expected_error
+        if expected_error is None:
+            assert env_keys(observed) == env_keys(expected)
+
+    @given(
+        pattern=match_patterns(),
+        forest=oem_forests,
+        bindings=incoming_bindings,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_match_all_dedup(self, pattern, forest, bindings):
+        expected, expected_error = outcome_of(
+            lambda: match_all(pattern, forest, bindings)
+        )
+        compiled = compile_pattern(pattern)
+        observed, observed_error = outcome_of(
+            lambda: compiled.match_all(forest, bindings)
+        )
+        assert observed_error == expected_error
+        if expected_error is None:
+            assert env_keys(observed) == env_keys(expected)
+
+
+# -- rule-level equivalence ---------------------------------------------
+
+RULE_TEXTS = [
+    # plain field extraction
+    "<found N> :- <rec {<a N>}>@s",
+    # two direct items (injective assignment + selectivity reorder)
+    "<pair N M> :- <rec {<a N> <b M>}>@s",
+    # constant direct item reordered ahead of the variable one
+    "<hit N> :- <rec {<a N> <b 2>}>@s",
+    # Rest variable flowing into the head
+    "<keep N R> :- <rec {<a N> | R}>@s",
+    # rest-attached condition (non-consuming membership test)
+    "<two N> :- <rec {<a N> | R:{<b 2>}}>@s",
+    # descendant items at arbitrary depth
+    "<deep V> :- <person {.. <name V>}>@s",
+    # label-position variable
+    "<lab L V> :- <rec {<L V>}>@s",
+    # object variable + anonymous rest
+    "<whole O> :- O:<rec {<a 1> | _}>@s",
+    # comparison scheduled after its binding pattern
+    "<small N> :- <rec {<a N>}>@s AND N < 3",
+    # self-join through a shared variable
+    "<join N> :- <rec {<a N>}>@s AND <rec {<b N>}>@s",
+]
+
+
+@st.composite
+def record_forest(draw):
+    """Flat records with duplicate field labels to stress injectivity."""
+    objs = []
+    from repro.oem import atom, obj
+
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        fields = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["a", "b", "c"]),
+                    st.integers(min_value=0, max_value=3),
+                ),
+                min_size=0,
+                max_size=4,
+            )
+        )
+        objs.append(
+            obj("rec", *[atom(name, value) for name, value in fields])
+        )
+    return objs
+
+
+class TestCompiledRuleEquivalence:
+    @given(
+        text=st.sampled_from(RULE_TEXTS),
+        records=record_forest(),
+        nested=oem_forests,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_evaluate_rule(self, text, records, nested):
+        rule = parse_rule(text)
+        forest = records + nested
+        forests = {"s": forest, None: forest}
+        expected, expected_error = outcome_of(
+            lambda: evaluate_rule(
+                rule, forests, oidgen=OidGenerator("&v"), check=False
+            )
+        )
+        observed, observed_error = outcome_of(
+            lambda: evaluate_rule_compiled(
+                rule, forests, oidgen=OidGenerator("&v"), check=False
+            )
+        )
+        assert observed_error == expected_error
+        if expected_error is None:
+            # bit-for-bit: same objects, same order, same oid sequence
+            assert [repr(o) for o in observed] == [
+                repr(o) for o in expected
+            ]
+
+
+# -- wrapper- and mediator-level equivalence ----------------------------
+
+
+def build_mediator(seed, fault_rate=0.0, compile=True, trace=False):
+    """A fresh MS1 mediator with its own fault schedule and backend."""
+    clock = ManualClock()
+    registry = SourceRegistry()
+    registry.register(
+        FaultInjectingSource(
+            OEMStoreWrapper(
+                "whois", build_whois_objects(), compile=compile
+            ),
+            seed=seed,
+            fault_rate=fault_rate,
+            latency=0.05,
+            clock=clock,
+        )
+    )
+    registry.register(
+        RelationalWrapper("cs", build_cs_database(), compile=compile)
+    )
+    return Mediator(
+        "med",
+        MS1,
+        registry,
+        default_registry(),
+        trace=trace,
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=8, base_delay=0.01, jitter=0.0),
+            breaker_threshold=100,
+        ),
+        clock=clock,
+        compile=compile,
+    )
+
+
+class TestMediatorBackendEquivalence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        fault_rate=st.floats(min_value=0.0, max_value=0.3),
+        query=st.sampled_from([JOE_CHUNG_QUERY, YEAR3_QUERY]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_query_bit_for_bit_under_fault_schedules(
+        self, seed, fault_rate, query
+    ):
+        interpretive = build_mediator(
+            seed, fault_rate=fault_rate, compile=False, trace=True
+        )
+        compiled = build_mediator(
+            seed, fault_rate=fault_rate, compile=True, trace=True
+        )
+        expected = interpretive.query(query)
+        observed = compiled.query(query)
+        # same objects in the same order with the same mediator oids
+        assert [repr(o) for o in observed] == [repr(o) for o in expected]
+        assert [
+            (w.source, w.error) for w in observed.warnings
+        ] == [(w.source, w.error) for w in expected.warnings]
+        # same plan execution: node for node, row count for row count
+        expected_trace = interpretive.last_context.trace
+        observed_trace = compiled.last_context.trace
+        assert [
+            (type(e.node).__name__, len(e.table.rows))
+            for e in observed_trace
+        ] == [
+            (type(e.node).__name__, len(e.table.rows))
+            for e in expected_trace
+        ]
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=5, deadline=None)
+    def test_export_bit_for_bit(self, seed):
+        interpretive = build_mediator(seed, compile=False)
+        compiled = build_mediator(seed, compile=True)
+        assert [repr(o) for o in compiled.export()] == [
+            repr(o) for o in interpretive.export()
+        ]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,237 @@
+"""Unit tests for the compiled pattern backend and its support layers.
+
+Covers the pattern compiler (:mod:`repro.msl.compile`), structural-key
+memoization, the ``value_key`` bag canonicalisation, the positional
+table fast paths, and the execution profiler — the pieces the compiled
+backend leans on for its equivalence and performance guarantees.
+"""
+
+import pytest
+
+from repro.exec import Profiler
+from repro.mediator.tables import BindingTable, TableError
+from repro.msl import (
+    CompileCache,
+    CompiledRule,
+    SlotLayout,
+    UNBOUND,
+    compile_pattern,
+    compile_rule,
+    evaluate_rule,
+    evaluate_rule_compiled,
+    match_all,
+    match_pattern,
+    parse_rule,
+)
+from repro.msl.bindings import Bindings, value_key
+from repro.oem import (
+    atom,
+    eliminate_duplicates,
+    key_computations,
+    obj,
+    structural_key,
+)
+from repro.oem.oid import OidGenerator
+
+
+def joe():
+    return obj(
+        "person",
+        atom("name", "Joe Chung"),
+        atom("dept", "CS"),
+        atom("rel", "employee"),
+    )
+
+
+class TestSlotLayout:
+    def test_registers_are_name_positions(self):
+        layout = SlotLayout(["A", "M", "Z"])
+        assert layout.names == ("A", "M", "Z")
+        assert [layout.register(n) for n in ("A", "M", "Z")] == [0, 1, 2]
+        assert layout.width == 3
+        assert layout.empty_frame == (UNBOUND, UNBOUND, UNBOUND)
+
+    def test_seed_places_incoming_bindings(self):
+        layout = SlotLayout(["X", "Y"])
+        frame = layout.seed(Bindings({"Y": 7}))
+        assert frame[layout.register("X")] is UNBOUND
+        assert frame[layout.register("Y")] == 7
+
+    def test_roundtrip_to_bindings(self):
+        layout = SlotLayout(["X"])
+        frame = layout.seed(Bindings({"X": "v"}))
+        assert dict(layout.to_bindings(frame).items()) == {"X": "v"}
+
+
+class TestCompiledPattern:
+    def test_matches_equal_reference_matcher(self):
+        pattern = parse_rule(
+            "<n N> :- <person {<name N>}>"
+        ).tail[0].pattern
+        forest = [joe(), obj("person", atom("name", "Ann"))]
+        expected = [e.key() for e in match_all(pattern, forest)]
+        compiled = compile_pattern(pattern)
+        assert [e.key() for e in compiled.match_all(forest)] == expected
+
+    def test_constant_reordering_preserves_solution_order(self):
+        # the variable item is written first, the constant second: the
+        # compiled matcher tries the constant first but must report
+        # solutions in the interpretive (written-order) enumeration
+        pattern = parse_rule(
+            "<x X> :- <person {<name X> <rel 'employee'>}>"
+        ).tail[0].pattern
+        forest = [joe(), joe()]
+        expected = [e.key() for e in match_pattern(pattern, forest[0])]
+        compiled = compile_pattern(pattern)
+        assert [e.key() for e in compiled.match(forest[0])] == expected
+
+
+class TestCompiledRule:
+    RULE = "<n N> :- <person {<name N>}>@s"
+
+    def test_bit_for_bit_against_interpretive(self):
+        rule = parse_rule(self.RULE)
+        forests = {"s": [joe()], None: [joe()]}
+        expected = evaluate_rule(
+            rule, forests, oidgen=OidGenerator("&v"), check=False
+        )
+        observed = evaluate_rule_compiled(
+            rule, forests, oidgen=OidGenerator("&v"), check=False
+        )
+        assert [repr(o) for o in observed] == [repr(o) for o in expected]
+
+    def test_compile_rule_is_reusable(self):
+        compiled = compile_rule(parse_rule(self.RULE))
+        forests = {"s": [joe()], None: [joe()]}
+        first = compiled.evaluate(forests, oidgen=OidGenerator("&v"))
+        second = compiled.evaluate(forests, oidgen=OidGenerator("&v"))
+        assert [repr(o) for o in first] == [repr(o) for o in second]
+
+
+class TestCompileCache:
+    def test_hits_and_misses(self):
+        cache = CompileCache()
+        rule = parse_rule("<n N> :- <person {<name N>}>@s")
+        first = cache.rule(rule)
+        assert cache.rule(rule) is first
+        stats = cache.stats()
+        assert stats["rules"] == 1
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_pattern_cache_shared_across_equal_patterns(self):
+        cache = CompileCache()
+        pattern = parse_rule("<n N> :- <person {<name N>}>").tail[0].pattern
+        assert cache.pattern(pattern) is cache.pattern(pattern)
+        assert cache.stats()["patterns"] == 1
+
+    def test_eviction_bounds_the_cache(self):
+        cache = CompileCache(max_entries=2)
+        for name in ("a", "b", "c"):
+            cache.rule(parse_rule(f"<n N> :- <{name} {{<name N>}}>@s"))
+        assert cache.stats()["rules"] == 2  # oldest evicted
+
+    def test_returns_compiled_rule(self):
+        cache = CompileCache()
+        rule = parse_rule("<n N> :- <person {<name N>}>@s")
+        assert isinstance(cache.rule(rule), CompiledRule)
+
+
+class TestStructuralKeyMemoization:
+    def test_second_dedup_recomputes_nothing(self):
+        forest = [
+            obj("p", atom("a", i), obj("q", atom("b", i % 2)))
+            for i in range(20)
+        ]
+        eliminate_duplicates(forest)
+        before = key_computations()
+        eliminate_duplicates(forest)  # every key is already memoized
+        assert key_computations() == before
+
+    def test_memoized_key_is_the_computed_key(self):
+        o = obj("p", atom("a", 1))
+        assert structural_key(o) is structural_key(o)
+
+
+class TestValueKeyBagSemantics:
+    def test_rest_bindings_compare_order_insensitively(self):
+        members = (atom("a", 1), atom("b", 2))
+        assert value_key(members) == value_key(members[::-1])
+
+    def test_duplicate_members_are_counted_not_collapsed(self):
+        # a bag, not a set: {a, a} differs from {a}
+        once = (atom("a", 1),)
+        twice = (atom("a", 1), atom("a", 1))
+        assert value_key(once) != value_key(twice)
+
+    def test_structurally_equal_members_in_any_order(self):
+        left = (atom("a", 1), atom("a", 1), atom("b", 2))
+        right = (atom("b", 2), atom("a", 1), atom("a", 1))
+        assert value_key(left) == value_key(right)
+
+
+class TestPositionalTableFastPaths:
+    def table(self):
+        return BindingTable(["x", "y"], [(1, "a"), (2, "b"), (3, "c")])
+
+    def test_filter_rows_sees_raw_tuples(self):
+        table = self.table()
+        pos = table.position("x")
+        kept = table.filter_rows(lambda row: row[pos] > 1)
+        assert kept.rows == [(2, "b"), (3, "c")]
+
+    def test_filter_delegates_to_filter_rows(self):
+        kept = self.table().filter(lambda row: row["y"] == "b")
+        assert kept.rows == [(2, "b")]
+
+    def test_extend_rows_sees_raw_tuples(self):
+        table = self.table()
+        pos = table.position("x")
+        extended = table.extend_rows(
+            ["double"], lambda row: [(row[pos] * 2,)]
+        )
+        assert extended.columns == ("x", "y", "double")
+        assert extended.rows[0] == (1, "a", 2)
+
+    def test_extend_rows_checks_arity(self):
+        with pytest.raises(TableError):
+            self.table().extend_rows(["d"], lambda row: [(1, 2)])
+
+    def test_extend_rows_rejects_duplicate_columns(self):
+        with pytest.raises(TableError):
+            self.table().extend_rows(["x"], lambda row: [(1,)])
+
+
+class TestProfiler:
+    def test_records_accumulate(self):
+        profiler = Profiler()
+        profiler.record_node("FilterNode", 10, 0.5)
+        profiler.record_node("FilterNode", 5, 0.25)
+        snap = profiler.snapshot()
+        assert snap["nodes"]["FilterNode"] == {
+            "calls": 2,
+            "rows": 15,
+            "seconds": 0.75,
+        }
+
+    def test_pattern_records(self):
+        profiler = Profiler()
+        profiler.record_pattern("<a A>", 100, 3, 0.1)
+        snap = profiler.snapshot()
+        assert snap["patterns"]["<a A>"]["objects"] == 100
+        assert snap["patterns"]["<a A>"]["matches"] == 3
+
+    def test_render_mentions_both_sections(self):
+        profiler = Profiler()
+        profiler.record_node("ExtractorNode", 1, 0.001)
+        profiler.record_pattern("<a A>", 2, 1, 0.001)
+        text = profiler.render()
+        assert "plan nodes" in text
+        assert "patterns" in text
+        assert "ExtractorNode" in text
+
+    def test_reset_clears_everything(self):
+        profiler = Profiler()
+        profiler.record_node("FilterNode", 1, 0.0)
+        profiler.reset()
+        assert profiler.snapshot() == {"nodes": {}, "patterns": {}}
