@@ -103,7 +103,7 @@ def test_recovery_curve_under_fault_rates(artifact_sink, benchmark):
         for _ in range(ROUNDS):
             if len(mediator.answer(query)) >= 0:
                 ok += 1
-        health = mediator.health_snapshot()["whois"]
+        health = mediator.health_snapshot()["sources"]["whois"]
         queries = health.successes or 1
         rows.append(
             f"{rate:.1f}    {health.attempts / queries:14.2f}"

@@ -8,6 +8,7 @@ them verbatim.
 """
 
 import json
+import os
 import pathlib
 
 import pytest
@@ -40,7 +41,9 @@ def bench_json_sink():
 
     The first write to a file in a session starts it fresh; later
     writes merge their section in, so several tests can contribute to
-    one report (e.g. ``BENCH_parallel.json``).
+    one report (e.g. ``BENCH_parallel.json``).  Writes are atomic
+    (temp file + rename in the same directory), so a reader — or an
+    interrupted run — never sees a half-written report.
     """
 
     def write(filename: str, section: str, payload) -> None:
@@ -51,8 +54,10 @@ def bench_json_sink():
             _json_started.add(filename)
             data = {}
         data[section] = payload
-        path.write_text(
+        temp = path.with_name(path.name + f".tmp{os.getpid()}")
+        temp.write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n"
         )
+        os.replace(temp, path)
 
     return write

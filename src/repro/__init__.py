@@ -21,6 +21,8 @@ The packages:
   cancellation, and malformed-answer quarantine;
 * :mod:`repro.exec` — concurrent source fan-out, single-flight query
   dedup, and answer caching for the datamerge engine;
+* :mod:`repro.obs` — the telemetry subsystem: hierarchical query
+  spans, the central metrics registry, and pluggable exporters;
 * :mod:`repro.client` — client-side result materialization;
 * :mod:`repro.datasets` — the paper's running example and synthetic
   workloads.
@@ -45,6 +47,14 @@ from repro.governor import (
 )
 from repro.mediator import Mediator
 from repro.msl import parse_query, parse_rule, parse_specification
+from repro.obs import (
+    ConsoleTreeExporter,
+    JsonLinesExporter,
+    MetricsRegistry,
+    PrometheusTextExporter,
+    Telemetry,
+    Tracer,
+)
 from repro.oem import OEMObject, parse_oem
 from repro.reliability import (
     CircuitBreaker,
@@ -69,8 +79,14 @@ __all__ = [
     "CancellationToken",
     "Capability",
     "CircuitBreaker",
+    "ConsoleTreeExporter",
     "FaultInjectingSource",
+    "JsonLinesExporter",
     "Mediator",
+    "MetricsRegistry",
+    "PrometheusTextExporter",
+    "Telemetry",
+    "Tracer",
     "QueryBudget",
     "QueryCancelled",
     "QueryGovernor",

@@ -32,7 +32,14 @@ Usage::
 * ``--cache N`` / ``--cache-ttl SECONDS`` — memoize up to N source
   answers (LRU), optionally expiring entries after SECONDS;
 * ``--no-compile`` — evaluate patterns with the interpretive reference
-  matcher instead of the compiled closure backend (default: compiled).
+  matcher instead of the compiled closure backend (default: compiled);
+* ``--trace-out FILE`` / ``--metrics-out FILE`` — enable the telemetry
+  subsystem and write, after the queries ran, the span trees as JSON
+  lines and/or the metrics registry in Prometheus text format;
+* ``--trace-sample-rate R`` — keep the span tree of each query with
+  probability R (default 1.0; head-based, seeded);
+* ``--slow-query-ms MS`` — always retain (and report on stderr) root
+  spans of queries at least MS milliseconds long, sampled or not.
 
 The CLI registers only OEM-file sources; programmatic users wanting
 relational or custom wrappers use the library API directly.
@@ -49,6 +56,7 @@ from repro.exec.cache import AnswerCache
 from repro.external.registry import default_registry
 from repro.governor.budget import QueryBudget
 from repro.mediator.mediator import Mediator
+from repro.obs.exporters import JsonLinesExporter, PrometheusTextExporter
 from repro.oem.parser import parse_oem
 from repro.reliability.policy import RetryPolicy
 from repro.reliability.resilient import ResilienceConfig
@@ -219,6 +227,44 @@ def build_parser() -> argparse.ArgumentParser:
             " compiled pattern backend"
         ),
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable telemetry and write all spans as JSON lines to"
+            " FILE after the queries ran"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable telemetry and write the metrics registry in"
+            " Prometheus text format to FILE after the queries ran"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help=(
+            "keep each query's span tree with probability R in [0, 1]"
+            " (default: 1.0)"
+        ),
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "always retain queries at least MS milliseconds long and"
+            " report them on stderr (enables telemetry)"
+        ),
+    )
     return parser
 
 
@@ -361,6 +407,19 @@ def main(
     if args.cache is not None:
         cache = AnswerCache(max_entries=args.cache, ttl=args.cache_ttl)
 
+    if not 0.0 <= args.trace_sample_rate <= 1.0:
+        print("error: --trace-sample-rate must be in [0, 1]", file=stderr)
+        return 2
+    if args.slow_query_ms is not None and args.slow_query_ms < 0:
+        print("error: --slow-query-ms must be non-negative", file=stderr)
+        return 2
+    # any observability flag switches the telemetry subsystem on
+    telemetry = bool(
+        args.trace_out is not None
+        or args.metrics_out is not None
+        or args.slow_query_ms is not None
+    )
+
     try:
         mediator = Mediator(
             args.mediator,
@@ -379,6 +438,9 @@ def main(
             parallelism=args.parallelism,
             cache=cache,
             compile=not args.no_compile,
+            telemetry=telemetry,
+            trace_sample_rate=args.trace_sample_rate,
+            slow_query_ms=args.slow_query_ms,
         )
     except Exception as exc:
         print(f"error: bad specification: {exc}", file=stderr)
@@ -409,6 +471,34 @@ def main(
         except Exception as exc:
             print(f"error: {query!r}: {exc}", file=stderr)
             status = 1
+
+    if args.slow_query_ms is not None:
+        for span in mediator.telemetry.tracer.slow_queries:
+            print(
+                f"slow query ({span.duration * 1000.0:.1f}ms):"
+                f" {span.name}",
+                file=stderr,
+            )
+    if args.trace_out is not None:
+        try:
+            JsonLinesExporter().export_path(
+                args.trace_out, tracer=mediator.telemetry.tracer
+            )
+        except OSError as exc:
+            print(
+                f"error: cannot write {args.trace_out}: {exc}", file=stderr
+            )
+            return 2
+    if args.metrics_out is not None:
+        try:
+            PrometheusTextExporter().export_path(
+                args.metrics_out, mediator.telemetry.metrics
+            )
+        except OSError as exc:
+            print(
+                f"error: cannot write {args.metrics_out}: {exc}", file=stderr
+            )
+            return 2
     return status
 
 

@@ -27,7 +27,9 @@ __all__ = ["Profiler"]
 class Profiler:
     """Thread-safe per-node and per-pattern execution counters."""
 
-    __slots__ = ("_lock", "_nodes", "_patterns")
+    __slots__ = (
+        "_lock", "_nodes", "_patterns", "_rows_metric", "_rows_children"
+    )
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -35,6 +37,21 @@ class Profiler:
         self._nodes: dict[str, list[float]] = {}
         # pattern text -> [objects, matches, seconds]
         self._patterns: dict[str, list[float]] = {}
+        # telemetry mirror (None = not bound) + per-node bound children
+        self._rows_metric = None
+        self._rows_children: dict[str, object] = {}
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror per-node row counts into a telemetry registry."""
+        from repro.obs.metrics import DEFAULT_ROWS_BUCKETS
+
+        self._rows_metric = registry.histogram(
+            "repro_plan_node_rows",
+            "Rows produced per plan-node execution.",
+            labelnames=("node",),
+            buckets=DEFAULT_ROWS_BUCKETS,
+        )
+        self._rows_children.clear()
 
     # -- recording ------------------------------------------------------
 
@@ -48,6 +65,13 @@ class Profiler:
                 entry[0] += 1
                 entry[1] += rows
                 entry[2] += seconds
+        if self._rows_metric is not None:
+            child = self._rows_children.get(name)
+            if child is None:
+                child = self._rows_children[name] = (
+                    self._rows_metric.labels(node=name)
+                )
+            child.observe(rows)
 
     def record_pattern(
         self, pattern: str, objects: int, matches: int, seconds: float

@@ -24,6 +24,7 @@ from repro.exec.dispatcher import TaskScope, current_scope, scope_active
 from repro.mediator.plan import PhysicalPlan, PlanNode, QueryNode
 from repro.mediator.tables import BindingTable
 from repro.msl.ast import PatternCondition, Rule
+from repro.obs.span import Span, status_of_exception
 from repro.oem.model import OEMObject
 from repro.oem.oid import OidGenerator
 from repro.reliability.health import SourceWarning
@@ -36,6 +37,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.governor.budget import QueryGovernor
     from repro.mediator.statistics import SourceStatistics
     from repro.msl.compile import CompileCache
+    from repro.obs.span import Tracer
+    from repro.obs.telemetry import Telemetry
     from repro.reliability.resilient import ResilienceManager
     from repro.wrappers.registry import SourceRegistry
 
@@ -80,6 +83,12 @@ class ExecutionContext:
     dispatcher: "SourceDispatcher | None" = None
     compiler: "CompileCache | None" = None
     profiler: "Profiler | None" = None
+    # telemetry: None when disabled, so every emission site is one
+    # ``is not None`` check on the hot path; per-source call counts are
+    # buffered in queries_sent/objects_received and rolled into the
+    # registry once per run by flush_telemetry()
+    tracer: "Tracer | None" = None
+    telemetry: "Telemetry | None" = None
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False
     )
@@ -137,6 +146,12 @@ class ExecutionContext:
             source = resilient = self.resilience.wrap(source)
         scope = current_scope()
         sink = scope.warnings if scope is not None else self.warnings
+        tracer = self.tracer
+        span = (
+            tracer.start_span("source-call", source_name)
+            if tracer is not None
+            else None
+        )
         degraded = False
         try:
             result = source.answer(query)
@@ -149,6 +164,9 @@ class ExecutionContext:
                 )
         except SourceError as exc:
             if self.on_source_failure != "degrade":
+                if span is not None:
+                    span.set_attribute("error", type(exc).__name__)
+                    tracer.finish_span(span, status="error")
                 raise
             degraded = True
             attempts = (
@@ -167,6 +185,17 @@ class ExecutionContext:
             attempts, elapsed = resilient.last_call_stats()
         else:
             attempts, elapsed = 1, 0.0
+        if span is not None:
+            span.set_attribute("attempts", attempts)
+            span.set_attribute("objects", len(result))
+            span.set_attribute("cacheable", not degraded)
+            if degraded:
+                span.set_attribute("degraded", True)
+            if resilient is not None:
+                span.set_attribute("breaker", resilient.breaker.state)
+            tracer.finish_span(
+                span, status="degraded" if degraded else "ok"
+            )
         if scope is not None:
             scope.attempts += attempts
             scope.latency += elapsed
@@ -190,6 +219,23 @@ class ExecutionContext:
                         )
         return result, not degraded
 
+    def flush_telemetry(self) -> None:
+        """Roll this run's buffered source-call totals into the registry.
+
+        ``_ship`` buffers per-source call and object counts in
+        ``queries_sent`` / ``objects_received`` (under the context lock
+        it already takes); flushing once per run costs two counter
+        increments per *source* instead of two per *call* — the
+        difference between ~2% and ~0 overhead on fan-out queries.
+        Cache hits never reach ``_ship``, so the flushed totals count
+        exactly the queries that shipped.
+        """
+        if self.telemetry is not None and self.queries_sent:
+            with self._lock:
+                calls = dict(self.queries_sent)
+                received = dict(self.objects_received)
+            self.telemetry.record_source_calls(calls, received)
+
     @property
     def total_queries(self) -> int:
         return sum(self.queries_sent.values())
@@ -197,6 +243,39 @@ class ExecutionContext:
     @property
     def total_objects(self) -> int:
         return sum(self.objects_received.values())
+
+
+def _traced_execute(
+    node: PlanNode,
+    inputs: list[BindingTable],
+    context: ExecutionContext,
+    stage_span: "Span | None",
+) -> BindingTable:
+    """Run one node inside a plan-node span.
+
+    The span is current while the node executes, so source-call,
+    pattern-match and external-predicate spans emitted underneath
+    parent to it — including spans from dispatcher workers, which
+    inherit the node span through their copied context.  With
+    ``stage_span=None`` the parent is taken from the calling context
+    (the stage span a worker inherited).  Untraced runs fall straight
+    through to ``node.execute``.
+    """
+    tracer = context.tracer
+    if tracer is None:
+        return node.execute(inputs, context)
+    span = tracer.start_span(
+        "plan-node", type(node).__name__, parent=stage_span
+    )
+    try:
+        with tracer.use(span):
+            table = node.execute(inputs, context)
+    except BaseException as exc:
+        tracer.finish_span(span, status=status_of_exception(exc))
+        raise
+    span.set_attribute("rows_out", len(table))
+    tracer.finish_span(span)
+    return table
 
 
 class DatamergeEngine:
@@ -225,31 +304,61 @@ class DatamergeEngine:
         if dispatcher is not None and dispatcher.parallel:
             return self._execute_staged(plan, context, dispatcher)
         outputs: dict[int, BindingTable] = {}
-        for node in plan.nodes():
-            if governor is not None:
-                governor.enter_node(node)
-            inputs = [outputs[id(child)] for child in node.inputs]
-            attempts_before = context.attempts_made
-            latency_before = context.source_latency
-            profiler = context.profiler
-            started = perf_counter() if profiler is not None else 0.0
-            table = node.execute(inputs, context)
-            if profiler is not None:
-                profiler.record_node(
-                    type(node).__name__,
-                    len(table),
-                    perf_counter() - started,
-                )
-            outputs[id(node)] = table
-            if context.trace is not None:
-                context.trace.append(
-                    TraceEntry(
-                        node,
-                        table,
-                        attempts=context.attempts_made - attempts_before,
-                        latency=context.source_latency - latency_before,
+        tracer = context.tracer
+        # stage spans are *logical* here: the sequential executor walks
+        # nodes in DFS order (stages interleave), so each stage's span
+        # opens at its first node and closes when the plan finishes —
+        # the tree shape matches the staged executor's, not the timing
+        stage_spans: dict[int, Span] = {}
+        stage_of: dict[int, int] = {}
+        if tracer is not None:
+            for index, stage in enumerate(plan.stages(), 1):
+                for node in stage:
+                    stage_of[id(node)] = index
+        try:
+            for node in plan.nodes():
+                if governor is not None:
+                    governor.enter_node(node)
+                inputs = [outputs[id(child)] for child in node.inputs]
+                attempts_before = context.attempts_made
+                latency_before = context.source_latency
+                profiler = context.profiler
+                started = perf_counter() if profiler is not None else 0.0
+                stage_span = None
+                if tracer is not None:
+                    index = stage_of[id(node)]
+                    stage_span = stage_spans.get(index)
+                    if stage_span is None:
+                        stage_span = stage_spans[index] = tracer.start_span(
+                            "plan-stage", f"stage-{index}"
+                        )
+                table = _traced_execute(node, inputs, context, stage_span)
+                if profiler is not None:
+                    profiler.record_node(
+                        type(node).__name__,
+                        len(table),
+                        perf_counter() - started,
                     )
-                )
+                outputs[id(node)] = table
+                if context.trace is not None:
+                    context.trace.append(
+                        TraceEntry(
+                            node,
+                            table,
+                            attempts=context.attempts_made - attempts_before,
+                            latency=context.source_latency - latency_before,
+                        )
+                    )
+        except BaseException as exc:
+            if tracer is not None:
+                status = status_of_exception(exc)
+                for span in stage_spans.values():
+                    if span.end is None:
+                        tracer.finish_span(span, status=status)
+            raise
+        if tracer is not None:
+            for span in stage_spans.values():
+                tracer.finish_span(span)
         if context.trace is not None:
             self.last_trace = context.trace
         return outputs[id(plan.root)]
@@ -273,72 +382,27 @@ class DatamergeEngine:
         reporting deterministic.
         """
         governor = context.governor
+        tracer = context.tracer
         outputs: dict[int, BindingTable] = {}
         entries: dict[int, TraceEntry] = {}
-        for stage in plan.stages():
-            leaves = [node for node in stage if isinstance(node, QueryNode)]
-            leaf_ids = {id(node) for node in leaves}
-            if leaves:
-                if governor is not None:
-                    for node in leaves:
-                        governor.enter_node(node)
-                outcomes = dispatcher.run_tasks(
-                    [
-                        (lambda n=node: n.execute([], context))
-                        for node in leaves
-                    ]
+        for stage_index, stage in enumerate(plan.stages(), 1):
+            stage_span = (
+                tracer.start_span("plan-stage", f"stage-{stage_index}")
+                if tracer is not None
+                else None
+            )
+            try:
+                self._run_stage(
+                    stage, context, dispatcher, outputs, entries, stage_span
                 )
-                first_error: BaseException | None = None
-                for node, outcome in zip(leaves, outcomes):
-                    context.warnings.extend(outcome.scope.warnings)
-                    if outcome.error is not None:
-                        if first_error is None:
-                            first_error = outcome.error
-                        continue
-                    table = outcome.value
-                    assert isinstance(table, BindingTable)
-                    outputs[id(node)] = table
-                    if context.profiler is not None:
-                        context.profiler.record_node(
-                            type(node).__name__,
-                            len(table),
-                            outcome.scope.latency,
-                        )
-                    if context.trace is not None:
-                        entries[id(node)] = TraceEntry(
-                            node,
-                            table,
-                            attempts=outcome.scope.attempts,
-                            latency=outcome.scope.latency,
-                        )
-                if first_error is not None:
-                    raise first_error
-            for node in stage:
-                if id(node) in leaf_ids:
-                    continue
-                if governor is not None:
-                    governor.enter_node(node)
-                inputs = [outputs[id(child)] for child in node.inputs]
-                scope = TaskScope()
-                profiler = context.profiler
-                started = perf_counter() if profiler is not None else 0.0
-                with scope_active(scope):
-                    table = node.execute(inputs, context)
-                if profiler is not None:
-                    profiler.record_node(
-                        type(node).__name__,
-                        len(table),
-                        perf_counter() - started,
+            except BaseException as exc:
+                if stage_span is not None and stage_span.end is None:
+                    tracer.finish_span(
+                        stage_span, status=status_of_exception(exc)
                     )
-                context.warnings.extend(scope.warnings)
-                outputs[id(node)] = table
-                if context.trace is not None:
-                    entries[id(node)] = TraceEntry(
-                        node,
-                        table,
-                        attempts=scope.attempts,
-                        latency=scope.latency,
-                    )
+                raise
+            if stage_span is not None:
+                tracer.finish_span(stage_span)
         if context.trace is not None:
             context.trace.extend(
                 entries[id(node)]
@@ -347,6 +411,91 @@ class DatamergeEngine:
             )
             self.last_trace = context.trace
         return outputs[id(plan.root)]
+
+    @staticmethod
+    def _run_stage(
+        stage: list[PlanNode],
+        context: ExecutionContext,
+        dispatcher: "SourceDispatcher",
+        outputs: dict[int, BindingTable],
+        entries: dict[int, TraceEntry],
+        stage_span: "Span | None",
+    ) -> None:
+        """Run one stage: fan out its leaf queries, inline the rest.
+
+        When tracing, the dispatcher submission happens inside the
+        stage span's context, so worker threads (which run tasks in a
+        copied :mod:`contextvars` context) parent their plan-node spans
+        to the stage automatically.
+        """
+        governor = context.governor
+        tracer = context.tracer
+        leaves = [node for node in stage if isinstance(node, QueryNode)]
+        leaf_ids = {id(node) for node in leaves}
+        if leaves:
+            if governor is not None:
+                for node in leaves:
+                    governor.enter_node(node)
+            thunks = [
+                (lambda n=node: _traced_execute(n, [], context, None))
+                for node in leaves
+            ]
+            if tracer is not None:
+                with tracer.use(stage_span):
+                    outcomes = dispatcher.run_tasks(thunks)
+            else:
+                outcomes = dispatcher.run_tasks(thunks)
+            first_error: BaseException | None = None
+            for node, outcome in zip(leaves, outcomes):
+                context.warnings.extend(outcome.scope.warnings)
+                if outcome.error is not None:
+                    if first_error is None:
+                        first_error = outcome.error
+                    continue
+                table = outcome.value
+                assert isinstance(table, BindingTable)
+                outputs[id(node)] = table
+                if context.profiler is not None:
+                    context.profiler.record_node(
+                        type(node).__name__,
+                        len(table),
+                        outcome.scope.latency,
+                    )
+                if context.trace is not None:
+                    entries[id(node)] = TraceEntry(
+                        node,
+                        table,
+                        attempts=outcome.scope.attempts,
+                        latency=outcome.scope.latency,
+                    )
+            if first_error is not None:
+                raise first_error
+        for node in stage:
+            if id(node) in leaf_ids:
+                continue
+            if governor is not None:
+                governor.enter_node(node)
+            inputs = [outputs[id(child)] for child in node.inputs]
+            scope = TaskScope()
+            profiler = context.profiler
+            started = perf_counter() if profiler is not None else 0.0
+            with scope_active(scope):
+                table = _traced_execute(node, inputs, context, stage_span)
+            if profiler is not None:
+                profiler.record_node(
+                    type(node).__name__,
+                    len(table),
+                    perf_counter() - started,
+                )
+            context.warnings.extend(scope.warnings)
+            outputs[id(node)] = table
+            if context.trace is not None:
+                entries[id(node)] = TraceEntry(
+                    node,
+                    table,
+                    attempts=scope.attempts,
+                    latency=scope.latency,
+                )
 
     def execute_to_objects(
         self, plan: PhysicalPlan, context: ExecutionContext

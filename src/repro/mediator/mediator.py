@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import warnings as _warnings
 from typing import Iterator, Sequence
 
 from repro.client.result import ResultSet
@@ -62,6 +63,8 @@ from repro.msl.compile import CompileCache
 from repro.msl.errors import MSLError, MSLSemanticError, MSLSyntaxError
 from repro.msl.evaluate import evaluate_rule
 from repro.msl.parser import parse_specification
+from repro.obs.span import current_span, status_of_exception
+from repro.obs.telemetry import Telemetry
 from repro.oem.compare import eliminate_duplicates, structural_key
 from repro.oem.model import OEMObject
 from repro.oem.oid import OidGenerator
@@ -76,6 +79,39 @@ __all__ = ["Mediator", "MediatorError"]
 
 class MediatorError(SourceError):
     """The mediator could not be built or could not serve a query."""
+
+
+class _HealthSnapshot(dict):
+    """The namespaced ``health_snapshot()`` dict, old keys shimmed.
+
+    The pre-namespacing shape put per-source records at the top level
+    next to reserved ``"_execution"`` and ``"_profile"`` keys.
+    Subscripting with one of those old keys still answers (via
+    ``__missing__``) with a :class:`DeprecationWarning`; ``in`` tests
+    and ``.get()`` see only the new three-key shape.  The old reserved
+    keys keep their old presence semantics: they miss (``KeyError``)
+    when the corresponding section is empty.
+    """
+
+    def __missing__(self, key):
+        if key == "_execution":
+            legacy = self.get("execution")
+            hint = "['execution']"
+        elif key == "_profile":
+            legacy = self.get("profile")
+            hint = "['profile']"
+        else:
+            legacy = self.get("sources", {}).get(key)
+            hint = f"['sources'][{key!r}]"
+        if not legacy:
+            raise KeyError(key)
+        _warnings.warn(
+            f"health_snapshot()[{key!r}] is deprecated; use"
+            f" health_snapshot(){hint}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return legacy
 
 
 class Mediator(Source):
@@ -103,6 +139,9 @@ class Mediator(Source):
         parallelism: int = 1,
         cache: AnswerCache | None = None,
         compile: bool = True,
+        telemetry: "Telemetry | bool | None" = None,
+        trace_sample_rate: float = 1.0,
+        slow_query_ms: float | None = None,
     ) -> None:
         if not name or not name.isidentifier():
             raise MediatorError(f"invalid mediator name {name!r}")
@@ -161,6 +200,7 @@ class Mediator(Source):
         self.resilience: ResilienceManager | None = resilience
         self.last_warnings: list[SourceWarning] = []
         self._warning_depth = 0
+        self._operation_contexts: list[ExecutionContext] = []
 
         self.budget = budget
         self.budget_mode = budget_mode
@@ -177,6 +217,30 @@ class Mediator(Source):
             raise MediatorError(str(exc)) from exc
         self.parallelism = parallelism
         self.cache = cache
+
+        # telemetry: pass a configured Telemetry, or True for an
+        # enabled default; anything else leaves a disabled facade whose
+        # pull-time collectors still serve metrics_text()
+        if isinstance(telemetry, Telemetry):
+            self.telemetry = telemetry
+        elif telemetry:
+            try:
+                self.telemetry = Telemetry(
+                    trace_sample_rate=trace_sample_rate,
+                    slow_query_ms=slow_query_ms,
+                    clock=self._clock,
+                )
+            except ValueError as exc:
+                raise MediatorError(str(exc)) from exc
+        else:
+            self.telemetry = Telemetry.disabled()
+        self.telemetry.bind_dispatcher(self.dispatcher)
+        if self._compile_cache is not None:
+            self.telemetry.bind_compile_cache(self._compile_cache)
+        if self.resilience is not None:
+            self.telemetry.bind_resilience(self.resilience)
+        if self.telemetry.enabled:
+            self.profiler.bind_metrics(self.telemetry.metrics)
         # one top-level operation at a time: a mediator is itself a
         # Source, and under parallel execution several worker threads
         # of a *parent* mediator may query one stacked sub-mediator
@@ -203,7 +267,7 @@ class Mediator(Source):
     def answer(self, query: str | Rule) -> list[OEMObject]:
         """Answer an MSL query against this mediator's view."""
         query = self._parse_query(query)
-        with self._query_lock, self._warning_scope():
+        with self._query_lock, self._warning_scope(str(query)):
             if (
                 self.is_recursive
                 or _query_uses_wildcards(query, self.name)
@@ -211,9 +275,13 @@ class Mediator(Source):
             ):
                 objects = self._answer_by_materialization(query)
             else:
-                program = self.expander.expand(query)
-                self.last_program = program
-                plan = self.optimizer.plan_program(program)
+                with self.telemetry.tracer.span(
+                    "view-expansion", self.name
+                ) as span:
+                    program = self.expander.expand(query)
+                    self.last_program = program
+                    plan = self.optimizer.plan_program(program)
+                    span.set_attribute("rules", len(program))
                 context = self._context()
                 objects = self.engine.execute_to_objects(plan, context)
                 self.last_context = context
@@ -223,6 +291,9 @@ class Mediator(Source):
                 # final guard: covers the materialization paths, which
                 # never run a constructor node
                 objects = self.last_governor.enforce_result_limit(objects)
+            root = current_span()
+            if root is not None:
+                root.set_attribute("result_objects", len(objects))
             return objects
 
     def query(self, query: str | Rule) -> ResultSet:
@@ -237,7 +308,7 @@ class Mediator(Source):
 
     def export(self) -> Sequence[OEMObject]:
         """Materialize the whole view (all rules, no conditions)."""
-        with self._query_lock, self._warning_scope():
+        with self._query_lock, self._warning_scope(f"export {self.name}"):
             if self.is_recursive:
                 results = self._fixpoint_materialize()
             else:
@@ -329,33 +400,55 @@ class Mediator(Source):
             )
         lines.append(self.profiler.render())
         text += "\n\n-- profile --\n" + "\n".join(lines)
+        text += "\n\n-- telemetry --\n" + self.telemetry.describe()
         return text
 
     def health_snapshot(self):
-        """Per-source health records (empty without a resilience layer).
+        """One namespaced view of per-source health and execution state.
 
-        With an active dispatcher (``parallelism > 1`` or an answer
-        cache) the reserved ``"_execution"`` key carries its dispatch
-        and cache statistics alongside the per-source records.  Once
-        queries have executed, the reserved ``"_profile"`` key carries
-        the profiler's per-node and per-pattern counters (plus compile
-        cache statistics when the compiled backend is on).
+        Three top-level keys, always present:
+
+        * ``"sources"`` — per-source health records (empty without a
+          resilience layer);
+        * ``"execution"`` — dispatch and cache statistics (empty unless
+          the dispatcher is active: ``parallelism > 1`` or an answer
+          cache);
+        * ``"profile"`` — the profiler's per-node and per-pattern
+          counters, plus compile cache statistics when the compiled
+          backend is on (empty before any query executed).
+
+        The pre-namespacing shape (source names at top level, reserved
+        ``"_execution"`` / ``"_profile"`` keys) still answers under
+        subscript access, with a :class:`DeprecationWarning`.
         """
-        snapshot = (
-            {} if self.resilience is None
-            else self.resilience.health.snapshot()
+        snapshot = _HealthSnapshot(
+            sources=(
+                {} if self.resilience is None
+                else self.resilience.health.snapshot()
+            ),
+            execution=(
+                self.dispatcher.stats() if self.dispatcher.active else {}
+            ),
+            profile={},
         )
-        if self.dispatcher.active:
-            snapshot["_execution"] = self.dispatcher.stats()
         profile = self.profiler.snapshot()
         if profile["nodes"] or profile["patterns"]:
             if self._compile_cache is not None:
                 profile["compile"] = self._compile_cache.stats()
-            snapshot["_profile"] = profile
+            snapshot["profile"] = profile
         return snapshot
 
+    def metrics_text(self) -> str:
+        """The telemetry registry in Prometheus text exposition format.
+
+        Works on a telemetry-disabled mediator too: pull-time
+        collectors (dispatcher, caches, breaker states) are bound
+        regardless, so the scrape reflects live component state.
+        """
+        return self.telemetry.metrics_text()
+
     @contextlib.contextmanager
-    def _warning_scope(self) -> Iterator[None]:
+    def _warning_scope(self, operation: str = "operation") -> Iterator[None]:
         """Collect warnings across one top-level operation.
 
         Nested entries (materialization calling :meth:`export`) share
@@ -363,18 +456,50 @@ class Mediator(Source):
         whole user-visible call.  The scope also owns the run's
         :class:`QueryGovernor`: one governor (budget counters, deadline
         clock, cancellation token) spans the whole user-visible call,
-        nested materialization included.
+        nested materialization included — and, when telemetry is on,
+        the run's root ``query`` span: opened here at depth 0, current
+        for the whole call (so every span underneath parents into one
+        tree), closed with the operation's terminal status (``ok``,
+        ``degraded`` when warnings were collected, ``cancelled``,
+        ``error``) and rolled into the metrics registry.
         """
-        if self._warning_depth == 0:
-            self.last_warnings = []
-            self.last_governor = self._make_governor(self.last_warnings)
-            if self.last_governor is not None:
-                self.last_governor.start()
+        if self._warning_depth != 0:
+            self._warning_depth += 1
+            try:
+                yield
+            finally:
+                self._warning_depth -= 1
+            return
+        self.last_warnings = []
+        self.last_governor = self._make_governor(self.last_warnings)
+        if self.last_governor is not None:
+            self.last_governor.start()
+        self._operation_contexts = []
+        tracer = self.telemetry.tracer
+        root = tracer.start_query(operation)
         self._warning_depth += 1
+        status = "ok"
         try:
-            yield
+            with tracer.use(root):
+                yield
+        except BaseException as exc:
+            status = status_of_exception(exc)
+            raise
         finally:
             self._warning_depth -= 1
+            if status == "ok" and self.last_warnings:
+                status = "degraded"
+            root.set_attribute("warnings", len(self.last_warnings))
+            tracer.finish_span(root, status=status)
+            for context in self._operation_contexts:
+                context.flush_telemetry()
+            self._operation_contexts = []
+            self.telemetry.record_operation(
+                status,
+                root.duration,
+                self.last_warnings,
+                self.last_governor,
+            )
 
     def _governor_clock(self) -> Clock:
         """The governor reads time where the reliability layer does."""
@@ -426,7 +551,15 @@ class Mediator(Source):
         )
 
     def _context(self) -> ExecutionContext:
-        return ExecutionContext(
+        # head-based sampling: under an unsampled root the engine gets
+        # no tracer at all (the whole span path vanishes); metrics stay
+        # on — sampling governs traces, never counters
+        tracer = self.telemetry.tracer if self.telemetry.enabled else None
+        if tracer is not None:
+            root = current_span()
+            if root is not None and not root.sampled:
+                tracer = None
+        context = ExecutionContext(
             sources=self.sources,
             externals=self.externals,
             oidgen=self._oidgen,
@@ -441,7 +574,15 @@ class Mediator(Source):
             ),
             compiler=self._compile_cache,
             profiler=self.profiler,
+            tracer=tracer,
+            telemetry=(
+                self.telemetry if self.telemetry.enabled else None
+            ),
         )
+        if context.telemetry is not None:
+            # flushed (once per run) at the end of the warning scope
+            self._operation_contexts.append(context)
+        return context
 
     def _export_source(self, name: str) -> Sequence[OEMObject]:
         """Export a foreign source through the reliability layer.
@@ -460,11 +601,15 @@ class Mediator(Source):
         else:
             attempts_before = 0
         try:
-            result = list(source.export())
-            if governor is not None:
-                result = governor.sanitize_answer(
-                    name, result, sink=self.last_warnings
-                )
+            with self.telemetry.tracer.span("source-call", name) as span:
+                span.set_attribute("export", True)
+                result = list(source.export())
+                if governor is not None:
+                    result = governor.sanitize_answer(
+                        name, result, sink=self.last_warnings
+                    )
+                span.set_attribute("objects", len(result))
+            self.telemetry.record_source_call(name, len(result))
             return result
         except SourceError as exc:
             if self.on_source_failure != "degrade":

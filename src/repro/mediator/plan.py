@@ -148,6 +148,7 @@ class ExtractorNode(PlanNode):
     ) -> None:
         super().__init__((input_node,))
         self.pattern = pattern
+        self.pattern_text = str(pattern)
         self.variables = tuple(variables)
         self.column = column
 
@@ -164,6 +165,12 @@ class ExtractorNode(PlanNode):
         )
         add = result._appender()
         profiler = context.profiler
+        tracer = context.tracer
+        span = (
+            tracer.start_span("pattern-match", self.pattern_text)
+            if tracer is not None
+            else None
+        )
         started = perf_counter() if profiler is not None else 0.0
         matches = 0
         compiler = context.compiler
@@ -230,11 +237,16 @@ class ExtractorNode(PlanNode):
                     )
         if profiler is not None:
             profiler.record_pattern(
-                str(self.pattern),
+                self.pattern_text,
                 len(table.rows),
                 matches,
                 perf_counter() - started,
             )
+        if span is not None:
+            span.set_attribute("objects", len(table.rows))
+            span.set_attribute("matches", matches)
+            span.set_attribute("compiled", compiler is not None)
+            tracer.finish_span(span)
         return result
 
     def describe(self) -> str:
@@ -330,6 +342,13 @@ class ExternalPredNode(PlanNode):
                         for value in produced
                     ]
 
+        tracer = context.tracer
+        if tracer is not None:
+            with tracer.span("external-predicate", self.call.name) as span:
+                result = table.extend_rows(out_vars, expand)
+                span.set_attribute("rows_in", len(table.rows))
+                span.set_attribute("rows_out", len(result))
+            return result
         return table.extend_rows(out_vars, expand)
 
     def describe(self) -> str:

@@ -1,0 +1,170 @@
+"""Pluggable exporters: JSON lines, Prometheus text, console span tree.
+
+Exporters are pure views over a :class:`~repro.obs.span.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry` — they never mutate either,
+so exporting is safe mid-workload and can run on any thread.
+
+* :class:`JsonLinesExporter` — one JSON object per line: every span as
+  a ``{"record": "span", ...}`` row, every metric series as a
+  ``{"record": "metric", ...}`` row.  The shape is jq-friendly::
+
+      jq -r 'select(.record=="span" and .kind=="source-call")
+             | [.name, .duration] | @tsv' trace.jsonl
+
+* :class:`PrometheusTextExporter` — the text exposition format
+  (``# TYPE`` headers, ``name{label="v"} value`` samples, classic
+  histogram ``_bucket``/``_sum``/``_count`` series); served by
+  ``Mediator.metrics_text()`` and linted by
+  ``tools/lint_prometheus.py``.
+
+* :class:`ConsoleTreeExporter` — renders each query's span tree as an
+  indented outline (the real-span counterpart of ``explain()``'s
+  trace section), with durations, statuses and selected attributes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Span, Tracer
+
+__all__ = [
+    "JsonLinesExporter",
+    "PrometheusTextExporter",
+    "ConsoleTreeExporter",
+]
+
+
+class JsonLinesExporter:
+    """Serialize spans and metric series as JSON, one object per line."""
+
+    def span_lines(self, spans: Iterable[Span]) -> list[str]:
+        return [
+            json.dumps(span.to_dict(), sort_keys=True, default=str)
+            for span in spans
+        ]
+
+    def metric_lines(self, registry: MetricsRegistry) -> list[str]:
+        lines: list[str] = []
+        for name, entry in sorted(registry.snapshot().items()):
+            for labels, value in sorted(entry["series"].items()):
+                lines.append(
+                    json.dumps(
+                        {
+                            "record": "metric",
+                            "name": name,
+                            "type": entry["type"],
+                            "labels": labels,
+                            "value": value,
+                        },
+                        sort_keys=True,
+                        default=str,
+                    )
+                )
+        return lines
+
+    def export(
+        self,
+        handle: IO[str],
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> int:
+        """Write spans then metrics to ``handle``; returns lines written."""
+        lines: list[str] = []
+        if tracer is not None:
+            lines.extend(self.span_lines(tracer.spans()))
+        if registry is not None:
+            lines.extend(self.metric_lines(registry))
+        for line in lines:
+            handle.write(line + "\n")
+        return len(lines)
+
+    def export_path(
+        self,
+        path: str,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> int:
+        with open(path, "w") as handle:
+            return self.export(handle, tracer=tracer, registry=registry)
+
+
+class PrometheusTextExporter:
+    """The Prometheus text exposition format, as one string."""
+
+    def render(self, registry: MetricsRegistry) -> str:
+        return registry.render_prometheus()
+
+    def export_path(self, path: str, registry: MetricsRegistry) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render(registry))
+
+
+#: Attributes surfaced inline by the console tree (when present).
+_TREE_ATTRIBUTES = (
+    "rows_in",
+    "rows_out",
+    "rows",
+    "objects",
+    "matches",
+    "attempts",
+    "cache_hit",
+    "degraded",
+    "breaker",
+    "result_objects",
+    "warnings",
+)
+
+
+class ConsoleTreeExporter:
+    """Render each query's span tree as an indented text outline."""
+
+    def __init__(self, show_attributes: bool = True) -> None:
+        self.show_attributes = show_attributes
+
+    def render(self, tracer: Tracer) -> str:
+        blocks = [
+            self.render_query(query_id, spans)
+            for query_id, spans in tracer.forest().items()
+        ]
+        return "\n\n".join(blocks) if blocks else "no spans recorded"
+
+    def render_query(self, query_id: str, spans: list[Span]) -> str:
+        children: dict[int | None, list[Span]] = {}
+        for span in sorted(spans, key=lambda s: (s.start, s.span_id)):
+            children.setdefault(span.parent_id, []).append(span)
+        roots = children.get(None, [])
+        lines: list[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            lines.append("  " * depth + self._line(span))
+            for child in children.get(span.span_id, []):
+                emit(child, depth + 1)
+
+        for root in roots:
+            emit(root, 0)
+        # orphans (parent dropped by the retention cap) still render,
+        # flagged, so a clipped trace is visibly clipped
+        known = {span.span_id for span in spans}
+        for span in sorted(spans, key=lambda s: s.span_id):
+            if span.parent_id is not None and span.parent_id not in known:
+                lines.append(f"(orphan) {self._line(span)}")
+        return f"[{query_id}]\n" + "\n".join(lines)
+
+    def _line(self, span: Span) -> str:
+        status = "" if span.status == "ok" else f" [{span.status}]"
+        attrs = ""
+        if self.show_attributes:
+            shown = [
+                f"{key}={span.attributes[key]}"
+                for key in _TREE_ATTRIBUTES
+                if key in span.attributes
+            ]
+            if shown:
+                attrs = " (" + ", ".join(shown) + ")"
+        return (
+            f"{span.kind}: {span.name}"
+            f" — {span.duration * 1000:.3f}ms{status}{attrs}"
+        )

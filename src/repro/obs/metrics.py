@@ -1,0 +1,562 @@
+"""The central metrics registry: counters, gauges, histograms, collectors.
+
+Before this subsystem the mediator's operational counters were
+scattered: :class:`~repro.exec.cache.AnswerCache` kept hit/miss dicts,
+the dispatcher counted single-flight dedups, the health registry held
+bespoke latency percentile code, the compile cache its own hit/miss
+pair.  The :class:`MetricsRegistry` is the one place they all surface:
+
+* **instruments** — :class:`Counter`, :class:`Gauge` and fixed-bucket
+  :class:`Histogram` objects created through the registry; hot paths
+  hold the instrument and record into it directly (one small lock per
+  instrument);
+* **collectors** — zero-cost absorption of counters that already live
+  elsewhere: a collector is a callable returning :class:`Sample`
+  records, invoked only at snapshot/render time, so attaching one to a
+  cache or dispatcher adds nothing to the query path.
+
+Histograms use fixed upper-bound buckets (Prometheus classic style)
+and derive p50/p95/p99 by linear interpolation inside the winning
+bucket — replacing the per-source sliding-window percentile code as the
+*reported* figure while the window stays for API compatibility.
+
+Metric names follow Prometheus conventions (``repro_*``, base units,
+``_total`` suffix on counters); the catalog lives in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_ROWS_BUCKETS",
+]
+
+#: Upper bounds (seconds) for latency-shaped histograms.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Upper bounds for row/object-count histograms.
+DEFAULT_ROWS_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000,
+)
+
+LabelValues = tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exported time-series point (collector output / snapshot row)."""
+
+    name: str
+    kind: str  # "counter" | "gauge"
+    value: float
+    labels: tuple[tuple[str, str], ...] = ()
+    help: str = ""
+
+
+def _label_values(
+    labelnames: Sequence[str], labels: Mapping[str, object]
+) -> LabelValues:
+    if not labelnames and not labels:  # the common unlabeled fast path
+        return ()
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {list(labelnames)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Metric:
+    """Shared shape: name, help text, declared label names, one lock."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _labels_pairs(
+        self, values: LabelValues
+    ) -> tuple[tuple[str, str], ...]:
+        return tuple(zip(self.labelnames, values))
+
+    def labels(self, **labels: object):
+        """A child bound to one label-value combination.
+
+        The child records without per-call label resolution (no kwargs,
+        no validation, no tuple building), so hot paths that emit for
+        the same series every time — per-plan-node rows, per-source
+        calls — cache the child once and pay only the lock + add.
+        """
+        key = _label_values(self.labelnames, labels)
+        return self._child(key)
+
+    def _child(self, key: LabelValues):
+        raise NotImplementedError
+
+
+class _BoundCounter:
+    """A Counter/Gauge child with its label values pre-resolved."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: "_Metric", key: LabelValues) -> None:
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1) -> None:
+        metric = self._metric
+        with metric._lock:
+            metric._values[self._key] = (
+                metric._values.get(self._key, 0) + amount
+            )
+
+    def set(self, value: float) -> None:
+        metric = self._metric
+        with metric._lock:
+            metric._values[self._key] = value
+
+
+class _BoundHistogram:
+    """A Histogram child with its label values pre-resolved."""
+
+    __slots__ = ("_metric", "_series")
+
+    def __init__(self, metric: "Histogram", key: LabelValues) -> None:
+        self._metric = metric
+        with metric._lock:
+            self._series = metric._series_for(key)
+
+    def observe(self, value: float) -> None:
+        metric = self._metric
+        lo = bisect_left(metric.bounds, value)
+        series = self._series
+        with metric._lock:
+            series.counts[lo] += 1
+            series.total += value
+            series.count += 1
+            if value < series.minimum:
+                series.minimum = value
+            if value > series.maximum:
+                series.maximum = value
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (per label-value combination)."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: dict[LabelValues, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def _child(self, key: LabelValues) -> _BoundCounter:
+        return _BoundCounter(self, key)
+
+    def samples(self) -> list[Sample]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            Sample(self.name, self.kind, value, self._labels_pairs(key),
+                   self.help)
+            for key, value in items
+        ] or [Sample(self.name, self.kind, 0, (), self.help)]
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (per label-value combination)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: dict[LabelValues, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = value
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def _child(self, key: LabelValues) -> _BoundCounter:
+        return _BoundCounter(self, key)
+
+    def samples(self) -> list[Sample]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            Sample(self.name, self.kind, value, self._labels_pairs(key),
+                   self.help)
+            for key, value in items
+        ] or [Sample(self.name, self.kind, 0, (), self.help)]
+
+
+@dataclass
+class _HistogramSeries:
+    """Bucket counts + sum + count for one label-value combination."""
+
+    counts: list[int]
+    total: float = 0.0
+    count: int = 0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+
+class Histogram(_Metric):
+    """A fixed-bucket distribution (Prometheus classic histogram).
+
+    ``observe`` is a binary search plus three adds under the metric's
+    lock — cheap enough for per-source-call and per-plan-node emission.
+    Quantiles are derived from the buckets: nearest bucket by
+    cumulative count, linearly interpolated between its bounds (the
+    final +Inf bucket reports the maximum observed value instead of
+    infinity, so p99 of a well-bucketed series is always finite).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be distinct")
+        self.bounds = bounds
+        self._series: dict[LabelValues, _HistogramSeries] = {}
+
+    def _series_for(self, key: LabelValues) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(
+                [0] * (len(self.bounds) + 1)
+            )
+        return series
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_values(self.labelnames, labels)
+        # binary search (C-level) for the first bound >= value
+        lo = bisect_left(self.bounds, value)
+        with self._lock:
+            series = self._series_for(key)
+            series.counts[lo] += 1
+            series.total += value
+            series.count += 1
+            if value < series.minimum:
+                series.minimum = value
+            if value > series.maximum:
+                series.maximum = value
+
+    def _child(self, key: LabelValues) -> _BoundHistogram:
+        return _BoundHistogram(self, key)
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """The estimated ``q`` (0..1) quantile for one series.
+
+        0.0 before any observation.  Exact at bucket boundaries,
+        linearly interpolated inside a bucket.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None or series.count == 0:
+                return 0.0
+            counts = list(series.counts)
+            count = series.count
+            maximum = series.maximum
+            minimum = series.minimum
+        rank = q * count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank:
+                upper = (
+                    maximum if index == len(self.bounds) else self.bounds[index]
+                )
+                lower = minimum if index == 0 else self.bounds[index - 1]
+                lower = min(lower, upper)
+                if bucket_count == 0:  # pragma: no cover - guarded above
+                    return upper
+                fraction = (rank - previous) / bucket_count
+                return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+        return maximum  # pragma: no cover - rank <= count always lands
+
+    def series_stats(self, **labels: object) -> dict[str, float]:
+        """count/sum/min/max plus p50/p95/p99 for one series."""
+        key = _label_values(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None or series.count == 0:
+                return {"count": 0, "sum": 0.0}
+            count, total = series.count, series.total
+        return {
+            "count": count,
+            "sum": total,
+            "p50": self.quantile(0.50, **labels),
+            "p95": self.quantile(0.95, **labels),
+            "p99": self.quantile(0.99, **labels),
+        }
+
+    def label_values_seen(self) -> list[LabelValues]:
+        with self._lock:
+            return sorted(self._series)
+
+    def expose(self) -> list[str]:
+        """Text-exposition lines for every series (buckets, sum, count)."""
+        lines: list[str] = []
+        with self._lock:
+            items = sorted(self._series.items())
+        for key, series in items:
+            base = self._labels_pairs(key)
+            cumulative = 0
+            for bound, bucket_count in zip(self.bounds, series.counts):
+                cumulative += bucket_count
+                lines.append(
+                    _sample_line(
+                        f"{self.name}_bucket",
+                        base + (("le", _format_float(bound)),),
+                        cumulative,
+                    )
+                )
+            lines.append(
+                _sample_line(
+                    f"{self.name}_bucket", base + (("le", "+Inf"),),
+                    series.count,
+                )
+            )
+            lines.append(_sample_line(f"{self.name}_sum", base, series.total))
+            lines.append(_sample_line(f"{self.name}_count", base, series.count))
+        return lines
+
+
+def _format_float(value: float) -> str:
+    formatted = f"{value:.12g}"
+    return formatted
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _sample_line(
+    name: str, labels: tuple[tuple[str, str], ...], value: float
+) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label(str(val))}"' for key, val in labels
+        )
+        return f"{name}{{{rendered}}} {_format_float(value)}"
+    return f"{name} {_format_float(value)}"
+
+
+class MetricsRegistry:
+    """Name-keyed instruments plus pull-time collectors.
+
+    ``counter`` / ``gauge`` / ``histogram`` are idempotent: asking for
+    an existing name returns the registered instrument (with a type
+    check), so independent layers can share a metric.  Collectors are
+    invoked only by :meth:`snapshot` and the exporters; a collector
+    that raises is skipped (an observability bug must never fail a
+    query or a scrape).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[Callable[[], Iterable[Sample]]] = []
+
+    def _instrument(self, factory, name: str, kind: str, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as"
+                        f" {existing.kind}, not {kind}"
+                    )
+                return existing
+            metric = self._metrics[name] = factory(name, **kwargs)
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._instrument(
+            Counter, name, "counter", help=help, labelnames=labelnames
+        )
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._instrument(
+            Gauge, name, "gauge", help=help, labelnames=labelnames
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._instrument(
+            Histogram, name, "histogram",
+            help=help, labelnames=labelnames, buckets=buckets,
+        )
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def register_collector(
+        self, collector: Callable[[], Iterable[Sample]]
+    ) -> None:
+        """Attach a pull-time producer of :class:`Sample` records."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    # -- scraping ----------------------------------------------------------
+
+    def _collected(self) -> list[Sample]:
+        with self._lock:
+            collectors = list(self._collectors)
+        samples: list[Sample] = []
+        for collector in collectors:
+            try:
+                samples.extend(collector())
+            except Exception:  # noqa: BLE001 - a scrape never fails a query
+                continue
+        return samples
+
+    def snapshot(self) -> dict[str, object]:
+        """Every current value as plain data (instruments + collectors)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        result: dict[str, object] = {}
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                result[metric.name] = {
+                    "type": "histogram",
+                    "series": {
+                        ",".join(values) or "": metric.series_stats(
+                            **dict(zip(metric.labelnames, values))
+                        )
+                        for values in metric.label_values_seen()
+                    },
+                }
+            else:
+                result[metric.name] = {
+                    "type": metric.kind,
+                    "series": {
+                        ",".join(v for _, v in sample.labels): sample.value
+                        for sample in metric.samples()
+                    },
+                }
+        for sample in self._collected():
+            entry = result.setdefault(
+                sample.name, {"type": sample.kind, "series": {}}
+            )
+            entry["series"][
+                ",".join(v for _, v in sample.labels)
+            ] = sample.value
+        return result
+
+    def render_prometheus(self) -> str:
+        """The text exposition format (see ``PrometheusTextExporter``)."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        collected = self._collected()
+        by_name: dict[str, list[Sample]] = {}
+        for sample in collected:
+            by_name.setdefault(sample.name, []).append(sample)
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                lines.extend(metric.expose())
+            else:
+                for sample in metric.samples():
+                    lines.append(
+                        _sample_line(sample.name, sample.labels, sample.value)
+                    )
+            # a collector may extend an instrument's series (rare); keep
+            # them adjacent to the TYPE header
+            for sample in by_name.pop(metric.name, []):
+                lines.append(
+                    _sample_line(sample.name, sample.labels, sample.value)
+                )
+        for name in sorted(by_name):
+            samples = by_name[name]
+            help_text = next((s.help for s in samples if s.help), "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {samples[0].kind}")
+            for sample in sorted(samples, key=lambda s: s.labels):
+                lines.append(
+                    _sample_line(sample.name, sample.labels, sample.value)
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry({len(self._metrics)} metric(s),"
+                f" {len(self._collectors)} collector(s))"
+            )

@@ -1,0 +1,338 @@
+"""The :class:`Telemetry` facade: one tracer + one metrics registry.
+
+A mediator owns exactly one ``Telemetry``.  Disabled (the default) it
+costs nothing on the query path: the tracer is the shared
+:class:`~repro.obs.span.NoopTracer`, no event-driven instruments are
+bound, and the only live wiring is pull-time collectors — callables the
+registry invokes at scrape time, never during a query.
+
+Enabled, it is the single sink for everything PRs 1–4 measured in
+separate places:
+
+* the tracer receives the span hierarchy (query → view-expansion →
+  plan-stage → plan-node → source-call / pattern-match /
+  external-predicate);
+* the registry absorbs the scattered counters — answer-cache hits,
+  single-flight dedups, compile-cache hits, breaker states and
+  transitions, retry attempts, governor truncations and quarantines —
+  and grows per-source latency and per-node row histograms whose
+  p50/p95/p99 replace the health layer's bespoke percentile window as
+  the reported figures.
+
+The metric catalog (names, types, labels) is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import (
+    DEFAULT_ROWS_BUCKETS,
+    MetricsRegistry,
+    Sample,
+)
+from repro.obs.span import NOOP_TRACER, NoopTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.dispatcher import SourceDispatcher
+    from repro.governor.budget import QueryGovernor
+    from repro.msl.compile import CompileCache
+    from repro.reliability.clock import Clock
+    from repro.reliability.resilient import ResilienceManager
+
+__all__ = ["Telemetry"]
+
+#: Numeric encoding of breaker states for the state gauge.
+_BREAKER_STATES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class Telemetry:
+    """A tracer and a metrics registry, wired to mediator components."""
+
+    def __init__(
+        self,
+        trace_sample_rate: float = 1.0,
+        slow_query_ms: float | None = None,
+        max_spans: int = 100_000,
+        seed: int = 0,
+        clock: "Clock | None" = None,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.tracer: Tracer | NoopTracer
+        if enabled:
+            self.tracer = Tracer(
+                sample_rate=trace_sample_rate,
+                slow_query_ms=slow_query_ms,
+                max_spans=max_spans,
+                seed=seed,
+                clock=clock,
+            )
+            metrics = self.metrics
+            self.queries_total = metrics.counter(
+                "repro_queries_total",
+                "Completed mediator operations by terminal status.",
+                labelnames=("status",),
+            )
+            self.query_seconds = metrics.histogram(
+                "repro_query_seconds",
+                "Wall-clock seconds per mediator operation.",
+            )
+            self.warnings_total = metrics.counter(
+                "repro_warnings_total",
+                "Structured warnings attached to answers, by class.",
+                labelnames=("type",),
+            )
+            self.source_calls_total = metrics.counter(
+                "repro_source_calls_total",
+                "Queries actually shipped to a source (cache misses).",
+                labelnames=("source",),
+            )
+            self.source_objects_total = metrics.counter(
+                "repro_source_objects_total",
+                "Top-level objects received from a source.",
+                labelnames=("source",),
+            )
+            self.governor_rows_clipped_total = metrics.counter(
+                "repro_governor_rows_clipped_total",
+                "Rows refused by truncate-mode budgets.",
+            )
+            self.governor_truncations_total = metrics.counter(
+                "repro_governor_truncations_total",
+                "Budget violations recorded in truncate mode.",
+            )
+            self.quarantined_objects_total = metrics.counter(
+                "repro_quarantined_objects_total",
+                "Malformed sub-objects quarantined from source answers.",
+            )
+            # label-bound children caches: source-call and operation
+            # emission are the hottest metric paths, so skip per-call
+            # label resolution there
+            self._source_children: dict[str, tuple] = {}
+            self._status_children: dict[str, object] = {}
+        else:
+            self.tracer = NOOP_TRACER
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A per-mediator telemetry with tracing off and no instruments.
+
+        Collectors may still be bound — they only run at scrape time,
+        so ``metrics_text()`` keeps working on a disabled mediator.
+        """
+        return cls(enabled=False)
+
+    # -- component wiring (pull-time collectors) ---------------------------
+
+    def bind_dispatcher(self, dispatcher: "SourceDispatcher") -> None:
+        """Absorb dispatcher fan-out counters and answer-cache stats."""
+
+        def collect():
+            samples = [
+                Sample(
+                    "repro_dispatcher_parallelism", "gauge",
+                    dispatcher.parallelism,
+                    help="Configured worker threads.",
+                ),
+                Sample(
+                    "repro_dispatcher_dispatched_total", "counter",
+                    dispatcher.dispatched,
+                    help="Requests that led a single-flight group.",
+                ),
+                Sample(
+                    "repro_dispatcher_shared_total", "counter",
+                    dispatcher.shared,
+                    help="Requests answered by another request's flight.",
+                ),
+            ]
+            cache = dispatcher.cache
+            if cache is not None:
+                stats = cache.stats()
+                for key, name in (
+                    ("hits", "repro_answer_cache_hits_total"),
+                    ("misses", "repro_answer_cache_misses_total"),
+                    ("evictions", "repro_answer_cache_evictions_total"),
+                    ("expirations", "repro_answer_cache_expirations_total"),
+                    ("invalidations",
+                     "repro_answer_cache_invalidations_total"),
+                ):
+                    samples.append(Sample(name, "counter", stats[key]))
+                samples.append(
+                    Sample(
+                        "repro_answer_cache_entries", "gauge",
+                        stats["entries"],
+                        help="Answers currently cached.",
+                    )
+                )
+            return samples
+
+        self.metrics.register_collector(collect)
+
+    def bind_compile_cache(self, cache: "CompileCache") -> None:
+        """Absorb the compiled-backend memo counters."""
+
+        def collect():
+            stats = cache.stats()
+            return [
+                Sample(
+                    "repro_compile_cache_hits_total", "counter",
+                    stats["hits"],
+                    help="Compiled rule/pattern cache hits.",
+                ),
+                Sample(
+                    "repro_compile_cache_misses_total", "counter",
+                    stats["misses"],
+                ),
+                Sample(
+                    "repro_compile_cache_rules", "gauge", stats["rules"],
+                    help="Compiled rules held.",
+                ),
+                Sample(
+                    "repro_compile_cache_patterns", "gauge",
+                    stats["patterns"],
+                ),
+            ]
+
+        self.metrics.register_collector(collect)
+
+    def bind_resilience(self, manager: "ResilienceManager") -> None:
+        """Absorb breaker states as a gauge and, when telemetry is
+        enabled, bind the health registry's event stream (attempt and
+        retry counters, the per-source latency histogram, breaker
+        transition counts)."""
+
+        def collect():
+            samples = []
+            for name, record in manager.health.snapshot().items():
+                samples.append(
+                    Sample(
+                        "repro_breaker_state", "gauge",
+                        _BREAKER_STATES.get(record.breaker_state, -1),
+                        labels=(("source", name),),
+                        help="Circuit state: 0 closed, 1 half-open, 2 open.",
+                    )
+                )
+            return samples
+
+        self.metrics.register_collector(collect)
+        if self.enabled:
+            manager.health.bind_metrics(self.metrics)
+
+    # -- per-operation recording ------------------------------------------
+
+    def record_operation(
+        self,
+        status: str,
+        seconds: float,
+        warnings: list,
+        governor: "QueryGovernor | None",
+    ) -> None:
+        """Roll one finished mediator operation into the registry."""
+        if not self.enabled:
+            return
+        child = self._status_children.get(status)
+        if child is None:
+            child = self._status_children[status] = (
+                self.queries_total.labels(status=status)
+            )
+        child.inc()
+        self.query_seconds.observe(seconds)
+        quarantined = 0
+        for warning in warnings:
+            kind = type(warning).__name__
+            self.warnings_total.inc(count_of(warning), type=kind)
+            if getattr(warning, "error", None) == "MalformedAnswer":
+                quarantined += count_of(warning)
+        if quarantined:
+            self.quarantined_objects_total.inc(quarantined)
+        if governor is not None:
+            if governor.rows_clipped:
+                self.governor_rows_clipped_total.inc(governor.rows_clipped)
+            truncations = sum(
+                count_of(w)
+                for w in warnings
+                if type(w).__name__ == "BudgetWarning"
+            )
+            if truncations:
+                self.governor_truncations_total.inc(truncations)
+
+    def record_source_call(
+        self, source: str, objects: int
+    ) -> None:
+        """One shipped source call (cache hits never reach here)."""
+        if not self.enabled:
+            return
+        children = self._source_children.get(source)
+        if children is None:
+            children = self._source_children[source] = (
+                self.source_calls_total.labels(source=source),
+                self.source_objects_total.labels(source=source),
+            )
+        calls, received = children
+        calls.inc()
+        if objects:
+            received.inc(objects)
+
+    def record_source_calls(
+        self,
+        calls: "dict[str, int]",
+        objects: "dict[str, int]",
+    ) -> None:
+        """A whole run's buffered per-source call totals at once.
+
+        The engine buffers counts in its execution context and flushes
+        here once per operation — two increments per source instead of
+        two per shipped call.
+        """
+        if not self.enabled:
+            return
+        for source, count in calls.items():
+            children = self._source_children.get(source)
+            if children is None:
+                children = self._source_children[source] = (
+                    self.source_calls_total.labels(source=source),
+                    self.source_objects_total.labels(source=source),
+                )
+            children[0].inc(count)
+            received = objects.get(source, 0)
+            if received:
+                children[1].inc(received)
+
+    # -- views -------------------------------------------------------------
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the whole registry."""
+        return self.metrics.render_prometheus()
+
+    def describe(self) -> str:
+        """One-paragraph summary for ``Mediator.explain``."""
+        if not self.enabled:
+            return "telemetry: disabled"
+        stats = self.tracer.stats()
+        slow = (
+            f"{stats['slow_query_ms']:g}ms"
+            if stats["slow_query_ms"] is not None
+            else "off"
+        )
+        return (
+            f"telemetry: on; sample_rate={stats['sample_rate']:g},"
+            f" slow-query log {slow};"
+            f" {stats['queries_sampled']}/{stats['queries_started']}"
+            f" queries sampled, {stats['spans_retained']} span(s) retained"
+            f" ({stats['spans_dropped']} dropped,"
+            f" {stats['slow_queries']} slow)"
+        )
+
+    def __repr__(self) -> str:
+        return f"Telemetry(enabled={self.enabled})"
+
+
+#: Plan-node row histograms share the row-count bucket layout.
+ROWS_BUCKETS = DEFAULT_ROWS_BUCKETS
+
+
+def count_of(warning: object) -> int:
+    """A warning's fold count (aggregated warnings carry ``count``)."""
+    return int(getattr(warning, "count", 1) or 1)

@@ -176,6 +176,15 @@ class HealthRegistry:
         self._records: dict[str, SourceHealth] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
+        # telemetry mirrors, set by bind_metrics (None = not bound);
+        # recording methods guard on them, so an unbound registry adds
+        # one attribute check per event
+        self._metric_latency = None
+        self._metric_attempts = None
+        self._metric_failures = None
+        self._metric_retries = None
+        self._metric_rejections = None
+        self._metric_transitions = None
 
     def record_for(self, source: str) -> SourceHealth:
         with self._lock:
@@ -184,10 +193,68 @@ class HealthRegistry:
                 record = self._records[source] = SourceHealth(source)
             return record
 
+    def bind_metrics(self, registry) -> None:
+        """Mirror health events into a telemetry metrics registry.
+
+        The sliding-window percentiles above stay (tests and existing
+        callers pin them), but once bound, the histogram-derived
+        p50/p95/p99 of ``repro_source_latency_seconds`` become the
+        reported latency figures.  Breakers already attached (and any
+        attached later) get an ``on_transition`` observer feeding the
+        transition counter.
+        """
+        from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS
+
+        self._metric_latency = registry.histogram(
+            "repro_source_latency_seconds",
+            "Per-attempt source latency (successes and failures).",
+            labelnames=("source",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._metric_attempts = registry.counter(
+            "repro_source_attempts_total",
+            "Source call attempts, retries included.",
+            labelnames=("source",),
+        )
+        self._metric_failures = registry.counter(
+            "repro_source_failures_total",
+            "Failed source call attempts.",
+            labelnames=("source",),
+        )
+        self._metric_retries = registry.counter(
+            "repro_retry_attempts_total",
+            "Retries scheduled after a failed attempt.",
+            labelnames=("source",),
+        )
+        self._metric_rejections = registry.counter(
+            "repro_breaker_rejections_total",
+            "Calls refused because a breaker was open.",
+            labelnames=("source",),
+        )
+        self._metric_transitions = registry.counter(
+            "repro_breaker_transitions_total",
+            "Circuit breaker state changes.",
+            labelnames=("source", "to"),
+        )
+        with self._lock:
+            breakers = dict(self._breakers)
+        for name, breaker in breakers.items():
+            self._observe_breaker(name, breaker)
+
+    def _observe_breaker(self, source: str, breaker: CircuitBreaker) -> None:
+        transitions = self._metric_transitions
+
+        def on_transition(old: str, new: str, _source=source) -> None:
+            transitions.inc(source=_source, to=new)
+
+        breaker.on_transition = on_transition
+
     def attach_breaker(self, source: str, breaker: CircuitBreaker) -> None:
         """Associate ``breaker`` so snapshots report its live state."""
         with self._lock:
             self._breakers[source] = breaker
+        if self._metric_transitions is not None:
+            self._observe_breaker(source, breaker)
 
     # -- event recording ---------------------------------------------------
 
@@ -195,12 +262,16 @@ class HealthRegistry:
         record = self.record_for(source)
         with self._lock:
             record.attempts += 1
+        if self._metric_attempts is not None:
+            self._metric_attempts.inc(source=source)
 
     def record_success(self, source: str, latency: float) -> None:
         record = self.record_for(source)
         with self._lock:
             record.successes += 1
             record.observe_latency(latency)
+        if self._metric_latency is not None:
+            self._metric_latency.observe(latency, source=source)
 
     def record_failure(self, source: str, error: str, latency: float) -> None:
         record = self.record_for(source)
@@ -208,16 +279,23 @@ class HealthRegistry:
             record.failures += 1
             record.observe_latency(latency)
             record.last_error = error
+        if self._metric_failures is not None:
+            self._metric_failures.inc(source=source)
+            self._metric_latency.observe(latency, source=source)
 
     def record_retry(self, source: str) -> None:
         record = self.record_for(source)
         with self._lock:
             record.retries += 1
+        if self._metric_retries is not None:
+            self._metric_retries.inc(source=source)
 
     def record_rejection(self, source: str) -> None:
         record = self.record_for(source)
         with self._lock:
             record.rejections += 1
+        if self._metric_rejections is not None:
+            self._metric_rejections.inc(source=source)
 
     # -- introspection ------------------------------------------------------
 

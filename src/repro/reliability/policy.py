@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.reliability.clock import Clock, MonotonicClock
 
@@ -124,6 +125,14 @@ class CircuitBreaker:
         # state transitions must be atomic: under the parallel
         # dispatcher many worker threads consult one breaker
         self._mutex = threading.RLock()
+        #: Optional observer called as ``on_transition(old, new)`` on
+        #: every state change (under the mutex — keep it cheap).
+        self.on_transition: Callable[[str, str], None] | None = None
+
+    def _set_state(self, new: str) -> None:
+        old, self._state = self._state, new
+        if old != new and self.on_transition is not None:
+            self.on_transition(old, new)
 
     @property
     def state(self) -> str:
@@ -133,7 +142,7 @@ class CircuitBreaker:
                 self._state == OPEN
                 and self.clock.now() - self._opened_at >= self.cooldown
             ):
-                self._state = HALF_OPEN
+                self._set_state(HALF_OPEN)
             return self._state
 
     @property
@@ -155,7 +164,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         with self._mutex:
             self._consecutive_failures = 0
-            self._state = CLOSED
+            self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         with self._mutex:
@@ -164,13 +173,13 @@ class CircuitBreaker:
                 self.state == HALF_OPEN
                 or self._consecutive_failures >= self.failure_threshold
             ):
-                self._state = OPEN
+                self._set_state(OPEN)
                 self._opened_at = self.clock.now()
 
     def reset(self) -> None:
         """Force the breaker closed and forget history."""
         with self._mutex:
-            self._state = CLOSED
+            self._set_state(CLOSED)
             self._consecutive_failures = 0
             self._opened_at = 0.0
             self.rejections = 0

@@ -93,7 +93,7 @@ class TestFailModeRetries:
             assert to_python(answer[0])["name"] == "Joe Chung"
         # ... and the fault schedule really fired (retries did the work)
         assert "fault" in whois.outcomes
-        health = mediator.health_snapshot()["whois"]
+        health = mediator.health_snapshot()["sources"]["whois"]
         assert health.failures >= 1
         assert health.retries == health.failures
         assert health.breaker_state == CLOSED
@@ -204,7 +204,7 @@ class TestBreakerLifecycle:
         calls_when_open = whois.calls
         mediator.answer(JOE_CHUNG_QUERY)
         assert whois.calls == calls_when_open
-        health = mediator.health_snapshot()["whois"]
+        health = mediator.health_snapshot()["sources"]["whois"]
         assert health.breaker_state == OPEN
         assert health.rejections >= 1
 

@@ -1,0 +1,118 @@
+"""Property: tracing observes execution without perturbing its shape.
+
+Two invariants of the span layer (docs/observability.md):
+
+* every retained forest is *tree-shaped* — one root per query, every
+  ``parent_id`` resolves inside the same query's span set, and parent
+  chains terminate at the root (no cycles, no cross-query edges) —
+  even when plan nodes run on 8 dispatcher workers concurrently;
+* the forest a parallel run produces is the *same tree* the sequential
+  engine produces, modulo timing and thread attribution: span kinds,
+  names, and the parent/child structure must match exactly, because
+  the plan is the same plan and tracing must not depend on which
+  thread happened to execute a node.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.staff import build_scaled_scenario
+from repro.mediator import Mediator
+
+FANOUT_QUERY = "S :- S:<cs_person {<rel 'student'>}>@med"
+
+
+def traced_mediator(scenario, parallelism):
+    """A fresh mediator over the scenario's sources, tracing enabled."""
+    return Mediator(
+        "med",
+        scenario.mediator.specification,
+        scenario.registry,
+        scenario.externals,
+        push_mode="needed",
+        register=False,
+        parallelism=parallelism,
+        telemetry=True,
+    )
+
+
+def span_shape(span, children):
+    """(kind, name, sorted child shapes) — timing and ids erased."""
+    return (
+        span.kind,
+        span.name,
+        tuple(
+            sorted(
+                span_shape(child, children)
+                for child in children.get(span.span_id, [])
+            )
+        ),
+    )
+
+
+def forest_shapes(tracer):
+    """One canonical shape per query, in query order."""
+    shapes = []
+    for spans in tracer.forest().values():
+        children = {}
+        roots = []
+        for span in spans:
+            if span.parent_id is None:
+                roots.append(span)
+            else:
+                children.setdefault(span.parent_id, []).append(span)
+        shapes.append(
+            tuple(sorted(span_shape(root, children) for root in roots))
+        )
+    return shapes
+
+
+class TestSpanForestProperties:
+    @given(
+        people=st.integers(min_value=3, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_parallel_forest_is_tree_shaped(self, people, seed):
+        scenario = build_scaled_scenario(people, seed=seed, push_mode="needed")
+        mediator = traced_mediator(scenario, parallelism=8)
+        mediator.query(FANOUT_QUERY)
+        forest = mediator.telemetry.tracer.forest()
+        assert forest  # the run was sampled and retained
+        for spans in forest.values():
+            ids = {span.span_id for span in spans}
+            roots = [span for span in spans if span.parent_id is None]
+            assert len(roots) == 1
+            parent_of = {
+                span.span_id: span.parent_id for span in spans
+            }
+            for span in spans:
+                # every edge stays inside this query's span set...
+                if span.parent_id is not None:
+                    assert span.parent_id in ids
+                # ...and walking up always terminates at the root
+                seen = set()
+                cursor = span.span_id
+                while parent_of[cursor] is not None:
+                    assert cursor not in seen
+                    seen.add(cursor)
+                    cursor = parent_of[cursor]
+                assert cursor == roots[0].span_id
+
+    @given(
+        people=st.integers(min_value=3, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_parallel_forest_equals_sequential_forest(self, people, seed):
+        # no cache and unique per-person parameterized queries, so the
+        # single-flight layer never merges calls: the wire traffic —
+        # and therefore the span tree — must be identical
+        scenario = build_scaled_scenario(people, seed=seed, push_mode="needed")
+        sequential = traced_mediator(scenario, parallelism=1)
+        parallel = traced_mediator(scenario, parallelism=8)
+        sequential.query(FANOUT_QUERY)
+        parallel.query(FANOUT_QUERY)
+        assert forest_shapes(parallel.telemetry.tracer) == forest_shapes(
+            sequential.telemetry.tracer
+        )

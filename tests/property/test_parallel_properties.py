@@ -153,8 +153,8 @@ class TestParallelEqualsSequential:
             sequential.answer(query)
             parallel.answer(query)
         for source in ("whois", "cs"):
-            before = sequential.health_snapshot()[source]
-            after = parallel.health_snapshot()[source]
+            before = sequential.health_snapshot()["sources"][source]
+            after = parallel.health_snapshot()["sources"][source]
             assert (before.attempts, before.successes, before.failures) == (
                 after.attempts, after.successes, after.failures
             )

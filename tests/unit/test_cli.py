@@ -1,6 +1,7 @@
 """Unit tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -315,3 +316,106 @@ class TestGovernorFlags:
         assert status == 0
         assert "cs_person" in out  # well-formed file: nothing quarantined
         assert err == ""
+
+
+class TestObservabilityFlags:
+    QUERY = "X :- X:<cs_person {<name N>}>@med"
+
+    def test_trace_out_writes_parseable_span_tree(self, files, tmp_path):
+        spec, whois = files
+        trace = tmp_path / "trace.jsonl"
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--trace-out", str(trace)]
+        )
+        assert status == 0, err
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line
+        ]
+        assert records, "trace file is empty"
+        assert all(r["record"] == "span" for r in records)
+        kinds = {r["kind"] for r in records}
+        assert "query" in kinds
+        assert "source-call" in kinds
+        roots = [r for r in records if r["parent_id"] is None]
+        assert len(roots) == 1
+        assert roots[0]["status"] == "ok"
+        ids = {r["span_id"] for r in records}
+        assert all(
+            r["parent_id"] in ids
+            for r in records
+            if r["parent_id"] is not None
+        )
+
+    def test_metrics_out_writes_prometheus_text(self, files, tmp_path):
+        spec, whois = files
+        metrics = tmp_path / "metrics.prom"
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--metrics-out", str(metrics)]
+        )
+        assert status == 0, err
+        text = metrics.read_text()
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{status="ok"} 1' in text
+        assert 'repro_source_calls_total{source="whois"}' in text
+
+    def test_sample_rate_zero_keeps_no_spans(self, files, tmp_path):
+        spec, whois = files
+        trace = tmp_path / "trace.jsonl"
+        status, _, _ = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--trace-out", str(trace),
+             "--trace-sample-rate", "0"]
+        )
+        assert status == 0
+        assert trace.read_text() == ""
+
+    def test_slow_query_log_reports_on_stderr(self, files, tmp_path):
+        spec, whois = files
+        trace = tmp_path / "trace.jsonl"
+        # threshold 0ms: every query is "slow", even unsampled ones
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--trace-out", str(trace),
+             "--trace-sample-rate", "0", "--slow-query-ms", "0"]
+        )
+        assert status == 0
+        assert "slow query" in err
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line
+        ]
+        assert len(records) == 1  # the slow root survived sampling
+        assert records[0]["kind"] == "query"
+        assert records[0]["attributes"]["slow"] is True
+
+    def test_bad_sample_rate_rejected(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--trace-sample-rate", "1.5"]
+        )
+        assert status == 2
+        assert "--trace-sample-rate" in err
+
+    def test_negative_slow_query_ms_rejected(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--slow-query-ms", "-1"]
+        )
+        assert status == 2
+        assert "--slow-query-ms" in err
+
+    def test_no_obs_flags_leaves_telemetry_disabled(self, files):
+        spec, whois = files
+        status, out, _ = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--explain"]
+        )
+        assert status == 0
+        assert "telemetry: disabled" in out

@@ -446,7 +446,7 @@ class TestParallelMediator:
             "m", TWO_SOURCE_SPEC, self._registry(), parallelism=4
         )
         mediator.answer("X :- X:<a V>@m")
-        execution = mediator.health_snapshot()["_execution"]
+        execution = mediator.health_snapshot()["execution"]
         assert execution["parallelism"] == 4
 
     def test_cancellation_is_observed_under_parallelism(self):

@@ -30,6 +30,7 @@ from repro.reliability import (
     SourceUnavailable,
     SourceWarning,
     TransientSourceError,
+    aggregate_warnings,
 )
 from repro.wrappers import OEMStoreWrapper, SourceRegistry
 
@@ -411,6 +412,65 @@ class TestSourceWarning:
         )
         assert "whois" in warning.render()
         assert "3 attempt(s)" in warning.render()
+
+    def test_render_omits_repeat_suffix_for_single_warning(self):
+        warning = SourceWarning(source="whois", message="down")
+        assert "[x" not in warning.render()
+
+    def test_render_pins_repeat_suffix_format(self):
+        warning = SourceWarning(
+            source="whois", message="down", attempts=6, count=3
+        )
+        assert warning.render() == (
+            "source 'whois' degraded after 6 attempt(s): down [x3]"
+        )
+
+
+class TestAggregateWarnings:
+    def test_folds_identical_signatures_and_sums_fields(self):
+        folded = aggregate_warnings(
+            [
+                SourceWarning(
+                    source="whois", message="down",
+                    attempts=2, error="SourceError",
+                )
+                for _ in range(3)
+            ]
+        )
+        assert len(folded) == 1
+        assert folded[0].count == 3
+        assert folded[0].attempts == 6
+        assert folded[0].render().endswith("[x3]")
+
+    def test_keeps_first_seen_order_across_interleaved_sources(self):
+        def warn(source):
+            return SourceWarning(
+                source=source, message="down", error="SourceError"
+            )
+
+        folded = aggregate_warnings(
+            [warn("b"), warn("a"), warn("b"), warn("c"), warn("a")]
+        )
+        assert [w.source for w in folded] == ["b", "a", "c"]
+        assert [w.count for w in folded] == [2, 2, 1]
+
+    def test_distinct_error_classes_stay_separate(self):
+        folded = aggregate_warnings(
+            [
+                SourceWarning(source="a", message="x", error="SourceError"),
+                SourceWarning(source="a", message="x", error="TimeoutError"),
+            ]
+        )
+        assert len(folded) == 2
+        assert all(w.count == 1 for w in folded)
+
+    def test_objects_without_signature_pass_through_in_place(self):
+        sentinel = object()
+        first = SourceWarning(source="a", message="x", error="E")
+        folded = aggregate_warnings([first, sentinel, first])
+        assert folded[0].source == "a"
+        assert folded[0].count == 2
+        assert folded[1] is sentinel
 
 
 class TestRegistrySnapshots:

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file.
+
+A small, dependency-free checker for the output of
+``Mediator.metrics_text()`` / ``PrometheusTextExporter`` (and any
+``--metrics-out`` file).  It enforces the parts of the exposition
+format the scrapers we care about actually reject:
+
+* every line is a ``# HELP``, ``# TYPE``, other comment, blank line,
+  or a sample ``name{labels} value``;
+* metric and label names are legal (``[a-zA-Z_:][a-zA-Z0-9_:]*`` /
+  ``[a-zA-Z_][a-zA-Z0-9_]*``), label values are double-quoted with
+  ``\\`` / ``\"`` / ``\n`` escapes, sample values parse as floats
+  (``+Inf`` / ``-Inf`` / ``NaN`` included);
+* at most one ``# TYPE`` per metric, declaring a known type, and it
+  precedes every sample of that metric;
+* ``# HELP`` (when present) is unique per metric;
+* counter names end in ``_total`` (histogram/summary series names may
+  carry ``_bucket`` / ``_sum`` / ``_count`` suffixes);
+* no duplicate sample (same name and label set).
+
+Usage::
+
+    python tools/lint_prometheus.py metrics.prom [more.prom ...]
+    some-command | python tools/lint_prometheus.py -
+
+Exits 0 when every file is clean, 1 on any violation (each printed as
+``file:line: message``), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+LABEL_VALUE = r'"(?:\\[\\"n]|[^"\\])*"'
+
+_HELP_RE = re.compile(rf"^# HELP ({METRIC_NAME}) (.*)$")
+_TYPE_RE = re.compile(rf"^# TYPE ({METRIC_NAME}) ([a-z]+)$")
+_LABEL_RE = re.compile(rf"^({LABEL_NAME})=({LABEL_VALUE})$")
+_SAMPLE_RE = re.compile(
+    rf"^({METRIC_NAME})(?:\{{(.*)\}})? ([^ ]+)(?: [0-9]+)?$"
+)
+_SPLIT_LABELS_RE = re.compile(rf"{LABEL_NAME}={LABEL_VALUE}")
+
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+#: Series suffixes that roll up to a declared histogram/summary name.
+SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def base_name(name: str, types: dict[str, str]) -> str:
+    """The declared metric a sample line belongs to.
+
+    ``repro_query_seconds_bucket`` rolls up to ``repro_query_seconds``
+    when that name was declared a histogram or summary.
+    """
+    for suffix in SUFFIXES:
+        if name.endswith(suffix):
+            stem = name[: -len(suffix)]
+            if types.get(stem) in ("histogram", "summary"):
+                return stem
+    return name
+
+
+def parse_labels(raw: str, errors: list[str], where: str) -> tuple | None:
+    """The sorted (name, value) pairs of one ``{...}`` body."""
+    if raw == "":
+        return ()
+    pairs = []
+    rest = raw
+    while rest:
+        match = _SPLIT_LABELS_RE.match(rest)
+        if match is None:
+            errors.append(f"{where}: malformed label set {{{raw}}}")
+            return None
+        pair = _LABEL_RE.match(match.group(0))
+        assert pair is not None
+        pairs.append((pair.group(1), pair.group(2)))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"{where}: malformed label set {{{raw}}}")
+            return None
+    names = [name for name, _ in pairs]
+    if len(set(names)) != len(names):
+        errors.append(f"{where}: duplicate label name in {{{raw}}}")
+        return None
+    return tuple(sorted(pairs))
+
+
+def is_valid_value(text: str) -> bool:
+    if text in ("+Inf", "-Inf", "Inf", "NaN"):
+        return True
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def lint(text: str, filename: str = "<stdin>") -> list[str]:
+    """Every violation in ``text``, formatted ``file:line: message``."""
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    sampled: set[str] = set()
+    seen_series: set[tuple] = set()
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        where = f"{filename}:{number}"
+        if line == "":
+            continue
+        if line != line.rstrip():
+            errors.append(f"{where}: trailing whitespace")
+            line = line.rstrip()
+        if line.startswith("#"):
+            type_match = _TYPE_RE.match(line)
+            help_match = _HELP_RE.match(line)
+            if type_match:
+                name, kind = type_match.groups()
+                if kind not in TYPES:
+                    errors.append(f"{where}: unknown type {kind!r}")
+                if name in types:
+                    errors.append(f"{where}: duplicate TYPE for {name}")
+                elif name in sampled:
+                    errors.append(
+                        f"{where}: TYPE for {name} after its samples"
+                    )
+                types.setdefault(name, kind)
+            elif help_match:
+                name = help_match.group(1)
+                if name in helps:
+                    errors.append(f"{where}: duplicate HELP for {name}")
+                helps.add(name)
+            elif line.startswith(("# TYPE", "# HELP")):
+                errors.append(f"{where}: malformed metadata line: {line}")
+            # any other comment is legal and ignored
+            continue
+
+        sample = _SAMPLE_RE.match(line)
+        if sample is None:
+            errors.append(f"{where}: unparseable sample line: {line}")
+            continue
+        name, raw_labels, value = sample.groups()
+        if not is_valid_value(value):
+            errors.append(f"{where}: bad sample value {value!r}")
+        labels = parse_labels(raw_labels or "", errors, where)
+        stem = base_name(name, types)
+        sampled.add(stem)
+        kind = types.get(stem)
+        if kind is None:
+            errors.append(f"{where}: sample for {name} has no TYPE")
+        elif kind == "counter" and not stem.endswith("_total"):
+            errors.append(
+                f"{where}: counter {stem} should end in _total"
+            )
+        if labels is not None:
+            series = (name, labels)
+            if series in seen_series:
+                errors.append(f"{where}: duplicate series {line!r}")
+            seen_series.add(series)
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(
+            "usage: python tools/lint_prometheus.py FILE [FILE ...]"
+            " (- for stdin)",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for path in argv:
+        if path == "-":
+            text, label = sys.stdin.read(), "<stdin>"
+        else:
+            try:
+                with open(path) as handle:
+                    text = handle.read()
+            except OSError as exc:
+                print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+                return 2
+            label = path
+        errors = lint(text, label)
+        for error in errors:
+            print(error)
+        if errors:
+            failures += 1
+        else:
+            lines = sum(1 for l in text.splitlines() if l)
+            print(f"{label}: OK ({lines} non-blank line(s))")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
