@@ -19,6 +19,9 @@ Usage::
 * ``--retries`` / ``--source-timeout`` — wrap every source access in
   the reliability layer (retry with backoff, per-source circuit
   breaker, post-hoc timeout detection);
+* ``--adaptive-timeouts`` / ``--hedge`` / ``--hedge-delay`` —
+  tail-latency resilience: latency-derived per-source timeouts with
+  deadline slicing, and speculative duplicate calls for stragglers;
 * ``--degrade`` — a source that stays unavailable contributes an empty
   answer instead of failing the query; warnings go to stderr;
 * ``--deadline`` / ``--max-rows`` / ``--max-total-rows`` /
@@ -58,6 +61,7 @@ from repro.governor.budget import QueryBudget
 from repro.mediator.mediator import Mediator
 from repro.obs.exporters import JsonLinesExporter, PrometheusTextExporter
 from repro.oem.parser import parse_oem
+from repro.reliability.hedging import HedgePolicy
 from repro.reliability.policy import RetryPolicy
 from repro.reliability.resilient import ResilienceConfig
 from repro.wrappers.oem_wrapper import OEMStoreWrapper
@@ -141,6 +145,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="SECONDS",
         help="treat source calls slower than SECONDS as failures",
+    )
+    parser.add_argument(
+        "--adaptive-timeouts",
+        action="store_true",
+        help=(
+            "derive per-source timeouts from observed latency"
+            " percentiles (static --source-timeout is the cold-start"
+            " fallback) and slice --deadline across plan stages"
+        ),
+    )
+    parser.add_argument(
+        "--hedge",
+        action="store_true",
+        help=(
+            "issue a speculative duplicate source call when the first"
+            " one straggles past its observed p95; first result wins"
+        ),
+    )
+    parser.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "hedge after SECONDS instead of the adaptive p95-based"
+            " delay (needs --hedge)"
+        ),
     )
     parser.add_argument(
         "--degrade",
@@ -359,11 +390,25 @@ def main(
         print("error: --source-timeout must be positive", file=stderr)
         return 2
     resilience = None
-    if args.retries or args.source_timeout is not None:
+    if (
+        args.retries
+        or args.source_timeout is not None
+        or args.adaptive_timeouts
+    ):
         resilience = ResilienceConfig(
             retry=RetryPolicy(max_attempts=args.retries + 1),
             timeout=args.source_timeout,
         )
+    if args.hedge_delay is not None:
+        if not args.hedge:
+            print("error: --hedge-delay needs --hedge", file=stderr)
+            return 2
+        if args.hedge_delay <= 0:
+            print("error: --hedge-delay must be positive", file=stderr)
+            return 2
+    hedge: "HedgePolicy | bool" = args.hedge
+    if args.hedge and args.hedge_delay is not None:
+        hedge = HedgePolicy(delay=args.hedge_delay)
 
     if args.deadline is not None and args.deadline <= 0:
         print("error: --deadline must be positive", file=stderr)
@@ -437,6 +482,8 @@ def main(
             ),
             parallelism=args.parallelism,
             cache=cache,
+            hedge=hedge,
+            adaptive_timeouts=args.adaptive_timeouts,
             compile=not args.no_compile,
             telemetry=telemetry,
             trace_sample_rate=args.trace_sample_rate,

@@ -41,10 +41,13 @@ import contextlib
 import contextvars
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterator, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence, TypeVar
 
 from repro.exec.cache import AnswerCache
 from repro.oem.model import OEMObject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.reliability.hedging import HedgeCoordinator
 
 __all__ = [
     "SourceDispatcher",
@@ -153,7 +156,10 @@ class SourceDispatcher:
     """
 
     def __init__(
-        self, parallelism: int = 1, cache: AnswerCache | None = None
+        self,
+        parallelism: int = 1,
+        cache: AnswerCache | None = None,
+        hedging: "HedgeCoordinator | None" = None,
     ) -> None:
         if not isinstance(parallelism, int) or parallelism < 1:
             raise ValueError(
@@ -162,6 +168,7 @@ class SourceDispatcher:
             )
         self.parallelism = parallelism
         self.cache = cache
+        self.hedging = hedging
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
         self._inflight: dict[tuple[str, str], _Flight] = {}
@@ -178,8 +185,12 @@ class SourceDispatcher:
     @property
     def active(self) -> bool:
         """True when ``send_query`` must route through the dispatcher
-        (worker threads, or a cache to consult)."""
-        return self.parallelism > 1 or self.cache is not None
+        (worker threads, a cache to consult, or hedging)."""
+        return (
+            self.parallelism > 1
+            or self.cache is not None
+            or self.hedging is not None
+        )
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -196,6 +207,8 @@ class SourceDispatcher:
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if self.hedging is not None:
+            self.hedging.shutdown()
 
     # -- cached, deduplicated source calls ---------------------------------
 
@@ -213,6 +226,12 @@ class SourceDispatcher:
         ``fetch`` calls with the same key share the first caller's
         flight: the leader ships, followers block on the shared result
         (or re-raise the leader's error).
+
+        With a hedge coordinator attached, the (single) shipping call
+        routes through it — hedging composes *under* the cache and the
+        single-flight layer, so a hedged call is still one flight, its
+        winning answer is stored at most once, and the loser's answer
+        is discarded before it can reach either layer.
         """
         cache = self.cache
         if cache is not None:
@@ -222,7 +241,7 @@ class SourceDispatcher:
                 return value
         if not self.parallel:
             # single-threaded: there is never a concurrent duplicate
-            value, cacheable = ship()
+            value, cacheable = self._perform(source, ship)
             if cache is not None and cacheable:
                 cache.store(source, query_text, value)
             return value
@@ -239,7 +258,7 @@ class SourceDispatcher:
         if not leader:
             return flight.wait()
         try:
-            value, cacheable = ship()
+            value, cacheable = self._perform(source, ship)
         except BaseException as exc:
             flight.set_error(exc)
             raise
@@ -251,6 +270,35 @@ class SourceDispatcher:
         finally:
             with self._lock:
                 self._inflight.pop(key, None)
+
+    def _perform(
+        self,
+        source: str,
+        ship: Callable[[], tuple[list[OEMObject], bool]],
+    ) -> tuple[list[OEMObject], bool]:
+        """Ship once, hedged when a coordinator is attached.
+
+        Each hedged attempt runs under a *fresh* :class:`TaskScope`
+        (installed inside the coordinator's copied context), and only
+        the winner's scope is merged back into the caller's — the
+        losing attempt's warnings, attempt counts and latency are
+        discarded with its answer, so hedging never double-counts.
+        """
+        hedging = self.hedging
+        if hedging is None:
+            return ship()
+        parent = current_scope()
+
+        def attempt() -> tuple[list[OEMObject], bool, TaskScope]:
+            scope = TaskScope()
+            with scope_active(scope):
+                value, cacheable = ship()
+            return value, cacheable, scope
+
+        value, cacheable, scope = hedging.fetch(source, attempt)
+        if parent is not None:
+            parent.merge(scope)
+        return value, cacheable
 
     # -- batch execution ---------------------------------------------------
 
@@ -299,6 +347,8 @@ class SourceDispatcher:
         }
         if self.cache is not None:
             stats["cache"] = self.cache.stats()
+        if self.hedging is not None:
+            stats["hedging"] = self.hedging.stats()
         return stats
 
     def describe(self) -> str:
@@ -311,8 +361,14 @@ class SourceDispatcher:
         ]
         if self.cache is not None:
             lines.append(self.cache.describe())
+        if self.hedging is not None:
+            lines.append(self.hedging.describe())
         return "\n".join(lines)
 
     def __repr__(self) -> str:
         cache = ", cache" if self.cache is not None else ""
-        return f"SourceDispatcher(parallelism={self.parallelism}{cache})"
+        hedging = ", hedging" if self.hedging is not None else ""
+        return (
+            f"SourceDispatcher(parallelism={self.parallelism}"
+            f"{cache}{hedging})"
+        )

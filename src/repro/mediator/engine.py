@@ -27,7 +27,9 @@ from repro.msl.ast import PatternCondition, Rule
 from repro.obs.span import Span, status_of_exception
 from repro.oem.model import OEMObject
 from repro.oem.oid import OidGenerator
+from repro.reliability.deadline import call_allowance_scope
 from repro.reliability.health import SourceWarning
+from repro.reliability.hedging import current_hedge_role
 from repro.wrappers.base import SourceError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.msl.compile import CompileCache
     from repro.obs.span import Tracer
     from repro.obs.telemetry import Telemetry
+    from repro.reliability.deadline import DeadlineSlicer
     from repro.reliability.resilient import ResilienceManager
     from repro.wrappers.registry import SourceRegistry
 
@@ -89,6 +92,10 @@ class ExecutionContext:
     # registry once per run by flush_telemetry()
     tracer: "Tracer | None" = None
     telemetry: "Telemetry | None" = None
+    # deadline propagation: when a slicer is attached, every source
+    # call runs under a per-call time allowance (its stage's share of
+    # the remaining wall-clock budget), enforced by the resilient layer
+    slicer: "DeadlineSlicer | None" = None
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False
     )
@@ -121,6 +128,20 @@ class ExecutionContext:
             return []
         dispatcher = self.dispatcher
         if dispatcher is not None and dispatcher.active:
+            if dispatcher.hedging is not None and current_scope() is None:
+                # hedged attempts record into fresh scopes and the
+                # dispatcher merges the winner's back into the current
+                # one — guarantee a scope exists (the sequential path
+                # has none) so winner warnings aren't dropped
+                scope = TaskScope()
+                with scope_active(scope):
+                    result = dispatcher.fetch(
+                        source_name,
+                        str(query),
+                        lambda: self._ship(source_name, query),
+                    )
+                self.warnings.extend(scope.warnings)
+                return result
             return dispatcher.fetch(
                 source_name,
                 str(query),
@@ -129,6 +150,16 @@ class ExecutionContext:
         return self._ship(source_name, query)[0]
 
     def _ship(
+        self, source_name: str, query: Rule
+    ) -> tuple[list[OEMObject], bool]:
+        """One source call under its deadline slice (see `_ship_now`)."""
+        slicer = self.slicer
+        if slicer is None:
+            return self._ship_now(source_name, query)
+        with call_allowance_scope(slicer.call_allowance(source_name)):
+            return self._ship_now(source_name, query)
+
+    def _ship_now(
         self, source_name: str, query: Rule
     ) -> tuple[list[OEMObject], bool]:
         """The real source call (reliability-wrapped), with accounting.
@@ -189,6 +220,9 @@ class ExecutionContext:
             span.set_attribute("attempts", attempts)
             span.set_attribute("objects", len(result))
             span.set_attribute("cacheable", not degraded)
+            role = current_hedge_role()
+            if role is not None:
+                span.set_attribute("hedge_role", role)
             if degraded:
                 span.set_attribute("degraded", True)
             if resilient is not None:
@@ -300,6 +334,9 @@ class DatamergeEngine:
         governor = context.governor
         if governor is not None:
             governor.start()
+        slicer = context.slicer
+        if slicer is not None:
+            slicer.begin_plan(len(plan.stages()))
         dispatcher = context.dispatcher
         if dispatcher is not None and dispatcher.parallel:
             return self._execute_staged(plan, context, dispatcher)
@@ -311,7 +348,7 @@ class DatamergeEngine:
         # the tree shape matches the staged executor's, not the timing
         stage_spans: dict[int, Span] = {}
         stage_of: dict[int, int] = {}
-        if tracer is not None:
+        if tracer is not None or slicer is not None:
             for index, stage in enumerate(plan.stages(), 1):
                 for node in stage:
                     stage_of[id(node)] = index
@@ -319,6 +356,8 @@ class DatamergeEngine:
             for node in plan.nodes():
                 if governor is not None:
                     governor.enter_node(node)
+                if slicer is not None:
+                    slicer.enter_stage(stage_of[id(node)])
                 inputs = [outputs[id(child)] for child in node.inputs]
                 attempts_before = context.attempts_made
                 latency_before = context.source_latency
@@ -383,9 +422,12 @@ class DatamergeEngine:
         """
         governor = context.governor
         tracer = context.tracer
+        slicer = context.slicer
         outputs: dict[int, BindingTable] = {}
         entries: dict[int, TraceEntry] = {}
         for stage_index, stage in enumerate(plan.stages(), 1):
+            if slicer is not None:
+                slicer.enter_stage(stage_index)
             stage_span = (
                 tracer.start_span("plan-stage", f"stage-{stage_index}")
                 if tracer is not None

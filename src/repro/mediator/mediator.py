@@ -69,7 +69,9 @@ from repro.oem.compare import eliminate_duplicates, structural_key
 from repro.oem.model import OEMObject
 from repro.oem.oid import OidGenerator
 from repro.reliability.clock import Clock, MonotonicClock
+from repro.reliability.deadline import AdaptiveTimeoutConfig, DeadlineSlicer
 from repro.reliability.health import SourceWarning
+from repro.reliability.hedging import HedgeCoordinator, HedgePolicy
 from repro.reliability.resilient import ResilienceConfig, ResilienceManager
 from repro.wrappers.base import Source, SourceError
 from repro.wrappers.registry import SourceRegistry
@@ -142,6 +144,9 @@ class Mediator(Source):
         telemetry: "Telemetry | bool | None" = None,
         trace_sample_rate: float = 1.0,
         slow_query_ms: float | None = None,
+        hedge: "HedgePolicy | bool | None" = None,
+        adaptive_timeouts: "AdaptiveTimeoutConfig | bool" = False,
+        deadline_slicing: bool | None = None,
     ) -> None:
         if not name or not name.isidentifier():
             raise MediatorError(f"invalid mediator name {name!r}")
@@ -198,6 +203,28 @@ class Mediator(Source):
         if isinstance(resilience, ResilienceConfig):
             resilience = ResilienceManager(resilience, clock=clock)
         self.resilience: ResilienceManager | None = resilience
+
+        # tail-latency controls: adaptive per-source timeouts live on
+        # the resilience manager (they need its latency windows and its
+        # wrappers to enforce), deadline slicing defaults to following
+        # them, and hedging gets its own coordinator on the dispatcher
+        if adaptive_timeouts:
+            if self.resilience is None:
+                raise MediatorError(
+                    "adaptive_timeouts needs a resilience configuration"
+                    " (the policy rides on the resilient source wrappers)"
+                )
+            self.resilience.enable_adaptive(
+                adaptive_timeouts
+                if isinstance(adaptive_timeouts, AdaptiveTimeoutConfig)
+                else None
+            )
+        self.adaptive_timeouts = bool(adaptive_timeouts)
+        self.deadline_slicing = (
+            self.adaptive_timeouts
+            if deadline_slicing is None
+            else bool(deadline_slicing)
+        )
         self.last_warnings: list[SourceWarning] = []
         self._warning_depth = 0
         self._operation_contexts: list[ExecutionContext] = []
@@ -209,9 +236,26 @@ class Mediator(Source):
         self._clock = clock or MonotonicClock()
         self.last_governor: QueryGovernor | None = None
 
+        self.hedging: HedgeCoordinator | None = None
+        if hedge:
+            try:
+                policy = (
+                    hedge if isinstance(hedge, HedgePolicy) else HedgePolicy()
+                )
+            except ValueError as exc:
+                raise MediatorError(str(exc)) from exc
+            self.hedging = HedgeCoordinator(
+                policy,
+                clock=self._governor_clock(),
+                health=(
+                    self.resilience.health
+                    if self.resilience is not None
+                    else None
+                ),
+            )
         try:
             self.dispatcher = SourceDispatcher(
-                parallelism=parallelism, cache=cache
+                parallelism=parallelism, cache=cache, hedging=self.hedging
             )
         except ValueError as exc:
             raise MediatorError(str(exc)) from exc
@@ -559,6 +603,20 @@ class Mediator(Source):
             root = current_span()
             if root is not None and not root.sampled:
                 tracer = None
+        slicer = None
+        if (
+            self.deadline_slicing
+            and self.last_governor is not None
+            and self.last_governor.budget.deadline is not None
+        ):
+            slicer = DeadlineSlicer(
+                self.last_governor,
+                adaptive=(
+                    self.resilience.adaptive
+                    if self.resilience is not None
+                    else None
+                ),
+            )
         context = ExecutionContext(
             sources=self.sources,
             externals=self.externals,
@@ -578,6 +636,7 @@ class Mediator(Source):
             telemetry=(
                 self.telemetry if self.telemetry.enabled else None
             ),
+            slicer=slicer,
         )
         if context.telemetry is not None:
             # flushed (once per run) at the end of the warning scope

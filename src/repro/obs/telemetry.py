@@ -147,6 +147,33 @@ class Telemetry:
                     help="Requests answered by another request's flight.",
                 ),
             ]
+            hedging = getattr(dispatcher, "hedging", None)
+            if hedging is not None:
+                hstats = hedging.stats()
+                samples.extend(
+                    [
+                        Sample(
+                            "repro_hedge_attempts_total", "counter",
+                            hstats["hedges_issued"],
+                            help="Speculative duplicate calls issued.",
+                        ),
+                        Sample(
+                            "repro_hedge_wins_total", "counter",
+                            hstats["hedge_wins"],
+                            help="Hedged calls where the duplicate won.",
+                        ),
+                        Sample(
+                            "repro_hedge_cancelled_total", "counter",
+                            hstats["cancelled"],
+                            help="Losing attempts signalled to abandon.",
+                        ),
+                        Sample(
+                            "repro_hedge_outstanding", "gauge",
+                            hstats["outstanding"],
+                            help="Hedged attempts not yet settled.",
+                        ),
+                    ]
+                )
             cache = dispatcher.cache
             if cache is not None:
                 stats = cache.stats()

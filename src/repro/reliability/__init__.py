@@ -11,10 +11,28 @@ This package gives the MSI pipeline a defensive access layer:
 * :mod:`repro.reliability.resilient` — the composed resilient wrapper
   and the per-mediator :class:`ResilienceManager`;
 * :mod:`repro.reliability.health` — per-source health accounting and
-  the structured :class:`SourceWarning` carried by degraded answers.
+  the structured :class:`SourceWarning` carried by degraded answers;
+* :mod:`repro.reliability.deadline` — deadline slicing across plan
+  stages and latency-derived adaptive per-source timeouts;
+* :mod:`repro.reliability.hedging` — speculative duplicate requests
+  for straggling source calls, first result wins.
 """
 
 from repro.reliability.clock import Clock, ManualClock, MonotonicClock
+from repro.reliability.deadline import (
+    AdaptiveTimeoutConfig,
+    AdaptiveTimeoutPolicy,
+    DeadlineSlicer,
+    LatencyTracker,
+    call_allowance_scope,
+    current_call_allowance,
+)
+from repro.reliability.hedging import (
+    HedgeAbandoned,
+    HedgeCoordinator,
+    HedgePolicy,
+    current_hedge_role,
+)
 from repro.reliability.faults import (
     FaultInjectingSource,
     MALFORMED,

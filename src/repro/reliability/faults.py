@@ -6,6 +6,9 @@ failure modes an autonomous source exhibits in the wild:
 
 * transient errors (:class:`TransientSourceError`) at ``fault_rate``;
 * simulated latency — the injected clock is advanced, never slept on;
+  ``slow_rate`` / ``slow_latency`` add a heavy tail: the occasional
+  call stalls at ``slow_latency`` instead of ``latency`` (the shape
+  hedging and adaptive timeouts are built to absorb);
 * empty answers at ``empty_rate`` (the source "worked" but lost data);
 * malformed answers at ``malformed_rate`` — the shape is picked by
   ``malformed_kind``: ``"flat"`` (non-OEM garbage, the classic), or
@@ -13,11 +16,15 @@ failure modes an autonomous source exhibits in the wild:
   declared type lies about its value), ``"malformed_deep"`` (absurdly
   nested but otherwise valid OEM), and ``"malformed_cyclic"`` (a
   reference cycle) — everything an answer sanitizer must catch;
-* a ``dead`` switch for sustained outages (breaker tests flip it).
+* a ``dead`` switch for sustained outages (breaker tests flip it);
+  ``die_after=N`` flips it automatically after N calls, simulating a
+  source that dies mid-query.
 
 The same seed always yields the same schedule — the outcome of call
 *n* depends only on the seed and *n* — which is what lets the test
-suite assert retry and degradation behaviour exactly.
+suite assert retry and degradation behaviour exactly.  The slow-call
+draw consumes randomness only when ``slow_rate > 0``, so existing
+seeded schedules are untouched by the default configuration.
 """
 
 from __future__ import annotations
@@ -99,18 +106,24 @@ class FaultInjectingSource(Source):
         malformed_rate: float = 0.0,
         malformed_kind: str = "flat",
         latency: float = 0.0,
+        slow_rate: float = 0.0,
+        slow_latency: float = 0.0,
         dead: bool = False,
+        die_after: int | None = None,
         clock: Clock | None = None,
     ) -> None:
         for name, rate in (
             ("fault_rate", fault_rate),
             ("empty_rate", empty_rate),
             ("malformed_rate", malformed_rate),
+            ("slow_rate", slow_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
-        if latency < 0:
+        if latency < 0 or slow_latency < 0:
             raise ValueError("latency must be non-negative")
+        if die_after is not None and die_after < 0:
+            raise ValueError("die_after must be non-negative")
         if malformed_kind not in MALFORMED_KINDS:
             raise ValueError(
                 f"malformed_kind must be one of"
@@ -124,7 +137,10 @@ class FaultInjectingSource(Source):
         self.malformed_rate = malformed_rate
         self.malformed_kind = malformed_kind
         self.latency = latency
+        self.slow_rate = slow_rate
+        self.slow_latency = slow_latency
         self.dead = dead
+        self.die_after = die_after
         self.clock = clock or ManualClock()
         self._rng = random.Random(seed)
         self.calls = 0
@@ -156,8 +172,16 @@ class FaultInjectingSource(Source):
 
     def _deliver(self, produce) -> list[OEMObject]:
         self.calls += 1
-        if self.latency:
-            self.clock.sleep(self.latency)
+        if self.die_after is not None and self.calls > self.die_after:
+            self.dead = True
+        delay = self.latency
+        if self.slow_rate and self._rng.random() < self.slow_rate:
+            # an occasional stall: this is the extra draw that makes
+            # heavy-tailed schedules; it only happens with slow_rate
+            # set, so default-configured seeded schedules are unchanged
+            delay = self.slow_latency
+        if delay:
+            self.clock.sleep(delay)
         outcome = self._draw_outcome()
         self.outcomes.append(outcome)
         if outcome == "dead":

@@ -303,6 +303,22 @@ class HealthRegistry:
         record = self._records.get(source)
         return record.attempts if record else 0
 
+    def latency_quantile(
+        self, source: str, quantile: float, min_samples: int = 1
+    ) -> float | None:
+        """The ``quantile`` latency over the source's sample window.
+
+        ``None`` while the window holds fewer than ``min_samples``
+        observations — adaptive timeout and hedge policies use that to
+        fall back to their static cold-start values instead of acting
+        on noise.
+        """
+        with self._lock:
+            record = self._records.get(source)
+            if record is None or len(record.latencies) < max(1, min_samples):
+                return None
+            return record.latency_percentile(quantile)
+
     def status(self, source: str) -> SourceHealth:
         """A frozen-in-time copy of one source's record."""
         record = self.record_for(source)

@@ -32,10 +32,20 @@ class RetryPolicy:
     ``max_attempts`` counts the initial try: ``max_attempts=3`` means
     one call plus up to two retries.  Backoff for the retry after
     attempt *n* is ``base_delay * multiplier**(n-1)``, capped at
-    ``max_delay``, with up to ``jitter`` (a fraction) of that delay
-    added from the caller-supplied rng.  ``deadline`` is a per-query
-    time budget: no retry is scheduled that would start after
-    ``deadline`` seconds from the first attempt.
+    ``max_delay``, then jittered from the caller-supplied rng per
+    ``jitter_mode``:
+
+    * ``"equal"`` (the default) adds up to ``jitter`` (a fraction) of
+      the computed delay — retries stay near the exponential schedule;
+    * ``"full"`` draws the whole delay uniformly from
+      ``[0, computed delay]`` (AWS-style full jitter) — under a
+      parallel dispatcher this decorrelates the retry storms of
+      workers that all failed against the same source at the same
+      moment, so a recovering source is not stampeded; ``jitter`` is
+      ignored in this mode.
+
+    ``deadline`` is a per-query time budget: no retry is scheduled
+    that would start after ``deadline`` seconds from the first attempt.
     """
 
     max_attempts: int = 3
@@ -44,6 +54,7 @@ class RetryPolicy:
     max_delay: float = 5.0
     jitter: float = 0.1
     deadline: float | None = None
+    jitter_mode: str = "equal"
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -52,12 +63,18 @@ class RetryPolicy:
             raise ValueError("delays must be non-negative")
         if not 0 <= self.jitter <= 1:
             raise ValueError("jitter is a fraction in [0, 1]")
+        if self.jitter_mode not in ("equal", "full"):
+            raise ValueError(
+                "jitter_mode must be 'equal' or 'full',"
+                f" got {self.jitter_mode!r}"
+            )
 
     def delay(self, attempt: int, rng: random.Random | None = None) -> float:
         """Backoff before the retry following failed attempt ``attempt``.
 
         ``attempt`` is 1-based; jitter comes from ``rng`` so a seeded
-        caller gets a reproducible delay sequence.
+        caller gets a reproducible delay sequence.  Without an rng the
+        un-jittered exponential delay is returned in either mode.
         """
         if attempt < 1:
             raise ValueError("attempt numbers are 1-based")
@@ -65,7 +82,11 @@ class RetryPolicy:
             self.base_delay * self.multiplier ** (attempt - 1),
             self.max_delay,
         )
-        if self.jitter and rng is not None:
+        if rng is None:
+            return delay
+        if self.jitter_mode == "full":
+            return rng.uniform(0.0, delay)
+        if self.jitter:
             delay += delay * self.jitter * rng.random()
         return delay
 
@@ -89,8 +110,12 @@ class CircuitBreaker:
       failures open the breaker.
     * **open** — calls are rejected without touching the source until
       ``cooldown`` seconds have passed on the injected clock.
-    * **half-open** — one probe call is allowed through; success closes
-      the breaker, failure re-opens it (restarting the cooldown).
+    * **half-open** — exactly one *in-flight* probe call is admitted;
+      concurrent callers fail fast until the probe reports back.
+      Success closes the breaker, failure re-opens it (restarting the
+      cooldown).  Without this gate a parallel dispatcher would pour a
+      whole stage through a just-cooled breaker the instant it
+      half-opens — a thundering herd at the recovering source.
 
     >>> from repro.reliability.clock import ManualClock
     >>> clock = ManualClock()
@@ -121,6 +146,7 @@ class CircuitBreaker:
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._probe_inflight = False
         self.rejections = 0
         # state transitions must be atomic: under the parallel
         # dispatcher many worker threads consult one breaker
@@ -152,23 +178,32 @@ class CircuitBreaker:
     def allow(self) -> bool:
         """May a call be attempted right now?
 
-        In half-open state this admits the probe; a rejected call is
-        counted in :attr:`rejections`.
+        In half-open state this admits exactly one in-flight probe
+        (the gate clears when the probe reports success or failure);
+        every rejected call is counted in :attr:`rejections`.
         """
         with self._mutex:
-            if self.state == OPEN:
+            state = self.state
+            if state == OPEN:
                 self.rejections += 1
                 return False
+            if state == HALF_OPEN:
+                if self._probe_inflight:
+                    self.rejections += 1
+                    return False
+                self._probe_inflight = True
             return True
 
     def record_success(self) -> None:
         with self._mutex:
             self._consecutive_failures = 0
+            self._probe_inflight = False
             self._set_state(CLOSED)
 
     def record_failure(self) -> None:
         with self._mutex:
             self._consecutive_failures += 1
+            self._probe_inflight = False
             if (
                 self.state == HALF_OPEN
                 or self._consecutive_failures >= self.failure_threshold
@@ -182,4 +217,5 @@ class CircuitBreaker:
             self._set_state(CLOSED)
             self._consecutive_failures = 0
             self._opened_at = 0.0
+            self._probe_inflight = False
             self.rejections = 0

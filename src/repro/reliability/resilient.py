@@ -34,7 +34,13 @@ from typing import Callable, Sequence
 from repro.msl.ast import Rule
 from repro.oem.model import OEMObject
 from repro.reliability.clock import Clock, MonotonicClock
+from repro.reliability.deadline import (
+    AdaptiveTimeoutConfig,
+    AdaptiveTimeoutPolicy,
+    current_call_allowance,
+)
 from repro.reliability.health import HealthRegistry
+from repro.reliability.hedging import HedgeAbandoned, current_abandon
 from repro.reliability.policy import CircuitBreaker, RetryPolicy
 from repro.wrappers.base import Source, SourceError
 
@@ -93,6 +99,7 @@ class ResilientSource(Source):
         clock: Clock | None = None,
         health: HealthRegistry | None = None,
         seed: int = 0,
+        timeout_policy: AdaptiveTimeoutPolicy | None = None,
     ) -> None:
         self.inner = inner
         self.name = inner.name
@@ -100,6 +107,10 @@ class ResilientSource(Source):
         self.clock = clock or MonotonicClock()
         self.breaker = breaker or CircuitBreaker(clock=self.clock)
         self.timeout = timeout
+        #: When set, a warm latency window *replaces* the static
+        #: ``timeout`` with ``multiplier x pXX`` of observed latency;
+        #: the static value only covers the cold start.
+        self.timeout_policy = timeout_policy
         self.health = health or HealthRegistry()
         self.health.attach_breaker(self.name, self.breaker)
         self._rng = random.Random(seed)
@@ -123,12 +134,38 @@ class ResilientSource(Source):
 
     # -- the defended call path --------------------------------------------
 
+    def effective_timeout(self, allowance: float | None = None) -> float | None:
+        """The per-attempt timeout in force for the next call.
+
+        A warm adaptive policy replaces the static timeout (the static
+        value is the cold-start fallback, not a cap — observed latency
+        is the better estimate of "too slow" either way); a per-call
+        deadline allowance, when one is active, bounds the result from
+        above so a call can never outspend its slice of the query
+        budget.
+        """
+        timeout = self.timeout
+        if self.timeout_policy is not None:
+            adaptive = self.timeout_policy.timeout_for(self.name)
+            if adaptive is not None:
+                timeout = adaptive
+        if allowance is not None:
+            timeout = allowance if timeout is None else min(timeout, allowance)
+        return timeout
+
     def _call(self, produce: Callable[[], object]) -> list[OEMObject]:
         started = self.clock.now()
         last_error: SourceError | None = None
         attempts = 0
+        allowance = current_call_allowance()
+        timeout = self.effective_timeout(allowance)
+        abandon = current_abandon()
         try:
             for attempt in range(1, self.policy.max_attempts + 1):
+                if abandon is not None and abandon.is_set():
+                    # the hedged twin of this call already won; stop
+                    # without charging the breaker or health record
+                    raise HedgeAbandoned(self.name)
                 if not self.breaker.allow():
                     self.health.record_rejection(self.name)
                     raise SourceUnavailable(
@@ -144,11 +181,11 @@ class ResilientSource(Source):
                 try:
                     result = produce()
                     elapsed = self.clock.now() - attempt_started
-                    if self.timeout is not None and elapsed > self.timeout:
+                    if timeout is not None and elapsed > timeout:
                         raise SourceTimeoutError(
                             f"source {self.name!r} answered in"
                             f" {elapsed:.3f}s, over the"
-                            f" {self.timeout:.3f}s timeout"
+                            f" {timeout:.3f}s timeout"
                         )
                     result = validate_answer(self.name, result)
                 except SourceUnavailable:
@@ -162,10 +199,20 @@ class ResilientSource(Source):
                     last_error = exc
                     if attempt >= self.policy.max_attempts:
                         break
+                    if abandon is not None and abandon.is_set():
+                        raise HedgeAbandoned(self.name)
                     delay = self.policy.delay(attempt, self._rng)
                     if not self.policy.within_deadline(
                         self.clock.now() - started, delay
                     ):
+                        break
+                    if (
+                        allowance is not None
+                        and self.clock.now() - started + delay > allowance
+                    ):
+                        # the retry would start past this call's slice
+                        # of the query deadline — give up now so the
+                        # stage's remaining budget serves other calls
                         break
                     self.health.record_retry(self.name)
                     self.clock.sleep(delay)
@@ -213,13 +260,20 @@ class ResilientSource(Source):
 
 @dataclass(frozen=True)
 class ResilienceConfig:
-    """One bundle of knobs for every source behind a mediator."""
+    """One bundle of knobs for every source behind a mediator.
+
+    ``adaptive`` switches the static ``timeout`` into a cold-start
+    fallback: once a source's latency window is warm, its timeout is
+    derived from observed percentiles per the
+    :class:`AdaptiveTimeoutConfig`.
+    """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     timeout: float | None = None
     breaker_threshold: int = 5
     breaker_cooldown: float = 30.0
     seed: int = 0
+    adaptive: AdaptiveTimeoutConfig | None = None
 
 
 class ResilienceManager:
@@ -239,7 +293,26 @@ class ResilienceManager:
         self.config = config or ResilienceConfig()
         self.clock = clock or MonotonicClock()
         self.health = HealthRegistry()
+        self.adaptive: AdaptiveTimeoutPolicy | None = (
+            AdaptiveTimeoutPolicy(self.config.adaptive, health=self.health)
+            if self.config.adaptive is not None
+            else None
+        )
         self._wrapped: dict[str, ResilientSource] = {}
+
+    def enable_adaptive(
+        self, config: AdaptiveTimeoutConfig | None = None
+    ) -> AdaptiveTimeoutPolicy:
+        """Switch adaptive per-source timeouts on (idempotent).
+
+        Builds one shared policy over the manager's health registry;
+        wrappers already built pick it up on their next :meth:`wrap`.
+        """
+        if self.adaptive is None:
+            self.adaptive = AdaptiveTimeoutPolicy(
+                config or AdaptiveTimeoutConfig(), health=self.health
+            )
+        return self.adaptive
 
     def wrap(self, source: Source) -> ResilientSource:
         wrapped = self._wrapped.get(source.name)
@@ -257,8 +330,13 @@ class ResilienceManager:
                 clock=self.clock,
                 health=self.health,
                 seed=config.seed ^ (zlib.crc32(source.name.encode()) & 0xFFFF),
+                timeout_policy=self.adaptive,
             )
             self._wrapped[source.name] = wrapped
+        elif wrapped.timeout_policy is not self.adaptive:
+            # adaptive timeouts were toggled after this wrapper was
+            # built (enable_adaptive on a live manager)
+            wrapped.timeout_policy = self.adaptive
         return wrapped
 
     def breaker_for(self, name: str) -> CircuitBreaker | None:
@@ -272,11 +350,17 @@ class ResilienceManager:
             f"{self.config.timeout:g}s" if self.config.timeout else "none"
         )
         deadline = f"{retry.deadline:g}s" if retry.deadline else "none"
-        return (
+        jitter = (
+            " full jitter," if retry.jitter_mode == "full" else ""
+        )
+        text = (
             f"retries: {retry.max_attempts - 1} (backoff"
-            f" {retry.base_delay:g}s x{retry.multiplier:g},"
+            f" {retry.base_delay:g}s x{retry.multiplier:g},{jitter}"
             f" cap {retry.max_delay:g}s, deadline {deadline});"
             f" timeout: {timeout};"
             f" breaker: open after {self.config.breaker_threshold}"
             f" failure(s), cooldown {self.config.breaker_cooldown:g}s"
         )
+        if self.adaptive is not None:
+            text += f"; {self.adaptive.describe()}"
+        return text

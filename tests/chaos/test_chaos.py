@@ -1,0 +1,39 @@
+"""The chaos harness as a test: a quick slice of seeded schedules.
+
+The full sweep (``python tools/chaos.py --seeds 25``) runs in CI's
+chaos-smoke job; here a handful of quick schedules keeps the invariants
+under the default test run without slowing it down.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_CHAOS_PATH = Path(__file__).resolve().parents[2] / "tools" / "chaos.py"
+_spec = importlib.util.spec_from_file_location("repro_chaos", _CHAOS_PATH)
+chaos = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(chaos)
+
+
+@pytest.mark.parametrize("seed", [1996, 1997, 1998])
+def test_fault_schedule_holds_invariants(seed):
+    violations = chaos.run_fault_schedule(seed, quick=True, verbose=False)
+    assert not violations, violations
+
+
+@pytest.mark.parametrize("seed", [1996, 1997, 1998])
+def test_latency_schedule_holds_invariants(seed):
+    violations = chaos.run_latency_schedule(seed, quick=True, verbose=False)
+    assert not violations, violations
+
+
+def test_cli_reports_clean_schedules(capsys):
+    assert chaos.main(["--seeds", "2", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "4/4 schedule(s) clean" in out
+
+
+def test_cli_rejects_bad_seed_count():
+    with pytest.raises(SystemExit):
+        chaos.main(["--seeds", "0"])
