@@ -1,0 +1,383 @@
+"""Experiment O1 — admission control under 4x sustained overload.
+
+The serving question: what happens when queries arrive *faster than
+the mediator can finish them*?  Sources here are contended — each
+concurrent caller slows every other caller down (the shape of a shared
+backend: connection pools, buffer cache, CPU) — so capacity is real:
+push harder and per-call latency rises for everyone.
+
+* **Without admission control** the storm lands directly on the
+  sources: dozens of queries execute at once, every source call slows
+  down proportionally, and every query's latency inflates together —
+  the classic congestion collapse where p99 is unbounded by anything
+  except the storm size, and deadline budgets blow through.
+* **With admission control** at the measured-capacity concurrency, the
+  same storm yields flat goodput: admitted queries run at uncontended
+  speed and finish inside their deadline; the excess is shed *at the
+  gate* with structured rejections (queue depth + retry-after) instead
+  of degrading everyone.
+
+Assertions (the acceptance bar for PR 7):
+
+* goodput (admitted-and-completed-in-deadline QPS) at 4x overload
+  stays within 20% of measured capacity;
+* zero admitted queries miss their end-to-end deadline budget (queue
+  wait is charged against it; a small grace absorbs scheduler jitter
+  and the one in-flight source call the governor cannot interrupt);
+* accounting balances exactly: submitted == completed + shed, and the
+  sheds are structured ``QueryRejected`` values;
+* the no-admission baseline demonstrably collapses on the same storm:
+  deadline violations, or a p99 far above the admitted p99.
+
+Numbers land in ``benchmarks/BENCH_overload.json`` and the artifacts
+file quoted by EXPERIMENTS.md.
+"""
+
+import threading
+import time
+
+from repro.datasets import build_scaled_scenario
+from repro.governor.budget import QueryBudget
+from repro.mediator import Mediator
+from repro.oem import structural_key
+from repro.serving import AdmissionConfig, QueryRejected
+from repro.wrappers.base import Source
+
+PEOPLE = 12
+BASE_LATENCY = 0.004     # uncontended per-call seconds (really slept)
+CONTENTION = 0.80        # extra latency fraction per concurrent caller
+MAX_CONCURRENT = 4       # the admission gate's in-flight ceiling
+QUEUE_DEPTH = 8
+DEADLINE = 0.8           # per-query end-to-end budget (seconds)
+GRACE = 0.15             # jitter + one uninterruptible in-flight call
+OVERLOAD = 4.0           # storm arrival rate as a multiple of capacity
+CLIENTS = 32
+QUERIES_PER_CLIENT = 4
+CAPACITY_QUERIES = 32    # closed-loop queries for the capacity probe
+QUERY = "S :- S:<cs_person {<rel 'student'>}>@med"
+JSON_FILE = "BENCH_overload.json"
+
+
+class _ContendedSource(Source):
+    """A source whose latency grows with concurrent callers.
+
+    Real shared backends degrade under fan-in; this models that
+    directly: each call sleeps ``BASE_LATENCY * (1 + CONTENTION *
+    (active - 1))``, where ``active`` counts calls currently inside
+    the source.  One caller sees the base latency; forty see ~12x it.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.name = inner.name
+        self._active = 0
+        self._lock = threading.Lock()
+        self.peak_active = 0
+
+    def _contended(self, thunk):
+        with self._lock:
+            self._active += 1
+            active = self._active
+            self.peak_active = max(self.peak_active, active)
+        try:
+            time.sleep(BASE_LATENCY * (1.0 + CONTENTION * (active - 1)))
+            return thunk()
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    def answer(self, query):
+        return self._contended(lambda: self._inner.answer(query))
+
+    def export(self):
+        return self._contended(self._inner.export)
+
+    @property
+    def capability(self):
+        return self._inner.capability
+
+    @property
+    def schema_facts(self):
+        return self._inner.schema_facts
+
+
+def _canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+def _percentile(samples, quantile):
+    ordered = sorted(samples)
+    rank = max(1, -(-int(quantile * 100) * len(ordered) // 100))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _scenario(seed=1996):
+    scenario = build_scaled_scenario(PEOPLE, seed=seed, push_mode="needed")
+    contended = {}
+    for name in ("whois", "cs"):
+        inner = scenario.registry.resolve(name)
+        scenario.registry.deregister(name)
+        source = _ContendedSource(inner)
+        contended[name] = source
+        scenario.registry.register(source)
+    return scenario, contended
+
+
+def _mediator(scenario, admission):
+    kwargs = {}
+    if admission:
+        kwargs["admission"] = AdmissionConfig(
+            max_concurrent=MAX_CONCURRENT,
+            max_queue_depth=QUEUE_DEPTH,
+            adaptive=True,
+        )
+    return Mediator(
+        "med",
+        scenario.mediator.specification,
+        scenario.registry,
+        scenario.externals,
+        push_mode="needed",
+        register=False,
+        # parallelism=1: source calls run inline on the querying
+        # thread, so source fan-in == concurrent queries.  A shared
+        # dispatcher pool would itself bound fan-in (an accidental
+        # bulkhead) and mask the baseline's collapse.
+        parallelism=1,
+        budget=QueryBudget(deadline=DEADLINE),
+        budget_mode="truncate",
+        **kwargs,
+    )
+
+
+def _measure_capacity(mediator):
+    """Closed-loop probe: MAX_CONCURRENT workers, no think time."""
+    latencies = []
+    lock = threading.Lock()
+    remaining = [CAPACITY_QUERIES]
+
+    def worker():
+        while True:
+            with lock:
+                if remaining[0] <= 0:
+                    return
+                remaining[0] -= 1
+            start = time.perf_counter()
+            mediator.answer(QUERY)
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker) for _ in range(MAX_CONCURRENT)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return CAPACITY_QUERIES / elapsed, latencies
+
+
+def _storm(mediator, rate, tenants=True):
+    """Open-loop storm: CLIENTS threads submit at aggregate ``rate``.
+
+    Arrival times are fixed up front (open loop: the storm does not
+    slow down because the server is slow — that is what makes
+    overload overload).  Returns per-query outcomes.
+    """
+    interval = 1.0 / rate
+    total = CLIENTS * QUERIES_PER_CLIENT
+    outcomes = []
+    lock = threading.Lock()
+    storm_start = time.perf_counter() + 0.05
+
+    def client(index):
+        for round_index in range(QUERIES_PER_CLIENT):
+            arrival = storm_start + (
+                (round_index * CLIENTS + index) * interval
+            )
+            delay = arrival - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            start = time.perf_counter()
+            try:
+                results = mediator.answer(
+                    QUERY,
+                    tenant=f"tenant{index % 4}" if tenants else None,
+                )
+            except QueryRejected as exc:
+                with lock:
+                    outcomes.append(
+                        {
+                            "status": "shed",
+                            "reason": exc.reason,
+                            "queue_depth": exc.queue_depth,
+                            "retry_after": exc.retry_after,
+                        }
+                    )
+            else:
+                elapsed = time.perf_counter() - start
+                with lock:
+                    outcomes.append(
+                        {
+                            "status": "completed",
+                            "e2e_s": elapsed,
+                            "objects": len(results),
+                        }
+                    )
+
+    threads = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(CLIENTS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - started
+    assert len(outcomes) == total
+    return outcomes, duration
+
+
+def test_admission_keeps_goodput_flat_at_4x_overload(
+    artifact_sink, bench_json_sink
+):
+    """Goodput, sheds, and p99 with and without the admission gate."""
+    # -- capacity: what can this mediator actually sustain? ----------
+    scenario, _ = _scenario()
+    gated = _mediator(scenario, admission=True)
+    capacity, capacity_latencies = _measure_capacity(gated)
+    service_p50 = _percentile(capacity_latencies, 0.50)
+
+    # -- the same mediator under a 4x open-loop storm ----------------
+    storm_rate = OVERLOAD * capacity
+    outcomes, duration = _storm(gated, storm_rate)
+    gated_snapshot = gated.admission.snapshot()
+    gated.close()
+
+    completed = [o for o in outcomes if o["status"] == "completed"]
+    shed = [o for o in outcomes if o["status"] == "shed"]
+    e2e = [o["e2e_s"] for o in completed]
+    in_deadline = [s for s in e2e if s <= DEADLINE + GRACE]
+    goodput = len(in_deadline) / duration
+    admitted_p99 = _percentile(e2e, 0.99) if e2e else 0.0
+    misses = len(e2e) - len(in_deadline)
+
+    # -- baseline: the identical storm, no admission gate ------------
+    base_scenario, base_sources = _scenario()
+    baseline = _mediator(base_scenario, admission=False)
+    # warm the compile caches like the probe did; uncontended, so its
+    # answer size is the complete (untruncated) reference
+    expected_objects = len(baseline.answer(QUERY))
+    base_outcomes, base_duration = _storm(
+        baseline, storm_rate, tenants=False
+    )
+    baseline.close()
+    base_completed = [
+        o for o in base_outcomes if o["status"] == "completed"
+    ]
+    base_e2e = [o["e2e_s"] for o in base_completed]
+    base_p99 = _percentile(base_e2e, 0.99)
+    base_misses = sum(1 for s in base_e2e if s > DEADLINE + GRACE)
+    base_goodput = (
+        sum(1 for s in base_e2e if s <= DEADLINE + GRACE) / base_duration
+    )
+    # under deadline pressure the truncating governor hands back
+    # partial answers — completed-but-incomplete is degradation too
+    base_incomplete = sum(
+        1 for o in base_completed if o["objects"] < expected_objects
+    )
+    peak_fanin = max(s.peak_active for s in base_sources.values())
+
+    reasons = {}
+    for outcome in shed:
+        reasons[outcome["reason"]] = reasons.get(outcome["reason"], 0) + 1
+    artifact_sink(
+        "admission control at 4x overload",
+        f"capacity {capacity:.0f} q/s (service p50"
+        f" {service_p50 * 1e3:.1f}ms), storm at {storm_rate:.0f} q/s"
+        f" for {len(outcomes)} queries, deadline {DEADLINE}s\n"
+        f"{'':14}goodput     p99      misses  shed\n"
+        f"admission     {goodput:7.0f}/s  {admitted_p99 * 1e3:6.0f}ms"
+        f"  {misses:6d}  {len(shed)} ({reasons})\n"
+        f"no admission  {base_goodput:7.0f}/s  {base_p99 * 1e3:6.0f}ms"
+        f"  {base_misses:6d}  0 (collapse: {base_incomplete} truncated"
+        f" answers, peak source fan-in {peak_fanin})",
+    )
+    bench_json_sink(
+        JSON_FILE,
+        "overload_4x",
+        {
+            "people": PEOPLE,
+            "base_latency_s": BASE_LATENCY,
+            "contention_per_caller": CONTENTION,
+            "max_concurrent": MAX_CONCURRENT,
+            "queue_depth": QUEUE_DEPTH,
+            "deadline_s": DEADLINE,
+            "grace_s": GRACE,
+            "overload_factor": OVERLOAD,
+            "capacity_qps": round(capacity, 2),
+            "storm_rate_qps": round(storm_rate, 2),
+            "submitted": len(outcomes),
+            "admission": {
+                "goodput_qps": round(goodput, 2),
+                "goodput_vs_capacity": round(goodput / capacity, 3),
+                "p99_s": round(admitted_p99, 4),
+                "completed": len(completed),
+                "shed": len(shed),
+                "shed_reasons": reasons,
+                "deadline_misses": misses,
+                "controller": {
+                    "limit": gated_snapshot["limit"],
+                    "queue_peak": gated_snapshot["queue_peak"],
+                    "rejected": gated_snapshot["rejected"],
+                },
+            },
+            "baseline": {
+                "goodput_qps": round(base_goodput, 2),
+                "p99_s": round(base_p99, 4),
+                "completed": len(base_e2e),
+                "deadline_misses": base_misses,
+                "truncated_answers": base_incomplete,
+                "expected_objects": expected_objects,
+                "peak_source_fanin": peak_fanin,
+            },
+        },
+    )
+
+    # accounting balances exactly, and sheds are structured
+    assert len(completed) + len(shed) == len(outcomes)
+    assert gated_snapshot["submitted"] == (
+        gated_snapshot["admitted"] + gated_snapshot["shed"]
+    )
+    assert gated_snapshot["admitted"] == gated_snapshot["completed"]
+    for outcome in shed:
+        assert outcome["reason"] in (
+            "queue_full", "deadline", "timeout", "tenant"
+        )
+    # overload actually sheds: a storm 4x capacity cannot all fit
+    assert shed, "a 4x storm produced no sheds — not actually overloaded"
+    # zero admitted queries miss their end-to-end deadline budget
+    assert misses == 0, (
+        f"{misses} admitted quer(ies) exceeded the {DEADLINE}s deadline"
+        f" (worst {max(e2e):.3f}s)"
+    )
+    # goodput stays within 20% of capacity
+    assert goodput >= 0.8 * capacity, (
+        f"goodput {goodput:.0f}/s fell below 80% of capacity"
+        f" {capacity:.0f}/s"
+    )
+    # the no-admission baseline collapses on the same storm: deadline
+    # violations, truncated (partial) answers, or unbounded p99
+    assert (
+        base_misses > 0
+        or base_incomplete > 0
+        or base_p99 > 2.0 * admitted_p99
+    ), (
+        "the baseline did not collapse: either the storm is too weak"
+        f" or contention is broken (p99 {base_p99:.3f}s vs admitted"
+        f" {admitted_p99:.3f}s, {base_misses} misses,"
+        f" {base_incomplete} truncated)"
+    )

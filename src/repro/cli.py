@@ -42,7 +42,13 @@ Usage::
 * ``--trace-sample-rate R`` — keep the span tree of each query with
   probability R (default 1.0; head-based, seeded);
 * ``--slow-query-ms MS`` — always retain (and report on stderr) root
-  spans of queries at least MS milliseconds long, sampled or not.
+  spans of queries at least MS milliseconds long, sampled or not;
+* ``--max-concurrent N`` / ``--queue-depth N`` — admission control:
+  at most N queries execute at once (AIMD-adapted downward under
+  latency pressure) with a bounded wait queue; excess load is shed
+  with a structured rejection carrying a retry-after hint;
+* ``--tenant NAME`` / ``--priority N`` — attribute this process's
+  queries to a tenant quota and admit higher priorities first.
 
 The CLI registers only OEM-file sources; programmatic users wanting
 relational or custom wrappers use the library API directly.
@@ -64,6 +70,7 @@ from repro.oem.parser import parse_oem
 from repro.reliability.hedging import HedgePolicy
 from repro.reliability.policy import RetryPolicy
 from repro.reliability.resilient import ResilienceConfig
+from repro.serving.admission import AdmissionConfig, QueryRejected
 from repro.wrappers.oem_wrapper import OEMStoreWrapper
 from repro.wrappers.registry import SourceRegistry
 
@@ -296,6 +303,43 @@ def build_parser() -> argparse.ArgumentParser:
             " report them on stderr (enables telemetry)"
         ),
     )
+    parser.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "admit at most N concurrently executing queries; excess"
+            " queries queue (see --queue-depth) or are shed with a"
+            " structured rejection"
+        ),
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "let up to N queries wait for an execution slot (needs"
+            " --max-concurrent; default 32, 0 = shed immediately)"
+        ),
+    )
+    parser.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="attribute queries to tenant NAME for admission quotas",
+    )
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "admission priority for this process's queries (higher"
+            " admits first; default 0)"
+        ),
+    )
     return parser
 
 
@@ -465,6 +509,28 @@ def main(
         or args.slow_query_ms is not None
     )
 
+    if args.max_concurrent is not None and args.max_concurrent < 1:
+        print("error: --max-concurrent must be at least 1", file=stderr)
+        return 2
+    if args.queue_depth is not None:
+        if args.max_concurrent is None:
+            print("error: --queue-depth needs --max-concurrent", file=stderr)
+            return 2
+        if args.queue_depth < 0:
+            print("error: --queue-depth must be non-negative", file=stderr)
+            return 2
+    if args.tenant is not None and not args.tenant.strip():
+        print("error: --tenant must not be empty", file=stderr)
+        return 2
+    admission = None
+    if args.max_concurrent is not None:
+        admission = AdmissionConfig(
+            max_concurrent=args.max_concurrent,
+            max_queue_depth=(
+                args.queue_depth if args.queue_depth is not None else 32
+            ),
+        )
+
     try:
         mediator = Mediator(
             args.mediator,
@@ -488,6 +554,7 @@ def main(
             telemetry=telemetry,
             trace_sample_rate=args.trace_sample_rate,
             slow_query_ms=args.slow_query_ms,
+            admission=admission,
         )
     except Exception as exc:
         print(f"error: bad specification: {exc}", file=stderr)
@@ -498,26 +565,36 @@ def main(
             print(f"warning: {warning.render()}", file=stderr)
 
     status = 0
-    if args.export:
-        results = ResultSet(mediator.export(), mediator.last_warnings)
-        _emit(results, args.format, stdout)
-        emit_warnings(results)
+    try:
+        if args.export:
+            results = ResultSet(mediator.export(), mediator.last_warnings)
+            _emit(results, args.format, stdout)
+            emit_warnings(results)
 
-    queries = list(args.query)
-    if not queries and not args.export:
-        queries = list(_iter_stdin_queries(stdin))
+        queries = list(args.query)
+        if not queries and not args.export:
+            queries = list(_iter_stdin_queries(stdin))
 
-    for query in queries:
-        try:
-            if args.explain:
-                print(mediator.explain(query), file=stdout)
-            else:
-                results = mediator.query(query)
-                _emit(results, args.format, stdout)
-                emit_warnings(results)
-        except Exception as exc:
-            print(f"error: {query!r}: {exc}", file=stderr)
-            status = 1
+        for query in queries:
+            try:
+                if args.explain:
+                    print(mediator.explain(query), file=stdout)
+                else:
+                    results = mediator.query(
+                        query, tenant=args.tenant, priority=args.priority
+                    )
+                    _emit(results, args.format, stdout)
+                    emit_warnings(results)
+            except QueryRejected as exc:
+                print(f"error: {query!r}: {exc.render()}", file=stderr)
+                status = 1
+            except Exception as exc:
+                print(f"error: {query!r}: {exc}", file=stderr)
+                status = 1
+    finally:
+        # deterministic shutdown: no worker or hedge thread outlives
+        # the invocation (telemetry export below needs no pool)
+        mediator.close()
 
     if args.slow_query_ms is not None:
         for span in mediator.telemetry.tracer.slow_queries:

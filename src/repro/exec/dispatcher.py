@@ -48,6 +48,7 @@ from repro.oem.model import OEMObject
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.reliability.hedging import HedgeCoordinator
+    from repro.serving.bulkhead import BulkheadRegistry
 
 __all__ = [
     "SourceDispatcher",
@@ -160,6 +161,7 @@ class SourceDispatcher:
         parallelism: int = 1,
         cache: AnswerCache | None = None,
         hedging: "HedgeCoordinator | None" = None,
+        bulkheads: "BulkheadRegistry | None" = None,
     ) -> None:
         if not isinstance(parallelism, int) or parallelism < 1:
             raise ValueError(
@@ -169,6 +171,10 @@ class SourceDispatcher:
         self.parallelism = parallelism
         self.cache = cache
         self.hedging = hedging
+        self.bulkheads = bulkheads
+        #: When set, a callable consulted before each hedged dispatch;
+        #: returning False runs the call unhedged (brownout rung 1).
+        self.hedge_gate: Callable[[], bool] | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._lock = threading.Lock()
         self._inflight: dict[tuple[str, str], _Flight] = {}
@@ -185,11 +191,12 @@ class SourceDispatcher:
     @property
     def active(self) -> bool:
         """True when ``send_query`` must route through the dispatcher
-        (worker threads, a cache to consult, or hedging)."""
+        (worker threads, a cache to consult, hedging, or bulkheads)."""
         return (
             self.parallelism > 1
             or self.cache is not None
             or self.hedging is not None
+            or self.bulkheads is not None
         )
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
@@ -283,8 +290,25 @@ class SourceDispatcher:
         the winner's scope is merged back into the caller's — the
         losing attempt's warnings, attempt counts and latency are
         discarded with its answer, so hedging never double-counts.
+
+        Bulkhead permits wrap each individual wire attempt (so a
+        hedged pair holds two permits while both run — hedging is
+        extra load and must not bypass the cap), and ``hedge_gate``
+        lets the brownout controller turn hedging off under pressure
+        without tearing down the coordinator.
         """
+        bulkheads = self.bulkheads
+        if bulkheads is not None:
+            inner_ship = ship
+
+            def ship() -> tuple[list[OEMObject], bool]:
+                with bulkheads.permit(source):
+                    return inner_ship()
+
         hedging = self.hedging
+        if hedging is not None and self.hedge_gate is not None:
+            if not self.hedge_gate():
+                hedging = None
         if hedging is None:
             return ship()
         parent = current_scope()
@@ -349,6 +373,8 @@ class SourceDispatcher:
             stats["cache"] = self.cache.stats()
         if self.hedging is not None:
             stats["hedging"] = self.hedging.stats()
+        if self.bulkheads is not None:
+            stats["bulkheads"] = self.bulkheads.stats()
         return stats
 
     def describe(self) -> str:
@@ -363,12 +389,15 @@ class SourceDispatcher:
             lines.append(self.cache.describe())
         if self.hedging is not None:
             lines.append(self.hedging.describe())
+        if self.bulkheads is not None:
+            lines.append(self.bulkheads.describe())
         return "\n".join(lines)
 
     def __repr__(self) -> str:
         cache = ", cache" if self.cache is not None else ""
         hedging = ", hedging" if self.hedging is not None else ""
+        bulkheads = ", bulkheads" if self.bulkheads is not None else ""
         return (
             f"SourceDispatcher(parallelism={self.parallelism}"
-            f"{cache}{hedging})"
+            f"{cache}{hedging}{bulkheads})"
         )

@@ -96,6 +96,11 @@ class ExecutionContext:
     # call runs under a per-call time allowance (its stage's share of
     # the remaining wall-clock budget), enforced by the resilient layer
     slicer: "DeadlineSlicer | None" = None
+    # brownout rung 3: run this query's stages inline even when the
+    # dispatcher has worker threads — per-query fan-out competes with
+    # *other* queries for the pool under overload (caching, dedup, and
+    # bulkheads still apply through dispatcher.fetch)
+    force_sequential: bool = False
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False
     )
@@ -338,7 +343,11 @@ class DatamergeEngine:
         if slicer is not None:
             slicer.begin_plan(len(plan.stages()))
         dispatcher = context.dispatcher
-        if dispatcher is not None and dispatcher.parallel:
+        if (
+            dispatcher is not None
+            and dispatcher.parallel
+            and not context.force_sequential
+        ):
             return self._execute_staged(plan, context, dispatcher)
         outputs: dict[int, BindingTable] = {}
         tracer = context.tracer

@@ -29,6 +29,7 @@ and matching locally:
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import threading
 import warnings as _warnings
 from typing import Iterator, Sequence
@@ -73,10 +74,17 @@ from repro.reliability.deadline import AdaptiveTimeoutConfig, DeadlineSlicer
 from repro.reliability.health import SourceWarning
 from repro.reliability.hedging import HedgeCoordinator, HedgePolicy
 from repro.reliability.resilient import ResilienceConfig, ResilienceManager
+from repro.serving.admission import AdmissionConfig, AdmissionController
+from repro.serving.bulkhead import BulkheadRegistry
 from repro.wrappers.base import Source, SourceError
 from repro.wrappers.registry import SourceRegistry
 
 __all__ = ["Mediator", "MediatorError"]
+
+#: Floor for a deadline after queue wait is charged — the governor
+#: still runs (and truncates/aborts deterministically) rather than
+#: receiving a zero or negative budget.
+_MIN_DEADLINE = 0.001
 
 
 class MediatorError(SourceError):
@@ -116,6 +124,37 @@ class _HealthSnapshot(dict):
         return legacy
 
 
+class _Operation:
+    """Per-thread state of one top-level mediator operation.
+
+    Concurrent ``query()`` calls on a shared mediator each get their
+    own operation (held in a ``threading.local``), so warnings,
+    governors, and execution contexts never mix between callers.  The
+    mediator's ``last_warnings`` / ``last_governor`` / ``last_program``
+    / ``last_context`` attributes are published from the operation when
+    it finishes (last-writer-wins), purely for introspection compat.
+    """
+
+    __slots__ = (
+        "warnings",
+        "governor",
+        "contexts",
+        "depth",
+        "program",
+        "context",
+        "admission_wait",
+    )
+
+    def __init__(self, admission_wait: float = 0.0) -> None:
+        self.warnings: list[SourceWarning] = []
+        self.governor: QueryGovernor | None = None
+        self.contexts: list[ExecutionContext] = []
+        self.depth = 0
+        self.program: LogicalDatamergeProgram | None = None
+        self.context: ExecutionContext | None = None
+        self.admission_wait = admission_wait
+
+
 class Mediator(Source):
     """A declaratively specified integration view over registered sources."""
 
@@ -147,6 +186,8 @@ class Mediator(Source):
         hedge: "HedgePolicy | bool | None" = None,
         adaptive_timeouts: "AdaptiveTimeoutConfig | bool" = False,
         deadline_slicing: bool | None = None,
+        admission: "AdmissionConfig | AdmissionController | bool | None" = None,
+        bulkheads: "BulkheadRegistry | int | None" = None,
     ) -> None:
         if not name or not name.isidentifier():
             raise MediatorError(f"invalid mediator name {name!r}")
@@ -226,8 +267,9 @@ class Mediator(Source):
             else bool(deadline_slicing)
         )
         self.last_warnings: list[SourceWarning] = []
-        self._warning_depth = 0
-        self._operation_contexts: list[ExecutionContext] = []
+        # one _Operation per thread: concurrent queries on a shared
+        # mediator never see each other's warnings or governor
+        self._ops = threading.local()
 
         self.budget = budget
         self.budget_mode = budget_mode
@@ -253,14 +295,49 @@ class Mediator(Source):
                     else None
                 ),
             )
+        # overload resilience: admission control in front of query(),
+        # per-source bulkheads under the dispatcher, brownout between
+        self.admission: AdmissionController | None = None
+        if admission:
+            if isinstance(admission, AdmissionController):
+                self.admission = admission
+            else:
+                try:
+                    config = (
+                        admission
+                        if isinstance(admission, AdmissionConfig)
+                        else AdmissionConfig()
+                    )
+                    self.admission = AdmissionController(
+                        config, clock=self._governor_clock()
+                    )
+                except ValueError as exc:
+                    raise MediatorError(str(exc)) from exc
+        if bulkheads is not None and not isinstance(
+            bulkheads, BulkheadRegistry
+        ):
+            try:
+                bulkheads = BulkheadRegistry(max_per_source=bulkheads)
+            except (TypeError, ValueError) as exc:
+                raise MediatorError(str(exc)) from exc
         try:
             self.dispatcher = SourceDispatcher(
-                parallelism=parallelism, cache=cache, hedging=self.hedging
+                parallelism=parallelism,
+                cache=cache,
+                hedging=self.hedging,
+                bulkheads=bulkheads,
             )
         except ValueError as exc:
             raise MediatorError(str(exc)) from exc
         self.parallelism = parallelism
         self.cache = cache
+        brownout = (
+            self.admission.brownout if self.admission is not None else None
+        )
+        if brownout is not None and self.hedging is not None:
+            # brownout rung 1: hedging off under pressure, back when calm
+            self.dispatcher.hedge_gate = lambda: brownout.allows("hedging")
+        self._closed = False
 
         # telemetry: pass a configured Telemetry, or True for an
         # enabled default; anything else leaves a disabled facade whose
@@ -283,15 +360,10 @@ class Mediator(Source):
             self.telemetry.bind_compile_cache(self._compile_cache)
         if self.resilience is not None:
             self.telemetry.bind_resilience(self.resilience)
+        if self.admission is not None:
+            self.telemetry.bind_admission(self.admission)
         if self.telemetry.enabled:
             self.profiler.bind_metrics(self.telemetry.metrics)
-        # one top-level operation at a time: a mediator is itself a
-        # Source, and under parallel execution several worker threads
-        # of a *parent* mediator may query one stacked sub-mediator
-        # concurrently — its engine state (last_context, last_warnings,
-        # governor) is per-operation, so operations serialize.  RLock:
-        # materialization paths re-enter via export().
-        self._query_lock = threading.RLock()
 
         self.is_recursive = any(
             condition.source == name
@@ -308,10 +380,47 @@ class Mediator(Source):
 
     # -- the Source interface --------------------------------------------
 
-    def answer(self, query: str | Rule) -> list[OEMObject]:
-        """Answer an MSL query against this mediator's view."""
+    def answer(
+        self,
+        query: str | Rule,
+        *,
+        tenant: str | None = None,
+        priority: int = 0,
+    ) -> list[OEMObject]:
+        """Answer an MSL query against this mediator's view.
+
+        With an admission controller configured the call first clears
+        the gate: it may queue (the wait is charged against the query's
+        deadline budget) or be shed with a structured
+        :class:`~repro.serving.QueryRejected`.  ``tenant`` attributes
+        the query to a quota; higher ``priority`` admits first.
+        """
+        objects, _ = self._run_query(query, tenant, priority)
+        return objects
+
+    def query(
+        self,
+        query: str | Rule,
+        *,
+        tenant: str | None = None,
+        priority: int = 0,
+    ) -> ResultSet:
+        """Like :meth:`answer`, materialized as a :class:`ResultSet`.
+
+        The result set carries any :class:`SourceWarning`\\ s produced
+        in ``degrade`` mode, so callers can tell a complete answer from
+        a partial one.
+        """
+        objects, op_warnings = self._run_query(query, tenant, priority)
+        return ResultSet(objects, warnings=op_warnings)
+
+    def _run_query(
+        self, query: str | Rule, tenant: str | None, priority: int
+    ) -> tuple[list[OEMObject], list[SourceWarning]]:
         query = self._parse_query(query)
-        with self._query_lock, self._warning_scope(str(query)):
+        with self._admitted(tenant, priority), self._warning_scope(
+            str(query)
+        ) as op:
             if (
                 self.is_recursive
                 or _query_uses_wildcards(query, self.name)
@@ -323,36 +432,28 @@ class Mediator(Source):
                     "view-expansion", self.name
                 ) as span:
                     program = self.expander.expand(query)
-                    self.last_program = program
+                    op.program = program
                     plan = self.optimizer.plan_program(program)
                     span.set_attribute("rules", len(program))
                 context = self._context()
                 objects = self.engine.execute_to_objects(plan, context)
-                self.last_context = context
+                op.context = context
                 if has_semantic_oids(objects):
                     objects = fuse_objects(objects)
-            if self.last_governor is not None:
+            if op.governor is not None:
                 # final guard: covers the materialization paths, which
                 # never run a constructor node
-                objects = self.last_governor.enforce_result_limit(objects)
+                objects = op.governor.enforce_result_limit(objects)
             root = current_span()
             if root is not None:
                 root.set_attribute("result_objects", len(objects))
-            return objects
-
-    def query(self, query: str | Rule) -> ResultSet:
-        """Like :meth:`answer`, materialized as a :class:`ResultSet`.
-
-        The result set carries any :class:`SourceWarning`\\ s produced
-        in ``degrade`` mode, so callers can tell a complete answer from
-        a partial one.
-        """
-        objects = self.answer(query)
-        return ResultSet(objects, warnings=self.last_warnings)
+            return objects, list(op.warnings)
 
     def export(self) -> Sequence[OEMObject]:
         """Materialize the whole view (all rules, no conditions)."""
-        with self._query_lock, self._warning_scope(f"export {self.name}"):
+        with self._admitted(None, 0), self._warning_scope(
+            f"export {self.name}"
+        ) as op:
             if self.is_recursive:
                 results = self._fixpoint_materialize()
             else:
@@ -363,15 +464,90 @@ class Mediator(Source):
                     results.extend(
                         self.engine.execute_to_objects(plan, context)
                     )
-                self.last_context = context
+                op.context = context
                 results = eliminate_duplicates(results)
                 if has_semantic_oids(results):
                     results = fuse_objects(results)
-            if self.last_governor is not None:
-                results = self.last_governor.enforce_result_limit(
-                    list(results)
-                )
+            if op.governor is not None:
+                results = op.governor.enforce_result_limit(list(results))
             return results
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the mediator down deterministically (idempotent).
+
+        New operations are rejected (``MediatorError``, or a
+        ``QueryRejected`` with reason ``closed`` when admission is on),
+        queued waiters are shed, and the dispatcher's worker pool and
+        hedge pools are stopped — no thread outlives the mediator.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.admission is not None:
+            self.admission.close()
+        self.dispatcher.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Mediator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- per-operation state -----------------------------------------------
+
+    def _op(self) -> _Operation | None:
+        """This thread's active operation (None between operations)."""
+        return getattr(self._ops, "current", None)
+
+    @property
+    def _active_warnings(self) -> list[SourceWarning]:
+        op = self._op()
+        return op.warnings if op is not None else self.last_warnings
+
+    @property
+    def _active_governor(self) -> QueryGovernor | None:
+        op = self._op()
+        return op.governor if op is not None else self.last_governor
+
+    @contextlib.contextmanager
+    def _admitted(
+        self, tenant: str | None, priority: int
+    ) -> Iterator[None]:
+        """Clear the admission gate for one *top-level* operation.
+
+        Nested entries (materialization re-entering :meth:`export`, a
+        parent mediator's worker querying this stacked one inside an
+        operation it already holds a slot for) pass straight through —
+        re-admitting them could deadlock against their own slot.
+        """
+        admission = self.admission
+        if self._closed and admission is None:
+            raise MediatorError(f"mediator {self.name!r} is closed")
+        if admission is None or self._op() is not None:
+            # a closed admission controller sheds with a structured
+            # QueryRejected(reason="closed") below instead
+            yield
+            return
+        deadline = self.budget.deadline if self.budget is not None else None
+        ticket = admission.admit(
+            tenant=tenant, priority=priority, deadline=deadline
+        )
+        self._ops.pending_wait = ticket.waited
+        ok = True
+        try:
+            yield
+        except BaseException:
+            ok = False
+            raise
+        finally:
+            self._ops.pending_wait = 0.0
+            ticket.complete(ok)
 
     # -- query admission ---------------------------------------------------
 
@@ -432,6 +608,8 @@ class Mediator(Source):
             text += "\n\n-- governor --\n" + governor.describe()
         if self.dispatcher.active:
             text += "\n\n-- execution --\n" + self.dispatcher.describe()
+        if self.admission is not None:
+            text += "\n\n-- serving --\n" + self.admission.describe()
         lines = [
             f"compile: {'on' if self._compile_cache is not None else 'off'}"
         ]
@@ -461,6 +639,11 @@ class Mediator(Source):
           counters, plus compile cache statistics when the compiled
           backend is on (empty before any query executed).
 
+        Admission-gated mediators carry a fourth key, ``"serving"`` —
+        the admission controller's counters (submitted / admitted /
+        completed / shed by reason), queue depth, concurrency limit,
+        and brownout state.
+
         The pre-namespacing shape (source names at top level, reserved
         ``"_execution"`` / ``"_profile"`` keys) still answers under
         subscript access, with a :class:`DeprecationWarning`.
@@ -480,6 +663,10 @@ class Mediator(Source):
             if self._compile_cache is not None:
                 profile["compile"] = self._compile_cache.stats()
             snapshot["profile"] = profile
+        if self.admission is not None:
+            # the key appears only on admission-gated mediators, so the
+            # historical three-key shape is otherwise unchanged
+            snapshot["serving"] = self.admission.snapshot()
         return snapshot
 
     def metrics_text(self) -> str:
@@ -492,58 +679,80 @@ class Mediator(Source):
         return self.telemetry.metrics_text()
 
     @contextlib.contextmanager
-    def _warning_scope(self, operation: str = "operation") -> Iterator[None]:
-        """Collect warnings across one top-level operation.
+    def _warning_scope(
+        self, operation: str = "operation"
+    ) -> Iterator[_Operation]:
+        """Run one top-level operation in its own :class:`_Operation`.
 
         Nested entries (materialization calling :meth:`export`) share
-        the outermost scope's list, so ``last_warnings`` reflects the
-        whole user-visible call.  The scope also owns the run's
-        :class:`QueryGovernor`: one governor (budget counters, deadline
-        clock, cancellation token) spans the whole user-visible call,
-        nested materialization included — and, when telemetry is on,
-        the run's root ``query`` span: opened here at depth 0, current
-        for the whole call (so every span underneath parents into one
-        tree), closed with the operation's terminal status (``ok``,
-        ``degraded`` when warnings were collected, ``cancelled``,
-        ``error``) and rolled into the metrics registry.
+        the outermost operation's warning list and governor, so the
+        published ``last_warnings`` reflects the whole user-visible
+        call.  The operation owns the run's :class:`QueryGovernor`: one
+        governor (budget counters, deadline clock, cancellation token)
+        spans the whole user-visible call, nested materialization
+        included — and, when telemetry is on, the run's root ``query``
+        span: opened here at depth 0, current for the whole call (so
+        every span underneath parents into one tree), closed with the
+        operation's terminal status (``ok``, ``degraded`` when warnings
+        were collected, ``cancelled``, ``error``) and rolled into the
+        metrics registry.
+
+        Operations live in a ``threading.local``, so concurrent calls
+        on a shared mediator are fully independent; the ``last_*``
+        introspection attributes are published when each operation
+        finishes, last writer wins.
         """
-        if self._warning_depth != 0:
-            self._warning_depth += 1
+        outer = self._op()
+        if outer is not None:
+            outer.depth += 1
             try:
-                yield
+                yield outer
             finally:
-                self._warning_depth -= 1
+                outer.depth -= 1
             return
-        self.last_warnings = []
-        self.last_governor = self._make_governor(self.last_warnings)
-        if self.last_governor is not None:
-            self.last_governor.start()
-        self._operation_contexts = []
+        waited = getattr(self._ops, "pending_wait", 0.0)
+        op = _Operation(admission_wait=waited)
+        op.governor = self._make_governor(op.warnings, waited)
+        if op.governor is not None:
+            op.governor.start()
+        self._ops.current = op
         tracer = self.telemetry.tracer
         root = tracer.start_query(operation)
-        self._warning_depth += 1
+        if waited:
+            root.set_attribute("admission_wait_ms", round(waited * 1e3, 3))
+        brownout = (
+            self.admission.brownout if self.admission is not None else None
+        )
+        if brownout is not None and brownout.active:
+            root.set_attribute("brownout_level", brownout.level)
         status = "ok"
         try:
             with tracer.use(root):
-                yield
+                yield op
         except BaseException as exc:
             status = status_of_exception(exc)
             raise
         finally:
-            self._warning_depth -= 1
-            if status == "ok" and self.last_warnings:
+            self._ops.current = None
+            if status == "ok" and op.warnings:
                 status = "degraded"
-            root.set_attribute("warnings", len(self.last_warnings))
+            root.set_attribute("warnings", len(op.warnings))
             tracer.finish_span(root, status=status)
-            for context in self._operation_contexts:
+            for context in op.contexts:
                 context.flush_telemetry()
-            self._operation_contexts = []
             self.telemetry.record_operation(
                 status,
                 root.duration,
-                self.last_warnings,
-                self.last_governor,
+                op.warnings,
+                op.governor,
             )
+            # publish for introspection (compat): last writer wins
+            self.last_warnings = op.warnings
+            self.last_governor = op.governor
+            if op.program is not None:
+                self.last_program = op.program
+            if op.context is not None:
+                self.last_context = op.context
 
     def _governor_clock(self) -> Clock:
         """The governor reads time where the reliability layer does."""
@@ -551,11 +760,18 @@ class Mediator(Source):
             return self.resilience.clock
         return self._clock
 
-    def _make_governor(self, warnings: list) -> QueryGovernor | None:
+    def _make_governor(
+        self, warnings: list, waited: float = 0.0
+    ) -> QueryGovernor | None:
         """A fresh per-run governor, or ``None`` when ungoverned.
 
         Re-evaluated at every run so budgets (and the resilience
-        manager's clock) can be swapped on a live mediator.
+        manager's clock) can be swapped on a live mediator.  Time spent
+        queued at the admission gate (``waited``) is charged against
+        the deadline: the user's budget bounds end-to-end latency, not
+        just execution.  Under deep brownout (``strict-budgets`` shed)
+        strict budgets run in truncate mode, clipping answers instead
+        of aborting queries that already consumed resources.
         """
         budget = self.budget
         if (
@@ -564,6 +780,17 @@ class Mediator(Source):
             and self.on_malformed_answer != "quarantine"
         ):
             return None
+        if budget is not None and budget.deadline is not None and waited > 0:
+            budget = dataclasses.replace(
+                budget,
+                deadline=max(budget.deadline - waited, _MIN_DEADLINE),
+            )
+        mode = self.budget_mode
+        brownout = (
+            self.admission.brownout if self.admission is not None else None
+        )
+        if brownout is not None and not brownout.allows("strict-budgets"):
+            mode = "truncate"
         sanitizer = None
         shaped = budget is not None and (
             budget.max_depth is not None
@@ -587,7 +814,7 @@ class Mediator(Source):
             )
         return QueryGovernor(
             budget=budget,
-            mode=self.budget_mode,
+            mode=mode,
             clock=self._governor_clock(),
             token=self.cancellation,
             warnings=warnings,
@@ -595,6 +822,10 @@ class Mediator(Source):
         )
 
     def _context(self) -> ExecutionContext:
+        governor = self._active_governor
+        brownout = (
+            self.admission.brownout if self.admission is not None else None
+        )
         # head-based sampling: under an unsampled root the engine gets
         # no tracer at all (the whole span path vanishes); metrics stay
         # on — sampling governs traces, never counters
@@ -603,14 +834,18 @@ class Mediator(Source):
             root = current_span()
             if root is not None and not root.sampled:
                 tracer = None
+        if tracer is not None and brownout is not None:
+            # brownout rung 2: spans are pure observability
+            if not brownout.allows("tracing"):
+                tracer = None
         slicer = None
         if (
             self.deadline_slicing
-            and self.last_governor is not None
-            and self.last_governor.budget.deadline is not None
+            and governor is not None
+            and governor.budget.deadline is not None
         ):
             slicer = DeadlineSlicer(
-                self.last_governor,
+                governor,
                 adaptive=(
                     self.resilience.adaptive
                     if self.resilience is not None
@@ -625,8 +860,8 @@ class Mediator(Source):
             trace=[] if self.engine.trace_enabled else None,
             resilience=self.resilience,
             on_source_failure=self.on_source_failure,
-            warnings=self.last_warnings,
-            governor=self.last_governor,
+            warnings=self._active_warnings,
+            governor=governor,
             dispatcher=(
                 self.dispatcher if self.dispatcher.active else None
             ),
@@ -637,10 +872,15 @@ class Mediator(Source):
                 self.telemetry if self.telemetry.enabled else None
             ),
             slicer=slicer,
+            force_sequential=(
+                brownout is not None
+                and not brownout.allows("parallelism")
+            ),
         )
-        if context.telemetry is not None:
+        op = self._op()
+        if context.telemetry is not None and op is not None:
             # flushed (once per run) at the end of the warning scope
-            self._operation_contexts.append(context)
+            op.contexts.append(context)
         return context
 
     def _export_source(self, name: str) -> Sequence[OEMObject]:
@@ -650,7 +890,7 @@ class Mediator(Source):
         mode an unavailable source contributes an empty forest plus a
         warning, mirroring :meth:`ExecutionContext.send_query`.
         """
-        governor = self.last_governor
+        governor = self._active_governor
         if governor is not None and not governor.allow_source_call(name):
             return []
         source = self.sources.resolve(name)
@@ -665,7 +905,7 @@ class Mediator(Source):
                 result = list(source.export())
                 if governor is not None:
                     result = governor.sanitize_answer(
-                        name, result, sink=self.last_warnings
+                        name, result, sink=self._active_warnings
                     )
                 span.set_attribute("objects", len(result))
             self.telemetry.record_source_call(name, len(result))
@@ -678,7 +918,7 @@ class Mediator(Source):
                 if self.resilience is not None
                 else 1
             )
-            self.last_warnings.append(
+            self._active_warnings.append(
                 SourceWarning(
                     source=name,
                     message=str(exc),
@@ -742,13 +982,14 @@ class Mediator(Source):
 
         view: list[OEMObject] = []
         seen_keys: set = set()
+        governor = self._active_governor
         for _ in range(self.max_fixpoint_iterations):
-            if self.last_governor is not None:
+            if governor is not None:
                 # each fixpoint round is a cooperative checkpoint: an
                 # expired deadline or cancelled token stops a recursive
                 # view from iterating forever within its budget
-                self.last_governor.checkpoint()
-                if self.last_governor.expired:
+                governor.checkpoint()
+                if governor.expired:
                     return view
             forests = dict(base_forests)
             forests[self.name] = view

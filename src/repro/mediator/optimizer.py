@@ -180,11 +180,17 @@ class CostBasedOptimizer:
     # -- join ordering -----------------------------------------------------
 
     def _order_patterns(
-        self, patterns: list[PatternCondition]
+        self,
+        patterns: list[PatternCondition],
+        strategy: str | None = None,
     ) -> list[PatternCondition]:
-        if self.strategy == "exhaustive":
+        # strategy is threaded as a parameter (instead of temporarily
+        # mutating self.strategy) so concurrent queries sharing this
+        # optimizer never observe each other's fallback
+        strategy = self.strategy if strategy is None else strategy
+        if strategy == "exhaustive":
             return self._best_order_by_cost(patterns)
-        if self.strategy == "statistics":
+        if strategy == "statistics":
             scored = [
                 _PendingPattern(
                     p,
@@ -219,11 +225,7 @@ class CostBasedOptimizer:
         import itertools as _it
 
         if len(patterns) > 7:
-            saved, self.strategy = self.strategy, "heuristic"
-            try:
-                return self._order_patterns(patterns)
-            finally:
-                self.strategy = saved
+            return self._order_patterns(patterns, "heuristic")
 
         selectivity = self.statistics.selectivity
         estimates = [

@@ -17,6 +17,7 @@ is small.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.msl.ast import Const, Pattern, PatternItem, SetPattern, VarItem
@@ -58,6 +59,11 @@ class SourceStatistics:
     _value_stats: dict[tuple[str, str, str, object], _LabelStats] = field(
         default_factory=dict
     )
+    # concurrent queries feed observations from engine threads; EMA
+    # updates are read-modify-write, so guard every mutation
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     # -- feedback -----------------------------------------------------------
 
@@ -73,13 +79,15 @@ class SourceStatistics:
         conditions = count_constant_conditions(pattern)
         discount = self.selectivity**conditions
         base_estimate = count / discount if discount > 0 else count
-        entry = self._stats.setdefault((source, label), _LabelStats())
-        entry.observe(int(base_estimate))
+        with self._lock:
+            entry = self._stats.setdefault((source, label), _LabelStats())
+            entry.observe(int(base_estimate))
 
     def record_label(self, source: str, label: str, count: int) -> None:
         """Direct observation of a label's cardinality (sampling)."""
-        entry = self._stats.setdefault((source, label), _LabelStats())
-        entry.observe(count)
+        with self._lock:
+            entry = self._stats.setdefault((source, label), _LabelStats())
+            entry.observe(count)
 
     def sample_source(self, source: "object", limit: int | None = None) -> int:
         """Probe a source's export and record per-label cardinalities
@@ -117,11 +125,12 @@ class SourceStatistics:
                     ] += 1
         for label, count in counts.items():
             self.record_label(name, label, int(count * scale))
-        for (label, child, value), count in value_counts.items():
-            entry = self._value_stats.setdefault(
-                (name, label, child, value), _LabelStats()
-            )
-            entry.observe(int(count * scale))
+        with self._lock:
+            for (label, child, value), count in value_counts.items():
+                entry = self._value_stats.setdefault(
+                    (name, label, child, value), _LabelStats()
+                )
+                entry.observe(int(count * scale))
         return len(examined)
 
     def value_selectivity(
@@ -182,8 +191,9 @@ class SourceStatistics:
         return entry is not None and entry.observations > 0
 
     def clear(self) -> None:
-        self._stats.clear()
-        self._value_stats.clear()
+        with self._lock:
+            self._stats.clear()
+            self._value_stats.clear()
 
 
 def constant_child_conditions(

@@ -247,6 +247,71 @@ class Telemetry:
         if self.enabled:
             manager.health.bind_metrics(self.metrics)
 
+    def bind_admission(self, controller) -> None:
+        """Absorb admission-gate counters and the brownout level.
+
+        ``controller`` is a
+        :class:`~repro.serving.admission.AdmissionController`; the type
+        stays untyped here to keep :mod:`repro.obs` import-light.
+        """
+
+        def collect():
+            snapshot = controller.snapshot()
+            samples = [
+                Sample(
+                    "repro_admission_submitted_total", "counter",
+                    snapshot["submitted"],
+                    help="Queries that reached the admission gate.",
+                ),
+                Sample(
+                    "repro_admission_admitted_total", "counter",
+                    snapshot["admitted"],
+                    help="Queries granted an execution slot.",
+                ),
+                Sample(
+                    "repro_admission_completed_total", "counter",
+                    snapshot["completed"],
+                    help="Admitted queries that finished (ok or not).",
+                ),
+                Sample(
+                    "repro_admission_queue_depth", "gauge",
+                    snapshot["queue_depth"],
+                    help="Queries currently waiting for a slot.",
+                ),
+                Sample(
+                    "repro_admission_inflight", "gauge",
+                    snapshot["inflight"],
+                    help="Queries currently executing.",
+                ),
+                Sample(
+                    "repro_admission_concurrency_limit", "gauge",
+                    snapshot["limit"],
+                    help="Current adaptive in-flight ceiling.",
+                ),
+            ]
+            for reason, count in sorted(snapshot["rejected"].items()):
+                samples.append(
+                    Sample(
+                        "repro_admission_rejected_total", "counter",
+                        count,
+                        labels=(("reason", reason),),
+                        help="Queries shed at the gate, by reason.",
+                    )
+                )
+            brownout = snapshot.get("brownout")
+            if brownout is not None:
+                samples.append(
+                    Sample(
+                        "repro_brownout_level", "gauge",
+                        brownout["level"],
+                        help="Brownout rung: 0 full service,"
+                        " N first N ladder features shed.",
+                    )
+                )
+            return samples
+
+        self.metrics.register_collector(collect)
+
     # -- per-operation recording ------------------------------------------
 
     def record_operation(

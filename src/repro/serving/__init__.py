@@ -1,0 +1,49 @@
+"""Overload resilience for concurrent multi-query serving.
+
+This package is the layer between "one query is resilient" (retries,
+budgets, deadlines, hedging — :mod:`repro.reliability`,
+:mod:`repro.governor`) and "the *system* is resilient when hundreds of
+queries arrive at once":
+
+* :class:`AdmissionController` — bounded wait queue, per-tenant and
+  priority quotas, deadline-aware shedding with structured
+  :class:`QueryRejected`;
+* :class:`AdaptiveConcurrencyLimiter` — AIMD in-flight limit driven by
+  observed service latency;
+* :class:`BulkheadRegistry` — per-source in-flight caps so one slow
+  source cannot starve every other source's stages;
+* :class:`BrownoutController` — hysteretic ladder shedding optional
+  work (hedging, tracing, parallelism, strict budgets) under queue
+  pressure and restoring it when load recedes.
+
+Wire-up lives in :class:`repro.mediator.Mediator` via the
+``admission=`` and ``bulkheads=`` keyword arguments.
+"""
+
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionTicket,
+    QueryRejected,
+)
+from repro.serving.brownout import (
+    DEFAULT_LADDER,
+    BrownoutConfig,
+    BrownoutController,
+)
+from repro.serving.bulkhead import BulkheadRegistry, BulkheadSaturated
+from repro.serving.limiter import AdaptiveConcurrencyLimiter, FixedLimiter
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionTicket",
+    "QueryRejected",
+    "AdaptiveConcurrencyLimiter",
+    "FixedLimiter",
+    "BrownoutConfig",
+    "BrownoutController",
+    "DEFAULT_LADDER",
+    "BulkheadRegistry",
+    "BulkheadSaturated",
+]

@@ -1,0 +1,510 @@
+"""Admission control: the gate in front of ``Mediator.query()``.
+
+A mediator shared by many concurrent callers needs three protections
+before it can front real traffic:
+
+* a **bounded in-flight limit** — at most ``limit`` queries execute at
+  once, where ``limit`` is adjusted by the
+  :class:`~repro.serving.limiter.AdaptiveConcurrencyLimiter` (AIMD on
+  observed service latency) between ``min_concurrent`` and
+  ``max_concurrent``;
+* a **bounded wait queue** — up to ``max_queue_depth`` queries wait for
+  a slot, highest priority first (FIFO within a priority); everything
+  beyond that is *shed immediately* with a structured
+  :class:`QueryRejected` carrying the queue depth and a retry-after
+  hint, instead of timing out invisibly inside the engine;
+* **deadline-aware rejection** — a query whose own wall-clock budget
+  cannot clear the *predicted* queue wait (queue position x EWMA
+  service time / limit) is shed at arrival: it would only have burned
+  a slot to miss its deadline anyway.  The wait a query actually spends
+  queued is charged against its budget by the mediator, so "admitted"
+  means "can still finish in time".
+
+Per-tenant quotas bound how much of the mediator one tenant may occupy
+(in-flight + queued), so a single noisy tenant cannot crowd out the
+rest.  Every shed and every completion feeds the attached
+:class:`~repro.serving.brownout.BrownoutController` a pressure sample,
+so optional work is shed *before* queries are.
+
+Accounting invariant (asserted by the chaos harness): once no query is
+in flight or queued, ``submitted == admitted + rejected`` and
+``admitted == completed``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.reliability.clock import Clock, MonotonicClock
+from repro.serving.brownout import BrownoutConfig, BrownoutController
+from repro.serving.limiter import AdaptiveConcurrencyLimiter, FixedLimiter
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionTicket",
+    "QueryRejected",
+]
+
+#: Weight of the newest completion in the service-time moving average.
+_SERVICE_ALPHA = 0.3
+
+#: Rejection reasons (the ``reason`` field of :class:`QueryRejected`).
+REASONS = ("queue_full", "deadline", "tenant", "timeout", "closed")
+
+
+class QueryRejected(RuntimeError):
+    """The admission controller shed this query instead of running it.
+
+    Structured for programmatic backpressure: ``reason`` is one of
+    ``queue_full`` / ``deadline`` / ``tenant`` / ``timeout`` /
+    ``closed``, ``queue_depth`` is the wait-queue length observed at
+    rejection, and ``retry_after`` (seconds, possibly ``None``) is the
+    controller's estimate of when capacity frees up — the value an
+    HTTP front end would put in a ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        message: str,
+        queue_depth: int = 0,
+        retry_after: float | None = None,
+        tenant: str | None = None,
+        priority: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.retry_after = retry_after
+        self.tenant = tenant
+        self.priority = priority
+
+    def render(self) -> str:
+        hint = (
+            f"; retry after ~{self.retry_after:.3f}s"
+            if self.retry_after is not None
+            else ""
+        )
+        return f"rejected ({self.reason}): {self} [queue={self.queue_depth}{hint}]"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Shape of the admission gate.
+
+    * ``max_concurrent`` — ceiling on concurrently executing queries
+      (the adaptive limiter moves below it, never above);
+    * ``max_queue_depth`` — queries allowed to wait for a slot (0 =
+      admit-or-shed, no queueing);
+    * ``queue_timeout`` — longest any query may wait before it is shed
+      (None = bounded only by its own deadline);
+    * ``tenant_quota`` — default per-tenant cap on in-flight + queued
+      queries (None = no per-tenant limit);
+    * ``tenant_quotas`` — per-tenant overrides of ``tenant_quota``;
+    * ``adaptive`` — AIMD the in-flight limit between
+      ``min_concurrent`` and ``max_concurrent`` (False pins it);
+    * ``target_latency`` — explicit service-time target for the
+      limiter (None derives one from the observed baseline);
+    * ``brownout`` — attach a brownout ladder shedding optional work
+      under queue pressure (see :mod:`repro.serving.brownout`).
+    """
+
+    max_concurrent: int = 8
+    max_queue_depth: int = 32
+    queue_timeout: float | None = None
+    tenant_quota: int | None = None
+    tenant_quotas: Mapping[str, int] = field(default_factory=dict)
+    adaptive: bool = True
+    min_concurrent: int = 1
+    target_latency: float | None = None
+    brownout: bool | BrownoutConfig = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_concurrent, int) or self.max_concurrent < 1:
+            raise ValueError(
+                "max_concurrent must be a positive integer,"
+                f" got {self.max_concurrent!r}"
+            )
+        if not isinstance(self.max_queue_depth, int) or self.max_queue_depth < 0:
+            raise ValueError(
+                "max_queue_depth must be a non-negative integer,"
+                f" got {self.max_queue_depth!r}"
+            )
+        if self.queue_timeout is not None and self.queue_timeout <= 0:
+            raise ValueError(
+                f"queue_timeout must be positive, got {self.queue_timeout!r}"
+            )
+        if not isinstance(self.min_concurrent, int) or self.min_concurrent < 1:
+            raise ValueError(
+                "min_concurrent must be a positive integer,"
+                f" got {self.min_concurrent!r}"
+            )
+        if self.min_concurrent > self.max_concurrent:
+            raise ValueError(
+                f"min_concurrent {self.min_concurrent} above"
+                f" max_concurrent {self.max_concurrent}"
+            )
+        quotas = dict(self.tenant_quotas)
+        for tenant, quota in [("*", self.tenant_quota)] + list(quotas.items()):
+            if quota is not None and (not isinstance(quota, int) or quota < 1):
+                raise ValueError(
+                    f"tenant quota for {tenant!r} must be a positive"
+                    f" integer, got {quota!r}"
+                )
+        if self.target_latency is not None and self.target_latency <= 0:
+            raise ValueError(
+                f"target_latency must be positive,"
+                f" got {self.target_latency!r}"
+            )
+
+
+class _Waiter:
+    __slots__ = ("priority", "tenant", "event", "admitted", "abandoned",
+                 "enqueued")
+
+    def __init__(self, priority: int, tenant: str | None, enqueued: float):
+        self.priority = priority
+        self.tenant = tenant
+        self.event = threading.Event()
+        self.admitted = False
+        self.abandoned = False
+        self.enqueued = enqueued
+
+
+class AdmissionTicket:
+    """Proof of admission; ``complete()`` returns the slot.
+
+    ``waited`` is the queue time in seconds (0 for immediate
+    admission) — the mediator charges it against the query's deadline
+    budget so end-to-end latency, not just execution, honors the
+    budget.
+    """
+
+    __slots__ = ("_controller", "tenant", "priority", "waited", "started",
+                 "_done")
+
+    def __init__(
+        self,
+        controller: "AdmissionController",
+        tenant: str | None,
+        priority: int,
+        waited: float,
+        started: float,
+    ) -> None:
+        self._controller = controller
+        self.tenant = tenant
+        self.priority = priority
+        self.waited = waited
+        self.started = started
+        self._done = False
+
+    def complete(self, ok: bool = True) -> None:
+        """Release the slot (idempotent); feeds the limiter."""
+        if self._done:
+            return
+        self._done = True
+        self._controller._complete(self, ok)
+
+
+class AdmissionController:
+    """The concurrency gate: bounded queue, quotas, adaptive limit."""
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self.clock = clock or MonotonicClock()
+        config = self.config
+        if config.adaptive and config.max_concurrent > config.min_concurrent:
+            self.limiter = AdaptiveConcurrencyLimiter(
+                initial=config.max_concurrent,
+                min_limit=config.min_concurrent,
+                max_limit=config.max_concurrent,
+                target_latency=config.target_latency,
+                clock=self.clock,
+            )
+        else:
+            self.limiter = FixedLimiter(config.max_concurrent)
+        self.brownout: BrownoutController | None = None
+        if config.brownout:
+            self.brownout = BrownoutController(
+                config.brownout
+                if isinstance(config.brownout, BrownoutConfig)
+                else None,
+                clock=self.clock,
+            )
+        self._lock = threading.Lock()
+        self._queue: list[tuple[int, int, _Waiter]] = []
+        self._ticket_seq = itertools.count()
+        self._inflight = 0
+        self._tenant_load: dict[str | None, int] = {}
+        self._service_ewma: float | None = None
+        self._closed = False
+        # counters (all under _lock)
+        self.submitted = 0
+        self.admitted = 0
+        self.completed = 0
+        self.rejected: dict[str, int] = {}
+        self.queue_wait_total = 0.0
+        self.queue_peak = 0
+
+    # -- the gate ----------------------------------------------------------
+
+    def admit(
+        self,
+        tenant: str | None = None,
+        priority: int = 0,
+        deadline: float | None = None,
+    ) -> AdmissionTicket:
+        """Block until a slot frees, or shed with :class:`QueryRejected`.
+
+        ``deadline`` is the query's remaining wall-clock budget in
+        seconds (None = unbounded): arrivals whose predicted queue wait
+        exceeds it are shed immediately, and a queued query that
+        reaches it is shed with reason ``timeout``.
+        """
+        now = self.clock.now()
+        with self._lock:
+            self.submitted += 1
+            if self._closed:
+                self._shed_locked("closed", tenant, priority,
+                                  "mediator is closed")
+            quota = self.config.tenant_quotas.get(
+                tenant, self.config.tenant_quota
+            ) if tenant is not None else self.config.tenant_quota
+            if tenant is not None or self.config.tenant_quota is not None:
+                load = self._tenant_load.get(tenant, 0)
+                if quota is not None and load >= quota:
+                    self._shed_locked(
+                        "tenant", tenant, priority,
+                        f"tenant {tenant!r} already has {load} quer(ies)"
+                        f" in flight or queued (quota {quota})",
+                        retry_after=self._service_ewma,
+                    )
+            limit = self.limiter.limit
+            if self._inflight < limit and not self._queue:
+                self._inflight += 1
+                self._tenant_load[tenant] = (
+                    self._tenant_load.get(tenant, 0) + 1
+                )
+                self.admitted += 1
+                self._observe_pressure_locked()
+                return AdmissionTicket(self, tenant, priority, 0.0, now)
+            depth = self._queue_depth_locked()
+            if depth >= self.config.max_queue_depth:
+                self._shed_locked(
+                    "queue_full", tenant, priority,
+                    f"wait queue full ({depth} queued,"
+                    f" {self._inflight} in flight)",
+                    retry_after=self._predicted_wait_locked(depth),
+                )
+            predicted = self._predicted_wait_locked(depth)
+            if deadline is not None and predicted > deadline:
+                self._shed_locked(
+                    "deadline", tenant, priority,
+                    f"predicted queue wait {predicted:.3f}s exceeds the"
+                    f" remaining deadline budget {deadline:.3f}s",
+                    retry_after=predicted,
+                )
+            waiter = _Waiter(priority, tenant, now)
+            heapq.heappush(
+                self._queue, (-priority, next(self._ticket_seq), waiter)
+            )
+            self._tenant_load[tenant] = self._tenant_load.get(tenant, 0) + 1
+            self.queue_peak = max(self.queue_peak, depth + 1)
+            self._observe_pressure_locked()
+        timeout = self.config.queue_timeout
+        if deadline is not None:
+            timeout = deadline if timeout is None else min(timeout, deadline)
+        woken = waiter.event.wait(timeout)
+        with self._lock:
+            if waiter.admitted:
+                waited = self.clock.now() - waiter.enqueued
+                self.admitted += 1
+                self.queue_wait_total += waited
+                self._observe_pressure_locked()
+                return AdmissionTicket(
+                    self, tenant, priority, waited, waiter.enqueued
+                )
+            # timed out (or closed): leave the heap entry to be
+            # skipped lazily, give the tenant slot back, and shed
+            waiter.abandoned = True
+            self._tenant_load[tenant] = self._tenant_load.get(tenant, 1) - 1
+            if self._closed and not woken:
+                reason, note = "closed", "mediator closed while queued"
+            elif self._closed:
+                reason, note = "closed", "mediator closed while queued"
+            else:
+                reason, note = "timeout", (
+                    f"queued {self.clock.now() - waiter.enqueued:.3f}s"
+                    " without a free slot"
+                )
+            self._shed_locked(
+                reason, tenant, priority, note,
+                retry_after=self._service_ewma,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _complete(self, ticket: AdmissionTicket, ok: bool) -> None:
+        duration = self.clock.now() - ticket.started - ticket.waited
+        with self._lock:
+            self._inflight -= 1
+            self.completed += 1
+            load = self._tenant_load.get(ticket.tenant, 1) - 1
+            if load <= 0:
+                self._tenant_load.pop(ticket.tenant, None)
+            else:
+                self._tenant_load[ticket.tenant] = load
+            if duration >= 0.0:
+                if self._service_ewma is None:
+                    self._service_ewma = duration
+                else:
+                    self._service_ewma += _SERVICE_ALPHA * (
+                        duration - self._service_ewma
+                    )
+            self.limiter.observe(max(duration, 0.0), ok)
+            self._wake_waiters_locked()
+            self._observe_pressure_locked()
+
+    def close(self) -> None:
+        """Reject new arrivals and wake every queued waiter as shed."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            while self._queue:
+                _, _, waiter = heapq.heappop(self._queue)
+                if not waiter.abandoned and not waiter.admitted:
+                    waiter.event.set()
+
+    # -- internals (all called under self._lock) ---------------------------
+
+    def _queue_depth_locked(self) -> int:
+        return sum(
+            1
+            for _, _, waiter in self._queue
+            if not waiter.abandoned and not waiter.admitted
+        )
+
+    def _predicted_wait_locked(self, depth: int) -> float:
+        """Expected queue wait for an arrival behind ``depth`` waiters."""
+        service = self._service_ewma
+        if service is None:
+            return 0.0
+        return (depth + 1) * service / max(self.limiter.limit, 1)
+
+    def _wake_waiters_locked(self) -> None:
+        limit = self.limiter.limit
+        while self._inflight < limit and self._queue:
+            _, _, waiter = heapq.heappop(self._queue)
+            if waiter.abandoned or waiter.admitted:
+                continue
+            waiter.admitted = True
+            self._inflight += 1
+            waiter.event.set()
+
+    def _observe_pressure_locked(self) -> None:
+        if self.brownout is not None:
+            self.brownout.observe(self._pressure_locked())
+
+    def _pressure_locked(self) -> float:
+        capacity = max(1, self.config.max_queue_depth)
+        return min(1.0, self._queue_depth_locked() / capacity)
+
+    def _shed_locked(
+        self,
+        reason: str,
+        tenant: str | None,
+        priority: int,
+        message: str,
+        retry_after: float | None = None,
+    ) -> None:
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+        if self.brownout is not None:
+            # every shed is the strongest possible pressure signal
+            self.brownout.observe(1.0)
+        raise QueryRejected(
+            reason,
+            message,
+            queue_depth=self._queue_depth_locked(),
+            retry_after=retry_after,
+            tenant=tenant,
+            priority=priority,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._queue_depth_locked()
+
+    @property
+    def shed(self) -> int:
+        """Total queries rejected, over every reason."""
+        with self._lock:
+            return sum(self.rejected.values())
+
+    def snapshot(self) -> dict[str, object]:
+        """One dict for ``health_snapshot()['serving']``."""
+        with self._lock:
+            snapshot: dict[str, object] = {
+                "limit": self.limiter.limit,
+                "inflight": self._inflight,
+                "queue_depth": self._queue_depth_locked(),
+                "queue_peak": self.queue_peak,
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "rejected": dict(self.rejected),
+                "shed": sum(self.rejected.values()),
+                "service_ewma_s": self._service_ewma,
+                "queue_wait_total_s": round(self.queue_wait_total, 6),
+                "closed": self._closed,
+            }
+        if self.brownout is not None:
+            snapshot["brownout"] = self.brownout.stats()
+        return snapshot
+
+    def describe(self) -> str:
+        """One-paragraph summary for ``Mediator.explain``."""
+        with self._lock:
+            shed = sum(self.rejected.values())
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.rejected.items())
+            )
+            lines = [
+                f"admission: {self._inflight} in flight (limit"
+                f" {self.limiter.limit} of {self.config.max_concurrent}),"
+                f" {self._queue_depth_locked()} queued (max"
+                f" {self.config.max_queue_depth}, peak {self.queue_peak})",
+                f"traffic: {self.submitted} submitted, {self.admitted}"
+                f" admitted, {self.completed} completed, {shed} shed"
+                + (f" ({reasons})" if reasons else ""),
+                f"limiter: {self.limiter.describe()}",
+            ]
+        if self.brownout is not None:
+            lines.append(self.brownout.describe())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(limit={self.limiter.limit},"
+            f" inflight={self._inflight}, shed={self.shed})"
+        )

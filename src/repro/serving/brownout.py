@@ -1,0 +1,164 @@
+"""Brownout: shed *optional* work under pressure, restore it after.
+
+When the admission queue starts backing up, rejecting queries is the
+last resort — first the mediator can stop doing work that improves
+quality-of-service but is not needed for correctness.  The
+:class:`BrownoutController` walks a fixed ladder of such features, one
+rung per escalation:
+
+1. ``hedging`` — speculative duplicate source calls double wire load
+   precisely when the system can least afford it;
+2. ``tracing`` — span trees are pure observability; metrics stay on;
+3. ``parallelism`` — per-query fan-out threads compete with *other
+   queries* for the pool; browned-out queries run their stages inline
+   (caching and single-flight stay on);
+4. ``strict-budgets`` — budget violations clip answers (truncate mode)
+   instead of aborting queries that already consumed resources.
+
+Escalation is fast and recovery is slow (classic hysteresis): one rung
+up per pressure observation at or above ``high_water``, one rung down
+only after the pressure has stayed at or below ``low_water`` for
+``hold`` seconds of continuous calm.  Pressure is a [0, 1] signal the
+admission controller derives from its queue (queue depth over capacity,
+with any shed event counting as full pressure).
+
+The controller is passive: it never spawns threads or timers.  The
+admission controller feeds it observations at admit/complete time, and
+the mediator consults :meth:`allows` when assembling each query's
+execution context.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.reliability.clock import Clock, MonotonicClock
+
+__all__ = ["BrownoutConfig", "BrownoutController", "DEFAULT_LADDER"]
+
+#: The shedding ladder, cheapest sacrifice first.
+DEFAULT_LADDER: tuple[str, ...] = (
+    "hedging",
+    "tracing",
+    "parallelism",
+    "strict-budgets",
+)
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Thresholds and ladder for the brownout controller.
+
+    * ``high_water`` — pressure at or above this escalates one rung;
+    * ``low_water`` — pressure at or below this counts as calm;
+    * ``hold`` — seconds of continuous calm before stepping down one
+      rung (recovery is deliberately slower than escalation);
+    * ``ladder`` — the features shed in order; level N disables the
+      first N entries.
+    """
+
+    high_water: float = 0.75
+    low_water: float = 0.25
+    hold: float = 1.0
+    ladder: tuple[str, ...] = field(default=DEFAULT_LADDER)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.high_water <= 1.0:
+            raise ValueError(
+                f"high_water must be in (0, 1], got {self.high_water!r}"
+            )
+        if not 0.0 <= self.low_water < self.high_water:
+            raise ValueError(
+                "low_water must be in [0, high_water),"
+                f" got {self.low_water!r}"
+            )
+        if self.hold < 0:
+            raise ValueError(f"hold must be >= 0, got {self.hold!r}")
+        if not self.ladder:
+            raise ValueError("the brownout ladder needs at least one rung")
+
+
+class BrownoutController:
+    """Hysteretic ladder walker over a [0, 1] pressure signal."""
+
+    def __init__(
+        self,
+        config: BrownoutConfig | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.config = config or BrownoutConfig()
+        self.clock = clock or MonotonicClock()
+        self._level = 0
+        self._calm_since: float | None = None
+        self._lock = threading.Lock()
+        self.escalations = 0
+        self.recoveries = 0
+        self.max_level = 0
+
+    @property
+    def level(self) -> int:
+        """The current rung: 0 = full service, N = first N features shed."""
+        return self._level
+
+    @property
+    def active(self) -> bool:
+        return self._level > 0
+
+    def observe(self, pressure: float) -> int:
+        """Feed one pressure sample; returns the (possibly new) level."""
+        config = self.config
+        with self._lock:
+            if pressure >= config.high_water:
+                self._calm_since = None
+                if self._level < len(config.ladder):
+                    self._level += 1
+                    self.escalations += 1
+                    self.max_level = max(self.max_level, self._level)
+            elif pressure <= config.low_water:
+                now = self.clock.now()
+                if self._calm_since is None:
+                    self._calm_since = now
+                elif (
+                    self._level > 0
+                    and now - self._calm_since >= config.hold
+                ):
+                    self._level -= 1
+                    self.recoveries += 1
+                    self._calm_since = now
+            else:
+                self._calm_since = None
+            return self._level
+
+    def allows(self, feature: str) -> bool:
+        """Is ``feature`` still on?  Unknown features are always on."""
+        level = self._level
+        if level == 0:
+            return True
+        ladder = self.config.ladder
+        return feature not in ladder[:level]
+
+    def shed_features(self) -> tuple[str, ...]:
+        """The features currently shed, cheapest first."""
+        return self.config.ladder[: self._level]
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "level": self._level,
+                "max_level": self.max_level,
+                "shed": list(self.shed_features()),
+                "escalations": self.escalations,
+                "recoveries": self.recoveries,
+            }
+
+    def describe(self) -> str:
+        shed = ", ".join(self.shed_features()) or "none"
+        return (
+            f"brownout level {self._level}/{len(self.config.ladder)}"
+            f" (shed: {shed}); {self.escalations} escalation(s),"
+            f" {self.recoveries} recover(ies)"
+        )
+
+    def __repr__(self) -> str:
+        return f"BrownoutController(level={self._level})"

@@ -1,0 +1,162 @@
+"""Per-source bulkheads: one slow source cannot take every thread.
+
+The dispatcher's worker pool is shared by every source and every
+concurrent query.  Without isolation, one stalled source soaks up
+workers until every stage of every query is blocked behind it — the
+classic thread-pool starvation failure.  A bulkhead caps how many wire
+calls may be in flight *per source*; a call that cannot get a permit
+within ``max_wait`` seconds fails fast with
+:class:`BulkheadSaturated` instead of parking a worker thread.
+
+``BulkheadSaturated`` is a :class:`~repro.wrappers.base.SourceError`,
+so the existing failure machinery applies unchanged: a degrade-mode
+mediator substitutes an empty answer plus a structured warning, strict
+mode surfaces the error.  Saturation is *load shedding at the source
+tier* — it deliberately trades completeness for liveness, so bulkheads
+are opt-in (``Mediator(bulkheads=...)``) and sized by the operator.
+
+The registry is thread-safe; permits are plain semaphores, and stats
+(acquired, saturations, peak concurrency per source) feed
+``Mediator.explain`` and the metrics registry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Iterator, Mapping
+
+from repro.wrappers.base import SourceError
+
+__all__ = ["BulkheadRegistry", "BulkheadSaturated"]
+
+
+class BulkheadSaturated(SourceError):
+    """No bulkhead permit for ``source`` within the configured wait."""
+
+    def __init__(self, source: str, limit: int, max_wait: float) -> None:
+        wait = f" within {max_wait:g}s" if max_wait > 0 else ""
+        super().__init__(
+            f"bulkhead for source {source!r} saturated:"
+            f" {limit} call(s) already in flight{wait}"
+        )
+        self.source = source
+        self.limit = limit
+        self.max_wait = max_wait
+
+
+class _Bulkhead:
+    __slots__ = ("limit", "semaphore", "active", "peak", "acquired",
+                 "saturations")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.semaphore = threading.Semaphore(limit)
+        self.active = 0
+        self.peak = 0
+        self.acquired = 0
+        self.saturations = 0
+
+
+class BulkheadRegistry:
+    """Per-source in-flight caps with fail-fast acquisition."""
+
+    def __init__(
+        self,
+        max_per_source: int = 2,
+        max_wait: float = 0.0,
+        limits: Mapping[str, int] | None = None,
+    ) -> None:
+        if not isinstance(max_per_source, int) or max_per_source < 1:
+            raise ValueError(
+                "max_per_source must be a positive integer,"
+                f" got {max_per_source!r}"
+            )
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait!r}")
+        for name, limit in (limits or {}).items():
+            if not isinstance(limit, int) or limit < 1:
+                raise ValueError(
+                    f"bulkhead limit for {name!r} must be a positive"
+                    f" integer, got {limit!r}"
+                )
+        self.max_per_source = max_per_source
+        self.max_wait = max_wait
+        self.limits = dict(limits or {})
+        self._bulkheads: dict[str, _Bulkhead] = {}
+        self._lock = threading.Lock()
+
+    def _bulkhead(self, source: str) -> _Bulkhead:
+        with self._lock:
+            bulkhead = self._bulkheads.get(source)
+            if bulkhead is None:
+                limit = self.limits.get(source, self.max_per_source)
+                bulkhead = self._bulkheads[source] = _Bulkhead(limit)
+            return bulkhead
+
+    @contextlib.contextmanager
+    def permit(self, source: str) -> Iterator[None]:
+        """Hold one in-flight slot for ``source`` for the ``with`` body.
+
+        Raises :class:`BulkheadSaturated` when the source's slots stay
+        full past ``max_wait`` seconds (0 = fail immediately).
+        """
+        bulkhead = self._bulkhead(source)
+        if self.max_wait > 0:
+            ok = bulkhead.semaphore.acquire(timeout=self.max_wait)
+        else:
+            ok = bulkhead.semaphore.acquire(blocking=False)
+        if not ok:
+            with self._lock:
+                bulkhead.saturations += 1
+            raise BulkheadSaturated(
+                source, bulkhead.limit, self.max_wait
+            )
+        with self._lock:
+            bulkhead.acquired += 1
+            bulkhead.active += 1
+            bulkhead.peak = max(bulkhead.peak, bulkhead.active)
+        try:
+            yield
+        finally:
+            with self._lock:
+                bulkhead.active -= 1
+            bulkhead.semaphore.release()
+
+    @property
+    def total_saturations(self) -> int:
+        with self._lock:
+            return sum(b.saturations for b in self._bulkheads.values())
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        with self._lock:
+            return {
+                source: {
+                    "limit": b.limit,
+                    "active": b.active,
+                    "peak": b.peak,
+                    "acquired": b.acquired,
+                    "saturations": b.saturations,
+                }
+                for source, b in sorted(self._bulkheads.items())
+            }
+
+    def describe(self) -> str:
+        stats = self.stats()
+        if not stats:
+            return (
+                f"bulkheads: max {self.max_per_source}/source,"
+                " no calls yet"
+            )
+        parts = [
+            f"{source}: {s['active']}/{s['limit']} active"
+            f" (peak {s['peak']}, {s['saturations']} saturation(s))"
+            for source, s in stats.items()
+        ]
+        return "bulkheads: " + "; ".join(parts)
+
+    def __repr__(self) -> str:
+        return (
+            f"BulkheadRegistry(max_per_source={self.max_per_source},"
+            f" max_wait={self.max_wait})"
+        )

@@ -1,0 +1,218 @@
+"""Adaptive concurrency limiting: AIMD on observed service latency.
+
+The admission controller needs one number — how many queries may run at
+once — and the right value moves with load: when the machine (or the
+sources behind the mediator) slow down, running *fewer* queries
+concurrently raises goodput, because every admitted query finishes
+inside its deadline instead of all of them thrashing together.
+
+:class:`AdaptiveConcurrencyLimiter` is the classic additive-increase /
+multiplicative-decrease loop over a latency signal:
+
+* a **baseline** tracks the uncontended service time — it snaps down to
+  every new minimum and drifts up slowly, so a regime change (sources
+  genuinely got slower) is eventually accepted as the new normal;
+* completions faster than ``tolerance x baseline`` (or an explicit
+  ``target_latency``) *additively* raise the limit by ``1/limit`` —
+  one extra slot per limit-many good completions, the TCP-style probe;
+* completions slower than the target (or failed ones) *multiplicatively*
+  cut the limit by ``backoff``, rate-limited to once per ``cooldown``
+  seconds so one burst of already-in-flight stragglers cannot collapse
+  the limit to the floor in a single wave.
+
+The limiter never blocks and never sleeps; it only does arithmetic
+under a small lock.  Time comes from the injectable
+:class:`~repro.reliability.clock.Clock`, so tests drive the cooldown
+with a :class:`~repro.reliability.clock.ManualClock`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.reliability.clock import Clock, MonotonicClock
+
+__all__ = ["AdaptiveConcurrencyLimiter"]
+
+#: Fraction the baseline drifts toward a slower observation (per
+#: observation) — lets the limiter accept a genuinely slower regime.
+_BASELINE_DRIFT = 0.02
+
+
+class AdaptiveConcurrencyLimiter:
+    """AIMD concurrency limit driven by observed completion latency."""
+
+    def __init__(
+        self,
+        initial: int,
+        min_limit: int = 1,
+        max_limit: int | None = None,
+        target_latency: float | None = None,
+        tolerance: float = 2.0,
+        backoff: float = 0.7,
+        increase: float = 1.0,
+        cooldown: float = 0.1,
+        clock: Clock | None = None,
+    ) -> None:
+        if not isinstance(initial, int) or initial < 1:
+            raise ValueError(
+                f"initial limit must be a positive integer, got {initial!r}"
+            )
+        if not isinstance(min_limit, int) or min_limit < 1:
+            raise ValueError(
+                f"min_limit must be a positive integer, got {min_limit!r}"
+            )
+        if max_limit is not None and max_limit < min_limit:
+            raise ValueError(
+                f"max_limit {max_limit!r} below min_limit {min_limit!r}"
+            )
+        if min_limit > initial:
+            raise ValueError(
+                f"min_limit {min_limit!r} above initial limit {initial!r}"
+            )
+        if max_limit is not None and initial > max_limit:
+            raise ValueError(
+                f"initial limit {initial!r} above max_limit {max_limit!r}"
+            )
+        if not 0.0 < backoff < 1.0:
+            raise ValueError(f"backoff must be in (0, 1), got {backoff!r}")
+        if tolerance < 1.0:
+            raise ValueError(
+                f"tolerance must be at least 1.0, got {tolerance!r}"
+            )
+        if target_latency is not None and target_latency <= 0:
+            raise ValueError(
+                f"target_latency must be positive, got {target_latency!r}"
+            )
+        self.min_limit = min_limit
+        self.max_limit = max_limit
+        self.target_latency = target_latency
+        self.tolerance = tolerance
+        self.backoff = backoff
+        self.increase = increase
+        self.cooldown = cooldown
+        self.clock = clock or MonotonicClock()
+        self._limit = float(initial)
+        self._baseline: float | None = None
+        self._last_decrease: float | None = None
+        self._lock = threading.Lock()
+        self.observations = 0
+        self.increases = 0
+        self.decreases = 0
+
+    @property
+    def limit(self) -> int:
+        """The current in-flight ceiling (always >= ``min_limit``)."""
+        return max(self.min_limit, int(self._limit))
+
+    @property
+    def baseline(self) -> float | None:
+        """The tracked uncontended service time (None before data)."""
+        return self._baseline
+
+    def observe(self, latency: float, ok: bool = True) -> int:
+        """Feed one completed query's service time; returns the limit."""
+        with self._lock:
+            self.observations += 1
+            if ok and latency >= 0.0:
+                if self._baseline is None or latency < self._baseline:
+                    self._baseline = latency
+                else:
+                    self._baseline += _BASELINE_DRIFT * (
+                        latency - self._baseline
+                    )
+            target = self.target_latency
+            if target is None:
+                target = (
+                    self._baseline * self.tolerance
+                    if self._baseline is not None
+                    else None
+                )
+            slow = (not ok) or (target is not None and latency > target)
+            if slow:
+                now = self.clock.now()
+                if (
+                    self._last_decrease is None
+                    or now - self._last_decrease >= self.cooldown
+                ):
+                    self._last_decrease = now
+                    self._limit = max(
+                        float(self.min_limit), self._limit * self.backoff
+                    )
+                    self.decreases += 1
+            else:
+                ceiling = (
+                    float(self.max_limit)
+                    if self.max_limit is not None
+                    else self._limit + self.increase
+                )
+                if self._limit < ceiling:
+                    self._limit = min(
+                        ceiling,
+                        self._limit + self.increase / max(self._limit, 1.0),
+                    )
+                    self.increases += 1
+            return self.limit
+
+    def stats(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "limit": self.limit,
+                "raw_limit": round(self._limit, 3),
+                "baseline_s": self._baseline,
+                "observations": self.observations,
+                "increases": self.increases,
+                "decreases": self.decreases,
+            }
+
+    def describe(self) -> str:
+        baseline = (
+            f"{self._baseline * 1e3:.1f}ms"
+            if self._baseline is not None
+            else "unknown"
+        )
+        bounds = f"[{self.min_limit}, {self.max_limit or 'inf'}]"
+        return (
+            f"limit={self.limit} {bounds}; baseline={baseline};"
+            f" +{self.increases}/-{self.decreases} adjustments"
+            f" over {self.observations} completion(s)"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveConcurrencyLimiter(limit={self.limit},"
+            f" min={self.min_limit}, max={self.max_limit})"
+        )
+
+
+class FixedLimiter:
+    """A non-adaptive stand-in sharing the limiter interface."""
+
+    def __init__(self, limit: int) -> None:
+        if not isinstance(limit, int) or limit < 1:
+            raise ValueError(
+                f"limit must be a positive integer, got {limit!r}"
+            )
+        self._limit = limit
+        self.observations = 0
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    @property
+    def baseline(self) -> float | None:
+        return None
+
+    def observe(self, latency: float, ok: bool = True) -> int:
+        self.observations += 1
+        return self._limit
+
+    def stats(self) -> dict[str, object]:
+        return {"limit": self._limit, "observations": self.observations}
+
+    def describe(self) -> str:
+        return f"limit={self._limit} (fixed)"
+
+    def __repr__(self) -> str:
+        return f"FixedLimiter(limit={self._limit})"

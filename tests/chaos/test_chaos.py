@@ -28,10 +28,26 @@ def test_latency_schedule_holds_invariants(seed):
     assert not violations, violations
 
 
+@pytest.mark.parametrize("seed", [1996, 1997, 1998])
+def test_concurrent_schedule_holds_invariants(seed):
+    violations = chaos.run_concurrent_schedule(
+        seed, quick=True, verbose=False
+    )
+    assert not violations, violations
+
+
 def test_cli_reports_clean_schedules(capsys):
     assert chaos.main(["--seeds", "2", "--quick"]) == 0
     out = capsys.readouterr().out
-    assert "4/4 schedule(s) clean" in out
+    assert "6/6 schedule(s) clean" in out
+
+
+def test_cli_kind_filter_runs_one_kind(capsys):
+    assert chaos.main(
+        ["--seeds", "2", "--quick", "--kind", "concurrent"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "2/2 schedule(s) clean" in out
 
 
 def test_cli_rejects_bad_seed_count():

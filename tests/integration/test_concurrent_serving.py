@@ -1,0 +1,191 @@
+"""Concurrent queries on one shared Mediator.
+
+PR 7 removed the mediator's per-query lock: operations now live in
+thread-local state and the admission controller bounds concurrency.
+These tests put 8-32 real threads on a single mediator and check that
+
+* every thread gets exactly the answer a sequential run produces,
+* the answer cache, compile cache, health registry, and metrics stay
+  internally consistent under contention, and
+* admission accounting balances exactly when load is shed.
+"""
+
+import threading
+
+from repro.datasets import build_scaled_scenario
+from repro.exec.cache import AnswerCache
+from repro.mediator import Mediator
+from repro.oem import structural_key
+from repro.serving import AdmissionConfig, QueryRejected
+
+STUDENTS_QUERY = "S :- S:<cs_person {<rel 'student'>}>@med"
+YEAR3_QUERY = "S :- S:<cs_person {<year 3>}>@med"
+EMPLOYEES_QUERY = "S :- S:<cs_person {<rel 'employee'>}>@med"
+QUERIES = (STUDENTS_QUERY, YEAR3_QUERY, EMPLOYEES_QUERY)
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+def _shared_mediator(admission, people=12, seed=1996, **kwargs):
+    scenario = build_scaled_scenario(people, seed=seed, push_mode="needed")
+    return Mediator(
+        "med",
+        scenario.mediator.specification,
+        scenario.registry,
+        scenario.externals,
+        push_mode="needed",
+        register=False,
+        admission=admission,
+        **kwargs,
+    )
+
+
+def _run_clients(mediator, threads, rounds, queries=QUERIES):
+    """Each thread answers its queries; returns (results, sheds, errors)."""
+    results = []
+    sheds = []
+    errors = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(threads)
+
+    def client(index):
+        barrier.wait()  # maximal contention: everyone starts together
+        for round_index in range(rounds):
+            query = queries[(index + round_index) % len(queries)]
+            try:
+                answer = mediator.answer(
+                    query, tenant=f"tenant{index % 4}", priority=index % 3
+                )
+            except QueryRejected as exc:
+                with lock:
+                    sheds.append(exc)
+            except Exception as exc:  # pragma: no cover - fail the test
+                with lock:
+                    errors.append(exc)
+            else:
+                with lock:
+                    results.append((query, canonical(answer)))
+
+    workers = [
+        threading.Thread(target=client, args=(index,))
+        for index in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(timeout=60.0)
+    assert not any(w.is_alive() for w in workers), "client thread hung"
+    return results, sheds, errors
+
+
+def test_parallel_answers_equal_sequential_answers():
+    """32 threads, no shedding: every answer matches the sequential one."""
+    reference = {
+        query: canonical(
+            build_scaled_scenario(
+                12, seed=1996, push_mode="needed"
+            ).mediator.answer(query)
+        )
+        for query in QUERIES
+    }
+    config = AdmissionConfig(max_concurrent=4, max_queue_depth=256)
+    with _shared_mediator(config, parallelism=2) as mediator:
+        results, sheds, errors = _run_clients(mediator, threads=32, rounds=2)
+        assert errors == []
+        assert sheds == []  # the queue is deep enough for everyone
+        assert len(results) == 64
+        for query, answer in results:
+            assert answer == reference[query], query
+        serving = mediator.health_snapshot()["serving"]
+        assert serving["submitted"] == 64
+        assert serving["admitted"] == serving["completed"] == 64
+        assert serving["inflight"] == 0
+        assert serving["queue_depth"] == 0
+
+
+def test_caches_and_metrics_stay_consistent_under_contention():
+    cache = AnswerCache(max_entries=64)
+    config = AdmissionConfig(max_concurrent=8, max_queue_depth=256)
+    with _shared_mediator(config, cache=cache, parallelism=2) as mediator:
+        results, sheds, errors = _run_clients(mediator, threads=16, rounds=3)
+        assert errors == []
+        assert sheds == []
+        total = 16 * 3
+
+        # answer cache: counters balance and entries are bounded
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] > 0
+        assert 0 < stats["entries"] <= 64
+        assert stats["hits"] >= 0 and stats["misses"] >= 0
+
+        # compile cache: shared across threads without corruption
+        compile_stats = mediator.health_snapshot()["profile"].get("compile")
+        if compile_stats is not None:
+            assert compile_stats["hits"] + compile_stats["misses"] >= 0
+
+        # cached answers are the same objects the uncached run produced
+        by_query = {}
+        for query, answer in results:
+            by_query.setdefault(query, set()).add(tuple(answer))
+        for query, answers in by_query.items():
+            assert len(answers) == 1, f"{query} gave divergent answers"
+
+        # metrics agree with the controller's own snapshot
+        serving = mediator.health_snapshot()["serving"]
+        assert serving["submitted"] == total
+        text = mediator.metrics_text()
+        assert f"repro_admission_submitted_total {total}" in text
+        assert f"repro_admission_completed_total {total}" in text
+
+        # health registry survives concurrent reads/writes
+        health = mediator.health_snapshot()
+        assert set(health) >= {"sources", "profile", "serving"}
+
+
+def test_accounting_balances_when_overloaded():
+    """A tiny gate against a thundering herd: sheds + completions add up."""
+    config = AdmissionConfig(
+        max_concurrent=2, max_queue_depth=2, adaptive=False
+    )
+    with _shared_mediator(config, people=8) as mediator:
+        results, sheds, errors = _run_clients(mediator, threads=16, rounds=2)
+        assert errors == []
+        total = 16 * 2
+        assert len(results) + len(sheds) == total
+        for exc in sheds:
+            assert exc.reason in ("queue_full", "tenant", "deadline")
+            assert exc.queue_depth >= 0
+        serving = mediator.health_snapshot()["serving"]
+        assert serving["submitted"] == total
+        assert serving["submitted"] == serving["admitted"] + serving["shed"]
+        assert serving["admitted"] == serving["completed"]
+        assert serving["inflight"] == 0 and serving["queue_depth"] == 0
+        # completed answers are still correct, not torn, under pressure
+        reference = {
+            query: canonical(
+                build_scaled_scenario(
+                    8, seed=1996, push_mode="needed"
+                ).mediator.answer(query)
+            )
+            for query in QUERIES
+        }
+        for query, answer in results:
+            assert answer == reference[query], query
+
+
+def test_concurrent_queries_respect_tenant_quota():
+    config = AdmissionConfig(
+        max_concurrent=8, max_queue_depth=64,
+        tenant_quota=1, adaptive=False,
+    )
+    with _shared_mediator(config, people=8) as mediator:
+        results, sheds, errors = _run_clients(
+            mediator, threads=8, rounds=2
+        )
+        assert errors == []
+        assert len(results) + len(sheds) == 16
+        for exc in sheds:
+            assert exc.reason == "tenant"
+            assert exc.tenant is not None

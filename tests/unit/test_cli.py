@@ -419,3 +419,87 @@ class TestObservabilityFlags:
         )
         assert status == 0
         assert "telemetry: disabled" in out
+
+
+class TestServingFlags:
+    QUERY = "X :- X:<cs_person {<name N>}>@med"
+
+    def test_admission_flags_on_light_load_change_nothing(self, files):
+        spec, whois = files
+        argv = [
+            "--spec", str(spec),
+            "--source", f"whois={whois}",
+            "--query", self.QUERY,
+            "--format", "inline",
+        ]
+        plain = run(argv)
+        gated = run(
+            argv + ["--max-concurrent", "2", "--queue-depth", "4",
+                    "--tenant", "cli", "--priority", "3"]
+        )
+        assert plain[0] == gated[0] == 0
+        assert plain[1] == gated[1]
+        assert gated[2] == ""  # nothing shed: no errors
+
+    def test_explain_shows_serving_section(self, files):
+        spec, whois = files
+        status, out, _ = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--explain", "--max-concurrent", "2"]
+        )
+        assert status == 0
+        assert "-- serving --" in out
+        assert "admission:" in out
+
+    def test_non_positive_max_concurrent_rejected(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--max-concurrent", "0"]
+        )
+        assert status == 2
+        assert "--max-concurrent" in err
+
+    def test_queue_depth_requires_max_concurrent(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--queue-depth", "4"]
+        )
+        assert status == 2
+        assert "--queue-depth" in err
+        assert "--max-concurrent" in err
+
+    def test_negative_queue_depth_rejected(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--max-concurrent", "2",
+             "--queue-depth", "-1"]
+        )
+        assert status == 2
+        assert "--queue-depth" in err
+
+    def test_blank_tenant_rejected(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--tenant", "  "]
+        )
+        assert status == 2
+        assert "--tenant" in err
+
+    def test_metrics_include_admission_series_when_gated(
+        self, files, tmp_path
+    ):
+        spec, whois = files
+        metrics = tmp_path / "metrics.prom"
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--max-concurrent", "2",
+             "--metrics-out", str(metrics)]
+        )
+        assert status == 0, err
+        text = metrics.read_text()
+        assert "repro_admission_submitted_total 1" in text
+        assert "repro_admission_concurrency_limit" in text

@@ -1,0 +1,642 @@
+"""Unit tests for the serving layer: admission control, the adaptive
+concurrency limiter, the brownout ladder, and per-source bulkheads."""
+
+import threading
+
+import pytest
+
+from repro.datasets import JOE_CHUNG_QUERY, build_scenario
+from repro.mediator import Mediator, MediatorError
+from repro.reliability.clock import ManualClock, MonotonicClock
+from repro.serving import (
+    AdmissionConfig,
+    AdmissionController,
+    AdaptiveConcurrencyLimiter,
+    BrownoutConfig,
+    BrownoutController,
+    BulkheadRegistry,
+    BulkheadSaturated,
+    DEFAULT_LADDER,
+    FixedLimiter,
+    QueryRejected,
+)
+from repro.wrappers import SourceError
+
+
+class TestQueryRejected:
+    def test_carries_structured_fields(self):
+        exc = QueryRejected(
+            "queue_full", "full", queue_depth=7, retry_after=0.25,
+            tenant="t1", priority=3,
+        )
+        assert exc.reason == "queue_full"
+        assert exc.queue_depth == 7
+        assert exc.retry_after == 0.25
+        assert exc.tenant == "t1"
+        assert exc.priority == 3
+        assert isinstance(exc, RuntimeError)
+
+    def test_render_includes_reason_depth_and_hint(self):
+        text = QueryRejected(
+            "deadline", "too slow", queue_depth=4, retry_after=1.5
+        ).render()
+        assert "deadline" in text
+        assert "queue=4" in text
+        assert "1.500" in text
+
+    def test_render_without_hint(self):
+        text = QueryRejected("closed", "closed").render()
+        assert "retry" not in text
+
+
+class TestAdmissionConfig:
+    def test_defaults_valid(self):
+        config = AdmissionConfig()
+        assert config.max_concurrent == 8
+        assert config.max_queue_depth == 32
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"max_concurrent": 0}, "max_concurrent"),
+            ({"max_concurrent": 2.5}, "max_concurrent"),
+            ({"max_queue_depth": -1}, "max_queue_depth"),
+            ({"queue_timeout": 0.0}, "queue_timeout"),
+            ({"min_concurrent": 0}, "min_concurrent"),
+            ({"max_concurrent": 2, "min_concurrent": 4}, "min_concurrent"),
+            ({"tenant_quota": 0}, "quota"),
+            ({"tenant_quotas": {"t": -3}}, "quota"),
+            ({"target_latency": -1.0}, "target_latency"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            AdmissionConfig(**kwargs)
+
+
+class TestAdaptiveLimiter:
+    def test_additive_increase_on_fast_completions(self):
+        limiter = AdaptiveConcurrencyLimiter(
+            initial=2, max_limit=8, target_latency=1.0, clock=ManualClock()
+        )
+        for _ in range(40):
+            limiter.observe(0.01)
+        assert limiter.limit == 8
+        assert limiter.increases > 0
+
+    def test_increase_is_one_slot_per_limit_completions(self):
+        limiter = AdaptiveConcurrencyLimiter(
+            initial=4, max_limit=8, target_latency=1.0, clock=ManualClock()
+        )
+        limiter.observe(0.01)
+        # one fast completion at limit 4 adds 1/4 of a slot
+        assert limiter.limit == 4
+        assert limiter.stats()["raw_limit"] == 4.25
+
+    def test_multiplicative_decrease_on_slow_completion(self):
+        clock = ManualClock()
+        limiter = AdaptiveConcurrencyLimiter(
+            initial=10, target_latency=0.1, clock=clock
+        )
+        limiter.observe(0.5)
+        assert limiter.limit == 7  # 10 * 0.7
+
+    def test_cooldown_rate_limits_decreases(self):
+        clock = ManualClock()
+        limiter = AdaptiveConcurrencyLimiter(
+            initial=10, target_latency=0.1, cooldown=1.0, clock=clock
+        )
+        limiter.observe(0.5)
+        limiter.observe(0.5)  # within cooldown: no second cut
+        assert limiter.limit == 7
+        clock.advance(1.0)
+        limiter.observe(0.5)
+        assert limiter.limit == 4  # 7 * 0.7
+        assert limiter.decreases == 2
+
+    def test_failure_counts_as_slow(self):
+        limiter = AdaptiveConcurrencyLimiter(initial=10, clock=ManualClock())
+        limiter.observe(0.01, ok=False)
+        assert limiter.limit == 7
+
+    def test_limit_never_below_min(self):
+        clock = ManualClock()
+        limiter = AdaptiveConcurrencyLimiter(
+            initial=4, min_limit=2, target_latency=0.1,
+            cooldown=0.0, clock=clock,
+        )
+        for _ in range(20):
+            limiter.observe(1.0)
+            clock.advance(1.0)
+        assert limiter.limit == 2
+
+    def test_baseline_snaps_down_and_drifts_up(self):
+        limiter = AdaptiveConcurrencyLimiter(initial=4, clock=ManualClock())
+        limiter.observe(0.2)
+        limiter.observe(0.05)  # new minimum: snap
+        assert limiter.baseline == 0.05
+        limiter.observe(0.10)  # slower: drift, not snap
+        assert 0.05 < limiter.baseline < 0.06
+
+    def test_relative_target_uses_tolerance_times_baseline(self):
+        clock = ManualClock()
+        limiter = AdaptiveConcurrencyLimiter(
+            initial=10, tolerance=2.0, clock=clock
+        )
+        limiter.observe(0.1)   # establishes the baseline
+        limiter.observe(0.15)  # < 2x baseline: fast
+        assert limiter.decreases == 0
+        clock.advance(1.0)
+        limiter.observe(0.5)   # > 2x baseline: slow
+        assert limiter.decreases == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial": 0},
+            {"initial": 4, "min_limit": 0},
+            {"initial": 4, "min_limit": 6},
+            {"initial": 9, "max_limit": 8},
+            {"initial": 4, "min_limit": 3, "max_limit": 2},
+            {"initial": 4, "backoff": 1.0},
+            {"initial": 4, "tolerance": 0.5},
+            {"initial": 4, "target_latency": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveConcurrencyLimiter(**kwargs)
+
+    def test_describe_and_stats(self):
+        limiter = AdaptiveConcurrencyLimiter(
+            initial=4, max_limit=8, clock=ManualClock()
+        )
+        limiter.observe(0.05)
+        assert "limit=4" in limiter.describe()
+        stats = limiter.stats()
+        assert stats["observations"] == 1
+        assert stats["baseline_s"] == 0.05
+
+    def test_fixed_limiter_never_moves(self):
+        limiter = FixedLimiter(3)
+        for latency in (0.001, 5.0, 100.0):
+            limiter.observe(latency, ok=False)
+        assert limiter.limit == 3
+        assert limiter.stats()["observations"] == 3
+        assert "fixed" in limiter.describe()
+        with pytest.raises(ValueError):
+            FixedLimiter(0)
+
+
+class TestBrownout:
+    def test_escalates_one_rung_per_high_observation(self):
+        brownout = BrownoutController(clock=ManualClock())
+        assert brownout.observe(0.9) == 1
+        assert brownout.observe(1.0) == 2
+        assert brownout.level == 2
+        assert brownout.shed_features() == ("hedging", "tracing")
+
+    def test_level_capped_at_ladder_length(self):
+        brownout = BrownoutController(clock=ManualClock())
+        for _ in range(10):
+            brownout.observe(1.0)
+        assert brownout.level == len(DEFAULT_LADDER)
+        assert brownout.max_level == len(DEFAULT_LADDER)
+
+    def test_allows_respects_ladder_order(self):
+        brownout = BrownoutController(clock=ManualClock())
+        brownout.observe(1.0)
+        assert not brownout.allows("hedging")
+        assert brownout.allows("tracing")
+        assert brownout.allows("parallelism")
+        assert brownout.allows("not-a-feature")
+
+    def test_recovery_needs_continuous_calm_for_hold(self):
+        clock = ManualClock()
+        brownout = BrownoutController(
+            BrownoutConfig(hold=1.0), clock=clock
+        )
+        brownout.observe(1.0)
+        brownout.observe(1.0)
+        assert brownout.level == 2
+        brownout.observe(0.0)        # calm starts
+        clock.advance(0.5)
+        brownout.observe(0.0)        # not calm long enough yet
+        assert brownout.level == 2
+        clock.advance(0.6)
+        brownout.observe(0.0)        # 1.1s of calm: one rung down
+        assert brownout.level == 1
+        assert brownout.recoveries == 1
+
+    def test_mid_pressure_resets_the_calm_timer(self):
+        clock = ManualClock()
+        brownout = BrownoutController(
+            BrownoutConfig(hold=1.0), clock=clock
+        )
+        brownout.observe(1.0)
+        brownout.observe(0.0)
+        clock.advance(0.9)
+        brownout.observe(0.5)        # neither calm nor pressure: resets
+        clock.advance(0.9)
+        brownout.observe(0.0)        # calm restarts here
+        assert brownout.level == 1
+        clock.advance(1.1)
+        brownout.observe(0.0)
+        assert brownout.level == 0
+
+    def test_stats_and_describe(self):
+        brownout = BrownoutController(clock=ManualClock())
+        brownout.observe(1.0)
+        stats = brownout.stats()
+        assert stats["level"] == 1
+        assert stats["shed"] == ["hedging"]
+        assert "brownout level 1/4" in brownout.describe()
+        assert brownout.active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"high_water": 0.0},
+            {"high_water": 1.5},
+            {"low_water": 0.8, "high_water": 0.5},
+            {"hold": -1.0},
+            {"ladder": ()},
+        ],
+    )
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BrownoutConfig(**kwargs)
+
+
+class TestBulkheads:
+    def test_permit_bounds_concurrency(self):
+        bulkheads = BulkheadRegistry(max_per_source=1)
+        with bulkheads.permit("whois"):
+            with pytest.raises(BulkheadSaturated) as info:
+                with bulkheads.permit("whois"):
+                    pass
+        assert info.value.source == "whois"
+        assert info.value.limit == 1
+        # the permit was returned: the source is usable again
+        with bulkheads.permit("whois"):
+            pass
+        assert bulkheads.total_saturations == 1
+
+    def test_sources_are_isolated(self):
+        bulkheads = BulkheadRegistry(max_per_source=1)
+        with bulkheads.permit("whois"):
+            with bulkheads.permit("cs"):  # a different source: fine
+                pass
+
+    def test_per_source_limit_overrides(self):
+        bulkheads = BulkheadRegistry(max_per_source=1, limits={"cs": 2})
+        with bulkheads.permit("cs"), bulkheads.permit("cs"):
+            with pytest.raises(BulkheadSaturated):
+                with bulkheads.permit("cs"):
+                    pass
+
+    def test_saturation_is_a_source_error(self):
+        assert issubclass(BulkheadSaturated, SourceError)
+
+    def test_stats_track_peak_and_acquired(self):
+        bulkheads = BulkheadRegistry(max_per_source=4)
+        with bulkheads.permit("cs"), bulkheads.permit("cs"):
+            pass
+        stats = bulkheads.stats()["cs"]
+        assert stats == {
+            "limit": 4, "active": 0, "peak": 2,
+            "acquired": 2, "saturations": 0,
+        }
+        assert "cs" in bulkheads.describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_per_source": 0},
+            {"max_wait": -1.0},
+            {"limits": {"cs": 0}},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            BulkheadRegistry(**kwargs)
+
+
+def _controller(clock=None, **kwargs):
+    return AdmissionController(
+        AdmissionConfig(**kwargs), clock=clock or ManualClock()
+    )
+
+
+class TestAdmissionController:
+    def test_immediate_admission_under_limit(self):
+        controller = _controller(max_concurrent=2)
+        ticket = controller.admit(tenant="t1")
+        assert ticket.waited == 0.0
+        assert controller.inflight == 1
+        ticket.complete()
+        assert controller.inflight == 0
+        snapshot = controller.snapshot()
+        assert snapshot["submitted"] == snapshot["admitted"] == 1
+        assert snapshot["completed"] == 1
+
+    def test_complete_is_idempotent(self):
+        controller = _controller(max_concurrent=2)
+        ticket = controller.admit()
+        ticket.complete()
+        ticket.complete()
+        assert controller.snapshot()["completed"] == 1
+
+    def test_queue_full_sheds_with_depth_and_hint(self):
+        controller = _controller(
+            max_concurrent=1, max_queue_depth=0, adaptive=False
+        )
+        controller.admit()
+        with pytest.raises(QueryRejected) as info:
+            controller.admit(tenant="t2", priority=5)
+        exc = info.value
+        assert exc.reason == "queue_full"
+        assert exc.tenant == "t2"
+        assert exc.priority == 5
+        assert controller.shed == 1
+
+    def test_tenant_quota_sheds_noisy_tenant_only(self):
+        controller = _controller(
+            max_concurrent=4, tenant_quota=1, adaptive=False
+        )
+        controller.admit(tenant="noisy")
+        with pytest.raises(QueryRejected) as info:
+            controller.admit(tenant="noisy")
+        assert info.value.reason == "tenant"
+        controller.admit(tenant="quiet")  # others unaffected
+
+    def test_tenant_quota_overrides(self):
+        controller = _controller(
+            max_concurrent=8, tenant_quota=1,
+            tenant_quotas={"big": 3}, adaptive=False,
+        )
+        controller.admit(tenant="big")
+        controller.admit(tenant="big")
+        controller.admit(tenant="big")
+        with pytest.raises(QueryRejected):
+            controller.admit(tenant="big")
+
+    def test_deadline_shed_when_predicted_wait_exceeds_budget(self):
+        clock = ManualClock()
+        controller = _controller(
+            clock=clock, max_concurrent=1, adaptive=False
+        )
+        ticket = controller.admit()
+        clock.advance(2.0)           # the query runs for 2 seconds
+        ticket.complete()            # service EWMA is now ~2s
+        blocker = controller.admit()
+        with pytest.raises(QueryRejected) as info:
+            # predicted wait ~2s against a 0.1s remaining budget
+            controller.admit(deadline=0.1)
+        exc = info.value
+        assert exc.reason == "deadline"
+        assert exc.retry_after is not None and exc.retry_after > 0.1
+        blocker.complete()
+
+    def test_queue_timeout_sheds_after_real_wait(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_concurrent=1, queue_timeout=0.05, adaptive=False
+            ),
+            clock=MonotonicClock(),
+        )
+        controller.admit()
+        with pytest.raises(QueryRejected) as info:
+            controller.admit()
+        assert info.value.reason == "timeout"
+        assert controller.snapshot()["queue_depth"] == 0
+
+    def test_waiter_admitted_when_slot_frees(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrent=1, adaptive=False),
+            clock=MonotonicClock(),
+        )
+        first = controller.admit()
+        admitted = []
+
+        def waiter():
+            ticket = controller.admit()
+            admitted.append(ticket)
+            ticket.complete()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        while controller.queue_depth == 0:  # until the waiter queues
+            pass
+        first.complete()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert len(admitted) == 1
+        snapshot = controller.snapshot()
+        assert snapshot["admitted"] == snapshot["completed"] == 2
+        assert snapshot["queue_wait_total_s"] > 0.0
+
+    def test_higher_priority_admitted_first(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrent=1, adaptive=False),
+            clock=MonotonicClock(),
+        )
+        first = controller.admit()
+        order = []
+        lock = threading.Lock()
+
+        def waiter(priority):
+            ticket = controller.admit(priority=priority)
+            with lock:
+                order.append(priority)
+            # hold the slot briefly so admissions serialize
+            ticket.complete()
+
+        low = threading.Thread(target=waiter, args=(1,))
+        low.start()
+        while controller.queue_depth < 1:
+            pass
+        high = threading.Thread(target=waiter, args=(9,))
+        high.start()
+        while controller.queue_depth < 2:
+            pass
+        first.complete()
+        low.join(timeout=5.0)
+        high.join(timeout=5.0)
+        assert order[0] == 9, order
+
+    def test_close_sheds_new_arrivals(self):
+        controller = _controller(max_concurrent=2)
+        controller.close()
+        controller.close()  # idempotent
+        assert controller.closed
+        with pytest.raises(QueryRejected) as info:
+            controller.admit()
+        assert info.value.reason == "closed"
+
+    def test_close_wakes_queued_waiters_as_shed(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrent=1, adaptive=False),
+            clock=MonotonicClock(),
+        )
+        controller.admit()
+        rejections = []
+
+        def waiter():
+            try:
+                controller.admit()
+            except QueryRejected as exc:
+                rejections.append(exc.reason)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        while controller.queue_depth == 0:
+            pass
+        controller.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert rejections == ["closed"]
+
+    def test_accounting_balances(self):
+        controller = _controller(
+            max_concurrent=1, max_queue_depth=0, adaptive=False
+        )
+        ticket = controller.admit()
+        for _ in range(3):
+            with pytest.raises(QueryRejected):
+                controller.admit()
+        ticket.complete()
+        snapshot = controller.snapshot()
+        assert snapshot["submitted"] == 4
+        assert snapshot["submitted"] == (
+            snapshot["admitted"] + snapshot["shed"]
+        )
+        assert snapshot["admitted"] == snapshot["completed"]
+        assert snapshot["rejected"] == {"queue_full": 3}
+
+    def test_sheds_drive_brownout(self):
+        controller = _controller(
+            max_concurrent=1, max_queue_depth=0, adaptive=False
+        )
+        controller.admit()
+        for _ in range(4):
+            with pytest.raises(QueryRejected):
+                controller.admit()
+        assert controller.brownout is not None
+        assert controller.brownout.level == len(DEFAULT_LADDER)
+
+    def test_brownout_disabled_by_config(self):
+        controller = _controller(max_concurrent=2, brownout=False)
+        assert controller.brownout is None
+        assert "brownout" not in controller.snapshot()
+
+    def test_adaptive_flag_picks_limiter(self):
+        assert isinstance(
+            _controller(max_concurrent=4).limiter,
+            AdaptiveConcurrencyLimiter,
+        )
+        assert isinstance(
+            _controller(max_concurrent=4, adaptive=False).limiter,
+            FixedLimiter,
+        )
+
+    def test_describe_mentions_traffic(self):
+        controller = _controller(max_concurrent=2)
+        controller.admit().complete()
+        text = controller.describe()
+        assert "1 submitted" in text
+        assert "limiter:" in text
+
+
+def _mediator(**kwargs):
+    scenario = build_scenario(push_mode="needed")
+    return Mediator(
+        "med",
+        scenario.mediator.specification,
+        scenario.registry,
+        scenario.externals,
+        push_mode="needed",
+        register=False,
+        **kwargs,
+    )
+
+
+class TestMediatorServing:
+    def test_admission_true_uses_defaults(self):
+        mediator = _mediator(admission=True)
+        try:
+            assert mediator.admission is not None
+            assert mediator.admission.config.max_concurrent == 8
+            assert len(mediator.answer(JOE_CHUNG_QUERY)) == 1
+        finally:
+            mediator.close()
+
+    def test_query_accepts_tenant_and_priority(self):
+        with _mediator(admission=AdmissionConfig(max_concurrent=2)) as med:
+            results = med.query(JOE_CHUNG_QUERY, tenant="t1", priority=5)
+            assert len(results) == 1
+            assert list(results.warnings) == []
+            serving = med.health_snapshot()["serving"]
+            assert serving["admitted"] == 1
+            assert serving["completed"] == 1
+
+    def test_health_snapshot_has_no_serving_key_without_admission(self):
+        mediator = _mediator()
+        try:
+            assert "serving" not in mediator.health_snapshot()
+        finally:
+            mediator.close()
+
+    def test_explain_includes_serving_section(self):
+        with _mediator(admission=True) as med:
+            text = med.explain(JOE_CHUNG_QUERY)
+            assert "-- serving --" in text
+            assert "admission:" in text
+
+    def test_metrics_include_admission_series(self):
+        with _mediator(admission=True) as med:
+            med.answer(JOE_CHUNG_QUERY)
+            text = med.metrics_text()
+            assert "repro_admission_submitted_total 1" in text
+            assert "repro_admission_admitted_total 1" in text
+            assert "repro_admission_queue_depth 0" in text
+
+    def test_close_is_idempotent_and_context_manager_closes(self):
+        mediator = _mediator(admission=True)
+        with mediator as med:
+            assert med is mediator
+        assert mediator.closed
+        mediator.close()  # second close is a no-op
+        assert mediator.admission.closed
+
+    def test_closed_mediator_sheds_structured_with_admission(self):
+        mediator = _mediator(admission=True)
+        mediator.close()
+        with pytest.raises(QueryRejected) as info:
+            mediator.answer(JOE_CHUNG_QUERY)
+        assert info.value.reason == "closed"
+
+    def test_closed_mediator_errors_without_admission(self):
+        mediator = _mediator()
+        mediator.close()
+        with pytest.raises(MediatorError, match="closed"):
+            mediator.answer(JOE_CHUNG_QUERY)
+
+    def test_int_bulkheads_shorthand(self):
+        with _mediator(bulkheads=2) as med:
+            assert med.dispatcher.bulkheads.max_per_source == 2
+            assert len(med.answer(JOE_CHUNG_QUERY)) == 1
+
+    def test_rejections_surface_queue_depth(self):
+        config = AdmissionConfig(
+            max_concurrent=1, max_queue_depth=0, adaptive=False
+        )
+        with _mediator(admission=config) as med:
+            ticket = med.admission.admit()  # occupy the only slot
+            try:
+                with pytest.raises(QueryRejected) as info:
+                    med.answer(JOE_CHUNG_QUERY)
+                assert info.value.reason == "queue_full"
+                assert med.health_snapshot()["serving"]["shed"] == 1
+            finally:
+                ticket.complete()

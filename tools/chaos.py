@@ -19,12 +19,19 @@ The harness then asserts the invariants the resilience stack promises
   same data;
 * **no leaked hedges** — after a drain, no attempt is outstanding and
   the race accounting balances:
-  ``hedge_wins + primary_wins == hedges_issued``.
+  ``hedge_wins + primary_wins == hedges_issued``;
+* **concurrent serving is safe** (kind C) — many threads hammering one
+  admission-gated mediator never deadlock, the gate's accounting
+  balances exactly (``submitted == completed + shed``), no admitted
+  query blows through its deadline budget, every completed answer is a
+  subset of the fault-free answer (equal when the schedule injects no
+  faults), and the controller drains clean.
 
 Usage::
 
     PYTHONPATH=src python tools/chaos.py --seeds 25
     PYTHONPATH=src python tools/chaos.py --seeds 5 --quick --verbose
+    PYTHONPATH=src python tools/chaos.py --kind concurrent --seeds 25
 
 Exits 0 when every schedule holds every invariant, 1 otherwise.  The
 same ``--base-seed`` always replays the same schedules.
@@ -35,6 +42,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -54,6 +62,7 @@ from repro.reliability import (
     RetryPolicy,
 )
 from repro.reliability.clock import MonotonicClock
+from repro.serving import AdmissionConfig, BulkheadRegistry, QueryRejected
 
 QUERY = "S :- S:<cs_person {<rel 'student'>}>@med"
 
@@ -269,6 +278,193 @@ def run_latency_schedule(seed, quick, verbose):
     return violations
 
 
+def run_concurrent_schedule(seed, quick, verbose):
+    """Kind C: many threads against one admission-gated mediator.
+
+    The harness submits a fixed batch of queries from 8–16 concurrent
+    client threads with random tenants and priorities, then asserts
+    the serving invariants: no deadlock (the batch finishes inside the
+    hang bound), exact accounting (``submitted == completed + shed``
+    from both the clients' and the controller's perspective), no
+    admitted query exceeding its end-to-end deadline budget (queue
+    wait is charged against it), subset-correct answers, and a fully
+    drained controller afterwards.
+    """
+    rng = random.Random(seed ^ 0x3C3C3C3C)
+    people = 8 if quick else rng.choice((10, 16))
+    client_threads = rng.choice((8, 12, 16))
+    queries_per_client = 2 if quick else 3
+    parallelism = rng.choice((1, 2, 4))
+    fault_rate = rng.choice((0.0, 0.0, 0.1, 0.3))
+    latency = rng.choice((0.0, 0.001, 0.003))
+    deadline = 10.0
+
+    reference = build_scaled_scenario(people, seed=seed, push_mode="needed")
+    fault_free = canonical(reference.mediator.answer(QUERY))
+
+    scenario = build_scaled_scenario(people, seed=seed, push_mode="needed")
+    # a real clock: concurrency is real threads racing, and queue wait
+    # must be measured in the same time base the governor deadline uses
+    build_sources(
+        scenario,
+        rng,
+        MonotonicClock(),
+        fault_rate=fault_rate,
+        latency=latency,
+    )
+
+    kwargs = dict(
+        on_source_failure="degrade",
+        budget=QueryBudget(deadline=deadline),
+        budget_mode="truncate",
+        parallelism=parallelism,
+        admission=AdmissionConfig(
+            max_concurrent=rng.choice((2, 4)),
+            max_queue_depth=rng.choice((8, 16, 64)),
+            adaptive=rng.random() < 0.5,
+        ),
+    )
+    if rng.random() < 0.5:
+        kwargs["bulkheads"] = BulkheadRegistry(
+            max_per_source=rng.choice((2, 4)), max_wait=5.0
+        )
+    if rng.random() < 0.5:
+        from repro.exec import AnswerCache
+
+        kwargs["cache"] = AnswerCache(max_entries=64)
+    if rng.random() < 0.5:
+        kwargs["resilience"] = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.001)
+        )
+    mediator = remake_mediator(scenario, **kwargs)
+
+    violations = Violations()
+    lock = threading.Lock()
+    completed = []  # (canonical answer, end-to-end seconds)
+    shed = []  # rejection reasons
+    unexpected = []
+
+    def client(index):
+        thread_rng = random.Random((seed << 8) | index)
+        for _ in range(queries_per_client):
+            tenant = f"tenant{thread_rng.randrange(3)}"
+            priority = thread_rng.randrange(3)
+            started = time.monotonic()
+            try:
+                results = mediator.answer(
+                    QUERY, tenant=tenant, priority=priority
+                )
+            except QueryRejected as exc:
+                with lock:
+                    shed.append(exc.reason)
+            except Exception as exc:  # no other error is acceptable
+                with lock:
+                    unexpected.append(
+                        f"{type(exc).__name__}: {exc}"
+                    )
+            else:
+                elapsed = time.monotonic() - started
+                with lock:
+                    completed.append((canonical(results), elapsed))
+
+    started = time.monotonic()
+    workers = [
+        threading.Thread(target=client, args=(index,), daemon=True)
+        for index in range(client_threads)
+    ]
+    try:
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(HANG_BOUND)
+        hung = [w for w in workers if w.is_alive()]
+        violations.check(
+            not hung,
+            f"{len(hung)} client thread(s) still running after"
+            f" {HANG_BOUND:.0f}s (deadlock?)",
+        )
+        if hung:
+            return violations  # counters below would block/lie
+
+        submitted = client_threads * queries_per_client
+        violations.check(
+            not unexpected,
+            f"unexpected client errors: {unexpected[:3]}",
+        )
+        violations.check(
+            len(completed) + len(shed) == submitted,
+            f"accounting: {len(completed)} completed + {len(shed)} shed"
+            f" != {submitted} submitted",
+        )
+        snapshot = mediator.admission.snapshot()
+        violations.check(
+            snapshot["submitted"]
+            == snapshot["admitted"] + snapshot["shed"],
+            f"controller accounting does not balance: {snapshot}",
+        )
+        violations.check(
+            snapshot["admitted"] == snapshot["completed"],
+            f"admitted != completed after drain: {snapshot}",
+        )
+        violations.check(
+            snapshot["submitted"] == submitted,
+            f"controller saw {snapshot['submitted']} of"
+            f" {submitted} submissions",
+        )
+        violations.check(
+            snapshot["inflight"] == 0 and snapshot["queue_depth"] == 0,
+            f"controller not drained: {snapshot}",
+        )
+        # deadline invariant: admitted means "can finish in budget";
+        # slack covers scheduler jitter around the governor's clock
+        worst = max((elapsed for _, elapsed in completed), default=0.0)
+        violations.check(
+            worst <= deadline + 1.0,
+            f"an admitted query took {worst:.2f}s against a"
+            f" {deadline:.0f}s deadline budget",
+        )
+        for answer, _ in completed:
+            violations.check(
+                set(answer) <= set(fault_free),
+                "a concurrent answer invents objects:"
+                f" {sorted(set(answer) - set(fault_free))[:3]}",
+            )
+            if fault_rate == 0.0:
+                violations.check(
+                    answer == fault_free,
+                    "fault-free concurrent answer differs from the"
+                    " sequential reference",
+                )
+            if not violations:
+                continue
+            break
+    finally:
+        mediator.close()
+    violations.check(
+        mediator.closed and mediator.admission.closed,
+        "close() did not propagate to the admission controller",
+    )
+    elapsed = time.monotonic() - started
+    violations.check(
+        elapsed < HANG_BOUND, f"schedule took {elapsed:.1f}s (hang?)"
+    )
+    if verbose:
+        print(
+            f"  concurrent: people={people} clients={client_threads}"
+            f" parallelism={parallelism} faults={fault_rate}"
+            f" -> {len(completed)} completed, {len(shed)} shed,"
+            f" {len(violations)} violation(s)"
+        )
+    return violations
+
+
+KINDS = (
+    ("faults", run_fault_schedule),
+    ("latency", run_latency_schedule),
+    ("concurrent", run_concurrent_schedule),
+)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="chaos",
@@ -290,18 +486,26 @@ def main(argv=None):
         "--verbose", action="store_true",
         help="print one line per schedule",
     )
+    parser.add_argument(
+        "--kind",
+        choices=tuple(name for name, _ in KINDS) + ("all",),
+        default="all",
+        help="run only one schedule kind (default: all)",
+    )
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be at least 1")
+    kinds = [
+        (name, runner)
+        for name, runner in KINDS
+        if args.kind in ("all", name)
+    ]
 
     failures = 0
     started = time.monotonic()
     for index in range(args.seeds):
         seed = args.base_seed + index
-        for kind, runner in (
-            ("faults", run_fault_schedule),
-            ("latency", run_latency_schedule),
-        ):
+        for kind, runner in kinds:
             violations = runner(seed, args.quick, args.verbose)
             if violations:
                 failures += 1
@@ -311,7 +515,7 @@ def main(argv=None):
             elif args.verbose:
                 print(f"ok   seed={seed} kind={kind}")
     elapsed = time.monotonic() - started
-    total = args.seeds * 2
+    total = args.seeds * len(kinds)
     print(
         f"chaos: {total - failures}/{total} schedule(s) clean"
         f" in {elapsed:.1f}s"
