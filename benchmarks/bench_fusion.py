@@ -5,6 +5,12 @@ for object fusion".  The bibliography scenario measures it: two sources
 with overlapping records fused into one view, versus the join-only MS1
 style, which drops single-source records.  The fusion pass itself is
 also measured in isolation.
+
+Naming note: this file measures **object** fusion (semantic-oid result
+merging, :mod:`repro.mediator.fusion`).  Whole-plan **operator** fusion
+(:mod:`repro.mediator.pipeline`) is measured by
+``bench_pipeline_fusion.py`` and reported in
+``BENCH_pipeline_fusion.json``.
 """
 
 import pytest

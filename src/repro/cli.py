@@ -36,6 +36,8 @@ Usage::
   answers (LRU), optionally expiring entries after SECONDS;
 * ``--no-compile`` — evaluate patterns with the interpretive reference
   matcher instead of the compiled closure backend (default: compiled);
+* ``--no-fuse`` — execute one plan node per operator instead of fusing
+  straight-line segments into pipeline nodes (default: fused);
 * ``--trace-out FILE`` / ``--metrics-out FILE`` — enable the telemetry
   subsystem and write, after the queries ran, the span trees as JSON
   lines and/or the metrics registry in Prometheus text format;
@@ -263,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "use the interpretive reference matcher instead of the"
             " compiled pattern backend"
+        ),
+    )
+    parser.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help=(
+            "run the unfused reference plan (one node per operator)"
+            " instead of fusing straight-line segments"
         ),
     )
     parser.add_argument(
@@ -551,6 +561,7 @@ def main(
             hedge=hedge,
             adaptive_timeouts=args.adaptive_timeouts,
             compile=not args.no_compile,
+            fuse=not args.no_fuse,
             telemetry=telemetry,
             trace_sample_rate=args.trace_sample_rate,
             slow_query_ms=args.slow_query_ms,

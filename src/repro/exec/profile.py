@@ -28,7 +28,8 @@ class Profiler:
     """Thread-safe per-node and per-pattern execution counters."""
 
     __slots__ = (
-        "_lock", "_nodes", "_patterns", "_rows_metric", "_rows_children"
+        "_lock", "_nodes", "_patterns", "_rows_metric", "_rows_children",
+        "_fused_chains", "_fused_nodes",
     )
 
     def __init__(self) -> None:
@@ -37,6 +38,9 @@ class Profiler:
         self._nodes: dict[str, list[float]] = {}
         # pattern text -> [objects, matches, seconds]
         self._patterns: dict[str, list[float]] = {}
+        # operator fusion: cumulative chains fused / operators absorbed
+        self._fused_chains = 0
+        self._fused_nodes = 0
         # telemetry mirror (None = not bound) + per-node bound children
         self._rows_metric = None
         self._rows_children: dict[str, object] = {}
@@ -86,10 +90,18 @@ class Profiler:
                 entry[1] += matches
                 entry[2] += seconds
 
+    def record_fusion(self, chains: int, nodes: int) -> None:
+        """One plan's operator-fusion outcome (chains / operators fused)."""
+        with self._lock:
+            self._fused_chains += chains
+            self._fused_nodes += nodes
+
     def reset(self) -> None:
         with self._lock:
             self._nodes.clear()
             self._patterns.clear()
+            self._fused_chains = 0
+            self._fused_nodes = 0
 
     # -- reporting ------------------------------------------------------
 
@@ -112,7 +124,17 @@ class Profiler:
                 }
                 for pattern, entry in self._patterns.items()
             }
-        return {"nodes": nodes, "patterns": patterns}
+            fused_chains = self._fused_chains
+            fused_nodes = self._fused_nodes
+        snap = {"nodes": nodes, "patterns": patterns}
+        if fused_chains:
+            # key present only when fusion actually happened, so the
+            # historical two-key shape is otherwise unchanged
+            snap["fusion"] = {
+                "chains": fused_chains,
+                "operators": fused_nodes,
+            }
+        return snap
 
     def render(self) -> str:
         """Human-readable report (the ``-- profile --`` explain section)."""
@@ -140,6 +162,12 @@ class Profiler:
                     f"  {pattern}: {entry['objects']} / {entry['matches']}"
                     f" / {entry['seconds']:.6f}"
                 )
+        fusion = snap.get("fusion")
+        if fusion:
+            lines.append(
+                f"operator fusion: {fusion['chains']} chain(s),"
+                f" {fusion['operators']} operator(s) fused"
+            )
         if not lines:
             return "no executions profiled"
         return "\n".join(lines)

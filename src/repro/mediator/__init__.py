@@ -11,6 +11,11 @@ from repro.mediator.optimizer import (
     PlanningError,
     STRATEGIES,
 )
+from repro.mediator.pipeline import (
+    FusedPipelineNode,
+    FusionDecision,
+    fuse_plan,
+)
 from repro.mediator.plan import (
     ConstructorNode,
     DedupNode,
@@ -42,6 +47,8 @@ __all__ = [
     "ExternalPredNode",
     "ExtractorNode",
     "FilterNode",
+    "FusedPipelineNode",
+    "FusionDecision",
     "JoinNode",
     "LogicalDatamergeProgram",
     "LogicalRule",
@@ -63,6 +70,7 @@ __all__ = [
     "ViewExpander",
     "apply_mapping_to_pattern",
     "fuse_objects",
+    "fuse_plan",
     "has_semantic_oids",
     "unify_with_head",
 ]

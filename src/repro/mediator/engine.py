@@ -101,6 +101,10 @@ class ExecutionContext:
     # *other* queries for the pool under overload (caching, dedup, and
     # bulkheads still apply through dispatcher.fetch)
     force_sequential: bool = False
+    # stage number of the node currently executing (set by the engine
+    # when a deadline slicer is attached); a fused pipeline node reads
+    # it as the base for its constituents' per-stage slicer advances
+    stage_base: int = 1
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False
     )
@@ -341,7 +345,10 @@ class DatamergeEngine:
             governor.start()
         slicer = context.slicer
         if slicer is not None:
-            slicer.begin_plan(len(plan.stages()))
+            # depth() counts every constituent of a fused pipeline
+            # node, so the slicer sees the same stage count with or
+            # without operator fusion
+            slicer.begin_plan(plan.depth())
         dispatcher = context.dispatcher
         if (
             dispatcher is not None
@@ -358,7 +365,7 @@ class DatamergeEngine:
         stage_spans: dict[int, Span] = {}
         stage_of: dict[int, int] = {}
         if tracer is not None or slicer is not None:
-            for index, stage in enumerate(plan.stages(), 1):
+            for index, stage in plan.stage_starts():
                 for node in stage:
                     stage_of[id(node)] = index
         try:
@@ -366,7 +373,9 @@ class DatamergeEngine:
                 if governor is not None:
                     governor.enter_node(node)
                 if slicer is not None:
-                    slicer.enter_stage(stage_of[id(node)])
+                    index = stage_of[id(node)]
+                    slicer.enter_stage(index)
+                    context.stage_base = index
                 inputs = [outputs[id(child)] for child in node.inputs]
                 attempts_before = context.attempts_made
                 latency_before = context.source_latency
@@ -434,9 +443,10 @@ class DatamergeEngine:
         slicer = context.slicer
         outputs: dict[int, BindingTable] = {}
         entries: dict[int, TraceEntry] = {}
-        for stage_index, stage in enumerate(plan.stages(), 1):
+        for stage_index, stage in plan.stage_starts():
             if slicer is not None:
                 slicer.enter_stage(stage_index)
+                context.stage_base = stage_index
             stage_span = (
                 tracer.start_span("plan-stage", f"stage-{stage_index}")
                 if tracer is not None

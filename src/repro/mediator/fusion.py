@@ -13,6 +13,13 @@ describes the *same* view object, so their sub-objects are merged into
 one fused object.  This is how a mediator can combine information about
 a person appearing in only one source with information from both,
 without the join-only behaviour of the running example's ``med``.
+
+Naming note: this is **object** fusion, a semantic feature of the
+result set.  It is unrelated to :mod:`repro.mediator.pipeline`, which
+implements **operator** fusion — a physical-plan optimization that
+merges straight-line datamerge operators into single pipeline nodes.
+(Benchmarks keep the same split: ``bench_fusion.py`` measures object
+fusion, ``bench_pipeline_fusion.py`` measures operator fusion.)
 """
 
 from __future__ import annotations

@@ -49,6 +49,7 @@ from repro.mediator.engine import DatamergeEngine, ExecutionContext
 from repro.mediator.fusion import fuse_objects, has_semantic_oids
 from repro.mediator.logical import LogicalDatamergeProgram, LogicalRule
 from repro.mediator.optimizer import CostBasedOptimizer
+from repro.mediator.pipeline import FusionDecision, fuse_plan
 from repro.mediator.statistics import SourceStatistics
 from repro.mediator.view_expander import ViewExpander
 from repro.msl.analysis import check_rule, check_specification_rule
@@ -180,6 +181,7 @@ class Mediator(Source):
         parallelism: int = 1,
         cache: AnswerCache | None = None,
         compile: bool = True,
+        fuse: bool = True,
         telemetry: "Telemetry | bool | None" = None,
         trace_sample_rate: float = 1.0,
         slow_query_ms: float | None = None,
@@ -238,6 +240,13 @@ class Mediator(Source):
         self._compile_cache = (
             CompileCache(registry) if compile else None
         )
+        # whole-plan operator fusion (repro.mediator.pipeline): merge
+        # straight-line plan segments into single pipeline nodes;
+        # fuse=False keeps the node-per-operator reference path.
+        # Trace mode implies the reference path — the Figure 3.6
+        # walkthrough needs every intermediate table.
+        self.fuse = fuse
+        self.last_fusion: list[FusionDecision] = []
         self.profiler = Profiler()
 
         self.on_source_failure = on_source_failure
@@ -433,7 +442,9 @@ class Mediator(Source):
                 ) as span:
                     program = self.expander.expand(query)
                     op.program = program
-                    plan = self.optimizer.plan_program(program)
+                    plan = self._fuse_plan(
+                        self.optimizer.plan_program(program)
+                    )
                     span.set_attribute("rules", len(program))
                 context = self._context()
                 objects = self.engine.execute_to_objects(plan, context)
@@ -449,6 +460,30 @@ class Mediator(Source):
                 root.set_attribute("result_objects", len(objects))
             return objects, list(op.warnings)
 
+    def _fusion_active(self) -> bool:
+        return self.fuse and not self.engine.trace_enabled
+
+    def _fuse_plan(self, plan):
+        """Apply operator fusion to a freshly planned physical graph.
+
+        A no-op with ``fuse=False`` or in trace mode (the trace replay
+        needs one table per operator).  The per-chain decisions are
+        kept for ``explain``/introspection, and fused-chain counts are
+        folded into the profiler so the profile section reports how
+        much of the plan ran fused.
+        """
+        if not self._fusion_active():
+            return plan
+        plan, decisions = fuse_plan(plan)
+        self.last_fusion = decisions
+        fused_chains = [d for d in decisions if d.fused]
+        if fused_chains:
+            self.profiler.record_fusion(
+                len(fused_chains),
+                sum(len(d.nodes) for d in fused_chains),
+            )
+        return plan
+
     def export(self) -> Sequence[OEMObject]:
         """Materialize the whole view (all rules, no conditions)."""
         with self._admitted(None, 0), self._warning_scope(
@@ -460,7 +495,9 @@ class Mediator(Source):
                 results = []
                 context = self._context()
                 for rule in self.specification.rules:
-                    plan = self.optimizer.plan_rule(LogicalRule(rule))
+                    plan = self._fuse_plan(
+                        self.optimizer.plan_rule(LogicalRule(rule))
+                    )
                     results.extend(
                         self.engine.execute_to_objects(plan, context)
                     )
@@ -595,6 +632,16 @@ class Mediator(Source):
             f"-- physical datamerge graph --\n"
             f"{plan.describe()}"
         )
+        if self._fusion_active():
+            # fuse a fresh copy of the plan: fuse_plan rewires node
+            # inputs in place, and the unfused graph above should show
+            # the optimizer's output
+            fused, decisions = fuse_plan(
+                self.optimizer.plan_program(program)
+            )
+            lines = [fused.describe(), "", "decisions:"]
+            lines.extend(f"  {decision.render()}" for decision in decisions)
+            text += "\n\n-- operator fusion --\n" + "\n".join(lines)
         if self.resilience is not None or self.on_source_failure != "fail":
             lines = [f"mode: on_source_failure={self.on_source_failure}"]
             if self.resilience is not None:

@@ -1,0 +1,564 @@
+"""Whole-plan *operator* fusion: straight-line datamerge segments
+collapsed into single pipeline nodes.
+
+BENCH_compile showed that compiling individual patterns leaves
+end-to-end mediation at ~parity: every arc of the datamerge graph
+still materializes a full governed :class:`BindingTable`, and the
+engine pays per-node dispatch, span, and admission overhead between
+every pair of operators.  This module attacks that by fusing maximal
+straight-line chains of row-at-a-time operators —
+
+    extractor -> filter -> external-predicate -> parameterized-query
+    probe -> constructor
+
+— into one :class:`FusedPipelineNode` whose ``execute`` drives raw row
+tuples from the source answer to the chain's output without building
+the intermediate tables.  The fusibility policy is explicit, in the
+style of ngraph's greedy dataflow fusion (SNIPPETS.md Snippet 1):
+
+* only the five operator types above are fusible;
+* **fan-out is a barrier** — a producer with more than one consumer
+  ends its chain (each consumer sees the one materialized output);
+* **joins, dedup, and union are barriers** — they need whole
+  materialized inputs (and, for joins, the columnar key arrays of
+  :mod:`repro.mediator.tables`);
+* **dispatcher stage boundaries are barriers** — leaf ``QueryNode``\\ s
+  are fanned out across worker threads by the staged executor, so a
+  chain never swallows one.
+
+Equivalence contract (the PR-4 standard): a fused plan's output is
+bit-for-bit equal to the unfused plan's — same rows in the same order,
+same oid-generator call sequence, same warnings, and the same budget
+truncation points.  The fused node achieves this by executing its
+constituents stage-at-a-time (not row-at-a-time across stages): each
+constituent stage admits its intermediate rows through
+``governor.row_admitter`` against a lightweight row sink, in exactly
+the order the unfused node would have admitted them into its table,
+and calls ``governor.enter_node``/``slicer.enter_stage`` per
+constituent so budget violations name the same node and deadline
+slicing sees the same stage count.  The hot loops themselves are
+shared with the unfused nodes (``run_row_extractor``,
+``build_comparison_keep``, ``ExternalPredNode.plan_call``,
+``ParameterizedQueryNode.run_batch``, ``key_array``), so there is one
+implementation of each operator's semantics, not two.
+
+Naming note: this is **operator** fusion, a physical-plan
+optimization.  It is unrelated to :mod:`repro.mediator.fusion`, which
+implements the paper's semantic-oid **object** fusion (merging result
+objects that share a semantic oid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
+
+from repro.mediator.plan import (
+    ConstructorNode,
+    ExternalPredNode,
+    ExtractorNode,
+    FilterNode,
+    OBJECT_COLUMN,
+    ParameterizedQueryNode,
+    PhysicalPlan,
+    PlanNode,
+    RESULT_COLUMN,
+    build_comparison_keep,
+)
+from repro.mediator.tables import BindingTable, TableError, key_array
+from repro.msl.bindings import Bindings, values_equal
+from repro.msl.compile import compile_head_item, run_row_extractor
+from repro.msl.matcher import match_pattern
+from repro.msl.substitute import instantiate_head_item
+from repro.obs.span import status_of_exception
+from repro.oem.compare import eliminate_duplicates
+from repro.oem.model import OEMObject
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mediator.engine import ExecutionContext
+
+__all__ = [
+    "FUSIBLE_TYPES",
+    "FusedPipelineNode",
+    "FusionDecision",
+    "fuse_plan",
+]
+
+#: The straight-line operator types a chain may contain.  Everything
+#: else — joins, dedup, union, and source query leaves — is a barrier.
+FUSIBLE_TYPES = (
+    ExtractorNode,
+    FilterNode,
+    ExternalPredNode,
+    ParameterizedQueryNode,
+    ConstructorNode,
+)
+
+
+@dataclass(frozen=True)
+class FusionDecision:
+    """One per-chain decision of the fusion pass, for ``explain()``."""
+
+    fused: bool
+    nodes: tuple[str, ...]
+    reason: str
+
+    def render(self) -> str:
+        mark = "+" if self.fused else "-"
+        return f"{mark} {self.reason}: {' => '.join(self.nodes)}"
+
+
+class _RowSink:
+    """A bare governed-admission target: just the ``rows`` the
+    governor's ``row_admitter`` closes over, no table around them."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self) -> None:
+        self.rows: list[tuple[object, ...]] = []
+
+
+def _sink(governor):
+    """``(rows, add)`` for one intermediate stage's output.
+
+    With a governor the rows are admitted through ``row_admitter`` —
+    charged against the per-table and run-total row budgets exactly
+    like the unfused node's output table would have been.
+    """
+    if governor is None:
+        rows: list[tuple[object, ...]] = []
+        return rows, rows.append
+    shim = _RowSink()
+    return shim.rows, governor.row_admitter(shim)
+
+
+class FusedPipelineNode(PlanNode):
+    """A maximal fusible chain executed as one plan node.
+
+    ``fusion_width`` exposes the constituent count so
+    :meth:`PhysicalPlan.stage_starts` numbers the fused plan's stages
+    identically to the unfused plan's — deadline slicing and stage
+    spans cannot tell the difference.
+    """
+
+    def __init__(self, nodes: Sequence[PlanNode]) -> None:
+        super().__init__(nodes[0].inputs)
+        self.nodes: tuple[PlanNode, ...] = tuple(nodes)
+        # compiled head builders for the chain's constructor stage,
+        # keyed by (constituent id, projected column layout)
+        self._head_cache: dict[tuple, tuple | None] = {}
+
+    @property
+    def fusion_width(self) -> int:  # type: ignore[override]
+        return len(self.nodes)
+
+    def describe(self) -> str:
+        inner = " => ".join(node.describe() for node in self.nodes)
+        return f"pipeline [{inner}]"
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        (table,) = inputs
+        governor = context.governor
+        profiler = context.profiler
+        tracer = context.tracer
+        slicer = context.slicer
+        base = context.stage_base
+        columns: list[str] = list(table.columns)
+        rows: Sequence[tuple[object, ...]] = table.rows
+        last = len(self.nodes) - 1
+        result: BindingTable | None = None
+        for offset, node in enumerate(self.nodes):
+            # same per-operator bookkeeping as the engine's node loop:
+            # budget violations name the constituent, the deadline
+            # slicer advances one stage per constituent
+            if governor is not None:
+                governor.enter_node(node)
+            if slicer is not None and offset:
+                slicer.enter_stage(base + offset)
+
+            def make_out(out_columns, _last=offset == last):
+                if _last:
+                    out = BindingTable(out_columns, governor=governor)
+                    return out.rows, out._appender(), out
+                out_rows, add = _sink(governor)
+                return out_rows, add, None
+
+            span = (
+                tracer.start_span("pipeline-stage", type(node).__name__)
+                if tracer is not None
+                else None
+            )
+            started = perf_counter() if profiler is not None else 0.0
+            try:
+                if span is not None:
+                    with tracer.use(span):
+                        columns, rows, out_table = self._run_constituent(
+                            node, columns, rows, context, make_out
+                        )
+                else:
+                    columns, rows, out_table = self._run_constituent(
+                        node, columns, rows, context, make_out
+                    )
+            except BaseException as exc:
+                if span is not None:
+                    tracer.finish_span(span, status=status_of_exception(exc))
+                raise
+            if profiler is not None:
+                profiler.record_node(
+                    type(node).__name__, len(rows), perf_counter() - started
+                )
+            if span is not None:
+                span.set_attribute("rows_out", len(rows))
+                tracer.finish_span(span)
+            if out_table is not None:
+                result = out_table
+        assert result is not None  # the last stage always built it
+        return result
+
+    def _run_constituent(self, node, columns, rows, context, make_out):
+        if isinstance(node, ExtractorNode):
+            return self._stage_extractor(node, columns, rows, context, make_out)
+        if isinstance(node, FilterNode):
+            return self._stage_filter(node, columns, rows, context, make_out)
+        if isinstance(node, ExternalPredNode):
+            return self._stage_external(node, columns, rows, context, make_out)
+        if isinstance(node, ParameterizedQueryNode):
+            return self._stage_param_query(
+                node, columns, rows, context, make_out
+            )
+        if isinstance(node, ConstructorNode):
+            return self._stage_constructor(
+                node, columns, rows, context, make_out
+            )
+        raise TableError(
+            f"node {node.describe()!r} is not fusible"
+        )  # pragma: no cover - fuse_plan never builds such a chain
+
+    # -- constituent stages ------------------------------------------------
+    #
+    # Each mirrors its unfused node's ``execute`` over (columns, rows)
+    # instead of a BindingTable: same loops, same admission order, same
+    # spans and profiler records, no intermediate table.
+
+    def _stage_extractor(self, node, columns, rows, context, make_out):
+        positions = {name: i for i, name in enumerate(columns)}
+        position = positions[node.column]
+        carried = [c for c in columns if c != node.column]
+        carried_positions = [positions[c] for c in carried]
+        new_columns = [v for v in node.variables if v not in carried]
+        out_columns = carried + new_columns
+        out_rows, add, out_table = make_out(out_columns)
+        profiler = context.profiler
+        tracer = context.tracer
+        span = (
+            tracer.start_span("pattern-match", node.pattern_text)
+            if tracer is not None
+            else None
+        )
+        started = perf_counter() if profiler is not None else 0.0
+        matches = 0
+        compiler = context.compiler
+        if compiler is not None:
+            compiled = compiler.pattern(node.pattern)
+            index = compiled.layout.index
+            carried_checks = tuple(
+                (positions[c], index[c]) for c in carried if c in index
+            )
+            new_registers = tuple(index.get(v) for v in new_columns)
+            matches = run_row_extractor(
+                compiled,
+                rows,
+                position,
+                carried_positions,
+                carried_checks,
+                new_registers,
+                add,
+                node.column,
+                TableError,
+            )
+        else:
+            for row in rows:
+                obj = row[position]
+                if not isinstance(obj, OEMObject):
+                    raise TableError(
+                        f"extractor column {node.column!r} holds non-object"
+                        f" {obj!r}"
+                    )
+                for env in match_pattern(node.pattern, obj):
+                    if not all(
+                        values_equal(env.get(c), row[positions[c]])
+                        for c in carried
+                        if c in env
+                    ):
+                        continue
+                    matches += 1
+                    add(
+                        tuple(row[p] for p in carried_positions)
+                        + tuple(env.get(v) for v in new_columns)
+                    )
+        if profiler is not None:
+            profiler.record_pattern(
+                node.pattern_text,
+                len(rows),
+                matches,
+                perf_counter() - started,
+            )
+        if span is not None:
+            span.set_attribute("objects", len(rows))
+            span.set_attribute("matches", matches)
+            span.set_attribute("compiled", compiler is not None)
+            tracer.finish_span(span)
+        return out_columns, out_rows, out_table
+
+    def _stage_filter(self, node, columns, rows, context, make_out):
+        positions = {name: i for i, name in enumerate(columns)}
+        keep = build_comparison_keep(
+            node.comparison, positions.__contains__, positions.__getitem__
+        )
+        out_rows, add, out_table = make_out(columns)
+        for row in rows:
+            if keep(row):
+                add(row)
+        return columns, out_rows, out_table
+
+    def _stage_external(self, node, columns, rows, context, make_out):
+        positions = {name: i for i, name in enumerate(columns)}
+        out_vars, specs = node.plan_call(
+            positions.__contains__, positions.__getitem__
+        )
+        expand = node.expander(specs, out_vars, context)
+        out_columns = columns + out_vars
+        out_rows, add, out_table = make_out(out_columns)
+        tracer = context.tracer
+        if tracer is not None:
+            with tracer.span("external-predicate", node.call.name) as span:
+                for row in rows:
+                    for extension in expand(row):
+                        add(row + tuple(extension))
+                span.set_attribute("rows_in", len(rows))
+                span.set_attribute("rows_out", len(out_rows))
+        else:
+            for row in rows:
+                for extension in expand(row):
+                    add(row + tuple(extension))
+        return out_columns, out_rows, out_table
+
+    def _stage_param_query(self, node, columns, rows, context, make_out):
+        positions = {name: i for i, name in enumerate(columns)}
+        param_positions = [
+            (name, positions[column])
+            for name, column in node.param_columns.items()
+        ]
+        out_columns = columns + [OBJECT_COLUMN]
+        out_rows, add, out_table = make_out(out_columns)
+        dispatcher = context.dispatcher
+        if dispatcher is not None and dispatcher.parallel and len(rows) > 1:
+            node.run_batch(rows, param_positions, context, dispatcher, add)
+        else:
+            for row in rows:
+                query = node._instantiate_with(
+                    {name: row[p] for name, p in param_positions}
+                )
+                for obj in context.send_query(node.source, query):
+                    add(row + (obj,))
+        return out_columns, out_rows, out_table
+
+    def _stage_constructor(self, node, columns, rows, context, make_out):
+        positions = {name: i for i, name in enumerate(columns)}
+        available = [v for v in node._needed if v in positions]
+        avail_positions = [positions[v] for v in available]
+        governor = context.governor
+        # projection: admitted row by row like ``table.project``'s
+        # output table, so per-table budgets see the same table sizes
+        proj_rows, proj_add = _sink(governor)
+        for row in rows:
+            proj_add(tuple(row[p] for p in avail_positions))
+        if node.deduplicate:
+            kept_rows, kept_add = _sink(governor)
+            width = len(available)
+            if width == 1:
+                keys = key_array([row[0] for row in proj_rows])[0]
+                seen: set[object] = set()
+                for i, row in enumerate(proj_rows):
+                    key = keys[i]
+                    if key not in seen:
+                        seen.add(key)
+                        kept_add(row)
+            elif width == 0:
+                # distinct over zero columns keeps the first row only
+                for row in proj_rows:
+                    kept_add(row)
+                    break
+            else:
+                key_cols = [
+                    key_array([row[p] for row in proj_rows])[0]
+                    for p in range(width)
+                ]
+                seen = set()
+                for i, row in enumerate(proj_rows):
+                    key = tuple(col[i] for col in key_cols)
+                    if key not in seen:
+                        seen.add(key)
+                        kept_add(row)
+            final_rows = kept_rows
+        else:
+            final_rows = proj_rows
+        objects: list[OEMObject] = []
+        oidgen = context.oidgen
+        builders = (
+            self._head_builders(node, tuple(available))
+            if context.compiler is not None
+            else None
+        )
+        if builders is not None:
+            # compiled head instantiation: slot-layout closures read
+            # the projected rows positionally (see compile_head_item)
+            for row in final_rows:
+                if (
+                    governor is not None
+                    and not governor.charge_result_object()
+                ):
+                    break  # truncate mode: stop constructing
+                for build in builders:
+                    objects.extend(build(row, oidgen))
+        else:
+            for row in final_rows:
+                if (
+                    governor is not None
+                    and not governor.charge_result_object()
+                ):
+                    break  # truncate mode: stop constructing
+                env = Bindings(dict(zip(available, row)))
+                for item in node.head:
+                    objects.extend(
+                        instantiate_head_item(item, env, oidgen)
+                    )
+        if node.deduplicate:
+            objects = eliminate_duplicates(objects)
+        out_columns = [RESULT_COLUMN]
+        out_rows, add, out_table = make_out(out_columns)
+        for obj in objects:
+            add((obj,))
+        return out_columns, out_rows, out_table
+
+    def _head_builders(self, node, available):
+        """Compiled per-item head builders for a constructor stage.
+
+        ``None`` when any head item falls outside the compiled subset —
+        the stage then runs the interpretive reference builder.
+        """
+        key = (id(node), available)
+        cached = self._head_cache.get(key, False)
+        if cached is not False:
+            return cached
+        builders: list | None = []
+        for item in node.head:
+            build = compile_head_item(item, available)
+            if build is None:
+                builders = None
+                break
+            builders.append(build)
+        result = tuple(builders) if builders is not None else None
+        self._head_cache[key] = result
+        return result
+
+
+# -- the fusion pass -------------------------------------------------------
+
+
+def _keep_reason(node: PlanNode, consumers: dict[int, int]) -> str:
+    child = node.inputs[0]
+    if not isinstance(child, FUSIBLE_TYPES):
+        return (
+            f"kept single operator: upstream {type(child).__name__}"
+            " is a fusion barrier"
+        )
+    fan_out = consumers.get(id(child), 0)
+    if fan_out > 1:
+        return (
+            "kept single operator: upstream operator fans out to"
+            f" {fan_out} consumers"
+        )
+    return "kept single operator"  # pragma: no cover - defensive
+
+
+def fuse_plan(
+    plan: PhysicalPlan,
+) -> tuple[PhysicalPlan, list[FusionDecision]]:
+    """Greedily fuse maximal straight-line chains of ``plan``.
+
+    Walks the plan bottom-up; a fusible node extends the chain ending
+    at its single input when that input is the chain's tail and has no
+    other consumers, otherwise it starts a new chain.  Chains of two
+    or more operators become :class:`FusedPipelineNode`\\ s; the graph
+    is rewired around them and a new :class:`PhysicalPlan` is
+    returned together with the per-chain :class:`FusionDecision` list
+    (surfaced by ``Mediator.explain``).  Plans with nothing to fuse
+    are returned unchanged.
+    """
+    nodes = plan.nodes()
+    consumers: dict[int, int] = {}
+    for node in nodes:
+        for child in node.inputs:
+            consumers[id(child)] = consumers.get(id(child), 0) + 1
+    chains: list[list[PlanNode]] = []
+    chain_of: dict[int, list[PlanNode]] = {}
+    for node in nodes:
+        if not isinstance(node, FUSIBLE_TYPES):
+            continue
+        child = node.inputs[0]
+        chain = chain_of.get(id(child))
+        if (
+            chain is not None
+            and chain[-1] is child
+            and consumers.get(id(child), 0) == 1
+        ):
+            chain.append(node)
+        else:
+            chain = [node]
+            chains.append(chain)
+        chain_of[id(node)] = chain
+    replacement: dict[int, PlanNode] = {}
+    decisions: list[FusionDecision] = []
+    fused_nodes: list[FusedPipelineNode] = []
+    for chain in chains:
+        if len(chain) >= 2:
+            fused = FusedPipelineNode(chain)
+            fused_nodes.append(fused)
+            for member in chain:
+                replacement[id(member)] = fused
+            decisions.append(
+                FusionDecision(
+                    fused=True,
+                    nodes=tuple(member.describe() for member in chain),
+                    reason=f"fused {len(chain)}-operator chain",
+                )
+            )
+        else:
+            decisions.append(
+                FusionDecision(
+                    fused=False,
+                    nodes=(chain[0].describe(),),
+                    reason=_keep_reason(chain[0], consumers),
+                )
+            )
+    if not fused_nodes:
+        return plan, decisions
+    interior = {
+        id(member)
+        for chain in chains
+        if len(chain) >= 2
+        for member in chain
+    }
+    survivors = [node for node in nodes if id(node) not in interior]
+    for node in survivors + list(fused_nodes):
+        node.inputs = tuple(
+            replacement.get(id(child), child) for child in node.inputs
+        )
+    root = replacement.get(id(plan.root), plan.root)
+    return PhysicalPlan(root), decisions

@@ -43,7 +43,7 @@ from repro.msl.ast import (
     Var,
 )
 from repro.msl.bindings import values_equal
-from repro.msl.compile import UNBOUND
+from repro.msl.compile import run_row_extractor
 from repro.msl.errors import MSLSemanticError
 from repro.msl.evaluate import compare_values
 from repro.msl.matcher import match_pattern
@@ -74,6 +74,7 @@ __all__ = [
     "PhysicalPlan",
     "OBJECT_COLUMN",
     "RESULT_COLUMN",
+    "build_comparison_keep",
 ]
 
 #: Column name carrying raw result objects out of query nodes.
@@ -84,6 +85,12 @@ RESULT_COLUMN = "_result"
 
 class PlanNode(abc.ABC):
     """One operator of a physical datamerge graph."""
+
+    #: Constituent-operator count for stage accounting.  Ordinary nodes
+    #: occupy one stage; a fused pipeline node spans one stage per
+    #: constituent so deadline slicing sees the same stage count with
+    #: or without fusion.
+    fusion_width = 1
 
     def __init__(self, inputs: Sequence["PlanNode"] = ()) -> None:
         self.inputs: tuple[PlanNode, ...] = tuple(inputs)
@@ -177,8 +184,6 @@ class ExtractorNode(PlanNode):
         if compiler is not None:
             compiled = compiler.pattern(self.pattern)
             index = compiled.layout.index
-            empty = compiled.layout.empty_frame
-            match_keyed = compiled.match_keyed
             # a variable colliding with a carried column is a join:
             # keep the row only when the values agree
             carried_checks = tuple(
@@ -187,34 +192,17 @@ class ExtractorNode(PlanNode):
                 if c in index
             )
             new_registers = tuple(index.get(v) for v in new_columns)
-            for row in table.rows:
-                obj = row[position]
-                if not isinstance(obj, OEMObject):
-                    raise TableError(
-                        f"extractor column {self.column!r} holds non-object"
-                        f" {obj!r}"
-                    )
-                for frame, _key in match_keyed(obj, empty):
-                    consistent = True
-                    for row_position, register in carried_checks:
-                        bound = frame[register]
-                        if bound is not UNBOUND and not values_equal(
-                            bound, row[row_position]
-                        ):
-                            consistent = False
-                            break
-                    if not consistent:
-                        continue
-                    matches += 1
-                    add(
-                        tuple(row[p] for p in carried_positions)
-                        + tuple(
-                            frame[r]
-                            if r is not None and frame[r] is not UNBOUND
-                            else None
-                            for r in new_registers
-                        )
-                    )
+            matches = run_row_extractor(
+                compiled,
+                table.rows,
+                position,
+                carried_positions,
+                carried_checks,
+                new_registers,
+                add,
+                self.column,
+                TableError,
+            )
         else:
             for row in table.rows:
                 obj = row[position]
@@ -261,25 +249,26 @@ class ExternalPredNode(PlanNode):
         super().__init__((input_node,))
         self.call = call
 
-    def execute(
-        self, inputs: list[BindingTable], context: "ExecutionContext"
-    ) -> BindingTable:
-        (table,) = inputs
+    def plan_call(
+        self, has_column, position
+    ) -> tuple[list[str], list[tuple[str, object]]]:
+        """``(out_vars, argument specs)`` for one input schema.
+
+        The argument plan is fixed before the hot loop, over raw row
+        tuples: ``('const', value) | ('col', row position) |
+        ('out', out index) | ('skip', None)``; mirrors the dict-based
+        logic exactly.  Shared with the fused pipeline's
+        external-predicate stage.
+        """
         out_vars: list[str] = []
         for arg in self.call.args:
             if (
                 isinstance(arg, Var)
                 and not arg.is_anonymous
-                and not table.has_column(arg.name)
+                and not has_column(arg.name)
                 and arg.name not in out_vars
             ):
                 out_vars.append(arg.name)
-
-        governor = context.governor
-
-        # argument plan over raw row tuples, fixed before the hot loop:
-        # ('const', value) | ('col', row position) | ('out', out index)
-        # | ('skip', None); mirrors the dict-based logic exactly
         specs: list[tuple[str, object]] = []
         for arg in self.call.args:
             if isinstance(arg, Const):
@@ -287,13 +276,23 @@ class ExternalPredNode(PlanNode):
             elif (
                 isinstance(arg, Var)
                 and not arg.is_anonymous
-                and table.has_column(arg.name)
+                and has_column(arg.name)
             ):
-                specs.append(("col", table.position(arg.name)))
+                specs.append(("col", position(arg.name)))
             elif isinstance(arg, Var) and not arg.is_anonymous:
                 specs.append(("out", out_vars.index(arg.name)))
             else:
                 specs.append(("skip", None))
+        return out_vars, specs
+
+    def expander(
+        self,
+        specs: Sequence[tuple[str, object]],
+        out_vars: Sequence[str],
+        context: "ExecutionContext",
+    ):
+        """Per-row expansion closure over a fixed argument plan."""
+        governor = context.governor
         n_out = len(out_vars)
         unset = object()
 
@@ -342,6 +341,14 @@ class ExternalPredNode(PlanNode):
                         for value in produced
                     ]
 
+        return expand
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        (table,) = inputs
+        out_vars, specs = self.plan_call(table.has_column, table.position)
+        expand = self.expander(specs, out_vars, context)
         tracer = context.tracer
         if tracer is not None:
             with tracer.span("external-predicate", self.call.name) as span:
@@ -444,10 +451,34 @@ class ParameterizedQueryNode(PlanNode):
             (name, table.position(column))
             for name, column in self.param_columns.items()
         ]
+        result = BindingTable(
+            tuple(table.columns) + (OBJECT_COLUMN,),
+            governor=context.governor,
+        )
+        self.run_batch(
+            table.rows, param_positions, context, dispatcher,
+            result._appender(),
+        )
+        return result
+
+    def run_batch(
+        self,
+        rows: Sequence[tuple[object, ...]],
+        param_positions: Sequence[tuple[str, int]],
+        context: "ExecutionContext",
+        dispatcher,
+        add,
+    ) -> None:
+        """Batched probe over raw rows, emitting through ``add``.
+
+        Shared with the fused pipeline's parameterized-query stage so
+        the fused path has the exact dedup, dispatch, warning-merge,
+        and row-rebuild order of the unfused one.
+        """
         unique: list[Rule] = []
         index_of: dict[str, int] = {}
         row_query: list[int] = []
-        for row in table.rows:
+        for row in rows:
             query = self._instantiate_with(
                 {name: row[p] for name, p in param_positions}
             )
@@ -474,22 +505,57 @@ class ParameterizedQueryNode(PlanNode):
                 first_error = outcome.error
         if first_error is not None:
             raise first_error
-        result = BindingTable(
-            tuple(table.columns) + (OBJECT_COLUMN,),
-            governor=context.governor,
-        )
-        add = result._appender()
-        for row, position in zip(table.rows, row_query):
+        for row, position in zip(rows, row_query):
             answer = outcomes[position].value
             for obj in answer if answer else ():
                 add(row + (obj,))
-        return result
 
     def describe(self) -> str:
         params = ", ".join(
             f"${name}<-{column}" for name, column in self.param_columns.items()
         )
         return f"param-query {self.source} [{params}]: {self.template}"
+
+
+def build_comparison_keep(comparison: Comparison, has_column, position):
+    """Positional keep-predicate for one comparison over raw row tuples.
+
+    ``has_column``/``position`` abstract the column lookup so the same
+    predicate builder serves :class:`FilterNode` (backed by a
+    :class:`BindingTable`) and the fused pipeline's filter stage
+    (backed by a plain column list).
+    """
+
+    def accessor(term):
+        # positional mirror of term_value over the row's variable
+        # columns (the carrier columns are never comparison operands)
+        if isinstance(term, Const):
+            value = term.value
+            return lambda row, _v=value: (True, _v)
+        if (
+            isinstance(term, Var)
+            and not term.is_anonymous
+            and has_column(term.name)
+            and term.name not in (OBJECT_COLUMN, RESULT_COLUMN)
+        ):
+            p = position(term.name)
+            return lambda row, _p=p: (True, row[_p])
+        return lambda row: (False, None)
+
+    left = accessor(comparison.left)
+    right = accessor(comparison.right)
+    op = comparison.op
+
+    def keep(row: tuple[object, ...]) -> bool:
+        left_ok, left_value = left(row)
+        right_ok, right_value = right(row)
+        if not (left_ok and right_ok):
+            raise MSLSemanticError(
+                f"comparison {comparison} evaluated with unbound operand"
+            )
+        return compare_values(op, left_value, right_value)
+
+    return keep
 
 
 class FilterNode(PlanNode):
@@ -503,37 +569,9 @@ class FilterNode(PlanNode):
         self, inputs: list[BindingTable], context: "ExecutionContext"
     ) -> BindingTable:
         (table,) = inputs
-        comparison = self.comparison
-
-        def accessor(term):
-            # positional mirror of term_value over the row's variable
-            # columns (the carrier columns are never comparison operands)
-            if isinstance(term, Const):
-                value = term.value
-                return lambda row, _v=value: (True, _v)
-            if (
-                isinstance(term, Var)
-                and not term.is_anonymous
-                and table.has_column(term.name)
-                and term.name not in (OBJECT_COLUMN, RESULT_COLUMN)
-            ):
-                position = table.position(term.name)
-                return lambda row, _p=position: (True, row[_p])
-            return lambda row: (False, None)
-
-        left = accessor(comparison.left)
-        right = accessor(comparison.right)
-        op = comparison.op
-
-        def keep(row: tuple[object, ...]) -> bool:
-            left_ok, left_value = left(row)
-            right_ok, right_value = right(row)
-            if not (left_ok and right_ok):
-                raise MSLSemanticError(
-                    f"comparison {comparison} evaluated with unbound operand"
-                )
-            return compare_values(op, left_value, right_value)
-
+        keep = build_comparison_keep(
+            self.comparison, table.has_column, table.position
+        )
         return table.filter_rows(keep)
 
     def describe(self) -> str:
@@ -671,6 +709,8 @@ class PhysicalPlan:
         self.root = root
         self._order: list[PlanNode] | None = None
         self._stages: list[list[PlanNode]] | None = None
+        self._stage_starts: list[tuple[int, list[PlanNode]]] | None = None
+        self._depth: int | None = None
 
     def nodes(self) -> list[PlanNode]:
         """All nodes in bottom-up (topological) order."""
@@ -702,17 +742,48 @@ class PhysicalPlan:
         what keeps parallel runs' warning and trace order
         deterministic.
         """
-        if self._stages is not None:
-            return self._stages
-        depth: dict[int, int] = {}
-        grouped: dict[int, list[PlanNode]] = {}
-        for node in self.nodes():
-            depth[id(node)] = 1 + max(
-                (depth[id(child)] for child in node.inputs), default=0
-            )
-            grouped.setdefault(depth[id(node)], []).append(node)
-        self._stages = [grouped[d] for d in sorted(grouped)]
+        if self._stages is None:
+            self._compute_stages()
         return self._stages
+
+    def stage_starts(self) -> list[tuple[int, list[PlanNode]]]:
+        """:meth:`stages` with each group's starting stage *number*.
+
+        For unfused plans the numbers are simply 1, 2, 3, ...; a fused
+        pipeline node occupies the number of its first constituent and
+        spans ``fusion_width`` consecutive numbers, so stage numbering
+        (and therefore deadline slicing and stage spans) is identical
+        with and without fusion.
+        """
+        if self._stage_starts is None:
+            self._compute_stages()
+        return self._stage_starts
+
+    def depth(self) -> int:
+        """Total constituent-stage count (the deadline-slicing unit).
+
+        Counts every constituent of a fused node, so
+        ``fused_plan.depth() == unfused_plan.depth()``.
+        """
+        if self._depth is None:
+            self._compute_stages()
+        return self._depth
+
+    def _compute_stages(self) -> None:
+        end: dict[int, int] = {}
+        grouped: dict[int, list[PlanNode]] = {}
+        total = 0
+        for node in self.nodes():
+            start = 1 + max(
+                (end[id(child)] for child in node.inputs), default=0
+            )
+            end[id(node)] = start + node.fusion_width - 1
+            if end[id(node)] > total:
+                total = end[id(node)]
+            grouped.setdefault(start, []).append(node)
+        self._stage_starts = [(d, grouped[d]) for d in sorted(grouped)]
+        self._stages = [group for _, group in self._stage_starts]
+        self._depth = total
 
     def describe(self) -> str:
         """A numbered, indented description of the whole graph."""

@@ -7,24 +7,50 @@ tables carry bindings for the logical datamerge program variables."
 A :class:`BindingTable` has named columns and rows of bound values
 (atoms, OEM objects, or object sets).  The display form mimics the
 figure, including the heading row the paper adds "for readability".
+
+Physically the table is a hybrid row/columnar store.  The row list is
+authoritative — governor row-admission accounting, plan nodes, and the
+display form all see the classic rows/columns API — but the relational
+operations that hash on values (:meth:`natural_join`,
+:meth:`distinct`) work on lazily materialised struct-of-arrays views:
+per-column arrays of memoized ``value_key`` results built once per
+(table, column) via :meth:`key_column` instead of being recomputed for
+every probe of every row.  Columns that hold only exact ``str`` atoms
+skip key construction entirely and hash the raw values ("exact" keys).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
-from repro.msl.bindings import value_key, values_equal
+from repro.msl.bindings import value_key
 from repro.oem.model import OEMObject
 from repro.oem.printer import to_inline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.governor.budget import QueryGovernor
 
-__all__ = ["BindingTable", "TableError"]
+__all__ = ["BindingTable", "TableError", "key_array"]
 
 
 class TableError(Exception):
     """Malformed table operation (unknown column, arity mismatch, ...)."""
+
+
+def key_array(column: Sequence[object]) -> tuple[list[object], bool]:
+    """``(keys, exact)`` for one column of values.
+
+    ``exact`` means every value is exactly a ``str``: raw strings are
+    their own hash keys (``value_key`` equality for two strings is
+    plain string equality), so the column itself doubles as the key
+    array with zero per-value work.  Otherwise every value is lowered
+    to its canonical ``value_key``.  Shared with the fused pipeline's
+    constructor stage so fused dedup partitions rows identically.
+    """
+    for value in column:
+        if type(value) is not str:
+            return [value_key(v) for v in column], False
+    return list(column), True
 
 
 class BindingTable:
@@ -37,7 +63,7 @@ class BindingTable:
     Without one (the default), admission is a plain list append.
     """
 
-    __slots__ = ("columns", "rows", "governor", "_positions")
+    __slots__ = ("columns", "rows", "governor", "_positions", "_keys", "_keys_len")
 
     def __init__(
         self,
@@ -51,6 +77,10 @@ class BindingTable:
         self._positions = {name: i for i, name in enumerate(self.columns)}
         self.rows: list[tuple[object, ...]] = []
         self.governor = governor
+        # memoized columnar key arrays: position -> (keys, exact),
+        # valid only while len(rows) == _keys_len (rows only ever grow)
+        self._keys: dict[int, tuple[list[object], bool]] | None = None
+        self._keys_len = -1
         add = self._appender()
         arity = len(self.columns)
         for row in rows:
@@ -104,6 +134,23 @@ class BindingTable:
         if self.governor is None:
             return self.rows.append
         return self.governor.row_admitter(self)
+
+    def key_column(self, position: int) -> tuple[list[object], bool]:
+        """Memoized ``(keys, exact)`` array for one column (by position).
+
+        The cache is keyed by table length: rows are append-only, so a
+        length mismatch is the complete staleness signal even for rows
+        added through the raw ``_appender`` path.  Callers must treat
+        the returned list as read-only.
+        """
+        if self._keys is None or self._keys_len != len(self.rows):
+            self._keys = {}
+            self._keys_len = len(self.rows)
+        entry = self._keys.get(position)
+        if entry is None:
+            column = [row[position] for row in self.rows]
+            entry = self._keys[position] = key_array(column)
+        return entry
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -204,20 +251,46 @@ class BindingTable:
                         + tuple(right[p] for p in cross_positions)
                     )
             return result
-        index: dict[tuple, list[tuple[object, ...]]] = {}
+        # Build/probe on memoized key columns.  ``value_key`` equality
+        # implies ``values_equal`` for every value class (atoms carry
+        # their type name in the key, so bool/int never alias; objects
+        # and object sets key on the same structural identity that
+        # ``values_equal`` compares), so no per-row verification pass
+        # is needed after the hash lookup.
         shared_other = [other.position(c) for c in shared]
-        for right in other.rows:
-            key = tuple(value_key(right[p]) for p in shared_other)
-            index.setdefault(key, []).append(right)
         shared_self = [self.position(c) for c in shared]
+        right_keys = [other.key_column(p) for p in shared_other]
+        left_keys = [self.key_column(p) for p in shared_self]
+        # An exact (raw-string) key column only hashes compatibly with
+        # another exact column; against a canonical column, lift the
+        # raw strings to their canonical atom keys on the fly.
+        for i, ((lk, le), (rk, re)) in enumerate(zip(left_keys, right_keys)):
+            if le and not re:
+                left_keys[i] = ([("atom", "str", v) for v in lk], False)
+            elif re and not le:
+                right_keys[i] = ([("atom", "str", v) for v in rk], False)
         positions_other_only = [other.position(c) for c in other_only]
-        for left in self.rows:
-            key = tuple(value_key(left[p]) for p in shared_self)
-            for right in index.get(key, ()):  # hash then verify
-                if all(
-                    values_equal(left[sp], right[op])
-                    for sp, op in zip(shared_self, shared_other)
-                ):
+        index: dict[object, list[tuple[object, ...]]] = {}
+        if len(shared) == 1:
+            rkeys = right_keys[0][0]
+            for i, right in enumerate(other.rows):
+                index.setdefault(rkeys[i], []).append(right)
+            lkeys = left_keys[0][0]
+            for i, left in enumerate(self.rows):
+                for right in index.get(lkeys[i], ()):
+                    add(
+                        left + tuple(right[p] for p in positions_other_only)
+                    )
+        else:
+            rcols = [keys for keys, _ in right_keys]
+            for i, right in enumerate(other.rows):
+                index.setdefault(
+                    tuple(col[i] for col in rcols), []
+                ).append(right)
+            lcols = [keys for keys, _ in left_keys]
+            for i, left in enumerate(self.rows):
+                key = tuple(col[i] for col in lcols)
+                for right in index.get(key, ()):
                     add(
                         left + tuple(right[p] for p in positions_other_only)
                     )
@@ -230,14 +303,23 @@ class BindingTable:
             if columns is not None
             else list(range(len(self.columns)))
         )
-        seen: set[tuple] = set()
+        seen: set[object] = set()
         result = BindingTable(self.columns, governor=self.governor)
         add = result._appender()
-        for row in self.rows:
-            key = tuple(value_key(row[p]) for p in interesting)
-            if key not in seen:
-                seen.add(key)
-                add(row)
+        if len(interesting) == 1:
+            keys = self.key_column(interesting[0])[0]
+            for i, row in enumerate(self.rows):
+                key = keys[i]
+                if key not in seen:
+                    seen.add(key)
+                    add(row)
+        else:
+            key_cols = [self.key_column(p)[0] for p in interesting]
+            for i, row in enumerate(self.rows):
+                key = tuple(col[i] for col in key_cols)
+                if key not in seen:
+                    seen.add(key)
+                    add(row)
         return result
 
     # -- display (the Figure 3.6 rectangles) ------------------------------

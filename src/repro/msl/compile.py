@@ -57,7 +57,11 @@ from repro.msl.bindings import (
     value_key,
     values_equal,
 )
-from repro.msl.errors import MSLMatchError, MSLSemanticError
+from repro.msl.errors import (
+    MSLInstantiationError,
+    MSLMatchError,
+    MSLSemanticError,
+)
 from repro.msl.evaluate import (
     compare_values,
     schedule_conditions,
@@ -66,7 +70,7 @@ from repro.msl.evaluate import (
 from repro.msl.substitute import head_variables, pattern_variables
 from repro.oem.compare import eliminate_duplicates
 from repro.oem.model import SET_TYPE, OEMObject
-from repro.oem.oid import OidGenerator, SemanticOid
+from repro.oem.oid import Oid, OidGenerator, SemanticOid, fresh_oid
 from repro.oem.traverse import descendants, walk
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -79,9 +83,11 @@ __all__ = [
     "CompiledPattern",
     "CompiledRule",
     "CompileCache",
+    "compile_head_item",
     "compile_pattern",
     "compile_rule",
     "evaluate_rule_compiled",
+    "run_row_extractor",
 ]
 
 
@@ -677,6 +683,383 @@ class CompiledPattern:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledPattern({self.pattern})"
+
+
+def run_row_extractor(
+    compiled: CompiledPattern,
+    rows: Iterable[tuple],
+    object_position: int,
+    carried_positions: Sequence[int],
+    carried_checks: Sequence[tuple[int, int]],
+    new_registers: Sequence[object],
+    add,
+    column_name: str,
+    error_class: type[Exception] = TypeError,
+) -> int:
+    """Drive a compiled pattern over raw binding-table row tuples.
+
+    The extractor hot loop, shared between ``ExtractorNode`` and the
+    fused pipeline (:mod:`repro.mediator.pipeline`) so both reuse the
+    same slot-layout frames (``layout.empty_frame``) and emit identical
+    output rows in identical order.  ``carried_checks`` is a sequence
+    of ``(row position, register)`` pairs: a pattern variable that
+    collides with a carried column is a join, and the row survives only
+    when the freshly bound value agrees with the carried one.
+    ``new_registers`` maps each output column to its register (or
+    ``None`` when the pattern never binds it).  Returns the number of
+    matches; rows whose object cell is not an OEM object raise
+    ``error_class``.
+    """
+    empty = compiled.layout.empty_frame
+    match_keyed = compiled.match_keyed
+    matches = 0
+    carried_positions = tuple(carried_positions)
+    carried_checks = tuple(carried_checks)
+    new_registers = tuple(new_registers)
+    for row in rows:
+        obj = row[object_position]
+        if not isinstance(obj, OEMObject):
+            raise error_class(
+                f"extractor column {column_name!r} holds non-object"
+                f" {obj!r}"
+            )
+        for frame, _key in match_keyed(obj, empty):
+            consistent = True
+            for row_position, register in carried_checks:
+                bound = frame[register]
+                if bound is not UNBOUND and not values_equal(
+                    bound, row[row_position]
+                ):
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            matches += 1
+            add(
+                tuple(row[p] for p in carried_positions)
+                + tuple(
+                    frame[r]
+                    if r is not None and frame[r] is not UNBOUND
+                    else None
+                    for r in new_registers
+                )
+            )
+    return matches
+
+
+# ---------------------------------------------------------------------------
+# compiled head instantiation
+# ---------------------------------------------------------------------------
+#
+# The same compile/run split applied to virtual-object creation: a rule
+# head is lowered once, per slot layout, to closures that read binding
+# rows positionally — no per-row ``Bindings`` dict, no per-row AST
+# dispatch, and (for the exact atom types) no re-validation inside
+# ``OEMObject.__init__``.  Used by the fused pipeline's constructor
+# stage (:mod:`repro.mediator.pipeline`); the unfused ``ConstructorNode``
+# keeps :func:`repro.msl.substitute.instantiate_head_item` as the
+# interpretive reference, mirroring the compiled/interpretive pattern
+# split above.
+#
+# Equivalence contract: same objects (labels, types, checked values),
+# same oid-generator call sequence (parent before children, items in
+# written order), same duplicate elimination, same errors with the same
+# messages.  ``compile_head_item`` returns ``None`` for any head shape
+# outside the compiled subset, and the caller falls back to the
+# interpretive builder.
+
+#: Exact Python types whose inferred OEM type and checked value are
+#: knowable without running ``infer_type``/``_check_atom``.  Keyed by
+#: exact type, so ``bool``-before-``int`` needs no ordering and
+#: subclasses fall through to the reference constructor.
+_ATOM_TYPE_NAMES: dict[type, str] = {
+    str: "string",
+    bool: "boolean",
+    int: "integer",
+    float: "real",  # float(v) is v for exact floats: no coercion needed
+    bytes: "bytes",
+    type(None): "null",
+}
+
+_object_setattr = object.__setattr__
+
+
+def _fast_atom(label: str, type_: str, value: object, oid: Oid) -> OEMObject:
+    """Construct a validated-by-construction atomic OEM object."""
+    obj = OEMObject.__new__(OEMObject)
+    _object_setattr(obj, "oid", oid)
+    _object_setattr(obj, "label", label)
+    _object_setattr(obj, "type", type_)
+    _object_setattr(obj, "value", value)
+    _object_setattr(obj, "_hash", None)
+    _object_setattr(obj, "_skey", None)
+    return obj
+
+
+def _fast_set(
+    label: str, children: tuple[OEMObject, ...], oid: Oid
+) -> OEMObject:
+    """Construct a set object whose members are known OEM objects."""
+    obj = OEMObject.__new__(OEMObject)
+    _object_setattr(obj, "oid", oid)
+    _object_setattr(obj, "label", label)
+    _object_setattr(obj, "type", SET_TYPE)
+    _object_setattr(obj, "value", children)
+    _object_setattr(obj, "_hash", None)
+    _object_setattr(obj, "_skey", None)
+    return obj
+
+
+def _compile_slot_read(term: Term, index: Mapping[str, int]):
+    """Accessor ``row -> slot value`` for a head slot term, or ``None``.
+
+    ``None`` means the term is a shape (anonymous variable, variable
+    outside the row layout, parameter...) whose reference behaviour is
+    an error — the whole item then falls back to the interpretive
+    builder, which raises the canonical message.
+    """
+    if isinstance(term, Const):
+        value = term.value
+        return lambda row, _v=value: _v
+    if isinstance(term, Var) and not term.is_anonymous:
+        position = index.get(term.name)
+        if position is None:
+            return None
+        return lambda row, _p=position: row[_p]
+    return None
+
+
+def _compile_head_oid(term: Term | None, index: Mapping[str, int]):
+    """Lower a head oid term to ``(row, oidgen) -> Oid``, or ``None``."""
+    if term is None:
+        def generated(row, oidgen):
+            # reference: _head_oid returns oidgen() (or None, in which
+            # case OEMObject.__init__ allocates a fresh synthetic oid)
+            return oidgen() if oidgen is not None else fresh_oid()
+
+        return generated
+    if isinstance(term, SemOidTerm):
+        readers = []
+        for arg in term.args:
+            reader = _compile_slot_read(arg, index)
+            if reader is None:
+                return None
+            readers.append((arg, reader))
+        readers_t = tuple(readers)
+        functor = term.functor
+
+        def semantic(row, oidgen, _readers=readers_t, _f=functor):
+            args = []
+            for arg, reader in _readers:
+                value = reader(row)
+                if isinstance(value, (OEMObject, tuple)):
+                    raise MSLInstantiationError(
+                        f"semantic oid argument {arg} bound to a non-atom"
+                    )
+                args.append(value)
+            return SemanticOid(_f, args)
+
+        return semantic
+    reader = _compile_slot_read(term, index)
+    if reader is None:
+        return None
+
+    def plain(row, oidgen, _r=reader, _t=term):
+        value = _r(row)
+        if isinstance(value, Oid):
+            return value
+        if isinstance(value, str):
+            return Oid(value)
+        raise MSLInstantiationError(
+            f"head oid term {_t} bound to {value!r}"
+        )
+
+    return plain
+
+
+def _compile_build_object(pattern: Pattern, index: Mapping[str, int]):
+    """Lower a head pattern to ``(row, oidgen) -> OEMObject``.
+
+    Returns ``None`` when any slot is outside the compiled subset.
+    Slot evaluation order matches ``_build_object``: label, oid (the
+    oid-generator tick), then value — with set children built in
+    written order, each taking its own generator ticks.
+    """
+    label_term = pattern.label
+    if isinstance(label_term, Const):
+        if not isinstance(label_term.value, str):
+            return None
+        get_label = lambda row, _l=label_term.value: _l  # noqa: E731
+    elif isinstance(label_term, Var) and not label_term.is_anonymous:
+        position = index.get(label_term.name)
+        if position is None:
+            return None
+
+        def get_label(row, _p=position):
+            label = row[_p]
+            if not isinstance(label, str):
+                raise MSLInstantiationError(
+                    f"head label evaluated to non-string {label!r}"
+                )
+            return label
+
+    else:
+        return None
+
+    build_oid = _compile_head_oid(pattern.oid, index)
+    if build_oid is None:
+        return None
+
+    type_ = None
+    if pattern.type is not None:
+        if not (
+            isinstance(pattern.type, Const)
+            and isinstance(pattern.type.value, str)
+        ):
+            return None
+        type_ = pattern.type.value
+
+    value = pattern.value
+    if isinstance(value, SetPattern):
+        if value.rest is not None and value.rest.conditions:
+            return None
+        items: list = list(value.items)
+        if value.rest is not None:
+            # head semantics: '{a b | R}' splices R's members in
+            items.append(VarItem(value.rest.var))
+        specs = []
+        for item in items:
+            if isinstance(item, PatternItem):
+                if item.descendant:
+                    return None
+                child = _compile_build_object(item.pattern, index)
+                if child is None:
+                    return None
+                specs.append((None, child))
+            elif isinstance(item, VarItem):
+                var = item.var
+                if var.is_anonymous:
+                    return None
+                position = index.get(var.name)
+                if position is None:
+                    return None
+                specs.append((var, position))
+            else:  # pragma: no cover - no other item kinds exist
+                return None
+        specs_t = tuple(specs)
+
+        def build_set(
+            row, oidgen, _gl=get_label, _go=build_oid, _specs=specs_t
+        ):
+            label = _gl(row)
+            oid = _go(row, oidgen)
+            children: list[OEMObject] = []
+            for var, payload in _specs:
+                if var is None:
+                    children.append(payload(row, oidgen))
+                    continue
+                bound = row[payload]
+                if isinstance(bound, tuple):
+                    children.extend(bound)
+                elif isinstance(bound, OEMObject):
+                    children.append(bound)
+                else:
+                    raise MSLInstantiationError(
+                        f"variable {var} inside head braces is bound to"
+                        f" the atom {bound!r}; only objects and sets can"
+                        f" be spliced in"
+                    )
+            return _fast_set(
+                label, tuple(eliminate_duplicates(children)), oid
+            )
+
+        return build_set
+    if isinstance(value, Const):
+        const_value = value.value
+
+        def build_const(
+            row, oidgen, _gl=get_label, _go=build_oid,
+            _v=const_value, _t=type_,
+        ):
+            label = _gl(row)
+            oid = _go(row, oidgen)
+            return OEMObject(label, _v, _t, oid)
+
+        return build_const
+    if isinstance(value, Var):
+        if value.is_anonymous:
+            return None
+        position = index.get(value.name)
+        if position is None:
+            return None
+
+        def build_var(
+            row, oidgen, _gl=get_label, _go=build_oid,
+            _p=position, _t=type_,
+        ):
+            label = _gl(row)
+            oid = _go(row, oidgen)
+            bound = row[_p]
+            if _t is None:
+                cls = type(bound)
+                if cls is OEMObject:
+                    return _fast_set(label, (bound,), oid)
+                if cls is not tuple:
+                    type_name = _ATOM_TYPE_NAMES.get(cls)
+                    if type_name is not None:
+                        return _fast_atom(label, type_name, bound, oid)
+            # subclasses, Oids, declared types: reference dispatch
+            if isinstance(bound, tuple):
+                return OEMObject(label, bound, SET_TYPE, oid)
+            if isinstance(bound, OEMObject):
+                return OEMObject(label, (bound,), SET_TYPE, oid)
+            if isinstance(bound, Oid):
+                return OEMObject(label, bound.text, _t, oid)
+            return OEMObject(label, bound, _t, oid)
+
+        return build_var
+    return None
+
+
+def compile_head_item(item: object, columns: Sequence[str]):
+    """Lower one rule-head item to ``build(row, oidgen) -> [OEMObject]``.
+
+    ``columns`` names the positions of the binding rows the builder will
+    read (the constructor's projected column layout).  Returns ``None``
+    when the item uses a shape outside the compiled subset; callers fall
+    back to :func:`repro.msl.substitute.instantiate_head_item`, whose
+    output the compiled builder reproduces bit-for-bit otherwise.
+    """
+    index = {name: i for i, name in enumerate(columns)}
+    if isinstance(item, Var):
+        if item.is_anonymous:
+            return None
+        position = index.get(item.name)
+        if position is None:
+            return None
+
+        def build_bare(row, oidgen, _p=position, _i=item):
+            bound = row[_p]
+            if isinstance(bound, OEMObject):
+                return [bound]
+            if isinstance(bound, tuple):
+                return list(bound)
+            raise MSLInstantiationError(
+                f"head variable {_i} bound to atom {bound!r};"
+                f" wrap it in a pattern to emit it as an object"
+            )
+
+        return build_bare
+    if isinstance(item, Pattern):
+        build = _compile_build_object(item, index)
+        if build is None:
+            return None
+
+        def build_pattern(row, oidgen, _b=build):
+            return [_b(row, oidgen)]
+
+        return build_pattern
+    return None
 
 
 class CompiledRule:

@@ -156,14 +156,21 @@ class OEMObject:
         if type_ is None:
             type_ = infer_type(value)
         if type_ == SET_TYPE:
-            if isinstance(value, (str, bytes)) or not isinstance(
-                value, Iterable
-            ):
+            # try/tuple instead of isinstance(value, Iterable): the ABC
+            # check routes through typing.__subclasscheck__ and shows up
+            # on profiles of construction-heavy plans.
+            if isinstance(value, (str, bytes)):
                 raise OEMTypeError(
                     f"set object value must be iterable of OEMObject,"
                     f" got {value!r}"
                 )
-            children = tuple(value)
+            try:
+                children = tuple(value)
+            except TypeError:
+                raise OEMTypeError(
+                    f"set object value must be iterable of OEMObject,"
+                    f" got {value!r}"
+                ) from None
             for child in children:
                 if not isinstance(child, OEMObject):
                     raise OEMTypeError(

@@ -1,0 +1,277 @@
+"""Property: operator fusion never changes what a query means.
+
+The equivalence contract of :mod:`repro.mediator.pipeline`
+(docs/performance.md): a mediator with ``fuse=True`` produces output
+**bit-for-bit** equal to the node-per-operator reference path — same
+answer objects *including mediator-assigned oids* (fused execution
+drives rows in the same order, so the oid generator ticks identically),
+same warnings, same budget truncation points, and the same per-operator
+profile row counts.  This holds at any parallelism, under both budget
+modes, and under injected source faults.
+
+Each case therefore builds *twin* scenarios from one seed — two
+identical source registries, two fresh mediators differing only in
+``fuse`` — and compares ``repr`` streams, which capture oids verbatim.
+(Contrast ``test_parallel_properties.py``, which compares by structural
+key because parallel scheduling is allowed to reorder oid assignment;
+fusion is held to the stricter bar.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.staff import build_scaled_scenario
+from repro.governor import BudgetExceeded, QueryBudget
+from repro.mediator import Mediator
+from repro.reliability import (
+    FaultInjectingSource,
+    ManualClock,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+FANOUT_QUERY = "S :- S:<cs_person {<rel 'student'>}>@med"
+
+
+def exact(objects):
+    """Bit-for-bit object stream: repr includes the assigned oid."""
+    return [repr(o) for o in objects]
+
+
+def exact_warnings(warnings):
+    return [repr(w) for w in warnings]
+
+
+def make_pair(people, seed, **kwargs):
+    """Twin mediators over twin scenarios: (fused, unfused).
+
+    Two scenarios are built from the same seed so each mediator owns
+    its own sources and its own oid generator — any divergence between
+    the pair is then attributable to fusion alone.
+    """
+    mediators = []
+    for fuse in (True, False):
+        scenario = build_scaled_scenario(
+            people, seed=seed, push_mode="needed"
+        )
+        mediators.append(
+            Mediator(
+                "med",
+                scenario.mediator.specification,
+                scenario.registry,
+                scenario.externals,
+                push_mode="needed",
+                register=False,
+                fuse=fuse,
+                **kwargs,
+            )
+        )
+    return tuple(mediators)
+
+
+def shared_node_counts(mediator):
+    """Per-operator (calls, rows) from the profiler, fusion noise removed.
+
+    The fused profile carries an *additive* ``FusedPipelineNode`` entry
+    on top of the constituent counters; everything else must match the
+    reference run exactly.
+    """
+    nodes = mediator.profiler.snapshot()["nodes"]
+    return {
+        name: (entry["calls"], entry["rows"])
+        for name, entry in nodes.items()
+        if name != "FusedPipelineNode"
+    }
+
+
+class TestFusedEqualsUnfused:
+    @given(
+        people=st.integers(min_value=4, max_value=28),
+        seed=st.integers(min_value=0, max_value=10_000),
+        parallelism=st.sampled_from([1, 8]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_answers_warnings_and_profile(self, people, seed, parallelism):
+        fused, unfused = make_pair(people, seed, parallelism=parallelism)
+        fused_result = fused.query(FANOUT_QUERY)
+        unfused_result = unfused.query(FANOUT_QUERY)
+        assert exact(fused_result) == exact(unfused_result)
+        assert exact_warnings(fused_result.warnings) == exact_warnings(
+            unfused_result.warnings
+        )
+        assert shared_node_counts(fused) == shared_node_counts(unfused)
+        # fusion actually engaged (the heuristic plan is straight-line
+        # after the source scan, so at least one chain must fuse)
+        assert fused.last_fusion and any(
+            d.fused for d in fused.last_fusion
+        )
+        assert not unfused.last_fusion
+
+    @given(
+        people=st.integers(min_value=8, max_value=28),
+        seed=st.integers(min_value=0, max_value=10_000),
+        max_total_rows=st.integers(min_value=5, max_value=60),
+        parallelism=st.sampled_from([1, 8]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_truncate_budget_same_cut_point(
+        self, people, seed, max_total_rows, parallelism
+    ):
+        """Truncation must clip both paths at the same row."""
+        fused, unfused = make_pair(
+            people,
+            seed,
+            parallelism=parallelism,
+            budget=QueryBudget(max_total_rows=max_total_rows),
+            budget_mode="truncate",
+        )
+        fused_result = fused.query(FANOUT_QUERY)
+        unfused_result = unfused.query(FANOUT_QUERY)
+        assert exact(fused_result) == exact(unfused_result)
+        assert exact_warnings(fused_result.warnings) == exact_warnings(
+            unfused_result.warnings
+        )
+
+    @given(
+        people=st.integers(min_value=8, max_value=28),
+        seed=st.integers(min_value=0, max_value=10_000),
+        max_result_objects=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_truncate_result_objects(self, people, seed, max_result_objects):
+        fused, unfused = make_pair(
+            people,
+            seed,
+            budget=QueryBudget(max_result_objects=max_result_objects),
+            budget_mode="truncate",
+        )
+        fused_result = fused.query(FANOUT_QUERY)
+        unfused_result = unfused.query(FANOUT_QUERY)
+        assert exact(fused_result) == exact(unfused_result)
+        assert exact_warnings(fused_result.warnings) == exact_warnings(
+            unfused_result.warnings
+        )
+
+    @given(
+        people=st.integers(min_value=10, max_value=28),
+        seed=st.integers(min_value=0, max_value=10_000),
+        max_total_rows=st.integers(min_value=3, max_value=30),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_strict_budget_same_violation(self, people, seed, max_total_rows):
+        """Strict mode must blame the same node with the same message."""
+        fused, unfused = make_pair(
+            people,
+            seed,
+            budget=QueryBudget(max_total_rows=max_total_rows),
+            budget_mode="strict",
+        )
+        outcomes = []
+        for mediator in (fused, unfused):
+            try:
+                result = mediator.query(FANOUT_QUERY)
+            except BudgetExceeded as exc:
+                outcomes.append(("raised", str(exc)))
+            else:
+                outcomes.append(("ok", exact(result)))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestFusionUnderFaults:
+    """A chaos-harness slice: seeded faults, degrade mode, fuse on/off.
+
+    Fused execution issues the same source calls in the same order, so
+    a seeded fault schedule hits both paths identically — surviving
+    answers *and* degrade warnings must still match bit-for-bit.
+    (``tools/chaos.py`` randomizes ``fuse`` across whole schedules;
+    this is the paired, minimized version of that check.)
+    """
+
+    @staticmethod
+    def build_faulty(people, seed, fault_seed, fuse):
+        scenario = build_scaled_scenario(
+            people, seed=seed, push_mode="needed"
+        )
+        clock = ManualClock()
+        for index, name in enumerate(("whois", "cs")):
+            inner = scenario.registry.resolve(name)
+            scenario.registry.deregister(name)
+            scenario.registry.register(
+                FaultInjectingSource(
+                    inner,
+                    seed=fault_seed + index,
+                    fault_rate=0.3,
+                    latency=0.01,
+                    clock=clock,
+                )
+            )
+        return Mediator(
+            "med",
+            scenario.mediator.specification,
+            scenario.registry,
+            scenario.externals,
+            push_mode="needed",
+            register=False,
+            fuse=fuse,
+            on_source_failure="degrade",
+            resilience=ResilienceConfig(
+                # shallow retries so some faults *surface* as degrade
+                # warnings — the interesting case for equality
+                retry=RetryPolicy(
+                    max_attempts=2, base_delay=0.01, jitter=0.0
+                ),
+                breaker_threshold=100,
+            ),
+            clock=clock,
+        )
+
+    @given(
+        people=st.integers(min_value=6, max_value=20),
+        seed=st.integers(min_value=0, max_value=10_000),
+        fault_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fault_schedule_hits_both_paths_identically(
+        self, people, seed, fault_seed
+    ):
+        fused = self.build_faulty(people, seed, fault_seed, fuse=True)
+        unfused = self.build_faulty(people, seed, fault_seed, fuse=False)
+        fused_result = fused.query(FANOUT_QUERY)
+        unfused_result = unfused.query(FANOUT_QUERY)
+        assert exact(fused_result) == exact(unfused_result)
+        assert exact_warnings(fused_result.warnings) == exact_warnings(
+            unfused_result.warnings
+        )
+
+
+class TestFusionSurface:
+    def test_export_is_bit_for_bit(self):
+        fused, unfused = make_pair(24, seed=7)
+        assert exact(fused.export()) == exact(unfused.export())
+
+    @pytest.mark.parametrize("strategy", ["heuristic", "fetch_all"])
+    def test_strategies(self, strategy):
+        """fetch_all plans put a JoinNode barrier mid-plan; the chains
+        around it must still fuse to the same answers."""
+        mediators = []
+        for fuse in (True, False):
+            scenario = build_scaled_scenario(
+                20, seed=11, push_mode="needed", strategy=strategy
+            )
+            mediators.append(
+                Mediator(
+                    "med",
+                    scenario.mediator.specification,
+                    scenario.registry,
+                    scenario.externals,
+                    push_mode="needed",
+                    strategy=strategy,
+                    register=False,
+                    fuse=fuse,
+                )
+            )
+        fused, unfused = mediators
+        assert exact(fused.query(FANOUT_QUERY)) == exact(
+            unfused.query(FANOUT_QUERY)
+        )

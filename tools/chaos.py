@@ -152,6 +152,10 @@ def run_fault_schedule(seed, quick, verbose):
             breaker_cooldown=1.0,
         ),
         adaptive_timeouts=rng.random() < 0.5,
+        # half the schedules run the fused pipeline path, half the
+        # node-per-operator reference path — faults, budgets, and
+        # degrade warnings must behave identically under both
+        fuse=rng.random() < 0.5,
         budget=budget,
         budget_mode="truncate",
         clock=clock,
