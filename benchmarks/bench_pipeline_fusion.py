@@ -20,8 +20,9 @@ Results land in ``BENCH_pipeline_fusion.json`` (consumed by the CI
 fusion-smoke job) and ``artifacts.txt``/EXPERIMENTS.md.
 
 Naming note: this file measures **operator** fusion (the physical-plan
-optimization).  Semantic-oid **object** fusion is measured by
-``bench_fusion.py``.
+optimization) and, in the S4 section at the bottom, semantic-oid
+**object** fusion (result merging, :mod:`repro.mediator.fusion` —
+formerly the separate ``bench_fusion.py``).
 """
 
 import gc
@@ -29,10 +30,16 @@ import random
 import statistics
 import time
 
-from repro.datasets import build_scaled_scenario, record_forest
+import pytest
+
+from repro.datasets import (
+    build_bibliography,
+    build_scaled_scenario,
+    record_forest,
+)
 from repro.external.registry import default_registry
-from repro.mediator import Mediator
-from repro.oem import OEMObject, atom
+from repro.mediator import Mediator, fuse_objects
+from repro.oem import OEMObject, SemanticOid, atom
 from repro.wrappers import OEMStoreWrapper, SourceRegistry
 from repro.wrappers.capability import Capability
 
@@ -281,3 +288,71 @@ def test_parallel_dispatch_preserved(bench_json_sink):
     assert speedup >= 2.0, (
         f"fused plan lost the dispatcher fan-out: {speedup:.2f}x"
     )
+
+
+# ---------------------------------------------------------------------------
+# Experiment S4 — object fusion via semantic object-ids (folded in from
+# the former bench_fusion.py; see the naming note in the module
+# docstring).  Section 2, "Other Features": semantic oids "provide a
+# powerful mechanism for object fusion".  The bibliography scenario
+# measures it: two sources with overlapping records fused into one
+# view, versus the join-only MS1 style, which drops single-source
+# records.  The fusion pass itself is also measured in isolation.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("papers", [20, 100, 400])
+def test_fused_view_export(papers, benchmark):
+    scenario = build_bibliography(papers=papers, overlap_fraction=0.5)
+    view = benchmark(scenario.mediator.export)
+    titles = [o.get("title") for o in view]
+    assert len(titles) == len(set(titles))  # fused, not duplicated
+
+
+def test_fusion_keeps_single_source_records(artifact_sink, benchmark):
+    """The shape claim: fusion view ⊇ each source; join-only view ⊆ both."""
+    scenario = build_bibliography(papers=60, overlap_fraction=0.4, seed=9)
+    view_titles = {
+        o.get("title")
+        for o in benchmark.pedantic(
+            scenario.mediator.export, rounds=1, iterations=1
+        )
+    }
+    dept_titles = {row[0] for row in scenario.deptbib.database.table("paper")}
+    web_titles = {o.get("title") for o in scenario.webbib.export()}
+    assert dept_titles <= view_titles
+    assert web_titles <= view_titles
+    overlap = dept_titles & web_titles
+    artifact_sink(
+        "S4 — fusion coverage",
+        f"deptbib: {len(dept_titles)} papers, webbib: {len(web_titles)},"
+        f" overlap: {len(overlap)}\n"
+        f"fused view: {len(view_titles)} (= union, each overlap fused to"
+        f" one object)\n"
+        f"a join-only view would contain just the {len(overlap)} overlap"
+        f" records",
+    )
+    assert len(view_titles) == len(dept_titles | web_titles)
+
+
+def _group(count, members_per_group):
+    objects = []
+    for g in range(count):
+        for m in range(members_per_group):
+            objects.append(
+                OEMObject(
+                    "rec",
+                    [atom(f"f{m}", m)],
+                    "set",
+                    SemanticOid("rec", [g]),
+                )
+            )
+    return objects
+
+
+@pytest.mark.parametrize("groups,per", [(100, 2), (100, 8), (1000, 2)])
+def test_fuse_pass_cost(groups, per, benchmark):
+    objects = _group(groups, per)
+    fused = benchmark(fuse_objects, objects)
+    assert len(fused) == groups
+    assert all(len(o.children) == per for o in fused)

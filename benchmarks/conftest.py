@@ -7,15 +7,41 @@ collected into ``benchmarks/artifacts.txt`` so EXPERIMENTS.md can quote
 them verbatim.
 """
 
+import datetime
 import json
 import os
 import pathlib
+import subprocess
 
 import pytest
 
 ARTIFACTS_PATH = pathlib.Path(__file__).parent / "artifacts.txt"
 _written: set[str] = set()
 _json_started: set[str] = set()
+
+
+def _git_sha() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def _provenance() -> dict:
+    """Who produced this report: git SHA + ISO timestamp."""
+    return {
+        "git_sha": _git_sha(),
+        "generated_at": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
+    }
 
 
 @pytest.fixture(scope="session")
@@ -41,7 +67,10 @@ def bench_json_sink():
 
     The first write to a file in a session starts it fresh; later
     writes merge their section in, so several tests can contribute to
-    one report (e.g. ``BENCH_parallel.json``).  Writes are atomic
+    one report (e.g. ``BENCH_parallel.json``).  Every write re-stamps
+    a ``_meta`` section with the producing git SHA and an ISO-8601
+    UTC timestamp, so a checked-in report says exactly which commit
+    produced it.  Writes are atomic
     (temp file + rename in the same directory), so a reader — or an
     interrupted run — never sees a half-written report.
     """
@@ -54,6 +83,7 @@ def bench_json_sink():
             _json_started.add(filename)
             data = {}
         data[section] = payload
+        data["_meta"] = _provenance()
         temp = path.with_name(path.name + f".tmp{os.getpid()}")
         temp.write_text(
             json.dumps(data, indent=2, sort_keys=True) + "\n"

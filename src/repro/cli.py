@@ -32,6 +32,12 @@ Usage::
   answers instead of failing the query;
 * ``--parallelism N`` — fan independent source queries out across N
   worker threads (default 1: sequential execution);
+* ``--shard NAME=N:LABEL`` — re-register source ``NAME`` as N hash
+  shards partitioned on direct-child ``LABEL``; the optimizer prunes
+  shards from pushed-down constants and bind joins ship one batched
+  semi-join filter per surviving shard;
+* ``--no-semijoin`` / ``--bloom-threshold N`` — fall back to per-tuple
+  probes, or ship filters above N distinct values as Bloom digests;
 * ``--cache N`` / ``--cache-ttl SECONDS`` — memoize up to N source
   answers (LRU), optionally expiring entries after SECONDS;
 * ``--no-compile`` — evaluate patterns with the interpretive reference
@@ -73,8 +79,15 @@ from repro.reliability.hedging import HedgePolicy
 from repro.reliability.policy import RetryPolicy
 from repro.reliability.resilient import ResilienceConfig
 from repro.serving.admission import AdmissionConfig, QueryRejected
+from repro.wrappers.capability import BATCH_CAPABILITY
 from repro.wrappers.oem_wrapper import OEMStoreWrapper
 from repro.wrappers.registry import SourceRegistry
+from repro.wrappers.sharding import (
+    HashPartition,
+    ShardedSource,
+    partition_forest,
+    shard_name,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -246,6 +259,35 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--shard",
+        action="append",
+        default=[],
+        metavar="NAME=N:LABEL",
+        help=(
+            "re-register source NAME as N hash shards partitioned on"
+            " direct-child LABEL (repeatable); shard scans run in"
+            " parallel and bind joins ship batched semi-join filters"
+        ),
+    )
+    parser.add_argument(
+        "--no-semijoin",
+        action="store_true",
+        help=(
+            "ship one probe per tuple instead of batched semi-join"
+            " filters to batch-capable sources"
+        ),
+    )
+    parser.add_argument(
+        "--bloom-threshold",
+        type=int,
+        default=64,
+        metavar="N",
+        help=(
+            "ship semi-join filters with more than N values as Bloom"
+            " digests instead of explicit sets (default: 64)"
+        ),
+    )
+    parser.add_argument(
         "--cache",
         type=int,
         default=None,
@@ -391,6 +433,50 @@ def _load_sources(
     return True
 
 
+def _apply_shards(
+    shard_specs, registry, stderr, compile: bool = True
+) -> bool:
+    """Replace loaded sources with hash-sharded versions (``--shard``)."""
+    for entry in shard_specs:
+        name, sep, rest = entry.partition("=")
+        count_text, sep2, label = rest.partition(":")
+        if (
+            not sep
+            or not sep2
+            or not name
+            or not label
+            or not count_text.isdigit()
+            or int(count_text) < 1
+        ):
+            print(
+                f"error: --shard expects NAME=N:LABEL, got {entry!r}",
+                file=stderr,
+            )
+            return False
+        if name not in registry:
+            print(
+                f"error: --shard names unloaded source {name!r}"
+                " (load it with --source first)",
+                file=stderr,
+            )
+            return False
+        base = registry.resolve(name)
+        partition = HashPartition(label, int(count_text))
+        forests = partition_forest(base.export(), partition)
+        registry.deregister(name)
+        shards = [
+            OEMStoreWrapper(
+                shard_name(name, index),
+                forest,
+                capability=BATCH_CAPABILITY,
+                compile=compile,
+            )
+            for index, forest in enumerate(forests)
+        ]
+        registry.register(ShardedSource(name, shards, partition))
+    return True
+
+
 def _emit(objects, format_: str, stdout) -> None:
     results = (
         objects if isinstance(objects, ResultSet) else ResultSet(objects)
@@ -434,6 +520,13 @@ def main(
     registry = SourceRegistry()
     if not _load_sources(
         args.source, registry, stderr, compile=not args.no_compile
+    ):
+        return 2
+    if args.bloom_threshold < 0:
+        print("error: --bloom-threshold must be non-negative", file=stderr)
+        return 2
+    if not _apply_shards(
+        args.shard, registry, stderr, compile=not args.no_compile
     ):
         return 2
 
@@ -557,6 +650,8 @@ def main(
                 "quarantine" if args.quarantine_malformed else "error"
             ),
             parallelism=args.parallelism,
+            semijoin=not args.no_semijoin,
+            bloom_threshold=args.bloom_threshold,
             cache=cache,
             hedge=hedge,
             adaptive_timeouts=args.adaptive_timeouts,

@@ -15,8 +15,11 @@ from repro.datasets.bibliography import (
 from repro.datasets.generators import (
     LABELS,
     deep_object,
+    probe_keys,
     random_forest,
     record_forest,
+    record_stream,
+    route_records,
 )
 from repro.datasets.staff import (
     JOE_CHUNG_QUERY,
@@ -53,6 +56,9 @@ __all__ = [
     "build_whois_objects",
     "deep_object",
     "normalize_author",
+    "probe_keys",
     "random_forest",
     "record_forest",
+    "record_stream",
+    "route_records",
 ]

@@ -9,7 +9,7 @@ benchmarks, irregularity for Rest-variable benchmarks).
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.oem.builders import atom, obj
 from repro.oem.model import OEMObject
@@ -17,7 +17,10 @@ from repro.oem.model import OEMObject
 __all__ = [
     "random_forest",
     "deep_object",
+    "probe_keys",
     "record_forest",
+    "record_stream",
+    "route_records",
     "LABELS",
 ]
 
@@ -64,6 +67,74 @@ def record_forest(
             children.append(atom("extra", f"extra_{index}"))
         forest.append(obj(label, *children))
     return forest
+
+
+def record_stream(
+    count: int,
+    key_label: str = "key",
+    key_space: int | None = None,
+    payload_fields: Sequence[str] = ("payload",),
+    seed: int = 0,
+) -> Iterator[list[tuple[str, object]]]:
+    """Stream ``count`` flat record rows as ``[(field, value), ...]``.
+
+    This is the million-object feeder: rows are generated lazily, in a
+    shape :meth:`SQLiteOEMStoreWrapper.load_records` consumes directly,
+    so a CI-scale dataset never has to exist as OEM objects in memory
+    all at once.  Keys cycle through ``key_space`` (default: ``count``,
+    i.e. unique keys); payload values are deterministic functions of
+    the row index, so two streams with equal parameters are identical.
+    """
+    space = count if key_space is None else key_space
+    for index in range(count):
+        row: list[tuple[str, object]] = [(key_label, index % space)]
+        for position, field_name in enumerate(payload_fields):
+            row.append((field_name, f"{field_name}_{index}_{position}"))
+        yield row
+
+
+def route_records(
+    rows: Iterable[list[tuple[str, object]]],
+    partition,
+    shards: int,
+    chunk: int = 20_000,
+) -> Iterator[tuple[int, list[list[tuple[str, object]]]]]:
+    """Split a record stream across shards: yields ``(index, chunk)``.
+
+    ``partition`` is anything with ``label`` and ``shard_of(value)``
+    (``HashPartition``/``RangePartition``); a row whose key routes to
+    ``None`` is broadcast to every shard, mirroring how an unroutable
+    probe fans out at query time.  Buffering is bounded at ``chunk``
+    rows per shard, so the loader stays streaming end to end::
+
+        for index, batch in route_records(record_stream(1_000_000), part, 8):
+            stores[index].load_records("rec", batch)
+    """
+    buffers: list[list[list[tuple[str, object]]]] = [[] for _ in range(shards)]
+    for row in rows:
+        value = next(
+            (v for field, v in row if field == partition.label), None
+        )
+        routed = partition.shard_of(value)
+        targets = range(shards) if routed is None else (routed,)
+        for target in targets:
+            buffers[target].append(row)
+            if len(buffers[target]) >= chunk:
+                yield target, buffers[target]
+                buffers[target] = []
+    for target, buffer in enumerate(buffers):
+        if buffer:
+            yield target, buffer
+
+
+def probe_keys(count: int, key_space: int, seed: int = 0) -> list[int]:
+    """``count`` probe keys drawn from ``key_space`` (with duplicates).
+
+    Duplicates are deliberate: they exercise probe deduplication in the
+    bind-join batch path.
+    """
+    rng = random.Random(seed)
+    return [rng.randrange(key_space) for _ in range(count)]
 
 
 def deep_object(

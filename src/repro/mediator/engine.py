@@ -105,9 +105,40 @@ class ExecutionContext:
     # when a deadline slicer is attached); a fused pipeline node reads
     # it as the base for its constituents' per-stage slicer advances
     stage_base: int = 1
+    # semi-join shipping: when on, a parameterized-query batch against
+    # a batch-capable source ships one value filter per target instead
+    # of one probe per distinct tuple; above bloom_threshold distinct
+    # values per parameter the filter ships as a Bloom digest (the
+    # returned superset is re-checked exactly at the mediator)
+    semijoin: bool = True
+    bloom_threshold: int = 64
+    # sharding/semi-join accounting for explain() and telemetry
+    semijoin_batches: int = 0
+    semijoin_probes: int = 0
+    shards_scanned: int = 0
+    shards_pruned: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False
     )
+
+    def record_semijoin(self, batches: int, probes: int) -> None:
+        """Account one batched shipping round: ``batches`` filters went
+        to the wire in place of ``probes`` distinct per-tuple queries."""
+        with self._lock:
+            self.semijoin_batches += batches
+            self.semijoin_probes += probes
+
+    def record_shard_fanout(self, scanned: int, pruned: int) -> None:
+        """Account one sharded leaf fan-out (shards probed vs pruned)."""
+        with self._lock:
+            self.shards_scanned += scanned
+            self.shards_pruned += pruned
+
+    @property
+    def semijoin_probes_saved(self) -> int:
+        """Wire queries avoided by batching: distinct probes that would
+        have shipped individually, minus the filters actually sent."""
+        return max(0, self.semijoin_probes - self.semijoin_batches)
 
     def send_query(self, source_name: str, query: Rule) -> list[OEMObject]:
         """Ship ``query`` to a source, with accounting and statistics.
@@ -251,10 +282,17 @@ class ExecutionContext:
             self.objects_received[source_name] = (
                 self.objects_received.get(source_name, 0) + len(result)
             )
-            if self.statistics is not None and not degraded:
+            if (
+                self.statistics is not None
+                and not degraded
+                and not getattr(query, "is_semijoin", False)
+            ):
                 # degraded answers are absences, not observations —
                 # feeding them to the optimizer would teach it the
-                # source is empty
+                # source is empty.  Semi-join batches are skipped too:
+                # one answer spans many probe tuples, so recording it
+                # against the pattern would poison the per-probe
+                # cardinality estimate.
                 for condition in query.tail:
                     if isinstance(condition, PatternCondition):
                         self.statistics.record(
@@ -278,6 +316,14 @@ class ExecutionContext:
                 calls = dict(self.queries_sent)
                 received = dict(self.objects_received)
             self.telemetry.record_source_calls(calls, received)
+        if self.telemetry is not None and (
+            self.semijoin_batches or self.shards_scanned
+        ):
+            with self._lock:
+                batches = self.semijoin_batches
+                saved = self.semijoin_probes_saved
+                pruned = self.shards_pruned
+            self.telemetry.record_sharding(batches, saved, pruned)
 
     @property
     def total_queries(self) -> int:

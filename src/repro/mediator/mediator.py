@@ -79,6 +79,7 @@ from repro.serving.admission import AdmissionConfig, AdmissionController
 from repro.serving.bulkhead import BulkheadRegistry
 from repro.wrappers.base import Source, SourceError
 from repro.wrappers.registry import SourceRegistry
+from repro.wrappers.sharding import ShardedSource
 
 __all__ = ["Mediator", "MediatorError"]
 
@@ -190,6 +191,8 @@ class Mediator(Source):
         deadline_slicing: bool | None = None,
         admission: "AdmissionConfig | AdmissionController | bool | None" = None,
         bulkheads: "BulkheadRegistry | int | None" = None,
+        semijoin: bool = True,
+        bloom_threshold: int = 64,
     ) -> None:
         if not name or not name.isidentifier():
             raise MediatorError(f"invalid mediator name {name!r}")
@@ -207,6 +210,11 @@ class Mediator(Source):
             raise MediatorError(
                 "on_malformed_answer must be 'error' or 'quarantine',"
                 f" got {on_malformed_answer!r}"
+            )
+        if not isinstance(bloom_threshold, int) or bloom_threshold < 0:
+            raise MediatorError(
+                "bloom_threshold must be a non-negative integer,"
+                f" got {bloom_threshold!r}"
             )
         self.name = name
         if isinstance(specification, str):
@@ -248,6 +256,13 @@ class Mediator(Source):
         self.fuse = fuse
         self.last_fusion: list[FusionDecision] = []
         self.profiler = Profiler()
+
+        # semi-join shipping: batch-capable sources receive one value
+        # filter per target per parameterized stage instead of one
+        # probe per distinct input tuple; above bloom_threshold values
+        # the filter ships as a Bloom digest (superset, re-checked)
+        self.semijoin = bool(semijoin)
+        self.bloom_threshold = bloom_threshold
 
         self.on_source_failure = on_source_failure
         if isinstance(resilience, ResilienceConfig):
@@ -650,6 +665,18 @@ class Mediator(Source):
                 if health:
                     lines.append(health)
             text += "\n\n-- resilience --\n" + "\n".join(lines)
+        sharded = [
+            source for source in self.sources
+            if isinstance(source, ShardedSource)
+        ]
+        if sharded or not self.semijoin:
+            lines = [
+                f"semijoin: {'on' if self.semijoin else 'off'}"
+                f" (bloom threshold: {self.bloom_threshold} values)"
+            ]
+            for source in sharded:
+                lines.append(source.describe())
+            text += "\n\n-- sharding --\n" + "\n".join(lines)
         governor = self._make_governor([])
         if governor is not None:
             text += "\n\n-- governor --\n" + governor.describe()
@@ -923,6 +950,8 @@ class Mediator(Source):
                 brownout is not None
                 and not brownout.allows("parallelism")
             ),
+            semijoin=self.semijoin,
+            bloom_threshold=self.bloom_threshold,
         )
         op = self._op()
         if context.telemetry is not None and op is not None:

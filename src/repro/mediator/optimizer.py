@@ -49,6 +49,7 @@ from repro.mediator.plan import (
     PhysicalPlan,
     PlanNode,
     QueryNode,
+    ShardedQueryNode,
     UnionNode,
 )
 from repro.mediator.statistics import (
@@ -73,6 +74,7 @@ from repro.msl.ast import (
 from repro.msl.errors import MSLSemanticError
 from repro.msl.substitute import pattern_variables, term_variables
 from repro.wrappers.registry import SourceRegistry
+from repro.wrappers.sharding import ShardedSource
 
 __all__ = ["CostBasedOptimizer", "PlanningError", "STRATEGIES"]
 
@@ -192,11 +194,7 @@ class CostBasedOptimizer:
             return self._best_order_by_cost(patterns)
         if strategy == "statistics":
             scored = [
-                _PendingPattern(
-                    p,
-                    self.statistics.estimate(p.source or "", p.pattern),
-                )
-                for p in patterns
+                _PendingPattern(p, self._estimate(p)) for p in patterns
             ]
             scored.sort(key=lambda pp: pp.score)  # smallest first
             return [pp.condition for pp in scored]
@@ -228,10 +226,7 @@ class CostBasedOptimizer:
             return self._order_patterns(patterns, "heuristic")
 
         selectivity = self.statistics.selectivity
-        estimates = [
-            self.statistics.estimate(p.source or "", p.pattern)
-            for p in patterns
-        ]
+        estimates = [self._estimate(p) for p in patterns]
         variables = [
             _parameterizable_vars(p.pattern) | _rest_vars(p.pattern)
             for p in patterns
@@ -259,6 +254,36 @@ class CostBasedOptimizer:
                 best_order = order
         assert best_order is not None
         return [patterns[i] for i in best_order]
+
+    def _estimate(self, condition: PatternCondition) -> float:
+        """Cardinality estimate, shard-aware for sharded sources.
+
+        A sharded source's estimate sums its *surviving* shards (after
+        partition pruning on the pattern's pushed-down constants), so a
+        pattern that routes to one shard correctly looks 1/N the size
+        of one that must broadcast.
+        """
+        source_name = condition.source or ""
+        if source_name in self.sources:
+            resolved = self.sources.resolve(source_name)
+            if isinstance(resolved, ShardedSource):
+                names, _ = resolved.prune_for_pattern(condition.pattern)
+                return self.statistics.sharded_estimate(
+                    source_name, names, condition.pattern
+                )
+        return self.statistics.estimate(source_name, condition.pattern)
+
+    def _source_leaf(
+        self, source_name: str, relaxed: Pattern, query: Rule
+    ) -> PlanNode:
+        """The leaf node shipping ``query``: sharded sources fan the
+        query across their surviving shards, everything else sends one
+        plain :class:`QueryNode`."""
+        resolved = self.sources.resolve(source_name)
+        if isinstance(resolved, ShardedSource):
+            names, pruned = resolved.prune_for_pattern(relaxed)
+            return ShardedQueryNode(source_name, names, query, pruned)
+        return QueryNode(source_name, query)
 
     def _shippable_comparisons(
         self,
@@ -318,7 +343,7 @@ class CostBasedOptimizer:
                 query = _projection_query(
                     source_name, relaxed, variables, shipped
                 )
-                node = QueryNode(source_name, query)
+                node = self._source_leaf(source_name, relaxed, query)
                 node = ExtractorNode(
                     node,
                     _extractor_pattern(query.head[0], relaxed),  # type: ignore[arg-type]
@@ -341,6 +366,14 @@ class CostBasedOptimizer:
                         source_name,
                         template,
                         {name: name for name in param_vars},
+                        **self._batch_spec(
+                            source_name,
+                            capability,
+                            relaxed,
+                            variables,
+                            shipped,
+                            param_vars,
+                        ),
                     )
                     node = ExtractorNode(
                         node,
@@ -353,7 +386,9 @@ class CostBasedOptimizer:
                     query = _projection_query(
                         source_name, relaxed, variables, shipped
                     )
-                    right: PlanNode = QueryNode(source_name, query)
+                    right: PlanNode = self._source_leaf(
+                        source_name, relaxed, query
+                    )
                     right = ExtractorNode(
                         right,
                         _extractor_pattern(query.head[0], relaxed),  # type: ignore[arg-type]
@@ -370,6 +405,44 @@ class CostBasedOptimizer:
             node, bound, pending_externals, pending_comparisons, final=True
         )
         return node
+
+    def _batch_spec(
+        self,
+        source_name: str,
+        capability,
+        relaxed: Pattern,
+        variables: list[str],
+        shipped: list[Comparison],
+        param_vars: list[str],
+    ) -> dict:
+        """Semi-join shipping kwargs for a parameterized query node.
+
+        Empty (per-tuple probing stays) unless the source advertises
+        batch filters and every parameter appears as a Const-labelled
+        direct-child value of the pattern — the shape a shipped value
+        filter can address.  The batch query is the same full-variable
+        projection rule a leaf fetch of this pattern would ship, so the
+        downstream extractor reads batch answers exactly like per-tuple
+        ones.  Sharded sources additionally get their surviving shard
+        names and the partition, for per-probe routing.
+        """
+        if not capability.supports_batch_filters:
+            return {}
+        param_labels = _semijoin_param_labels(relaxed, set(param_vars))
+        if param_labels is None:
+            return {}
+        spec: dict = {
+            "batch_query": _projection_query(
+                source_name, relaxed, variables, shipped
+            ),
+            "param_labels": param_labels,
+        }
+        resolved = self.sources.resolve(source_name)
+        if isinstance(resolved, ShardedSource):
+            names, _ = resolved.prune_for_pattern(relaxed)
+            spec["shard_names"] = names
+            spec["partition"] = resolved.partition
+        return spec
 
     # -- fetch-all-and-join pipeline -----------------------------------------
 
@@ -394,7 +467,7 @@ class CostBasedOptimizer:
                 capability, set(variables), pending_comparisons
             )
             query = _projection_query(source_name, relaxed, variables, shipped)
-            leaf: PlanNode = QueryNode(source_name, query)
+            leaf: PlanNode = self._source_leaf(source_name, relaxed, query)
             leaf = ExtractorNode(
                 leaf,
                 _extractor_pattern(query.head[0], relaxed),  # type: ignore[arg-type]
@@ -627,6 +700,41 @@ def _parameterizable_vars(pattern: Pattern) -> set[str]:
     # rest variables are set-valued: exclude them everywhere
     result -= _rest_vars(pattern)
     return result
+
+
+def _semijoin_param_labels(
+    pattern: Pattern, params: set[str]
+) -> dict[str, str] | None:
+    """``{param: direct-child label}`` when a value filter can address
+    every parameter, else ``None``.
+
+    A shipped ``label IN values`` filter is a *necessary* condition for
+    a probe match only when the parameter is the value of a
+    non-descendant direct child with a constant label (every object
+    matching the instantiated probe then carries ``<label value>`` as a
+    direct child).  Parameters in label/type/oid slots, nested items,
+    descendant items, or rest conditions have no such direct-child
+    witness, so the batch falls back to per-tuple probing.
+    """
+    value = pattern.value
+    if not isinstance(value, SetPattern):
+        return None
+    labels: dict[str, str] = {}
+    for item in value.items:
+        if not isinstance(item, PatternItem) or item.descendant:
+            continue
+        p = item.pattern
+        if (
+            isinstance(p.label, Const)
+            and isinstance(p.value, Var)
+            and not p.value.is_anonymous
+            and p.value.name in params
+            and p.value.name not in labels
+        ):
+            labels[p.value.name] = str(p.label.value)
+    if set(labels) != params:
+        return None
+    return labels
 
 
 def _rest_vars(pattern: Pattern) -> set[str]:

@@ -356,16 +356,10 @@ class FusedPipelineNode(PlanNode):
         ]
         out_columns = columns + [OBJECT_COLUMN]
         out_rows, add, out_table = make_out(out_columns)
-        dispatcher = context.dispatcher
-        if dispatcher is not None and dispatcher.parallel and len(rows) > 1:
-            node.run_batch(rows, param_positions, context, dispatcher, add)
-        else:
-            for row in rows:
-                query = node._instantiate_with(
-                    {name: row[p] for name, p in param_positions}
-                )
-                for obj in context.send_query(node.source, query):
-                    add(row + (obj,))
+        # run_batch handles every execution mode itself (semi-join
+        # shipping, parallel fan-out, sequential sends), so the fused
+        # stage and the unfused node stay behaviourally identical
+        node.run_batch(rows, param_positions, context, context.dispatcher, add)
         return out_columns, out_rows, out_table
 
     def _stage_constructor(self, node, columns, rows, context, make_out):

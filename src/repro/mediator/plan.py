@@ -56,6 +56,13 @@ from repro.msl.bindings import Bindings
 from repro.oem.compare import eliminate_duplicates
 from repro.oem.model import OEMObject
 from repro.oem.oid import OidGenerator
+from repro.wrappers.sharding import (
+    BloomFilter,
+    SemiJoinFilter,
+    SemiJoinQuery,
+    encode_value,
+    shard_name,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mediator.engine import ExecutionContext
@@ -63,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "PlanNode",
     "QueryNode",
+    "ShardedQueryNode",
     "ExtractorNode",
     "ExternalPredNode",
     "ParameterizedQueryNode",
@@ -134,6 +142,88 @@ class QueryNode(PlanNode):
 
     def describe(self) -> str:
         return f"query {self.source}: {self.query}"
+
+
+def _fan_queries(context, dispatcher, pairs):
+    """Send ``(source, query)`` pairs, in parallel when possible.
+
+    Answers come back in pair order.  Sequential runs send directly
+    (failing fast, like the per-row path always did); parallel runs let
+    every task settle, merge each task scope into the active one in
+    submission order, then raise the first captured error — the same
+    deterministic merge order :meth:`ParameterizedQueryNode.run_batch`
+    established.
+    """
+    if dispatcher is None or not dispatcher.parallel or len(pairs) <= 1:
+        return [context.send_query(source, query) for source, query in pairs]
+    outcomes = dispatcher.run_tasks(
+        [
+            (lambda s=source, q=query: context.send_query(s, q))
+            for source, query in pairs
+        ]
+    )
+    parent = current_scope()
+    first_error: BaseException | None = None
+    for outcome in outcomes:
+        if parent is not None:
+            parent.merge(outcome.scope)
+        else:
+            context.warnings.extend(outcome.scope.warnings)
+        if outcome.error is not None and first_error is None:
+            first_error = outcome.error
+    if first_error is not None:
+        raise first_error
+    return [outcome.value or [] for outcome in outcomes]
+
+
+class ShardedQueryNode(PlanNode):
+    """Leaf: fan one fixed query across the shards of a sharded source.
+
+    The optimizer replaces a :class:`QueryNode` on a
+    :class:`~repro.wrappers.sharding.ShardedSource` with this node,
+    pruning shards that cannot hold matching objects (a constant pushed
+    down on the partition label routes to exactly one shard).  The
+    surviving shards are probed concurrently through the dispatcher —
+    this node runs inline on the coordinating thread (it is *not* a
+    :class:`QueryNode`, so the staged executor never puts it on a pool
+    worker, which keeps the fan-out free of nested-pool deadlocks) —
+    and answers concatenate in shard order.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        shard_names: Sequence[str],
+        query: Rule,
+        pruned: int = 0,
+    ) -> None:
+        super().__init__(())
+        self.source = source
+        self.shard_names = tuple(shard_names)
+        self.query = query
+        self.pruned = pruned
+
+    def execute(
+        self, inputs: list[BindingTable], context: "ExecutionContext"
+    ) -> BindingTable:
+        context.record_shard_fanout(len(self.shard_names), self.pruned)
+        answers = _fan_queries(
+            context,
+            context.dispatcher,
+            [(name, self.query) for name in self.shard_names],
+        )
+        return BindingTable(
+            (OBJECT_COLUMN,),
+            ([obj] for answer in answers for obj in answer or ()),
+            governor=context.governor,
+        )
+
+    def describe(self) -> str:
+        total = len(self.shard_names) + self.pruned
+        return (
+            f"sharded-query {self.source}"
+            f" [{len(self.shard_names)}/{total} shards]: {self.query}"
+        )
 
 
 class ExtractorNode(PlanNode):
@@ -378,11 +468,25 @@ class ParameterizedQueryNode(PlanNode):
         source: str,
         template: Rule,
         param_columns: Mapping[str, str],
+        batch_query: Rule | None = None,
+        param_labels: Mapping[str, str] | None = None,
+        shard_names: Sequence[str] | None = None,
+        partition=None,
     ) -> None:
         super().__init__((input_node,))
         self.source = source
         self.template = template
         self.param_columns = dict(param_columns)
+        # semi-join shipping spec (optimizer-attached when the source
+        # advertises batch filters): the full-variable projection rule
+        # to ship once per target, the direct-child label each template
+        # parameter's values appear under, and — for sharded sources —
+        # the surviving shard names plus the partition for per-probe
+        # routing on the partition label
+        self.batch_query = batch_query
+        self.param_labels = dict(param_labels) if param_labels else {}
+        self.shard_names = tuple(shard_names) if shard_names else ()
+        self.partition = partition
 
     def instantiate(self, row: Mapping[str, object]) -> Rule:
         """The concrete query for one input tuple (Qcs1/Qcs2 style)."""
@@ -413,26 +517,7 @@ class ParameterizedQueryNode(PlanNode):
         self, inputs: list[BindingTable], context: "ExecutionContext"
     ) -> BindingTable:
         (table,) = inputs
-        dispatcher = context.dispatcher
-        if (
-            dispatcher is not None
-            and dispatcher.parallel
-            and len(table.rows) > 1
-        ):
-            return self._execute_batch(table, context, dispatcher)
-        param_positions = [
-            (name, table.position(column))
-            for name, column in self.param_columns.items()
-        ]
-
-        def expand(row: tuple[object, ...]) -> Iterable[Sequence[object]]:
-            query = self._instantiate_with(
-                {name: row[p] for name, p in param_positions}
-            )
-            for obj in context.send_query(self.source, query):
-                yield [obj]
-
-        return table.extend_rows([OBJECT_COLUMN], expand)
+        return self._execute_batch(table, context, context.dispatcher)
 
     def _execute_batch(
         self, table: BindingTable, context: "ExecutionContext", dispatcher
@@ -443,9 +528,9 @@ class ParameterizedQueryNode(PlanNode):
         text (distinct rows often bind the same parameters), one task
         is dispatched per unique query, and the output table is rebuilt
         on the coordinating thread in input-row order — same rows, same
-        order, same dropped-empty-answer semantics as the sequential
-        ``extend`` path.  Per-task warnings and attempt counts merge
-        into the node's own scope in tuple order.
+        order, same dropped-empty-answer semantics as a per-row
+        ``extend``.  Per-task warnings and attempt counts merge into
+        the node's own scope in tuple order.
         """
         param_positions = [
             (name, table.position(column))
@@ -473,8 +558,21 @@ class ParameterizedQueryNode(PlanNode):
 
         Shared with the fused pipeline's parameterized-query stage so
         the fused path has the exact dedup, dispatch, warning-merge,
-        and row-rebuild order of the unfused one.
+        and row-rebuild order of the unfused one.  When the optimizer
+        attached a semi-join spec (the source accepts batch filters)
+        and the context has semi-join shipping enabled, the whole batch
+        collapses into one shipped filter per target instead of one
+        probe per distinct tuple.
         """
+        if (
+            rows
+            and self.batch_query is not None
+            and context.semijoin
+            and self._run_semijoin(
+                rows, param_positions, context, dispatcher, add
+            )
+        ):
+            return
         unique: list[Rule] = []
         index_of: dict[str, int] = {}
         row_query: list[int] = []
@@ -488,33 +586,132 @@ class ParameterizedQueryNode(PlanNode):
                 position = index_of[text] = len(unique)
                 unique.append(query)
             row_query.append(position)
-        outcomes = dispatcher.run_tasks(
-            [
-                (lambda q=query: context.send_query(self.source, q))
-                for query in unique
-            ]
+        answers = _fan_queries(
+            context,
+            dispatcher,
+            [(self.source, query) for query in unique],
         )
-        parent = current_scope()
-        first_error: BaseException | None = None
-        for outcome in outcomes:
-            if parent is not None:
-                parent.merge(outcome.scope)
-            else:
-                context.warnings.extend(outcome.scope.warnings)
-            if outcome.error is not None and first_error is None:
-                first_error = outcome.error
-        if first_error is not None:
-            raise first_error
         for row, position in zip(rows, row_query):
-            answer = outcomes[position].value
-            for obj in answer if answer else ():
+            for obj in answers[position] or ():
                 add(row + (obj,))
+
+    def _run_semijoin(
+        self,
+        rows: Sequence[tuple[object, ...]],
+        param_positions: Sequence[tuple[str, int]],
+        context: "ExecutionContext",
+        dispatcher,
+        add,
+    ) -> bool:
+        """Ship one batched value filter per target instead of probing.
+
+        Distinct probe tuples (canonically encoded, so ``1`` and
+        ``1.0`` collapse) are routed to their shard when the partition
+        label is among the parameters — otherwise broadcast — and each
+        surviving target receives a single
+        :class:`~repro.wrappers.sharding.SemiJoinQuery`: the
+        full-variable projection rule plus one ``IN``-set (or, above
+        ``context.bloom_threshold`` values, Bloom) filter per
+        parameter.  Returned objects are demultiplexed back onto their
+        probe by the ``bind_for_*`` values, and an object counts for a
+        probe only if that probe was shipped to the answering target —
+        which re-checks Bloom false positives exactly and keeps
+        cross-shard duplicates out.  Emits the same rows, in the same
+        input order, as the per-tuple path.  Returns ``False`` (caller
+        falls back to per-tuple probes) if a parameter value cannot be
+        put in a filter set.
+        """
+        params = [name for name, _ in param_positions]
+        probes: list[tuple[object, ...]] = []
+        keys: list[tuple[bytes, ...]] = []
+        index_of: dict[tuple[bytes, ...], int] = {}
+        row_key: list[tuple[bytes, ...]] = []
+        for row in rows:
+            values = tuple(row[p] for _, p in param_positions)
+            key = tuple(encode_value(v) for v in values)
+            if key not in index_of:
+                index_of[key] = len(probes)
+                probes.append(values)
+                keys.append(key)
+            row_key.append(key)
+        targets = list(self.shard_names) or [self.source]
+        route_position: int | None = None
+        if self.partition is not None and self.shard_names:
+            for position, name in enumerate(params):
+                if self.param_labels.get(name) == self.partition.label:
+                    route_position = position
+                    break
+        target_set = set(targets)
+        groups: dict[str, list[int]] = {name: [] for name in targets}
+        for i, values in enumerate(probes):
+            routed: int | None = None
+            if route_position is not None:
+                routed = self.partition.shard_of(values[route_position])
+            if routed is None:
+                for name in targets:
+                    groups[name].append(i)
+            else:
+                name = shard_name(self.source, routed)
+                if name in target_set:
+                    groups[name].append(i)
+        shipped = [(name, groups[name]) for name in targets if groups[name]]
+        threshold = context.bloom_threshold
+        pairs: list[tuple[str, SemiJoinQuery]] = []
+        admitted: list[set[tuple[bytes, ...]]] = []
+        try:
+            for name, member_ids in shipped:
+                filters = []
+                for position, pname in enumerate(params):
+                    values = frozenset(
+                        probes[i][position] for i in member_ids
+                    )
+                    label = self.param_labels[pname]
+                    if threshold and len(values) > threshold:
+                        filters.append(
+                            SemiJoinFilter(
+                                pname, label,
+                                bloom=BloomFilter.build(values),
+                            )
+                        )
+                    else:
+                        filters.append(
+                            SemiJoinFilter(pname, label, values=values)
+                        )
+                pairs.append(
+                    (name, SemiJoinQuery(self.batch_query, tuple(filters)))
+                )
+                admitted.append({keys[i] for i in member_ids})
+        except TypeError:  # unhashable parameter value
+            return False
+        answers = _fan_queries(context, dispatcher, pairs)
+        context.record_semijoin(len(pairs), len(probes))
+        bind_labels = [f"bind_for_{name}" for name in params]
+        by_key: dict[tuple[bytes, ...], list[OEMObject]] = {
+            key: [] for key in keys
+        }
+        for admit, answer in zip(admitted, answers):
+            for obj in answer or ():
+                okey = tuple(
+                    encode_value(obj.get(label)) for label in bind_labels
+                )
+                if okey in admit:
+                    by_key[okey].append(obj)
+        for row, key in zip(rows, row_key):
+            for obj in by_key[key]:
+                add(row + (obj,))
+        return True
 
     def describe(self) -> str:
         params = ", ".join(
             f"${name}<-{column}" for name, column in self.param_columns.items()
         )
-        return f"param-query {self.source} [{params}]: {self.template}"
+        mode = ""
+        if self.batch_query is not None:
+            mode = " (semijoin"
+            if self.shard_names:
+                mode += f" x{len(self.shard_names)} shards"
+            mode += ")"
+        return f"param-query {self.source}{mode} [{params}]: {self.template}"
 
 
 def build_comparison_keep(comparison: Comparison, has_column, position):

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.msl.ast import Const, Pattern, PatternItem, SetPattern, VarItem
 
@@ -185,6 +186,30 @@ class SourceStatistics:
         if remaining > 0:
             estimate *= self.selectivity**remaining
         return estimate
+
+    def sharded_estimate(
+        self, source: str, shard_names: "Sequence[str]", pattern: Pattern
+    ) -> float:
+        """Estimated result size across the surviving shards.
+
+        Shard-qualified source names (``big#3``) accrue their own
+        per-label cardinalities through the engine's normal feedback,
+        so each observed shard contributes its own estimate; a shard
+        never observed contributes an even split of the *logical*
+        source's estimate instead of a full default each (eight unseen
+        shards are one source, not eight).
+        """
+        if not shard_names:
+            return 0.0
+        label = _label_of(pattern)
+        whole = self.estimate(source, pattern)
+        total = 0.0
+        for name in shard_names:
+            if label is not None and self.has_observations(name, label):
+                total += self.estimate(name, pattern)
+            else:
+                total += whole / len(shard_names)
+        return total
 
     def has_observations(self, source: str, label: str) -> bool:
         entry = self._stats.get((source, label))

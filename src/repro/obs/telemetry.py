@@ -95,6 +95,18 @@ class Telemetry:
                 "Top-level objects received from a source.",
                 labelnames=("source",),
             )
+            self.semijoin_batches_total = metrics.counter(
+                "repro_semijoin_batches_total",
+                "Batched semi-join filters shipped to sources.",
+            )
+            self.semijoin_probes_saved_total = metrics.counter(
+                "repro_semijoin_probes_saved_total",
+                "Per-tuple probe queries avoided by semi-join shipping.",
+            )
+            self.shards_pruned_total = metrics.counter(
+                "repro_shards_pruned_total",
+                "Shards skipped by partition pruning.",
+            )
             self.governor_rows_clipped_total = metrics.counter(
                 "repro_governor_rows_clipped_total",
                 "Rows refused by truncate-mode budgets.",
@@ -366,6 +378,19 @@ class Telemetry:
         calls.inc()
         if objects:
             received.inc(objects)
+
+    def record_sharding(
+        self, batches: int, probes_saved: int, shards_pruned: int
+    ) -> None:
+        """A whole run's semi-join / shard-pruning totals at once."""
+        if not self.enabled:
+            return
+        if batches:
+            self.semijoin_batches_total.inc(batches)
+        if probes_saved:
+            self.semijoin_probes_saved_total.inc(probes_saved)
+        if shards_pruned:
+            self.shards_pruned_total.inc(shards_pruned)
 
     def record_source_calls(
         self,

@@ -34,6 +34,21 @@ from repro.wrappers.capability import (
 __all__ = ["Source", "Wrapper", "SourceError", "MalformedAnswerError"]
 
 
+def _valid_source_name(name: str) -> bool:
+    """Identifiers, plus the shard-qualified form ``logical#<index>``.
+
+    Shards of a :class:`~repro.wrappers.sharding.ShardedSource` carry
+    their qualified name directly so that cache keys, breakers,
+    bulkheads, health records, and warnings all key per shard.
+    """
+    if not name:
+        return False
+    base, sep, index = name.partition("#")
+    if not base.isidentifier():
+        return False
+    return not sep or index.isdigit()
+
+
 class SourceError(Exception):
     """A query could not be served by a source."""
 
@@ -117,7 +132,7 @@ class Wrapper(Source):
         registry: ExternalRegistry | None = None,
         compile: bool = True,
     ) -> None:
-        if not name or not name.isidentifier():
+        if not _valid_source_name(name):
             raise SourceError(f"invalid source name {name!r}")
         self.name = name
         self._capability = capability or FULL_CAPABILITY
@@ -159,11 +174,61 @@ class Wrapper(Source):
         (``@name``) or carry no source annotation.  Patterns are checked
         against the advertised capability first — a real autonomous
         source would reject what it cannot evaluate, and so do we.
+
+        A :class:`~repro.wrappers.sharding.SemiJoinQuery` (a projection
+        query plus batched value filters) is accepted when the
+        capability advertises ``supports_batch_filters`` — recognized
+        structurally to keep this module import-free of the sharding
+        layer.
         """
+        if getattr(query, "is_semijoin", False):
+            return self.answer_semijoin(query)
+        self._check_query(query)
+        forest = self.candidates(query)
+        return self._evaluate(query, forest)
+
+    def answer_semijoin(self, query) -> list[OEMObject]:
+        """Evaluate one batched semi-join probe.
+
+        The shipped rule is the full-variable projection query; the
+        filters restrict candidates to objects whose direct children
+        pass every value filter (a Bloom filter admits a superset — the
+        mediator re-checks exactly).  One call replaces one wire probe
+        per distinct parameter tuple.
+        """
+        if not self._capability.supports_batch_filters:
+            raise SourceError(
+                f"source {self.name!r} does not accept batched semi-join"
+                f" filters (capability {self._capability.name!r})"
+            )
+        self._check_query(query.rule)
+        forest = self.semijoin_candidates(query)
+        return self._evaluate(query.rule, forest)
+
+    def semijoin_candidates(self, query) -> Sequence[OEMObject]:
+        """Candidates passing the batch's value filters.
+
+        The default filters :meth:`candidates` objects one by one;
+        subclasses with native access paths (inverted indexes, SQL)
+        override this with an indexed union over the filter values.
+        """
+        forest = self.candidates(query.rule)
+        for shipped in query.filters:
+            forest = [
+                obj for obj in forest if shipped.admits_object(obj)
+            ]
+        return forest
+
+    def _check_query(self, query: Rule) -> None:
         check_rule(query)
+        # a shard wrapper ("big#2") also answers queries addressed to
+        # its logical source ("big"): the sharded entry fans logical
+        # queries to shards without rewriting their source annotations
+        logical = self.name.partition("#")[0]
+        accepted = (None, self.name, logical)
         for condition in query.tail:
             if isinstance(condition, PatternCondition):
-                if condition.source not in (None, self.name):
+                if condition.source not in accepted:
                     raise SourceError(
                         f"query for source {condition.source!r} sent to"
                         f" {self.name!r}"
@@ -188,11 +253,20 @@ class Wrapper(Source):
                     f" condition {condition}"
                 )
 
-        forest = self.candidates(query)
+    def _evaluate(
+        self, query: Rule, forest: Sequence[OEMObject]
+    ) -> list[OEMObject]:
+        # the logical alias mirrors _check_query: a shard evaluates
+        # queries still annotated with its logical source name
+        forests = {
+            None: forest,
+            self.name: forest,
+            self.name.partition("#")[0]: forest,
+        }
         try:
             if self._compile_cache is not None:
                 result = self._compile_cache.rule(query).evaluate(
-                    {None: forest, self.name: forest},
+                    forests,
                     self._registry,
                     self._oidgen,
                     check=False,
@@ -200,7 +274,7 @@ class Wrapper(Source):
             else:
                 result = evaluate_rule(
                     query,
-                    {None: forest, self.name: forest},
+                    forests,
                     self._registry,
                     self._oidgen,
                     check=False,

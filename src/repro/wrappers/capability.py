@@ -31,7 +31,12 @@ from repro.msl.ast import (
     VarItem,
 )
 
-__all__ = ["Capability", "FULL_CAPABILITY", "CapabilityViolation"]
+__all__ = [
+    "Capability",
+    "FULL_CAPABILITY",
+    "BATCH_CAPABILITY",
+    "CapabilityViolation",
+]
 
 
 class CapabilityViolation(Exception):
@@ -53,6 +58,11 @@ class Capability:
         may not support them", Section 2).
     supports_comparisons:
         whether non-equality rest-condition comparisons can be shipped.
+    supports_batch_filters:
+        whether the source accepts batched ``IN``-style / Bloom value
+        filters (:class:`~repro.wrappers.sharding.SemiJoinQuery`);
+        when set, the parameterized-query path ships one semi-join
+        batch per shard instead of one probe per input tuple.
     name:
         a display name for plans and error messages.
     """
@@ -60,6 +70,7 @@ class Capability:
     filterable_labels: frozenset[str] | None = None
     supports_wildcards: bool = True
     supports_comparisons: bool = True
+    supports_batch_filters: bool = False
     name: str = "capability"
 
     # -- checks -----------------------------------------------------------
@@ -164,3 +175,11 @@ def _label_text(label: Term) -> object:
 
 #: The capability of a fully-capable source (a conventional DBMS wrapper).
 FULL_CAPABILITY = Capability(name="full")
+
+#: Full capability plus batched semi-join filters — what the shard-ready
+#: store wrappers advertise.  Kept out of :data:`FULL_CAPABILITY` so
+#: existing sources keep their per-tuple probe wire traffic unless they
+#: opt in.
+BATCH_CAPABILITY = Capability(
+    supports_batch_filters=True, name="full+batch"
+)

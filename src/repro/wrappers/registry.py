@@ -38,21 +38,45 @@ class SourceRegistry:
         del self._sources[name]
 
     def resolve(self, name: str | None) -> Source:
-        """The source registered under ``name``."""
+        """The source registered under ``name``.
+
+        Shard-qualified names (``big#3``) resolve through the logical
+        :class:`~repro.wrappers.sharding.ShardedSource` entry, so the
+        execution layer addresses individual shards without each shard
+        occupying a registry slot.
+        """
         if name is None:
             raise SourceError(
                 "a mediator tail condition lacks its @source annotation"
             )
         source = self._sources.get(name)
         if source is None:
+            shard = self._resolve_shard(name)
+            if shard is not None:
+                return shard
             known = ", ".join(sorted(self._sources)) or "(none)"
             raise SourceError(
                 f"no source named {name!r}; registered sources: {known}"
             )
         return source
 
+    def _resolve_shard(self, name: str) -> Source | None:
+        logical, sep, index = name.partition("#")
+        if not sep or not index.isdigit():
+            return None
+        entry = self._sources.get(logical)
+        shard_lookup = getattr(entry, "shard", None)
+        if shard_lookup is None:
+            return None
+        return shard_lookup(int(index))
+
     def __contains__(self, name: str) -> bool:
-        return name in self._sources
+        if name in self._sources:
+            return True
+        try:
+            return self._resolve_shard(name) is not None
+        except SourceError:
+            return False
 
     def __iter__(self) -> Iterator[Source]:
         for name in sorted(self._sources):

@@ -1,0 +1,521 @@
+"""Sharded source tier: partitioned wrappers and semi-join shipping.
+
+A :class:`ShardedSource` registry entry presents N shard wrappers as one
+logical source.  The partition scheme (hash or range on a key label)
+is declared up front, so the optimizer can *prune* shards from
+pushed-down constants on the partition label, and the parameterized-
+query path can switch from one probe per input tuple to **semi-join
+shipping**: one batched ``IN``-style filter (:class:`SemiJoinFilter`)
+per surviving shard — or a :class:`BloomFilter` above a size threshold,
+with an exact mediator-side re-check of the returned superset.
+
+Everything here is deterministic: partition routing and Bloom hashing
+use :func:`encode_value` + BLAKE2 digests, never Python's seeded
+``hash()``, so shard assignment is stable across processes and runs.
+
+Naming convention: the shards of logical source ``big`` are addressed
+as ``big#0`` … ``big#N-1``.  The qualified name is used *everywhere* —
+wrapper name, registry resolution, answer-cache keys, circuit-breaker
+and bulkhead keys, health records, and degrade warnings — so a dead
+shard surfaces exactly like any other dead source.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from hashlib import blake2b
+from typing import Callable, Iterable, Sequence
+
+from repro.msl.ast import (
+    Const,
+    Pattern,
+    PatternCondition,
+    PatternItem,
+    Rule,
+    SetPattern,
+)
+from repro.oem.model import OEMObject
+from repro.wrappers.base import Source, SourceError
+from repro.wrappers.capability import Capability, FULL_CAPABILITY
+
+__all__ = [
+    "encode_value",
+    "HashPartition",
+    "RangePartition",
+    "BloomFilter",
+    "SemiJoinFilter",
+    "SemiJoinQuery",
+    "ShardedSource",
+    "shard_name",
+    "partition_forest",
+]
+
+
+def encode_value(value: object) -> bytes:
+    """A canonical byte encoding of an atomic OEM value.
+
+    Values that compare equal must encode equal — numerics are the trap
+    (``1 == 1.0`` but ``repr`` differs), so every int/float exactly
+    representable as a float encodes through ``float.hex()``.  Used by
+    hash partitioning and Bloom membership on both the mediator and the
+    wrapper side, so the two must never disagree.
+    """
+    if isinstance(value, bool):
+        return b"b:1" if value else b"b:0"
+    if isinstance(value, (int, float)):
+        try:
+            as_float = float(value)
+        except OverflowError:
+            return f"i:{value!r}".encode()
+        if as_float == value:
+            return f"n:{as_float.hex()}".encode()
+        return f"i:{value!r}".encode()
+    if isinstance(value, str):
+        return b"s:" + value.encode("utf-8", "surrogatepass")
+    if isinstance(value, bytes):
+        return b"y:" + value
+    return f"o:{type(value).__name__}:{value!r}".encode()
+
+
+def _stable_hash(value: object) -> int:
+    return int.from_bytes(
+        blake2b(encode_value(value), digest_size=8).digest(), "big"
+    )
+
+
+def shard_name(logical: str, index: int) -> str:
+    """The qualified name of shard ``index`` of logical source ``logical``."""
+    return f"{logical}#{index}"
+
+
+@dataclass(frozen=True)
+class HashPartition:
+    """Route by a stable hash of the key-label value."""
+
+    label: str
+    shards: int
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("a partition needs at least one shard")
+
+    def shard_of(self, value: object) -> int | None:
+        """The shard owning ``value``; ``None`` = cannot route (broadcast)."""
+        try:
+            return _stable_hash(value) % self.shards
+        except Exception:  # unencodable value: cannot prune
+            return None
+
+    def describe(self) -> str:
+        return f"hash({self.label!r}) % {self.shards}"
+
+
+@dataclass(frozen=True)
+class RangePartition:
+    """Route by sorted upper-exclusive boundaries on the key label.
+
+    ``boundaries`` has ``shards - 1`` entries: shard ``i`` owns values
+    in ``[boundaries[i-1], boundaries[i])``.
+    """
+
+    label: str
+    boundaries: tuple
+
+    def __post_init__(self) -> None:
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise ValueError("range boundaries must be sorted")
+
+    @property
+    def shards(self) -> int:
+        return len(self.boundaries) + 1
+
+    def shard_of(self, value: object) -> int | None:
+        try:
+            return bisect.bisect_right(self.boundaries, value)
+        except TypeError:  # incomparable with the boundaries: broadcast
+            return None
+
+    def describe(self) -> str:
+        return f"range({self.label!r}, boundaries={list(self.boundaries)!r})"
+
+
+class BloomFilter:
+    """A tiny deterministic Bloom filter over atomic OEM values.
+
+    Membership may report false positives (the mediator re-checks the
+    returned superset exactly), never false negatives.  Hash positions
+    derive from salted BLAKE2 digests of :func:`encode_value`, so the
+    mediator-built filter and the wrapper-side membership test agree
+    bit for bit.
+    """
+
+    __slots__ = ("bits", "num_bits", "num_hashes")
+
+    def __init__(self, bits: bytes, num_bits: int, num_hashes: int) -> None:
+        self.bits = bytes(bits)
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+
+    @classmethod
+    def build(
+        cls, values: Iterable[object], bits_per_value: int = 12
+    ) -> "BloomFilter":
+        values = list(values)
+        num_bits = max(64, len(values) * bits_per_value)
+        num_hashes = 4
+        bits = bytearray((num_bits + 7) // 8)
+        for value in values:
+            for position in cls._positions(value, num_bits, num_hashes):
+                bits[position >> 3] |= 1 << (position & 7)
+        return cls(bytes(bits), num_bits, num_hashes)
+
+    @staticmethod
+    def _positions(value: object, num_bits: int, num_hashes: int):
+        encoded = encode_value(value)
+        for salt in range(num_hashes):
+            digest = blake2b(
+                encoded, digest_size=8, salt=salt.to_bytes(4, "big")
+            ).digest()
+            yield int.from_bytes(digest, "big") % num_bits
+
+    def __contains__(self, value: object) -> bool:
+        for position in self._positions(
+            value, self.num_bits, self.num_hashes
+        ):
+            if not self.bits[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return self.num_bits
+
+    def digest(self) -> str:
+        """A short stable fingerprint (cache / single-flight keys)."""
+        return blake2b(self.bits, digest_size=8).hexdigest()
+
+
+def _value_sort_key(value: object) -> tuple[str, str]:
+    return (type(value).__name__, repr(value))
+
+
+class SemiJoinFilter:
+    """One shipped probe-value filter: ``label IN values`` (or Bloom).
+
+    ``param`` names the template variable being filtered; ``label`` is
+    the direct-child label its values appear under.  Exactly one of
+    ``values`` (an explicit set) and ``bloom`` is set — the Bloom form
+    is a superset filter and the mediator re-checks exactly.
+    """
+
+    __slots__ = ("param", "label", "values", "bloom")
+
+    def __init__(
+        self,
+        param: str,
+        label: str,
+        values: frozenset | None = None,
+        bloom: BloomFilter | None = None,
+    ) -> None:
+        if (values is None) == (bloom is None):
+            raise ValueError(
+                "a semi-join filter carries either values or a bloom filter"
+            )
+        self.param = param
+        self.label = label
+        self.values = values
+        self.bloom = bloom
+
+    def admits(self, value: object) -> bool:
+        if self.values is not None:
+            try:
+                return value in self.values
+            except TypeError:
+                return False
+        assert self.bloom is not None
+        return value in self.bloom
+
+    def admits_object(self, obj: OEMObject) -> bool:
+        """Does ``obj`` have a direct child passing this filter?"""
+        for child in obj.children:
+            if child.label == self.label and child.is_atomic:
+                if self.admits(child.value):
+                    return True
+        return False
+
+    def canonical(self) -> str:
+        if self.values is not None:
+            body = ",".join(
+                repr(v) for v in sorted(self.values, key=_value_sort_key)
+            )
+            return f"{self.param}/{self.label} IN {{{body}}}"
+        assert self.bloom is not None
+        return (
+            f"{self.param}/{self.label} BLOOM"
+            f" {self.bloom.num_bits}b:{self.bloom.digest()}"
+        )
+
+    def __repr__(self) -> str:
+        return f"SemiJoinFilter({self.canonical()})"
+
+
+class SemiJoinQuery:
+    """A batched probe: one projection query plus shipped value filters.
+
+    Stands in for a :class:`~repro.msl.ast.Rule` on the wire — the
+    execution context, dispatcher, cache, and reliability decorators
+    only ever take ``str(query)`` and forward the object, so this rides
+    the existing single-flight / answer-cache / retry machinery
+    unchanged.  ``str()`` is canonical: sorted filter sets (or Bloom
+    digests) plus the rule text, so identical batches dedup and cache.
+    """
+
+    __slots__ = ("rule", "filters", "_text")
+
+    is_semijoin = True
+
+    def __init__(
+        self, rule: Rule, filters: Sequence[SemiJoinFilter]
+    ) -> None:
+        self.rule = rule
+        self.filters = tuple(
+            sorted(filters, key=lambda f: (f.param, f.label))
+        )
+        self._text: str | None = None
+
+    @property
+    def head(self):
+        return self.rule.head
+
+    @property
+    def tail(self):
+        return self.rule.tail
+
+    def __str__(self) -> str:
+        if self._text is None:
+            filters = "; ".join(f.canonical() for f in self.filters)
+            self._text = f"SEMIJOIN[{filters}] {self.rule}"
+        return self._text
+
+    def __repr__(self) -> str:
+        return f"SemiJoinQuery({self})"
+
+
+def partition_forest(
+    objects: Iterable[OEMObject],
+    partition: "HashPartition | RangePartition",
+) -> list[list[OEMObject]]:
+    """Split a forest into per-shard lists, preserving relative order.
+
+    Routing reads the first direct atomic child carrying the partition
+    label; objects without one go to shard 0 (they can never match a
+    query that filters on the partition label, so any stable home is
+    sound).  The unsharded *reference* store for an equivalence check
+    is the shard-major concatenation of the returned lists.
+    """
+    shards: list[list[OEMObject]] = [[] for _ in range(partition.shards)]
+    for obj in objects:
+        target = 0
+        for child in obj.children:
+            if child.label == partition.label and child.is_atomic:
+                routed = partition.shard_of(child.value)
+                if routed is not None:
+                    target = routed
+                break
+        shards[target].append(obj)
+    return shards
+
+
+class ShardedSource(Source):
+    """N shard wrappers behind one logical source name.
+
+    The shards must be named ``<logical>#<index>`` (see
+    :func:`shard_name`) so that every per-source mechanism downstream —
+    answer-cache keys, breakers, bulkheads, health, warnings — keys by
+    the shard, not the logical source.  Registering the
+    :class:`ShardedSource` makes both the logical name and every
+    qualified shard name resolvable
+    (:meth:`~repro.wrappers.registry.SourceRegistry.resolve` forwards
+    ``big#3`` to :meth:`shard`).
+
+    Answering through the *logical* name still works — a single-pattern
+    query is pruned on partition-label constants and fanned (serially)
+    across the surviving shards, shard-major order — but the optimizer
+    exploits the declared partition much harder: shard-pruned parallel
+    leaf scans and per-shard semi-join batches.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        shards: Sequence[Source],
+        partition: "HashPartition | RangePartition",
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SourceError(f"invalid source name {name!r}")
+        if len(shards) != partition.shards:
+            raise SourceError(
+                f"partition {partition.describe()} expects"
+                f" {partition.shards} shard(s), got {len(shards)}"
+            )
+        for index, shard in enumerate(shards):
+            expected = shard_name(name, index)
+            if shard.name != expected:
+                raise SourceError(
+                    f"shard {index} of {name!r} must be named"
+                    f" {expected!r}, got {shard.name!r}"
+                )
+        self.name = name
+        self.shards = tuple(shards)
+        self.partition = partition
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        partition: "HashPartition | RangePartition",
+        make_shard: Callable[[int, str], Source],
+    ) -> "ShardedSource":
+        """Construct shards via ``make_shard(index, qualified_name)``."""
+        shards = [
+            make_shard(index, shard_name(name, index))
+            for index in range(partition.shards)
+        ]
+        return cls(name, shards, partition)
+
+    # -- shard addressing ---------------------------------------------------
+
+    def shard(self, index: int) -> Source:
+        if not 0 <= index < len(self.shards):
+            raise SourceError(
+                f"source {self.name!r} has no shard {index}"
+                f" (it has {len(self.shards)})"
+            )
+        return self.shards[index]
+
+    def shard_names(self) -> list[str]:
+        return [shard_name(self.name, i) for i in range(len(self.shards))]
+
+    def prune_for_pattern(
+        self, pattern: Pattern
+    ) -> tuple[list[str], int]:
+        """Surviving shard names for a shipped pattern + pruned count.
+
+        Pruning keys off constant values on the partition label among
+        the pattern's *direct* child items (descendant items don't
+        constrain direct children, so they never prune).  Unroutable
+        constants broadcast; conflicting constants prune everything.
+        """
+        owners: set[int] | None = None
+        value = pattern.value
+        if isinstance(value, SetPattern):
+            for item in value.items:
+                if not isinstance(item, PatternItem) or item.descendant:
+                    continue
+                p = item.pattern
+                if (
+                    isinstance(p.label, Const)
+                    and str(p.label.value) == self.partition.label
+                    and isinstance(p.value, Const)
+                ):
+                    routed = self.partition.shard_of(p.value.value)
+                    if routed is None:
+                        continue
+                    owned = {routed}
+                    owners = owned if owners is None else owners & owned
+        if owners is None:
+            survivors = list(range(len(self.shards)))
+        else:
+            survivors = sorted(owners)
+        names = [shard_name(self.name, i) for i in survivors]
+        return names, len(self.shards) - len(survivors)
+
+    # -- the Source interface ----------------------------------------------
+
+    @property
+    def capability(self) -> Capability:
+        return self.shards[0].capability if self.shards else FULL_CAPABILITY
+
+    def answer(self, query) -> list[OEMObject]:
+        if isinstance(query, SemiJoinQuery):
+            return self._answer_semijoin(query)
+        patterns = [
+            c for c in query.tail if isinstance(c, PatternCondition)
+        ]
+        if len(patterns) == 1:
+            names, _ = self.prune_for_pattern(patterns[0].pattern)
+            survivors = [int(n.rpartition("#")[2]) for n in names]
+            result: list[OEMObject] = []
+            for index in survivors:
+                result.extend(self.shards[index].answer(query))
+            return result
+        # multi-pattern tails join across shards: no per-shard
+        # decomposition exists, so evaluate over the union forest
+        from repro.msl.evaluate import evaluate_rule
+        from repro.oem.oid import OidGenerator
+
+        forest = list(self.export())
+        return evaluate_rule(
+            query,
+            {None: forest, self.name: forest},
+            None,
+            OidGenerator(f"&{self.name}_"),
+        )
+
+    def _answer_semijoin(self, query: SemiJoinQuery) -> list[OEMObject]:
+        route = next(
+            (
+                f
+                for f in query.filters
+                if f.label == self.partition.label and f.values is not None
+            ),
+            None,
+        )
+        if route is None:
+            survivors = range(len(self.shards))
+        else:
+            owned: set[int] = set()
+            for value in route.values or ():
+                routed = self.partition.shard_of(value)
+                if routed is None:
+                    owned = set(range(len(self.shards)))
+                    break
+                owned.add(routed)
+            survivors = sorted(owned)
+        result: list[OEMObject] = []
+        for index in survivors:
+            result.extend(self.shards[index].answer(query))
+        return result
+
+    def export(self) -> Sequence[OEMObject]:
+        result: list[OEMObject] = []
+        for shard in self.shards:
+            result.extend(shard.export())
+        return result
+
+    @property
+    def schema_facts(self):
+        return self.shards[0].schema_facts if self.shards else None
+
+    def stats(self) -> dict[str, object]:
+        totals: dict[str, object] = {"shards": len(self.shards)}
+        queries = objects = 0
+        for shard in self.shards:
+            stats = shard.stats()
+            queries += int(stats.get("queries_answered", 0) or 0)
+            objects += int(stats.get("objects_returned", 0) or 0)
+        totals["queries_answered"] = queries
+        totals["objects_returned"] = objects
+        return totals
+
+    def reset_counters(self) -> None:
+        for shard in self.shards:
+            shard.reset_counters()
+
+    def describe(self) -> str:
+        kinds = {type(s).__name__ for s in self.shards}
+        return (
+            f"{self.name}: {len(self.shards)} shard(s) by"
+            f" {self.partition.describe()}"
+            f" [{', '.join(sorted(kinds))}]"
+        )

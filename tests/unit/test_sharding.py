@@ -1,0 +1,544 @@
+"""Unit tests for the sharded source tier.
+
+Covers the partition schemes and their deterministic routing, shard
+pruning, the semi-join wire protocol (filters, Bloom digests, canonical
+query text), the disk-backed SQLite store, registry resolution of
+shard-qualified names, the engine's semi-join counters, and the
+answer-cache behaviour with shard-qualified source names.
+"""
+
+import pytest
+
+from repro.datasets import probe_keys, record_stream, route_records
+from repro.exec import AnswerCache
+from repro.external.registry import default_registry
+from repro.mediator import Mediator
+from repro.msl.parser import parse_query
+from repro.oem import structural_key
+from repro.oem.builders import atom, obj
+from repro.wrappers import (
+    BATCH_CAPABILITY,
+    BloomFilter,
+    HashPartition,
+    OEMStoreWrapper,
+    RangePartition,
+    SemiJoinFilter,
+    SemiJoinQuery,
+    ShardedSource,
+    SourceError,
+    SourceRegistry,
+    SQLiteOEMStoreWrapper,
+    partition_forest,
+    shard_name,
+)
+from repro.wrappers.sharding import encode_value
+
+SPEC = (
+    "<hit {<k K> <p P>}> :- <probe {<key K>}>@driver"
+    " AND <rec {<key K> <payload P>}>@big"
+)
+QUERY = "H :- H:<hit {}>@med"
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+def record(key, payload):
+    return obj("rec", atom("key", key), atom("payload", payload))
+
+
+def make_records(count):
+    return [record(k, f"p{k}") for k in range(count)]
+
+
+def make_sharded(records, shards, store=OEMStoreWrapper):
+    partition = HashPartition("key", shards)
+    forests = partition_forest(records, partition)
+    wrappers = []
+    for index, forest in enumerate(forests):
+        if store is SQLiteOEMStoreWrapper:
+            wrapper = SQLiteOEMStoreWrapper(shard_name("big", index))
+            wrapper.add(*forest)
+        else:
+            wrapper = OEMStoreWrapper(
+                shard_name("big", index),
+                forest,
+                capability=BATCH_CAPABILITY,
+            )
+        wrappers.append(wrapper)
+    return ShardedSource("big", wrappers, partition)
+
+
+def make_mediator(keys, records, shards=4, store=OEMStoreWrapper, **kwargs):
+    registry = SourceRegistry()
+    registry.register(
+        OEMStoreWrapper(
+            "driver", [obj("probe", atom("key", k)) for k in keys]
+        )
+    )
+    if shards == 0:
+        registry.register(
+            OEMStoreWrapper("big", records, capability=BATCH_CAPABILITY)
+        )
+    else:
+        registry.register(make_sharded(records, shards, store=store))
+    return Mediator(
+        "med", SPEC, registry, default_registry(), **kwargs
+    )
+
+
+# -- canonical value encoding -------------------------------------------------
+
+
+class TestEncodeValue:
+    def test_equal_numerics_encode_equal(self):
+        assert encode_value(1) == encode_value(1.0)
+        assert encode_value(0) == encode_value(0.0)
+        assert encode_value(-3) == encode_value(-3.0)
+
+    def test_bools_are_not_integers(self):
+        assert encode_value(True) != encode_value(1)
+        assert encode_value(False) != encode_value(0)
+
+    def test_types_do_not_collide(self):
+        values = [1, "1", b"1", True, None]
+        encoded = {encode_value(v) for v in values}
+        assert len(encoded) == len(values)
+
+    def test_huge_int_distinct_from_neighbour(self):
+        # 2**63 and 2**63 + 1 collapse to the same float; the encoding
+        # must keep them apart (they are != as ints)
+        assert encode_value(2**63 + 1) != encode_value(2**63)
+
+
+# -- partition schemes --------------------------------------------------------
+
+
+class TestPartitions:
+    def test_hash_routing_is_stable_and_in_range(self):
+        part = HashPartition("key", 5)
+        again = HashPartition("key", 5)
+        for value in [0, 1, "x", 3.5, b"raw", True, None]:
+            routed = part.shard_of(value)
+            assert routed is not None and 0 <= routed < 5
+            assert routed == again.shard_of(value)
+
+    def test_hash_equal_numerics_route_together(self):
+        part = HashPartition("key", 7)
+        assert part.shard_of(2) == part.shard_of(2.0)
+
+    def test_hash_requires_a_shard(self):
+        with pytest.raises(ValueError):
+            HashPartition("key", 0)
+
+    def test_range_routing(self):
+        part = RangePartition("key", (10, 20))
+        assert part.shards == 3
+        assert part.shard_of(5) == 0
+        assert part.shard_of(10) == 1  # boundaries are upper-exclusive
+        assert part.shard_of(19) == 1
+        assert part.shard_of(20) == 2
+
+    def test_range_incomparable_broadcasts(self):
+        part = RangePartition("key", (10, 20))
+        assert part.shard_of("not-a-number") is None
+
+    def test_range_boundaries_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            RangePartition("key", (20, 10))
+
+    def test_partition_forest_routes_and_preserves(self):
+        records = make_records(50)
+        part = HashPartition("key", 4)
+        forests = partition_forest(records, part)
+        assert sum(len(f) for f in forests) == 50
+        for index, forest in enumerate(forests):
+            for o in forest:
+                key = next(c.value for c in o.children if c.label == "key")
+                assert part.shard_of(key) == index
+
+    def test_partition_forest_keyless_goes_to_shard_zero(self):
+        orphan = obj("rec", atom("other", 1))
+        forests = partition_forest([orphan], HashPartition("key", 3))
+        assert forests[0] == [orphan]
+
+
+# -- bloom filters ------------------------------------------------------------
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        values = list(range(500)) + ["a", "b", 2.5]
+        bloom = BloomFilter.build(values)
+        for value in values:
+            assert value in bloom
+
+    def test_mostly_rejects_absent_values(self):
+        bloom = BloomFilter.build(range(100))
+        misses = sum(
+            1 for v in range(10_000, 11_000) if v not in bloom
+        )
+        assert misses > 900  # ~12 bits/value keeps FP rate low
+
+    def test_deterministic_digest(self):
+        a = BloomFilter.build([1, 2, 3])
+        b = BloomFilter.build([1, 2, 3])
+        assert a.digest() == b.digest()
+        assert a.digest() != BloomFilter.build([1, 2, 4]).digest()
+
+
+# -- the semi-join wire protocol ----------------------------------------------
+
+
+class TestSemiJoinProtocol:
+    def test_filter_needs_exactly_one_payload(self):
+        with pytest.raises(ValueError):
+            SemiJoinFilter("K", "key")
+        with pytest.raises(ValueError):
+            SemiJoinFilter(
+                "K",
+                "key",
+                values=frozenset([1]),
+                bloom=BloomFilter.build([1]),
+            )
+
+    def test_admits_object_checks_direct_children(self):
+        filt = SemiJoinFilter("K", "key", values=frozenset([1, 2]))
+        assert filt.admits_object(record(1, "x"))
+        assert not filt.admits_object(record(9, "x"))
+        nested = obj("rec", obj("sub", atom("key", 1)))
+        assert not filt.admits_object(nested)
+
+    def test_canonical_text_is_order_insensitive(self):
+        rule = parse_query("R :- R:<rec {<key K>}>@big")
+        a = SemiJoinQuery(
+            rule, [SemiJoinFilter("K", "key", values=frozenset([2, 1]))]
+        )
+        b = SemiJoinQuery(
+            rule, [SemiJoinFilter("K", "key", values=frozenset([1, 2]))]
+        )
+        assert str(a) == str(b)
+        assert str(a).startswith("SEMIJOIN[")
+        assert SemiJoinQuery.is_semijoin
+
+    def test_wrapper_answers_semijoin_only_with_capability(self):
+        # the batch query is a full-variable projection rule: the
+        # shipped filters restrict it, no template parameters remain
+        rule = parse_query(
+            "<bind_for_big {<bind_for_K K> <bind_for_P P>}> :-"
+            " <rec {<key K> <payload P>}>@big"
+        )
+        query = SemiJoinQuery(
+            rule, [SemiJoinFilter("K", "key", values=frozenset([1, 3]))]
+        )
+        batch = OEMStoreWrapper(
+            "big", make_records(10), capability=BATCH_CAPABILITY
+        )
+        answer = batch.answer(query)
+        keys = sorted(
+            c.value
+            for o in answer
+            for c in o.children
+            if c.label == "bind_for_P"
+        )
+        assert keys == ["p1", "p3"]
+        plain = OEMStoreWrapper("big", make_records(10))
+        with pytest.raises(SourceError):
+            plain.answer(query)
+
+    def test_bloom_filter_superset_is_allowed(self):
+        # a bloom filter may admit extra objects; the wrapper returns
+        # the superset and the mediator re-checks exactly
+        rule = parse_query(
+            "<bind_for_big {<bind_for_K K> <bind_for_P P>}> :-"
+            " <rec {<key K> <payload P>}>@big"
+        )
+        query = SemiJoinQuery(
+            rule,
+            [SemiJoinFilter("K", "key", bloom=BloomFilter.build([1, 3]))],
+        )
+        batch = OEMStoreWrapper(
+            "big", make_records(10), capability=BATCH_CAPABILITY
+        )
+        keys = {
+            c.value
+            for o in batch.answer(query)
+            for c in o.children
+            if c.label == "bind_for_P"
+        }
+        assert {"p1", "p3"} <= keys
+
+
+# -- sharded sources ----------------------------------------------------------
+
+
+class TestShardedSource:
+    def test_shard_names_are_validated(self):
+        part = HashPartition("key", 2)
+        good = [
+            OEMStoreWrapper(shard_name("big", i), []) for i in range(2)
+        ]
+        bad = [OEMStoreWrapper("big#0", []), OEMStoreWrapper("oops", [])]
+        ShardedSource("big", good, part)
+        with pytest.raises(SourceError):
+            ShardedSource("big", bad, part)
+        with pytest.raises(SourceError):
+            ShardedSource("big", good[:1], part)
+
+    def test_registry_resolves_shard_qualified_names(self):
+        source = make_sharded(make_records(20), 4)
+        registry = SourceRegistry()
+        registry.register(source)
+        assert registry.resolve("big") is source
+        assert registry.resolve("big#2") is source.shard(2)
+        assert "big#3" in registry
+        assert "big#9" not in registry
+        with pytest.raises(SourceError):
+            source.shard(9)
+
+    def test_prune_for_pattern(self):
+        source = make_sharded(make_records(20), 4)
+        part = source.partition
+        pattern = parse_query(
+            "R :- R:<rec {<key 7> <payload P>}>@big"
+        ).tail[0].pattern
+        names, pruned = source.prune_for_pattern(pattern)
+        assert names == [shard_name("big", part.shard_of(7))]
+        assert pruned == 3
+        unbound = parse_query(
+            "R :- R:<rec {<key K> <payload P>}>@big"
+        ).tail[0].pattern
+        names, pruned = source.prune_for_pattern(unbound)
+        assert len(names) == 4 and pruned == 0
+
+    def test_conflicting_constants_prune_everything(self):
+        source = make_sharded(make_records(20), 4)
+        part = source.partition
+        # two different keys owned by different shards cannot both hold
+        a, b = 0, next(
+            k for k in range(1, 20)
+            if part.shard_of(k) != part.shard_of(0)
+        )
+        pattern = parse_query(
+            f"R :- R:<rec {{<key {a}> <key {b}>}}>@big"
+        ).tail[0].pattern
+        names, pruned = source.prune_for_pattern(pattern)
+        assert names == [] and pruned == 4
+
+    def test_logical_answer_equals_unsharded(self):
+        records = make_records(30)
+        sharded = make_sharded(records, 3)
+        reference = OEMStoreWrapper("big", records)
+        query = parse_query("R :- R:<rec {<key 7> <payload P>}>@big")
+        assert canonical(sharded.answer(query)) == canonical(
+            reference.answer(query)
+        )
+        assert canonical(sharded.export()) != []
+        assert len(list(sharded.export())) == 30
+
+    def test_describe_mentions_partition(self):
+        source = make_sharded(make_records(4), 2)
+        text = source.describe()
+        assert "2 shard(s)" in text and "hash('key') % 2" in text
+
+
+# -- the disk-backed store ----------------------------------------------------
+
+
+class TestSQLiteStore:
+    def test_round_trips_all_value_types(self):
+        rich = obj(
+            "rec",
+            atom("key", 1),
+            atom("s", "text"),
+            atom("f", 2.5),
+            atom("b", True),
+            atom("raw", b"\x00\xff"),
+            atom("n", None),
+            obj("nested", atom("inner", "deep")),
+        )
+        store = SQLiteOEMStoreWrapper("big")
+        store.add(rich)
+        assert canonical(store.export()) == canonical([rich])
+        store.close()
+
+    def test_matches_in_memory_wrapper(self):
+        records = make_records(40)
+        disk = SQLiteOEMStoreWrapper("big")
+        disk.add(*records)
+        memory = OEMStoreWrapper(
+            "big", records, capability=BATCH_CAPABILITY
+        )
+        for text in (
+            "R :- R:<rec {<key 7> <payload P>}>@big",
+            "R :- R:<rec {<payload 'p3'>}>@big",
+            "R :- R:<rec {}>@big",
+        ):
+            query = parse_query(text)
+            assert canonical(disk.answer(query)) == canonical(
+                memory.answer(query)
+            ), text
+        rule = parse_query(
+            "<bind_for_big {<bind_for_K K> <bind_for_P P>}> :-"
+            " <rec {<key K> <payload P>}>@big"
+        )
+        for filt in (
+            SemiJoinFilter("K", "key", values=frozenset([1, 5, 9])),
+            SemiJoinFilter("K", "key", bloom=BloomFilter.build([1, 5])),
+        ):
+            semi = SemiJoinQuery(rule, [filt])
+            assert canonical(disk.answer(semi)) == canonical(
+                memory.answer(semi)
+            )
+        assert len(disk) == 40
+        disk.close()
+
+    def test_load_records_streams(self):
+        store = SQLiteOEMStoreWrapper("big")
+        store.load_records(
+            "rec", ([("key", k), ("payload", f"p{k}")] for k in range(25))
+        )
+        assert len(store) == 25
+        query = parse_query("R :- R:<rec {<key 7> <payload P>}>@big")
+        assert len(store.answer(query)) == 1
+        store.close()
+
+    def test_generator_routing_matches_partition(self):
+        part = HashPartition("key", 4)
+        stores = [
+            SQLiteOEMStoreWrapper(shard_name("big", i)) for i in range(4)
+        ]
+        for index, batch in route_records(
+            record_stream(200), part, 4, chunk=32
+        ):
+            stores[index].load_records("rec", batch)
+        assert sum(len(s) for s in stores) == 200
+        for index, store in enumerate(stores):
+            for o in store.export():
+                key = next(
+                    c.value for c in o.children if c.label == "key"
+                )
+                assert part.shard_of(key) == index
+            store.close()
+
+    def test_probe_keys_is_deterministic(self):
+        assert probe_keys(20, 100, seed=5) == probe_keys(20, 100, seed=5)
+        assert probe_keys(20, 100, seed=5) != probe_keys(20, 100, seed=6)
+
+
+# -- end-to-end through the mediator ------------------------------------------
+
+
+class TestMediatorIntegration:
+    def test_semijoin_collapses_probes(self):
+        keys = [1, 3, 5, 7, 9, 3, 5]  # duplicates exercise dedup
+        records = make_records(50)
+        reference = make_mediator(keys, records, shards=0, semijoin=False)
+        expected = canonical(reference.query(QUERY).objects())
+        med = make_mediator(keys, records, shards=4, parallelism=4)
+        got = canonical(med.query(QUERY).objects())
+        assert got == expected
+        context = med.last_context
+        assert context.semijoin_batches <= 4
+        assert context.semijoin_probes == 5  # deduped
+        assert context.semijoin_probes_saved >= 1
+        assert context.shards_scanned >= 0
+        med.close()
+        reference.close()
+
+    def test_sqlite_shards_match_reference(self):
+        keys = [2, 4, 6, 8]
+        records = make_records(30)
+        reference = make_mediator(keys, records, shards=0, semijoin=False)
+        expected = canonical(reference.query(QUERY).objects())
+        med = make_mediator(
+            keys, records, shards=3, store=SQLiteOEMStoreWrapper
+        )
+        assert canonical(med.query(QUERY).objects()) == expected
+        med.close()
+        reference.close()
+
+    def test_bloom_path_matches_exact(self):
+        keys = probe_keys(40, 60, seed=1)
+        records = make_records(60)
+        exact = make_mediator(keys, records, shards=2, bloom_threshold=0)
+        bloomed = make_mediator(keys, records, shards=2, bloom_threshold=1)
+        assert canonical(bloomed.query(QUERY).objects()) == canonical(
+            exact.query(QUERY).objects()
+        )
+        exact.close()
+        bloomed.close()
+
+    def test_semijoin_off_still_correct(self):
+        keys = [1, 2, 3]
+        records = make_records(20)
+        med = make_mediator(keys, records, shards=2, semijoin=False)
+        reference = make_mediator(keys, records, shards=0, semijoin=False)
+        assert canonical(med.query(QUERY).objects()) == canonical(
+            reference.query(QUERY).objects()
+        )
+        assert med.last_context.semijoin_batches == 0
+        med.close()
+        reference.close()
+
+    def test_explain_shows_sharding(self):
+        med = make_mediator([1], make_records(10), shards=4)
+        text = med.explain(QUERY)
+        assert "-- sharding --" in text
+        assert "semijoin: on" in text
+        assert "4 shard(s)" in text
+        assert "semijoin x4 shards" in text
+        med.close()
+
+    def test_bloom_threshold_validated(self):
+        with pytest.raises(Exception):
+            make_mediator([1], make_records(5), shards=2, bloom_threshold=-1)
+
+    def test_telemetry_counters(self):
+        med = make_mediator(
+            [1, 3, 5], make_records(30), shards=4, telemetry=True
+        )
+        med.query(QUERY)
+        assert med.telemetry.semijoin_batches_total.value() >= 1
+        assert med.telemetry.semijoin_probes_saved_total.value() >= 0
+        med.close()
+
+
+# -- answer-cache keys with shard-qualified names -----------------------------
+
+
+class TestShardedAnswerCache:
+    def test_no_cross_shard_hits(self):
+        cache = AnswerCache(max_entries=16)
+        answer = [record(1, "x")]
+        cache.store("big#0", "Q", answer)
+        hit, got = cache.lookup("big#0", "Q")
+        assert hit and canonical(got) == canonical(answer)
+        hit, got = cache.lookup("big#1", "Q")
+        assert not hit and got is None
+        hit, got = cache.lookup("big", "Q")
+        assert not hit
+
+    def test_invalidation_hits_only_the_named_shard(self):
+        cache = AnswerCache(max_entries=16)
+        for index in range(3):
+            cache.store(f"big#{index}", "Q", [])
+        assert cache.invalidate("big#1") == 1
+        assert cache.lookup("big#0", "Q")[0]
+        assert not cache.lookup("big#1", "Q")[0]
+        assert cache.lookup("big#2", "Q")[0]
+
+    def test_mediator_caches_per_shard(self):
+        cache = AnswerCache(max_entries=64)
+        med = make_mediator(
+            [1, 3, 5], make_records(30), shards=4, cache=cache
+        )
+        first = canonical(med.query(QUERY).objects())
+        assert canonical(med.query(QUERY).objects()) == first
+        assert cache.hits > 0
+        for source in cache.hits_by_source:
+            # every cached source call is shard-qualified or the driver:
+            # the logical name never appears as a cache key
+            assert source == "driver" or "#" in source
+        med.close()
