@@ -13,6 +13,13 @@ Usage::
   are read from stdin, one per line;
 * ``--explain`` — print the logical program and physical plan instead
   of executing;
+* ``--explain-analyze`` — execute each query while recording per-node
+  estimated vs actual cardinality, then print the annotated plan tree
+  (answers go to stdout first); ``--analyze-out FILE`` additionally
+  writes one structured-JSON report per query as JSON lines;
+* ``--stats-out FILE`` / ``--stats-in FILE`` — persist the adaptive
+  statistics database (observed cardinalities, q-errors, source cost
+  weights) to JSON after the run / warm-start it before the run;
 * ``--export`` — materialize and print the whole view;
 * ``--format`` — ``text`` (the paper's reference style, default),
   ``inline`` (one object per line), or ``python`` (dicts);
@@ -65,6 +72,7 @@ relational or custom wrappers use the library API directly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -135,6 +143,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         action="store_true",
         help="print the logical program and plan instead of executing",
+    )
+    parser.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help=(
+            "execute each query and print the annotated plan tree with"
+            " estimated vs actual cardinality per node"
+        ),
+    )
+    parser.add_argument(
+        "--analyze-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write one structured-JSON EXPLAIN ANALYZE report per"
+            " query to FILE as JSON lines (needs --explain-analyze)"
+        ),
+    )
+    parser.add_argument(
+        "--misestimate-factor",
+        type=float,
+        default=4.0,
+        metavar="F",
+        help=(
+            "flag a plan stage whose actual cardinality exceeds its"
+            " estimate by more than F and re-rank not-yet-dispatched"
+            " stages (default: 4.0; 0 disables)"
+        ),
+    )
+    parser.add_argument(
+        "--stats-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the adaptive statistics snapshot (observed"
+            " cardinalities, q-errors, source cost weights) to FILE"
+            " as JSON after the queries ran"
+        ),
+    )
+    parser.add_argument(
+        "--stats-in",
+        default=None,
+        metavar="FILE",
+        help=(
+            "warm-start the optimizer from a statistics snapshot"
+            " previously written with --stats-out"
+        ),
     )
     parser.add_argument(
         "--format",
@@ -599,6 +654,30 @@ def main(
     if args.cache is not None:
         cache = AnswerCache(max_entries=args.cache, ttl=args.cache_ttl)
 
+    if args.explain and args.explain_analyze:
+        print(
+            "error: --explain-analyze conflicts with --explain"
+            " (analyze executes the query; explain does not)",
+            file=stderr,
+        )
+        return 2
+    if args.analyze_out is not None and not args.explain_analyze:
+        print("error: --analyze-out needs --explain-analyze", file=stderr)
+        return 2
+    stats_snapshot = None
+    if args.stats_in is not None:
+        try:
+            with open(args.stats_in) as handle:
+                stats_snapshot = json.load(handle)
+        except OSError as exc:
+            print(f"error: cannot read {args.stats_in}: {exc}", file=stderr)
+            return 2
+        except ValueError as exc:
+            print(
+                f"error: cannot parse {args.stats_in}: {exc}", file=stderr
+            )
+            return 2
+
     if not 0.0 <= args.trace_sample_rate <= 1.0:
         print("error: --trace-sample-rate must be in [0, 1]", file=stderr)
         return 2
@@ -657,6 +736,7 @@ def main(
             adaptive_timeouts=args.adaptive_timeouts,
             compile=not args.no_compile,
             fuse=not args.no_fuse,
+            misestimate_factor=args.misestimate_factor,
             telemetry=telemetry,
             trace_sample_rate=args.trace_sample_rate,
             slow_query_ms=args.slow_query_ms,
@@ -666,10 +746,19 @@ def main(
         print(f"error: bad specification: {exc}", file=stderr)
         return 2
 
+    if stats_snapshot is not None:
+        try:
+            mediator.restore_statistics(stats_snapshot)
+        except Exception as exc:
+            print(f"error: {args.stats_in}: {exc}", file=stderr)
+            mediator.close()
+            return 2
+
     def emit_warnings(results: ResultSet) -> None:
         for warning in results.warnings:
             print(f"warning: {warning.render()}", file=stderr)
 
+    analyze_reports = []
     status = 0
     try:
         if args.export:
@@ -685,6 +774,15 @@ def main(
             try:
                 if args.explain:
                     print(mediator.explain(query), file=stdout)
+                elif args.explain_analyze:
+                    report = mediator.explain_analyze(
+                        query, tenant=args.tenant, priority=args.priority
+                    )
+                    results = ResultSet(report.objects, report.warnings)
+                    _emit(results, args.format, stdout)
+                    print(report.render(), file=stdout)
+                    emit_warnings(results)
+                    analyze_reports.append(report)
                 else:
                     results = mediator.query(
                         query, tenant=args.tenant, priority=args.priority
@@ -702,6 +800,33 @@ def main(
         # the invocation (telemetry export below needs no pool)
         mediator.close()
 
+    if args.analyze_out is not None:
+        try:
+            with open(args.analyze_out, "w") as handle:
+                for report in analyze_reports:
+                    handle.write(
+                        json.dumps(report.to_dict(), sort_keys=True) + "\n"
+                    )
+        except OSError as exc:
+            print(
+                f"error: cannot write {args.analyze_out}: {exc}", file=stderr
+            )
+            return 2
+    if args.stats_out is not None:
+        try:
+            with open(args.stats_out, "w") as handle:
+                json.dump(
+                    mediator.statistics_snapshot(),
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+        except OSError as exc:
+            print(
+                f"error: cannot write {args.stats_out}: {exc}", file=stderr
+            )
+            return 2
     if args.slow_query_ms is not None:
         for span in mediator.telemetry.tracer.slow_queries:
             print(

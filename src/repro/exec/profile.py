@@ -59,16 +59,24 @@ class Profiler:
 
     # -- recording ------------------------------------------------------
 
-    def record_node(self, name: str, rows: int, seconds: float) -> None:
-        """One ``execute`` call of a plan node."""
+    def record_node(
+        self, name: str, rows: int, seconds: float, latency: float = 0.0
+    ) -> None:
+        """One ``execute`` call of a plan node.
+
+        ``latency`` is the source-call time that elapsed inside the
+        node — it separates "slow because the source was slow" from
+        "slow because the mediator worked", per node class.
+        """
         with self._lock:
             entry = self._nodes.get(name)
             if entry is None:
-                self._nodes[name] = [1, rows, seconds]
+                self._nodes[name] = [1, rows, seconds, latency]
             else:
                 entry[0] += 1
                 entry[1] += rows
                 entry[2] += seconds
+                entry[3] += latency
         if self._rows_metric is not None:
             child = self._rows_children.get(name)
             if child is None:
@@ -113,6 +121,7 @@ class Profiler:
                     "calls": int(entry[0]),
                     "rows": int(entry[1]),
                     "seconds": entry[2],
+                    "source_seconds": entry[3],
                 }
                 for name, entry in self._nodes.items()
             }
@@ -147,10 +156,13 @@ class Profiler:
                 nodes, key=lambda n: -nodes[n]["seconds"]
             ):
                 entry = nodes[name]
-                lines.append(
+                line = (
                     f"  {name}: {entry['calls']} / {entry['rows']}"
                     f" / {entry['seconds']:.6f}"
                 )
+                if entry["source_seconds"]:
+                    line += f" (source {entry['source_seconds']:.6f}s)"
+                lines.append(line)
         patterns = snap["patterns"]
         if patterns:
             lines.append("patterns (objects / matches / seconds):")

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.governor.budget import QueryGovernor
     from repro.mediator.statistics import SourceStatistics
     from repro.msl.compile import CompileCache
+    from repro.obs.insight import QueryInsight
     from repro.obs.span import Tracer
     from repro.obs.telemetry import Telemetry
     from repro.reliability.deadline import DeadlineSlicer
@@ -117,6 +118,19 @@ class ExecutionContext:
     semijoin_probes: int = 0
     shards_scanned: int = 0
     shards_pruned: int = 0
+    # plan observability: when an EXPLAIN ANALYZE insight rides along,
+    # every executed operator folds its rows/time into it; q-errors on
+    # annotated nodes always feed statistics + telemetry, insight or not
+    insight: "QueryInsight | None" = None
+    # mid-query adaptivity: an operator whose actual rows exceed its
+    # estimate by this factor raises a misestimate event, records a
+    # correction ratio for its (source, label) bucket, and lets the
+    # staged executor re-rank not-yet-dispatched stages; 0 disables
+    misestimate_factor: float = 4.0
+    misestimate_events: int = 0
+    estimate_corrections: dict[tuple[str, str], float] = field(
+        default_factory=dict
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False
     )
@@ -139,6 +153,88 @@ class ExecutionContext:
         """Wire queries avoided by batching: distinct probes that would
         have shipped individually, minus the filters actually sent."""
         return max(0, self.semijoin_probes - self.semijoin_batches)
+
+    def observe_node(
+        self,
+        node: PlanNode,
+        rows_in: int,
+        rows_out: int,
+        seconds: float,
+        latency: float = 0.0,
+    ) -> None:
+        """Fold one executed operator into the observability loop.
+
+        Three consumers, each optional: the EXPLAIN ANALYZE insight
+        (rows/time per node), the q-error trackers (statistics +
+        telemetry, for nodes carrying an optimizer estimate key), and
+        the misestimate detector.  Unannotated nodes without an insight
+        attached make this a cheap no-op, so the hook is safe on every
+        operator of every run.
+        """
+        if self.insight is not None:
+            self.insight.observe_node(
+                node, rows_in, rows_out, seconds, latency
+            )
+        estimated = node.estimated_rows
+        if estimated is None:
+            return
+        key = node.estimate_key
+        if key is not None:
+            from repro.mediator.statistics import qerror
+
+            error = qerror(estimated, rows_out)
+            source, label, kind = key
+            if self.statistics is not None:
+                self.statistics.record_qerror(source, label, kind, error)
+            if self.telemetry is not None:
+                self.telemetry.record_qerror(source, label, kind, error)
+        factor = self.misestimate_factor
+        if factor and rows_out > max(estimated, 0.5) * factor:
+            self._record_misestimate(node, estimated, rows_out)
+
+    def _record_misestimate(
+        self, node: PlanNode, estimated: float, actual: int
+    ) -> None:
+        """One underestimate big enough to react to mid-query."""
+        correction = actual / max(estimated, 0.5)
+        key = node.estimate_key
+        with self._lock:
+            self.misestimate_events += 1
+            if key is not None:
+                bucket = (key[0], key[1])
+                if correction > self.estimate_corrections.get(bucket, 1.0):
+                    self.estimate_corrections[bucket] = correction
+        if self.telemetry is not None:
+            self.telemetry.record_misestimate(key[0] if key else "")
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.start_span("misestimate", type(node).__name__)
+            span.set_attribute("estimated_rows", estimated)
+            span.set_attribute("actual_rows", actual)
+            span.set_attribute("correction", correction)
+            tracer.finish_span(span)
+        if self.insight is not None:
+            if key is not None:
+                action = (
+                    f"recorded {correction:.1f}x correction for"
+                    f" {key[0]}/{key[1]}; undispatched stages re-rank"
+                    " against it"
+                )
+            else:
+                action = "noted (no statistics bucket to correct)"
+            self.insight.record_misestimate(node, estimated, actual, action)
+
+    def corrected_estimate(self, node: PlanNode) -> "float | None":
+        """``estimated_rows`` adjusted by any recorded correction."""
+        estimated = node.estimated_rows
+        if estimated is None:
+            return None
+        key = node.estimate_key
+        if key is None:
+            return estimated
+        with self._lock:
+            ratio = self.estimate_corrections.get((key[0], key[1]), 1.0)
+        return estimated * ratio
 
     def send_query(self, source_name: str, query: Rule) -> list[OEMObject]:
         """Ship ``query`` to a source, with accounting and statistics.
@@ -367,6 +463,50 @@ def _traced_execute(
     return table
 
 
+def _rerank_stage(
+    stage_index: int,
+    stage: list[PlanNode],
+    context: ExecutionContext,
+) -> list[PlanNode]:
+    """Re-order a not-yet-dispatched stage after a misestimate.
+
+    Within a stage every node is independent of the others, so order
+    only affects dispatch sequence (and warning interleaving), never
+    the answer.  Cheapest-corrected-estimate-first mirrors the
+    optimizer's smallest-first join ordering; nodes without estimates
+    keep their relative position at the end.  Runs only when at least
+    one node in the stage is touched by a recorded correction, and
+    records the decision into the analyze output when the order
+    actually changes.
+    """
+    if len(stage) < 2:
+        return stage
+    affected = False
+    for node in stage:
+        key = node.estimate_key
+        if key is not None and (key[0], key[1]) in context.estimate_corrections:
+            affected = True
+            break
+    if not affected:
+        return stage
+    estimates = [context.corrected_estimate(node) for node in stage]
+    order = sorted(
+        range(len(stage)),
+        key=lambda i: (estimates[i] is None, estimates[i] or 0.0, i),
+    )
+    if order == list(range(len(stage))):
+        return stage
+    reranked = [stage[i] for i in order]
+    insight = context.insight
+    if insight is not None:
+        insight.record_rerank(
+            stage_index,
+            [insight.key_of(n) or type(n).__name__ for n in stage],
+            [insight.key_of(n) or type(n).__name__ for n in reranked],
+        )
+    return reranked
+
+
 class DatamergeEngine:
     """Executes physical datamerge plans."""
 
@@ -425,8 +565,9 @@ class DatamergeEngine:
                 inputs = [outputs[id(child)] for child in node.inputs]
                 attempts_before = context.attempts_made
                 latency_before = context.source_latency
+                rows_in = sum(len(table) for table in inputs)
                 profiler = context.profiler
-                started = perf_counter() if profiler is not None else 0.0
+                started = perf_counter()
                 stage_span = None
                 if tracer is not None:
                     index = stage_of[id(node)]
@@ -436,12 +577,21 @@ class DatamergeEngine:
                             "plan-stage", f"stage-{index}"
                         )
                 table = _traced_execute(node, inputs, context, stage_span)
+                elapsed = perf_counter() - started
                 if profiler is not None:
                     profiler.record_node(
                         type(node).__name__,
                         len(table),
-                        perf_counter() - started,
+                        elapsed,
+                        context.source_latency - latency_before,
                     )
+                context.observe_node(
+                    node,
+                    rows_in,
+                    len(table),
+                    elapsed,
+                    context.source_latency - latency_before,
+                )
                 outputs[id(node)] = table
                 if context.trace is not None:
                     context.trace.append(
@@ -490,6 +640,8 @@ class DatamergeEngine:
         outputs: dict[int, BindingTable] = {}
         entries: dict[int, TraceEntry] = {}
         for stage_index, stage in plan.stage_starts():
+            if context.estimate_corrections:
+                stage = _rerank_stage(stage_index, stage, context)
             if slicer is not None:
                 slicer.enter_stage(stage_index)
                 context.stage_base = stage_index
@@ -567,7 +719,15 @@ class DatamergeEngine:
                         type(node).__name__,
                         len(table),
                         outcome.scope.latency,
+                        outcome.scope.latency,
                     )
+                context.observe_node(
+                    node,
+                    0,
+                    len(table),
+                    outcome.scope.latency,
+                    outcome.scope.latency,
+                )
                 if context.trace is not None:
                     entries[id(node)] = TraceEntry(
                         node,
@@ -583,17 +743,20 @@ class DatamergeEngine:
             if governor is not None:
                 governor.enter_node(node)
             inputs = [outputs[id(child)] for child in node.inputs]
+            rows_in = sum(len(table) for table in inputs)
             scope = TaskScope()
             profiler = context.profiler
-            started = perf_counter() if profiler is not None else 0.0
+            started = perf_counter()
             with scope_active(scope):
                 table = _traced_execute(node, inputs, context, stage_span)
+            elapsed = perf_counter() - started
             if profiler is not None:
                 profiler.record_node(
-                    type(node).__name__,
-                    len(table),
-                    perf_counter() - started,
+                    type(node).__name__, len(table), elapsed, scope.latency
                 )
+            context.observe_node(
+                node, rows_in, len(table), elapsed, scope.latency
+            )
             context.warnings.extend(scope.warnings)
             outputs[id(node)] = table
             if context.trace is not None:

@@ -31,7 +31,7 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import threading
-import warnings as _warnings
+from time import perf_counter
 from typing import Iterator, Sequence
 
 from repro.client.result import ResultSet
@@ -65,6 +65,7 @@ from repro.msl.compile import CompileCache
 from repro.msl.errors import MSLError, MSLSemanticError, MSLSyntaxError
 from repro.msl.evaluate import evaluate_rule
 from repro.msl.parser import parse_specification
+from repro.obs.insight import AnalyzeReport, QueryInsight
 from repro.obs.span import current_span, status_of_exception
 from repro.obs.telemetry import Telemetry
 from repro.oem.compare import eliminate_duplicates, structural_key
@@ -93,39 +94,6 @@ class MediatorError(SourceError):
     """The mediator could not be built or could not serve a query."""
 
 
-class _HealthSnapshot(dict):
-    """The namespaced ``health_snapshot()`` dict, old keys shimmed.
-
-    The pre-namespacing shape put per-source records at the top level
-    next to reserved ``"_execution"`` and ``"_profile"`` keys.
-    Subscripting with one of those old keys still answers (via
-    ``__missing__``) with a :class:`DeprecationWarning`; ``in`` tests
-    and ``.get()`` see only the new three-key shape.  The old reserved
-    keys keep their old presence semantics: they miss (``KeyError``)
-    when the corresponding section is empty.
-    """
-
-    def __missing__(self, key):
-        if key == "_execution":
-            legacy = self.get("execution")
-            hint = "['execution']"
-        elif key == "_profile":
-            legacy = self.get("profile")
-            hint = "['profile']"
-        else:
-            legacy = self.get("sources", {}).get(key)
-            hint = f"['sources'][{key!r}]"
-        if not legacy:
-            raise KeyError(key)
-        _warnings.warn(
-            f"health_snapshot()[{key!r}] is deprecated; use"
-            f" health_snapshot(){hint}",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return legacy
-
-
 class _Operation:
     """Per-thread state of one top-level mediator operation.
 
@@ -145,6 +113,7 @@ class _Operation:
         "program",
         "context",
         "admission_wait",
+        "insight",
     )
 
     def __init__(self, admission_wait: float = 0.0) -> None:
@@ -155,6 +124,7 @@ class _Operation:
         self.program: LogicalDatamergeProgram | None = None
         self.context: ExecutionContext | None = None
         self.admission_wait = admission_wait
+        self.insight: QueryInsight | None = None
 
 
 class Mediator(Source):
@@ -193,6 +163,7 @@ class Mediator(Source):
         bulkheads: "BulkheadRegistry | int | None" = None,
         semijoin: bool = True,
         bloom_threshold: int = 64,
+        misestimate_factor: float = 4.0,
     ) -> None:
         if not name or not name.isidentifier():
             raise MediatorError(f"invalid mediator name {name!r}")
@@ -215,6 +186,18 @@ class Mediator(Source):
             raise MediatorError(
                 "bloom_threshold must be a non-negative integer,"
                 f" got {bloom_threshold!r}"
+            )
+        try:
+            misestimate_factor = float(misestimate_factor)
+        except (TypeError, ValueError):
+            raise MediatorError(
+                "misestimate_factor must be a number,"
+                f" got {misestimate_factor!r}"
+            ) from None
+        if misestimate_factor < 0:
+            raise MediatorError(
+                "misestimate_factor must be >= 0 (0 disables mid-query"
+                f" adaptivity), got {misestimate_factor!r}"
             )
         self.name = name
         if isinstance(specification, str):
@@ -263,6 +246,9 @@ class Mediator(Source):
         # the filter ships as a Bloom digest (superset, re-checked)
         self.semijoin = bool(semijoin)
         self.bloom_threshold = bloom_threshold
+        # mid-query adaptivity: how far actual rows must exceed the
+        # estimate before a misestimate event fires (0 disables)
+        self.misestimate_factor = misestimate_factor
 
         self.on_source_failure = on_source_failure
         if isinstance(resilience, ResilienceConfig):
@@ -461,6 +447,8 @@ class Mediator(Source):
                         self.optimizer.plan_program(program)
                     )
                     span.set_attribute("rules", len(program))
+                if op.insight is not None:
+                    op.insight.attach_plan(plan)
                 context = self._context()
                 objects = self.engine.execute_to_objects(plan, context)
                 op.context = context
@@ -513,6 +501,8 @@ class Mediator(Source):
                     plan = self._fuse_plan(
                         self.optimizer.plan_rule(LogicalRule(rule))
                     )
+                    if op.insight is not None:
+                        op.insight.attach_plan(plan)
                     results.extend(
                         self.engine.execute_to_objects(plan, context)
                     )
@@ -631,6 +621,82 @@ class Mediator(Source):
 
     # -- introspection -----------------------------------------------------
 
+    def explain_analyze(
+        self,
+        query: str | Rule,
+        *,
+        tenant: str | None = None,
+        priority: int = 0,
+    ) -> AnalyzeReport:
+        """Execute ``query`` while recording per-node actuals.
+
+        The returned :class:`~repro.obs.insight.AnalyzeReport` carries
+        the answer plus, for every plan node (fused-chain constituents
+        included), the optimizer's estimated cardinality next to the
+        observed rows in/out, wall time, and source-call latency, and
+        any mid-query misestimate events with the re-rank decisions
+        they triggered.  ``report.render()`` is the annotated plan
+        tree; ``report.to_json()`` the structured export.  Recording is
+        observation-only: the answer is bit-for-bit the one
+        :meth:`answer` returns.
+        """
+        parsed = self._parse_query(query)
+        insight = QueryInsight()
+        self._ops.pending_insight = insight
+        started = perf_counter()
+        try:
+            objects, op_warnings = self._run_query(
+                parsed, tenant, priority
+            )
+        finally:
+            self._ops.pending_insight = None
+        return AnalyzeReport(
+            str(parsed),
+            insight,
+            objects,
+            warnings=op_warnings,
+            seconds=perf_counter() - started,
+        )
+
+    def statistics_snapshot(self) -> dict:
+        """The statistics database as a JSON-serialisable dict.
+
+        Persist it (``--stats-out``) and feed it to a fresh mediator
+        (``--stats-in`` / :meth:`restore_statistics`) so warm estimates
+        — observed cardinalities, sampled selectivities, per-source
+        cost observations — survive restarts.
+        """
+        return self.statistics.snapshot_dict()
+
+    def restore_statistics(self, snapshot: dict) -> None:
+        """Merge a :meth:`statistics_snapshot` payload back in."""
+        try:
+            self.statistics.restore_dict(snapshot)
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            raise MediatorError(
+                f"invalid statistics snapshot: {exc}"
+            ) from exc
+
+    def _feed_statistics(self) -> None:
+        """Close the telemetry→optimizer loop after one operation.
+
+        Observed cardinalities already stream in per source call (the
+        engine's ``record``); this adds the *cost* half: per-source
+        latency medians from the resilience health window and current
+        breaker states, which :meth:`SourceStatistics.cost_weight`
+        turns into the join-order multiplier.
+        """
+        if self.resilience is None:
+            return
+        health = self.resilience.health
+        for name, record in health.snapshot().items():
+            latency = health.latency_quantile(name, 0.5, min_samples=3)
+            self.statistics.observe_source(
+                name,
+                latency=latency,
+                breaker_state=record.breaker_state,
+            )
+
     def explain(self, query: str | Rule) -> str:
         """The logical program and physical plan for ``query`` as text.
 
@@ -696,6 +762,43 @@ class Mediator(Source):
             )
         lines.append(self.profiler.render())
         text += "\n\n-- profile --\n" + "\n".join(lines)
+        snapshot = self.statistics.snapshot_dict()
+        if snapshot["labels"] or snapshot["source_costs"]:
+            lines = []
+            if snapshot["labels"]:
+                lines.append(
+                    "observed cardinalities (source/label:"
+                    " average over observations):"
+                )
+                for row in snapshot["labels"]:
+                    lines.append(
+                        f"  {row['source']}/{row['label']}:"
+                        f" {row['average']:.1f} over"
+                        f" {row['observations']} observation(s)"
+                    )
+            if snapshot["source_costs"]:
+                lines.append(
+                    "source cost weights (latency EMA, breaker):"
+                )
+                for row in snapshot["source_costs"]:
+                    weight = self.statistics.cost_weight(row["source"])
+                    lines.append(
+                        f"  {row['source']}: weight {weight:.2f}"
+                        f" (latency {row['latency'] * 1e3:.1f}ms,"
+                        f" breaker {row['breaker_state']})"
+                    )
+            qerrors = self.statistics.qerror_summary()
+            if qerrors:
+                lines.append(
+                    "estimate q-error (median / max over window):"
+                )
+                for key, summary in qerrors.items():
+                    lines.append(
+                        f"  {key}: {summary['median']:.2f}"
+                        f" / {summary['max']:.2f}"
+                        f" ({summary['observations']} obs)"
+                    )
+            text += "\n\n-- statistics --\n" + "\n".join(lines)
         text += "\n\n-- telemetry --\n" + self.telemetry.describe()
         return text
 
@@ -719,10 +822,11 @@ class Mediator(Source):
         and brownout state.
 
         The pre-namespacing shape (source names at top level, reserved
-        ``"_execution"`` / ``"_profile"`` keys) still answers under
-        subscript access, with a :class:`DeprecationWarning`.
+        ``"_execution"`` / ``"_profile"`` keys) was deprecated in the
+        observability PR and has been removed: old keys now raise
+        ``KeyError`` like any other missing key.
         """
-        snapshot = _HealthSnapshot(
+        snapshot = dict(
             sources=(
                 {} if self.resilience is None
                 else self.resilience.health.snapshot()
@@ -786,6 +890,7 @@ class Mediator(Source):
             return
         waited = getattr(self._ops, "pending_wait", 0.0)
         op = _Operation(admission_wait=waited)
+        op.insight = getattr(self._ops, "pending_insight", None)
         op.governor = self._make_governor(op.warnings, waited)
         if op.governor is not None:
             op.governor.start()
@@ -814,6 +919,10 @@ class Mediator(Source):
             tracer.finish_span(root, status=status)
             for context in op.contexts:
                 context.flush_telemetry()
+            # telemetry -> optimizer feedback (§3.5): fold the health
+            # window's observed latencies and breaker states into the
+            # statistics database after every top-level operation
+            self._feed_statistics()
             self.telemetry.record_operation(
                 status,
                 root.duration,
@@ -896,6 +1005,7 @@ class Mediator(Source):
         )
 
     def _context(self) -> ExecutionContext:
+        op = self._op()
         governor = self._active_governor
         brownout = (
             self.admission.brownout if self.admission is not None else None
@@ -952,8 +1062,9 @@ class Mediator(Source):
             ),
             semijoin=self.semijoin,
             bloom_threshold=self.bloom_threshold,
+            insight=op.insight if op is not None else None,
+            misestimate_factor=self.misestimate_factor,
         )
-        op = self._op()
         if context.telemetry is not None and op is not None:
             # flushed (once per run) at the end of the warning scope
             op.contexts.append(context)

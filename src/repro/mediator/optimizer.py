@@ -54,6 +54,7 @@ from repro.mediator.plan import (
 )
 from repro.mediator.statistics import (
     SourceStatistics,
+    _label_of,
     count_constant_conditions,
 )
 from repro.msl.ast import (
@@ -193,8 +194,16 @@ class CostBasedOptimizer:
         if strategy == "exhaustive":
             return self._best_order_by_cost(patterns)
         if strategy == "statistics":
+            # observed latency x estimated cardinality: the feedback
+            # loop of §3.5 — sources measured slow (or with an open
+            # breaker) are deprioritized even at equal cardinality
             scored = [
-                _PendingPattern(p, self._estimate(p)) for p in patterns
+                _PendingPattern(
+                    p,
+                    self._estimate(p)
+                    * self.statistics.cost_weight(p.source or ""),
+                )
+                for p in patterns
             ]
             scored.sort(key=lambda pp: pp.score)  # smallest first
             return [pp.condition for pp in scored]
@@ -227,6 +236,9 @@ class CostBasedOptimizer:
 
         selectivity = self.statistics.selectivity
         estimates = [self._estimate(p) for p in patterns]
+        weights = [
+            self.statistics.cost_weight(p.source or "") for p in patterns
+        ]
         variables = [
             _parameterizable_vars(p.pattern) | _rest_vars(p.pattern)
             for p in patterns
@@ -243,8 +255,9 @@ class CostBasedOptimizer:
                 produced = max(
                     estimates[index] * (selectivity**shared), 0.01
                 )
-                cost += bindings  # queries sent this step
-                cost += bindings * produced  # objects shipped
+                # queries sent plus objects shipped this step, scaled
+                # by the source's observed-latency/breaker weight
+                cost += (bindings + bindings * produced) * weights[index]
                 bindings *= produced
                 bound |= variables[index]
                 if cost >= best_cost:
@@ -272,6 +285,23 @@ class CostBasedOptimizer:
                     source_name, names, condition.pattern
                 )
         return self.statistics.estimate(source_name, condition.pattern)
+
+    @staticmethod
+    def _annotate(
+        node: PlanNode,
+        rows: float,
+        key: tuple[str, str, str] | None = None,
+    ) -> PlanNode:
+        """Stamp the planner's cardinality estimate onto ``node``.
+
+        ``key`` is the ``(source, label, kind)`` statistics bucket the
+        estimate came from; nodes without one (hash joins, extractors)
+        still display their estimate in EXPLAIN ANALYZE and trigger
+        misestimate events, but record no per-bucket q-error.
+        """
+        node.estimated_rows = float(rows)
+        node.estimate_key = key
+        return node
 
     def _source_leaf(
         self, source_name: str, relaxed: Pattern, query: Rule
@@ -327,6 +357,8 @@ class CostBasedOptimizer:
         bound: set[str] = set()
         pending_externals = list(externals)
         pending_comparisons = list(comparisons)
+        selectivity = self.statistics.selectivity
+        bindings_est = 1.0  # estimated binding rows flowing so far
 
         for condition in patterns:
             source_name = condition.source
@@ -334,6 +366,13 @@ class CostBasedOptimizer:
             capability = self.sources.resolve(source_name).capability
             relaxed, residual = capability.split(condition.pattern)
             pending_comparisons.extend(residual)
+            estimate = self._estimate(condition)
+            label = _label_of(relaxed) or "_"
+            shared = len(
+                (_parameterizable_vars(relaxed) | _rest_vars(relaxed))
+                & bound
+            )
+            produced = max(estimate * (selectivity**shared), 0.01)
 
             variables = sorted(pattern_variables(relaxed))
             shipped = self._shippable_comparisons(
@@ -344,11 +383,15 @@ class CostBasedOptimizer:
                     source_name, relaxed, variables, shipped
                 )
                 node = self._source_leaf(source_name, relaxed, query)
+                self._annotate(
+                    node, estimate, (source_name, label, "scan")
+                )
                 node = ExtractorNode(
                     node,
                     _extractor_pattern(query.head[0], relaxed),  # type: ignore[arg-type]
                     variables,
                 )
+                self._annotate(node, produced)
             else:
                 param_vars = sorted(
                     _parameterizable_vars(relaxed) & bound
@@ -375,6 +418,11 @@ class CostBasedOptimizer:
                             param_vars,
                         ),
                     )
+                    self._annotate(
+                        node,
+                        bindings_est * produced,
+                        (source_name, label, "join"),
+                    )
                     node = ExtractorNode(
                         node,
                         _extractor_pattern(
@@ -382,6 +430,7 @@ class CostBasedOptimizer:
                         ),
                         out_vars,
                     )
+                    self._annotate(node, bindings_est * produced)
                 else:
                     query = _projection_query(
                         source_name, relaxed, variables, shipped
@@ -389,12 +438,18 @@ class CostBasedOptimizer:
                     right: PlanNode = self._source_leaf(
                         source_name, relaxed, query
                     )
+                    self._annotate(
+                        right, estimate, (source_name, label, "scan")
+                    )
                     right = ExtractorNode(
                         right,
                         _extractor_pattern(query.head[0], relaxed),  # type: ignore[arg-type]
                         variables,
                     )
+                    self._annotate(right, estimate)
                     node = JoinNode(node, right)
+                    self._annotate(node, bindings_est * produced)
+            bindings_est *= produced
             bound |= set(variables)
             node = self._drain_ready(
                 node, bound, pending_externals, pending_comparisons
@@ -456,24 +511,40 @@ class CostBasedOptimizer:
         bound: set[str] = set()
         pending_externals = list(externals)
         pending_comparisons = list(comparisons)
+        selectivity = self.statistics.selectivity
+        bindings_est = 1.0
         for condition in patterns:
             source_name = condition.source
             assert source_name is not None
             capability = self.sources.resolve(source_name).capability
             relaxed, residual = capability.split(condition.pattern)
             pending_comparisons.extend(residual)
+            estimate = self._estimate(condition)
+            label = _label_of(relaxed) or "_"
+            shared = len(
+                (_parameterizable_vars(relaxed) | _rest_vars(relaxed))
+                & bound
+            )
+            produced = max(estimate * (selectivity**shared), 0.01)
             variables = sorted(pattern_variables(relaxed))
             shipped = self._shippable_comparisons(
                 capability, set(variables), pending_comparisons
             )
             query = _projection_query(source_name, relaxed, variables, shipped)
             leaf: PlanNode = self._source_leaf(source_name, relaxed, query)
+            self._annotate(leaf, estimate, (source_name, label, "scan"))
             leaf = ExtractorNode(
                 leaf,
                 _extractor_pattern(query.head[0], relaxed),  # type: ignore[arg-type]
                 variables,
             )
-            node = leaf if node is None else JoinNode(node, leaf)
+            self._annotate(leaf, estimate)
+            if node is None:
+                node = leaf
+            else:
+                node = JoinNode(node, leaf)
+                self._annotate(node, bindings_est * produced)
+            bindings_est *= produced
             bound |= set(variables)
             node = self._drain_ready(
                 node, bound, pending_externals, pending_comparisons

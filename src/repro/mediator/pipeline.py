@@ -193,7 +193,9 @@ class FusedPipelineNode(PlanNode):
                 if tracer is not None
                 else None
             )
-            started = perf_counter() if profiler is not None else 0.0
+            rows_in = len(rows)
+            latency_before = context.source_latency
+            started = perf_counter()
             try:
                 if span is not None:
                     with tracer.use(span):
@@ -208,10 +210,23 @@ class FusedPipelineNode(PlanNode):
                 if span is not None:
                     tracer.finish_span(span, status=status_of_exception(exc))
                 raise
+            elapsed = perf_counter() - started
             if profiler is not None:
                 profiler.record_node(
-                    type(node).__name__, len(rows), perf_counter() - started
+                    type(node).__name__,
+                    len(rows),
+                    elapsed,
+                    context.source_latency - latency_before,
                 )
+            # per-constituent attribution: fused chains report the same
+            # rows in/out and q-errors a node-at-a-time run would
+            context.observe_node(
+                node,
+                rows_in,
+                len(rows),
+                elapsed,
+                context.source_latency - latency_before,
+            )
             if span is not None:
                 span.set_attribute("rows_out", len(rows))
                 tracer.finish_span(span)

@@ -100,6 +100,15 @@ class PlanNode(abc.ABC):
     #: or without fusion.
     fusion_width = 1
 
+    #: Optimizer-annotated cardinality estimate for this operator's
+    #: output rows (``None`` when the planner has no estimate), and the
+    #: ``(source, label, kind)`` statistics key the estimate derives
+    #: from (``kind`` is ``"scan"`` for leaf fetches, ``"join"`` for
+    #: bind-join probes).  Read by EXPLAIN ANALYZE, the q-error
+    #: tracker, and the engine's mid-query misestimate detector.
+    estimated_rows: "float | None" = None
+    estimate_key: "tuple[str, str, str] | None" = None
+
     def __init__(self, inputs: Sequence["PlanNode"] = ()) -> None:
         self.inputs: tuple[PlanNode, ...] = tuple(inputs)
 

@@ -19,11 +19,17 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.msl.ast import Const, Pattern, PatternItem, SetPattern, VarItem
 
-__all__ = ["SourceStatistics", "DEFAULT_CARDINALITY", "DEFAULT_SELECTIVITY"]
+__all__ = [
+    "SourceStatistics",
+    "DEFAULT_CARDINALITY",
+    "DEFAULT_SELECTIVITY",
+    "REFERENCE_LATENCY",
+    "qerror",
+]
 
 #: Assumed result size for a never-seen (source, label) pair.
 DEFAULT_CARDINALITY = 100.0
@@ -33,6 +39,28 @@ DEFAULT_SELECTIVITY = 0.1
 
 #: Weight of the newest observation in the moving average.
 _ALPHA = 0.5
+
+#: Latency (seconds) at which a source's cost weight doubles.  A source
+#: answering in ~10ms keeps weight ~1; one answering in 100ms costs ~11x.
+REFERENCE_LATENCY = 0.010
+
+#: Cost-weight penalty per breaker state: probing sources are risky,
+#: open ones should only be visited when nothing else binds the query.
+_BREAKER_PENALTY = {"closed": 1.0, "half_open": 10.0, "open": 100.0}
+
+#: Q-error observations kept per (source, label) window.
+_QERROR_WINDOW = 64
+
+
+def qerror(estimated: float, actual: float) -> float:
+    """The symmetric estimate-error factor ``max(est/act, act/est)``.
+
+    Both sides are floored at 0.5 so empty results (actual 0) against a
+    small estimate read as a bounded factor instead of infinity.
+    """
+    est = max(float(estimated), 0.5)
+    act = max(float(actual), 0.5)
+    return est / act if est >= act else act / est
 
 
 @dataclass
@@ -49,6 +77,65 @@ class _LabelStats:
 
 
 @dataclass
+class _SourceCost:
+    """Observed per-source access cost: latency EMA + breaker state."""
+
+    latency: float = 0.0
+    breaker_state: str = "closed"
+    observations: int = 0
+
+    def observe(self, latency: float | None, breaker_state: str | None) -> None:
+        if latency is not None:
+            if self.observations == 0:
+                self.latency = float(latency)
+            else:
+                self.latency = (
+                    _ALPHA * latency + (1.0 - _ALPHA) * self.latency
+                )
+            self.observations += 1
+        if breaker_state is not None:
+            self.breaker_state = breaker_state
+
+    def weight(self) -> float:
+        penalty = _BREAKER_PENALTY.get(self.breaker_state, 1.0)
+        if self.observations == 0:
+            return penalty
+        return (1.0 + self.latency / REFERENCE_LATENCY) * penalty
+
+
+class _QErrorWindow:
+    """Bounded ring of recent q-error observations for one key."""
+
+    __slots__ = ("values", "total", "_next")
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+        self.total = 0
+        self._next = 0
+
+    def observe(self, value: float) -> None:
+        if len(self.values) < _QERROR_WINDOW:
+            self.values.append(value)
+        else:
+            self.values[self._next] = value
+            self._next = (self._next + 1) % _QERROR_WINDOW
+        self.total += 1
+
+    def summary(self) -> dict[str, float | int]:
+        ordered = sorted(self.values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            median = ordered[mid]
+        else:
+            median = (ordered[mid - 1] + ordered[mid]) / 2.0
+        return {
+            "observations": self.total,
+            "median": median,
+            "max": ordered[-1],
+        }
+
+
+@dataclass
 class SourceStatistics:
     """Cardinality observations per (source, top-level label), plus
     value-level selectivities per (source, label, child label, value)
@@ -58,6 +145,10 @@ class SourceStatistics:
     selectivity: float = DEFAULT_SELECTIVITY
     _stats: dict[tuple[str, str], _LabelStats] = field(default_factory=dict)
     _value_stats: dict[tuple[str, str, str, object], _LabelStats] = field(
+        default_factory=dict
+    )
+    _source_costs: dict[str, _SourceCost] = field(default_factory=dict)
+    _qerrors: dict[tuple[str, str, str], _QErrorWindow] = field(
         default_factory=dict
     )
     # concurrent queries feed observations from engine threads; EMA
@@ -77,7 +168,11 @@ class SourceStatistics:
         label = _label_of(pattern)
         if label is None:
             return
-        conditions = count_constant_conditions(pattern)
+        # mirror estimate(): the top label names the bucket, it is not a
+        # filter — normalising by it too made fed-back estimates a
+        # systematic 1/selectivity too high (q-error stuck at 10x
+        # instead of converging)
+        conditions = count_constant_conditions(pattern) - 1
         discount = self.selectivity**conditions
         base_estimate = count / discount if discount > 0 else count
         with self._lock:
@@ -89,6 +184,62 @@ class SourceStatistics:
         with self._lock:
             entry = self._stats.setdefault((source, label), _LabelStats())
             entry.observe(count)
+
+    def observe_source(
+        self,
+        source: str,
+        latency: float | None = None,
+        breaker_state: str | None = None,
+    ) -> None:
+        """Feed back a source's observed access cost.
+
+        ``latency`` is a per-call latency sample (typically the health
+        window's p50); ``breaker_state`` is the circuit breaker's
+        current state.  Both feed :meth:`cost_weight`.
+        """
+        if latency is None and breaker_state is None:
+            return
+        with self._lock:
+            entry = self._source_costs.setdefault(source, _SourceCost())
+            entry.observe(latency, breaker_state)
+
+    def cost_weight(self, source: str) -> float:
+        """Observed access-cost multiplier for one source.
+
+        1.0 for a never-observed source (so cold planning is unchanged);
+        grows with the latency EMA relative to :data:`REFERENCE_LATENCY`
+        and is multiplied by a breaker-state penalty (half-open 10x,
+        open 100x) so the optimizer deprioritizes struggling sources.
+        """
+        entry = self._source_costs.get(source)
+        if entry is None:
+            return 1.0
+        return entry.weight()
+
+    def record_qerror(
+        self, source: str, label: str, kind: str, value: float
+    ) -> None:
+        """Feed one q-error observation for a (source, label, kind) key.
+
+        ``kind`` distinguishes ``scan`` estimates (leaf cardinality)
+        from ``join`` decisions (bind-join output).
+        """
+        with self._lock:
+            window = self._qerrors.setdefault(
+                (source, label, kind), _QErrorWindow()
+            )
+            window.observe(value)
+
+    def qerror_summary(self) -> dict[str, dict[str, float | int]]:
+        """Recent q-error windows as ``source/label/kind`` -> summary."""
+        with self._lock:
+            return {
+                f"{source}/{label}/{kind}": window.summary()
+                for (source, label, kind), window in sorted(
+                    self._qerrors.items()
+                )
+                if window.values
+            }
 
     def sample_source(self, source: "object", limit: int | None = None) -> int:
         """Probe a source's export and record per-label cardinalities
@@ -219,6 +370,96 @@ class SourceStatistics:
         with self._lock:
             self._stats.clear()
             self._value_stats.clear()
+            self._source_costs.clear()
+            self._qerrors.clear()
+
+    # -- persistence ----------------------------------------------------------
+
+    def snapshot_dict(self) -> dict:
+        """JSON-serialisable snapshot of the statistics database.
+
+        Captures label cardinalities, sampled value selectivities (for
+        JSON-representable values only), and per-source cost
+        observations; q-error windows are diagnostics, not estimates,
+        and are not persisted.
+        """
+        with self._lock:
+            labels = [
+                {
+                    "source": source,
+                    "label": label,
+                    "average": entry.average,
+                    "observations": entry.observations,
+                }
+                for (source, label), entry in sorted(self._stats.items())
+            ]
+            values = [
+                {
+                    "source": source,
+                    "label": label,
+                    "child": child,
+                    "value": value,
+                    "average": entry.average,
+                    "observations": entry.observations,
+                }
+                for (source, label, child, value), entry in sorted(
+                    self._value_stats.items(), key=lambda kv: repr(kv[0])
+                )
+                if isinstance(value, (str, int, float, bool)) or value is None
+            ]
+            costs = [
+                {
+                    "source": source,
+                    "latency": entry.latency,
+                    "breaker_state": entry.breaker_state,
+                    "observations": entry.observations,
+                }
+                for source, entry in sorted(self._source_costs.items())
+            ]
+        return {
+            "version": 1,
+            "default_cardinality": self.default_cardinality,
+            "selectivity": self.selectivity,
+            "labels": labels,
+            "values": values,
+            "source_costs": costs,
+        }
+
+    def restore_dict(self, snapshot: Mapping) -> None:
+        """Merge a :meth:`snapshot_dict` payload back in (warm start).
+
+        Restored entries *replace* same-key entries; keys absent from
+        the snapshot are left untouched, so a restore can layer warm
+        estimates over live ones.
+        """
+        version = snapshot.get("version")
+        if version != 1:
+            raise ValueError(f"unsupported statistics snapshot v{version!r}")
+        with self._lock:
+            for row in snapshot.get("labels", ()):
+                self._stats[(str(row["source"]), str(row["label"]))] = (
+                    _LabelStats(
+                        average=float(row["average"]),
+                        observations=int(row["observations"]),
+                    )
+                )
+            for row in snapshot.get("values", ()):
+                key = (
+                    str(row["source"]),
+                    str(row["label"]),
+                    str(row["child"]),
+                    row["value"],
+                )
+                self._value_stats[key] = _LabelStats(
+                    average=float(row["average"]),
+                    observations=int(row["observations"]),
+                )
+            for row in snapshot.get("source_costs", ()):
+                self._source_costs[str(row["source"])] = _SourceCost(
+                    latency=float(row["latency"]),
+                    breaker_state=str(row["breaker_state"]),
+                    observations=int(row["observations"]),
+                )
 
 
 def constant_child_conditions(

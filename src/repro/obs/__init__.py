@@ -32,9 +32,11 @@ from repro.obs.exporters import (
     JsonLinesExporter,
     PrometheusTextExporter,
 )
+from repro.obs.insight import AnalyzeReport, NodeObservation, QueryInsight
 from repro.obs.metrics import (
     Counter,
     DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_QERROR_BUCKETS,
     DEFAULT_ROWS_BUCKETS,
     Gauge,
     Histogram,
@@ -52,17 +54,21 @@ from repro.obs.span import (
 from repro.obs.telemetry import Telemetry
 
 __all__ = [
+    "AnalyzeReport",
     "ConsoleTreeExporter",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QERROR_BUCKETS",
     "DEFAULT_ROWS_BUCKETS",
     "Gauge",
     "Histogram",
     "JsonLinesExporter",
     "MetricsRegistry",
     "NOOP_TRACER",
+    "NodeObservation",
     "NoopTracer",
     "PrometheusTextExporter",
+    "QueryInsight",
     "Sample",
     "Span",
     "SPAN_KINDS",

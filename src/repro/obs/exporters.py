@@ -109,6 +109,9 @@ _TREE_ATTRIBUTES = (
     "rows",
     "objects",
     "matches",
+    "estimated_rows",
+    "actual_rows",
+    "correction",
     "attempts",
     "cache_hit",
     "degraded",

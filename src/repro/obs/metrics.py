@@ -39,6 +39,7 @@ __all__ = [
     "MetricsRegistry",
     "Sample",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QERROR_BUCKETS",
     "DEFAULT_ROWS_BUCKETS",
 ]
 
@@ -51,6 +52,13 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
 #: Upper bounds for row/object-count histograms.
 DEFAULT_ROWS_BUCKETS: tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000,
+)
+
+#: Upper bounds for estimate q-error (max(est/act, act/est) >= 1)
+#: histograms — 1.0 is a perfect estimate, each bucket one step of
+#: "how wrong", the tail catching pathological misestimates.
+DEFAULT_QERROR_BUCKETS: tuple[float, ...] = (
+    1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1024.0,
 )
 
 LabelValues = tuple[str, ...]

@@ -61,9 +61,11 @@ SPAN_KINDS = (
     "view-expansion",
     "plan-stage",
     "plan-node",
+    "pipeline-stage",
     "source-call",
     "pattern-match",
     "external-predicate",
+    "misestimate",
 )
 
 #: The terminal statuses a span may carry.

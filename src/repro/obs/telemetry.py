@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.obs.metrics import (
+    DEFAULT_QERROR_BUCKETS,
     DEFAULT_ROWS_BUCKETS,
     MetricsRegistry,
     Sample,
@@ -119,11 +120,26 @@ class Telemetry:
                 "repro_quarantined_objects_total",
                 "Malformed sub-objects quarantined from source answers.",
             )
+            self.estimate_qerror = metrics.histogram(
+                "repro_estimate_qerror",
+                "Optimizer estimate q-error max(est/act, act/est) per"
+                " (source, label) and decision kind (scan or join).",
+                labelnames=("source", "label", "kind"),
+                buckets=DEFAULT_QERROR_BUCKETS,
+            )
+            self.misestimate_events_total = metrics.counter(
+                "repro_misestimate_events_total",
+                "Mid-query misestimate events (actual exceeded estimate"
+                " by the configured factor).",
+                labelnames=("source",),
+            )
             # label-bound children caches: source-call and operation
             # emission are the hottest metric paths, so skip per-call
             # label resolution there
             self._source_children: dict[str, tuple] = {}
             self._status_children: dict[str, object] = {}
+            self._qerror_children: dict[tuple, object] = {}
+            self._misestimate_children: dict[str, object] = {}
         else:
             self.tracer = NOOP_TRACER
 
@@ -391,6 +407,33 @@ class Telemetry:
             self.semijoin_probes_saved_total.inc(probes_saved)
         if shards_pruned:
             self.shards_pruned_total.inc(shards_pruned)
+
+    def record_qerror(
+        self, source: str, label: str, kind: str, value: float
+    ) -> None:
+        """One estimate-vs-actual q-error observation for a plan node."""
+        if not self.enabled:
+            return
+        key = (source, label, kind)
+        child = self._qerror_children.get(key)
+        if child is None:
+            child = self._qerror_children[key] = (
+                self.estimate_qerror.labels(
+                    source=source, label=label, kind=kind
+                )
+            )
+        child.observe(value)
+
+    def record_misestimate(self, source: str) -> None:
+        """One mid-query misestimate event against ``source``."""
+        if not self.enabled:
+            return
+        child = self._misestimate_children.get(source)
+        if child is None:
+            child = self._misestimate_children[source] = (
+                self.misestimate_events_total.labels(source=source)
+            )
+        child.inc()
 
     def record_source_calls(
         self,

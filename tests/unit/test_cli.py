@@ -503,3 +503,99 @@ class TestServingFlags:
         text = metrics.read_text()
         assert "repro_admission_submitted_total 1" in text
         assert "repro_admission_concurrency_limit" in text
+
+
+class TestExplainAnalyzeFlags:
+    QUERY = "X :- X:<cs_person {<name 'Joe Chung'>}>@med"
+
+    def test_explain_analyze_prints_answer_and_tree(self, files):
+        spec, whois = files
+        status, out, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--explain-analyze"]
+        )
+        assert status == 0, err
+        assert "Joe Chung" in out  # the answer still comes first
+        assert "-- explain analyze:" in out
+        assert "est" in out and "actual" in out
+
+    def test_analyze_out_writes_json_lines(self, files, tmp_path):
+        spec, whois = files
+        report = tmp_path / "analyze.jsonl"
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--query", self.QUERY,
+             "--explain-analyze", "--analyze-out", str(report)]
+        )
+        assert status == 0, err
+        lines = report.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            doc = json.loads(line)
+            assert doc["version"] == 1
+            assert doc["result_objects"] == 1
+            assert doc["nodes"]
+
+    def test_analyze_out_requires_explain_analyze(self, files, tmp_path):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY,
+             "--analyze-out", str(tmp_path / "a.jsonl")]
+        )
+        assert status == 2
+        assert "--analyze-out" in err
+
+    def test_explain_conflicts_with_analyze(self, files):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--explain", "--explain-analyze"]
+        )
+        assert status == 2
+        assert "--explain-analyze" in err
+
+
+class TestStatisticsFlags:
+    QUERY = "X :- X:<cs_person {<name 'Joe Chung'>}>@med"
+
+    def test_stats_round_trip(self, files, tmp_path):
+        spec, whois = files
+        stats = tmp_path / "stats.json"
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--stats-out", str(stats)]
+        )
+        assert status == 0, err
+        snapshot = json.loads(stats.read_text())
+        assert snapshot["version"] == 1
+        assert any(
+            row["source"] == "whois" for row in snapshot["labels"]
+        )
+        status, out, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--stats-in", str(stats)]
+        )
+        assert status == 0, err
+        assert "Joe Chung" in out
+
+    def test_stats_in_missing_file_rejected(self, files, tmp_path):
+        spec, whois = files
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY,
+             "--stats-in", str(tmp_path / "missing.json")]
+        )
+        assert status == 2
+        assert "cannot read" in err
+
+    def test_stats_in_invalid_snapshot_rejected(self, files, tmp_path):
+        spec, whois = files
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99}')
+        status, _, err = run(
+            ["--spec", str(spec), "--source", f"whois={whois}",
+             "--query", self.QUERY, "--stats-in", str(bad)]
+        )
+        assert status == 2
+        assert "snapshot" in err

@@ -1,0 +1,332 @@
+"""Unit tests for the plan-observability subsystem (:mod:`repro.obs.insight`).
+
+Covers EXPLAIN ANALYZE (report shape, rendering, per-constituent
+attribution under fusion), q-error tracking into the statistics store
+and the telemetry registry, mid-query misestimate events with stage
+re-ranking, the observed-cost feedback loop into the optimizer, and
+statistics snapshot/restore persistence.
+"""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.datasets import JOE_CHUNG_QUERY, MS1, build_scenario
+from repro.datasets.staff import build_scaled_scenario
+from repro.mediator import Mediator, MediatorError, SourceStatistics
+from repro.mediator.engine import ExecutionContext, _rerank_stage
+from repro.mediator.statistics import qerror
+from repro.obs import AnalyzeReport, QueryInsight
+from repro.oem import structural_key
+
+ALL_QUERY = "ALL :- ALL:<cs_person {}>@med"
+
+
+def canonical(objects):
+    return sorted(repr(structural_key(o)) for o in objects)
+
+
+def fresh_mediator(scenario, **kwargs):
+    return Mediator(
+        "med",
+        scenario.mediator.specification,
+        scenario.registry,
+        scenario.externals,
+        register=False,
+        **kwargs,
+    )
+
+
+# -- q-error ------------------------------------------------------------------
+
+
+class TestQError:
+    def test_symmetric_factor(self):
+        assert qerror(10, 10) == 1.0
+        assert qerror(2, 8) == 4.0
+        assert qerror(8, 2) == 4.0
+
+    def test_zero_rows_are_floored(self):
+        assert qerror(0, 0) == 1.0
+        assert qerror(1, 0) == 2.0  # act floored at 0.5
+        assert qerror(0, 5) == 10.0  # est floored at 0.5
+
+
+# -- EXPLAIN ANALYZE ----------------------------------------------------------
+
+
+class TestExplainAnalyze:
+    def test_answers_match_plain_query(self):
+        expected = canonical(build_scenario().mediator.answer(
+            JOE_CHUNG_QUERY
+        ))
+        report = build_scenario().mediator.explain_analyze(
+            JOE_CHUNG_QUERY
+        )
+        assert canonical(report.objects) == expected
+        assert report.seconds > 0.0
+
+    def test_nodes_carry_estimates_and_actuals(self):
+        report = build_scenario().mediator.explain_analyze(
+            JOE_CHUNG_QUERY
+        )
+        doc = report.to_dict()
+        assert doc["version"] == 1
+        assert doc["result_objects"] == 1
+        estimated = [
+            n for n in doc["nodes"] if n["estimated_rows"] is not None
+        ]
+        assert estimated
+        # leaf estimates name their statistics bucket
+        keyed = [n for n in estimated if n["estimate"] is not None]
+        assert any(
+            n["estimate"]["source"] == "whois"
+            and n["estimate"]["label"] == "person"
+            and n["estimate"]["kind"] == "scan"
+            for n in keyed
+        )
+        executed = [n for n in doc["nodes"] if n["calls"]]
+        assert executed
+        assert all(n["qerror"] is None or n["qerror"] >= 1.0
+                   for n in doc["nodes"])
+
+    def test_fused_constituents_attributed_per_stage(self):
+        # default fuse=True: straight-line segments become one pipeline
+        # node, but analyze still reports each constituent separately
+        # under a dotted key, with its own rows/time
+        report = build_scenario().mediator.explain_analyze(
+            JOE_CHUNG_QUERY
+        )
+        doc = report.to_dict()
+        containers = [n for n in doc["nodes"] if n["constituents"]]
+        assert containers
+        by_key = {n["key"]: n for n in doc["nodes"]}
+        ran = False
+        for container in containers:
+            for key in container["constituents"]:
+                member = by_key[key]
+                assert member["parent"] == container["key"]
+                assert "." in member["key"]
+                if member["calls"]:
+                    ran = True
+        assert ran
+
+    def test_render_is_an_annotated_tree(self):
+        report = build_scenario().mediator.explain_analyze(
+            JOE_CHUNG_QUERY
+        )
+        text = report.render()
+        assert "-- explain analyze:" in text
+        assert "est" in text and "actual" in text and "miss" in text
+        assert "[1]" in text
+
+    def test_json_round_trips(self):
+        report = build_scenario().mediator.explain_analyze(
+            JOE_CHUNG_QUERY
+        )
+        doc = json.loads(report.to_json())
+        assert doc == json.loads(json.dumps(report.to_dict()))
+
+    def test_empty_insight_renders_fallback(self):
+        report = AnalyzeReport("Q", QueryInsight(), [])
+        assert "no physical plan" in report.render()
+
+    def test_qerror_metrics_exported(self):
+        med = fresh_mediator(build_scenario(), telemetry=True)
+        med.answer(JOE_CHUNG_QUERY)
+        text = med.metrics_text()
+        assert "repro_estimate_qerror_bucket" in text
+        assert 'kind="scan"' in text
+        med.close()
+
+    def test_explain_shows_statistics_section(self):
+        med = build_scenario().mediator
+        med.answer(JOE_CHUNG_QUERY)
+        text = med.explain(JOE_CHUNG_QUERY)
+        assert "-- statistics --" in text
+        assert "q-error" in text
+
+
+# -- misestimate events and re-ranking ----------------------------------------
+
+
+class TestMisestimates:
+    def test_underestimate_fires_event(self):
+        # 60 persons behind an estimate discounted by the constant
+        # conditions: actual exceeds the estimate far beyond 4x
+        med = build_scaled_scenario(60).mediator
+        report = med.explain_analyze(ALL_QUERY)
+        doc = report.to_dict()
+        assert doc["misestimates"]
+        event = doc["misestimates"][0]
+        assert event["actual_rows"] > event["estimated_rows"] * 4
+        assert "correction" in event["action"]
+        context = med.last_context
+        assert context.misestimate_events >= 1
+        assert context.estimate_corrections
+        assert "misestimate events:" in report.render()
+
+    def test_factor_zero_disables_detection(self):
+        scenario = build_scaled_scenario(60)
+        med = fresh_mediator(scenario, misestimate_factor=0)
+        report = med.explain_analyze(ALL_QUERY)
+        assert report.to_dict()["misestimates"] == []
+        assert med.last_context.misestimate_events == 0
+
+    def test_invalid_factor_rejected(self):
+        scenario = build_scenario()
+        with pytest.raises(MediatorError):
+            fresh_mediator(scenario, misestimate_factor=-1)
+        with pytest.raises(MediatorError):
+            fresh_mediator(scenario, misestimate_factor="big")
+
+    def test_analyze_off_still_detects(self):
+        # the adaptive loop is driven by misestimate_factor, not by
+        # --explain-analyze: a plain query records events too
+        med = build_scaled_scenario(60).mediator
+        med.answer(ALL_QUERY)
+        assert med.last_context.misestimate_events >= 1
+
+
+class TestRerankStage:
+    def node(self, est, key):
+        return SimpleNamespace(estimated_rows=est, estimate_key=key)
+
+    def context(self, corrections):
+        context = ExecutionContext(sources=None, externals=None)
+        context.estimate_corrections.update(corrections)
+        return context
+
+    def test_corrected_estimates_reorder_cheapest_first(self):
+        small = self.node(5.0, ("s", "a", "join"))
+        ballooned = self.node(2.0, ("s", "b", "join"))
+        context = self.context({("s", "b"): 100.0})
+        reranked = _rerank_stage(2, [ballooned, small], context)
+        assert reranked == [small, ballooned]
+
+    def test_unaffected_stage_is_untouched(self):
+        stage = [self.node(9.0, ("s", "a", "join")),
+                 self.node(1.0, ("s", "b", "join"))]
+        context = self.context({("other", "x"): 50.0})
+        assert _rerank_stage(2, stage, context) is stage
+
+    def test_estimate_free_nodes_sort_last_stably(self):
+        bare_a = self.node(None, None)
+        bare_b = self.node(None, None)
+        cheap = self.node(1.0, ("s", "a", "join"))
+        context = self.context({("s", "a"): 1.0})
+        reranked = _rerank_stage(3, [bare_a, bare_b, cheap], context)
+        assert reranked == [cheap, bare_a, bare_b]
+
+    def test_decision_recorded_in_insight(self):
+        # unregistered nodes fall back to their type names in the
+        # decision record, so give the two fakes distinct types
+        ballooned = type("Ballooned", (SimpleNamespace,), {})(
+            estimated_rows=2.0, estimate_key=("s", "b", "join")
+        )
+        small = type("Small", (SimpleNamespace,), {})(
+            estimated_rows=5.0, estimate_key=("s", "a", "join")
+        )
+        insight = QueryInsight()
+        context = self.context({("s", "b"): 100.0})
+        context.insight = insight
+        _rerank_stage(2, [ballooned, small], context)
+        assert insight.reranks
+        decision = insight.reranks[0]
+        assert decision["stage"] == 2
+        assert decision["before"] == ["Ballooned", "Small"]
+        assert decision["after"] == ["Small", "Ballooned"]
+
+
+# -- the statistics feedback loop ---------------------------------------------
+
+
+class TestFeedbackLoop:
+    def test_qerror_median_non_increasing_after_warmup(self):
+        # acceptance: repeated runs feed observed cardinalities back
+        # into the statistics store, so estimates converge and the
+        # cumulative median q-error never grows after the first run
+        med = build_scaled_scenario(40).mediator
+        medians = []
+        for _ in range(4):
+            med.answer(ALL_QUERY)
+            summary = med.statistics.qerror_summary()
+            key = next(k for k in summary if k.endswith("/scan"))
+            medians.append(summary[key]["median"])
+        assert medians[0] > 1.0  # cold estimates start wrong
+        for earlier, later in zip(medians[1:], medians[2:]):
+            assert later <= earlier
+
+    def test_cost_weight_from_latency_and_breaker(self):
+        stats = SourceStatistics()
+        assert stats.cost_weight("never-seen") == 1.0
+        stats.observe_source("slow", latency=0.1)
+        stats.observe_source("fast", latency=0.001)
+        assert stats.cost_weight("slow") > stats.cost_weight("fast") > 1.0
+        stats.observe_source("down", breaker_state="open")
+        assert stats.cost_weight("down") == 100.0
+        stats.observe_source("probing", breaker_state="half_open")
+        assert stats.cost_weight("probing") == 10.0
+
+    def test_observed_latency_deprioritizes_a_source(self):
+        # two otherwise-identical sources: the one observed slow must
+        # rank later once the feedback loop has run
+        stats = SourceStatistics()
+        stats.observe_source("whois", latency=0.5, breaker_state="closed")
+        assert stats.cost_weight("whois") > 10.0
+
+    def test_health_window_feeds_statistics(self):
+        from repro.reliability import ResilienceConfig, RetryPolicy
+
+        scenario = build_scenario()
+        med = fresh_mediator(
+            scenario,
+            resilience=ResilienceConfig(retry=RetryPolicy(max_attempts=2)),
+        )
+        for _ in range(4):  # p50 needs min_samples=3 in the window
+            med.answer(JOE_CHUNG_QUERY)
+        snapshot = med.statistics.snapshot_dict()
+        observed = {row["source"] for row in snapshot["source_costs"]}
+        assert "whois" in observed and "cs" in observed
+        assert med.statistics.cost_weight("whois") >= 1.0
+
+
+class TestStatisticsPersistence:
+    def build(self):
+        stats = SourceStatistics()
+        stats.record_label("whois", "person", 42)
+        stats.observe_source("whois", latency=0.02, breaker_state="closed")
+        stats.record_qerror("whois", "person", "scan", 3.0)
+        return stats
+
+    def test_snapshot_round_trips_through_json(self):
+        stats = self.build()
+        snapshot = json.loads(json.dumps(stats.snapshot_dict()))
+        assert snapshot["version"] == 1
+        fresh = SourceStatistics()
+        fresh.restore_dict(snapshot)
+        assert fresh.has_observations("whois", "person")
+        assert fresh.cost_weight("whois") == pytest.approx(
+            stats.cost_weight("whois")
+        )
+
+    def test_mediator_snapshot_restore(self):
+        scenario = build_scenario()
+        warm = scenario.mediator
+        warm.answer(JOE_CHUNG_QUERY)
+        snapshot = warm.statistics_snapshot()
+        assert snapshot["labels"]
+        cold = fresh_mediator(scenario)
+        assert not cold.statistics.has_observations("whois", "person")
+        cold.restore_statistics(snapshot)
+        assert cold.statistics.has_observations("whois", "person")
+
+    def test_restore_rejects_bad_snapshots(self):
+        med = build_scenario().mediator
+        with pytest.raises(MediatorError):
+            med.restore_statistics({"version": 99})
+        with pytest.raises(MediatorError):
+            med.restore_statistics("not-a-snapshot")
+        with pytest.raises(MediatorError):
+            med.restore_statistics({"version": 1, "labels": [{}]})

@@ -206,12 +206,13 @@ class TestProfiler:
     def test_records_accumulate(self):
         profiler = Profiler()
         profiler.record_node("FilterNode", 10, 0.5)
-        profiler.record_node("FilterNode", 5, 0.25)
+        profiler.record_node("FilterNode", 5, 0.25, latency=0.1)
         snap = profiler.snapshot()
         assert snap["nodes"]["FilterNode"] == {
             "calls": 2,
             "rows": 15,
             "seconds": 0.75,
+            "source_seconds": 0.1,
         }
 
     def test_pattern_records(self):

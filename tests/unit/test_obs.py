@@ -413,17 +413,14 @@ class TestHealthSnapshotShim:
         assert set(snapshot) == {"sources", "execution", "profile"}
         assert snapshot["profile"]["nodes"]
 
-    def test_legacy_profile_key_warns(self):
+    def test_legacy_keys_removed(self):
+        # the pre-namespacing compatibility shim (underscore-prefixed
+        # and bare-source keys with a DeprecationWarning) is gone: the
+        # old spellings now raise KeyError like any other missing key
         mediator = traced_mediator()
         mediator.answer(JOE_CHUNG_QUERY)
         snapshot = mediator.health_snapshot()
-        with pytest.deprecated_call():
-            legacy = snapshot["_profile"]
-        assert legacy == snapshot["profile"]
-
-    def test_legacy_missing_key_still_raises(self):
-        snapshot = traced_mediator().health_snapshot()
-        with pytest.raises(KeyError):
-            snapshot["_execution"]  # dispatcher inactive: empty section
-        with pytest.raises(KeyError):
-            snapshot["no-such-source"]
+        assert type(snapshot) is dict
+        for legacy in ("_profile", "_execution", "whois", "no-such-source"):
+            with pytest.raises(KeyError):
+                snapshot[legacy]

@@ -504,6 +504,36 @@ class TestMediatorIntegration:
         assert med.telemetry.semijoin_probes_saved_total.value() >= 0
         med.close()
 
+    @pytest.mark.parametrize("parallelism", [1, 8])
+    def test_telemetry_counters_match_context_exactly(self, parallelism):
+        # the Prometheus series are flushed from the per-query
+        # ExecutionContext: on a fresh mediator, one sharded query must
+        # leave them exactly equal to the context counters — no drops,
+        # no double counting — at any parallelism
+        med = make_mediator(
+            [1, 3, 5, 7, 9],
+            make_records(40),
+            shards=4,
+            telemetry=True,
+            parallelism=parallelism,
+        )
+        med.query(QUERY)
+        context = med.last_context
+        assert context.semijoin_batches >= 1  # non-vacuous
+        assert (
+            med.telemetry.semijoin_batches_total.value()
+            == context.semijoin_batches
+        )
+        assert (
+            med.telemetry.semijoin_probes_saved_total.value()
+            == context.semijoin_probes_saved
+        )
+        assert (
+            med.telemetry.shards_pruned_total.value()
+            == context.shards_pruned
+        )
+        med.close()
+
 
 # -- answer-cache keys with shard-qualified names -----------------------------
 
